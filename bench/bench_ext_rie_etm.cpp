@@ -1,0 +1,64 @@
+// §9 extension-deployment tracking, the analyses the paper says its dataset
+// supports but space precluded: the renegotiation-info extension (RIE) as
+// the response to the 2009 renegotiation attack (near-universal in our
+// window), the very limited uptake of Encrypt-then-MAC as the Lucky 13
+// response, and extended-master-secret deployment for contrast.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using tls::core::Month;
+
+int main() {
+  auto& study = bench::shared_study();
+
+  const auto offered = [&](std::uint64_t tls::notary::MonthlyStats::*field) {
+    return [field](const tls::notary::MonthlyStats& s) {
+      return s.pct(s.*field);
+    };
+  };
+
+  tls::analysis::MonthlyChart chart;
+  chart.title =
+      "Extension deployment: RIE / Encrypt-then-MAC / EMS (% of monthly "
+      "connections offering)";
+  chart.range = study.options().window;
+  chart.series.push_back(study.monthly_series(
+      "renegotiation_info",
+      offered(&tls::notary::MonthlyStats::reneg_info_offered)));
+  chart.series.push_back(study.monthly_series(
+      "encrypt_then_mac", offered(&tls::notary::MonthlyStats::etm_offered)));
+  chart.series.push_back(study.monthly_series(
+      "extended_master_secret",
+      offered(&tls::notary::MonthlyStats::ems_offered)));
+  bench::print_chart(chart);
+
+  auto& mon = study.monitor();
+  const auto at = [&](Month m) { return mon.month(m); };
+  const auto pct = [](const tls::notary::MonthlyStats* s, std::uint64_t v) {
+    return s == nullptr || s->total == 0
+               ? 0.0
+               : 100.0 * static_cast<double>(v) / static_cast<double>(s->total);
+  };
+  const auto* early = at(Month(2012, 6));
+  const auto* late = at(Month(2018, 3));
+
+  bench::print_anchors(
+      "Section 9 extension tracking",
+      {
+          {"RIE offered, 2012", "already widespread post-2009 attack",
+           early == nullptr ? "-" : bench::fmt_pct(pct(early, early->reneg_info_offered))},
+          {"RIE offered, 2018", "near universal",
+           late == nullptr ? "-" : bench::fmt_pct(pct(late, late->reneg_info_offered))},
+          {"EtM offered, 2018", "very limited take-up",
+           late == nullptr ? "-" : bench::fmt_pct(pct(late, late->etm_offered))},
+          {"EtM negotiated, 2018",
+           "rarer still (CBC-only per RFC 7366, AEAD dominates)",
+           late == nullptr ? "-" : bench::fmt_pct(pct(late, late->etm_negotiated), 2)},
+          {"EMS offered, 2018", "mainstream (browsers since ~2015)",
+           late == nullptr ? "-" : bench::fmt_pct(pct(late, late->ems_offered))},
+          {"session-id resumption, 2018 (library feature; no paper anchor)",
+           "-", late == nullptr ? "-" : bench::fmt_pct(pct(late, late->resumed))},
+      });
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Figure 10: % of connections advertising AES-GCM / ChaCha20-Poly1305 /
+// AES-CCM. Paper anchors: GCM advertising rises with TLS 1.2 clients from
+// late 2013; many clients offer ChaCha by 2017-18; AES-CCM offered in just
+// 0.3% of connections across the dataset.
+#include "bench_common.hpp"
+
+using tls::core::Month;
+
+int main() {
+  auto& study = bench::shared_study();
+  const auto chart = study.figure10_aead_advertised();
+  bench::print_chart(chart);
+
+  // Dataset-wide CCM advertising share.
+  auto& mon = study.monitor();
+  std::uint64_t ccm = 0, total = 0;
+  for (const auto& [m, s] : mon.months()) {
+    ccm += s.adv_ccm;
+    total += s.total;
+  }
+  const double ccm_pct =
+      total == 0 ? 0 : 100.0 * static_cast<double>(ccm) / static_cast<double>(total);
+
+  // Series order: AES128-GCM, AES256-GCM, ChaCha20, AES-CCM.
+  bench::print_anchors(
+      "Figure 10",
+      {
+          {"AES128-GCM advertised 2014-08", "majority of connections",
+           bench::fmt_pct(bench::series_at(chart, 0, Month(2014, 8)))},
+          {"AES128-GCM advertised 2018-03", "~95-100%",
+           bench::fmt_pct(bench::series_at(chart, 0, Month(2018, 3)))},
+          {"ChaCha advertised 2018-03", "large share of clients",
+           bench::fmt_pct(bench::series_at(chart, 2, Month(2018, 3)))},
+          {"AES-CCM advertised (dataset)", "0.3%", bench::fmt_pct(ccm_pct, 2)},
+      });
+  return 0;
+}

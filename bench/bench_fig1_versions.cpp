@@ -1,0 +1,32 @@
+// Figure 1: negotiated SSL/TLS versions over time, with attack markers.
+// Paper anchors: ~90% TLS 1.0 in early 2012; TLS 1.1 bump mid-2012..late
+// 2013; TLS 1.2 at ~90% by 2018; TLS 1.0 down to 2.8% in Feb 2018; SSL3
+// negligible after mid-2014.
+#include "bench_common.hpp"
+
+using tls::core::Month;
+
+int main() {
+  auto& study = bench::shared_study();
+  const auto chart = study.figure1_versions();
+  bench::print_chart(chart);
+
+  // Series order: SSLv3, TLSv1.0, TLSv1.1, TLSv1.2.
+  bench::print_anchors(
+      "Figure 1",
+      {
+          {"TLS1.0 share 2012-02", "~90-100%",
+           bench::fmt_pct(bench::series_at(chart, 1, Month(2012, 2)))},
+          {"TLS1.2 share 2014-08", "~50%",
+           bench::fmt_pct(bench::series_at(chart, 3, Month(2014, 8)))},
+          {"TLS1.2 share 2018-02", "~90%",
+           bench::fmt_pct(bench::series_at(chart, 3, Month(2018, 2)))},
+          {"TLS1.0 share 2018-02", "2.8%",
+           bench::fmt_pct(bench::series_at(chart, 1, Month(2018, 2)))},
+          {"TLS1.1 peak mid-2013", "noticeable bump (~5-20%)",
+           bench::fmt_pct(bench::series_at(chart, 2, Month(2013, 6)))},
+          {"SSL3 share 2014-08", "<1%",
+           bench::fmt_pct(bench::series_at(chart, 0, Month(2014, 8)), 2)},
+      });
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Figure 2: negotiated RC4 / CBC / AEAD cipher classes.
+// Paper anchors: RC4 ~60% in Aug 2013 -> ~0 in Mar 2018; CBC popular until
+// Aug 2015 then declining to ~10% by 2018; AEAD rising from late 2013 to
+// ~90% of traffic.
+#include "bench_common.hpp"
+
+using tls::core::Month;
+
+int main() {
+  auto& study = bench::shared_study();
+  const auto chart = study.figure2_negotiated_classes();
+  bench::print_chart(chart);
+
+  // Series order: AEAD, CBC, RC4.
+  bench::print_anchors(
+      "Figure 2",
+      {
+          {"RC4 negotiated 2013-08", "~60%",
+           bench::fmt_pct(bench::series_at(chart, 2, Month(2013, 8)))},
+          {"RC4 negotiated 2018-03", "~0%",
+           bench::fmt_pct(bench::series_at(chart, 2, Month(2018, 3)), 2)},
+          {"CBC negotiated 2015-08", "still popular (~40-55%)",
+           bench::fmt_pct(bench::series_at(chart, 1, Month(2015, 8)))},
+          {"CBC negotiated 2018-03", "~10%",
+           bench::fmt_pct(bench::series_at(chart, 1, Month(2018, 3)))},
+          {"AEAD negotiated 2018-03", "~85-90%",
+           bench::fmt_pct(bench::series_at(chart, 0, Month(2018, 3)))},
+      });
+  return 0;
+}

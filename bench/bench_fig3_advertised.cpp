@@ -1,0 +1,35 @@
+// Figure 3: connections whose client advertises RC4 / DES / 3DES / AEAD.
+// Paper anchors: CBC always >99%; near-universal 3DES advertising until
+// late 2016, still >69% in 2018; RC4 advertising drops at the start of 2015
+// (browser removals); AEAD advertised in most connections by 2015.
+#include "bench_common.hpp"
+
+using tls::core::Month;
+
+int main() {
+  auto& study = bench::shared_study();
+  const auto chart = study.figure3_advertised_classes();
+  bench::print_chart(chart);
+
+  // Series order: AEAD, RC4, DES, 3DES.
+  auto& mon = study.monitor();
+  double cbc2018 = 0;
+  if (const auto* s = mon.month(Month(2018, 3))) cbc2018 = s->pct(s->adv_cbc);
+
+  bench::print_anchors(
+      "Figure 3",
+      {
+          {"3DES advertised 2016-08", "nearly all clients (>90%)",
+           bench::fmt_pct(bench::series_at(chart, 3, Month(2016, 8)))},
+          {"3DES advertised 2018-03", ">69%",
+           bench::fmt_pct(bench::series_at(chart, 3, Month(2018, 3)))},
+          {"RC4 advertised 2014-12", "high (~80-95%)",
+           bench::fmt_pct(bench::series_at(chart, 1, Month(2014, 12)))},
+          {"RC4 advertised 2016-06", "reduced sharply",
+           bench::fmt_pct(bench::series_at(chart, 1, Month(2016, 6)))},
+          {"AEAD advertised 2018-03", "~95-100%",
+           bench::fmt_pct(bench::series_at(chart, 0, Month(2018, 3)))},
+          {"CBC advertised 2018-03", ">99%", bench::fmt_pct(cbc2018)},
+      });
+  return 0;
+}

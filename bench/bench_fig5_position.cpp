@@ -1,0 +1,31 @@
+// Figure 5: average relative position of the first AEAD/CBC/RC4/DES/3DES
+// suite in client cipher lists. Paper anchors: AEAD and CBC near the top of
+// lists with little movement; RC4 mid-list; DES/3DES near the bottom.
+#include "bench_common.hpp"
+
+using tls::core::Month;
+
+int main() {
+  auto& study = bench::shared_study();
+  const auto chart = study.figure5_relative_positions();
+  bench::print_chart(chart);
+
+  // Series order: AEAD, CBC, RC4, DES, 3DES.
+  const Month probe(2016, 6);
+  bench::print_anchors(
+      "Figure 5",
+      {
+          {"AEAD avg position 2016-06", "near top (~10-20%)",
+           bench::fmt_pct(bench::series_at(chart, 0, probe))},
+          {"CBC avg position 2016-06", "near top (~20-30%)",
+           bench::fmt_pct(bench::series_at(chart, 1, probe))},
+          {"RC4 avg position 2016-06", "mid-list (~40-60%)",
+           bench::fmt_pct(bench::series_at(chart, 2, probe))},
+          {"3DES avg position 2016-06", "bottom (~70-90%)",
+           bench::fmt_pct(bench::series_at(chart, 4, probe))},
+          {"CBC position drift 2014->2018", "little change",
+           bench::fmt_pct(bench::series_at(chart, 1, Month(2018, 3)) -
+                          bench::series_at(chart, 1, Month(2014, 10)))},
+      });
+  return 0;
+}

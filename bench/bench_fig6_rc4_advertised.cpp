@@ -1,0 +1,35 @@
+// Figure 6: % of connections whose client advertises RC4, with browser
+// drop dates. Paper anchors: big drop at the beginning of 2015 (Chrome,
+// Firefox, IE/Edge removals); residual advertising afterwards from
+// non-updating users; 1.03%-level residue never fully disappears.
+#include "bench_common.hpp"
+
+#include "clients/catalog.hpp"
+
+using tls::core::Month;
+
+int main() {
+  auto& study = bench::shared_study();
+  auto chart = study.figure6_rc4_advertised();
+
+  // Browser RC4-removal markers (Table 4 dates).
+  chart.markers.emplace_back(Month(2015, 5), 'C');  // Chrome 43 & IE/Edge
+  chart.markers.emplace_back(Month(2016, 1), 'F');  // Firefox 44
+  chart.markers.emplace_back(Month(2015, 6), 'O');  // Opera 30
+  chart.markers.emplace_back(Month(2016, 9), 'S');  // Safari 10
+  bench::print_chart(chart);
+
+  const double d2014 = bench::series_at(chart, 0, Month(2014, 12));
+  const double d2016 = bench::series_at(chart, 0, Month(2016, 6));
+  bench::print_anchors(
+      "Figure 6",
+      {
+          {"RC4 advertised 2014-12", "high (~80-95%)", bench::fmt_pct(d2014)},
+          {"RC4 advertised 2016-06", "sharply reduced",
+           bench::fmt_pct(d2016)},
+          {"drop across 2015", ">30pp", bench::fmt_pct(d2014 - d2016)},
+          {"RC4 advertised 2018-03", "small residue (slow updaters)",
+           bench::fmt_pct(bench::series_at(chart, 0, Month(2018, 3)))},
+      });
+  return 0;
+}

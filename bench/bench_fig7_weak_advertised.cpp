@@ -1,0 +1,31 @@
+// Figure 7: % of monthly connections advertising Export, Anonymous, or
+// NULL cipher suites. Paper anchors: export advertised in 28.19% of 2012
+// connections -> 1.03% in 2018; anonymous spike from 5.8% to 12.9% in
+// mid-2015 (correlated with a NULL spike); NULL offered by ~8% of
+// fingerprints / 0.46% of connections in 2018.
+#include "bench_common.hpp"
+
+using tls::core::Month;
+
+int main() {
+  auto& study = bench::shared_study();
+  const auto chart = study.figure7_weak_advertised();
+  bench::print_chart(chart);
+
+  // Series order: Export, Anonymous, Null.
+  bench::print_anchors(
+      "Figure 7",
+      {
+          {"Export advertised 2012", "28.19%",
+           bench::fmt_pct(bench::series_at(chart, 0, Month(2012, 6)))},
+          {"Export advertised 2018", "1.03%",
+           bench::fmt_pct(bench::series_at(chart, 0, Month(2018, 3)), 2)},
+          {"Anon advertised 2015-05 (pre-spike)", "5.8%",
+           bench::fmt_pct(bench::series_at(chart, 1, Month(2015, 5)))},
+          {"Anon advertised 2015-07 (spike)", "12.9%",
+           bench::fmt_pct(bench::series_at(chart, 1, Month(2015, 7)))},
+          {"NULL advertised 2018", "0.46% of connections",
+           bench::fmt_pct(bench::series_at(chart, 2, Month(2018, 3)), 2)},
+      });
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Figure 8: negotiated RSA vs DHE vs ECDHE key exchange, Snowden marker.
+// Paper anchors: RSA dominant in 2012 (>60% non-FS); strong shift to FS
+// starting immediately after 2013-06; ECDHE the vast majority by 2017-18;
+// DHE "never found much use".
+#include "bench_common.hpp"
+
+using tls::core::Month;
+
+int main() {
+  auto& study = bench::shared_study();
+  const auto chart = study.figure8_key_exchange();
+  bench::print_chart(chart);
+
+  // Series order: DHE, ECDHE, RSA.
+  const double rsa_2012 = bench::series_at(chart, 2, Month(2012, 6));
+  const double rsa_2013_05 = bench::series_at(chart, 2, Month(2013, 5));
+  const double rsa_2014_06 = bench::series_at(chart, 2, Month(2014, 6));
+  bench::print_anchors(
+      "Figure 8",
+      {
+          {"non-FS (RSA) 2012", ">60%", bench::fmt_pct(rsa_2012)},
+          {"RSA drop 2013-05 -> 2014-06 (post-Snowden)", "tremendous shift",
+           bench::fmt_pct(rsa_2013_05 - rsa_2014_06) + " drop"},
+          {"ECDHE 2017-06", "vast majority (~70-90%)",
+           bench::fmt_pct(bench::series_at(chart, 1, Month(2017, 6)))},
+          {"DHE peak", "never much use (<~15%)",
+           bench::fmt_pct(*std::max_element(chart.series[0].values.begin(),
+                                            chart.series[0].values.end()))},
+          {"RSA 2018-03", "small minority",
+           bench::fmt_pct(bench::series_at(chart, 2, Month(2018, 3)))},
+      });
+  return 0;
+}

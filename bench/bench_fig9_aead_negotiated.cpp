@@ -1,0 +1,29 @@
+// Figure 9: negotiated AEAD breakdown (AES-GCM 128/256, ChaCha20-Poly1305,
+// AEAD total). Paper anchors: sharp AEAD uptick from late 2013; AES128-GCM
+// dominates AES256-GCM; ChaCha20-Poly1305 used in 1.7% of connections in
+// Mar 2018.
+#include "bench_common.hpp"
+
+using tls::core::Month;
+
+int main() {
+  auto& study = bench::shared_study();
+  const auto chart = study.figure9_aead_negotiated();
+  bench::print_chart(chart);
+
+  // Series order: AEAD Total, AES128-GCM, AES256-GCM, ChaCha20.
+  bench::print_anchors(
+      "Figure 9",
+      {
+          {"AEAD total 2013-06 (pre-uptick)", "near 0%",
+           bench::fmt_pct(bench::series_at(chart, 0, Month(2013, 6)))},
+          {"AEAD total 2018-03", "~85-90%",
+           bench::fmt_pct(bench::series_at(chart, 0, Month(2018, 3)))},
+          {"AES128-GCM > AES256-GCM 2018-03", "128 dominates",
+           bench::fmt_pct(bench::series_at(chart, 1, Month(2018, 3))) + " vs " +
+               bench::fmt_pct(bench::series_at(chart, 2, Month(2018, 3)))},
+          {"ChaCha20 negotiated 2018-03", "1.7%",
+           bench::fmt_pct(bench::series_at(chart, 3, Month(2018, 3)))},
+      });
+  return 0;
+}

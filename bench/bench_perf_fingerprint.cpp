@@ -1,0 +1,48 @@
+// Fingerprinting microbenchmarks: extraction (GREASE stripping), canonical
+// string building and MD5 hashing.
+#include <benchmark/benchmark.h>
+
+#include "clients/catalog.hpp"
+#include "fingerprint/fingerprint.hpp"
+#include "fingerprint/md5.hpp"
+
+namespace {
+
+tls::wire::ClientHello sample_hello() {
+  const auto catalog = tls::clients::Catalog::core_only();
+  const auto* cfg =
+      catalog.find("Chrome")->config_at(tls::core::Date(2017, 6, 1));
+  tls::core::Rng rng(3);
+  return tls::clients::make_client_hello(*cfg, rng, "bench.example");
+}
+
+void BM_ExtractFingerprint(benchmark::State& state) {
+  const auto hello = sample_hello();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tls::fp::extract_fingerprint(hello));
+  }
+}
+BENCHMARK(BM_ExtractFingerprint);
+
+void BM_FingerprintHash(benchmark::State& state) {
+  const auto fp = tls::fp::extract_fingerprint(sample_hello());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fp.hash());
+  }
+}
+BENCHMARK(BM_FingerprintHash);
+
+void BM_Md5Throughput(benchmark::State& state) {
+  std::vector<std::uint8_t> data(static_cast<std::size_t>(state.range(0)),
+                                 0x42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tls::fp::Md5::hash(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Md5Throughput)->Arg(64)->Arg(1024)->Arg(65536);
+
+}  // namespace
+
+BENCHMARK_MAIN();

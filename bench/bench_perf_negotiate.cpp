@@ -1,0 +1,67 @@
+// Negotiation-engine microbenchmarks: server-preference vs client-
+// preference selection, TLS 1.3 path, and end-to-end connection generation.
+#include <benchmark/benchmark.h>
+
+#include "clients/catalog.hpp"
+#include "core/study.hpp"
+#include "handshake/negotiate.hpp"
+#include "population/traffic.hpp"
+#include "servers/population.hpp"
+
+namespace {
+
+struct Fixture {
+  tls::clients::Catalog catalog = tls::clients::Catalog::core_only();
+  tls::servers::ServerPopulation servers =
+      tls::servers::ServerPopulation::standard();
+  tls::core::Rng rng{11};
+  tls::wire::ClientHello hello = [this] {
+    const auto* cfg =
+        catalog.find("Chrome")->config_at(tls::core::Date(2018, 4, 1));
+    return tls::clients::make_client_hello(*cfg, rng, "bench.example");
+  }();
+};
+
+void BM_NegotiateServerPreference(benchmark::State& state) {
+  Fixture f;
+  const auto& server = f.servers.find("web-modern-ecdhe")->config;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tls::handshake::negotiate(f.hello, server, f.rng));
+  }
+}
+BENCHMARK(BM_NegotiateServerPreference);
+
+void BM_NegotiateClientPreference(benchmark::State& state) {
+  Fixture f;
+  const auto& server = f.servers.find("web-mobile-clientorder")->config;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tls::handshake::negotiate(f.hello, server, f.rng));
+  }
+}
+BENCHMARK(BM_NegotiateClientPreference);
+
+void BM_NegotiateTls13(benchmark::State& state) {
+  Fixture f;
+  const auto& server = f.servers.find("web-tls13-exp")->config;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tls::handshake::negotiate(f.hello, server, f.rng));
+  }
+}
+BENCHMARK(BM_NegotiateTls13);
+
+void BM_GenerateConnections(benchmark::State& state) {
+  Fixture f;
+  const auto market = tls::population::MarketModel::standard(f.catalog);
+  tls::population::TrafficGenerator gen(market, f.servers, 5);
+  std::size_t n = 0;
+  for (auto _ : state) {
+    gen.generate_month(tls::core::Month(2016, 6), 100,
+                       [&n](const tls::population::ConnectionEvent&) { ++n; });
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_GenerateConnections);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,47 @@
+// Wire-codec microbenchmarks: ClientHello serialize/parse and record
+// framing throughput — the per-connection cost floor of the passive
+// monitor.
+#include <benchmark/benchmark.h>
+
+#include "clients/catalog.hpp"
+#include "wire/client_hello.hpp"
+
+namespace {
+
+tls::wire::ClientHello sample_hello() {
+  const auto catalog = tls::clients::Catalog::core_only();
+  const auto* cfg =
+      catalog.find("Chrome")->config_at(tls::core::Date(2017, 6, 1));
+  tls::core::Rng rng(3);
+  return tls::clients::make_client_hello(*cfg, rng, "bench.example");
+}
+
+void BM_ClientHelloSerialize(benchmark::State& state) {
+  const auto hello = sample_hello();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hello.serialize_record());
+  }
+}
+BENCHMARK(BM_ClientHelloSerialize);
+
+void BM_ClientHelloParse(benchmark::State& state) {
+  const auto bytes = sample_hello().serialize_record();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tls::wire::ClientHello::parse_record(bytes));
+  }
+}
+BENCHMARK(BM_ClientHelloParse);
+
+void BM_RecordRoundTrip(benchmark::State& state) {
+  tls::wire::Record rec;
+  rec.fragment.assign(512, 0xab);
+  for (auto _ : state) {
+    const auto bytes = rec.serialize();
+    benchmark::DoNotOptimize(tls::wire::Record::parse(bytes));
+  }
+}
+BENCHMARK(BM_RecordRoundTrip);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,57 @@
+// §4.1: fingerprint lifetime statistics. Paper anchors (at 191.9G
+// connections): 69,874 usable fingerprints; median duration 1 day; mean
+// 158.8 days; Q3 171 days; stddev 302.31; max 1,235 days; 42,188 single-day
+// fingerprints carrying only 801,232 connections; 1,203 fingerprints seen
+// >1200 days carrying 21.75% of fingerprintable connections.
+// Our dataset is ~5 orders of magnitude smaller, so absolute fingerprint
+// counts scale down; the distribution's shape (median 1 day, heavy single-
+// day mass, a long-lived cohort carrying a large traffic share) must hold.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main() {
+  auto& study = bench::shared_study();
+  const auto& tracker = study.monitor().durations();
+  const auto s = tracker.summarize(/*long_lived_threshold=*/1100);
+
+  char buf[64];
+  const auto fmt = [&](double v) {
+    std::snprintf(buf, sizeof(buf), "%.1f", v);
+    return std::string(buf);
+  };
+
+  bench::print_anchors(
+      "Section 4.1 fingerprint durations",
+      {
+          {"usable fingerprints", "69,874 (full-scale)",
+           std::to_string(s.fingerprint_count) + " (scaled)"},
+          {"median duration (days)", "1", fmt(s.median_days)},
+          {"mean duration (days)", "158.8", fmt(s.mean_days)},
+          {"3rd quartile (days)", "171", fmt(s.q3_days)},
+          {"stddev (days)", "302.31", fmt(s.stddev_days)},
+          {"max duration (days)", "1,235", std::to_string(s.max_days)},
+          {"single-day fingerprints", "42,188 (60% of FPs)",
+           std::to_string(s.single_day_count) + " (" +
+               bench::fmt_pct(100.0 * static_cast<double>(s.single_day_count) /
+                              static_cast<double>(s.fingerprint_count)) +
+               " of FPs)"},
+          {"single-day FPs' connection share", "~0.0004%",
+           bench::fmt_pct(100.0 *
+                              static_cast<double>(s.single_day_connections) /
+                              static_cast<double>(s.total_connections),
+                          4)},
+          {"long-lived (>1200d full / >1100d scaled) FPs' share", "21.75%",
+           bench::fmt_pct(100.0 * s.long_lived_connection_share)},
+      });
+
+  std::printf("note: window is %d months; max observable duration %d days\n",
+              tls::core::MonthRange{tls::notary::PassiveMonitor::fp_start(),
+                                    study.options().window.end_month}
+                  .size(),
+              static_cast<int>(
+                  study.options().window.end_month.first_day().to_days() -
+                  tls::notary::PassiveMonitor::fp_start().first_day().to_days()) +
+                  30);
+  return 0;
+}

@@ -1,0 +1,71 @@
+// §4 feature-set ablation: the paper's fingerprint omits the client
+// version, compression methods and signature algorithms that prior work
+// [22, 45] used. Applying the restricted methodology to the prior-work
+// corpus raised the collision rate from 2.4% to 7.3%. We regenerate the
+// comparison over the full catalog: fraction of (software, version)
+// configurations whose fingerprint collides with a *different* software
+// under each feature set.
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "fingerprint/fingerprint.hpp"
+
+int main() {
+  const auto& catalog = tls::clients::standard_catalog();
+  tls::core::Rng rng(31);
+
+  std::map<std::string, std::vector<const tls::clients::ClientProfile*>>
+      restricted, extended;
+  std::size_t configs = 0;
+  for (const auto& p : catalog.profiles()) {
+    for (const auto& cfg : p.versions) {
+      if (cfg.randomizes_cipher_order) continue;
+      const auto hello = tls::clients::make_client_hello(cfg, rng, "c.test");
+      restricted[tls::fp::extract_fingerprint(hello).hash()].push_back(&p);
+      extended[tls::fp::extended_fingerprint_hash(hello)].push_back(&p);
+      ++configs;
+    }
+  }
+
+  const auto collision_rate = [](const auto& index) {
+    std::size_t colliding_hashes = 0;
+    for (const auto& [hash, owners] : index) {
+      for (std::size_t i = 1; i < owners.size(); ++i) {
+        if (owners[i]->name != owners[0]->name) {
+          ++colliding_hashes;
+          break;
+        }
+      }
+    }
+    return 100.0 * static_cast<double>(colliding_hashes) /
+           static_cast<double>(index.size());
+  };
+
+  const double r = collision_rate(restricted);
+  const double e = collision_rate(extended);
+
+  // The paper's 2.4% -> 7.3% was measured on a third-party corpus
+  // (Brotherston) full of white-label products sharing stacks; our catalog
+  // is de-duplicated by construction (the Table-2 expansion skips colliding
+  // hashes), so absolute rates are lower. The *mechanism* — restricted
+  // features can only merge fingerprints, never split them — is what this
+  // bench verifies, plus the direction of the gap.
+  bench::print_anchors(
+      "Section 4 fingerprint feature-set ablation",
+      {
+          {"collision rate, prior-work features",
+           "2.4% (on the Brotherston corpus)", bench::fmt_pct(e, 2)},
+          {"collision rate, paper's restricted features",
+           "7.3% (same corpus)", bench::fmt_pct(r, 2)},
+          {"restricted >= extended collisions", "yes (less distinct)",
+           r >= e ? "yes" : "NO"},
+          {"configs fingerprinted", "-", std::to_string(configs)},
+          {"distinct restricted / extended hashes", "-",
+           std::to_string(restricted.size()) + " / " +
+               std::to_string(extended.size())},
+      });
+  return r >= e ? 0 : 1;
+}

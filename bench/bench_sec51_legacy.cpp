@@ -1,0 +1,52 @@
+// §5.1: legacy SSL versions. Paper anchors: passive — SSL2 ~1.2K and SSL3
+// 360.1K (<0.01%) connections in Feb 2018, SSL3 insignificant since
+// mid-2014, SSL2 confined to a single university's Nagios port; active —
+// SSL3 supported by >45% of servers in Sep 2015, <25% in May 2018.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "scan/scanner.hpp"
+
+using tls::core::Month;
+
+int main() {
+  auto& study = bench::shared_study();
+  const auto& mon = study.monitor();
+
+  const auto* feb18 = mon.month(Month(2018, 2));
+  const auto* aug14 = mon.month(Month(2014, 8));
+  const auto pct_v = [](const tls::notary::MonthlyStats* s, std::uint16_t v) {
+    if (s == nullptr || s->total == 0) return 0.0;
+    const auto it = s->negotiated_version.find(v);
+    return it == s->negotiated_version.end()
+               ? 0.0
+               : 100.0 * static_cast<double>(it->second) /
+                     static_cast<double>(s->total);
+  };
+
+  const tls::scan::ActiveScanner scanner(study.servers());
+  const auto s2015 = scanner.scan(Month(2015, 9));
+  const auto s2018 = scanner.scan(Month(2018, 5));
+
+  bench::print_anchors(
+      "Section 5.1 legacy versions",
+      {
+          {"SSL3 negotiated 2018-02", "<0.01%",
+           bench::fmt_pct(pct_v(feb18, 0x0300), 3)},
+          {"SSL2 negotiated 2018-02", "~0% (1.2K conns, Nagios only)",
+           bench::fmt_pct(pct_v(feb18, 0x0002), 3)},
+          {"SSL3 negotiated 2014-08", "insignificant since mid-2014",
+           bench::fmt_pct(pct_v(aug14, 0x0300), 2)},
+          {"servers supporting SSL3, 2015-09", ">45%",
+           bench::fmt_pct(100 * s2015.ssl3_support)},
+          {"servers supporting SSL3, 2018-05", "<25%",
+           bench::fmt_pct(100 * s2018.ssl3_support)},
+      });
+
+  // SSL2 connections by month (should be nonzero only via Nagios).
+  std::uint64_t ssl2_total = 0;
+  for (const auto& [m, s] : mon.months()) ssl2_total += s.sslv2_connections;
+  std::printf("SSLv2 CLIENT-HELLO connections across dataset: %llu\n",
+              static_cast<unsigned long long>(ssl2_total));
+  return 0;
+}

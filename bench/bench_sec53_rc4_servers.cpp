@@ -1,0 +1,46 @@
+// §5.3: server-side RC4. Paper anchors: given an older Chrome cipher list,
+// 11.2% of servers chose RC4 in Sep 2015, 3.4% in May 2018; SSL-Pulse-style
+// RC4 *support* 92.8% (Oct 2013) -> 19.1% (2018); a handful of servers
+// support only RC4.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "scan/scanner.hpp"
+
+using tls::core::Month;
+
+int main() {
+  auto& study = bench::shared_study();
+  const tls::scan::ActiveScanner scanner(study.servers());
+
+  const auto s2015 = scanner.scan(Month(2015, 9));
+  const auto s2018 = scanner.scan(Month(2018, 5));
+  // SSL Pulse samples ~150K *popular* sites (Alexa-based), so its support
+  // rates are traffic-weighted, not host-weighted.
+  const auto p2013 = scanner.scan_popular(Month(2013, 10));
+  const auto p2018 = scanner.scan_popular(Month(2018, 3));
+
+  bench::print_anchors(
+      "Section 5.3 server-side RC4",
+      {
+          {"servers choosing RC4 (old-Chrome hello), 2015-09", "11.2%",
+           bench::fmt_pct(100 * s2015.chooses_rc4)},
+          {"servers choosing RC4, 2018-05", "3.4%",
+           bench::fmt_pct(100 * s2018.chooses_rc4)},
+          {"popular sites supporting RC4, 2013-10", "92.8% (SSL Pulse)",
+           bench::fmt_pct(100 * p2013.rc4_support)},
+          {"popular sites supporting RC4, 2018", "19.1% (SSL Pulse)",
+           bench::fmt_pct(100 * p2018.rc4_support)},
+          {"IPv4 hosts supporting RC4, 2018", "(host-weighted view)",
+           bench::fmt_pct(100 * s2018.rc4_support)},
+          {"sites supporting ONLY RC4, 2018", "~0% (1 site)",
+           bench::fmt_pct(100 * p2018.rc4_only, 3)},
+      });
+
+  std::printf("quarterly choose-RC4 series:\n");
+  for (Month m(2015, 9); m <= Month(2018, 5); m += 3) {
+    std::printf("  %s  %5.1f%%\n", m.to_string().c_str(),
+                100 * scanner.scan(m).chooses_rc4);
+  }
+  return 0;
+}

@@ -1,0 +1,49 @@
+// §5.5: FREAK, Logjam and export ciphers. Paper anchors: export suites
+// essentially never negotiated (677 connections in all of 2018), and the
+// ones that are split between university Nagios hosts choosing anonymous
+// export suites and Interwise servers answering EXP_RC4_40_MD5 that the
+// client never offered (a spec violation with completed sessions); client
+// advertising of export suites fell from 28.19% (2012) to 1.03% (2018).
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using tls::core::Month;
+
+int main() {
+  auto& study = bench::shared_study();
+  const auto& mon = study.monitor();
+
+  std::uint64_t export_2018 = 0, total_2018 = 0, viol_2018 = 0;
+  std::uint64_t export_all = 0;
+  for (const auto& [m, s] : mon.months()) {
+    export_all += s.negotiated_export;
+    if (m.year() == 2018) {
+      export_2018 += s.negotiated_export;
+      viol_2018 += s.spec_violations;
+      total_2018 += s.total;
+    }
+  }
+
+  const auto* jun12 = mon.month(Month(2012, 6));
+  const auto* mar18 = mon.month(Month(2018, 3));
+
+  bench::print_anchors(
+      "Section 5.5 export ciphers",
+      {
+          {"export negotiated in 2018", "677 conns (of ~10^10) = ~0.00001%",
+           bench::fmt_pct(total_2018 == 0
+                              ? 0
+                              : 100.0 * static_cast<double>(export_2018) /
+                                    static_cast<double>(total_2018),
+                          4) +
+               " (" + std::to_string(export_2018) + " conns)"},
+          {"spec-violating ServerHellos observed 2018",
+           "present (Interwise, GOST)", std::to_string(viol_2018) + " conns"},
+          {"export advertised 2012", "28.19%",
+           jun12 == nullptr ? "-" : bench::fmt_pct(jun12->pct(jun12->adv_export))},
+          {"export advertised 2018", "1.03%",
+           mar18 == nullptr ? "-" : bench::fmt_pct(mar18->pct(mar18->adv_export))},
+      });
+  return 0;
+}

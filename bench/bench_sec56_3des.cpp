@@ -1,0 +1,50 @@
+// §5.6: Sweet32, DES and 3DES. Paper anchors: 3DES negotiated in 1.4% of
+// connections in mid-2012 vs 0.3% in 2018 (peaks <=5%); nearly all clients
+// advertised 3DES until end-2016 and >69% still do in 2018; servers
+// choosing the scan's bottom-listed 3DES suite fell 0.54% -> 0.25%.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "scan/scanner.hpp"
+
+using tls::core::Month;
+
+int main() {
+  auto& study = bench::shared_study();
+  const auto& mon = study.monitor();
+
+  const auto negotiated_3des_pct = [&](int year, int mo) {
+    const auto* s = mon.month(Month(year, mo));
+    if (s == nullptr || s->successful == 0) return 0.0;
+    return 100.0 * static_cast<double>(s->negotiated_3des) /
+           static_cast<double>(s->successful);
+  };
+
+  const tls::scan::ActiveScanner scanner(study.servers());
+  const auto s2015 = scanner.scan(Month(2015, 8));
+  const auto s2018 = scanner.scan(Month(2018, 5));
+
+  const auto* jun12 = mon.month(Month(2012, 7));
+  const auto* dec16 = mon.month(Month(2016, 11));
+  const auto* mar18 = mon.month(Month(2018, 3));
+
+  bench::print_anchors(
+      "Section 5.6 Sweet32 / 3DES",
+      {
+          {"3DES negotiated, 2012 (Jun-Aug)", "1.4%",
+           bench::fmt_pct(negotiated_3des_pct(2012, 7), 2)},
+          {"3DES negotiated, 2018", "0.3%",
+           bench::fmt_pct(negotiated_3des_pct(2018, 3), 2)},
+          {"clients advertising 3DES, 2016-11", "almost all (>90%)",
+           dec16 == nullptr ? "-" : bench::fmt_pct(dec16->pct(dec16->adv_3des))},
+          {"clients advertising 3DES, 2018-03", ">69%",
+           mar18 == nullptr ? "-" : bench::fmt_pct(mar18->pct(mar18->adv_3des))},
+          {"clients advertising 3DES, 2012", "high",
+           jun12 == nullptr ? "-" : bench::fmt_pct(jun12->pct(jun12->adv_3des))},
+          {"servers choosing 3DES, 2015-08", "0.54%",
+           bench::fmt_pct(100 * s2015.chooses_3des, 2)},
+          {"servers choosing 3DES, 2018-05", "0.25%",
+           bench::fmt_pct(100 * s2018.chooses_3des, 2)},
+      });
+  return 0;
+}

@@ -1,0 +1,59 @@
+// §6.3.3: elliptic-curve usage. Paper anchors over the whole measurement:
+// secp256r1 84.4%, secp384r1 8.6%, x25519 6.7%, sect571r1 0.2%,
+// secp521r1 0.1%; x25519 at 22.2% of connections in Feb 2018.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "tlscore/named_groups.hpp"
+
+using tls::core::Month;
+
+int main() {
+  auto& study = bench::shared_study();
+  const auto& mon = study.monitor();
+
+  std::map<std::uint16_t, std::uint64_t> totals;
+  std::uint64_t all = 0;
+  for (const auto& [m, s] : mon.months()) {
+    for (const auto& [g, n] : s.negotiated_group) {
+      totals[g] += n;
+      all += n;
+    }
+  }
+  const auto share = [&](std::uint16_t g) {
+    const auto it = totals.find(g);
+    return it == totals.end() || all == 0
+               ? 0.0
+               : 100.0 * static_cast<double>(it->second) /
+                     static_cast<double>(all);
+  };
+
+  double x25519_feb18 = 0;
+  if (const auto* s = mon.month(Month(2018, 2))) {
+    std::uint64_t month_all = 0;
+    for (const auto& [g, n] : s->negotiated_group) month_all += n;
+    const auto it = s->negotiated_group.find(29);
+    if (it != s->negotiated_group.end() && month_all > 0) {
+      x25519_feb18 = 100.0 * static_cast<double>(it->second) /
+                     static_cast<double>(month_all);
+    }
+  }
+
+  bench::print_anchors(
+      "Section 6.3.3 curves (share of EC connections)",
+      {
+          {"secp256r1 (dataset)", "84.4%", bench::fmt_pct(share(23))},
+          {"secp384r1 (dataset)", "8.6%", bench::fmt_pct(share(24))},
+          {"x25519 (dataset)", "6.7%", bench::fmt_pct(share(29))},
+          {"sect571r1 (dataset)", "0.2%", bench::fmt_pct(share(14), 2)},
+          {"secp521r1 (dataset)", "0.1%", bench::fmt_pct(share(25), 2)},
+          {"x25519 in 2018-02", "22.2%", bench::fmt_pct(x25519_feb18)},
+      });
+
+  std::printf("full curve distribution:\n");
+  for (const auto& [g, n] : totals) {
+    std::printf("  %-16s %6.2f%%\n", tls::core::named_group_name(g).c_str(),
+                all == 0 ? 0.0 : 100.0 * static_cast<double>(n) / static_cast<double>(all));
+  }
+  return 0;
+}

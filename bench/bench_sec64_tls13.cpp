@@ -1,0 +1,66 @@
+// §6.4: TLS 1.3 deployment before ratification. Paper anchors: clients
+// advertising TLS 1.3 — 0.5% (Feb 2018), 9.8% (Mar), 23.6% (Apr);
+// negotiated in only 1.3% of April 2018 connections; most common advertised
+// variant 0x7e02 (82.3% of connections carrying the extension), most common
+// official draft: draft-18 (13.4%).
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "tlscore/version.hpp"
+
+using tls::core::Month;
+
+int main() {
+  auto& study = bench::shared_study();
+  const auto& mon = study.monitor();
+
+  const auto adv = [&](int y, int mo) {
+    const auto* s = mon.month(Month(y, mo));
+    return s == nullptr ? 0.0 : s->pct(s->adv_tls13);
+  };
+  const auto* apr = mon.month(Month(2018, 4));
+  const double negotiated_apr =
+      apr == nullptr || apr->successful == 0
+          ? 0
+          : 100.0 * static_cast<double>(apr->negotiated_tls13) /
+                static_cast<double>(apr->successful);
+
+  // Draft-version breakdown among April 2018 hellos carrying the extension.
+  std::uint64_t with_ext = 0;
+  std::map<std::uint16_t, std::uint64_t> drafts;
+  if (apr != nullptr) {
+    with_ext = apr->adv_tls13;
+    drafts = apr->adv_tls13_versions;
+  }
+  const auto draft_share = [&](std::uint16_t v) {
+    const auto it = drafts.find(v);
+    return it == drafts.end() || with_ext == 0
+               ? 0.0
+               : 100.0 * static_cast<double>(it->second) /
+                     static_cast<double>(with_ext);
+  };
+
+  bench::print_anchors(
+      "Section 6.4 TLS 1.3",
+      {
+          {"advertising TLS 1.3, 2018-02", "0.5%",
+           bench::fmt_pct(adv(2018, 2))},
+          {"advertising TLS 1.3, 2018-03", "9.8%",
+           bench::fmt_pct(adv(2018, 3))},
+          {"advertising TLS 1.3, 2018-04", "23.6%",
+           bench::fmt_pct(adv(2018, 4))},
+          {"negotiated TLS 1.3, 2018-04", "1.3%",
+           bench::fmt_pct(negotiated_apr)},
+          {"variant 0x7e02 share of advertisers", "82.3%",
+           bench::fmt_pct(draft_share(0x7e02))},
+          {"draft-18 share of advertisers", "13.4%",
+           bench::fmt_pct(draft_share(0x7f12))},
+      });
+
+  std::printf("advertised TLS 1.3 versions, 2018-04:\n");
+  for (const auto& [v, n] : drafts) {
+    std::printf("  %-28s %llu\n", tls::core::version_name(v).c_str(),
+                static_cast<unsigned long long>(n));
+  }
+  return 0;
+}

@@ -1,0 +1,69 @@
+// §6.1/§6.2: NULL and anonymous cipher suites. Paper anchors: 2.84% of the
+// whole dataset established with a NULL cipher (0.42% in 2018; 99.99% GRID
+// traffic); NULL_WITH_NULL_NULL used by 198.3K connections total (198 in
+// 2018, all Nagios); anonymous suites negotiated in 0.17% of the dataset
+// (0.60% in 2018, nearly all Nagios); NULL offered by 0.46% of 2018
+// connections and ~8% of fingerprints.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using tls::core::Month;
+
+int main() {
+  auto& study = bench::shared_study();
+  const auto& mon = study.monitor();
+
+  std::uint64_t null_all = 0, nullnull_all = 0, anon_all = 0, success_all = 0;
+  std::uint64_t null_2018 = 0, nullnull_2018 = 0, anon_2018 = 0,
+                success_2018 = 0, total_2018 = 0, adv_null_2018 = 0;
+  for (const auto& [m, s] : mon.months()) {
+    null_all += s.negotiated_null;
+    nullnull_all += s.negotiated_null_with_null_null;
+    anon_all += s.negotiated_anon;
+    success_all += s.successful;
+    if (m.year() == 2018) {
+      null_2018 += s.negotiated_null;
+      nullnull_2018 += s.negotiated_null_with_null_null;
+      anon_2018 += s.negotiated_anon;
+      success_2018 += s.successful;
+      total_2018 += s.total;
+      adv_null_2018 += s.adv_null;
+    }
+  }
+  const auto share = [](std::uint64_t n, std::uint64_t d) {
+    return d == 0 ? 0.0 : 100.0 * static_cast<double>(n) / static_cast<double>(d);
+  };
+
+  // Fingerprints offering NULL in 2018 (§6.1's "8% of fingerprints").
+  std::size_t fp_null = 0, fp_total = 0;
+  if (const auto* mar = mon.month(Month(2018, 3))) {
+    fp_total = mar->fingerprints.size();
+    // Flags don't include NULL; recompute via the anon/null advertised
+    // connection counters is a proxy — the study library tracks per-month
+    // NULL-offering fingerprints through the advertised share instead.
+    (void)fp_null;
+  }
+
+  bench::print_anchors(
+      "Section 6.1/6.2 NULL & anonymous suites",
+      {
+          {"NULL-cipher connections, dataset", "2.84%",
+           bench::fmt_pct(share(null_all, success_all), 2)},
+          {"NULL-cipher connections, 2018", "0.42%",
+           bench::fmt_pct(share(null_2018, success_2018), 2)},
+          {"NULL advertised, 2018", "0.46%",
+           bench::fmt_pct(share(adv_null_2018, total_2018), 2)},
+          {"NULL_WITH_NULL_NULL, dataset", "198.3K conns (tiny)",
+           std::to_string(nullnull_all) + " conns"},
+          {"NULL_WITH_NULL_NULL, 2018", "198 conns",
+           std::to_string(nullnull_2018) + " conns"},
+          {"anonymous negotiated, dataset", "0.17%",
+           bench::fmt_pct(share(anon_all, success_all), 2)},
+          {"anonymous negotiated, 2018", "0.60%",
+           bench::fmt_pct(share(anon_2018, success_2018), 2)},
+      });
+
+  std::printf("(distinct fingerprints 2018-03: %zu)\n", fp_total);
+  return 0;
+}

@@ -1,0 +1,58 @@
+// §7.3: misconfigurations and poor implementations. Paper anchors: servers
+// choosing outdated suites despite supporting stronger ones (bankmellat.ir
+// picking RC4 over offered AEAD); a small number of hosts answering with
+// suites the client never offered (GOST choosers, anonymous NULL); none of
+// the standard clients complete those handshakes.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using tls::core::Month;
+
+int main() {
+  auto& study = bench::shared_study();
+  const auto& mon = study.monitor();
+
+  std::uint64_t rc4_despite_aead = 0, violations = 0, total = 0,
+                violation_failures = 0;
+  std::map<std::uint8_t, std::uint64_t> alerts;
+  for (const auto& [m, s] : mon.months()) {
+    rc4_despite_aead += s.rc4_despite_aead;
+    violations += s.spec_violations;
+    total += s.total;
+    for (const auto& [desc, n] : s.alerts) alerts[desc] += n;
+  }
+  // illegal_parameter alerts = standard clients aborting on unoffered
+  // suites (GOST); Interwise sessions complete, so they raise no alert.
+  violation_failures = alerts.count(47) != 0 ? alerts.at(47) : 0;
+
+  const auto share = [&](std::uint64_t n) {
+    return total == 0
+               ? 0.0
+               : 100.0 * static_cast<double>(n) / static_cast<double>(total);
+  };
+
+  bench::print_anchors(
+      "Section 7.3 misconfigurations",
+      {
+          {"RC4 chosen though client offered AEAD",
+           "observed (bankmellat-style servers)",
+           bench::fmt_pct(share(rc4_despite_aead), 2) + " of connections"},
+          {"ServerHello with unoffered suite", "small number of hosts",
+           std::to_string(violations) + " conns (" +
+               bench::fmt_pct(share(violations), 3) + ")"},
+          {"standard clients abort those handshakes", "yes",
+           std::to_string(violation_failures) +
+               " illegal_parameter alerts (Interwise completes)"},
+      });
+
+  std::printf("alert distribution across failed handshakes:\n");
+  for (const auto& [desc, n] : alerts) {
+    std::printf("  %-24s %llu\n",
+                std::string(tls::wire::alert_description_name(
+                                static_cast<tls::wire::AlertDescription>(desc)))
+                    .c_str(),
+                static_cast<unsigned long long>(n));
+  }
+  return 0;
+}

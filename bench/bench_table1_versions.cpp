@@ -1,0 +1,26 @@
+// Table 1: release dates of all SSL/TLS versions.
+#include <cstdio>
+
+#include "analysis/render.hpp"
+#include "tlscore/version.hpp"
+
+int main() {
+  using namespace tls::core;
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"Version", "Release Date (paper)", "Registry"});
+  const std::pair<ProtocolVersion, const char*> expected[] = {
+      {ProtocolVersion::kSsl2, "Feb. 1995"},
+      {ProtocolVersion::kSsl3, "Nov. 1996"},
+      {ProtocolVersion::kTls10, "Jan. 1999"},
+      {ProtocolVersion::kTls11, "Apr. 2006"},
+      {ProtocolVersion::kTls12, "Aug. 2008"},
+      {ProtocolVersion::kTls13, "Aug. 2018"},
+  };
+  for (const auto& [v, paper] : expected) {
+    rows.push_back({version_name(v), paper,
+                    version_release_date(v)->to_string()});
+  }
+  std::printf("Table 1: SSL/TLS release dates\n%s",
+              tls::analysis::render_table(rows).c_str());
+  return 0;
+}

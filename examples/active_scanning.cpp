@@ -1,0 +1,26 @@
+// Active scanning walkthrough: Censys-style sweeps of the server population
+// with the fixed 2015-Chrome, SSL3-only, and EXPORT-only hellos (§3.2),
+// printed quarterly across the scan window.
+#include <cstdio>
+
+#include "scan/scanner.hpp"
+
+int main() {
+  using namespace tls;
+
+  const auto population = servers::ServerPopulation::standard();
+  const scan::ActiveScanner scanner(population);
+
+  std::printf("%-8s %8s %8s %8s %8s %8s %10s %8s\n", "month", "SSL3", "RC4",
+              "CBC", "AEAD", "3DES", "heartbleed", "TLS1.3");
+  const auto window = core::censys_window();
+  for (core::Month m = window.begin_month; m <= window.end_month; m += 3) {
+    const auto s = scanner.scan(m);
+    std::printf(
+        "%-8s %7.1f%% %7.1f%% %7.1f%% %7.1f%% %7.2f%% %9.2f%% %7.1f%%\n",
+        m.to_string().c_str(), 100 * s.ssl3_support, 100 * s.chooses_rc4,
+        100 * s.chooses_cbc, 100 * s.chooses_aead, 100 * s.chooses_3des,
+        100 * s.heartbleed_vulnerable, 100 * s.tls13_support);
+  }
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Attack-impact report: for each high-profile attack in the study's
+// timeline (§2.2), measure the relevant ecosystem metric shortly before
+// disclosure and one year later — the §5 "did the ecosystem react?"
+// analysis as a single runnable program.
+#include <cstdio>
+
+#include "core/study.hpp"
+#include "scan/scanner.hpp"
+#include "tlscore/timeline.hpp"
+
+namespace {
+
+using tls::core::Month;
+using tls::notary::MonthlyStats;
+
+double metric_rc4(const MonthlyStats& s) {
+  const auto it = s.negotiated_class.find(tls::core::CipherClass::kRc4);
+  return it == s.negotiated_class.end() || s.successful == 0
+             ? 0
+             : 100.0 * static_cast<double>(it->second) /
+                   static_cast<double>(s.successful);
+}
+
+double metric_cbc(const MonthlyStats& s) {
+  const auto it = s.negotiated_class.find(tls::core::CipherClass::kCbc);
+  return it == s.negotiated_class.end() || s.successful == 0
+             ? 0
+             : 100.0 * static_cast<double>(it->second) /
+                   static_cast<double>(s.successful);
+}
+
+double metric_rsa_kex(const MonthlyStats& s) {
+  const auto it = s.negotiated_kex.find(tls::core::KexClass::kRsa);
+  return it == s.negotiated_kex.end() || s.successful == 0
+             ? 0
+             : 100.0 * static_cast<double>(it->second) /
+                   static_cast<double>(s.successful);
+}
+
+double metric_export_adv(const MonthlyStats& s) {
+  return s.pct(s.adv_export);
+}
+
+double metric_3des_adv(const MonthlyStats& s) { return s.pct(s.adv_3des); }
+
+}  // namespace
+
+int main() {
+  tls::study::StudyOptions opts;
+  opts.connections_per_month = 5000;
+  opts.full_catalog = false;
+  tls::study::LongitudinalStudy study(opts);
+  const auto& mon = study.monitor();
+
+  const auto value_at = [&](Month m, double (*metric)(const MonthlyStats&)) {
+    const auto* s = mon.month(m);
+    return s == nullptr ? 0.0 : metric(*s);
+  };
+
+  struct Row {
+    const char* event;
+    const char* metric_name;
+    double (*metric)(const MonthlyStats&);
+  };
+  const Row rows[] = {
+      {"lucky13", "CBC negotiated %", metric_cbc},
+      {"rc4", "RC4 negotiated %", metric_rc4},
+      {"rc4_nomore", "RC4 negotiated %", metric_rc4},
+      {"snowden", "RSA key-transport %", metric_rsa_kex},
+      {"freak", "export advertised %", metric_export_adv},
+      {"sweet32", "3DES advertised %", metric_3des_adv},
+  };
+
+  std::printf("%-14s %-22s %-12s %9s %9s %8s\n", "attack", "metric",
+              "disclosed", "before", "+12mo", "delta");
+  for (const auto& row : rows) {
+    const auto* ev = tls::core::find_event(row.event);
+    if (ev == nullptr) continue;
+    const Month when(ev->date);
+    const double before = value_at(when + -1, row.metric);
+    const double after = value_at(when + 12, row.metric);
+    std::printf("%-14s %-22s %-12s %8.1f%% %8.1f%% %+7.1fpp\n", ev->label.data(),
+                row.metric_name, ev->date.to_string().c_str(), before, after,
+                after - before);
+  }
+
+  // Heartbleed reacts on the server side — show the scan view.
+  const tls::scan::ActiveScanner scanner(study.servers());
+  const auto* hb = tls::core::find_event("heartbleed");
+  const Month d(hb->date);
+  std::printf("%-14s %-22s %-12s %8.1f%% %8.1f%% (vulnerable hosts, +3mo)\n",
+              "Heartbleed", "vulnerable hosts %", hb->date.to_string().c_str(),
+              100 * scanner.scan(d + -1).heartbleed_vulnerable,
+              100 * scanner.scan(d + 3).heartbleed_vulnerable);
+
+  std::printf(
+      "\nReading: quick reactions (Heartbleed, Snowden/FS) vs slow ones\n"
+      "(RC4 took until 2015-2016; 3DES advertising barely moved) — §7.4.\n");
+  return 0;
+}

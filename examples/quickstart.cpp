@@ -1,0 +1,54 @@
+// Quickstart: parse a ClientHello off the wire, fingerprint it, identify
+// the client, and negotiate it against a server configuration.
+#include <cstdio>
+
+#include "clients/catalog.hpp"
+#include "core/study.hpp"
+#include "fingerprint/fingerprint.hpp"
+#include "handshake/negotiate.hpp"
+#include "servers/population.hpp"
+#include "tlscore/named_groups.hpp"
+#include "tlscore/version.hpp"
+
+int main() {
+  using namespace tls;
+
+  // 1. Take a real client: Chrome as of March 2016, from the catalog.
+  const auto catalog = clients::Catalog::core_only();
+  const auto* chrome = catalog.find("Chrome");
+  const auto* cfg = chrome->config_at(core::Date(2016, 3, 15));
+  std::printf("Client: %s %s (released %s)\n", chrome->name.c_str(),
+              cfg->version_label.c_str(), cfg->release.to_string().c_str());
+
+  // 2. Emit its ClientHello, serialize to record bytes, re-parse.
+  core::Rng rng(1);
+  const auto hello = clients::make_client_hello(*cfg, rng, "example.org");
+  const auto wire_bytes = hello.serialize_record();
+  std::printf("ClientHello record: %zu bytes, %zu suites, %zu extensions\n",
+              wire_bytes.size(), hello.cipher_suites.size(),
+              hello.extensions.size());
+  const auto parsed = wire::ClientHello::parse_record(wire_bytes);
+
+  // 3. Fingerprint it (§4 methodology) and identify the software.
+  const auto fp = fp::extract_fingerprint(parsed);
+  const auto db = study::LongitudinalStudy::build_database(catalog);
+  std::printf("Fingerprint hash: %s\n", fp.hash().c_str());
+  std::printf("JA3: %s\n", fp::ja3_hash(parsed).c_str());
+  if (const auto* label = db.lookup(fp.hash())) {
+    std::printf("Identified as: %s (versions %s..%s), class %s\n",
+                label->software.c_str(), label->version_min.c_str(),
+                label->version_max.c_str(),
+                std::string(fp::software_class_name(label->cls)).c_str());
+  }
+
+  // 4. Negotiate against a modern ECDHE-preferring server.
+  const auto servers = servers::ServerPopulation::standard();
+  const auto* seg = servers.find("web-modern-ecdhe");
+  const auto result = handshake::negotiate(parsed, seg->config, rng);
+  const auto* suite = core::find_cipher_suite(result.negotiated_cipher);
+  std::printf("Negotiated: %s, %s, group %s\n",
+              core::version_name(result.negotiated_version).c_str(),
+              suite != nullptr ? std::string(suite->name).c_str() : "?",
+              core::named_group_name(result.negotiated_group).c_str());
+  return 0;
+}

@@ -1,0 +1,153 @@
+// Command-line driver for the library — the tool a downstream user runs.
+//
+//   study_cli figure <1..10>          render one paper figure as ASCII
+//   study_cli scan [YYYY-MM]          one Censys-style sweep (default window)
+//   study_cli export <dir>            write all figures + scans as CSV
+//   study_cli fingerprints <file>     dump the labeled fingerprint DB
+//   study_cli identify <hex-record>   fingerprint a raw ClientHello record
+//
+// Environment: TLS_STUDY_CPM / TLS_STUDY_SEED / TLS_STUDY_CORE as in bench/.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "analysis/csv.hpp"
+#include "core/study.hpp"
+#include "fingerprint/fingerprint.hpp"
+#include "fingerprint/io.hpp"
+
+namespace {
+
+tls::study::StudyOptions options_from_env() {
+  tls::study::StudyOptions opts;
+  opts.connections_per_month = 6000;
+  if (const char* cpm = std::getenv("TLS_STUDY_CPM")) {
+    opts.connections_per_month =
+        static_cast<std::size_t>(std::strtoull(cpm, nullptr, 10));
+  }
+  if (const char* seed = std::getenv("TLS_STUDY_SEED")) {
+    opts.seed = std::strtoull(seed, nullptr, 10);
+  }
+  if (const char* core = std::getenv("TLS_STUDY_CORE")) {
+    opts.full_catalog = std::string(core) != "1";
+  }
+  return opts;
+}
+
+int usage() {
+  std::fputs(
+      "usage: study_cli figure <1..10> | scan [YYYY-MM] | export <dir> |\n"
+      "       fingerprints <file> | identify <hex-client-hello-record>\n",
+      stderr);
+  return 2;
+}
+
+int cmd_figure(int n) {
+  tls::study::LongitudinalStudy study(options_from_env());
+  tls::analysis::MonthlyChart chart;
+  switch (n) {
+    case 1: chart = study.figure1_versions(); break;
+    case 2: chart = study.figure2_negotiated_classes(); break;
+    case 3: chart = study.figure3_advertised_classes(); break;
+    case 4: chart = study.figure4_fingerprint_support(); break;
+    case 5: chart = study.figure5_relative_positions(); break;
+    case 6: chart = study.figure6_rc4_advertised(); break;
+    case 7: chart = study.figure7_weak_advertised(); break;
+    case 8: chart = study.figure8_key_exchange(); break;
+    case 9: chart = study.figure9_aead_negotiated(); break;
+    case 10: chart = study.figure10_aead_advertised(); break;
+    default: return usage();
+  }
+  std::fputs(tls::analysis::render_chart(chart).c_str(), stdout);
+  return 0;
+}
+
+int cmd_scan(const char* month_arg) {
+  const auto pop = tls::servers::ServerPopulation::standard();
+  const tls::scan::ActiveScanner scanner(pop);
+  const auto m = month_arg != nullptr
+                     ? tls::core::Month::parse(month_arg)
+                     : tls::core::censys_window().end_month;
+  const auto s = scanner.scan(m);
+  std::printf("scan %s (IPv4 host-weighted)\n", m.to_string().c_str());
+  std::printf("  SSL3 support        %6.2f%%\n", 100 * s.ssl3_support);
+  std::printf("  export support      %6.2f%%\n", 100 * s.export_support);
+  std::printf("  chooses RC4         %6.2f%%\n", 100 * s.chooses_rc4);
+  std::printf("  chooses CBC         %6.2f%%\n", 100 * s.chooses_cbc);
+  std::printf("  chooses AEAD        %6.2f%%\n", 100 * s.chooses_aead);
+  std::printf("  chooses 3DES        %6.2f%%\n", 100 * s.chooses_3des);
+  std::printf("  heartbeat support   %6.2f%%\n", 100 * s.heartbeat_support);
+  std::printf("  heartbleed vuln.    %6.2f%%\n",
+              100 * s.heartbleed_vulnerable);
+  std::printf("  TLS 1.3 support     %6.2f%%\n", 100 * s.tls13_support);
+  return 0;
+}
+
+int cmd_export(const char* dir) {
+  tls::study::LongitudinalStudy study(options_from_env());
+  for (const auto& path : study.export_figures(dir)) {
+    std::printf("wrote %s\n", path.c_str());
+  }
+  return 0;
+}
+
+int cmd_fingerprints(const char* path) {
+  const auto db = tls::study::LongitudinalStudy::build_database(
+      tls::clients::standard_catalog());
+  tls::fp::save_database_file(path, db);
+  std::printf("wrote %zu fingerprints to %s\n", db.size(), path);
+  return 0;
+}
+
+int cmd_identify(const char* hex) {
+  std::vector<std::uint8_t> bytes;
+  const std::size_t len = std::strlen(hex);
+  if (len % 2 != 0) {
+    std::fputs("identify: odd-length hex string\n", stderr);
+    return 2;
+  }
+  for (std::size_t i = 0; i < len; i += 2) {
+    char buf[3] = {hex[i], hex[i + 1], 0};
+    char* end = nullptr;
+    const auto v = std::strtoul(buf, &end, 16);
+    if (end != buf + 2) {
+      std::fputs("identify: invalid hex\n", stderr);
+      return 2;
+    }
+    bytes.push_back(static_cast<std::uint8_t>(v));
+  }
+  try {
+    const auto hello = tls::wire::ClientHello::parse_record(bytes);
+    const auto fp = tls::fp::extract_fingerprint(hello);
+    std::printf("fingerprint: %s\n", fp.hash().c_str());
+    std::printf("canonical:   %s\n", fp.canonical().c_str());
+    std::printf("ja3:         %s\n", tls::fp::ja3_hash(hello).c_str());
+    const auto db = tls::study::LongitudinalStudy::build_database(
+        tls::clients::standard_catalog());
+    if (const auto* label = db.lookup(fp.hash())) {
+      std::printf("identified:  %s (%s..%s)\n", label->software.c_str(),
+                  label->version_min.c_str(), label->version_max.c_str());
+    } else {
+      std::printf("identified:  (unknown client)\n");
+    }
+  } catch (const tls::wire::ParseError& e) {
+    std::fprintf(stderr, "identify: not a ClientHello record: %s\n",
+                 e.what());
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  if (cmd == "figure" && argc == 3) return cmd_figure(std::atoi(argv[2]));
+  if (cmd == "scan") return cmd_scan(argc >= 3 ? argv[2] : nullptr);
+  if (cmd == "export" && argc == 3) return cmd_export(argv[2]);
+  if (cmd == "fingerprints" && argc == 3) return cmd_fingerprints(argv[2]);
+  if (cmd == "identify" && argc == 3) return cmd_identify(argv[2]);
+  return usage();
+}

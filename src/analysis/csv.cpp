@@ -1,0 +1,42 @@
+#include "analysis/csv.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace tls::analysis {
+
+namespace {
+
+std::ofstream open_or_throw(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("cannot open for writing: " + path);
+  }
+  return out;
+}
+
+}  // namespace
+
+void write_csv_file(const std::string& path, const MonthlyChart& chart) {
+  auto out = open_or_throw(path);
+  out << to_csv(chart);
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+void write_scan_csv_file(const std::string& path,
+                         const std::vector<tls::scan::ScanSnapshot>& snaps) {
+  auto out = open_or_throw(path);
+  out << "month,ssl3_support,export_support,chooses_rc4,chooses_cbc,"
+         "chooses_aead,chooses_3des,rc4_support,rc4_only,heartbeat_support,"
+         "heartbleed_vulnerable,tls13_support\n";
+  for (const auto& s : snaps) {
+    out << s.month.to_string() << ',' << s.ssl3_support << ','
+        << s.export_support << ',' << s.chooses_rc4 << ',' << s.chooses_cbc
+        << ',' << s.chooses_aead << ',' << s.chooses_3des << ','
+        << s.rc4_support << ',' << s.rc4_only << ',' << s.heartbeat_support
+        << ',' << s.heartbleed_vulnerable << ',' << s.tls13_support << '\n';
+  }
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+}  // namespace tls::analysis

@@ -1,0 +1,21 @@
+// CSV file export for figures and scan series, so results can be plotted
+// with external tooling (gnuplot/matplotlib) instead of the ASCII renderer.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/render.hpp"
+#include "scan/scanner.hpp"
+
+namespace tls::analysis {
+
+/// Writes a figure's monthly series as CSV. Throws std::runtime_error when
+/// the file cannot be opened.
+void write_csv_file(const std::string& path, const MonthlyChart& chart);
+
+/// Writes active-scan snapshots ("month,ssl3,rc4,cbc,aead,...") as CSV.
+void write_scan_csv_file(const std::string& path,
+                         const std::vector<tls::scan::ScanSnapshot>& snaps);
+
+}  // namespace tls::analysis

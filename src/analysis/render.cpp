@@ -1,0 +1,137 @@
+#include "analysis/render.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace tls::analysis {
+
+using tls::core::Month;
+
+std::string pct(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f%%", v);
+  return buf;
+}
+
+std::string render_chart(const MonthlyChart& chart) {
+  const int n_months = chart.range.size();
+  if (n_months <= 0) throw std::invalid_argument("empty chart range");
+  for (const auto& s : chart.series) {
+    if (static_cast<int>(s.values.size()) != n_months) {
+      throw std::invalid_argument("series '" + s.name +
+                                  "' length != month range");
+    }
+  }
+
+  double y_max = chart.y_max;
+  if (y_max <= 0) {
+    y_max = 1;
+    for (const auto& s : chart.series) {
+      for (const auto v : s.values) y_max = std::max(y_max, v);
+    }
+    y_max *= 1.05;
+  }
+
+  const int h = std::max(4, chart.height);
+  std::vector<std::string> grid(
+      static_cast<std::size_t>(h),
+      std::string(static_cast<std::size_t>(n_months), ' '));
+
+  // Markers first so data overwrites them.
+  for (const auto& [m, c] : chart.markers) {
+    if (!chart.range.contains(m)) continue;
+    const int x = m - chart.range.begin_month;
+    for (auto& row : grid) row[static_cast<std::size_t>(x)] = c;
+  }
+
+  for (std::size_t si = 0; si < chart.series.size(); ++si) {
+    const char glyph = static_cast<char>('A' + (si % 26));
+    for (int x = 0; x < n_months; ++x) {
+      const double v = chart.series[si].values[static_cast<std::size_t>(x)];
+      int y = static_cast<int>(std::lround(v / y_max * (h - 1)));
+      y = std::clamp(y, 0, h - 1);
+      grid[static_cast<std::size_t>(h - 1 - y)][static_cast<std::size_t>(x)] =
+          glyph;
+    }
+  }
+
+  std::ostringstream out;
+  out << chart.title << "\n";
+  for (int r = 0; r < h; ++r) {
+    const double level = y_max * (h - 1 - r) / (h - 1);
+    char label[16];
+    std::snprintf(label, sizeof(label), "%5.0f |", level);
+    out << label << grid[static_cast<std::size_t>(r)] << "\n";
+  }
+  out << "      +" << std::string(static_cast<std::size_t>(n_months), '-')
+      << "\n       ";
+  // Year ticks under every January.
+  std::string axis(static_cast<std::size_t>(n_months), ' ');
+  for (int x = 0; x < n_months; ++x) {
+    const Month m = chart.range.begin_month + x;
+    if (m.month() == 1) {
+      const std::string y = std::to_string(m.year());
+      for (std::size_t i = 0; i < y.size() && x + static_cast<int>(i) < n_months; ++i) {
+        axis[static_cast<std::size_t>(x) + i] = y[i];
+      }
+    }
+  }
+  out << axis << "\n";
+  for (std::size_t si = 0; si < chart.series.size(); ++si) {
+    out << "       " << static_cast<char>('A' + (si % 26)) << " = "
+        << chart.series[si].name << "\n";
+  }
+  if (!chart.markers.empty()) {
+    out << "       markers:";
+    for (const auto& [m, c] : chart.markers) {
+      out << " " << c << "=" << m.to_string();
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+std::string render_table(const std::vector<std::vector<std::string>>& rows) {
+  if (rows.empty()) return "";
+  std::vector<std::size_t> widths;
+  for (const auto& row : rows) {
+    if (widths.size() < row.size()) widths.resize(row.size(), 0);
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  std::ostringstream out;
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    for (std::size_t i = 0; i < rows[r].size(); ++i) {
+      out << rows[r][i]
+          << std::string(widths[i] - rows[r][i].size() + 2, ' ');
+    }
+    out << "\n";
+    if (r == 0) {
+      std::size_t total = 0;
+      for (const auto w : widths) total += w + 2;
+      out << std::string(total, '-') << "\n";
+    }
+  }
+  return out.str();
+}
+
+std::string to_csv(const MonthlyChart& chart) {
+  std::ostringstream out;
+  out << "month";
+  for (const auto& s : chart.series) out << "," << s.name;
+  out << "\n";
+  for (int x = 0; x < chart.range.size(); ++x) {
+    out << (chart.range.begin_month + x).to_string();
+    for (const auto& s : chart.series) {
+      out << "," << s.values[static_cast<std::size_t>(x)];
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace tls::analysis

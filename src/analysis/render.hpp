@@ -1,0 +1,44 @@
+// Rendering utilities shared by benches and examples: monthly multi-series
+// ASCII charts (the terminal stand-ins for the paper's figures) and aligned
+// text tables (for its tables).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tlscore/dates.hpp"
+
+namespace tls::analysis {
+
+struct Series {
+  std::string name;
+  std::vector<double> values;  // one per month of the chart's range
+};
+
+struct MonthlyChart {
+  std::string title;
+  tls::core::MonthRange range{tls::core::Month(2012, 1),
+                              tls::core::Month(2018, 4)};
+  std::vector<Series> series;
+  /// Vertical marker positions (e.g. attack dates) with one-char labels.
+  std::vector<std::pair<tls::core::Month, char>> markers;
+  int height = 18;
+  double y_max = 100.0;  // <= 0 -> auto-scale
+};
+
+/// Renders a chart like:
+///   75 |  AA
+///   50 | A  BB..
+/// with one letter per series and a month axis.
+std::string render_chart(const MonthlyChart& chart);
+
+/// Aligned text table; first row is the header.
+std::string render_table(const std::vector<std::vector<std::string>>& rows);
+
+/// Formats a double as a percent with one decimal ("12.3%").
+std::string pct(double value_0_to_100);
+
+/// Writes chart series as CSV ("month,series1,series2,...").
+std::string to_csv(const MonthlyChart& chart);
+
+}  // namespace tls::analysis

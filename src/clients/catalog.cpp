@@ -1,0 +1,216 @@
+// Catalog assembly and the synthetic long-tail expansion.
+//
+// Table 2 of the paper reports fingerprint counts per software class
+// (Libraries 700, Browsers 193, OS tools 13, Mobile apps 489, Dev tools 12,
+// AV 44, Cloud 29, Email 33, Malware & PUP 49; total 1,684). The
+// hand-written profiles cover the software that dominates traffic;
+// synthetic_profiles() deterministically generates configuration variants —
+// the same way real the fingerprint corpus grows from app-specific library
+// configurations — until each class reaches its Table-2 count.
+#include "clients/catalog.hpp"
+
+#include <map>
+#include <unordered_set>
+
+#include "clients/catalog_detail.hpp"
+#include "fingerprint/fingerprint.hpp"
+
+namespace tls::clients {
+
+using namespace detail;
+using tls::core::Date;
+
+namespace {
+
+/// Table 2 fingerprint counts per class.
+const std::map<tls::fp::SoftwareClass, std::size_t>& table2_targets() {
+  using SC = tls::fp::SoftwareClass;
+  static const auto* t = new std::map<SC, std::size_t>{
+      {SC::kLibrary, 700},  {SC::kBrowser, 193},     {SC::kOsTool, 13},
+      {SC::kMobileApp, 489}, {SC::kDevTool, 12},     {SC::kAntivirus, 44},
+      {SC::kCloudStorage, 29}, {SC::kEmail, 33},     {SC::kMalware, 49},
+  };
+  return *t;
+}
+
+std::string fingerprint_of(const ClientConfig& cfg) {
+  tls::core::Rng rng(1);  // GREASE/randomness is stripped; any seed works
+  ClientConfig fixed = cfg;
+  fixed.randomizes_cipher_order = false;
+  return tls::fp::extract_fingerprint(make_client_hello(fixed, rng, "x.test"))
+      .hash();
+}
+
+/// Deterministic variant of an era-appropriate library-style config.
+/// The tweak space mirrors how applications really diverge from library
+/// defaults: trimming the suite list, toggling optional extensions,
+/// narrowing the curve list.
+ClientConfig variant_config(tls::fp::SoftwareClass cls, std::size_t salt) {
+  std::uint64_t s = 0x9042 + salt * 0x9e3779b97f4a7c15ull;
+  const auto pick = [&s](std::uint64_t bound) {
+    return tls::core::splitmix64(s) % bound;
+  };
+
+  ClientConfig c;
+  c.version_label = "v" + std::to_string(salt);
+  // Spread releases over 2012-2017 so variants participate in the long
+  // tail of every study year.
+  const int month_off = static_cast<int>(pick(72));
+  c.release = Date(2012 + month_off / 12, 1 + month_off % 12, 1);
+
+  const bool modern = month_off >= 6 && pick(8) != 0;
+  c.legacy_version = modern ? 0x0303 : 0x0301;
+
+  std::vector<std::uint16_t> suites;
+  if (modern) {
+    const auto aead = aead_pool_no_chacha();
+    // Most modern stacks keep a 3DES suite as a last resort (§5.6: >70% of
+    // 2018 fingerprints still offer 3DES).
+    suites = compose({prefix(aead, 2 + pick(aead.size() - 2)),
+                      prefix(cbc_pool(), 4 + pick(20)),
+                      prefix(tdes_pool(), pick(5) == 0 ? 0 : 1)});
+  } else {
+    suites = compose({prefix(cbc_pool(), 4 + pick(22)),
+                      prefix(rc4_pool(), pick(5)),
+                      prefix(tdes_pool(), pick(4))});
+  }
+  // Class-flavored quirks keep the long tail as messy as the measured one.
+  if (cls == tls::fp::SoftwareClass::kMalware && pick(2) == 0) {
+    const auto exp = export_pool();
+    suites = compose({suites, prefix(exp, 1 + pick(exp.size() - 1))});
+  }
+  if ((cls == tls::fp::SoftwareClass::kMobileApp ||
+       cls == tls::fp::SoftwareClass::kAntivirus) &&
+      pick(5) == 0) {
+    suites = compose({suites, prefix(anon_pool(), 1 + pick(2))});
+  }
+  if (cls == tls::fp::SoftwareClass::kMobileApp && pick(60) == 0) {
+    suites = compose({suites, prefix(null_pool(), 1 + pick(2))});
+  }
+  // Drop a mid-list suite for extra spread.
+  if (suites.size() > 3 && pick(2) == 0) {
+    suites.erase(suites.begin() +
+                 static_cast<std::ptrdiff_t>(1 + pick(suites.size() - 2)));
+  }
+  c.cipher_suites = std::move(suites);
+
+  c.extension_order = {X(ExtensionType::kServerName),
+                       X(ExtensionType::kSupportedGroups),
+                       X(ExtensionType::kEcPointFormats)};
+  if (pick(2) == 0) {
+    c.extension_order.push_back(X(ExtensionType::kSessionTicket));
+  }
+  if (pick(3) == 0) {
+    c.extension_order.insert(c.extension_order.begin() + 1,
+                             X(ExtensionType::kRenegotiationInfo));
+  }
+  if (modern) {
+    c.extension_order.push_back(X(ExtensionType::kSignatureAlgorithms));
+    c.sig_algs = default_sig_algs();
+    if (pick(4) == 0) {
+      c.extension_order.push_back(X(ExtensionType::kHeartbeat));
+      c.heartbeat_mode = 1;
+    }
+  }
+  switch (pick(4)) {
+    case 0: c.groups = {23}; break;
+    case 1: c.groups = {23, 24}; break;
+    case 2: c.groups = classic_groups(); break;
+    default: c.groups = {23, 24, 25, 14}; break;
+  }
+  return c;
+}
+
+std::string_view class_stub(tls::fp::SoftwareClass cls) {
+  using SC = tls::fp::SoftwareClass;
+  switch (cls) {
+    case SC::kLibrary: return "lib";
+    case SC::kBrowser: return "browser";
+    case SC::kOsTool: return "ostool";
+    case SC::kMobileApp: return "app";
+    case SC::kDevTool: return "devtool";
+    case SC::kAntivirus: return "av";
+    case SC::kCloudStorage: return "cloud";
+    case SC::kEmail: return "mail";
+    case SC::kMalware: return "pup";
+  }
+  return "sw";
+}
+
+}  // namespace
+
+std::vector<ClientProfile> synthetic_profiles() {
+  std::vector<ClientProfile> handwritten;
+  for (auto& p : browser_profiles()) handwritten.push_back(std::move(p));
+  for (auto& p : library_profiles()) handwritten.push_back(std::move(p));
+  for (auto& p : app_profiles()) handwritten.push_back(std::move(p));
+
+  // Simulate the database build (same collision rules as §4) so the
+  // expansion hits the Table-2 per-class counts in the *resulting* database
+  // exactly, regardless of cross-class hash collisions.
+  tls::fp::FingerprintDatabase db;
+  for (const auto& p : handwritten) {
+    for (const auto& cfg : p.versions) {
+      if (cfg.randomizes_cipher_order) continue;
+      db.add(fingerprint_of(cfg),
+             tls::fp::SoftwareLabel{p.name, p.cls, cfg.version_label,
+                                    cfg.version_label});
+    }
+  }
+
+  std::vector<ClientProfile> out;
+  for (const auto& [cls, target] : table2_targets()) {
+    std::size_t salt = static_cast<std::size_t>(cls) * 100000;
+    std::size_t have = db.count_by_class()[cls];
+    std::size_t serial = 0;
+    while (have < target) {
+      ClientConfig cfg = variant_config(cls, salt++);
+      const std::string hash = fingerprint_of(cfg);
+      // Skip hashes already claimed by any software: adding them would
+      // trigger collision handling and perturb other classes' counts.
+      if (db.lookup(hash) != nullptr) continue;
+      ClientProfile p;
+      p.name = std::string(class_stub(cls)) + "-" + std::to_string(++serial);
+      p.cls = cls;
+      p.synthetic = true;
+      if (db.add(hash, tls::fp::SoftwareLabel{p.name, cls, cfg.version_label,
+                                              cfg.version_label}) !=
+          tls::fp::FingerprintDatabase::AddOutcome::kAdded) {
+        --serial;
+        continue;
+      }
+      ++have;
+      p.versions.push_back(std::move(cfg));
+      out.push_back(std::move(p));
+    }
+  }
+  return out;
+}
+
+Catalog Catalog::core_only() {
+  Catalog c;
+  for (auto& p : browser_profiles()) c.profiles_.push_back(std::move(p));
+  for (auto& p : library_profiles()) c.profiles_.push_back(std::move(p));
+  for (auto& p : app_profiles()) c.profiles_.push_back(std::move(p));
+  return c;
+}
+
+Catalog Catalog::standard() {
+  Catalog c = core_only();
+  for (auto& p : synthetic_profiles()) c.profiles_.push_back(std::move(p));
+  return c;
+}
+
+const ClientProfile* Catalog::find(std::string_view name) const {
+  for (const auto& p : profiles_) {
+    if (p.name == name) return &p;
+  }
+  return nullptr;
+}
+
+const Catalog& standard_catalog() {
+  static const Catalog* catalog = new Catalog(Catalog::standard());
+  return *catalog;
+}
+
+}  // namespace tls::clients

@@ -1,0 +1,51 @@
+// The client software catalog: the simulator's equivalent of the paper's
+// fingerprint-harvesting effort (BrowserStack sweeps, compiled OpenSSL
+// builds, manual identification). Hand-written profiles model the software
+// that dominates traffic; synthetic_profiles() tops each Table-2 class up
+// to the paper's fingerprint counts with deterministic long-tail variants.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "clients/profile.hpp"
+
+namespace tls::clients {
+
+/// The five major browsers of Tables 3-6.
+std::vector<ClientProfile> browser_profiles();
+
+/// TLS libraries and OS stacks (OpenSSL branches, Android SDK, Apple
+/// SecureTransport, MS CryptoAPI, Java JSSE, NSS).
+std::vector<ClientProfile> library_profiles();
+
+/// Applications, tools and the long-tail oddities of §5/§6: GRID and Nagios
+/// tooling, NULL/anon-offering apps, AV middleboxes, mail clients, cloud
+/// sync, malware, the Interwise client, scanners.
+std::vector<ClientProfile> app_profiles();
+
+/// Deterministic variant profiles that extend the database to the paper's
+/// per-class fingerprint counts (Table 2). Each is a configuration tweak of
+/// an era-appropriate library profile, as real apps do in practice.
+std::vector<ClientProfile> synthetic_profiles();
+
+class Catalog {
+ public:
+  /// Builds the full catalog (hand-written + synthetic).
+  static Catalog standard();
+  /// Builds only the hand-written profiles (fast; used by most tests).
+  static Catalog core_only();
+
+  [[nodiscard]] const std::vector<ClientProfile>& profiles() const {
+    return profiles_;
+  }
+  [[nodiscard]] const ClientProfile* find(std::string_view name) const;
+
+ private:
+  std::vector<ClientProfile> profiles_;
+};
+
+/// Process-wide shared standard catalog (built once).
+const Catalog& standard_catalog();
+
+}  // namespace tls::clients

@@ -1,0 +1,578 @@
+// Application, tool and long-tail profiles — the clients behind the paper's
+// §5/§6 oddities: GRID transfer tooling negotiating NULL ciphers (§6.1),
+// Nagios monitoring using anonymous and NULL_WITH_NULL_NULL suites (§6.2,
+// §5.5), the Interwise voice/video client whose servers select an export
+// RC4 suite that was never offered (§5.5), security apps advertising NULL/
+// anonymous ciphers (Lookout, Kaspersky, Craftar), scanners, mail clients,
+// cloud sync, AV middleboxes, and malware families.
+#include "clients/catalog.hpp"
+
+#include "clients/catalog_detail.hpp"
+
+namespace tls::clients {
+
+using namespace detail;
+using tls::core::Date;
+
+namespace {
+
+ClientConfig openssl_flavored(std::string label, Date release,
+                              std::vector<std::uint16_t> suites,
+                              bool tls12 = true) {
+  ClientConfig c;
+  c.version_label = std::move(label);
+  c.release = release;
+  c.legacy_version = tls12 ? 0x0303 : 0x0301;
+  c.cipher_suites = std::move(suites);
+  c.extension_order = {X(ExtensionType::kServerName),
+                       X(ExtensionType::kRenegotiationInfo),
+                       X(ExtensionType::kSupportedGroups),
+                       X(ExtensionType::kEcPointFormats),
+                       X(ExtensionType::kSessionTicket)};
+  if (tls12) {
+    c.extension_order.push_back(X(ExtensionType::kSignatureAlgorithms));
+    c.sig_algs = default_sig_algs();
+  }
+  c.groups = classic_groups();
+  return c;
+}
+
+ClientProfile grid_ftp() {
+  // GRID data transfers use TLS for mutual authentication only; bulk data
+  // is not confidential, so NULL ciphers are offered first and accepted by
+  // GRID endpoints (§6.1: 99.99% of NULL-cipher connections are GRID).
+  ClientProfile p{"GridFTP", tls::fp::SoftwareClass::kDevTool, {}};
+  auto c = openssl_flavored(
+      "5.2", Date(2012, 1, 1),
+      compose({prefix(null_pool(), 3), prefix(cbc_pool().subspan(8), 6),
+               prefix(tdes_pool(), 1)}),
+      /*tls12=*/false);
+  // GRID stacks prefer the ECDHE-NULL suite over sect571r1 — the source of
+  // the sect571r1 sliver in §6.3.3's curve distribution.
+  c.cipher_suites.insert(c.cipher_suites.begin(), 0xc010);
+  c.groups = {14, 23, 24};
+  p.versions.push_back(c);
+  c = openssl_flavored(
+      "6.0", Date(2014, 6, 1),
+      compose({prefix(null_pool(), 3), aead_pool_no_chacha(),
+               prefix(cbc_pool(), 8)}));
+  c.cipher_suites.insert(c.cipher_suites.begin(), 0xc010);
+  c.groups = {14, 23, 24};
+  c.extension_order.push_back(X(ExtensionType::kHeartbeat));
+  c.heartbeat_mode = 1;
+  p.versions.push_back(c);
+  return p;
+}
+
+ClientProfile nagios() {
+  // Nagios NRPE-style checks: anonymous DH with application-level auth
+  // (§6.2), including the NULL_WITH_NULL_NULL and anonymous export suites
+  // observed at university Nagios ports (§5.5, §6.1).
+  ClientProfile p{"Nagios NRPE", tls::fp::SoftwareClass::kDevTool, {}};
+  ClientConfig c;
+  c.version_label = "2.x";
+  c.release = Date(2012, 1, 1);
+  c.legacy_version = 0x0301;
+  c.cipher_suites = compose({
+      prefix(anon_pool(), 4),
+      prefix(export_pool().subspan(5), 2),  // anon export suites
+  });
+  c.extension_order = {};
+  p.versions.push_back(c);
+  // Newer checks drop the export-anon suites; the frozen half of the
+  // install base keeps offering them (the §5.5 university residue).
+  ClientConfig c2 = c;
+  c2.version_label = "3.x";
+  c2.release = Date(2014, 6, 1);
+  c2.cipher_suites = compose({prefix(anon_pool(), 4)});
+  p.versions.push_back(c2);
+  return p;
+}
+
+ClientProfile nagios_legacy() {
+  // The tiny check population that still negotiates TLS_NULL_WITH_NULL_NULL
+  // (198.3K connections across the dataset, 198 in 2018 — §6.1).
+  ClientProfile p{"Nagios legacy check", tls::fp::SoftwareClass::kOsTool, {}};
+  ClientConfig c;
+  c.version_label = "1.x";
+  c.release = Date(2012, 1, 1);
+  c.legacy_version = 0x0301;
+  c.cipher_suites = {0x0000, 0x0034, 0x0018};
+  c.extension_order = {};
+  p.versions.push_back(c);
+  return p;
+}
+
+ClientProfile interwise() {
+  // Interwise clients offer plain RC4_128_SHA; their servers respond with
+  // EXP_RC4_40_MD5 — a protocol violation the monitor must surface (§5.5).
+  ClientProfile p{"Interwise", tls::fp::SoftwareClass::kOsTool, {}};
+  ClientConfig c;
+  c.version_label = "9";
+  c.release = Date(2012, 1, 1);
+  c.legacy_version = 0x0301;
+  c.cipher_suites = {0x0005, 0x0004, 0x002f, 0x0035, 0x000a};
+  c.extension_order = {X(ExtensionType::kRenegotiationInfo)};
+  p.versions.push_back(c);
+  return p;
+}
+
+ClientProfile shodan_scanner() {
+  // Internet-wide scanner advertising nearly everything, including
+  // anonymous suites (§6.2 identifies Shodan among anon-offering clients).
+  ClientProfile p{"Shodan", tls::fp::SoftwareClass::kDevTool, {}};
+  ClientConfig c;
+  c.version_label = "1";
+  c.release = Date(2013, 1, 1);
+  c.legacy_version = 0x0303;
+  c.cipher_suites = compose({aead_pool_no_chacha(), prefix(cbc_pool(), 29),
+                             rc4_pool(), tdes_pool(), des_pool(),
+                             export_pool(), anon_pool(), null_pool()});
+  c.extension_order = {X(ExtensionType::kServerName),
+                       X(ExtensionType::kSupportedGroups),
+                       X(ExtensionType::kEcPointFormats),
+                       X(ExtensionType::kSignatureAlgorithms),
+                       X(ExtensionType::kHeartbeat)};
+  c.sig_algs = default_sig_algs();
+  c.groups = classic_groups();
+  c.heartbeat_mode = 1;
+  p.versions.push_back(c);
+  return p;
+}
+
+ClientProfile lookout() {
+  // Android identity-theft-protection app advertising NULL and anonymous
+  // ciphers alongside real ones (§6.1, §6.2) — the "probably unwittingly
+  // unsafe" client software the abstract calls out.
+  ClientProfile p{"Lookout Personal", tls::fp::SoftwareClass::kMobileApp, {}};
+  ClientConfig c;
+  c.version_label = "9";
+  c.release = Date(2014, 5, 1);
+  c.legacy_version = 0x0303;
+  c.cipher_suites = compose({
+      aead_pool_no_chacha(),
+      prefix(cbc_pool(), 10),
+      prefix(anon_pool(), 3),
+      prefix(null_pool(), 2),
+  });
+  c.extension_order = {X(ExtensionType::kServerName),
+                       X(ExtensionType::kSupportedGroups),
+                       X(ExtensionType::kEcPointFormats),
+                       X(ExtensionType::kSessionTicket),
+                       X(ExtensionType::kSignatureAlgorithms)};
+  c.sig_algs = default_sig_algs();
+  c.groups = classic_groups();
+  p.versions.push_back(c);
+  return p;
+}
+
+ClientProfile craftar() {
+  ClientProfile p{"Craftar Image Recognition",
+                  tls::fp::SoftwareClass::kMobileApp, {}};
+  ClientConfig c;
+  c.version_label = "2";
+  c.release = Date(2014, 9, 1);
+  c.legacy_version = 0x0301;
+  c.cipher_suites = compose({
+      prefix(null_pool(), 2),
+      prefix(cbc_pool().subspan(12), 4),
+      prefix(rc4_pool().subspan(2), 2),
+  });
+  c.extension_order = {X(ExtensionType::kServerName)};
+  p.versions.push_back(c);
+  return p;
+}
+
+ClientProfile kaspersky() {
+  ClientProfile p{"Kaspersky", tls::fp::SoftwareClass::kAntivirus, {}};
+  auto c = openssl_flavored(
+      "15", Date(2014, 8, 1),
+      compose({aead_pool_no_chacha(), prefix(cbc_pool(), 14),
+               prefix(rc4_pool(), 2), prefix(anon_pool(), 2)}));
+  // OpenSSL-1.0.1-era build: Heartbeat extension advertised (§5.4 tail).
+  c.extension_order.push_back(X(ExtensionType::kHeartbeat));
+  c.heartbeat_mode = 1;
+  p.versions.push_back(c);
+  auto c2 = openssl_flavored(
+      "17", Date(2016, 8, 1),
+      compose({aead_pool(), prefix(cbc_pool(), 12), prefix(anon_pool(), 2)}));
+  p.versions.push_back(c2);
+  return p;
+}
+
+ClientProfile avast() {
+  ClientProfile p{"Avast WebShield", tls::fp::SoftwareClass::kAntivirus, {}};
+  auto c = openssl_flavored(
+      "2014", Date(2013, 10, 1),
+      compose({prefix(cbc_pool(), 18), prefix(rc4_pool(), 4),
+               prefix(tdes_pool(), 2)}),
+      /*tls12=*/false);
+  p.versions.push_back(c);
+  auto c2 = openssl_flavored(
+      "2016", Date(2016, 2, 1),
+      compose({aead_pool_no_chacha(), prefix(cbc_pool(), 14),
+               prefix(tdes_pool(), 1)}));
+  // OpenSSL-1.0.1-era build: Heartbeat extension advertised (§5.4 tail).
+  c2.extension_order.push_back(X(ExtensionType::kHeartbeat));
+  c2.heartbeat_mode = 1;
+  p.versions.push_back(c2);
+  return p;
+}
+
+ClientProfile bluecoat() {
+  ClientProfile p{"Bluecoat Proxy", tls::fp::SoftwareClass::kAntivirus, {}};
+  auto c = openssl_flavored(
+      "6.5", Date(2013, 1, 1),
+      compose({prefix(rc4_pool(), 3), prefix(cbc_pool(), 12),
+               prefix(tdes_pool(), 2)}),
+      /*tls12=*/false);
+  c.extension_order = {X(ExtensionType::kRenegotiationInfo)};
+  p.versions.push_back(c);
+  auto c2 = openssl_flavored(
+      "6.7", Date(2016, 11, 1),
+      compose({aead_pool_no_chacha(), prefix(cbc_pool(), 10)}));
+  p.versions.push_back(c2);
+  return p;
+}
+
+ClientProfile curl_tool() {
+  ClientProfile p{"curl", tls::fp::SoftwareClass::kDevTool, {}};
+  auto c = openssl_flavored(
+      "7.29", Date(2013, 2, 6),
+      compose({aead_pool_no_chacha(), prefix(cbc_pool(), 22),
+               prefix(rc4_pool(), 4), prefix(tdes_pool(), 3)}));
+  // OpenSSL-1.0.1-era build: Heartbeat extension advertised (§5.4 tail).
+  c.extension_order.push_back(X(ExtensionType::kHeartbeat));
+  c.heartbeat_mode = 1;
+  c.alpn = {"http/1.1"};
+  c.extension_order.push_back(X(ExtensionType::kAlpn));
+  p.versions.push_back(c);
+  auto c2 = openssl_flavored(
+      "7.52", Date(2016, 12, 21),
+      compose({aead_pool(), prefix(cbc_pool(), 16)}));
+  c2.alpn = {"h2", "http/1.1"};
+  c2.extension_order.push_back(X(ExtensionType::kAlpn));
+  c2.groups = x25519_groups();
+  p.versions.push_back(c2);
+  return p;
+}
+
+ClientProfile git_tool() {
+  ClientProfile p{"git", tls::fp::SoftwareClass::kDevTool, {}};
+  auto c = openssl_flavored(
+      "1.8", Date(2012, 10, 21),
+      compose({prefix(cbc_pool(), 22), prefix(rc4_pool(), 4),
+               prefix(tdes_pool(), 3)}),
+      /*tls12=*/false);
+  p.versions.push_back(c);
+  auto c2 = openssl_flavored(
+      "2.9", Date(2016, 6, 13),
+      compose({aead_pool(), prefix(cbc_pool(), 16)}));
+  p.versions.push_back(c2);
+  return p;
+}
+
+ClientProfile flux() {
+  ClientProfile p{"Flux", tls::fp::SoftwareClass::kDevTool, {}};
+  auto c = openssl_flavored(
+      "37", Date(2015, 3, 1),
+      compose({aead_pool_no_chacha(), prefix(cbc_pool(), 12)}));
+  // OpenSSL-1.0.1-era build: Heartbeat extension advertised (§5.4 tail).
+  c.extension_order.push_back(X(ExtensionType::kHeartbeat));
+  c.heartbeat_mode = 1;
+  p.versions.push_back(c);
+  return p;
+}
+
+ClientProfile spotlight() {
+  ClientProfile p{"Apple Spotlight", tls::fp::SoftwareClass::kOsTool, {}};
+  ClientConfig c;
+  c.version_label = "10.10";
+  c.release = Date(2014, 10, 16);
+  c.legacy_version = 0x0303;
+  c.cipher_suites = browser_list(4, 12, 0, 2, 0, false);
+  c.extension_order = {X(ExtensionType::kServerName),
+                       X(ExtensionType::kSupportedGroups),
+                       X(ExtensionType::kEcPointFormats),
+                       X(ExtensionType::kSignatureAlgorithms)};
+  c.sig_algs = default_sig_algs();
+  c.groups = classic_groups();
+  p.versions.push_back(c);
+  return p;
+}
+
+ClientProfile windows_update() {
+  ClientProfile p{"Windows Update", tls::fp::SoftwareClass::kOsTool, {}};
+  ClientConfig c;
+  c.version_label = "7";
+  c.release = Date(2012, 1, 1);
+  c.legacy_version = 0x0301;
+  c.cipher_suites = browser_list(0, 8, 2, 2);
+  c.extension_order = {X(ExtensionType::kStatusRequest),
+                       X(ExtensionType::kSupportedGroups),
+                       X(ExtensionType::kEcPointFormats),
+                       X(ExtensionType::kRenegotiationInfo)};
+  c.groups = classic_groups();
+  p.versions.push_back(c);
+  ClientConfig c2 = c;
+  c2.version_label = "10";
+  c2.release = Date(2015, 7, 29);
+  c2.legacy_version = 0x0303;
+  c2.cipher_suites = browser_list(4, 8, 0, 2, 0, false);
+  c2.extension_order.push_back(X(ExtensionType::kSignatureAlgorithms));
+  c2.sig_algs = default_sig_algs();
+  p.versions.push_back(c2);
+  return p;
+}
+
+ClientProfile dropbox() {
+  ClientProfile p{"Dropbox", tls::fp::SoftwareClass::kCloudStorage, {}};
+  auto c = openssl_flavored(
+      "2.10", Date(2014, 1, 1),
+      compose({aead_pool_no_chacha(), prefix(cbc_pool(), 8)}));
+  // OpenSSL-1.0.1-era build: Heartbeat extension advertised (§5.4 tail).
+  c.extension_order.push_back(X(ExtensionType::kHeartbeat));
+  c.heartbeat_mode = 1;
+  p.versions.push_back(c);
+  auto c2 = openssl_flavored(
+      "16", Date(2016, 11, 1), compose({aead_pool(), prefix(cbc_pool(), 6)}));
+  c2.groups = x25519_groups();
+  p.versions.push_back(c2);
+  return p;
+}
+
+ClientProfile onedrive() {
+  ClientProfile p{"OneDrive", tls::fp::SoftwareClass::kCloudStorage, {}};
+  ClientConfig c;
+  c.version_label = "17";
+  c.release = Date(2014, 2, 1);
+  c.legacy_version = 0x0303;
+  c.cipher_suites = browser_list(4, 10, 2, 2, 0, false);
+  c.extension_order = {X(ExtensionType::kServerName),
+                       X(ExtensionType::kStatusRequest),
+                       X(ExtensionType::kSupportedGroups),
+                       X(ExtensionType::kEcPointFormats),
+                       X(ExtensionType::kSignatureAlgorithms),
+                       X(ExtensionType::kRenegotiationInfo)};
+  c.sig_algs = default_sig_algs();
+  c.groups = classic_groups();
+  p.versions.push_back(c);
+  return p;
+}
+
+ClientProfile thunderbird() {
+  ClientProfile p{"Thunderbird", tls::fp::SoftwareClass::kEmail, {}};
+  ClientConfig c;
+  c.version_label = "17";
+  c.release = Date(2012, 11, 20);
+  c.legacy_version = 0x0301;
+  c.cipher_suites = browser_list(0, 20, 6, 4);
+  c.extension_order = {X(ExtensionType::kServerName),
+                       X(ExtensionType::kRenegotiationInfo),
+                       X(ExtensionType::kSupportedGroups),
+                       X(ExtensionType::kEcPointFormats),
+                       X(ExtensionType::kSessionTicket),
+                       X(ExtensionType::kStatusRequest)};
+  c.groups = classic_groups();
+  p.versions.push_back(c);
+  ClientConfig c2 = c;
+  c2.version_label = "38";
+  c2.release = Date(2015, 6, 2);
+  c2.legacy_version = 0x0303;
+  c2.cipher_suites = browser_list(4, 12, 0, 1, 0, false);
+  c2.extension_order.push_back(X(ExtensionType::kSignatureAlgorithms));
+  c2.sig_algs = default_sig_algs();
+  p.versions.push_back(c2);
+  return p;
+}
+
+ClientProfile apple_mail() {
+  ClientProfile p{"Apple Mail", tls::fp::SoftwareClass::kEmail, {}};
+  ClientConfig c;
+  c.version_label = "6";
+  c.release = Date(2012, 7, 25);
+  c.legacy_version = 0x0301;
+  c.cipher_suites = browser_list(0, 20, 6, 4);
+  c.extension_order = {X(ExtensionType::kServerName),
+                       X(ExtensionType::kSupportedGroups),
+                       X(ExtensionType::kEcPointFormats),
+                       X(ExtensionType::kSessionTicket)};
+  c.groups = classic_groups();
+  p.versions.push_back(c);
+  ClientConfig c2 = c;
+  c2.version_label = "9";  // MacOS Mail long-tail fingerprint of §4.1
+  c2.release = Date(2015, 9, 30);
+  c2.legacy_version = 0x0303;
+  c2.cipher_suites = browser_list(4, 15, 0, 3, 0, false);
+  c2.extension_order.push_back(X(ExtensionType::kSignatureAlgorithms));
+  c2.sig_algs = default_sig_algs();
+  p.versions.push_back(c2);
+  return p;
+}
+
+ClientProfile facebook_app() {
+  ClientProfile p{"Facebook", tls::fp::SoftwareClass::kMobileApp, {}};
+  ClientConfig c;
+  c.version_label = "30";
+  c.release = Date(2015, 2, 1);
+  c.legacy_version = 0x0303;
+  // Facebook's mobile stack adopted ChaCha20 unusually early (fizz/proxygen
+  // lineage): AEAD-only list, ChaCha first.
+  c.cipher_suites = [] {
+    const std::uint16_t chacha_first[] = {0xcca8, 0xcca9};
+    return compose({chacha_first, aead_pool()});
+  }();
+  c.extension_order = {X(ExtensionType::kServerName),
+                       X(ExtensionType::kSupportedGroups),
+                       X(ExtensionType::kEcPointFormats),
+                       X(ExtensionType::kSignatureAlgorithms),
+                       X(ExtensionType::kAlpn)};
+  c.alpn = {"h2", "http/1.1"};
+  c.sig_algs = default_sig_algs();
+  c.groups = x25519_groups();
+  p.versions.push_back(c);
+  return p;
+}
+
+ClientProfile hola_vpn() {
+  ClientProfile p{"Hola VPN", tls::fp::SoftwareClass::kMobileApp, {}};
+  auto c = openssl_flavored(
+      "1.8", Date(2014, 6, 1),
+      compose({prefix(cbc_pool(), 10), prefix(rc4_pool(), 4),
+               prefix(anon_pool(), 2)}),
+      /*tls12=*/false);
+  p.versions.push_back(c);
+  return p;
+}
+
+ClientProfile zbot() {
+  // Zeus-family malware uses the platform CryptoAPI of the infected host —
+  // an XP-era fingerprint that never updates.
+  ClientProfile p{"Zbot", tls::fp::SoftwareClass::kMalware, {}};
+  ClientConfig c;
+  c.version_label = "2";
+  c.release = Date(2012, 1, 1);
+  c.legacy_version = 0x0301;
+  c.cipher_suites = compose({
+      prefix(rc4_pool().subspan(2), 2),
+      prefix(cbc_pool().subspan(12), 2),
+      prefix(tdes_pool(), 1),
+      prefix(des_pool(), 1),
+      prefix(export_pool(), 4),
+  });
+  c.extension_order = {};
+  p.versions.push_back(c);
+  return p;
+}
+
+ClientProfile install_money() {
+  ClientProfile p{"InstallMoney", tls::fp::SoftwareClass::kMalware, {}};
+  auto c = openssl_flavored(
+      "1", Date(2014, 3, 1),
+      compose({prefix(cbc_pool(), 16), prefix(rc4_pool(), 4),
+               prefix(tdes_pool(), 3), prefix(export_pool(), 3)}),
+      /*tls12=*/false);
+  p.versions.push_back(c);
+  return p;
+}
+
+ClientProfile tor_client() {
+  ClientProfile p{"Tor", tls::fp::SoftwareClass::kDevTool, {}};
+  auto c = openssl_flavored(
+      "0.2.4", Date(2013, 12, 1),
+      compose({prefix(cbc_pool(), 12), prefix(tdes_pool(), 1)}));
+  // OpenSSL-1.0.1-era build: Heartbeat extension advertised (§5.4 tail).
+  c.extension_order.push_back(X(ExtensionType::kHeartbeat));
+  c.heartbeat_mode = 1;
+  p.versions.push_back(c);
+  auto c2 = openssl_flavored(
+      "0.2.9", Date(2016, 12, 1),
+      compose({aead_pool(), prefix(cbc_pool(), 8)}));
+  p.versions.push_back(c2);
+  return p;
+}
+
+ClientProfile firefox_nightly() {
+  // Nightly/beta Firefox with TLS 1.3 draft-18 enabled well before the
+  // release-channel rollout (§6.4's pre-2018 advertising trickle).
+  ClientProfile p{"Firefox Nightly", tls::fp::SoftwareClass::kBrowser, {}};
+  ClientConfig c;
+  c.version_label = "55-nightly";
+  c.release = Date(2017, 3, 1);
+  c.legacy_version = 0x0303;
+  c.cipher_suites = compose(
+      {tls13_pool(), aead_pool(), prefix(cbc_pool(), 9), prefix(tdes_pool(), 1)});
+  c.supported_versions = {0x7f12, 0x0303, 0x0302, 0x0301};
+  c.extension_order = tls13_browser_exts();
+  c.sig_algs = modern_sig_algs();
+  c.alpn = {"h2", "http/1.1"};
+  c.groups = x25519_groups();
+  c.version_fallback = false;
+  c.min_version = 0x0301;
+  p.versions.push_back(c);
+  return p;
+}
+
+ClientProfile splunk_forwarder() {
+  // Splunk forwarders on port 9997: static ECDH suites preferred — nearly
+  // all of the non-forward-secret ECDH traffic of §6.3.1.
+  ClientProfile p{"Splunk Forwarder", tls::fp::SoftwareClass::kOsTool, {}};
+  auto c = openssl_flavored("6.2", Date(2013, 10, 1), {});
+  c.cipher_suites = {0xc004, 0xc005, 0xc00e, 0xc00f, 0x002f, 0x0035, 0x000a};
+  p.versions.push_back(c);
+  return p;
+}
+
+ClientProfile iot_gateway() {
+  // Embedded/IoT stacks (mbedTLS-style): CCM suites for constrained
+  // hardware — the small AES-CCM advertising share of Fig. 10.
+  ClientProfile p{"IoT Gateway", tls::fp::SoftwareClass::kLibrary, {}};
+  ClientConfig c;
+  c.version_label = "2.1";
+  c.release = Date(2014, 6, 1);
+  c.legacy_version = 0x0303;
+  c.cipher_suites = {0xc0ac, 0xc0ae, 0xc09c, 0xc0a0,
+                     0xc02b, 0xc023, 0x002f, 0x0035};
+  c.extension_order = {X(ExtensionType::kSupportedGroups),
+                       X(ExtensionType::kEcPointFormats),
+                       X(ExtensionType::kSignatureAlgorithms)};
+  c.sig_algs = default_sig_algs();
+  c.groups = {23};
+  p.versions.push_back(c);
+  return p;
+}
+
+ClientProfile cipher_shuffler() {
+  // The hypothesized source of the single-day fingerprint explosion (§4.1):
+  // software that fails to keep its cipher list in a fixed order, emitting
+  // a fresh fingerprint on (nearly) every connection.
+  ClientProfile p{"ShuffleBot", tls::fp::SoftwareClass::kMalware, {}};
+  ClientConfig c;
+  c.version_label = "1";
+  c.release = Date(2014, 10, 1);
+  c.legacy_version = 0x0303;
+  c.cipher_suites = compose({aead_pool_no_chacha(), prefix(cbc_pool(), 12),
+                             prefix(rc4_pool(), 3), prefix(tdes_pool(), 2)});
+  c.extension_order = {X(ExtensionType::kServerName),
+                       X(ExtensionType::kSupportedGroups),
+                       X(ExtensionType::kEcPointFormats)};
+  c.groups = classic_groups();
+  c.randomizes_cipher_order = true;
+  p.versions.push_back(c);
+  return p;
+}
+
+}  // namespace
+
+std::vector<ClientProfile> app_profiles() {
+  return {grid_ftp(),   nagios(),     nagios_legacy(),  interwise(),
+          shodan_scanner(),
+          lookout(),    craftar(),    kaspersky(),      avast(),
+          bluecoat(),   curl_tool(),  git_tool(),       flux(),
+          spotlight(),  windows_update(), dropbox(),    onedrive(),
+          thunderbird(), apple_mail(), facebook_app(),  hola_vpn(),
+          zbot(),       install_money(), tor_client(),  cipher_shuffler(),
+          splunk_forwarder(), iot_gateway(), firefox_nightly()};
+}
+
+}  // namespace tls::clients

@@ -1,0 +1,363 @@
+// Browser profiles encoding the paper's Tables 3 (CBC counts), 4 (RC4
+// support), 5 (3DES counts) and 6 (protocol version support). Each config's
+// release date is the date given in those tables; where the paper's tables
+// disagree on a date (they contain a few transposition typos) we use the
+// more widely corroborated one and note it inline.
+#include "clients/catalog.hpp"
+
+#include "clients/catalog_detail.hpp"
+
+namespace tls::clients {
+
+using namespace detail;
+using tls::core::Date;
+
+namespace {
+
+std::vector<std::uint16_t> with_tls13(std::vector<std::uint16_t> suites) {
+  std::vector<std::uint16_t> out(tls13_pool().begin(), tls13_pool().end());
+  out.insert(out.end(), suites.begin(), suites.end());
+  return out;
+}
+
+ClientProfile chrome() {
+  ClientProfile p{"Chrome", tls::fp::SoftwareClass::kBrowser, {}};
+
+  ClientConfig c;
+  c.version_label = "16";
+  c.release = Date(2012, 1, 5);
+  c.legacy_version = 0x0301;
+  c.cipher_suites = browser_list(0, 29, 6, 8);
+  c.extension_order = legacy_browser_exts();
+  c.groups = classic_groups();
+  p.versions.push_back(c);
+
+  c.version_label = "22";  // TLS 1.1 (Table 6)
+  c.release = Date(2012, 9, 25);
+  c.legacy_version = 0x0302;
+  p.versions.push_back(c);
+
+  c.version_label = "29";  // TLS 1.2 + GCM; CBC 29->16, RC4 6->4, 3DES 8->1
+  c.release = Date(2013, 8, 20);
+  c.legacy_version = 0x0303;
+  c.cipher_suites = browser_list(4, 16, 4, 1, 0, /*chacha=*/false);
+  c.extension_order = tls12_browser_exts(/*alpn=*/false, /*ems=*/false);
+  c.sig_algs = default_sig_algs();
+  p.versions.push_back(c);
+
+  c.version_label = "31";  // CBC -> 10
+  c.release = Date(2013, 11, 12);
+  c.cipher_suites = browser_list(4, 10, 4, 1, 0, false);
+  p.versions.push_back(c);
+
+  c.version_label = "33";  // ChaCha20-Poly1305 shipped
+  c.release = Date(2014, 2, 20);
+  c.cipher_suites = browser_list(6, 10, 4, 1);
+  c.alpn = {"h2", "http/1.1"};
+  c.extension_order = tls12_browser_exts(/*alpn=*/true, /*ems=*/false);
+  p.versions.push_back(c);
+
+  c.version_label = "39";  // SSL3 fallback removed (Table 6)
+  c.release = Date(2014, 11, 18);
+  c.version_fallback = false;
+  c.min_version = 0x0301;
+  p.versions.push_back(c);
+
+  c.version_label = "41";  // CBC -> 9
+  c.release = Date(2015, 3, 3);
+  c.cipher_suites = browser_list(6, 9, 4, 1);
+  c.extension_order = tls12_browser_exts(true, /*ems=*/true, /*sct=*/true);
+  p.versions.push_back(c);
+
+  c.version_label = "43";  // RC4 removed completely (Table 4)
+  c.release = Date(2015, 5, 19);
+  c.cipher_suites = browser_list(6, 9, 0, 1);
+  p.versions.push_back(c);
+
+  c.version_label = "49";  // CBC -> 7
+  c.release = Date(2016, 3, 2);
+  c.cipher_suites = browser_list(6, 7, 0, 1);
+  p.versions.push_back(c);
+
+  c.version_label = "50";  // x25519 becomes the preferred group
+  c.release = Date(2016, 4, 13);
+  c.groups = x25519_groups();
+  p.versions.push_back(c);
+
+  c.version_label = "55";  // GREASE rollout
+  c.release = Date(2016, 12, 1);
+  c.grease = true;
+  p.versions.push_back(c);
+
+  c.version_label = "56";  // CBC -> 5 (Table 3)
+  c.release = Date(2017, 1, 25);
+  c.cipher_suites = browser_list(6, 5, 0, 1);
+  p.versions.push_back(c);
+
+  c.version_label = "65";  // TLS 1.3 Google experimental variant on
+  c.release = Date(2018, 3, 6);
+  c.cipher_suites = with_tls13(browser_list(6, 5, 0, 1));
+  c.supported_versions = {0x7e02, 0x0303, 0x0302, 0x0301};
+  c.extension_order = tls13_browser_exts();
+  // Chrome-only extensions keep its fingerprint distinct from other
+  // BoringSSL/NSS TLS 1.3 stacks.
+  c.extension_order.push_back(X(ExtensionType::kChannelId));
+  c.sig_algs = modern_sig_algs();
+  p.versions.push_back(c);
+
+  return p;
+}
+
+ClientProfile firefox() {
+  ClientProfile p{"Firefox", tls::fp::SoftwareClass::kBrowser, {}};
+
+  ClientConfig c;
+  c.version_label = "10";
+  c.release = Date(2012, 1, 31);
+  c.legacy_version = 0x0301;
+  c.cipher_suites = browser_list(0, 29, 6, 8);
+  c.extension_order = legacy_browser_exts();
+  c.groups = classic_groups();
+  p.versions.push_back(c);
+
+  // Table 6: TLS 1.1/1.2 in Firefox 27; Table 3: CBC 29 -> 17; Table 4:
+  // RC4 6 -> 4 (the table prints 04/12/2014, corroborated date is the
+  // Firefox 27 release on 2014-02-04); Table 5: 3DES 8 -> 3.
+  c.version_label = "27";
+  c.release = Date(2014, 2, 4);
+  c.legacy_version = 0x0303;
+  c.cipher_suites = browser_list(4, 17, 4, 3, 0, /*chacha=*/false);
+  c.extension_order = tls12_browser_exts(/*alpn=*/true, /*ems=*/false);
+  c.sig_algs = default_sig_algs();
+  c.alpn = {"h2", "http/1.1"};
+  p.versions.push_back(c);
+
+  c.version_label = "33";  // CBC -> 10, 3DES -> 1
+  c.release = Date(2014, 10, 14);
+  c.cipher_suites = browser_list(4, 10, 4, 1, 0, false);
+  p.versions.push_back(c);
+
+  c.version_label = "37";  // CBC -> 9; SSL3 fallback removed
+  c.release = Date(2015, 3, 31);
+  c.cipher_suites = browser_list(4, 9, 4, 1, 0, false);
+  c.version_fallback = false;
+  c.min_version = 0x0301;
+  c.extension_order = tls12_browser_exts(true, /*ems=*/true);
+  p.versions.push_back(c);
+
+  // Firefox 36-43 kept RC4 for fallback/whitelist only; the advertised
+  // default list is RC4-free from 44 (Table 4).
+  c.version_label = "44";
+  c.release = Date(2016, 1, 26);
+  c.cipher_suites = browser_list(4, 9, 0, 1, 0, false);
+  p.versions.push_back(c);
+
+  c.version_label = "47";  // ChaCha20-Poly1305 (NSS 3.23)
+  c.release = Date(2016, 6, 7);
+  c.cipher_suites = browser_list(6, 9, 0, 1);
+  p.versions.push_back(c);
+
+  c.version_label = "49";  // x25519
+  c.release = Date(2016, 9, 20);
+  c.groups = x25519_groups();
+  p.versions.push_back(c);
+
+  c.version_label = "59";  // TLS 1.3 draft-18 rollout to release users
+  c.release = Date(2018, 3, 13);
+  c.cipher_suites = with_tls13(browser_list(6, 9, 0, 1));
+  c.supported_versions = {0x7f12, 0x0303, 0x0302, 0x0301};
+  c.extension_order = tls13_browser_exts();
+  c.sig_algs = modern_sig_algs();
+  p.versions.push_back(c);
+
+  c.version_label = "60";  // TLS 1.3 by default; CBC -> 5 (60 beta)
+  c.release = Date(2018, 5, 16);
+  c.cipher_suites = with_tls13(browser_list(6, 5, 0, 1));
+  c.supported_versions = {0x7f1c, 0x0303, 0x0302, 0x0301};
+  p.versions.push_back(c);
+
+  return p;
+}
+
+ClientProfile opera() {
+  ClientProfile p{"Opera", tls::fp::SoftwareClass::kBrowser, {}};
+
+  ClientConfig c;
+  c.version_label = "12";  // Presto engine
+  c.release = Date(2012, 6, 14);
+  c.legacy_version = 0x0301;
+  c.cipher_suites = browser_list(0, 25, 2, 8);
+  c.extension_order = {X(ExtensionType::kServerName),
+                       X(ExtensionType::kRenegotiationInfo),
+                       X(ExtensionType::kSupportedGroups),
+                       X(ExtensionType::kEcPointFormats)};
+  c.groups = classic_groups();
+  p.versions.push_back(c);
+
+  c.version_label = "15";  // Chromium base; CBC 25 -> 29, RC4 2 -> 6
+  c.release = Date(2013, 7, 2);
+  c.cipher_suites = browser_list(0, 29, 6, 8);
+  c.extension_order = legacy_browser_exts();
+  p.versions.push_back(c);
+
+  c.version_label = "16";  // TLS 1.1; CBC -> 16, RC4 -> 4, 3DES -> 1
+  c.release = Date(2013, 8, 27);
+  c.legacy_version = 0x0302;
+  c.cipher_suites = browser_list(0, 16, 4, 1);
+  p.versions.push_back(c);
+
+  c.version_label = "18";  // TLS 1.2 + GCM; CBC -> 10
+  c.release = Date(2013, 11, 19);
+  c.legacy_version = 0x0303;
+  c.cipher_suites = browser_list(4, 10, 4, 1, 0, false);
+  c.extension_order = tls12_browser_exts(/*alpn=*/false, /*ems=*/false);
+  c.sig_algs = default_sig_algs();
+  p.versions.push_back(c);
+
+  c.version_label = "27";  // SSL3 fallback removed
+  c.release = Date(2015, 1, 22);
+  c.version_fallback = false;
+  c.min_version = 0x0301;
+  p.versions.push_back(c);
+
+  c.version_label = "28";  // CBC -> 9
+  c.release = Date(2015, 3, 10);
+  c.cipher_suites = browser_list(4, 9, 4, 1, 0, false);
+  p.versions.push_back(c);
+
+  c.version_label = "30";  // CBC -> 7; RC4 removed; ChaCha (Chromium 43)
+  c.release = Date(2015, 6, 9);
+  c.cipher_suites = browser_list(6, 7, 0, 1);
+  c.alpn = {"h2", "http/1.1"};
+  c.extension_order = tls12_browser_exts(true, true);
+  p.versions.push_back(c);
+
+  c.version_label = "37";  // x25519 (Chromium 50)
+  c.release = Date(2016, 5, 4);
+  c.groups = x25519_groups();
+  p.versions.push_back(c);
+
+  c.version_label = "43";  // CBC -> 5; GREASE (Chromium 56)
+  c.release = Date(2017, 2, 7);
+  c.cipher_suites = browser_list(6, 5, 0, 1);
+  c.grease = true;
+  p.versions.push_back(c);
+
+  return p;
+}
+
+ClientProfile safari() {
+  ClientProfile p{"Safari", tls::fp::SoftwareClass::kBrowser, {}};
+
+  ClientConfig c;
+  c.version_label = "5.1";
+  c.release = Date(2012, 1, 1);
+  c.legacy_version = 0x0301;
+  c.cipher_suites = browser_list(0, 28, 7, 7);
+  c.extension_order = {X(ExtensionType::kServerName),
+                       X(ExtensionType::kRenegotiationInfo),
+                       X(ExtensionType::kSupportedGroups),
+                       X(ExtensionType::kEcPointFormats)};
+  c.groups = classic_groups();
+  p.versions.push_back(c);
+
+  c.version_label = "6";  // RC4 7 -> 6 (Table 4)
+  c.release = Date(2012, 2, 25);
+  c.cipher_suites = browser_list(0, 28, 6, 7);
+  p.versions.push_back(c);
+
+  c.version_label = "7";  // TLS 1.1/1.2 (Table 6)
+  c.release = Date(2013, 10, 22);
+  c.legacy_version = 0x0303;
+  c.cipher_suites = browser_list(0, 28, 6, 7);
+  c.extension_order = tls12_browser_exts(/*alpn=*/false, /*ems=*/false);
+  c.sig_algs = default_sig_algs();
+  p.versions.push_back(c);
+
+  c.version_label = "7.1";  // CBC 28 -> 30 (Table 3); 3DES 7 -> 6 (Table 5)
+  c.release = Date(2014, 9, 18);
+  // The pool holds 29 CBC suites; Safari's 30th was a duplicate-keyed ECDHE
+  // variant — we saturate at the pool size, preserving "increased" order.
+  c.cipher_suites = browser_list(0, 29, 6, 6);
+  p.versions.push_back(c);
+
+  // Safari 9 (2015-09-30 per Tables 4/5/6): CBC -> 15, RC4 -> 4, 3DES -> 3,
+  // SSL3 support removed, GCM shipped.
+  c.version_label = "9";
+  c.release = Date(2015, 9, 30);
+  c.cipher_suites = browser_list(4, 15, 4, 3, 0, false);
+  c.version_fallback = false;
+  c.min_version = 0x0301;
+  p.versions.push_back(c);
+
+  c.version_label = "10";  // RC4 removed (Table 4, 2016-09-20)
+  c.release = Date(2016, 9, 20);
+  c.cipher_suites = browser_list(4, 15, 0, 3, 0, false);
+  c.alpn = {"h2", "http/1.1"};
+  c.extension_order = tls12_browser_exts(true, true, true);
+  p.versions.push_back(c);
+
+  c.version_label = "10.1";  // CBC -> 12 (Table 3)
+  c.release = Date(2017, 7, 19);
+  c.cipher_suites = browser_list(4, 12, 0, 3, 0, false);
+  c.groups = x25519_groups();
+  p.versions.push_back(c);
+
+  return p;
+}
+
+ClientProfile ie_edge() {
+  ClientProfile p{"IE/Edge", tls::fp::SoftwareClass::kBrowser, {}};
+
+  ClientConfig c;
+  c.version_label = "9";  // Win7 SChannel
+  c.release = Date(2012, 1, 1);
+  c.legacy_version = 0x0301;
+  c.cipher_suites = browser_list(0, 10, 2, 2, 1);
+  c.extension_order = {X(ExtensionType::kServerName),
+                       X(ExtensionType::kStatusRequest),
+                       X(ExtensionType::kSupportedGroups),
+                       X(ExtensionType::kEcPointFormats),
+                       X(ExtensionType::kRenegotiationInfo)};
+  c.groups = classic_groups();
+  p.versions.push_back(c);
+
+  c.version_label = "11";  // TLS 1.1/1.2 (Table 6)
+  c.release = Date(2013, 11, 1);
+  c.legacy_version = 0x0303;
+  c.cipher_suites = browser_list(4, 10, 2, 2, 0, false);
+  c.extension_order = {X(ExtensionType::kServerName),
+                       X(ExtensionType::kStatusRequest),
+                       X(ExtensionType::kSupportedGroups),
+                       X(ExtensionType::kEcPointFormats),
+                       X(ExtensionType::kSignatureAlgorithms),
+                       X(ExtensionType::kSessionTicket),
+                       X(ExtensionType::kRenegotiationInfo)};
+  c.sig_algs = default_sig_algs();
+  p.versions.push_back(c);
+
+  c.version_label = "13";  // all RC4 suites removed (Table 4)
+  c.release = Date(2015, 5, 20);
+  c.cipher_suites = browser_list(4, 10, 0, 2, 0, false);
+  c.version_fallback = false;
+  c.min_version = 0x0301;
+  c.alpn = {"h2", "http/1.1"};
+  c.extension_order.push_back(X(ExtensionType::kAlpn));
+  c.extension_order.push_back(X(ExtensionType::kExtendedMasterSecret));
+  p.versions.push_back(c);
+
+  c.version_label = "14";  // Edge: x25519
+  c.release = Date(2016, 8, 2);
+  c.groups = x25519_groups();
+  p.versions.push_back(c);
+
+  return p;
+}
+
+}  // namespace
+
+std::vector<ClientProfile> browser_profiles() {
+  return {chrome(), firefox(), opera(), safari(), ie_edge()};
+}
+
+}  // namespace tls::clients

@@ -1,0 +1,20 @@
+#include "clients/catalog_detail.hpp"
+
+namespace tls::clients::detail {
+
+std::vector<std::uint16_t> browser_list(std::size_t n_aead, std::size_t n_cbc,
+                                        std::size_t n_rc4, std::size_t n_3des,
+                                        std::size_t n_des, bool chacha) {
+  const auto aead = chacha ? aead_pool() : aead_pool_no_chacha();
+  const std::size_t cbc_head = n_cbc - n_cbc / 3;  // RC4 after ~2/3 of CBC
+  return compose({
+      prefix(aead, n_aead),
+      prefix(cbc_pool(), cbc_head),
+      prefix(rc4_pool(), n_rc4),
+      prefix(cbc_pool(), n_cbc),  // compose() dedups the head
+      prefix(tdes_pool(), n_3des),
+      prefix(des_pool(), n_des),
+  });
+}
+
+}  // namespace tls::clients::detail

@@ -1,0 +1,86 @@
+// Internal helpers shared by the catalog translation units.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "clients/profile.hpp"
+#include "clients/suite_pools.hpp"
+#include "tlscore/extensions.hpp"
+
+namespace tls::clients::detail {
+
+using tls::core::ExtensionType;
+
+inline std::uint16_t X(ExtensionType t) { return tls::core::wire_value(t); }
+
+/// Default signature_algorithms list of TLS 1.2-era clients.
+inline std::vector<std::uint16_t> default_sig_algs() {
+  return {0x0403, 0x0503, 0x0603, 0x0401, 0x0501, 0x0601, 0x0201, 0x0203};
+}
+
+/// TLS 1.3-era list (adds RSA-PSS).
+inline std::vector<std::uint16_t> modern_sig_algs() {
+  return {0x0403, 0x0804, 0x0401, 0x0503, 0x0805, 0x0501,
+          0x0806, 0x0601, 0x0201};
+}
+
+inline std::vector<std::uint16_t> classic_groups() {
+  return {23, 24, 25};  // secp256r1, secp384r1, secp521r1
+}
+
+inline std::vector<std::uint16_t> x25519_groups() {
+  return {29, 23, 24};  // x25519 preferred
+}
+
+/// Pre-TLS1.2 browser extension order (2012 era).
+inline std::vector<std::uint16_t> legacy_browser_exts() {
+  return {X(ExtensionType::kServerName),
+          X(ExtensionType::kRenegotiationInfo),
+          X(ExtensionType::kSupportedGroups),
+          X(ExtensionType::kEcPointFormats),
+          X(ExtensionType::kSessionTicket),
+          X(ExtensionType::kNextProtocolNegotiation),
+          X(ExtensionType::kStatusRequest)};
+}
+
+/// TLS 1.2-era browser extension order.
+inline std::vector<std::uint16_t> tls12_browser_exts(bool alpn, bool ems,
+                                                     bool sct = false) {
+  std::vector<std::uint16_t> v = {
+      X(ExtensionType::kServerName),    X(ExtensionType::kRenegotiationInfo),
+      X(ExtensionType::kSupportedGroups), X(ExtensionType::kEcPointFormats),
+      X(ExtensionType::kSessionTicket), X(ExtensionType::kSignatureAlgorithms),
+      X(ExtensionType::kStatusRequest)};
+  if (alpn) v.push_back(X(ExtensionType::kAlpn));
+  if (sct) v.push_back(X(ExtensionType::kSignedCertificateTimestamp));
+  if (ems) v.push_back(X(ExtensionType::kExtendedMasterSecret));
+  return v;
+}
+
+/// TLS 1.3-capable browser extension order.
+inline std::vector<std::uint16_t> tls13_browser_exts() {
+  return {X(ExtensionType::kServerName),
+          X(ExtensionType::kExtendedMasterSecret),
+          X(ExtensionType::kRenegotiationInfo),
+          X(ExtensionType::kSupportedGroups),
+          X(ExtensionType::kEcPointFormats),
+          X(ExtensionType::kSessionTicket),
+          X(ExtensionType::kAlpn),
+          X(ExtensionType::kStatusRequest),
+          X(ExtensionType::kSignatureAlgorithms),
+          X(ExtensionType::kSignedCertificateTimestamp),
+          X(ExtensionType::kKeyShare),
+          X(ExtensionType::kPskKeyExchangeModes),
+          X(ExtensionType::kSupportedVersions)};
+}
+
+/// Composes a browser cipher list. AEAD first; RC4 sits after the first
+/// ~60% of the CBC block (matching the mid-list relative positions of
+/// Fig. 5); 3DES and DES at the bottom as ciphers of last resort.
+std::vector<std::uint16_t> browser_list(std::size_t n_aead, std::size_t n_cbc,
+                                        std::size_t n_rc4, std::size_t n_3des,
+                                        std::size_t n_des = 0,
+                                        bool chacha = true);
+
+}  // namespace tls::clients::detail

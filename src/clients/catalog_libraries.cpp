@@ -1,0 +1,417 @@
+// TLS library / OS stack profiles. These dominate non-browser traffic
+// ("Libraries" is the largest class in Table 2 at 46.49% coverage) and
+// carry the long-tail behaviours the paper highlights: OpenSSL 1.0.1/1.0.2
+// advertising the Heartbeat extension for years after Heartbleed (§5.4),
+// Android 2.3 pinned to TLS 1.0 without ECDHE/AEAD (§7.2), export suites in
+// 0.9.8-era defaults (§5.5).
+#include "clients/catalog.hpp"
+
+#include "clients/catalog_detail.hpp"
+
+namespace tls::clients {
+
+using namespace detail;
+using tls::core::Date;
+
+namespace {
+
+// Pre-1.0.1 branch modeled as its own lineage: a large 2012 installed base
+// that decays but never fully updates. Many of these builds were linked
+// with permissive "ALL"-style cipher strings, so anonymous and NULL suites
+// ride along (a chunk of the §6.1/§6.2 advertising baseline).
+ClientProfile openssl_09x() {
+  ClientProfile p{"OpenSSL 0.9.x", tls::fp::SoftwareClass::kLibrary, {}};
+
+  ClientConfig c;
+  c.version_label = "0.9.8";
+  c.release = Date(2012, 1, 1);  // installed base at study start
+  c.legacy_version = 0x0301;
+  // 0.9.8 defaults: no ECC, export + DES still enabled, no extensions.
+  c.cipher_suites = compose({
+      prefix(cbc_pool().subspan(8), 8),  // DHE/RSA CBC block
+      prefix(rc4_pool().subspan(2), 2),  // RSA RC4 SHA/MD5
+      prefix(tdes_pool(), 3),
+      des_pool(),
+      export_pool(),
+      prefix(anon_pool(), 3),
+  });
+  c.extension_order = {};
+  c.groups = {};
+  p.versions.push_back(c);
+
+  c = ClientConfig{};
+  c.version_label = "1.0.0";
+  c.release = Date(2012, 2, 1);
+  c.legacy_version = 0x0301;
+  c.cipher_suites = compose({
+      prefix(cbc_pool(), 22),
+      prefix(rc4_pool(), 4),
+      prefix(tdes_pool(), 3),
+      prefix(des_pool(), 2),
+      prefix(anon_pool(), 3),
+  });
+  c.extension_order = {X(ExtensionType::kServerName),
+                       X(ExtensionType::kRenegotiationInfo),
+                       X(ExtensionType::kSupportedGroups),
+                       X(ExtensionType::kEcPointFormats),
+                       X(ExtensionType::kSessionTicket)};
+  c.groups = {23, 24, 25, 14};  // includes sect571r1 (§6.3.3 tail)
+  p.versions.push_back(c);
+  return p;
+}
+
+ClientProfile openssl() {
+  ClientProfile p{"OpenSSL", tls::fp::SoftwareClass::kLibrary, {}};
+
+  // 1.0.1: TLS 1.2, GCM — and the Heartbeat extension, on by default.
+  ClientConfig c;
+  c.version_label = "1.0.1";
+  c.release = Date(2012, 3, 14);
+  c.legacy_version = 0x0303;
+  c.cipher_suites = compose({
+      aead_pool_no_chacha(),
+      prefix(cbc_pool(), 22),
+      prefix(rc4_pool(), 4),
+      prefix(tdes_pool(), 3),
+  });
+  c.extension_order = {X(ExtensionType::kServerName),
+                       X(ExtensionType::kRenegotiationInfo),
+                       X(ExtensionType::kSupportedGroups),
+                       X(ExtensionType::kEcPointFormats),
+                       X(ExtensionType::kSessionTicket),
+                       X(ExtensionType::kSignatureAlgorithms),
+                       X(ExtensionType::kHeartbeat)};
+  c.sig_algs = default_sig_algs();
+  c.groups = {23, 24, 25, 14};
+  c.heartbeat_mode = 1;
+  p.versions.push_back(c);
+
+  // 1.0.1g (Heartbleed fix, 2014-04-07) changed no ClientHello bytes: the
+  // extension stayed. We still model it as a distinct catalog version so
+  // studies can assert the fingerprint is IDENTICAL pre/post patch.
+  ClientConfig patched = c;
+  patched.version_label = "1.0.1g";
+  patched.release = Date(2014, 4, 7);
+  p.versions.push_back(patched);
+
+  c.version_label = "1.0.2";  // + ALPN, EMS; Heartbeat still advertised
+  c.release = Date(2015, 1, 22);
+  c.extension_order.push_back(X(ExtensionType::kAlpn));
+  c.extension_order.push_back(X(ExtensionType::kExtendedMasterSecret));
+  c.alpn = {"http/1.1"};
+  p.versions.push_back(c);
+
+  // 1.1.0: ChaCha + x25519; RC4/3DES/Heartbeat dropped from defaults.
+  c = ClientConfig{};
+  c.version_label = "1.1.0";
+  c.release = Date(2016, 8, 25);
+  c.legacy_version = 0x0303;
+  c.cipher_suites = compose({aead_pool(), prefix(cbc_pool(), 16)});
+  c.extension_order = {X(ExtensionType::kServerName),
+                       X(ExtensionType::kRenegotiationInfo),
+                       X(ExtensionType::kSupportedGroups),
+                       X(ExtensionType::kEcPointFormats),
+                       X(ExtensionType::kSessionTicket),
+                       X(ExtensionType::kSignatureAlgorithms),
+                       X(ExtensionType::kAlpn),
+                       X(ExtensionType::kEncryptThenMac),
+                       X(ExtensionType::kExtendedMasterSecret)};
+  c.sig_algs = modern_sig_algs();
+  c.groups = {29, 23, 24, 25};
+  c.alpn = {"http/1.1"};
+  p.versions.push_back(c);
+
+  // 1.1.1 pre-release: TLS 1.3 draft-23 (the "compiling new versions of
+  // libraries & custom setup" population of §6.4).
+  c.version_label = "1.1.1-pre";
+  c.release = Date(2018, 2, 13);
+  c.cipher_suites = compose({tls13_pool(), aead_pool(), prefix(cbc_pool(), 16)});
+  c.supported_versions = {0x7f17, 0x0303, 0x0302, 0x0301};
+  c.extension_order.push_back(X(ExtensionType::kKeyShare));
+  c.extension_order.push_back(X(ExtensionType::kPskKeyExchangeModes));
+  c.extension_order.push_back(X(ExtensionType::kSupportedVersions));
+  p.versions.push_back(c);
+
+  return p;
+}
+
+ClientProfile android_sdk() {
+  ClientProfile p{"Android SDK", tls::fp::SoftwareClass::kLibrary, {}};
+
+  ClientConfig c;
+  c.version_label = "2.3";  // Gingerbread: TLS 1.0, no ECDHE, no AEAD (§7.2)
+  c.release = Date(2012, 1, 1);
+  c.legacy_version = 0x0301;
+  c.cipher_suites = compose({
+      prefix(rc4_pool().subspan(2), 2),  // RC4 first — Gingerbread order
+      prefix(cbc_pool().subspan(8), 6),  // DHE/RSA AES CBC
+      prefix(tdes_pool(), 2),
+      prefix(des_pool(), 2),
+      prefix(export_pool(), 3),
+  });
+  c.extension_order = {X(ExtensionType::kServerName),
+                       X(ExtensionType::kSessionTicket)};
+  c.groups = {};
+  p.versions.push_back(c);
+
+  c = ClientConfig{};
+  c.version_label = "4.0";  // export/DES dropped
+  c.release = Date(2012, 6, 1);
+  c.legacy_version = 0x0301;
+  c.cipher_suites = compose({
+      prefix(cbc_pool(), 12),
+      prefix(rc4_pool(), 4),
+      prefix(tdes_pool(), 2),
+  });
+  c.extension_order = {X(ExtensionType::kServerName),
+                       X(ExtensionType::kRenegotiationInfo),
+                       X(ExtensionType::kSupportedGroups),
+                       X(ExtensionType::kEcPointFormats),
+                       X(ExtensionType::kSessionTicket),
+                       X(ExtensionType::kHeartbeat)};  // OpenSSL-1.0.1 era
+  c.heartbeat_mode = 1;
+  c.groups = classic_groups();
+  p.versions.push_back(c);
+
+  c.version_label = "5.0";  // TLS 1.2 + GCM by default
+  c.release = Date(2014, 11, 12);
+  c.legacy_version = 0x0303;
+  c.cipher_suites = compose({
+      aead_pool_no_chacha(),
+      prefix(cbc_pool(), 8),
+      prefix(rc4_pool(), 4),
+      prefix(tdes_pool(), 1),
+  });
+  c.extension_order.push_back(X(ExtensionType::kSignatureAlgorithms));
+  c.sig_algs = default_sig_algs();
+  p.versions.push_back(c);
+
+  c.version_label = "6.0";  // RC4 removed; BoringSSL (no Heartbeat)
+  c.release = Date(2015, 10, 5);
+  c.cipher_suites = compose({
+      aead_pool_no_chacha(),
+      prefix(cbc_pool(), 8),
+      prefix(tdes_pool(), 1),
+  });
+  std::erase(c.extension_order, X(ExtensionType::kHeartbeat));
+  c.heartbeat_mode = 0;
+  p.versions.push_back(c);
+
+  c.version_label = "7.0";  // ChaCha + x25519 (BoringSSL)
+  c.release = Date(2016, 8, 22);
+  // Handsets without AES acceleration put ChaCha20 first; servers honoring
+  // client order pick it (§6.3.2's mobile ChaCha traffic).
+  c.cipher_suites = [] {
+    const std::uint16_t chacha_first[] = {0xcca8, 0xcca9};
+    return compose({chacha_first, aead_pool(), prefix(cbc_pool(), 8)});
+  }();
+  c.groups = x25519_groups();
+  c.alpn = {"h2", "http/1.1"};
+  c.extension_order.push_back(X(ExtensionType::kAlpn));
+  p.versions.push_back(c);
+
+  c.version_label = "8.0";  // GREASE via BoringSSL
+  c.release = Date(2017, 8, 21);
+  c.grease = true;
+  p.versions.push_back(c);
+
+  return p;
+}
+
+ClientProfile secure_transport() {
+  ClientProfile p{"Apple SecureTransport", tls::fp::SoftwareClass::kLibrary,
+                  {}};
+
+  ClientConfig c;
+  c.version_label = "iOS5";
+  c.release = Date(2012, 1, 1);
+  c.legacy_version = 0x0301;
+  c.cipher_suites = browser_list(0, 20, 6, 4);
+  c.extension_order = {X(ExtensionType::kServerName),
+                       X(ExtensionType::kSupportedGroups),
+                       X(ExtensionType::kEcPointFormats)};
+  c.groups = classic_groups();
+  p.versions.push_back(c);
+
+  c.version_label = "iOS7";  // TLS 1.2
+  c.release = Date(2013, 9, 18);
+  c.legacy_version = 0x0303;
+  c.cipher_suites = browser_list(0, 20, 6, 4);
+  c.extension_order = {X(ExtensionType::kServerName),
+                       X(ExtensionType::kRenegotiationInfo),
+                       X(ExtensionType::kSupportedGroups),
+                       X(ExtensionType::kEcPointFormats),
+                       X(ExtensionType::kSignatureAlgorithms)};
+  c.sig_algs = default_sig_algs();
+  p.versions.push_back(c);
+
+  c.version_label = "iOS9";  // GCM; RC4 disabled (ATS); 3DES kept
+  c.release = Date(2015, 9, 16);
+  c.cipher_suites = browser_list(4, 15, 0, 3, 0, false);
+  p.versions.push_back(c);
+
+  c.version_label = "iOS10";
+  c.release = Date(2016, 9, 13);
+  c.cipher_suites = browser_list(4, 12, 0, 3, 0, false);
+  c.alpn = {"h2", "http/1.1"};
+  c.extension_order.push_back(X(ExtensionType::kAlpn));
+  p.versions.push_back(c);
+
+  c.version_label = "iOS11";  // ChaCha + x25519
+  c.release = Date(2017, 9, 19);
+  c.cipher_suites = browser_list(6, 12, 0, 3);
+  c.groups = x25519_groups();
+  p.versions.push_back(c);
+
+  return p;
+}
+
+// Windows XP SChannel: its own lineage — the installed base shrinks but
+// the configuration never changes (RC4-first, DES, export, no extensions
+// beyond renegotiation_info). Malware running on XP hosts shares it.
+ClientProfile ms_cryptoapi_xp() {
+  ClientProfile p{"MS CryptoAPI XP", tls::fp::SoftwareClass::kLibrary, {}};
+  ClientConfig c;
+  c.version_label = "WinXP";
+  c.release = Date(2012, 1, 1);
+  c.legacy_version = 0x0301;
+  c.cipher_suites = compose({
+      prefix(rc4_pool().subspan(2), 2),
+      prefix(cbc_pool().subspan(12), 2),  // RSA AES CBC
+      prefix(tdes_pool(), 1),
+      prefix(des_pool(), 1),
+      prefix(export_pool(), 2),
+  });
+  c.extension_order = {X(ExtensionType::kRenegotiationInfo)};
+  c.groups = {};
+  p.versions.push_back(c);
+  return p;
+}
+
+ClientProfile ms_cryptoapi() {
+  ClientProfile p{"MS CryptoAPI", tls::fp::SoftwareClass::kLibrary, {}};
+
+  ClientConfig c;
+  c.version_label = "Win7";
+  c.release = Date(2012, 1, 15);
+  c.legacy_version = 0x0301;
+  c.cipher_suites = browser_list(0, 10, 2, 2);
+  c.extension_order = {X(ExtensionType::kServerName),
+                       X(ExtensionType::kStatusRequest),
+                       X(ExtensionType::kSupportedGroups),
+                       X(ExtensionType::kEcPointFormats),
+                       X(ExtensionType::kRenegotiationInfo)};
+  c.groups = classic_groups();
+  p.versions.push_back(c);
+
+  c.version_label = "Win8.1";  // TLS 1.2 + GCM for system components
+  c.release = Date(2013, 10, 17);
+  c.legacy_version = 0x0303;
+  c.cipher_suites = browser_list(4, 10, 2, 2, 0, false);
+  c.extension_order.push_back(X(ExtensionType::kSignatureAlgorithms));
+  c.sig_algs = default_sig_algs();
+  p.versions.push_back(c);
+
+  c.version_label = "Win10";  // RC4 off by default
+  c.release = Date(2015, 7, 29);
+  c.cipher_suites = browser_list(4, 10, 0, 2, 0, false);
+  c.extension_order.push_back(X(ExtensionType::kExtendedMasterSecret));
+  p.versions.push_back(c);
+
+  c.version_label = "Win10-1607";  // x25519
+  c.release = Date(2016, 8, 2);
+  c.groups = x25519_groups();
+  p.versions.push_back(c);
+
+  return p;
+}
+
+ClientProfile java_jsse() {
+  ClientProfile p{"Java JSSE", tls::fp::SoftwareClass::kLibrary, {}};
+
+  ClientConfig c;
+  c.version_label = "7";
+  c.release = Date(2012, 1, 1);
+  c.legacy_version = 0x0301;  // 1.2 implemented but off by default
+  // JSSE 7 defaults still enabled the SSL_*_EXPORT_* aliases.
+  c.cipher_suites = compose({
+      prefix(cbc_pool(), 14),
+      prefix(rc4_pool(), 4),
+      prefix(tdes_pool(), 3),
+      prefix(des_pool(), 2),
+      prefix(export_pool(), 3),
+  });
+  c.extension_order = {X(ExtensionType::kServerName),
+                       X(ExtensionType::kSupportedGroups),
+                       X(ExtensionType::kEcPointFormats)};
+  c.groups = classic_groups();
+  p.versions.push_back(c);
+
+  c.version_label = "8";  // TLS 1.2 default, GCM
+  c.release = Date(2014, 3, 18);
+  c.legacy_version = 0x0303;
+  c.cipher_suites = compose({
+      aead_pool_no_chacha(),
+      prefix(cbc_pool(), 10),
+      prefix(rc4_pool(), 4),
+      prefix(tdes_pool(), 1),
+  });
+  c.extension_order.push_back(X(ExtensionType::kSignatureAlgorithms));
+  c.sig_algs = default_sig_algs();
+  p.versions.push_back(c);
+
+  c.version_label = "8u60";  // RC4 removed from defaults
+  c.release = Date(2015, 8, 18);
+  c.cipher_suites = compose({
+      aead_pool_no_chacha(),
+      prefix(cbc_pool(), 10),
+      prefix(tdes_pool(), 1),
+  });
+  p.versions.push_back(c);
+
+  return p;
+}
+
+ClientProfile nss() {
+  ClientProfile p{"NSS", tls::fp::SoftwareClass::kLibrary, {}};
+
+  // Non-browser NSS consumers; same engine as Firefox, but without the
+  // browser extension set, so fingerprints stay distinct.
+  ClientConfig c;
+  c.version_label = "3.13";
+  c.release = Date(2012, 1, 1);
+  c.legacy_version = 0x0301;
+  c.cipher_suites = browser_list(0, 20, 6, 4);
+  c.extension_order = {X(ExtensionType::kServerName),
+                       X(ExtensionType::kRenegotiationInfo),
+                       X(ExtensionType::kSupportedGroups),
+                       X(ExtensionType::kEcPointFormats),
+                       X(ExtensionType::kSessionTicket)};
+  c.groups = classic_groups();
+  p.versions.push_back(c);
+
+  c.version_label = "3.16";
+  c.release = Date(2014, 3, 1);
+  c.legacy_version = 0x0303;
+  c.cipher_suites = browser_list(4, 14, 4, 1, 0, false);
+  c.extension_order.push_back(X(ExtensionType::kSignatureAlgorithms));
+  c.sig_algs = default_sig_algs();
+  p.versions.push_back(c);
+
+  c.version_label = "3.23";  // ChaCha; RC4 out
+  c.release = Date(2016, 3, 8);
+  c.cipher_suites = browser_list(6, 14, 0, 1);
+  p.versions.push_back(c);
+
+  return p;
+}
+
+}  // namespace
+
+std::vector<ClientProfile> library_profiles() {
+  return {openssl_09x(),  openssl(),        android_sdk(),
+          secure_transport(), ms_cryptoapi_xp(), ms_cryptoapi(),
+          java_jsse(),    nss()};
+}
+
+}  // namespace tls::clients

@@ -1,0 +1,175 @@
+#include "clients/profile.hpp"
+
+#include <algorithm>
+
+#include "tlscore/cipher_suites.hpp"
+#include "tlscore/extensions.hpp"
+#include "tlscore/grease.hpp"
+
+namespace tls::clients {
+
+using tls::core::ExtensionType;
+
+std::size_t ClientConfig::count_cbc() const {
+  // Table 3 semantics: CBC suites excluding the 64-bit-block (DES/3DES)
+  // suites, which the paper tallies separately in Table 5.
+  std::size_t n = 0;
+  for (const auto id : cipher_suites) {
+    const auto* s = tls::core::find_cipher_suite(id);
+    if (s != nullptr && tls::core::is_cbc(*s) && !tls::core::is_3des(*s) &&
+        !tls::core::is_single_des(*s)) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+std::size_t ClientConfig::count_rc4() const {
+  std::size_t n = 0;
+  for (const auto id : cipher_suites) {
+    const auto* s = tls::core::find_cipher_suite(id);
+    if (s != nullptr && tls::core::is_rc4(*s)) ++n;
+  }
+  return n;
+}
+
+std::size_t ClientConfig::count_3des() const {
+  std::size_t n = 0;
+  for (const auto id : cipher_suites) {
+    const auto* s = tls::core::find_cipher_suite(id);
+    if (s != nullptr && tls::core::is_3des(*s)) ++n;
+  }
+  return n;
+}
+
+bool ClientConfig::offers_aead() const {
+  return std::any_of(cipher_suites.begin(), cipher_suites.end(),
+                     [](std::uint16_t id) {
+                       const auto* s = tls::core::find_cipher_suite(id);
+                       return s != nullptr && tls::core::is_aead(*s);
+                     });
+}
+
+const ClientConfig* ClientProfile::config_at(
+    const tls::core::Date& when) const {
+  const ClientConfig* best = nullptr;
+  for (const auto& cfg : versions) {
+    if (cfg.release <= when) best = &cfg;
+  }
+  return best;
+}
+
+std::optional<std::size_t> ClientProfile::version_index_at(
+    const tls::core::Date& when) const {
+  std::optional<std::size_t> best;
+  for (std::size_t i = 0; i < versions.size(); ++i) {
+    if (versions[i].release <= when) best = i;
+  }
+  return best;
+}
+
+namespace {
+
+std::uint16_t pick_grease(tls::core::Rng& rng) {
+  return tls::core::grease_values()[rng.below(16)];
+}
+
+tls::wire::Extension build_extension(const ClientConfig& cfg,
+                                     std::uint16_t type,
+                                     std::string_view sni_host,
+                                     tls::core::Rng& rng) {
+  using namespace tls::wire;
+  switch (static_cast<ExtensionType>(type)) {
+    case ExtensionType::kServerName:
+      return make_server_name(sni_host);
+    case ExtensionType::kSupportedGroups: {
+      std::vector<std::uint16_t> groups = cfg.groups;
+      if (cfg.grease) groups.insert(groups.begin(), pick_grease(rng));
+      return make_supported_groups(groups);
+    }
+    case ExtensionType::kEcPointFormats:
+      return make_ec_point_formats(cfg.point_formats);
+    case ExtensionType::kSupportedVersions: {
+      std::vector<std::uint16_t> versions = cfg.supported_versions;
+      if (cfg.grease) versions.insert(versions.begin(), pick_grease(rng));
+      return make_supported_versions_client(versions);
+    }
+    case ExtensionType::kSignatureAlgorithms:
+      return make_signature_algorithms(cfg.sig_algs);
+    case ExtensionType::kAlpn:
+      return make_alpn(cfg.alpn);
+    case ExtensionType::kHeartbeat:
+      return make_heartbeat(cfg.heartbeat_mode == 0 ? 1 : cfg.heartbeat_mode);
+    case ExtensionType::kSessionTicket:
+      return make_session_ticket();
+    case ExtensionType::kRenegotiationInfo:
+      return make_renegotiation_info();
+    case ExtensionType::kEncryptThenMac:
+      return make_encrypt_then_mac();
+    case ExtensionType::kExtendedMasterSecret:
+      return make_extended_master_secret();
+    case ExtensionType::kStatusRequest:
+      return make_status_request();
+    case ExtensionType::kSignedCertificateTimestamp:
+      return make_sct();
+    case ExtensionType::kKeyShare: {
+      // Offer a share for the client's most preferred group.
+      std::vector<std::uint16_t> share_groups;
+      if (!cfg.groups.empty()) share_groups.push_back(cfg.groups.front());
+      return make_key_share_client(share_groups);
+    }
+    case ExtensionType::kPskKeyExchangeModes: {
+      const std::uint8_t modes[] = {1};  // psk_dhe_ke
+      return make_psk_key_exchange_modes(modes);
+    }
+    case ExtensionType::kPadding:
+      return make_padding(16);
+    default:
+      // NPN, channel_id and anything else: empty body.
+      return Extension{type, {}};
+  }
+}
+
+}  // namespace
+
+tls::wire::ClientHello make_client_hello(const ClientConfig& cfg,
+                                         tls::core::Rng& rng,
+                                         std::string_view sni_host) {
+  tls::wire::ClientHello ch;
+  ch.legacy_version = cfg.legacy_version;
+  for (auto& b : ch.random) b = static_cast<std::uint8_t>(rng.next());
+  // Modern clients send a 32-byte legacy session id for middlebox compat
+  // in TLS 1.3 mode; earlier clients send an empty one on a fresh session.
+  if (!cfg.supported_versions.empty()) {
+    ch.session_id.resize(32);
+    for (auto& b : ch.session_id) b = static_cast<std::uint8_t>(rng.next());
+  }
+
+  ch.cipher_suites = cfg.cipher_suites;
+  if (cfg.randomizes_cipher_order) {
+    for (std::size_t i = ch.cipher_suites.size(); i > 1; --i) {
+      std::swap(ch.cipher_suites[i - 1], ch.cipher_suites[rng.below(i)]);
+    }
+  }
+  if (cfg.grease) {
+    ch.cipher_suites.insert(ch.cipher_suites.begin(), pick_grease(rng));
+  }
+
+  for (const auto type : cfg.extension_order) {
+    if (type == tls::core::wire_value(ExtensionType::kServerName) &&
+        sni_host.empty()) {
+      continue;
+    }
+    ch.extensions.push_back(build_extension(cfg, type, sni_host, rng));
+  }
+  if (cfg.grease) {
+    // Chrome-style: one GREASE extension first, one last.
+    ch.extensions.insert(ch.extensions.begin(),
+                         tls::wire::make_grease_extension(pick_grease(rng)));
+    ch.extensions.push_back(
+        tls::wire::make_grease_extension(pick_grease(rng)));
+  }
+  return ch;
+}
+
+}  // namespace tls::clients

@@ -1,0 +1,79 @@
+// Client software model. A ClientProfile is one software lineage (e.g.
+// "Chrome"); each ClientConfig is the TLS configuration one version range
+// of that software ships, anchored at its release date. The emitter turns
+// a config into real ClientHello wire bytes — these bytes are what the
+// Notary observes and fingerprints.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fingerprint/database.hpp"
+#include "tlscore/dates.hpp"
+#include "tlscore/rng.hpp"
+#include "wire/client_hello.hpp"
+
+namespace tls::clients {
+
+struct ClientConfig {
+  std::string version_label;
+  tls::core::Date release{2012, 1, 1};
+
+  /// Highest legacy version offered in the ClientHello version field
+  /// (TLS 1.3 clients keep this at 0x0303 and use supported_versions).
+  std::uint16_t legacy_version = 0x0301;
+  /// Non-empty => emit a supported_versions extension with these values
+  /// (highest preference first). May contain draft/experiment values.
+  std::vector<std::uint16_t> supported_versions;
+  /// Lowest version the client will fall back to (fallback dance).
+  std::uint16_t min_version = 0x0300;
+  /// Whether the client performs the insecure downgrade dance on failure
+  /// (removed from browsers over 2014-2015, Table 6).
+  bool version_fallback = true;
+
+  std::vector<std::uint16_t> cipher_suites;
+  /// Extension types in ClientHello order; bodies are synthesized.
+  std::vector<std::uint16_t> extension_order;
+  std::vector<std::uint16_t> groups;
+  std::vector<std::uint8_t> point_formats{0};
+  std::vector<std::uint16_t> sig_algs;
+  std::vector<std::string> alpn;
+
+  bool grease = false;
+  /// 0 = no heartbeat extension; 1/2 = RFC 6520 modes.
+  std::uint8_t heartbeat_mode = 0;
+  /// Pathological client that shuffles its cipher list per connection —
+  /// the hypothesized source of the single-day fingerprint explosion (§4.1).
+  bool randomizes_cipher_order = false;
+
+  /// Count of offered suites in a class (for Tables 3-5 assertions).
+  [[nodiscard]] std::size_t count_cbc() const;
+  [[nodiscard]] std::size_t count_rc4() const;
+  [[nodiscard]] std::size_t count_3des() const;
+  [[nodiscard]] bool offers_aead() const;
+};
+
+struct ClientProfile {
+  std::string name;
+  tls::fp::SoftwareClass cls = tls::fp::SoftwareClass::kLibrary;
+  /// Version configs in chronological release order.
+  std::vector<ClientConfig> versions;
+  /// True for the generated long-tail variants (see catalog.hpp).
+  bool synthetic = false;
+
+  /// Latest config released on or before `when`; nullptr if none yet.
+  [[nodiscard]] const ClientConfig* config_at(const tls::core::Date& when) const;
+  /// Index variant of config_at (npos when none).
+  [[nodiscard]] std::optional<std::size_t> version_index_at(
+      const tls::core::Date& when) const;
+};
+
+/// Emits wire-accurate ClientHello for a config. `rng` drives the random
+/// field, session id, GREASE values, and cipher-order randomization.
+tls::wire::ClientHello make_client_hello(const ClientConfig& config,
+                                         tls::core::Rng& rng,
+                                         std::string_view sni_host = "");
+
+}  // namespace tls::clients

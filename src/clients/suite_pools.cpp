@@ -1,0 +1,182 @@
+#include "clients/suite_pools.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "tlscore/cipher_suites.hpp"
+
+namespace tls::clients {
+
+namespace {
+
+constexpr std::uint16_t kCbc[] = {
+    0xc023,  // ECDHE_ECDSA_AES_128_CBC_SHA256
+    0xc024,  // ECDHE_ECDSA_AES_256_CBC_SHA384
+    0xc009,  // ECDHE_ECDSA_AES_128_CBC_SHA
+    0xc00a,  // ECDHE_ECDSA_AES_256_CBC_SHA
+    0xc027,  // ECDHE_RSA_AES_128_CBC_SHA256
+    0xc028,  // ECDHE_RSA_AES_256_CBC_SHA384
+    0xc013,  // ECDHE_RSA_AES_128_CBC_SHA
+    0xc014,  // ECDHE_RSA_AES_256_CBC_SHA
+    0x0033,  // DHE_RSA_AES_128_CBC_SHA
+    0x0039,  // DHE_RSA_AES_256_CBC_SHA
+    0x0067,  // DHE_RSA_AES_128_CBC_SHA256
+    0x006b,  // DHE_RSA_AES_256_CBC_SHA256
+    0x002f,  // RSA_AES_128_CBC_SHA
+    0x0035,  // RSA_AES_256_CBC_SHA
+    0x003c,  // RSA_AES_128_CBC_SHA256
+    0x003d,  // RSA_AES_256_CBC_SHA256
+    0x0032,  // DHE_DSS_AES_128_CBC_SHA
+    0x0038,  // DHE_DSS_AES_256_CBC_SHA
+    0xc004,  // ECDH_ECDSA_AES_128_CBC_SHA
+    0xc005,  // ECDH_ECDSA_AES_256_CBC_SHA
+    0xc00e,  // ECDH_RSA_AES_128_CBC_SHA
+    0xc00f,  // ECDH_RSA_AES_256_CBC_SHA
+    0x0041,  // RSA_CAMELLIA_128_CBC_SHA
+    0x0084,  // RSA_CAMELLIA_256_CBC_SHA
+    0x0045,  // DHE_RSA_CAMELLIA_128_CBC_SHA
+    0x0088,  // DHE_RSA_CAMELLIA_256_CBC_SHA
+    0x0007,  // RSA_IDEA_CBC_SHA
+    0x0096,  // RSA_SEED_CBC_SHA
+    0x009a,  // DHE_RSA_SEED_CBC_SHA
+};
+
+constexpr std::uint16_t kRc4[] = {
+    0xc011,  // ECDHE_RSA_RC4_128_SHA
+    0xc007,  // ECDHE_ECDSA_RC4_128_SHA
+    0x0005,  // RSA_RC4_128_SHA
+    0x0004,  // RSA_RC4_128_MD5
+    0xc002,  // ECDH_ECDSA_RC4_128_SHA
+    0xc00c,  // ECDH_RSA_RC4_128_SHA
+    0x008a,  // PSK_RC4_128_SHA
+};
+
+constexpr std::uint16_t k3Des[] = {
+    0x000a,  // RSA_3DES_EDE_CBC_SHA
+    0xc012,  // ECDHE_RSA_3DES_EDE_CBC_SHA
+    0x0016,  // DHE_RSA_3DES_EDE_CBC_SHA
+    0xc008,  // ECDHE_ECDSA_3DES_EDE_CBC_SHA
+    0x0013,  // DHE_DSS_3DES_EDE_CBC_SHA
+    0xc003,  // ECDH_ECDSA_3DES_EDE_CBC_SHA
+    0xc00d,  // ECDH_RSA_3DES_EDE_CBC_SHA
+    0x0010,  // DH_RSA_3DES_EDE_CBC_SHA
+};
+
+constexpr std::uint16_t kDes[] = {
+    0x0009,  // RSA_DES_CBC_SHA
+    0x0015,  // DHE_RSA_DES_CBC_SHA
+    0x0012,  // DHE_DSS_DES_CBC_SHA
+};
+
+constexpr std::uint16_t kAead[] = {
+    0xc02b,  // ECDHE_ECDSA_AES_128_GCM_SHA256
+    0xc02f,  // ECDHE_RSA_AES_128_GCM_SHA256
+    0xc02c,  // ECDHE_ECDSA_AES_256_GCM_SHA384
+    0xc030,  // ECDHE_RSA_AES_256_GCM_SHA384
+    0xcca9,  // ECDHE_ECDSA_CHACHA20_POLY1305
+    0xcca8,  // ECDHE_RSA_CHACHA20_POLY1305
+    0x009e,  // DHE_RSA_AES_128_GCM_SHA256
+    0x009f,  // DHE_RSA_AES_256_GCM_SHA384
+    0x009c,  // RSA_AES_128_GCM_SHA256
+    0x009d,  // RSA_AES_256_GCM_SHA384
+};
+
+constexpr std::uint16_t kAeadNoChaCha[] = {
+    0xc02b, 0xc02f, 0xc02c, 0xc030, 0x009e, 0x009f, 0x009c, 0x009d,
+};
+
+constexpr std::uint16_t kTls13[] = {0x1301, 0x1302, 0x1303};
+
+constexpr std::uint16_t kExport[] = {
+    0x0003,  // RSA_EXPORT_RC4_40_MD5
+    0x0006,  // RSA_EXPORT_RC2_CBC_40_MD5
+    0x0008,  // RSA_EXPORT_DES40_CBC_SHA
+    0x0014,  // DHE_RSA_EXPORT_DES40_CBC_SHA
+    0x0011,  // DHE_DSS_EXPORT_DES40_CBC_SHA
+    0x0017,  // DH_anon_EXPORT_RC4_40_MD5
+    0x0019,  // DH_anon_EXPORT_DES40_CBC_SHA
+};
+
+constexpr std::uint16_t kAnon[] = {
+    0x0034,  // DH_anon_AES_128_CBC_SHA
+    0x003a,  // DH_anon_AES_256_CBC_SHA
+    0x0018,  // DH_anon_RC4_128_MD5
+    0x001b,  // DH_anon_3DES_EDE_CBC_SHA
+    0xc018,  // ECDH_anon_AES_128_CBC_SHA
+    0xc019,  // ECDH_anon_AES_256_CBC_SHA
+    0x006c,  // DH_anon_AES_128_CBC_SHA256
+    0x00a6,  // DH_anon_AES_128_GCM_SHA256
+};
+
+constexpr std::uint16_t kNull[] = {
+    0x0002,  // RSA_NULL_SHA
+    0x0001,  // RSA_NULL_MD5
+    0x003b,  // RSA_NULL_SHA256
+    0xc006,  // ECDHE_ECDSA_NULL_SHA
+    0xc010,  // ECDHE_RSA_NULL_SHA
+    0x0000,  // NULL_WITH_NULL_NULL
+};
+
+// Every pool entry must exist in the registry and be of the advertised
+// class; checked once at startup so catalog composition can't drift.
+[[maybe_unused]] const bool kPoolsValidated = [] {
+  using namespace tls::core;
+  const auto check = [](std::span<const std::uint16_t> pool, auto pred,
+                        const char* what) {
+    for (const auto id : pool) {
+      const auto* info = find_cipher_suite(id);
+      if (info == nullptr || !pred(*info)) {
+        throw std::logic_error(std::string("bad pool entry for ") + what);
+      }
+    }
+  };
+  check(kCbc, [](const CipherSuiteInfo& s) { return is_cbc(s); }, "cbc");
+  check(kRc4, [](const CipherSuiteInfo& s) { return is_rc4(s); }, "rc4");
+  check(k3Des, [](const CipherSuiteInfo& s) { return is_3des(s); }, "3des");
+  check(kDes, [](const CipherSuiteInfo& s) { return is_single_des(s); },
+        "des");
+  check(kAead, [](const CipherSuiteInfo& s) { return is_aead(s); }, "aead");
+  check(kExport, [](const CipherSuiteInfo& s) { return is_export(s); },
+        "export");
+  check(kAnon, [](const CipherSuiteInfo& s) { return is_anonymous(s); },
+        "anon");
+  check(kNull, [](const CipherSuiteInfo& s) { return is_null_cipher(s); },
+        "null");
+  return true;
+}();
+
+}  // namespace
+
+std::span<const std::uint16_t> cbc_pool() { return kCbc; }
+std::span<const std::uint16_t> rc4_pool() { return kRc4; }
+std::span<const std::uint16_t> tdes_pool() { return k3Des; }
+std::span<const std::uint16_t> des_pool() { return kDes; }
+std::span<const std::uint16_t> aead_pool() { return kAead; }
+std::span<const std::uint16_t> aead_pool_no_chacha() { return kAeadNoChaCha; }
+std::span<const std::uint16_t> tls13_pool() { return kTls13; }
+std::span<const std::uint16_t> export_pool() { return kExport; }
+std::span<const std::uint16_t> anon_pool() { return kAnon; }
+std::span<const std::uint16_t> null_pool() { return kNull; }
+
+std::vector<std::uint16_t> compose(
+    std::initializer_list<std::span<const std::uint16_t>> parts) {
+  std::vector<std::uint16_t> out;
+  std::unordered_set<std::uint16_t> seen;
+  for (const auto part : parts) {
+    for (const auto id : part) {
+      if (seen.insert(id).second) out.push_back(id);
+    }
+  }
+  return out;
+}
+
+std::span<const std::uint16_t> prefix(std::span<const std::uint16_t> pool,
+                                      std::size_t n) {
+  if (n > pool.size()) {
+    throw std::out_of_range("pool prefix larger than pool");
+  }
+  return pool.subspan(0, n);
+}
+
+}  // namespace tls::clients

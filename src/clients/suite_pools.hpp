@@ -1,0 +1,43 @@
+// Preference-ordered cipher-suite pools used to compose client
+// configurations. Browser tables in the paper (Tables 3-5) report *counts*
+// of CBC/RC4/3DES suites per version; catalogs take prefixes of these pools
+// so that, e.g., "Chrome 31 reduced CBC to 10" maps to cbc_pool()[0..10).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace tls::clients {
+
+/// 29 CBC suites, modern-preference order (ECDHE first, exotic last).
+std::span<const std::uint16_t> cbc_pool();
+/// 7 RC4 suites (ECDHE first).
+std::span<const std::uint16_t> rc4_pool();
+/// 8 3DES suites.
+std::span<const std::uint16_t> tdes_pool();
+/// Single-DES suites (legacy SChannel / OpenSSL 0.9.x era).
+std::span<const std::uint16_t> des_pool();
+/// AEAD suites in modern browser order (ECDHE-GCM, ChaCha, RSA-GCM).
+std::span<const std::uint16_t> aead_pool();
+/// AEAD without ChaCha (pre-2015 clients).
+std::span<const std::uint16_t> aead_pool_no_chacha();
+/// TLS 1.3 suites.
+std::span<const std::uint16_t> tls13_pool();
+/// Export-grade suites (OpenSSL 0.9.x-era defaults).
+std::span<const std::uint16_t> export_pool();
+/// Anonymous (DH_anon/ECDH_anon) suites.
+std::span<const std::uint16_t> anon_pool();
+/// NULL-cipher suites.
+std::span<const std::uint16_t> null_pool();
+
+/// Concatenates spans/prefixes into one list (deduplicating, keeping the
+/// first occurrence).
+std::vector<std::uint16_t> compose(
+    std::initializer_list<std::span<const std::uint16_t>> parts);
+
+/// First n entries of a pool.
+std::span<const std::uint16_t> prefix(std::span<const std::uint16_t> pool,
+                                      std::size_t n);
+
+}  // namespace tls::clients

@@ -1,0 +1,370 @@
+#include "core/study.hpp"
+
+#include <filesystem>
+
+#include "analysis/csv.hpp"
+
+#include "fingerprint/fingerprint.hpp"
+#include "tlscore/timeline.hpp"
+
+namespace tls::study {
+
+using tls::analysis::MonthlyChart;
+using tls::analysis::Series;
+using tls::core::Month;
+using tls::notary::MonthlyStats;
+
+LongitudinalStudy::LongitudinalStudy(StudyOptions options)
+    : options_(options),
+      catalog_(options.full_catalog ? tls::clients::Catalog::standard()
+                                    : tls::clients::Catalog::core_only()),
+      database_(build_database(catalog_)),
+      servers_(tls::servers::ServerPopulation::standard()) {
+  market_ = std::make_unique<tls::population::MarketModel>(
+      tls::population::MarketModel::standard(catalog_));
+  monitor_ = std::make_unique<tls::notary::PassiveMonitor>(&database_);
+  scanner_ = std::make_unique<tls::scan::ActiveScanner>(servers_);
+}
+
+tls::fp::FingerprintDatabase LongitudinalStudy::build_database(
+    const tls::clients::Catalog& catalog) {
+  tls::fp::FingerprintDatabase db;
+  tls::core::Rng rng(7);
+  for (const auto& profile : catalog.profiles()) {
+    for (const auto& cfg : profile.versions) {
+      // Shuffling clients have no stable fingerprint to harvest.
+      if (cfg.randomizes_cipher_order) continue;
+      const auto hello = tls::clients::make_client_hello(cfg, rng, "db.test");
+      const auto fp = tls::fp::extract_fingerprint(hello);
+      db.add(fp, tls::fp::SoftwareLabel{profile.name, profile.cls,
+                                        cfg.version_label, cfg.version_label});
+    }
+  }
+  return db;
+}
+
+void LongitudinalStudy::run() {
+  if (ran_) return;
+  ran_ = true;
+  tls::population::TrafficGenerator gen(*market_, servers_, options_.seed);
+  gen.generate_range(options_.window, options_.connections_per_month,
+                     [this](const tls::population::ConnectionEvent& ev) {
+                       monitor_->observe(ev);
+                     });
+}
+
+const tls::notary::PassiveMonitor& LongitudinalStudy::monitor() {
+  run();
+  return *monitor_;
+}
+
+Series LongitudinalStudy::monthly_series(const std::string& name,
+                                         const StatProjector& projector) {
+  run();
+  Series s;
+  s.name = name;
+  s.values.reserve(static_cast<std::size_t>(options_.window.size()));
+  static const MonthlyStats kEmpty{};
+  for (Month m = options_.window.begin_month; m <= options_.window.end_month;
+       ++m) {
+    const auto* stats = monitor_->month(m);
+    s.values.push_back(projector(stats != nullptr ? *stats : kEmpty));
+  }
+  return s;
+}
+
+std::vector<std::string> LongitudinalStudy::export_figures(
+    const std::string& directory) {
+  std::filesystem::create_directories(directory);
+  std::vector<std::string> written;
+  const std::pair<const char*, MonthlyChart> figures[] = {
+      {"fig1_versions.csv", figure1_versions()},
+      {"fig2_cipher_classes.csv", figure2_negotiated_classes()},
+      {"fig3_advertised.csv", figure3_advertised_classes()},
+      {"fig4_fp_support.csv", figure4_fingerprint_support()},
+      {"fig5_positions.csv", figure5_relative_positions()},
+      {"fig6_rc4_advertised.csv", figure6_rc4_advertised()},
+      {"fig7_weak_advertised.csv", figure7_weak_advertised()},
+      {"fig8_key_exchange.csv", figure8_key_exchange()},
+      {"fig9_aead_negotiated.csv", figure9_aead_negotiated()},
+      {"fig10_aead_advertised.csv", figure10_aead_advertised()},
+  };
+  for (const auto& [name, chart] : figures) {
+    const auto path = (std::filesystem::path(directory) / name).string();
+    tls::analysis::write_csv_file(path, chart);
+    written.push_back(path);
+  }
+  const auto scan_path =
+      (std::filesystem::path(directory) / "censys_scans.csv").string();
+  tls::analysis::write_scan_csv_file(
+      scan_path, scanner().scan_range(tls::core::censys_window()));
+  written.push_back(scan_path);
+  return written;
+}
+
+std::vector<std::pair<Month, char>> attack_markers() {
+  std::vector<std::pair<Month, char>> out;
+  const char* ids[] = {"lucky13", "rc4",        "snowden", "heartbleed",
+                       "poodle",  "rc4_passwords", "rc4_nomore", "sweet32"};
+  const char glyphs[] = {'l', 'r', 's', 'h', 'p', 'w', 'n', '3'};
+  for (std::size_t i = 0; i < std::size(ids); ++i) {
+    if (const auto* e = tls::core::find_event(ids[i])) {
+      out.emplace_back(Month(e->date), glyphs[i]);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+double pct_of(std::uint64_t num, std::uint64_t den) {
+  return den == 0 ? 0.0
+                  : 100.0 * static_cast<double>(num) /
+                        static_cast<double>(den);
+}
+
+double version_pct(const MonthlyStats& s, std::uint16_t version) {
+  const auto it = s.negotiated_version.find(version);
+  return it == s.negotiated_version.end() ? 0.0
+                                          : pct_of(it->second, s.successful);
+}
+
+template <typename Key>
+double map_pct(const std::map<Key, std::uint64_t>& m, Key key,
+               std::uint64_t den) {
+  const auto it = m.find(key);
+  return it == m.end() ? 0.0 : pct_of(it->second, den);
+}
+
+}  // namespace
+
+MonthlyChart LongitudinalStudy::figure1_versions() {
+  MonthlyChart c;
+  c.title = "Figure 1: Negotiated SSL/TLS versions (% monthly connections)";
+  c.range = options_.window;
+  c.markers = attack_markers();
+  for (const auto& [version, name] :
+       std::initializer_list<std::pair<std::uint16_t, const char*>>{
+           {0x0300, "SSLv3"},
+           {0x0301, "TLSv1.0"},
+           {0x0302, "TLSv1.1"},
+           {0x0303, "TLSv1.2"}}) {
+    c.series.push_back(monthly_series(
+        name, [version = version](const MonthlyStats& s) {
+          return version_pct(s, version);
+        }));
+  }
+  return c;
+}
+
+MonthlyChart LongitudinalStudy::figure2_negotiated_classes() {
+  using tls::core::CipherClass;
+  MonthlyChart c;
+  c.title = "Figure 2: Negotiated RC4 / CBC / AEAD (% monthly connections)";
+  c.range = options_.window;
+  c.markers = attack_markers();
+  for (const auto& [cls, name] :
+       std::initializer_list<std::pair<CipherClass, const char*>>{
+           {CipherClass::kAead, "AEAD"},
+           {CipherClass::kCbc, "CBC"},
+           {CipherClass::kRc4, "RC4"}}) {
+    c.series.push_back(
+        monthly_series(name, [cls = cls](const MonthlyStats& s) {
+          return map_pct(s.negotiated_class, cls, s.successful);
+        }));
+  }
+  return c;
+}
+
+MonthlyChart LongitudinalStudy::figure3_advertised_classes() {
+  MonthlyChart c;
+  c.title =
+      "Figure 3: Clients advertising RC4 / DES / 3DES / AEAD (% monthly "
+      "connections)";
+  c.range = options_.window;
+  c.markers = attack_markers();
+  c.series.push_back(monthly_series("AEAD", [](const MonthlyStats& s) {
+    return s.pct(s.adv_aead);
+  }));
+  c.series.push_back(monthly_series("RC4", [](const MonthlyStats& s) {
+    return s.pct(s.adv_rc4);
+  }));
+  c.series.push_back(monthly_series("DES", [](const MonthlyStats& s) {
+    return s.pct(s.adv_des);
+  }));
+  c.series.push_back(monthly_series("3DES", [](const MonthlyStats& s) {
+    return s.pct(s.adv_3des);
+  }));
+  return c;
+}
+
+MonthlyChart LongitudinalStudy::figure4_fingerprint_support() {
+  MonthlyChart c;
+  c.title =
+      "Figure 4: Distinct monthly fingerprints supporting RC4 / DES / 3DES "
+      "/ AEAD (%)";
+  c.range = {tls::notary::PassiveMonitor::fp_start(),
+             options_.window.end_month};
+  const auto fp_pct = [](const MonthlyStats& s, std::uint8_t flag) {
+    if (s.fingerprints.empty()) return 0.0;
+    std::size_t n = 0;
+    for (const auto& [hash, flags] : s.fingerprints) {
+      if ((flags & flag) != 0) ++n;
+    }
+    return 100.0 * static_cast<double>(n) /
+           static_cast<double>(s.fingerprints.size());
+  };
+  run();
+  for (const auto& [flag, name] :
+       std::initializer_list<std::pair<std::uint8_t, const char*>>{
+           {tls::notary::kFpAead, "AEAD"},
+           {tls::notary::kFpRc4, "RC4"},
+           {tls::notary::kFpDes, "DES"},
+           {tls::notary::kFp3Des, "3DES"}}) {
+    Series s;
+    s.name = name;
+    static const MonthlyStats kEmpty{};
+    for (Month m = c.range.begin_month; m <= c.range.end_month; ++m) {
+      const auto* stats = monitor_->month(m);
+      s.values.push_back(fp_pct(stats != nullptr ? *stats : kEmpty, flag));
+    }
+    c.series.push_back(std::move(s));
+  }
+  return c;
+}
+
+MonthlyChart LongitudinalStudy::figure5_relative_positions() {
+  MonthlyChart c;
+  c.title =
+      "Figure 5: Average relative position of first AEAD/CBC/RC4/DES/3DES "
+      "cipher (%)";
+  c.range = {tls::notary::PassiveMonitor::fp_start(),
+             options_.window.end_month};
+  run();
+  using Getter = const tls::notary::PositionAccumulator& (*)(const MonthlyStats&);
+  const std::pair<const char*, Getter> defs[] = {
+      {"AEAD", [](const MonthlyStats& s) -> const tls::notary::PositionAccumulator& { return s.pos_aead; }},
+      {"CBC", [](const MonthlyStats& s) -> const tls::notary::PositionAccumulator& { return s.pos_cbc; }},
+      {"RC4", [](const MonthlyStats& s) -> const tls::notary::PositionAccumulator& { return s.pos_rc4; }},
+      {"DES", [](const MonthlyStats& s) -> const tls::notary::PositionAccumulator& { return s.pos_des; }},
+      {"3DES", [](const MonthlyStats& s) -> const tls::notary::PositionAccumulator& { return s.pos_3des; }},
+  };
+  static const MonthlyStats kEmpty{};
+  for (const auto& [name, getter] : defs) {
+    Series s;
+    s.name = name;
+    for (Month m = c.range.begin_month; m <= c.range.end_month; ++m) {
+      const auto* stats = monitor_->month(m);
+      s.values.push_back(getter(stats != nullptr ? *stats : kEmpty).average() *
+                         100.0);
+    }
+    c.series.push_back(std::move(s));
+  }
+  return c;
+}
+
+MonthlyChart LongitudinalStudy::figure6_rc4_advertised() {
+  MonthlyChart c;
+  c.title =
+      "Figure 6: Connections where the client advertises RC4 (% monthly)";
+  c.range = options_.window;
+  c.markers = attack_markers();
+  c.series.push_back(monthly_series("RC4 advertised", [](const MonthlyStats& s) {
+    return s.pct(s.adv_rc4);
+  }));
+  return c;
+}
+
+MonthlyChart LongitudinalStudy::figure7_weak_advertised() {
+  MonthlyChart c;
+  c.title =
+      "Figure 7: Clients advertising Export / Anonymous / NULL ciphers (% "
+      "monthly connections)";
+  c.range = options_.window;
+  c.series.push_back(monthly_series("Export", [](const MonthlyStats& s) {
+    return s.pct(s.adv_export);
+  }));
+  c.series.push_back(monthly_series("Anonymous", [](const MonthlyStats& s) {
+    return s.pct(s.adv_anon);
+  }));
+  c.series.push_back(monthly_series("Null", [](const MonthlyStats& s) {
+    return s.pct(s.adv_null);
+  }));
+  c.y_max = 40;
+  return c;
+}
+
+MonthlyChart LongitudinalStudy::figure8_key_exchange() {
+  using tls::core::KexClass;
+  MonthlyChart c;
+  c.title =
+      "Figure 8: Negotiated RSA / DHE / ECDHE key exchange (% monthly "
+      "connections)";
+  c.range = options_.window;
+  if (const auto* e = tls::core::find_event("snowden")) {
+    c.markers.emplace_back(Month(e->date), 's');
+  }
+  for (const auto& [cls, name] :
+       std::initializer_list<std::pair<KexClass, const char*>>{
+           {KexClass::kDhe, "DHE"},
+           {KexClass::kEcdhe, "ECDHE"},
+           {KexClass::kRsa, "RSA"}}) {
+    c.series.push_back(
+        monthly_series(name, [cls = cls](const MonthlyStats& s) {
+          // TLS 1.3 connections always use an ephemeral (EC)DHE exchange.
+          if (cls == KexClass::kEcdhe) {
+            return map_pct(s.negotiated_kex, KexClass::kEcdhe, s.successful) +
+                   map_pct(s.negotiated_kex, KexClass::kTls13, s.successful);
+          }
+          return map_pct(s.negotiated_kex, cls, s.successful);
+        }));
+  }
+  return c;
+}
+
+MonthlyChart LongitudinalStudy::figure9_aead_negotiated() {
+  using tls::core::AeadKind;
+  MonthlyChart c;
+  c.title =
+      "Figure 9: Negotiated AEAD ciphers (% monthly connections)";
+  c.range = options_.window;
+  c.series.push_back(monthly_series("AEAD Total", [](const MonthlyStats& s) {
+    return map_pct(s.negotiated_class, tls::core::CipherClass::kAead,
+                   s.successful);
+  }));
+  for (const auto& [kind, name] :
+       std::initializer_list<std::pair<AeadKind, const char*>>{
+           {AeadKind::kAes128Gcm, "AES128-GCM"},
+           {AeadKind::kAes256Gcm, "AES256-GCM"},
+           {AeadKind::kChaCha20Poly1305, "ChaCha20-Poly1305"}}) {
+    c.series.push_back(
+        monthly_series(name, [kind = kind](const MonthlyStats& s) {
+          return map_pct(s.negotiated_aead, kind, s.successful);
+        }));
+  }
+  return c;
+}
+
+MonthlyChart LongitudinalStudy::figure10_aead_advertised() {
+  MonthlyChart c;
+  c.title =
+      "Figure 10: Connections advertising AES-GCM / ChaCha20-Poly1305 / "
+      "AES-CCM (% monthly)";
+  c.range = options_.window;
+  c.series.push_back(monthly_series("AES128-GCM", [](const MonthlyStats& s) {
+    return s.pct(s.adv_aes128gcm);
+  }));
+  c.series.push_back(monthly_series("AES256-GCM", [](const MonthlyStats& s) {
+    return s.pct(s.adv_aes256gcm);
+  }));
+  c.series.push_back(
+      monthly_series("ChaCha20-Poly1305", [](const MonthlyStats& s) {
+        return s.pct(s.adv_chacha);
+      }));
+  c.series.push_back(monthly_series("AES-CCM", [](const MonthlyStats& s) {
+    return s.pct(s.adv_ccm);
+  }));
+  return c;
+}
+
+}  // namespace tls::study

@@ -1,0 +1,96 @@
+// LongitudinalStudy — the paper's end-to-end pipeline as a single API:
+//   build the client catalog  -> harvest the fingerprint database (§4)
+//   build the server population
+//   generate the connection stream -> feed the passive monitor (§5, §6)
+//   sweep the server population with the active scanner (§3.2)
+// and expose one accessor per paper figure/table. This is the library's
+// primary public entry point; the bench binaries are thin wrappers over it.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "analysis/render.hpp"
+#include "clients/catalog.hpp"
+#include "fingerprint/database.hpp"
+#include "notary/monitor.hpp"
+#include "population/market.hpp"
+#include "population/traffic.hpp"
+#include "scan/scanner.hpp"
+#include "servers/population.hpp"
+
+namespace tls::study {
+
+struct StudyOptions {
+  std::uint64_t seed = 42;
+  /// Synthetic connections generated per month. The paper's dataset is
+  /// ~10^9/month; every figure is a percentage, so this only sets noise.
+  std::size_t connections_per_month = 20000;
+  tls::core::MonthRange window = tls::core::notary_window();
+  /// Full catalog includes the ~1,684-fingerprint Table-2 expansion;
+  /// disable for fast tests.
+  bool full_catalog = true;
+};
+
+class LongitudinalStudy {
+ public:
+  explicit LongitudinalStudy(StudyOptions options = {});
+
+  /// Runs the passive pipeline (idempotent; called lazily by accessors).
+  void run();
+
+  [[nodiscard]] const tls::clients::Catalog& catalog() const { return catalog_; }
+  [[nodiscard]] const tls::fp::FingerprintDatabase& database() const {
+    return database_;
+  }
+  [[nodiscard]] const tls::servers::ServerPopulation& servers() const {
+    return servers_;
+  }
+  [[nodiscard]] const tls::notary::PassiveMonitor& monitor();
+  [[nodiscard]] const tls::scan::ActiveScanner& scanner() const {
+    return *scanner_;
+  }
+  [[nodiscard]] const StudyOptions& options() const { return options_; }
+
+  // ---- passive figures (monthly percentage series over options.window) --
+  [[nodiscard]] tls::analysis::MonthlyChart figure1_versions();
+  [[nodiscard]] tls::analysis::MonthlyChart figure2_negotiated_classes();
+  [[nodiscard]] tls::analysis::MonthlyChart figure3_advertised_classes();
+  [[nodiscard]] tls::analysis::MonthlyChart figure4_fingerprint_support();
+  [[nodiscard]] tls::analysis::MonthlyChart figure5_relative_positions();
+  [[nodiscard]] tls::analysis::MonthlyChart figure6_rc4_advertised();
+  [[nodiscard]] tls::analysis::MonthlyChart figure7_weak_advertised();
+  [[nodiscard]] tls::analysis::MonthlyChart figure8_key_exchange();
+  [[nodiscard]] tls::analysis::MonthlyChart figure9_aead_negotiated();
+  [[nodiscard]] tls::analysis::MonthlyChart figure10_aead_advertised();
+
+  /// Generic monthly percentage series from a MonthlyStats projection.
+  using StatProjector =
+      std::function<double(const tls::notary::MonthlyStats&)>;
+  [[nodiscard]] tls::analysis::Series monthly_series(
+      const std::string& name, const StatProjector& projector);
+
+  /// Writes all ten figures plus the active-scan series as CSV files into
+  /// `directory` (created if absent). Returns the file paths written.
+  std::vector<std::string> export_figures(const std::string& directory);
+
+  /// Builds the labeled fingerprint database exactly as §4 does: run the
+  /// extractor over every catalog config and insert with collision rules.
+  static tls::fp::FingerprintDatabase build_database(
+      const tls::clients::Catalog& catalog);
+
+ private:
+  StudyOptions options_;
+  tls::clients::Catalog catalog_;
+  tls::fp::FingerprintDatabase database_;
+  tls::servers::ServerPopulation servers_;
+  std::unique_ptr<tls::population::MarketModel> market_;
+  std::unique_ptr<tls::notary::PassiveMonitor> monitor_;
+  std::unique_ptr<tls::scan::ActiveScanner> scanner_;
+  bool ran_ = false;
+};
+
+/// The study's standard attack markers for charts (Figs. 1, 2, 3, 6).
+std::vector<std::pair<tls::core::Month, char>> attack_markers();
+
+}  // namespace tls::study

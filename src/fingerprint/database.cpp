@@ -1,0 +1,76 @@
+#include "fingerprint/database.hpp"
+
+namespace tls::fp {
+
+std::string_view software_class_name(SoftwareClass c) {
+  switch (c) {
+    case SoftwareClass::kLibrary: return "Libraries";
+    case SoftwareClass::kBrowser: return "Browsers";
+    case SoftwareClass::kOsTool: return "OS Tools and Services";
+    case SoftwareClass::kMobileApp: return "Mobile apps";
+    case SoftwareClass::kDevTool: return "Dev. tools";
+    case SoftwareClass::kAntivirus: return "AV";
+    case SoftwareClass::kCloudStorage: return "Cloud Storage";
+    case SoftwareClass::kEmail: return "Email";
+    case SoftwareClass::kMalware: return "Malware & PUP";
+  }
+  return "?";
+}
+
+FingerprintDatabase::AddOutcome FingerprintDatabase::add(const Fingerprint& fp,
+                                                         SoftwareLabel label) {
+  return add(fp.hash(), std::move(label));
+}
+
+FingerprintDatabase::AddOutcome FingerprintDatabase::add(
+    const std::string& hash, SoftwareLabel label) {
+  if (removed_.contains(hash)) return AddOutcome::kAlreadyRemoved;
+
+  const auto it = entries_.find(hash);
+  if (it == entries_.end()) {
+    entries_.emplace(hash, std::move(label));
+    return AddOutcome::kAdded;
+  }
+
+  SoftwareLabel& existing = it->second;
+  if (existing.software == label.software) {
+    // Same software, wider version coverage.
+    if (label.version_min < existing.version_min || existing.version_min.empty()) {
+      existing.version_min = label.version_min;
+    }
+    if (label.version_max > existing.version_max) {
+      existing.version_max = label.version_max;
+    }
+    return AddOutcome::kVersionExtended;
+  }
+
+  const bool existing_lib = existing.cls == SoftwareClass::kLibrary;
+  const bool incoming_lib = label.cls == SoftwareClass::kLibrary;
+  if (existing_lib != incoming_lib) {
+    // Application vs library: the application is assumed to use the library,
+    // so the library label wins (§4: Chrome on Android -> "Android SDK").
+    if (incoming_lib) existing = std::move(label);
+    return AddOutcome::kResolvedLibrary;
+  }
+
+  // Two distinct software packages (or two distinct libraries) share the
+  // fingerprint: it cannot uniquely identify a client. Drop it permanently.
+  entries_.erase(it);
+  removed_.emplace(hash, true);
+  return AddOutcome::kRemoved;
+}
+
+const SoftwareLabel* FingerprintDatabase::lookup(
+    const std::string& hash) const {
+  const auto it = entries_.find(hash);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+std::map<SoftwareClass, std::size_t> FingerprintDatabase::count_by_class()
+    const {
+  std::map<SoftwareClass, std::size_t> counts;
+  for (const auto& [hash, label] : entries_) ++counts[label.cls];
+  return counts;
+}
+
+}  // namespace tls::fp

@@ -1,0 +1,79 @@
+// The labeled fingerprint database of §4: maps fingerprint hashes to the
+// program or library that produced them, with the paper's collision rules:
+//   * collision between two different kinds of software  -> drop the entry
+//     (it cannot uniquely identify a client);
+//   * collision between an application and a library     -> keep the library
+//     (assume the application links the library; e.g. Chrome-on-Android is
+//     identified as "Android SDK").
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "fingerprint/fingerprint.hpp"
+
+namespace tls::fp {
+
+/// Software classes of paper Table 2.
+enum class SoftwareClass : std::uint8_t {
+  kLibrary,
+  kBrowser,
+  kOsTool,
+  kMobileApp,
+  kDevTool,
+  kAntivirus,
+  kCloudStorage,
+  kEmail,
+  kMalware,
+};
+
+std::string_view software_class_name(SoftwareClass c);
+
+/// The label a fingerprint resolves to: software name plus the version range
+/// the fingerprint covers (a fingerprint usually spans many versions).
+struct SoftwareLabel {
+  std::string software;
+  SoftwareClass cls = SoftwareClass::kLibrary;
+  std::string version_min;
+  std::string version_max;
+};
+
+class FingerprintDatabase {
+ public:
+  enum class AddOutcome {
+    kAdded,            // new fingerprint
+    kVersionExtended,  // same software; version range widened
+    kResolvedLibrary,  // app/library collision; library label kept
+    kRemoved,          // cross-software collision; entry dropped for good
+    kAlreadyRemoved,   // hash was previously dropped
+  };
+
+  /// Inserts a (fingerprint, label) pair applying the collision rules above.
+  AddOutcome add(const Fingerprint& fp, SoftwareLabel label);
+  AddOutcome add(const std::string& hash, SoftwareLabel label);
+
+  /// Label for a hash; nullptr when unknown or removed by collision.
+  [[nodiscard]] const SoftwareLabel* lookup(const std::string& hash) const;
+
+  /// Number of live (labeled, non-removed) fingerprints.
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] std::size_t removed_count() const { return removed_.size(); }
+
+  /// Live fingerprint count per class, ordered as Table 2.
+  [[nodiscard]] std::map<SoftwareClass, std::size_t> count_by_class() const;
+
+  [[nodiscard]] const std::unordered_map<std::string, SoftwareLabel>& entries()
+      const {
+    return entries_;
+  }
+
+ private:
+  std::unordered_map<std::string, SoftwareLabel> entries_;
+  std::unordered_map<std::string, bool> removed_;  // hash -> dropped
+};
+
+}  // namespace tls::fp

@@ -1,0 +1,72 @@
+#include "fingerprint/duration.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tls::fp {
+
+void DurationTracker::record(const std::string& hash,
+                             const tls::core::Date& day,
+                             std::uint64_t connections) {
+  const std::int64_t d = day.to_days();
+  auto [it, inserted] = lifetimes_.try_emplace(hash, Lifetime{d, d, 0});
+  Lifetime& lt = it->second;
+  lt.first_day = std::min(lt.first_day, d);
+  lt.last_day = std::max(lt.last_day, d);
+  lt.connections += connections;
+}
+
+DurationTracker::Summary DurationTracker::summarize(
+    std::int64_t long_lived_threshold) const {
+  Summary s;
+  s.fingerprint_count = lifetimes_.size();
+  if (lifetimes_.empty()) return s;
+
+  std::vector<std::int64_t> durations;
+  durations.reserve(lifetimes_.size());
+  for (const auto& [hash, lt] : lifetimes_) {
+    durations.push_back(lt.duration_days());
+    s.total_connections += lt.connections;
+    if (lt.duration_days() <= 1) {
+      ++s.single_day_count;
+      s.single_day_connections += lt.connections;
+    }
+    if (lt.duration_days() > long_lived_threshold) {
+      ++s.long_lived_count;
+      s.long_lived_connections += lt.connections;
+    }
+  }
+  std::sort(durations.begin(), durations.end());
+
+  const auto quantile = [&](double q) {
+    const double pos = q * (static_cast<double>(durations.size()) - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, durations.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return static_cast<double>(durations[lo]) * (1 - frac) +
+           static_cast<double>(durations[hi]) * frac;
+  };
+
+  s.median_days = quantile(0.5);
+  s.q3_days = quantile(0.75);
+  s.max_days = durations.back();
+
+  double sum = 0;
+  for (const auto d : durations) sum += static_cast<double>(d);
+  s.mean_days = sum / static_cast<double>(durations.size());
+  double var = 0;
+  for (const auto d : durations) {
+    const double delta = static_cast<double>(d) - s.mean_days;
+    var += delta * delta;
+  }
+  s.stddev_days =
+      std::sqrt(var / static_cast<double>(durations.size()));
+  s.long_lived_connection_share =
+      s.total_connections == 0
+          ? 0
+          : static_cast<double>(s.long_lived_connections) /
+                static_cast<double>(s.total_connections);
+  return s;
+}
+
+}  // namespace tls::fp

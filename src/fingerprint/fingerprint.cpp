@@ -1,0 +1,102 @@
+#include "fingerprint/fingerprint.hpp"
+
+#include "fingerprint/md5.hpp"
+#include "tlscore/grease.hpp"
+
+namespace tls::fp {
+
+namespace {
+
+void append_list(std::string& out, const std::vector<std::uint16_t>& vals) {
+  bool first = true;
+  for (const auto v : vals) {
+    if (!first) out.push_back('-');
+    out += std::to_string(v);
+    first = false;
+  }
+}
+
+std::vector<std::uint16_t> strip_grease(std::vector<std::uint16_t> vals) {
+  std::erase_if(vals, [](std::uint16_t v) { return tls::core::is_grease(v); });
+  return vals;
+}
+
+}  // namespace
+
+std::string Fingerprint::canonical() const {
+  std::string out;
+  append_list(out, cipher_suites);
+  out.push_back(',');
+  append_list(out, extensions);
+  out.push_back(',');
+  append_list(out, groups);
+  out.push_back(',');
+  bool first = true;
+  for (const auto f : ec_point_formats) {
+    if (!first) out.push_back('-');
+    out += std::to_string(f);
+    first = false;
+  }
+  return out;
+}
+
+std::string Fingerprint::hash() const { return Md5::hex(canonical()); }
+
+Fingerprint extract_fingerprint(const tls::wire::ClientHello& hello) {
+  Fingerprint fp;
+  fp.cipher_suites = strip_grease(hello.cipher_suites);
+  fp.extensions.reserve(hello.extensions.size());
+  for (const auto& e : hello.extensions) {
+    if (!tls::core::is_grease(e.type)) fp.extensions.push_back(e.type);
+  }
+  if (auto groups = hello.supported_groups()) {
+    fp.groups = strip_grease(std::move(*groups));
+  }
+  if (auto formats = hello.ec_point_formats()) {
+    fp.ec_point_formats = std::move(*formats);
+  }
+  return fp;
+}
+
+std::string ja3_string(const tls::wire::ClientHello& hello) {
+  const Fingerprint fp = extract_fingerprint(hello);
+  std::string out = std::to_string(hello.legacy_version);
+  out.push_back(',');
+  out += fp.canonical();
+  return out;
+}
+
+std::string ja3_hash(const tls::wire::ClientHello& hello) {
+  return Md5::hex(ja3_string(hello));
+}
+
+std::string extended_fingerprint_string(const tls::wire::ClientHello& hello) {
+  std::string out = std::to_string(hello.legacy_version);
+  out.push_back('|');
+  out += extract_fingerprint(hello).canonical();
+  out.push_back('|');
+  bool first = true;
+  for (const auto c : hello.compression_methods) {
+    if (!first) out.push_back('-');
+    out += std::to_string(c);
+    first = false;
+  }
+  out.push_back('|');
+  const auto* sig = tls::wire::find_extension(
+      hello.extensions, tls::core::ExtensionType::kSignatureAlgorithms);
+  if (sig != nullptr) {
+    first = true;
+    for (const auto v : tls::wire::parse_signature_algorithms(sig->body)) {
+      if (!first) out.push_back('-');
+      out += std::to_string(v);
+      first = false;
+    }
+  }
+  return out;
+}
+
+std::string extended_fingerprint_hash(const tls::wire::ClientHello& hello) {
+  return Md5::hex(extended_fingerprint_string(hello));
+}
+
+}  // namespace tls::fp

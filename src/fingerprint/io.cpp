@@ -1,0 +1,108 @@
+#include "fingerprint/io.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace tls::fp {
+
+namespace {
+
+constexpr std::pair<SoftwareClass, std::string_view> kTokens[] = {
+    {SoftwareClass::kLibrary, "library"},
+    {SoftwareClass::kBrowser, "browser"},
+    {SoftwareClass::kOsTool, "os-tool"},
+    {SoftwareClass::kMobileApp, "mobile-app"},
+    {SoftwareClass::kDevTool, "dev-tool"},
+    {SoftwareClass::kAntivirus, "antivirus"},
+    {SoftwareClass::kCloudStorage, "cloud-storage"},
+    {SoftwareClass::kEmail, "email"},
+    {SoftwareClass::kMalware, "malware"},
+};
+
+}  // namespace
+
+std::string_view software_class_token(SoftwareClass cls) {
+  for (const auto& [c, token] : kTokens) {
+    if (c == cls) return token;
+  }
+  return "library";
+}
+
+SoftwareClass software_class_from_token(std::string_view token) {
+  for (const auto& [c, t] : kTokens) {
+    if (t == token) return c;
+  }
+  throw std::runtime_error("unknown software class token: " +
+                           std::string(token));
+}
+
+void save_database(std::ostream& out, const FingerprintDatabase& db) {
+  out << "# TLS client fingerprint database (" << db.size() << " entries)\n";
+  out << "# hash\tclass\tsoftware\tversion_min\tversion_max\n";
+  std::vector<std::pair<std::string, const SoftwareLabel*>> rows;
+  rows.reserve(db.size());
+  for (const auto& [hash, label] : db.entries()) {
+    rows.emplace_back(hash, &label);
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (const auto& [hash, label] : rows) {
+    out << hash << '\t' << software_class_token(label->cls) << '\t'
+        << label->software << '\t' << label->version_min << '\t'
+        << label->version_max << '\n';
+  }
+}
+
+void save_database_file(const std::string& path,
+                        const FingerprintDatabase& db) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  save_database(out, db);
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+FingerprintDatabase load_database(std::istream& in) {
+  FingerprintDatabase db;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::vector<std::string> fields;
+    std::size_t start = 0;
+    while (true) {
+      const auto tab = line.find('\t', start);
+      fields.push_back(line.substr(start, tab - start));
+      if (tab == std::string::npos) break;
+      start = tab + 1;
+    }
+    if (fields.size() != 5) {
+      throw std::runtime_error("line " + std::to_string(line_no) +
+                               ": expected 5 tab-separated fields, got " +
+                               std::to_string(fields.size()));
+    }
+    if (fields[0].size() != 32 ||
+        fields[0].find_first_not_of("0123456789abcdef") != std::string::npos) {
+      throw std::runtime_error("line " + std::to_string(line_no) +
+                               ": malformed hash '" + fields[0] + "'");
+    }
+    SoftwareLabel label;
+    label.cls = software_class_from_token(fields[1]);
+    label.software = fields[2];
+    label.version_min = fields[3];
+    label.version_max = fields[4];
+    db.add(fields[0], std::move(label));
+  }
+  return db;
+}
+
+FingerprintDatabase load_database_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open: " + path);
+  return load_database(in);
+}
+
+}  // namespace tls::fp

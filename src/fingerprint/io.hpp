@@ -1,0 +1,30 @@
+// Save/load for the labeled fingerprint database — the release format for
+// the corpus the paper published after acceptance (github.com/platonK/
+// tls_fingerprints). One record per line, tab-separated:
+//   <md5-hash>\t<class>\t<software>\t<version_min>\t<version_max>
+// Lines starting with '#' are comments.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "fingerprint/database.hpp"
+
+namespace tls::fp {
+
+/// Serializes all live entries, sorted by hash for stable diffs.
+void save_database(std::ostream& out, const FingerprintDatabase& db);
+void save_database_file(const std::string& path,
+                        const FingerprintDatabase& db);
+
+/// Parses a database dump; malformed lines raise std::runtime_error with
+/// the line number. Entries pass through FingerprintDatabase::add, so the
+/// §4 collision rules apply on load as well.
+FingerprintDatabase load_database(std::istream& in);
+FingerprintDatabase load_database_file(const std::string& path);
+
+/// Class <-> token mapping used by the file format.
+std::string_view software_class_token(SoftwareClass cls);
+SoftwareClass software_class_from_token(std::string_view token);
+
+}  // namespace tls::fp

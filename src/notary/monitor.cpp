@@ -1,0 +1,301 @@
+#include "notary/monitor.hpp"
+
+#include "fingerprint/fingerprint.hpp"
+#include "tlscore/grease.hpp"
+#include "wire/server_hello.hpp"
+#include "wire/alert.hpp"
+#include "wire/server_key_exchange.hpp"
+#include "wire/transcript.hpp"
+#include "handshake/negotiate.hpp"
+
+namespace tls::notary {
+
+using tls::core::CipherClass;
+using tls::core::CipherSuiteInfo;
+using tls::core::find_cipher_suite;
+using tls::core::Month;
+using tls::wire::ClientHello;
+using tls::wire::ServerHello;
+
+namespace {
+
+/// Relative position (0 = head, approaching 1 = tail) of the first offered
+/// suite matching pred; nullopt when no suite matches. GREASE and SCSV
+/// entries are skipped for both numerator and denominator, matching the
+/// fingerprint normalization.
+template <typename Pred>
+std::optional<double> first_position(const ClientHello& hello, Pred&& pred) {
+  std::size_t real_index = 0;
+  std::optional<std::size_t> hit;
+  for (const auto id : hello.cipher_suites) {
+    if (tls::core::is_grease(id)) continue;
+    const auto* info = find_cipher_suite(id);
+    if (info != nullptr && info->scsv) continue;
+    if (!hit && info != nullptr && pred(*info)) hit = real_index;
+    ++real_index;
+  }
+  if (!hit || real_index == 0) return std::nullopt;
+  return static_cast<double>(*hit) / static_cast<double>(real_index);
+}
+
+}  // namespace
+
+const MonthlyStats* PassiveMonitor::month(Month m) const {
+  const auto it = months_.find(m);
+  return it == months_.end() ? nullptr : &it->second;
+}
+
+void PassiveMonitor::observe(const tls::population::ConnectionEvent& event) {
+  if (event.sslv2) {
+    observe_sslv2(event.month);
+    return;
+  }
+  const auto client_record = event.hello.serialize_record();
+  std::vector<std::uint8_t> server_record;
+  std::vector<std::uint8_t> ske_record;
+  if (event.result.server_hello.has_value()) {
+    const auto& sh = *event.result.server_hello;
+    server_record = sh.serialize_record();
+    // Pre-1.3 EC handshakes carry the chosen curve in ServerKeyExchange.
+    if (event.result.negotiated_group != 0 &&
+        !sh.has_extension(tls::core::ExtensionType::kSupportedVersions)) {
+      ske_record = tls::wire::EcdheServerKeyExchange::stub(
+                       event.result.negotiated_group)
+                       .serialize_record(sh.legacy_version);
+    }
+  }
+  std::vector<std::uint8_t> alert_record;
+  if (!event.result.success &&
+      event.result.failure != tls::handshake::FailureReason::kNone) {
+    alert_record = tls::handshake::alert_for(event.result.failure)
+                       .serialize_record(0x0301);
+  }
+  observe_wire(event.month, event.day, client_record, server_record,
+               ske_record, event.result.success, event.used_fallback,
+               alert_record);
+}
+
+void PassiveMonitor::observe_flights(
+    Month m, const tls::core::Date& day,
+    std::span<const std::uint8_t> client_stream,
+    std::span<const std::uint8_t> server_stream) {
+  tls::wire::ParsedFlight cf, sf;
+  try {
+    cf = tls::wire::parse_flight(client_stream);
+    sf = tls::wire::parse_flight(server_stream);
+  } catch (const tls::wire::ParseError&) {
+    ++malformed_;
+    return;
+  }
+  if (!cf.client_hello.has_value()) {
+    ++malformed_;
+    return;
+  }
+  // §5.5: a session counts as established only when both directions carry
+  // a ChangeCipherSpec.
+  const bool established = cf.change_cipher_spec && sf.change_cipher_spec;
+  std::vector<std::uint8_t> server_record;
+  if (sf.server_hello.has_value()) {
+    server_record = sf.server_hello->serialize_record();
+  }
+  std::vector<std::uint8_t> ske_record;
+  if (sf.server_key_exchange.has_value()) {
+    ske_record = sf.server_key_exchange->serialize_record(0x0303);
+  }
+  std::vector<std::uint8_t> alert_record;
+  if (sf.alert.has_value()) {
+    alert_record = sf.alert->serialize_record(0x0301);
+  }
+  observe_wire(m, day, cf.client_hello->serialize_record(), server_record,
+               ske_record, established, /*used_fallback=*/false,
+               alert_record);
+}
+
+void PassiveMonitor::observe_sslv2(Month m) {
+  MonthlyStats& s = stats(m);
+  ++s.total;
+  ++s.successful;
+  ++s.sslv2_connections;
+  ++s.negotiated_version[0x0002];
+  ++total_;
+}
+
+void PassiveMonitor::observe_wire(
+    Month m, const tls::core::Date& day,
+    std::span<const std::uint8_t> client_record,
+    std::span<const std::uint8_t> server_record,
+    std::span<const std::uint8_t> server_key_exchange_record, bool success,
+    bool used_fallback, std::span<const std::uint8_t> alert_record) {
+  ClientHello hello;
+  try {
+    hello = ClientHello::parse_record(client_record);
+  } catch (const tls::wire::ParseError&) {
+    ++malformed_;
+    return;
+  }
+
+  MonthlyStats& s = stats(m);
+  ++s.total;
+  ++total_;
+  if (used_fallback) ++s.fallbacks;
+
+  // ---- client-advertised features ----
+  using namespace tls::core;
+  const bool rc4 = hello.offers([](const CipherSuiteInfo& i) { return is_rc4(i); });
+  const bool des = hello.offers([](const CipherSuiteInfo& i) { return is_single_des(i); });
+  const bool tdes = hello.offers([](const CipherSuiteInfo& i) { return is_3des(i); });
+  const bool aead = hello.offers([](const CipherSuiteInfo& i) { return is_aead(i); });
+  const bool cbc = hello.offers([](const CipherSuiteInfo& i) { return is_cbc(i); });
+  s.adv_rc4 += rc4;
+  s.adv_des += des;
+  s.adv_3des += tdes;
+  s.adv_aead += aead;
+  s.adv_cbc += cbc;
+  s.adv_export += hello.offers([](const CipherSuiteInfo& i) { return is_export(i); });
+  s.adv_anon += hello.offers([](const CipherSuiteInfo& i) { return is_anonymous(i); });
+  s.adv_null += hello.offers([](const CipherSuiteInfo& i) { return is_null_cipher(i); });
+  s.adv_fs += hello.offers([](const CipherSuiteInfo& i) { return is_forward_secret(i); });
+  s.adv_aes128gcm += hello.offers(
+      [](const CipherSuiteInfo& i) { return aead_kind(i) == AeadKind::kAes128Gcm; });
+  s.adv_aes256gcm += hello.offers(
+      [](const CipherSuiteInfo& i) { return aead_kind(i) == AeadKind::kAes256Gcm; });
+  s.adv_chacha += hello.offers([](const CipherSuiteInfo& i) {
+    return aead_kind(i) == AeadKind::kChaCha20Poly1305;
+  });
+  s.adv_ccm += hello.offers(
+      [](const CipherSuiteInfo& i) { return aead_kind(i) == AeadKind::kAesCcm; });
+
+  if (const auto hb = hello.heartbeat_mode()) ++s.heartbeat_offered;
+  s.reneg_info_offered +=
+      hello.has_extension(ExtensionType::kRenegotiationInfo) ||
+      std::find(hello.cipher_suites.begin(), hello.cipher_suites.end(),
+                suites::TLS_EMPTY_RENEGOTIATION_INFO_SCSV) !=
+          hello.cipher_suites.end();
+  s.etm_offered += hello.has_extension(ExtensionType::kEncryptThenMac);
+  s.ems_offered += hello.has_extension(ExtensionType::kExtendedMasterSecret);
+  s.sni_offered += hello.has_extension(ExtensionType::kServerName);
+  s.session_ticket_offered +=
+      hello.has_extension(ExtensionType::kSessionTicket);
+
+  if (const auto versions = hello.supported_versions()) {
+    bool any13 = false;
+    for (const auto v : *versions) {
+      if (is_grease_version(v)) continue;
+      if (v == 0x0304 || (v & 0xff00) == 0x7f00 || (v & 0xff00) == 0x7e00) {
+        any13 = true;
+        ++s.adv_tls13_versions[v];
+      }
+    }
+    s.adv_tls13 += any13;
+  }
+
+  // ---- Fig. 5 relative positions ----
+  if (const auto p = first_position(hello, [](const CipherSuiteInfo& i) { return is_aead(i); })) s.pos_aead.add(*p);
+  if (const auto p = first_position(hello, [](const CipherSuiteInfo& i) { return is_cbc(i); })) s.pos_cbc.add(*p);
+  if (const auto p = first_position(hello, [](const CipherSuiteInfo& i) { return is_rc4(i); })) s.pos_rc4.add(*p);
+  if (const auto p = first_position(hello, [](const CipherSuiteInfo& i) { return is_single_des(i); })) s.pos_des.add(*p);
+  if (const auto p = first_position(hello, [](const CipherSuiteInfo& i) { return is_3des(i); })) s.pos_3des.add(*p);
+
+  // ---- fingerprint stream (fields available from fp_start(), §4.0.1) ----
+  if (m >= fp_start()) {
+    const auto fp = tls::fp::extract_fingerprint(hello);
+    const std::string hash = fp.hash();
+    durations_.record(hash, day);
+    ++fingerprintable_;
+    std::uint8_t flags = 0;
+    if (rc4) flags |= kFpRc4;
+    if (des) flags |= kFpDes;
+    if (tdes) flags |= kFp3Des;
+    if (aead) flags |= kFpAead;
+    if (cbc) flags |= kFpCbc;
+    s.fingerprints[hash] |= flags;
+    if (database_ != nullptr) {
+      if (const auto* label = database_->lookup(hash)) {
+        ++labeled_by_class_[label->cls];
+      }
+    }
+  }
+
+  // ---- alerts on failed handshakes ----
+  if (!alert_record.empty()) {
+    try {
+      const auto alert = tls::wire::Alert::parse_record(alert_record);
+      ++s.alerts[static_cast<std::uint8_t>(alert.description)];
+    } catch (const tls::wire::ParseError&) {
+      ++malformed_;
+    }
+  }
+
+  // ---- server side ----
+  if (server_record.empty()) {
+    ++s.failures;
+    return;
+  }
+  ServerHello sh;
+  try {
+    sh = ServerHello::parse_record(server_record);
+  } catch (const tls::wire::ParseError&) {
+    ++malformed_;
+    ++s.failures;
+    return;
+  }
+
+  // Spec check: did the server pick something the client never offered?
+  const bool offered =
+      std::find(hello.cipher_suites.begin(), hello.cipher_suites.end(),
+                sh.cipher_suite) != hello.cipher_suites.end();
+  if (!offered) ++s.spec_violations;
+
+  if (!success) {
+    ++s.failures;
+    return;
+  }
+  ++s.successful;
+
+  const std::uint16_t version = sh.negotiated_version();
+  if (!hello.session_id.empty() && sh.session_id == hello.session_id &&
+      !(version == 0x0304 || (version & 0xff00) == 0x7f00 ||
+        (version & 0xff00) == 0x7e00)) {
+    ++s.resumed;
+  }
+  ++s.negotiated_version[version];
+  if (version == 0x0304 || (version & 0xff00) == 0x7f00 ||
+      (version & 0xff00) == 0x7e00) {
+    ++s.negotiated_tls13;
+  }
+
+  const auto* suite = find_cipher_suite(sh.cipher_suite);
+  if (suite != nullptr) {
+    if (is_rc4(*suite) && aead) ++s.rc4_despite_aead;
+    ++s.negotiated_class[cipher_class(*suite)];
+    ++s.negotiated_kex[kex_class(*suite)];
+    if (is_aead(*suite)) ++s.negotiated_aead[aead_kind(*suite)];
+    if (is_3des(*suite)) ++s.negotiated_3des;
+    if (is_export(*suite)) ++s.negotiated_export;
+    if (is_anonymous(*suite)) ++s.negotiated_anon;
+    if (is_null_cipher(*suite)) ++s.negotiated_null;
+    if (is_null_with_null_null(*suite)) ++s.negotiated_null_with_null_null;
+  }
+
+  if (const auto group = sh.key_share_group()) {
+    ++s.negotiated_group[*group];
+  } else if (!server_key_exchange_record.empty()) {
+    try {
+      const auto ske = tls::wire::EcdheServerKeyExchange::parse_record(
+          server_key_exchange_record);
+      ++s.negotiated_group[ske.named_curve];
+    } catch (const tls::wire::ParseError&) {
+      ++malformed_;
+    }
+  }
+
+  if (sh.heartbeat_mode().has_value() && hello.heartbeat_mode().has_value()) {
+    ++s.heartbeat_negotiated;
+  }
+  s.reneg_info_negotiated +=
+      sh.has_extension(ExtensionType::kRenegotiationInfo);
+  s.etm_negotiated += sh.has_extension(ExtensionType::kEncryptThenMac);
+  s.ems_negotiated += sh.has_extension(ExtensionType::kExtendedMasterSecret);
+}
+
+}  // namespace tls::notary

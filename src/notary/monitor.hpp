@@ -1,0 +1,195 @@
+// The passive monitor — our ICSI-SSL-Notary equivalent. It consumes raw
+// ClientHello/ServerHello record bytes (re-parsing what the generator
+// serialized, so the analysis path is identical to one fed by live taps)
+// and maintains the monthly aggregates behind every passive figure in the
+// paper, plus the fingerprint stream of §4.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "fingerprint/database.hpp"
+#include "fingerprint/duration.hpp"
+#include "population/traffic.hpp"
+#include "tlscore/cipher_suites.hpp"
+#include "tlscore/dates.hpp"
+
+namespace tls::notary {
+
+/// Accumulator for the average relative position of the first offered
+/// cipher of a class within the client's list (Fig. 5).
+struct PositionAccumulator {
+  double sum = 0;
+  std::uint64_t n = 0;
+
+  void add(double rel) {
+    sum += rel;
+    ++n;
+  }
+  [[nodiscard]] double average() const { return n == 0 ? 0.0 : sum / static_cast<double>(n); }
+};
+
+struct MonthlyStats {
+  std::uint64_t total = 0;
+  std::uint64_t successful = 0;
+  std::uint64_t failures = 0;
+  std::uint64_t fallbacks = 0;
+  std::uint64_t spec_violations = 0;
+  std::uint64_t sslv2_connections = 0;
+
+  /// Negotiated protocol versions (wire values; TLS 1.3 drafts collapse to
+  /// their wire value; SSLv2 recorded as 0x0002).
+  std::map<std::uint16_t, std::uint64_t> negotiated_version;
+  /// Negotiated cipher class (Fig. 2).
+  std::map<tls::core::CipherClass, std::uint64_t> negotiated_class;
+  /// Negotiated AEAD breakdown (Fig. 9).
+  std::map<tls::core::AeadKind, std::uint64_t> negotiated_aead;
+  /// Negotiated key-exchange family (Fig. 8).
+  std::map<tls::core::KexClass, std::uint64_t> negotiated_kex;
+  /// Negotiated named group (§6.3.3).
+  std::map<std::uint16_t, std::uint64_t> negotiated_group;
+
+  // Client-advertised support, counted per connection (Figs. 3, 6, 7, 10).
+  std::uint64_t adv_rc4 = 0, adv_des = 0, adv_3des = 0, adv_aead = 0;
+  std::uint64_t adv_cbc = 0, adv_export = 0, adv_anon = 0, adv_null = 0;
+  std::uint64_t adv_fs = 0;
+  std::uint64_t adv_aes128gcm = 0, adv_aes256gcm = 0, adv_chacha = 0,
+                adv_ccm = 0;
+
+  // TLS 1.3 deployment (§6.4).
+  std::uint64_t adv_tls13 = 0;
+  std::map<std::uint16_t, std::uint64_t> adv_tls13_versions;
+  std::uint64_t negotiated_tls13 = 0;
+
+  // Heartbeat (§5.4).
+  std::uint64_t heartbeat_offered = 0;
+  std::uint64_t heartbeat_negotiated = 0;
+
+  // Extension-deployment tracking (§9: RIE as the renegotiation-attack
+  // response, Encrypt-then-MAC as the Lucky-13 response).
+  std::uint64_t reneg_info_offered = 0;
+  std::uint64_t reneg_info_negotiated = 0;
+  std::uint64_t etm_offered = 0;
+  std::uint64_t etm_negotiated = 0;
+  std::uint64_t ems_offered = 0;
+  std::uint64_t ems_negotiated = 0;
+  std::uint64_t sni_offered = 0;
+  std::uint64_t session_ticket_offered = 0;
+  /// Abbreviated (resumed) pre-1.3 handshakes: non-empty client session id
+  /// echoed verbatim by the server.
+  std::uint64_t resumed = 0;
+
+  /// Fatal alerts observed on failed handshakes, by description.
+  std::map<std::uint8_t, std::uint64_t> alerts;
+
+  /// Server selected RC4 although the client offered AEAD suites — the
+  /// bankmellat-style outdated-choice misconfiguration of §5.3/§7.3.
+  std::uint64_t rc4_despite_aead = 0;
+
+  // Weak-suite negotiation residuals (§5.5, §5.6, §6.1, §6.2).
+  std::uint64_t negotiated_3des = 0;
+  std::uint64_t negotiated_export = 0;
+  std::uint64_t negotiated_anon = 0;
+  std::uint64_t negotiated_null = 0;
+  std::uint64_t negotiated_null_with_null_null = 0;
+
+  // Fig. 5 accumulators.
+  PositionAccumulator pos_aead, pos_cbc, pos_rc4, pos_des, pos_3des;
+
+  /// Distinct fingerprints seen this month with class-support flags
+  /// (Fig. 4). Bit 0: RC4, 1: DES, 2: 3DES, 3: AEAD, 4: CBC.
+  std::unordered_map<std::string, std::uint8_t> fingerprints;
+
+  [[nodiscard]] double pct(std::uint64_t x) const {
+    return total == 0 ? 0.0
+                      : 100.0 * static_cast<double>(x) /
+                            static_cast<double>(total);
+  }
+};
+
+/// Fingerprint support-flag bits used in MonthlyStats::fingerprints.
+inline constexpr std::uint8_t kFpRc4 = 1;
+inline constexpr std::uint8_t kFpDes = 2;
+inline constexpr std::uint8_t kFp3Des = 4;
+inline constexpr std::uint8_t kFpAead = 8;
+inline constexpr std::uint8_t kFpCbc = 16;
+
+class PassiveMonitor {
+ public:
+  /// `database` (optional) enables labeled-coverage accounting (Table 2).
+  explicit PassiveMonitor(const tls::fp::FingerprintDatabase* database = nullptr)
+      : database_(database) {}
+
+  /// Convenience wrapper: serializes the event's hellos to records, then
+  /// feeds observe_wire — keeping the byte-level path honest.
+  void observe(const tls::population::ConnectionEvent& event);
+
+  /// The raw-tap entry point. `server_key_exchange_record` may be empty
+  /// (RSA key transport, TLS 1.3, or failed handshakes).
+  void observe_wire(tls::core::Month month, const tls::core::Date& day,
+                    std::span<const std::uint8_t> client_hello_record,
+                    std::span<const std::uint8_t> server_hello_record,
+                    std::span<const std::uint8_t> server_key_exchange_record,
+                    bool success, bool used_fallback = false,
+                    std::span<const std::uint8_t> alert_record = {});
+
+  /// Full-transcript entry point: parses both directions' record streams
+  /// (hellos, ServerKeyExchange, alerts, ChangeCipherSpec) and applies the
+  /// §5.5 establishment criterion — both sides sent ChangeCipherSpec.
+  void observe_flights(tls::core::Month month, const tls::core::Date& day,
+                       std::span<const std::uint8_t> client_stream,
+                       std::span<const std::uint8_t> server_stream);
+
+  /// Records an SSLv2 CLIENT-HELLO connection (§5.1 residue).
+  void observe_sslv2(tls::core::Month month);
+
+  [[nodiscard]] const std::map<tls::core::Month, MonthlyStats>& months()
+      const {
+    return months_;
+  }
+  [[nodiscard]] const MonthlyStats* month(tls::core::Month m) const;
+
+  /// §4.1 fingerprint lifetime stream (active from fp_start()).
+  [[nodiscard]] const tls::fp::DurationTracker& durations() const {
+    return durations_;
+  }
+
+  /// Month the monitor's fingerprint features became available (§4.0.1:
+  /// the Notary gained the fields in Feb 2014; usable from Oct 2014).
+  [[nodiscard]] static tls::core::Month fp_start() {
+    return tls::core::Month(2014, 10);
+  }
+
+  // ---- dataset-wide tallies ----
+  [[nodiscard]] std::uint64_t total_connections() const { return total_; }
+  [[nodiscard]] std::uint64_t fingerprintable_connections() const {
+    return fingerprintable_;
+  }
+  [[nodiscard]] const std::map<tls::fp::SoftwareClass, std::uint64_t>&
+  labeled_connections_by_class() const {
+    return labeled_by_class_;
+  }
+  [[nodiscard]] std::uint64_t labeled_connections() const {
+    std::uint64_t n = 0;
+    for (const auto& [cls, c] : labeled_by_class_) n += c;
+    return n;
+  }
+  [[nodiscard]] std::uint64_t malformed_hellos() const { return malformed_; }
+
+ private:
+  MonthlyStats& stats(tls::core::Month m) { return months_[m]; }
+
+  const tls::fp::FingerprintDatabase* database_;
+  std::map<tls::core::Month, MonthlyStats> months_;
+  tls::fp::DurationTracker durations_;
+  std::uint64_t total_ = 0;
+  std::uint64_t fingerprintable_ = 0;
+  std::uint64_t malformed_ = 0;
+  std::map<tls::fp::SoftwareClass, std::uint64_t> labeled_by_class_;
+};
+
+}  // namespace tls::notary

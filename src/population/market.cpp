@@ -1,0 +1,101 @@
+#include "population/market.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tls::population {
+
+using tls::clients::ClientProfile;
+using tls::core::AnchorSeries;
+using tls::core::Month;
+
+double UpdateLagModel::updated_fraction(double months) const {
+  if (months <= 0) return 0.0;
+  return (1.0 - abandoned_fraction) *
+             (1.0 - std::exp2(-months / half_life_months)) +
+         abandoned_fraction *
+             (1.0 - std::exp2(-months / retirement_half_life_months));
+}
+
+std::vector<double> version_shares(const ClientProfile& profile, Month m,
+                                   const UpdateLagModel& lag) {
+  const std::size_t n = profile.versions.size();
+  std::vector<double> shares(n, 0.0);
+  if (n == 0) return shares;
+
+  const auto age_of = [&](const tls::core::Date& release) {
+    return static_cast<double>(m - Month(release)) +
+           // sub-month precision from the release day
+           (15.0 - release.day()) / 30.0;
+  };
+
+  const double first_age = age_of(profile.versions.front().release);
+  if (first_age < 0) return shares;  // nothing released yet
+
+  // Version i serves users whose lag falls between the age of version i+1
+  // and the age of version i.
+  double assigned = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double this_age = age_of(profile.versions[i].release);
+    if (this_age < 0) break;
+    double next_age = 0.0;
+    if (i + 1 < n) {
+      next_age = age_of(profile.versions[i + 1].release);
+      if (next_age < 0) next_age = 0.0;
+    }
+    const double share = lag.updated_fraction(this_age) -
+                         lag.updated_fraction(next_age);
+    shares[i] = std::max(0.0, share);
+    assigned += shares[i];
+  }
+  // Abandoned installs (and the not-yet-updated remainder) stay on the
+  // oldest version.
+  shares[0] += std::max(0.0, 1.0 - assigned);
+  return shares;
+}
+
+MarketModel::Pick MarketModel::sample(Month m, tls::core::Rng& rng) const {
+  double total = 0;
+  for (const auto& e : entries_) {
+    if (e.profile->config_at(m.first_day()) != nullptr) {
+      total += e.traffic_share.at(m);
+    }
+  }
+  if (total <= 0) return {};
+  double x = rng.uniform() * total;
+  const MarketEntry* chosen = nullptr;
+  for (const auto& e : entries_) {
+    if (e.profile->config_at(m.first_day()) == nullptr) continue;
+    x -= e.traffic_share.at(m);
+    if (x <= 0) {
+      chosen = &e;
+      break;
+    }
+  }
+  if (chosen == nullptr) {
+    for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+      if (it->profile->config_at(m.first_day()) != nullptr) {
+        chosen = &*it;
+        break;
+      }
+    }
+  }
+  if (chosen == nullptr) return {};
+
+  const auto shares = version_shares(*chosen->profile, m, chosen->lag);
+  double vx = rng.uniform();
+  const tls::clients::ClientConfig* config = nullptr;
+  for (std::size_t i = 0; i < shares.size(); ++i) {
+    vx -= shares[i];
+    if (vx <= 0) {
+      config = &chosen->profile->versions[i];
+      break;
+    }
+  }
+  if (config == nullptr) {
+    config = chosen->profile->config_at(m.first_day());
+  }
+  return {chosen, config};
+}
+
+}  // namespace tls::population

@@ -1,0 +1,82 @@
+// Client-side population model: which software generates traffic each
+// month, and which version of it users actually run.
+//
+// The version mix uses an update-lag model: each user has a lag L drawn
+// from a mixture of an exponential distribution (auto-/regular updaters,
+// half-life per software class) and an atom at infinity (abandoned
+// installs). A user with lag L runs the newest version released before
+// (month - L); abandoned mass sticks to the oldest version. This one
+// mechanism produces the paper's long tails: RC4 advertised well after
+// browsers dropped it (§5.3), Android 2.3 persisting for years (§7.2), and
+// fingerprints surviving > 1200 days (§4.1).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "clients/catalog.hpp"
+#include "tlscore/rng.hpp"
+#include "tlscore/series.hpp"
+
+namespace tls::population {
+
+struct UpdateLagModel {
+  double half_life_months = 2.0;
+  double abandoned_fraction = 0.05;
+  /// Abandoned installs are not immortal: the device eventually retires and
+  /// its replacement runs current software. This is the second component of
+  /// the lag mixture; large values ≈ never-retiring abandonware.
+  double retirement_half_life_months = 48.0;
+
+  /// CDF of the lag mixture at age `months`: regular updaters decay with
+  /// half_life_months, abandoned installs with retirement_half_life_months.
+  [[nodiscard]] double updated_fraction(double months) const;
+};
+
+/// Share of each catalog version of `profile` in use at month m.
+/// Returns one weight per profile.versions entry; sums to 1 when any
+/// version has been released, all-zero before the first release.
+std::vector<double> version_shares(const tls::clients::ClientProfile& profile,
+                                   tls::core::Month m,
+                                   const UpdateLagModel& lag);
+
+struct MarketEntry {
+  const tls::clients::ClientProfile* profile = nullptr;
+  tls::core::AnchorSeries traffic_share;
+  UpdateLagModel lag;
+  /// Destination routing key: "" = general web; otherwise the special
+  /// server population this client talks to ("grid", "nagios",
+  /// "interwise", "splunk").
+  std::string destination;
+  /// Fraction of this client's connections spoken as SSLv2 CLIENT-HELLOs
+  /// (the single-university Nagios residue of §5.1).
+  double sslv2_fraction = 0.0;
+};
+
+class MarketModel {
+ public:
+  /// The study's standard market, including the long-tail share spread
+  /// across the catalog's synthetic profiles.
+  static MarketModel standard(const tls::clients::Catalog& catalog);
+
+  [[nodiscard]] std::span<const MarketEntry> entries() const {
+    return entries_;
+  }
+
+  struct Pick {
+    const MarketEntry* entry = nullptr;
+    const tls::clients::ClientConfig* config = nullptr;
+  };
+
+  /// Samples a (client, version) pair for one connection in month m.
+  /// Returns a null pick only if no profile has released yet.
+  [[nodiscard]] Pick sample(tls::core::Month m, tls::core::Rng& rng) const;
+
+  void add(MarketEntry entry) { entries_.push_back(std::move(entry)); }
+
+ private:
+  std::vector<MarketEntry> entries_;
+};
+
+}  // namespace tls::population

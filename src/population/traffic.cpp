@@ -1,0 +1,192 @@
+#include "population/traffic.hpp"
+
+#include <algorithm>
+
+#include "wire/transcript.hpp"
+#include <stdexcept>
+
+namespace tls::population {
+
+using tls::core::Month;
+using tls::servers::ServerSegment;
+
+ConnectionFlights synthesize_flights(const ConnectionEvent& event) {
+  ConnectionFlights flights;
+  if (event.sslv2) return flights;  // pre-SSL3 framing; handled separately
+  const auto& r = event.result;
+  flights.client = tls::wire::client_flight(event.hello, r.success);
+  if (!r.success) {
+    std::optional<tls::wire::Alert> alert;
+    if (r.failure != tls::handshake::FailureReason::kNone) {
+      alert = tls::handshake::alert_for(r.failure);
+    }
+    flights.server = tls::wire::server_failure_flight(
+        r.server_hello, alert.value_or(tls::wire::Alert{}));
+    return flights;
+  }
+  std::optional<tls::wire::EcdheServerKeyExchange> ske;
+  if (r.negotiated_group != 0 && r.server_hello.has_value() &&
+      !r.server_hello->has_extension(
+          tls::core::ExtensionType::kSupportedVersions)) {
+    ske = tls::wire::EcdheServerKeyExchange::stub(r.negotiated_group);
+  }
+  flights.server =
+      tls::wire::server_flight(*r.server_hello, ske, /*established=*/true);
+  return flights;
+}
+
+TrafficGenerator::TrafficGenerator(
+    const MarketModel& market, const tls::servers::ServerPopulation& servers,
+    std::uint64_t seed)
+    : market_(market), servers_(servers), rng_(seed) {}
+
+const ServerSegment& TrafficGenerator::route(const MarketEntry& entry,
+                                             Month m) {
+  if (entry.destination.empty()) {
+    return servers_.sample_by_traffic(m, rng_);
+  }
+  // Special destinations: sample among segments whose name starts with the
+  // destination key, weighted by their (relative) traffic shares.
+  double total = 0;
+  for (const auto& s : servers_.segments()) {
+    if (s.special_destination && s.name.starts_with(entry.destination)) {
+      total += s.traffic_share.at(m);
+    }
+  }
+  if (total <= 0) {
+    throw std::logic_error("no server segment for destination " +
+                           entry.destination);
+  }
+  double x = rng_.uniform() * total;
+  const ServerSegment* last = nullptr;
+  for (const auto& s : servers_.segments()) {
+    if (!s.special_destination || !s.name.starts_with(entry.destination)) {
+      continue;
+    }
+    last = &s;
+    x -= s.traffic_share.at(m);
+    if (x <= 0) return s;
+  }
+  return *last;
+}
+
+const TrafficGenerator::MonthCache& TrafficGenerator::cache_for(Month m) {
+  const auto it = cache_.find(m.index());
+  if (it != cache_.end()) return it->second;
+
+  MonthCache c;
+  const auto entries = market_.entries();
+  c.entry_cum.reserve(entries.size());
+  c.version_cum.reserve(entries.size());
+  double cum = 0;
+  for (const auto& e : entries) {
+    const auto shares = version_shares(*e.profile, m, e.lag);
+    double any = 0;
+    for (const auto s : shares) any += s;
+    if (any > 0) cum += e.traffic_share.at(m);
+    c.entry_cum.push_back(cum);
+    std::vector<double> vcum(shares.size());
+    double v = 0;
+    for (std::size_t i = 0; i < shares.size(); ++i) {
+      v += shares[i];
+      vcum[i] = v;
+    }
+    c.version_cum.push_back(std::move(vcum));
+  }
+  return cache_.emplace(m.index(), std::move(c)).first->second;
+}
+
+void TrafficGenerator::generate_one(Month m, const Sink& sink) {
+  const MonthCache& cache = cache_for(m);
+  MarketModel::Pick pick;
+  if (!cache.entry_cum.empty() && cache.entry_cum.back() > 0) {
+    const double x = rng_.uniform() * cache.entry_cum.back();
+    const auto eit =
+        std::upper_bound(cache.entry_cum.begin(), cache.entry_cum.end(), x);
+    const std::size_t ei = std::min(
+        static_cast<std::size_t>(eit - cache.entry_cum.begin()),
+        market_.entries().size() - 1);
+    pick.entry = &market_.entries()[ei];
+    const auto& vcum = cache.version_cum[ei];
+    if (!vcum.empty() && vcum.back() > 0) {
+      const double vx = rng_.uniform() * vcum.back();
+      const auto vit = std::upper_bound(vcum.begin(), vcum.end(), vx);
+      const std::size_t vi =
+          std::min(static_cast<std::size_t>(vit - vcum.begin()),
+                   vcum.size() - 1);
+      pick.config = &pick.entry->profile->versions[vi];
+    }
+  }
+  if (pick.entry == nullptr || pick.config == nullptr) return;
+
+  ConnectionEvent ev;
+  ev.month = m;
+  ev.day = tls::core::Date(
+      m.year(), m.month(),
+      1 + static_cast<int>(rng_.below(
+              static_cast<std::uint64_t>(
+                  tls::core::days_in_month(m.year(), m.month())))));
+  ev.client = pick.entry->profile;
+  ev.config = pick.config;
+
+  const ServerSegment& server = route(*pick.entry, m);
+  ev.server = &server;
+
+  if (pick.entry->sslv2_fraction > 0 &&
+      rng_.chance(pick.entry->sslv2_fraction) &&
+      server.config.min_version <= 0x0002) {
+    ev.sslv2 = true;
+    sink(ev);
+    return;
+  }
+
+  ev.hello = tls::clients::make_client_hello(*pick.config, rng_, "host.test");
+
+  tls::handshake::NegotiateOptions opts;
+  opts.accept_unoffered_suite = pick.entry->profile->name == "Interwise";
+  // Roughly a third of revisits re-present a session id (clients that keep
+  // session caches; pre-1.3 only — 1.3-capable stacks already send one).
+  if (ev.hello.session_id.empty() && rng_.chance(0.33)) {
+    ev.hello.session_id.resize(32);
+    for (auto& b : ev.hello.session_id) {
+      b = static_cast<std::uint8_t>(rng_.next());
+    }
+    opts.attempt_resumption = true;
+  } else if (!ev.hello.session_id.empty()) {
+    opts.attempt_resumption = false;  // TLS 1.3 compat id, not a cache hit
+  }
+  ev.result = tls::handshake::negotiate(ev.hello, server.config, rng_, opts);
+
+  // The downgrade dance: clients that still perform insecure fallback
+  // retry with a lower version field (adding TLS_FALLBACK_SCSV once it
+  // existed) when the first attempt fails on version mismatch.
+  if (!ev.result.success &&
+      ev.result.failure == tls::handshake::FailureReason::kNoCommonVersion &&
+      pick.config->version_fallback &&
+      server.config.max_version < ev.hello.legacy_version &&
+      server.config.max_version >= pick.config->min_version) {
+    ev.hello.legacy_version = server.config.max_version;
+    if (m >= Month(2015, 4)) {  // RFC 7507 deployment
+      ev.hello.cipher_suites.push_back(
+          tls::core::suites::TLS_FALLBACK_SCSV);
+    }
+    ev.result = tls::handshake::negotiate(ev.hello, server.config, rng_, opts);
+    ev.used_fallback = true;
+  }
+  sink(ev);
+}
+
+void TrafficGenerator::generate_month(Month m, std::size_t count,
+                                      const Sink& sink) {
+  for (std::size_t i = 0; i < count; ++i) generate_one(m, sink);
+}
+
+void TrafficGenerator::generate_range(tls::core::MonthRange range,
+                                      std::size_t per_month,
+                                      const Sink& sink) {
+  for (Month m = range.begin_month; m <= range.end_month; ++m) {
+    generate_month(m, per_month, sink);
+  }
+}
+
+}  // namespace tls::population

@@ -1,0 +1,76 @@
+// The connection stream generator: samples (client version, server
+// deployment) pairs month by month, emits a real ClientHello, runs the
+// negotiation engine (with the historical fallback dance where the client
+// still performs it), and hands each connection to a sink — the synthetic
+// stand-in for the Notary's campus taps.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "handshake/negotiate.hpp"
+#include "population/market.hpp"
+#include "servers/population.hpp"
+#include "tlscore/rng.hpp"
+
+namespace tls::population {
+
+struct ConnectionEvent {
+  tls::core::Month month;
+  tls::core::Date day{2012, 1, 1};
+  const tls::clients::ClientProfile* client = nullptr;
+  const tls::clients::ClientConfig* config = nullptr;
+  const tls::servers::ServerSegment* server = nullptr;
+  tls::wire::ClientHello hello;  // the hello actually sent (post-fallback)
+  tls::handshake::NegotiationResult result;
+  bool used_fallback = false;
+  bool sslv2 = false;  // SSLv2 CLIENT-HELLO connection (hello is not set)
+};
+
+/// Synthesizes the per-direction record streams for a generated
+/// connection — the full-transcript view of the same event.
+struct ConnectionFlights {
+  std::vector<std::uint8_t> client;
+  std::vector<std::uint8_t> server;
+};
+ConnectionFlights synthesize_flights(const ConnectionEvent& event);
+
+class TrafficGenerator {
+ public:
+  TrafficGenerator(const MarketModel& market,
+                   const tls::servers::ServerPopulation& servers,
+                   std::uint64_t seed = 42);
+
+  using Sink = std::function<void(const ConnectionEvent&)>;
+
+  /// Generates `count` connections during month m.
+  void generate_month(tls::core::Month m, std::size_t count,
+                      const Sink& sink);
+
+  /// Generates count-per-month connections over an inclusive month range.
+  void generate_range(tls::core::MonthRange range, std::size_t per_month,
+                      const Sink& sink);
+
+ private:
+  /// Per-month sampling tables: cumulative entry weights and per-entry
+  /// cumulative version shares, built once per month (the market model is
+  /// piecewise-linear in months, so this is exact, not an approximation).
+  struct MonthCache {
+    std::vector<double> entry_cum;                // cumulative traffic shares
+    std::vector<std::vector<double>> version_cum; // per entry
+  };
+
+  const MonthCache& cache_for(tls::core::Month m);
+  const tls::servers::ServerSegment& route(const MarketEntry& entry,
+                                           tls::core::Month m);
+  void generate_one(tls::core::Month m, const Sink& sink);
+
+  const MarketModel& market_;
+  const tls::servers::ServerPopulation& servers_;
+  tls::core::Rng rng_;
+  std::unordered_map<int, MonthCache> cache_;
+};
+
+}  // namespace tls::population

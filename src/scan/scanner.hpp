@@ -1,0 +1,82 @@
+// Active-scan layer — the Censys-equivalent view of the server population.
+// Scans sweep hosts (host_share-weighted segments) with fixed ClientHellos:
+//   * the 2015-Chrome suite list (strong GCM+FS, weaker CBC, RC4, 3DES —
+//     §3.2), recording which class of suite each server selects;
+//   * an SSL3-only hello (§5.1's weekly scans);
+//   * an EXPORT-only hello (§5.5's FREAK/Logjam scans).
+// It also reports Heartbeat support and the Heartbleed-vulnerable fraction
+// (§5.4), and the SSL-Pulse-style RC4 support rates of §5.3.
+#pragma once
+
+#include <vector>
+
+#include "servers/population.hpp"
+#include "tlscore/dates.hpp"
+#include "tlscore/rng.hpp"
+#include "wire/client_hello.hpp"
+
+namespace tls::scan {
+
+/// The fixed scan hellos. Built once; byte-identical across calls.
+tls::wire::ClientHello chrome2015_hello();
+tls::wire::ClientHello ssl3_only_hello();
+tls::wire::ClientHello export_only_hello();
+tls::wire::ClientHello tls13_draft_hello();
+
+struct ScanSnapshot {
+  tls::core::Month month{2015, 8};
+
+  // Fractions of hosts (0..1), host_share-weighted.
+  double ssl3_support = 0;      // completes the SSL3-only handshake
+  double export_support = 0;    // completes the EXPORT-only handshake
+  double chooses_rc4 = 0;       // given the 2015-Chrome hello
+  double chooses_cbc = 0;
+  double chooses_aead = 0;
+  double chooses_3des = 0;
+  double rc4_support = 0;       // RC4 anywhere in the server's list
+  double rc4_only = 0;          // nothing but RC4 in common with the hello
+  double heartbeat_support = 0;
+  double heartbleed_vulnerable = 0;
+  double tls13_support = 0;
+};
+
+class ActiveScanner {
+ public:
+  explicit ActiveScanner(const tls::servers::ServerPopulation& population)
+      : population_(population) {}
+
+  /// One full IPv4-style sweep for month m (host_share-weighted).
+  [[nodiscard]] ScanSnapshot scan(tls::core::Month m) const;
+
+  /// SSL-Pulse-style sweep of *popular* sites: the same probes weighted by
+  /// traffic_share instead of host_share (§5.3's Alexa-based numbers).
+  [[nodiscard]] ScanSnapshot scan_popular(tls::core::Month m) const;
+
+  /// Probes one simulated host of `segment` with a real RFC 6520
+  /// Heartbleed probe (lying payload_length) against its heartbeat
+  /// responder — the §5.4 scan mechanism, not the analytic shortcut.
+  /// Whether this particular host is patched is drawn from the segment's
+  /// heartbleed_unpatched share at m.
+  [[nodiscard]] bool probe_heartbleed(
+      const tls::servers::ServerSegment& segment, tls::core::Month m,
+      tls::core::Rng& rng) const;
+
+  /// Monte-Carlo estimate of the vulnerable-host fraction via
+  /// probe_heartbleed over `samples` host draws; converges to the
+  /// analytic value reported by scan().
+  [[nodiscard]] double heartbleed_probe_fraction(tls::core::Month m,
+                                                 std::size_t samples,
+                                                 tls::core::Rng& rng) const;
+
+  /// Monthly sweeps over an inclusive range (the Censys window by default).
+  [[nodiscard]] std::vector<ScanSnapshot> scan_range(
+      tls::core::MonthRange range) const;
+
+ private:
+  [[nodiscard]] ScanSnapshot scan_weighted(tls::core::Month m,
+                                           bool by_traffic) const;
+
+  const tls::servers::ServerPopulation& population_;
+};
+
+}  // namespace tls::scan

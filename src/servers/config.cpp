@@ -1,0 +1,12 @@
+#include "servers/config.hpp"
+
+#include <algorithm>
+
+namespace tls::servers {
+
+bool ServerConfig::supports_suite(std::uint16_t id) const {
+  return std::find(cipher_preference.begin(), cipher_preference.end(), id) !=
+         cipher_preference.end();
+}
+
+}  // namespace tls::servers

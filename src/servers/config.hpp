@@ -1,0 +1,63 @@
+// Server-side TLS configuration model. A ServerConfig describes what one
+// deployment supports and prefers; the handshake engine negotiates against
+// it. Quirks model the spec-violating behaviours the paper observed in the
+// wild (§5.5 Interwise export-RC4 selection, §7.3 GOST choosers).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tlscore/cipher_suites.hpp"
+
+namespace tls::servers {
+
+enum class ServerQuirk : std::uint8_t {
+  kNone,
+  /// Responds with TLS_RSA_EXPORT_WITH_RC4_40_MD5 even though the client
+  /// never offered it (Interwise, §5.5).
+  kChooseExportRc4Unoffered,
+  /// Chooses a GOST suite not offered by the client (§7.3).
+  kChooseGostUnoffered,
+  /// Chooses an anonymous NULL suite not offered by the client (§7.3).
+  kChooseAnonNullUnoffered,
+};
+
+struct ServerConfig {
+  std::uint16_t max_version = 0x0303;
+  std::uint16_t min_version = 0x0300;  // <= 0x0300 means SSL3 still enabled
+  /// Supported suites in the server's preference order.
+  std::vector<std::uint16_t> cipher_preference;
+  /// true: pick by server order; false: honor the client's order.
+  bool prefer_server_order = true;
+  /// TLS 1.3 wire versions accepted via supported_versions (draft values
+  /// and/or 0x0304); empty = no TLS 1.3.
+  std::vector<std::uint16_t> tls13_versions;
+  /// Supported groups in preference order (empty = no EC support).
+  std::vector<std::uint16_t> groups{23, 24};
+  /// Echoes the heartbeat extension when the client offers it (§5.4).
+  bool echo_heartbeat = false;
+  /// Still running an unpatched OpenSSL 1.0.1[a-f] (Heartbleed, §5.4).
+  bool heartbleed_vulnerable = false;
+  /// Chokes on ClientHellos whose version field exceeds max_version instead
+  /// of negotiating down — the broken stacks that made browsers implement
+  /// the insecure fallback dance (§2.2 POODLE, Table 6).
+  bool version_intolerant = false;
+  bool supports_session_ticket = true;
+  /// Accepts abbreviated handshakes for a session id it "remembers"
+  /// (the simulator does not persist caches; acceptance is probabilistic
+  /// at this rate when the client presents a session id).
+  double resumption_rate = 0.6;
+  bool supports_ems = false;
+  bool supports_etm = false;
+  bool supports_renegotiation_info = true;
+  ServerQuirk quirk = ServerQuirk::kNone;
+
+  /// True if the server has `id` in its preference list.
+  [[nodiscard]] bool supports_suite(std::uint16_t id) const;
+  /// True if the deployment still accepts SSL3 hellos.
+  [[nodiscard]] bool supports_ssl3() const { return min_version <= 0x0300; }
+  [[nodiscard]] bool supports_tls13() const { return !tls13_versions.empty(); }
+};
+
+}  // namespace tls::servers

@@ -1,0 +1,481 @@
+// Standard server population. Weight anchors are calibrated against the
+// paper's reported server-side numbers:
+//   * RC4 negotiated ~60% of connections in Aug 2013 -> ~0 in 2018 (Fig 2)
+//   * servers choosing RC4 given a 2015-Chrome hello: 11.2% (2015-09) ->
+//     3.4% (2018-05) of hosts (§5.3)
+//   * servers choosing CBC: 54% -> 35% of hosts (§5.2)
+//   * SSL3 support: >45% (2015-09) -> <25% (2018-05) of hosts (§5.1)
+//   * 3DES chosen despite stronger options: 0.54% -> 0.25% of hosts (§5.6)
+//   * Heartbleed: 23.7% vulnerable at disclosure, <2% a month later,
+//     0.32% in May 2018; Heartbeat supported by 34% of hosts (§5.4)
+//   * ECDHE overtaking RSA kex after the 2013-06 Snowden disclosures (Fig 8)
+//   * TLS 1.3 negotiated in 1.3% of connections in Apr 2018 (§6.4)
+#include "servers/population.hpp"
+
+#include <stdexcept>
+
+namespace tls::servers {
+
+using tls::core::AnchorSeries;
+using tls::core::Month;
+
+namespace {
+
+using V = std::vector<std::uint16_t>;
+
+// ---- server-side suite preference orders ----
+
+V legacy_rc4_first() {
+  return {0x0005, 0x0004, 0x002f, 0x0035, 0x000a, 0x0009, 0x0003, 0x0008};
+}
+
+V legacy_cbc_first() {
+  return {0x002f, 0x0035, 0x0033, 0x0039, 0x000a,
+          0x0005, 0x0004, 0x0016, 0x0015, 0x0009};
+}
+
+V tls12_rc4_first() {
+  return {0x0005, 0xc011, 0x0004, 0xc013, 0xc014, 0x002f, 0x0035,
+          0x009c, 0x009d, 0xc02f, 0xc030, 0x000a};
+}
+
+V tls12_cbc_first() {
+  // Older CBC-first configs: RC4 still present at the bottom of the list.
+  return {0xc013, 0xc014, 0xc027, 0xc028, 0x0033, 0x0039, 0x002f,
+          0x0035, 0x003c, 0x003d, 0xc02f, 0xc030, 0x009c, 0x009d,
+          0x000a, 0x0005};
+}
+
+V tls12_cbc_first_norc4() {
+  // Post-RFC-7465 cleanups: same preference, RC4 removed (§5.3's SSL-Pulse
+  // support decline).
+  return {0xc013, 0xc014, 0xc027, 0xc028, 0x0033, 0x0039, 0x002f,
+          0x0035, 0x003c, 0x003d, 0xc02f, 0xc030, 0x009c, 0x009d,
+          0x000a};
+}
+
+V dhe_fs_first() {
+  return {0x0033, 0x0039, 0x0067, 0x006b, 0x009e, 0x009f,
+          0x002f, 0x0035, 0x000a};
+}
+
+V rsa_gcm_first() {
+  return {0x009d, 0x009c, 0x003d, 0x003c, 0x002f, 0x0035, 0x000a};
+}
+
+V ecdhe_gcm_first() {
+  return {0xc02f, 0xc030, 0xc02b, 0xc02c, 0xc013, 0xc014, 0xc027,
+          0xc028, 0x009c, 0x009d, 0x002f, 0x0035, 0x000a};
+}
+
+V cdn_pref() {
+  return {0xc02b, 0xc02f, 0xcca9, 0xcca8, 0xc02c, 0xc030,
+          0xc013, 0xc014, 0x002f, 0x0035};
+}
+
+V secp384_pref_suites() {
+  return {0xc030, 0xc02c, 0xc028, 0xc024, 0xc014, 0xc00a,
+          0x009d, 0x003d, 0x0035, 0x000a};
+}
+
+V tdes_first() {
+  V v{0x000a};
+  for (const auto id : ecdhe_gcm_first()) v.push_back(id);
+  return v;
+}
+
+V ssl3_suites() { return {0x0005, 0x0004, 0x000a, 0x0009, 0x002f, 0x0035}; }
+
+ServerSegment make(std::string name, ServerConfig cfg, AnchorSeries traffic,
+                   AnchorSeries hosts, bool special = false) {
+  ServerSegment s;
+  s.name = std::move(name);
+  s.config = std::move(cfg);
+  s.traffic_share = std::move(traffic);
+  s.host_share = std::move(hosts);
+  s.special_destination = special;
+  return s;
+}
+
+AnchorSeries heartbleed_ramp() {
+  // Fraction of this (OpenSSL-1.0.1-based) segment still unpatched.
+  // Anchored so population-wide vulnerable-host fractions match §5.4.
+  return AnchorSeries{{Month(2014, 3), 0.66}, {Month(2014, 5), 0.155},
+                      {Month(2014, 6), 0.048}, {Month(2015, 1), 0.024},
+                      {Month(2016, 1), 0.015}, {Month(2018, 5), 0.009}};
+}
+
+}  // namespace
+
+ServerPopulation ServerPopulation::standard() {
+  ServerPopulation pop;
+
+  // ---- general web segments ----
+  {
+    ServerConfig c;
+    c.max_version = 0x0301;
+    c.min_version = 0x0300;
+    c.cipher_preference = legacy_rc4_first();
+    c.groups = {};
+    pop.add(make("web-legacy-rc4first", c,
+                 AnchorSeries{{Month(2012, 1), 0.28}, {Month(2013, 6), 0.38},
+                              {Month(2014, 1), 0.26}, {Month(2014, 8), 0.17},
+                              {Month(2015, 3), 0.08}, {Month(2015, 8), 0.05},
+                              {Month(2016, 3), 0.015}, {Month(2017, 1), 0.004},
+                              {Month(2018, 4), 0.002}},
+                 AnchorSeries{{Month(2013, 10), 0.20}, {Month(2015, 8), 0.058},
+                              {Month(2016, 8), 0.045},
+                              {Month(2017, 8), 0.030},
+                              {Month(2018, 5), 0.020}}));
+  }
+  {
+    ServerConfig c;
+    c.max_version = 0x0301;
+    c.min_version = 0x0300;
+    c.cipher_preference = legacy_cbc_first();
+    c.groups = {};
+    pop.add(make("web-legacy-cbcfirst", c,
+                 AnchorSeries{{Month(2012, 1), 0.48}, {Month(2013, 1), 0.26},
+                              {Month(2013, 6), 0.15}, {Month(2014, 1), 0.13},
+                              {Month(2014, 8), 0.15}, {Month(2015, 3), 0.11},
+                              {Month(2015, 8), 0.08}, {Month(2016, 3), 0.05},
+                              {Month(2017, 1), 0.025},
+                              {Month(2018, 4), 0.012}},
+                 AnchorSeries{{Month(2013, 10), 0.40}, {Month(2015, 8), 0.200},
+                              {Month(2016, 8), 0.170},
+                              {Month(2017, 8), 0.150},
+                              {Month(2018, 5), 0.130}}));
+  }
+  {
+    ServerConfig c;
+    c.max_version = 0x0300;
+    c.min_version = 0x0300;
+    c.cipher_preference = ssl3_suites();
+    c.version_intolerant = true;  // the fallback-dance-inducing population
+    c.groups = {};
+    pop.add(make("web-ssl3only", c,
+                 AnchorSeries{{Month(2012, 1), 0.020}, {Month(2013, 1), 0.012},
+                              {Month(2013, 10), 0.006},
+                              {Month(2014, 6), 0.002},
+                              {Month(2015, 3), 0.0008},
+                              {Month(2016, 3), 0.0003},
+                              {Month(2018, 4), 0.00004}},
+                 AnchorSeries{{Month(2013, 10), 0.060}, {Month(2015, 8), 0.030},
+                              {Month(2018, 5), 0.010}}));
+  }
+  {
+    // BEAST-mitigation configs: RC4 pinned first (§5.2/§5.3); OpenSSL
+    // 1.0.1-based, Heartbeat echoed, SSL3 still enabled.
+    ServerConfig c;
+    c.max_version = 0x0303;
+    c.min_version = 0x0300;
+    c.cipher_preference = tls12_rc4_first();
+    c.echo_heartbeat = true;
+    pop.add(make("web-tls12-rc4first", c,
+                 AnchorSeries{{Month(2012, 1), 0.08}, {Month(2013, 1), 0.26},
+                              {Month(2013, 8), 0.40}, {Month(2014, 1), 0.30},
+                              {Month(2014, 8), 0.20}, {Month(2015, 3), 0.12},
+                              {Month(2015, 8), 0.07}, {Month(2016, 3), 0.02},
+                              {Month(2017, 1), 0.005},
+                              {Month(2018, 4), 0.001}},
+                 AnchorSeries{{Month(2013, 10), 0.100}, {Month(2015, 8), 0.036},
+                              {Month(2016, 8), 0.026},
+                              {Month(2017, 8), 0.020},
+                              {Month(2018, 5), 0.014}}))
+        ;
+    pop.segments_.back().heartbleed_unpatched = heartbleed_ramp();
+  }
+  {
+    // TLS 1.2, CBC preferred, SSL3 never cleaned up.
+    ServerConfig c;
+    c.max_version = 0x0303;
+    c.min_version = 0x0300;
+    c.cipher_preference = tls12_cbc_first();
+    c.echo_heartbeat = true;
+    pop.add(make("web-tls12-cbcfirst-ssl3", c,
+                 AnchorSeries{{Month(2012, 1), 0.06}, {Month(2013, 1), 0.06},
+                              {Month(2014, 1), 0.10}, {Month(2015, 3), 0.08},
+                              {Month(2015, 8), 0.06}, {Month(2016, 3), 0.035},
+                              {Month(2017, 1), 0.018}, {Month(2018, 4), 0.006}},
+                 AnchorSeries{{Month(2013, 10), 0.140}, {Month(2015, 8), 0.120},
+                              {Month(2016, 8), 0.080},
+                              {Month(2017, 8), 0.055},
+                              {Month(2018, 5), 0.040}}));
+    pop.segments_.back().heartbleed_unpatched = heartbleed_ramp();
+  }
+  {
+    // TLS 1.2, CBC preferred, SSL3 disabled post-POODLE, RC4 removed.
+    // A slice of these upgraded to OpenSSL 1.1 (EtM-capable) while keeping
+    // the CBC-first preference — the only place Encrypt-then-MAC actually
+    // negotiates (§9: "very limited take up").
+    ServerConfig c;
+    c.max_version = 0x0303;
+    c.min_version = 0x0301;
+    c.cipher_preference = tls12_cbc_first_norc4();
+    c.supports_etm = true;
+    c.echo_heartbeat = true;
+    pop.add(make("web-tls12-cbcfirst", c,
+                 AnchorSeries{{Month(2012, 1), 0.04}, {Month(2013, 1), 0.05},
+                              {Month(2014, 1), 0.11}, {Month(2014, 8), 0.14},
+                              {Month(2015, 8), 0.12}, {Month(2016, 3), 0.09},
+                              {Month(2017, 1), 0.045}, {Month(2018, 4), 0.018}},
+                 AnchorSeries{{Month(2015, 8), 0.160}, {Month(2016, 8), 0.175},
+                              {Month(2017, 8), 0.180},
+                              {Month(2018, 5), 0.180}}));
+    pop.segments_.back().heartbleed_unpatched = heartbleed_ramp();
+  }
+  {
+    // Forward secrecy via DHE (the quick post-Snowden fix; Fig 8's bump).
+    ServerConfig c;
+    c.max_version = 0x0303;
+    c.min_version = 0x0301;
+    c.cipher_preference = dhe_fs_first();
+    c.echo_heartbeat = true;  // apache+openssl-1.0.x era configs
+    c.groups = {};
+    pop.add(make("web-dhe-fs", c,
+                 AnchorSeries{{Month(2012, 1), 0.005}, {Month(2013, 6), 0.02},
+                              {Month(2014, 1), 0.06}, {Month(2015, 3), 0.07},
+                              {Month(2016, 3), 0.04}, {Month(2017, 1), 0.02},
+                              {Month(2018, 4), 0.012}},
+                 AnchorSeries{{Month(2015, 8), 0.040},
+                              {Month(2018, 5), 0.020}}));
+  }
+  {
+    // GCM enabled but ECDHE not: AES-256-GCM-first conservative configs.
+    ServerConfig c;
+    c.max_version = 0x0303;
+    c.min_version = 0x0301;
+    c.cipher_preference = rsa_gcm_first();
+    c.groups = {};
+    pop.add(make("web-rsa-gcm", c,
+                 AnchorSeries{{Month(2012, 1), 0.0}, {Month(2013, 1), 0.01},
+                              {Month(2014, 1), 0.04}, {Month(2015, 3), 0.06},
+                              {Month(2016, 3), 0.05}, {Month(2017, 1), 0.04},
+                              {Month(2018, 4), 0.035}},
+                 AnchorSeries{{Month(2015, 8), 0.060},
+                              {Month(2018, 5), 0.080}}));
+  }
+  {
+    // The modern mainstream: ECDHE-GCM first. Traffic ramps steeply after
+    // the 2013-06 Snowden disclosures (Fig 8).
+    ServerConfig c;
+    c.max_version = 0x0303;
+    c.min_version = 0x0301;
+    c.cipher_preference = ecdhe_gcm_first();
+    c.supports_ems = true;
+    c.supports_etm = true;  // OpenSSL >= 1.1 based deployments
+    pop.add(make("web-modern-ecdhe", c,
+                 AnchorSeries{{Month(2012, 1), 0.02}, {Month(2013, 6), 0.05},
+                              {Month(2014, 1), 0.13}, {Month(2014, 8), 0.17},
+                              {Month(2015, 3), 0.22}, {Month(2015, 8), 0.26},
+                              {Month(2016, 3), 0.33}, {Month(2017, 1), 0.37},
+                              {Month(2018, 4), 0.36}},
+                 AnchorSeries{{Month(2015, 8), 0.100},
+                              {Month(2018, 5), 0.260}}));
+  }
+  {
+    // Same, still echoing Heartbeat (OpenSSL 1.0.1/1.0.2-based builds).
+    ServerConfig c;
+    c.max_version = 0x0303;
+    c.min_version = 0x0301;
+    c.cipher_preference = ecdhe_gcm_first();
+    c.echo_heartbeat = true;
+    c.supports_ems = true;
+    pop.add(make("web-modern-ecdhe-hb", c,
+                 AnchorSeries{{Month(2012, 1), 0.01}, {Month(2013, 6), 0.03},
+                              {Month(2014, 1), 0.06}, {Month(2014, 8), 0.08},
+                              {Month(2015, 8), 0.12}, {Month(2016, 3), 0.15},
+                              {Month(2017, 1), 0.16}, {Month(2018, 4), 0.16}},
+                 AnchorSeries{{Month(2015, 8), 0.080}, {Month(2017, 8), 0.100},
+                              {Month(2018, 5), 0.105}}));
+    pop.segments_.back().heartbleed_unpatched = heartbleed_ramp();
+  }
+  {
+    // Large CDNs: x25519 + ChaCha, aggressive modern suites.
+    ServerConfig c;
+    c.max_version = 0x0303;
+    c.min_version = 0x0301;
+    c.cipher_preference = cdn_pref();
+    c.groups = {29, 23, 24};
+    c.supports_ems = true;
+    pop.add(make("web-cdn-x25519", c,
+                 AnchorSeries{{Month(2012, 1), 0.02}, {Month(2013, 6), 0.04},
+                              {Month(2014, 1), 0.08}, {Month(2015, 3), 0.11},
+                              {Month(2015, 8), 0.12}, {Month(2016, 3), 0.14},
+                              {Month(2017, 1), 0.15}, {Month(2017, 8), 0.18},
+                              {Month(2018, 4), 0.21}},
+                 AnchorSeries{{Month(2015, 8), 0.012},
+                              {Month(2018, 5), 0.025}}));
+  }
+  {
+    // Mobile-optimized endpoints honoring the client's cipher order
+    // (ChaCha20 for handsets without AES acceleration, §6.3.2).
+    ServerConfig c;
+    c.max_version = 0x0303;
+    c.min_version = 0x0301;
+    c.cipher_preference = cdn_pref();
+    c.prefer_server_order = false;
+    c.groups = {29, 23};
+    pop.add(make("web-mobile-clientorder", c,
+                 AnchorSeries{{Month(2013, 6), 0.002}, {Month(2014, 1), 0.01},
+                              {Month(2015, 3), 0.03}, {Month(2016, 3), 0.05},
+                              {Month(2017, 1), 0.08}, {Month(2018, 4), 0.10}},
+                 AnchorSeries{{Month(2015, 8), 0.004},
+                              {Month(2018, 5), 0.008}}));
+  }
+  {
+    // TLS 1.3 experimental deployments (Google variants + IETF drafts).
+    ServerConfig c;
+    c.max_version = 0x0303;
+    c.min_version = 0x0301;
+    c.cipher_preference = [] {
+      V v{0x1301, 0x1302, 0x1303};
+      for (const auto id : cdn_pref()) v.push_back(id);
+      return v;
+    }();
+    c.tls13_versions = {0x7e02, 0x7f1c, 0x7f17, 0x7f12, 0x0304};
+    c.groups = {29, 23, 24};
+    pop.add(make("web-tls13-exp", c,
+                 AnchorSeries{{Month(2016, 9), 0.0}, {Month(2016, 10), 0.001},
+                              {Month(2017, 6), 0.005}, {Month(2018, 1), 0.025},
+                              {Month(2018, 3), 0.05},
+                              {Month(2018, 5), 0.075}},
+                 AnchorSeries{{Month(2016, 9), 0.0}, {Month(2016, 10), 0.0005},
+                              {Month(2018, 5), 0.005}}));
+  }
+  {
+    // secp384r1-preferring conservative deployments (§6.3.3's 8.6%).
+    ServerConfig c;
+    c.max_version = 0x0303;
+    c.min_version = 0x0301;
+    c.cipher_preference = secp384_pref_suites();
+    c.groups = {24, 23};
+    pop.add(make("web-secp384", c,
+                 AnchorSeries{{Month(2012, 1), 0.03}, {Month(2013, 6), 0.03},
+                              {Month(2014, 6), 0.05}, {Month(2016, 3), 0.055},
+                              {Month(2018, 4), 0.05}},
+                 AnchorSeries{{Month(2015, 8), 0.030},
+                              {Month(2018, 5), 0.030}}));
+  }
+  {
+    // 3DES-preferring misconfigurations (§5.6: 0.54% -> 0.25% of hosts).
+    ServerConfig c;
+    c.max_version = 0x0303;
+    c.min_version = 0x0300;
+    c.cipher_preference = tdes_first();
+    pop.add(make("web-3des-pref", c,
+                 AnchorSeries{{Month(2012, 1), 0.014}, {Month(2013, 1), 0.012},
+                              {Month(2015, 8), 0.004}, {Month(2016, 9), 0.003},
+                              {Month(2018, 4), 0.0025}},
+                 AnchorSeries{{Month(2015, 8), 0.0054},
+                              {Month(2018, 5), 0.0025}}));
+  }
+  {
+    // GOST-choosing custom stacks (§7.3): reply with an unoffered suite.
+    ServerConfig c;
+    c.max_version = 0x0301;
+    c.min_version = 0x0300;
+    c.cipher_preference = {0x0081, 0x0080, 0xff85};
+    c.quirk = ServerQuirk::kChooseGostUnoffered;
+    c.groups = {};
+    pop.add(make("web-gost", c, AnchorSeries::constant(0.0005),
+                 AnchorSeries::constant(0.001)));
+  }
+
+  // ---- special destinations (explicitly routed, §5/§6 case studies) ----
+  {
+    // GRID endpoints: mutual-auth-only TLS, NULL cipher accepted (§6.1),
+    // sect571r1-preferring (the 0.2% curve tail of §6.3.3).
+    ServerConfig c;
+    c.max_version = 0x0303;
+    c.min_version = 0x0301;
+    c.cipher_preference = {0xc010, 0x0002, 0x0001, 0x003b, 0x002f, 0x0035};
+    c.echo_heartbeat = true;  // Globus / OpenSSL 1.0.x deployments
+    c.groups = {14, 23};
+    pop.add(make("grid-storage", c, AnchorSeries::constant(1.0),
+                 AnchorSeries::constant(0.0005), /*special=*/true));
+  }
+  {
+    // Nagios monitoring endpoints: anonymous DH with app-layer auth (§6.2).
+    ServerConfig c;
+    c.max_version = 0x0301;
+    c.min_version = 0x0002;  // the single university still speaking SSLv2
+    c.cipher_preference = {0x0034, 0x003a, 0x0018, 0x001b, 0x006c};
+    c.groups = {};
+    pop.add(make("nagios-monitor", c, AnchorSeries::constant(0.90),
+                 AnchorSeries::constant(0.0003), /*special=*/true));
+  }
+  {
+    // University Nagios hosts preferring anonymous *export* suites even
+    // when secure suites are offered (§5.5).
+    ServerConfig c;
+    c.max_version = 0x0301;
+    c.min_version = 0x0300;
+    c.cipher_preference = {0x0017, 0x0019, 0x0034, 0x0018};
+    c.groups = {};
+    pop.add(make("nagios-export", c, AnchorSeries::constant(0.06),
+                 AnchorSeries::constant(0.0001), /*special=*/true));
+  }
+  {
+    // Nagios hosts negotiating TLS_NULL_WITH_NULL_NULL (§6.1's 198.3K).
+    ServerConfig c;
+    c.max_version = 0x0301;
+    c.min_version = 0x0300;
+    c.cipher_preference = {0x0000, 0x0034};
+    c.groups = {};
+    pop.add(make("nagios-nullnull", c, AnchorSeries::constant(0.04),
+                 AnchorSeries::constant(0.0001), /*special=*/true));
+  }
+  {
+    // Interwise conferencing: answers EXP_RC4_40_MD5 never offered (§5.5).
+    ServerConfig c;
+    c.max_version = 0x0301;
+    c.min_version = 0x0300;
+    c.cipher_preference = {0x0003, 0x0005, 0x0004};
+    c.quirk = ServerQuirk::kChooseExportRc4Unoffered;
+    c.groups = {};
+    pop.add(make("interwise-conf", c, AnchorSeries::constant(1.0),
+                 AnchorSeries::constant(0.0001), /*special=*/true));
+  }
+  {
+    // Splunk indexers on port 9997: static ECDH (§6.3.1's 0.27%), pinned
+    // to secp521r1 (the 0.1% curve sliver of §6.3.3).
+    ServerConfig c;
+    c.max_version = 0x0303;
+    c.min_version = 0x0301;
+    c.cipher_preference = {0xc004, 0xc005, 0xc00e, 0xc00f, 0x002f, 0x0035};
+    c.groups = {25, 23};
+    pop.add(make("splunk-9997", c, AnchorSeries::constant(1.0),
+                 AnchorSeries::constant(0.0002), /*special=*/true));
+  }
+
+  return pop;
+}
+
+const ServerSegment* ServerPopulation::find(std::string_view name) const {
+  for (const auto& s : segments_) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+const ServerSegment& ServerPopulation::sample_by_traffic(
+    Month m, tls::core::Rng& rng) const {
+  double total = 0;
+  for (const auto& s : segments_) {
+    if (!s.special_destination) total += s.traffic_share.at(m);
+  }
+  if (total <= 0) throw std::logic_error("no general-web traffic weight");
+  double x = rng.uniform() * total;
+  for (const auto& s : segments_) {
+    if (s.special_destination) continue;
+    x -= s.traffic_share.at(m);
+    if (x <= 0) return s;
+  }
+  for (auto it = segments_.rbegin(); it != segments_.rend(); ++it) {
+    if (!it->special_destination) return *it;
+  }
+  throw std::logic_error("unreachable");
+}
+
+}  // namespace tls::servers

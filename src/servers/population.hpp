@@ -1,0 +1,73 @@
+// The evolving server-side deployment. Each ServerSegment is one class of
+// deployment (e.g. "TLS 1.2, CBC-first, SSL3 still on, OpenSSL 1.0.1") with
+// TWO weight series:
+//   traffic_share — share of *connections* terminating at this class
+//                   (what the passive Notary sees; popularity-weighted);
+//   host_share    — share of *IPv4 hosts* running this class
+//                   (what Censys-style scans see; long-tail-weighted).
+// Keeping both reproduces the paper's systematic passive-vs-active gaps
+// (e.g. SSL3: ~25% of hosts but <0.01% of connections, §5.1).
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "servers/config.hpp"
+#include "tlscore/dates.hpp"
+#include "tlscore/rng.hpp"
+#include "tlscore/series.hpp"
+
+namespace tls::servers {
+
+struct ServerSegment {
+  std::string name;
+  ServerConfig config;
+  tls::core::AnchorSeries traffic_share;
+  tls::core::AnchorSeries host_share;
+  /// Fraction of this segment's hosts still Heartbleed-unpatched at m
+  /// (only meaningful for segments whose config.echo_heartbeat is true).
+  tls::core::AnchorSeries heartbleed_unpatched;
+  /// true: only reachable via explicit destination routing (GRID, Nagios,
+  /// Interwise, Splunk); excluded from general web sampling.
+  bool special_destination = false;
+};
+
+class ServerPopulation {
+ public:
+  /// The study's standard deployment model (general web + special
+  /// destinations), with weights anchored to the paper's reported numbers.
+  static ServerPopulation standard();
+
+  [[nodiscard]] std::span<const ServerSegment> segments() const {
+    return segments_;
+  }
+  [[nodiscard]] const ServerSegment* find(std::string_view name) const;
+
+  /// Samples a general-web segment for one connection in month m,
+  /// proportionally to traffic_share. Never returns special destinations.
+  [[nodiscard]] const ServerSegment& sample_by_traffic(
+      tls::core::Month m, tls::core::Rng& rng) const;
+
+  /// Sum of host_share over segments satisfying `pred` divided by the
+  /// total host_share — the "fraction of servers" measure of active scans.
+  template <typename Pred>
+  [[nodiscard]] double host_fraction(tls::core::Month m, Pred&& pred) const {
+    double total = 0;
+    double matching = 0;
+    for (const auto& s : segments_) {
+      const double w = s.host_share.at(m);
+      total += w;
+      if (pred(s)) matching += w;
+    }
+    return total > 0 ? matching / total : 0;
+  }
+
+  void add(ServerSegment segment) { segments_.push_back(std::move(segment)); }
+
+ private:
+  std::vector<ServerSegment> segments_;
+};
+
+}  // namespace tls::servers

@@ -1,0 +1,77 @@
+#include "tlscore/extensions.hpp"
+
+#include <unordered_map>
+
+namespace tls::core {
+
+namespace {
+
+constexpr ExtensionInfo kExtensions[] = {
+    {0, "server_name", true},
+    {1, "max_fragment_length", true},
+    {2, "client_certificate_url", true},
+    {3, "trusted_ca_keys", true},
+    {4, "truncated_hmac", true},
+    {5, "status_request", true},
+    {6, "user_mapping", true},
+    {7, "client_authz", true},
+    {8, "server_authz", true},
+    {9, "cert_type", true},
+    {10, "supported_groups", true},
+    {11, "ec_point_formats", true},
+    {12, "srp", true},
+    {13, "signature_algorithms", true},
+    {14, "use_srtp", true},
+    {15, "heartbeat", true},
+    {16, "application_layer_protocol_negotiation", true},
+    {17, "status_request_v2", true},
+    {18, "signed_certificate_timestamp", true},
+    {19, "client_certificate_type", true},
+    {20, "server_certificate_type", true},
+    {21, "padding", true},
+    {22, "encrypt_then_mac", true},
+    {23, "extended_master_secret", true},
+    {24, "token_binding", true},
+    {25, "cached_info", true},
+    {27, "compress_certificate", true},
+    {28, "record_size_limit", true},
+    {35, "session_ticket", true},
+    {41, "pre_shared_key", true},
+    {42, "early_data", true},
+    {43, "supported_versions", true},
+    {44, "cookie", true},
+    {45, "psk_key_exchange_modes", true},
+    {47, "certificate_authorities", true},
+    {49, "post_handshake_auth", true},
+    {50, "signature_algorithms_cert", true},
+    {51, "key_share", true},
+    {13172, "next_protocol_negotiation", false},
+    {17513, "application_settings", false},
+    {30032, "channel_id", false},
+    {65281, "renegotiation_info", true},
+};
+
+const std::unordered_map<std::uint16_t, const ExtensionInfo*>& index() {
+  static const auto* idx = [] {
+    auto* m = new std::unordered_map<std::uint16_t, const ExtensionInfo*>();
+    for (const auto& e : kExtensions) m->emplace(e.id, &e);
+    return m;
+  }();
+  return *idx;
+}
+
+}  // namespace
+
+std::span<const ExtensionInfo> all_extensions() { return kExtensions; }
+
+const ExtensionInfo* find_extension(std::uint16_t id) {
+  const auto it = index().find(id);
+  return it == index().end() ? nullptr : it->second;
+}
+
+std::string extension_name(std::uint16_t id) {
+  if (const auto* e = find_extension(id)) return std::string(e->name);
+  return "ext_" + std::to_string(id);
+}
+
+}  // namespace tls::core

@@ -1,0 +1,78 @@
+// IANA TLS ExtensionType registry (the 28 extensions standardized as of the
+// study, per §2.1, plus the TLS 1.3 handshake extensions and the
+// renegotiation_info value). The Heartbeat (§5.4), supported_versions
+// (§6.4), encrypt_then_mac and renegotiation_info (§9) extensions are the
+// ones the paper analyzes directly.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace tls::core {
+
+enum class ExtensionType : std::uint16_t {
+  kServerName = 0,
+  kMaxFragmentLength = 1,
+  kClientCertificateUrl = 2,
+  kTrustedCaKeys = 3,
+  kTruncatedHmac = 4,
+  kStatusRequest = 5,
+  kUserMapping = 6,
+  kClientAuthz = 7,
+  kServerAuthz = 8,
+  kCertType = 9,
+  kSupportedGroups = 10,  // formerly "elliptic_curves"
+  kEcPointFormats = 11,
+  kSrp = 12,
+  kSignatureAlgorithms = 13,
+  kUseSrtp = 14,
+  kHeartbeat = 15,
+  kAlpn = 16,
+  kStatusRequestV2 = 17,
+  kSignedCertificateTimestamp = 18,
+  kClientCertificateType = 19,
+  kServerCertificateType = 20,
+  kPadding = 21,
+  kEncryptThenMac = 22,
+  kExtendedMasterSecret = 23,
+  kTokenBinding = 24,
+  kCachedInfo = 25,
+  kCompressCertificate = 27,
+  kRecordSizeLimit = 28,
+  kSessionTicket = 35,
+  kPreSharedKey = 41,
+  kEarlyData = 42,
+  kSupportedVersions = 43,
+  kCookie = 44,
+  kPskKeyExchangeModes = 45,
+  kCertificateAuthorities = 47,
+  kPostHandshakeAuth = 49,
+  kSignatureAlgorithmsCert = 50,
+  kKeyShare = 51,
+  kNextProtocolNegotiation = 13172,  // Google NPN (unofficial)
+  kApplicationSettings = 17513,
+  kChannelId = 30032,  // Google Channel ID (unofficial)
+  kRenegotiationInfo = 65281,
+};
+
+struct ExtensionInfo {
+  std::uint16_t id;
+  std::string_view name;
+  bool iana_registered;  // false for vendor extensions (NPN, Channel ID)
+};
+
+/// All known extensions, ascending by id.
+std::span<const ExtensionInfo> all_extensions();
+
+/// Lookup; nullptr for unknown / GREASE ids.
+const ExtensionInfo* find_extension(std::uint16_t id);
+
+/// Name for display; unknown ids render as "ext_<id>".
+std::string extension_name(std::uint16_t id);
+
+constexpr std::uint16_t wire_value(ExtensionType t) {
+  return static_cast<std::uint16_t>(t);
+}
+
+}  // namespace tls::core

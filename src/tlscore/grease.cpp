@@ -1,0 +1,2 @@
+#include "tlscore/grease.hpp"
+// Header-only; this TU exists so the target always has the symbol anchor.

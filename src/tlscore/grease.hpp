@@ -1,0 +1,31 @@
+// GREASE (RFC 8701, draft-ietf-tls-grease at study time): reserved values
+// Chrome injects into cipher-suite, extension, group and version lists to
+// keep servers tolerant of unknown values. The paper strips these before
+// fingerprinting (§4).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace tls::core {
+
+/// The 16 reserved GREASE values: 0x0a0a, 0x1a1a, ..., 0xfafa.
+constexpr std::array<std::uint16_t, 16> grease_values() {
+  std::array<std::uint16_t, 16> v{};
+  for (int i = 0; i < 16; ++i) {
+    const auto b = static_cast<std::uint16_t>(i * 16 + 0x0a);
+    v[static_cast<std::size_t>(i)] = static_cast<std::uint16_t>(b << 8 | b);
+  }
+  return v;
+}
+
+/// True if `value` is one of the 16 reserved GREASE code points.
+constexpr bool is_grease(std::uint16_t value) {
+  return (value & 0x0f0f) == 0x0a0a && (value >> 8) == (value & 0xff);
+}
+
+/// GREASE single-byte values used in ec_point_formats-like byte lists
+/// are not defined; only 16-bit code points are GREASEd.
+static_assert(is_grease(0x0a0a) && is_grease(0xfafa) && !is_grease(0x0a1a));
+
+}  // namespace tls::core

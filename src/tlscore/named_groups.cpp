@@ -1,0 +1,62 @@
+#include "tlscore/named_groups.hpp"
+
+#include <unordered_map>
+
+namespace tls::core {
+
+namespace {
+
+constexpr NamedGroupInfo kGroups[] = {
+    {1, "sect163k1", true, 80},
+    {3, "sect163r2", true, 80},
+    {6, "sect233k1", true, 112},
+    {7, "sect233r1", true, 112},
+    {9, "sect283k1", true, 128},
+    {10, "sect283r1", true, 128},
+    {11, "sect409k1", true, 192},
+    {12, "sect409r1", true, 192},
+    {13, "sect571k1", true, 256},
+    {14, "sect571r1", true, 256},
+    {16, "secp160r1", true, 80},
+    {18, "secp192k1", true, 96},
+    {19, "secp192r1", true, 96},
+    {20, "secp224k1", true, 112},
+    {21, "secp224r1", true, 112},
+    {22, "secp256k1", true, 128},
+    {23, "secp256r1", true, 128},
+    {24, "secp384r1", true, 192},
+    {25, "secp521r1", true, 256},
+    {26, "brainpoolP256r1", true, 128},
+    {27, "brainpoolP384r1", true, 192},
+    {28, "brainpoolP512r1", true, 256},
+    {29, "x25519", true, 128},
+    {30, "x448", true, 224},
+    {256, "ffdhe2048", false, 103},
+    {257, "ffdhe3072", false, 125},
+    {258, "ffdhe4096", false, 150},
+};
+
+const std::unordered_map<std::uint16_t, const NamedGroupInfo*>& index() {
+  static const auto* idx = [] {
+    auto* m = new std::unordered_map<std::uint16_t, const NamedGroupInfo*>();
+    for (const auto& g : kGroups) m->emplace(g.id, &g);
+    return m;
+  }();
+  return *idx;
+}
+
+}  // namespace
+
+std::span<const NamedGroupInfo> all_named_groups() { return kGroups; }
+
+const NamedGroupInfo* find_named_group(std::uint16_t id) {
+  const auto it = index().find(id);
+  return it == index().end() ? nullptr : it->second;
+}
+
+std::string named_group_name(std::uint16_t id) {
+  if (const auto* g = find_named_group(id)) return std::string(g->name);
+  return "group_" + std::to_string(id);
+}
+
+}  // namespace tls::core

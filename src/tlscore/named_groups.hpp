@@ -1,0 +1,64 @@
+// IANA "supported groups" (formerly elliptic curves) registry. The paper's
+// §6.3.3 curve-usage analysis (secp256r1 84.4%, secp384r1 8.6%, x25519 6.7%)
+// is computed over these identifiers.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace tls::core {
+
+enum class NamedGroup : std::uint16_t {
+  kSect163k1 = 1,
+  kSect163r2 = 3,
+  kSect233k1 = 6,
+  kSect233r1 = 7,
+  kSect283k1 = 9,
+  kSect283r1 = 10,
+  kSect409k1 = 11,
+  kSect409r1 = 12,
+  kSect571k1 = 13,
+  kSect571r1 = 14,
+  kSecp160r1 = 16,
+  kSecp192k1 = 18,
+  kSecp192r1 = 19,
+  kSecp224k1 = 20,
+  kSecp224r1 = 21,
+  kSecp256k1 = 22,
+  kSecp256r1 = 23,
+  kSecp384r1 = 24,
+  kSecp521r1 = 25,
+  kBrainpoolP256r1 = 26,
+  kBrainpoolP384r1 = 27,
+  kBrainpoolP512r1 = 28,
+  kX25519 = 29,
+  kX448 = 30,
+  kFfdhe2048 = 256,
+  kFfdhe3072 = 257,
+  kFfdhe4096 = 258,
+};
+
+struct NamedGroupInfo {
+  std::uint16_t id;
+  std::string_view name;
+  bool elliptic;        // false for ffdhe groups
+  int security_bits;    // approximate strength
+};
+
+std::span<const NamedGroupInfo> all_named_groups();
+const NamedGroupInfo* find_named_group(std::uint16_t id);
+std::string named_group_name(std::uint16_t id);
+
+constexpr std::uint16_t wire_value(NamedGroup g) {
+  return static_cast<std::uint16_t>(g);
+}
+
+/// EC point formats (RFC 4492); uncompressed is the only one that survived.
+enum class EcPointFormat : std::uint8_t {
+  kUncompressed = 0,
+  kAnsiX962CompressedPrime = 1,
+  kAnsiX962CompressedChar2 = 2,
+};
+
+}  // namespace tls::core

@@ -1,0 +1,41 @@
+#include "tlscore/series.hpp"
+
+#include <stdexcept>
+
+namespace tls::core {
+
+AnchorSeries::AnchorSeries(
+    std::initializer_list<std::pair<Month, double>> anchors) {
+  for (const auto& [m, v] : anchors) add(m, v);
+}
+
+void AnchorSeries::add(Month m, double value) {
+  if (!points_.empty() && !(points_.back().first < m)) {
+    throw std::invalid_argument("anchors must be strictly increasing");
+  }
+  points_.emplace_back(m, value);
+}
+
+double AnchorSeries::at(Month m) const {
+  if (points_.empty()) return 0.0;
+  if (m <= points_.front().first) return points_.front().second;
+  if (m >= points_.back().first) return points_.back().second;
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    if (m <= points_[i].first) {
+      const auto& [m0, v0] = points_[i - 1];
+      const auto& [m1, v1] = points_[i];
+      const double t =
+          static_cast<double>(m - m0) / static_cast<double>(m1 - m0);
+      return v0 + (v1 - v0) * t;
+    }
+  }
+  return points_.back().second;
+}
+
+AnchorSeries AnchorSeries::constant(double value) {
+  AnchorSeries s;
+  s.add(Month(2000, 1), value);
+  return s;
+}
+
+}  // namespace tls::core

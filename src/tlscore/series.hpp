@@ -1,0 +1,37 @@
+// Piecewise-linear time series anchored at months — the building block for
+// every slowly-drifting population share in the simulator (server segment
+// weights, client market shares, patch-adoption ramps).
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "tlscore/dates.hpp"
+
+namespace tls::core {
+
+class AnchorSeries {
+ public:
+  AnchorSeries() = default;
+  /// Anchors must be in strictly increasing month order.
+  AnchorSeries(std::initializer_list<std::pair<Month, double>> anchors);
+
+  void add(Month m, double value);
+
+  /// Linear interpolation between anchors; clamped to the first/last value
+  /// outside the anchored range. Zero when empty.
+  [[nodiscard]] double at(Month m) const;
+
+  [[nodiscard]] bool empty() const { return points_.empty(); }
+  [[nodiscard]] const std::vector<std::pair<Month, double>>& points() const {
+    return points_;
+  }
+
+  /// Constant series.
+  static AnchorSeries constant(double value);
+
+ private:
+  std::vector<std::pair<Month, double>> points_;
+};
+
+}  // namespace tls::core

@@ -1,0 +1,51 @@
+#include "tlscore/timeline.hpp"
+
+#include <vector>
+
+namespace tls::core {
+
+namespace {
+
+// Dates follow §2.2 and the figure markers in the paper.
+const std::vector<TimelineEvent>& events() {
+  static const auto* v = new std::vector<TimelineEvent>{
+      {"beast", "BEAST", Date(2011, 9, 6), EventKind::kAttack,
+       "CBC predictable-IV attack on TLS <= 1.0; client-side mitigation"},
+      {"lucky13", "Lucky13", Date(2012, 12, 6), EventKind::kAttack,
+       "timing attack against CBC-mode MAC-then-encrypt"},
+      {"rc4", "RC4", Date(2013, 3, 12), EventKind::kAttack,
+       "AlFardan et al. single-byte/double-byte RC4 biases"},
+      {"snowden", "Snowden", Date(2013, 6, 6), EventKind::kDisclosure,
+       "surveillance revelations; forward-secrecy awareness"},
+      {"heartbleed", "Heartbleed", Date(2014, 4, 7), EventKind::kAttack,
+       "OpenSSL Heartbeat buffer over-read (public disclosure)"},
+      {"poodle", "POODLE", Date(2014, 10, 14), EventKind::kAttack,
+       "SSL3 CBC padding-oracle via version fallback"},
+      {"rfc7465", "RFC 7465", Date(2015, 2, 1), EventKind::kStandard,
+       "Prohibiting RC4 cipher suites"},
+      {"freak", "FREAK", Date(2015, 3, 3), EventKind::kAttack,
+       "downgrade to RSA_EXPORT 512-bit key transport"},
+      {"rc4_passwords", "RC4 passwords", Date(2015, 3, 26),
+       EventKind::kAttack, "Garman et al. password-recovery attacks on RC4"},
+      {"logjam", "Logjam", Date(2015, 5, 20), EventKind::kAttack,
+       "downgrade to DHE_EXPORT 512-bit groups"},
+      {"rc4_nomore", "RC4 no more", Date(2015, 7, 15), EventKind::kAttack,
+       "Vanhoef & Piessens practical RC4 cookie recovery"},
+      {"sweet32", "Sweet32", Date(2016, 8, 31), EventKind::kAttack,
+       "birthday-bound attack on 64-bit block ciphers (DES/3DES)"},
+  };
+  return *v;
+}
+
+}  // namespace
+
+std::span<const TimelineEvent> attack_timeline() { return events(); }
+
+const TimelineEvent* find_event(std::string_view id) {
+  for (const auto& e : events()) {
+    if (e.id == id) return &e;
+  }
+  return nullptr;
+}
+
+}  // namespace tls::core

@@ -1,0 +1,29 @@
+// Timeline of the TLS attacks and events the paper correlates ecosystem
+// changes against (§2.2 and the vertical markers in Figs. 1, 2, 3, 6, 8).
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "tlscore/dates.hpp"
+
+namespace tls::core {
+
+enum class EventKind { kAttack, kDisclosure, kStandard, kBrowserChange };
+
+struct TimelineEvent {
+  std::string_view id;      // short slug, e.g. "poodle"
+  std::string_view label;   // display label used in figures
+  Date date;                // disclosure / publication date
+  EventKind kind;
+  std::string_view note;    // one-line description
+};
+
+/// The events of §2.2 plus Snowden, RFC 7465 and the RC4 follow-up papers,
+/// in chronological order.
+std::span<const TimelineEvent> attack_timeline();
+
+/// Lookup by slug; nullptr when unknown.
+const TimelineEvent* find_event(std::string_view id);
+
+}  // namespace tls::core

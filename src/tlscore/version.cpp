@@ -1,0 +1,58 @@
+#include "tlscore/version.hpp"
+
+#include <cstdio>
+
+namespace tls::core {
+
+std::string version_name(ProtocolVersion v) { return version_name(wire_value(v)); }
+
+std::string version_name(std::uint16_t wire) {
+  switch (wire) {
+    case 0x0002: return "SSLv2";
+    case 0x0300: return "SSLv3";
+    case 0x0301: return "TLSv1.0";
+    case 0x0302: return "TLSv1.1";
+    case 0x0303: return "TLSv1.2";
+    case 0x0304: return "TLSv1.3";
+    default: break;
+  }
+  char buf[40];
+  if ((wire & 0xff00) == 0x7f00) {
+    std::snprintf(buf, sizeof(buf), "TLS 1.3 draft-%d", wire & 0xff);
+  } else if ((wire & 0xff00) == 0x7e00) {
+    std::snprintf(buf, sizeof(buf), "TLS 1.3 experiment 0x%04x", wire);
+  } else {
+    std::snprintf(buf, sizeof(buf), "version 0x%04x", wire);
+  }
+  return buf;
+}
+
+std::optional<Date> version_release_date(ProtocolVersion v) {
+  switch (v) {
+    case ProtocolVersion::kSsl2: return Date(1995, 2, 1);
+    case ProtocolVersion::kSsl3: return Date(1996, 11, 1);
+    case ProtocolVersion::kTls10: return Date(1999, 1, 1);
+    case ProtocolVersion::kTls11: return Date(2006, 4, 1);
+    case ProtocolVersion::kTls12: return Date(2008, 8, 1);
+    case ProtocolVersion::kTls13: return Date(2018, 8, 1);
+    default: return std::nullopt;
+  }
+}
+
+int version_rank(ProtocolVersion v) {
+  switch (v) {
+    case ProtocolVersion::kSsl2: return 0;
+    case ProtocolVersion::kSsl3: return 10;
+    case ProtocolVersion::kTls10: return 20;
+    case ProtocolVersion::kTls11: return 30;
+    case ProtocolVersion::kTls12: return 40;
+    case ProtocolVersion::kTls13: return 1000;
+    default: break;
+  }
+  const auto w = wire_value(v);
+  if ((w & 0xff00) == 0x7f00) return 50 + (w & 0xff);   // drafts: 50..305
+  if ((w & 0xff00) == 0x7e00) return 400 + (w & 0xff);  // experiments
+  return -1;
+}
+
+}  // namespace tls::core

@@ -1,0 +1,50 @@
+// TLS alert messages (RFC 5246 §7.2). Failed negotiations in the study
+// terminate with an alert record; the monitor tallies them by description,
+// which is how a passive tap distinguishes version mismatches from cipher
+// mismatches from client aborts.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "wire/record.hpp"
+
+namespace tls::wire {
+
+enum class AlertLevel : std::uint8_t {
+  kWarning = 1,
+  kFatal = 2,
+};
+
+enum class AlertDescription : std::uint8_t {
+  kCloseNotify = 0,
+  kUnexpectedMessage = 10,
+  kBadRecordMac = 20,
+  kHandshakeFailure = 40,
+  kIllegalParameter = 47,
+  kDecodeError = 50,
+  kProtocolVersion = 70,
+  kInsufficientSecurity = 71,
+  kInternalError = 80,
+  kInappropriateFallback = 86,
+  kUserCanceled = 90,
+  kNoRenegotiation = 100,
+  kUnsupportedExtension = 110,
+};
+
+std::string_view alert_description_name(AlertDescription d);
+
+struct Alert {
+  AlertLevel level = AlertLevel::kFatal;
+  AlertDescription description = AlertDescription::kHandshakeFailure;
+
+  [[nodiscard]] std::vector<std::uint8_t> serialize_record(
+      std::uint16_t record_version) const;
+  static Alert parse_record(std::span<const std::uint8_t> data);
+
+  friend bool operator==(const Alert&, const Alert&) = default;
+};
+
+}  // namespace tls::wire

@@ -1,0 +1,132 @@
+#include "wire/client_hello.hpp"
+
+#include <algorithm>
+
+#include "tlscore/cipher_suites.hpp"
+
+namespace tls::wire {
+
+bool ClientHello::has_extension(std::uint16_t type) const {
+  return find_extension(extensions, type) != nullptr;
+}
+
+std::optional<std::string> ClientHello::server_name() const {
+  const auto* e =
+      find_extension(extensions, tls::core::ExtensionType::kServerName);
+  if (e == nullptr) return std::nullopt;
+  return parse_server_name(e->body);
+}
+
+std::optional<std::vector<std::uint16_t>> ClientHello::supported_groups()
+    const {
+  const auto* e =
+      find_extension(extensions, tls::core::ExtensionType::kSupportedGroups);
+  if (e == nullptr) return std::nullopt;
+  return parse_supported_groups(e->body);
+}
+
+std::optional<std::vector<std::uint8_t>> ClientHello::ec_point_formats()
+    const {
+  const auto* e =
+      find_extension(extensions, tls::core::ExtensionType::kEcPointFormats);
+  if (e == nullptr) return std::nullopt;
+  return parse_ec_point_formats(e->body);
+}
+
+std::optional<std::vector<std::uint16_t>> ClientHello::supported_versions()
+    const {
+  const auto* e =
+      find_extension(extensions, tls::core::ExtensionType::kSupportedVersions);
+  if (e == nullptr) return std::nullopt;
+  return parse_supported_versions_client(e->body);
+}
+
+std::optional<std::uint8_t> ClientHello::heartbeat_mode() const {
+  const auto* e =
+      find_extension(extensions, tls::core::ExtensionType::kHeartbeat);
+  if (e == nullptr) return std::nullopt;
+  return parse_heartbeat(e->body);
+}
+
+std::uint16_t ClientHello::max_offered_version() const {
+  const auto sv = supported_versions();
+  if (!sv || sv->empty()) return legacy_version;
+  std::uint16_t best = 0;
+  int best_rank = -1;
+  for (const auto v : *sv) {
+    if (tls::core::is_grease_version(v)) continue;
+    const int rank =
+        tls::core::version_rank(static_cast<tls::core::ProtocolVersion>(v));
+    if (rank > best_rank) {
+      best_rank = rank;
+      best = v;
+    }
+  }
+  return best_rank >= 0 ? best : legacy_version;
+}
+
+std::vector<std::uint8_t> ClientHello::serialize_body() const {
+  ByteWriter w;
+  w.u16(legacy_version);
+  w.bytes(random);
+  w.u8(static_cast<std::uint8_t>(session_id.size()));
+  w.bytes(session_id);
+  w.u16_list_u16len(cipher_suites);
+  w.u8(static_cast<std::uint8_t>(compression_methods.size()));
+  w.bytes(compression_methods);
+  if (!extensions.empty()) {
+    auto scope = w.u16_length_scope();
+    for (const auto& e : extensions) {
+      w.u16(e.type);
+      w.u16(static_cast<std::uint16_t>(e.body.size()));
+      w.bytes(e.body);
+    }
+  }
+  return w.take();
+}
+
+ClientHello ClientHello::parse_body(std::span<const std::uint8_t> body) {
+  ByteReader r(body);
+  ClientHello ch;
+  ch.legacy_version = r.u16();
+  const auto rnd = r.bytes(32);
+  std::copy(rnd.begin(), rnd.end(), ch.random.begin());
+  const auto sid = r.length_prefixed_u8();
+  ch.session_id.assign(sid.begin(), sid.end());
+  ch.cipher_suites = r.u16_list_u16len();
+  if (ch.cipher_suites.empty()) {
+    throw ParseError(ParseErrorCode::kBadLength, "empty cipher suite list");
+  }
+  const auto comp = r.length_prefixed_u8();
+  ch.compression_methods.assign(comp.begin(), comp.end());
+  if (ch.compression_methods.empty()) {
+    throw ParseError(ParseErrorCode::kBadLength, "empty compression list");
+  }
+  if (!r.empty()) {
+    ByteReader exts(r.length_prefixed_u16());
+    r.expect_empty("client hello");
+    while (!exts.empty()) {
+      Extension e;
+      e.type = exts.u16();
+      const auto b = exts.length_prefixed_u16();
+      e.body.assign(b.begin(), b.end());
+      ch.extensions.push_back(std::move(e));
+    }
+  }
+  return ch;
+}
+
+std::vector<std::uint8_t> ClientHello::serialize_record() const {
+  // Record-layer version convention: SSL3/TLS1.0 hellos use their own
+  // version; TLS 1.1+ clients use 0x0301 for middlebox compatibility.
+  const std::uint16_t record_version =
+      legacy_version <= 0x0301 ? legacy_version : 0x0301;
+  return wrap_handshake(HandshakeType::kClientHello, serialize_body(),
+                        record_version);
+}
+
+ClientHello ClientHello::parse_record(std::span<const std::uint8_t> data) {
+  return parse_body(unwrap_handshake(data, HandshakeType::kClientHello));
+}
+
+}  // namespace tls::wire

@@ -1,0 +1,34 @@
+// Error taxonomy for wire-format parsing. All parsers throw ParseError with
+// a specific code so tests and the monitor's malformed-input counters can
+// distinguish truncation from structural violations.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace tls::wire {
+
+enum class ParseErrorCode {
+  kTruncated,        // input shorter than a declared length
+  kTrailingBytes,    // declared length shorter than the input consumed
+  kBadLength,        // internal length field inconsistent (e.g. odd u16 list)
+  kBadValue,         // illegal enum / reserved value
+  kUnsupported,      // recognized but unimplemented construct
+};
+
+std::string_view parse_error_code_name(ParseErrorCode c);
+
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(ParseErrorCode code, const std::string& what)
+      : std::runtime_error(std::string(parse_error_code_name(code)) + ": " +
+                           what),
+        code_(code) {}
+
+  [[nodiscard]] ParseErrorCode code() const { return code_; }
+
+ private:
+  ParseErrorCode code_;
+};
+
+}  // namespace tls::wire

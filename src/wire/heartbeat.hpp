@@ -1,0 +1,75 @@
+// RFC 6520 heartbeat messages and a simulated responder that reproduces the
+// CVE-2014-0160 (Heartbleed) behaviour against *synthetic* memory: a
+// vulnerable responder trusts the attacker-controlled payload_length field
+// and reads past the request, leaking filler "process memory"; a patched
+// responder (RFC-compliant) silently discards mismatched lengths. This is
+// the probe the §5.4 scans used to measure the vulnerable population.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "wire/record.hpp"
+
+namespace tls::wire {
+
+enum class HeartbeatMessageType : std::uint8_t {
+  kRequest = 1,
+  kResponse = 2,
+};
+
+struct HeartbeatMessage {
+  HeartbeatMessageType type = HeartbeatMessageType::kRequest;
+  /// The length the sender *claims* its payload has. For well-formed
+  /// messages this equals payload.size(); Heartbleed probes lie here.
+  std::uint16_t claimed_payload_length = 0;
+  std::vector<std::uint8_t> payload;
+  /// RFC 6520 requires >= 16 bytes of random padding.
+  std::vector<std::uint8_t> padding = std::vector<std::uint8_t>(16, 0);
+
+  /// Serializes exactly what the struct says — including a lying
+  /// claimed_payload_length, which is the point of the probe.
+  [[nodiscard]] std::vector<std::uint8_t> serialize_record(
+      std::uint16_t record_version) const;
+  /// Parses the record; does NOT reject claimed_payload_length mismatches
+  /// (that check is the responder's job — the bug under study).
+  static HeartbeatMessage parse_record(std::span<const std::uint8_t> data);
+
+  [[nodiscard]] bool well_formed() const {
+    return claimed_payload_length == payload.size() && padding.size() >= 16;
+  }
+};
+
+/// A server's heartbeat implementation over synthetic process memory.
+class HeartbeatResponder {
+ public:
+  /// `vulnerable`: pre-CVE-2014-0160 behaviour. `memory` is the synthetic
+  /// process memory an over-read would leak from (never real data).
+  HeartbeatResponder(bool vulnerable, std::vector<std::uint8_t> memory);
+
+  /// Handles one request record. Returns the response record bytes, or
+  /// nullopt when the implementation (correctly) drops the message.
+  [[nodiscard]] std::optional<std::vector<std::uint8_t>> respond(
+      std::span<const std::uint8_t> request_record) const;
+
+  [[nodiscard]] bool vulnerable() const { return vulnerable_; }
+
+ private:
+  bool vulnerable_;
+  std::vector<std::uint8_t> memory_;
+};
+
+/// The scan probe: a request whose claimed_payload_length exceeds its real
+/// payload by `overread` bytes.
+HeartbeatMessage make_heartbleed_probe(std::uint16_t overread = 64);
+
+/// Interprets a responder's answer to make_heartbleed_probe():
+/// true  -> over-long response: the peer read past the request (vulnerable);
+/// false -> well-formed response or silence (patched / heartbeat disabled).
+bool probe_indicates_vulnerable(
+    const std::optional<std::vector<std::uint8_t>>& response,
+    std::uint16_t overread = 64);
+
+}  // namespace tls::wire

@@ -1,0 +1,92 @@
+#include "wire/record.hpp"
+
+namespace tls::wire {
+
+std::vector<std::uint8_t> Record::serialize() const {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(type));
+  w.u16(legacy_version);
+  if (fragment.size() > 0x4000 + 2048) {
+    throw ParseError(ParseErrorCode::kBadLength, "record fragment too large");
+  }
+  w.u16(static_cast<std::uint16_t>(fragment.size()));
+  w.bytes(fragment);
+  return w.take();
+}
+
+Record Record::parse(std::span<const std::uint8_t> data) {
+  std::size_t consumed = 0;
+  Record r = parse_prefix(data, &consumed);
+  if (consumed != data.size()) {
+    throw ParseError(ParseErrorCode::kTrailingBytes,
+                     "record followed by " +
+                         std::to_string(data.size() - consumed) + " bytes");
+  }
+  return r;
+}
+
+Record Record::parse_prefix(std::span<const std::uint8_t> data,
+                            std::size_t* consumed) {
+  ByteReader r(data);
+  Record rec;
+  const auto type = r.u8();
+  switch (type) {
+    case 20: case 21: case 22: case 23: case 24:
+      rec.type = static_cast<ContentType>(type);
+      break;
+    default:
+      throw ParseError(ParseErrorCode::kBadValue,
+                       "unknown content type " + std::to_string(type));
+  }
+  rec.legacy_version = r.u16();
+  const auto frag = r.length_prefixed_u16();
+  rec.fragment.assign(frag.begin(), frag.end());
+  if (consumed != nullptr) *consumed = r.position();
+  return rec;
+}
+
+std::vector<std::uint8_t> HandshakeMessage::serialize() const {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(type));
+  w.u24(static_cast<std::uint32_t>(body.size()));
+  w.bytes(body);
+  return w.take();
+}
+
+HandshakeMessage HandshakeMessage::parse(std::span<const std::uint8_t> data) {
+  ByteReader r(data);
+  HandshakeMessage m;
+  m.type = static_cast<HandshakeType>(r.u8());
+  const auto body = r.length_prefixed_u24();
+  m.body.assign(body.begin(), body.end());
+  r.expect_empty("handshake message");
+  return m;
+}
+
+std::vector<std::uint8_t> wrap_handshake(HandshakeType type,
+                                         std::span<const std::uint8_t> body,
+                                         std::uint16_t record_version) {
+  HandshakeMessage m;
+  m.type = type;
+  m.body.assign(body.begin(), body.end());
+  Record rec;
+  rec.type = ContentType::kHandshake;
+  rec.legacy_version = record_version;
+  rec.fragment = m.serialize();
+  return rec.serialize();
+}
+
+std::vector<std::uint8_t> unwrap_handshake(std::span<const std::uint8_t> data,
+                                           HandshakeType expected) {
+  const Record rec = Record::parse(data);
+  if (rec.type != ContentType::kHandshake) {
+    throw ParseError(ParseErrorCode::kBadValue, "not a handshake record");
+  }
+  HandshakeMessage m = HandshakeMessage::parse(rec.fragment);
+  if (m.type != expected) {
+    throw ParseError(ParseErrorCode::kBadValue, "unexpected handshake type");
+  }
+  return std::move(m.body);
+}
+
+}  // namespace tls::wire

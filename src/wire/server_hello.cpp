@@ -1,0 +1,88 @@
+#include "wire/server_hello.hpp"
+
+#include <algorithm>
+
+#include "tlscore/version.hpp"
+
+namespace tls::wire {
+
+bool ServerHello::has_extension(std::uint16_t type) const {
+  return find_extension(extensions, type) != nullptr;
+}
+
+std::uint16_t ServerHello::negotiated_version() const {
+  const auto* e =
+      find_extension(extensions, tls::core::ExtensionType::kSupportedVersions);
+  if (e != nullptr) return parse_supported_versions_server(e->body);
+  return legacy_version;
+}
+
+std::optional<std::uint8_t> ServerHello::heartbeat_mode() const {
+  const auto* e =
+      find_extension(extensions, tls::core::ExtensionType::kHeartbeat);
+  if (e == nullptr) return std::nullopt;
+  return parse_heartbeat(e->body);
+}
+
+std::optional<std::uint16_t> ServerHello::key_share_group() const {
+  const auto* e =
+      find_extension(extensions, tls::core::ExtensionType::kKeyShare);
+  if (e == nullptr) return std::nullopt;
+  return parse_key_share_server_group(e->body);
+}
+
+std::vector<std::uint8_t> ServerHello::serialize_body() const {
+  ByteWriter w;
+  w.u16(legacy_version);
+  w.bytes(random);
+  w.u8(static_cast<std::uint8_t>(session_id.size()));
+  w.bytes(session_id);
+  w.u16(cipher_suite);
+  w.u8(compression_method);
+  if (!extensions.empty()) {
+    auto scope = w.u16_length_scope();
+    for (const auto& e : extensions) {
+      w.u16(e.type);
+      w.u16(static_cast<std::uint16_t>(e.body.size()));
+      w.bytes(e.body);
+    }
+  }
+  return w.take();
+}
+
+ServerHello ServerHello::parse_body(std::span<const std::uint8_t> body) {
+  ByteReader r(body);
+  ServerHello sh;
+  sh.legacy_version = r.u16();
+  const auto rnd = r.bytes(32);
+  std::copy(rnd.begin(), rnd.end(), sh.random.begin());
+  const auto sid = r.length_prefixed_u8();
+  sh.session_id.assign(sid.begin(), sid.end());
+  sh.cipher_suite = r.u16();
+  sh.compression_method = r.u8();
+  if (!r.empty()) {
+    ByteReader exts(r.length_prefixed_u16());
+    r.expect_empty("server hello");
+    while (!exts.empty()) {
+      Extension e;
+      e.type = exts.u16();
+      const auto b = exts.length_prefixed_u16();
+      e.body.assign(b.begin(), b.end());
+      sh.extensions.push_back(std::move(e));
+    }
+  }
+  return sh;
+}
+
+std::vector<std::uint8_t> ServerHello::serialize_record() const {
+  const std::uint16_t record_version =
+      legacy_version <= 0x0301 ? legacy_version : 0x0301;
+  return wrap_handshake(HandshakeType::kServerHello, serialize_body(),
+                        record_version);
+}
+
+ServerHello ServerHello::parse_record(std::span<const std::uint8_t> data) {
+  return parse_body(unwrap_handshake(data, HandshakeType::kServerHello));
+}
+
+}  // namespace tls::wire

@@ -1,0 +1,55 @@
+#include "wire/server_key_exchange.hpp"
+
+namespace tls::wire {
+
+std::vector<std::uint8_t> EcdheServerKeyExchange::serialize_body() const {
+  ByteWriter w;
+  w.u8(3);  // curve_type: named_curve
+  w.u16(named_curve);
+  w.u8(static_cast<std::uint8_t>(public_point.size()));
+  w.bytes(public_point);
+  w.u16(0x0401);  // signature algorithm: rsa_pkcs1_sha256 (stub)
+  w.u16(static_cast<std::uint16_t>(signature.size()));
+  w.bytes(signature);
+  return w.take();
+}
+
+EcdheServerKeyExchange EcdheServerKeyExchange::parse_body(
+    std::span<const std::uint8_t> body) {
+  ByteReader r(body);
+  const auto curve_type = r.u8();
+  if (curve_type != 3) {
+    throw ParseError(ParseErrorCode::kUnsupported,
+                     "only named_curve ECDHE is supported");
+  }
+  EcdheServerKeyExchange ske;
+  ske.named_curve = r.u16();
+  const auto point = r.length_prefixed_u8();
+  ske.public_point.assign(point.begin(), point.end());
+  r.u16();  // signature algorithm
+  const auto sig = r.length_prefixed_u16();
+  ske.signature.assign(sig.begin(), sig.end());
+  r.expect_empty("server key exchange");
+  return ske;
+}
+
+std::vector<std::uint8_t> EcdheServerKeyExchange::serialize_record(
+    std::uint16_t record_version) const {
+  return wrap_handshake(HandshakeType::kServerKeyExchange, serialize_body(),
+                        record_version);
+}
+
+EcdheServerKeyExchange EcdheServerKeyExchange::parse_record(
+    std::span<const std::uint8_t> data) {
+  return parse_body(unwrap_handshake(data, HandshakeType::kServerKeyExchange));
+}
+
+EcdheServerKeyExchange EcdheServerKeyExchange::stub(std::uint16_t curve) {
+  EcdheServerKeyExchange ske;
+  ske.named_curve = curve;
+  ske.public_point.assign(33, 0x04);
+  ske.signature.assign(64, 0x5a);
+  return ske;
+}
+
+}  // namespace tls::wire

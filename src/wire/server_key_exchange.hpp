@@ -1,0 +1,31 @@
+// Minimal ECDHE ServerKeyExchange codec (RFC 4492 §5.4): enough structure
+// to carry the server's chosen named curve on the wire, which is what the
+// curve-usage analysis (§6.3.3) parses. Key material and signature are
+// synthesized stubs — the simulator never computes ECDH.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "wire/record.hpp"
+
+namespace tls::wire {
+
+struct EcdheServerKeyExchange {
+  std::uint16_t named_curve = 23;
+  std::vector<std::uint8_t> public_point;
+  std::vector<std::uint8_t> signature;
+
+  [[nodiscard]] std::vector<std::uint8_t> serialize_body() const;
+  static EcdheServerKeyExchange parse_body(std::span<const std::uint8_t> body);
+  [[nodiscard]] std::vector<std::uint8_t> serialize_record(
+      std::uint16_t record_version) const;
+  static EcdheServerKeyExchange parse_record(
+      std::span<const std::uint8_t> data);
+
+  /// Stub message for `curve` with deterministic filler key material.
+  static EcdheServerKeyExchange stub(std::uint16_t curve);
+};
+
+}  // namespace tls::wire

@@ -1,0 +1,59 @@
+#include "wire/sslv2.hpp"
+
+namespace tls::wire {
+
+std::vector<std::uint8_t> Sslv2ClientHello::serialize() const {
+  ByteWriter body;
+  body.u8(1);  // MSG-CLIENT-HELLO
+  body.u16(version);
+  body.u16(static_cast<std::uint16_t>(cipher_specs.size() * 3));
+  body.u16(static_cast<std::uint16_t>(session_id.size()));
+  body.u16(static_cast<std::uint16_t>(challenge.size()));
+  for (const auto k : cipher_specs) body.u24(k);
+  body.bytes(session_id);
+  body.bytes(challenge);
+
+  ByteWriter w;
+  // Two-byte record header with the high bit set (no padding).
+  w.u16(static_cast<std::uint16_t>(0x8000 | body.size()));
+  w.bytes(body.data());
+  return w.take();
+}
+
+Sslv2ClientHello Sslv2ClientHello::parse(std::span<const std::uint8_t> data) {
+  ByteReader r(data);
+  const auto header = r.u16();
+  if ((header & 0x8000) == 0) {
+    throw ParseError(ParseErrorCode::kBadValue, "not an SSLv2 record");
+  }
+  const std::size_t len = header & 0x7fff;
+  ByteReader body(r.bytes(len));
+  r.expect_empty("sslv2 record");
+
+  Sslv2ClientHello ch;
+  const auto msg_type = body.u8();
+  if (msg_type != 1) {
+    throw ParseError(ParseErrorCode::kBadValue, "not an SSLv2 CLIENT-HELLO");
+  }
+  ch.version = body.u16();
+  const auto cipher_len = body.u16();
+  const auto sid_len = body.u16();
+  const auto challenge_len = body.u16();
+  if (cipher_len % 3 != 0) {
+    throw ParseError(ParseErrorCode::kBadLength, "cipher spec bytes % 3");
+  }
+  ByteReader specs(body.bytes(cipher_len));
+  while (!specs.empty()) ch.cipher_specs.push_back(specs.u24());
+  const auto sid = body.bytes(sid_len);
+  ch.session_id.assign(sid.begin(), sid.end());
+  const auto chal = body.bytes(challenge_len);
+  ch.challenge.assign(chal.begin(), chal.end());
+  body.expect_empty("sslv2 client hello");
+  return ch;
+}
+
+bool Sslv2ClientHello::looks_like(std::span<const std::uint8_t> data) {
+  return data.size() >= 3 && (data[0] & 0x80) != 0 && data[2] == 1;
+}
+
+}  // namespace tls::wire

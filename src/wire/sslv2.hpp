@@ -1,0 +1,37 @@
+// SSLv2 CLIENT-HELLO (the pre-SSL3 record format). A small number of Notary
+// connections (§5.1) still use SSLv2; the monitor must recognize the format.
+// SSLv2 cipher specs are 3 bytes (kind); SSLv3-compatible hellos embed
+// 2-byte TLS suites as 0x00XXXX.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "wire/buffer.hpp"
+
+namespace tls::wire {
+
+struct Sslv2ClientHello {
+  std::uint16_t version = 0x0002;
+  std::vector<std::uint32_t> cipher_specs;  // 3-byte kinds
+  std::vector<std::uint8_t> session_id;
+  std::vector<std::uint8_t> challenge;
+
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+  static Sslv2ClientHello parse(std::span<const std::uint8_t> data);
+
+  /// True when `data` begins with an SSLv2 record header carrying a
+  /// CLIENT-HELLO (msb set two-byte length + msg type 1).
+  static bool looks_like(std::span<const std::uint8_t> data);
+};
+
+/// Well-known SSLv2 cipher kinds.
+namespace sslv2_ciphers {
+inline constexpr std::uint32_t SSL_CK_RC4_128_WITH_MD5 = 0x010080;
+inline constexpr std::uint32_t SSL_CK_RC4_128_EXPORT40_WITH_MD5 = 0x020080;
+inline constexpr std::uint32_t SSL_CK_DES_64_CBC_WITH_MD5 = 0x060040;
+inline constexpr std::uint32_t SSL_CK_DES_192_EDE3_CBC_WITH_MD5 = 0x0700c0;
+}  // namespace sslv2_ciphers
+
+}  // namespace tls::wire

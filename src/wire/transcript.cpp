@@ -1,0 +1,183 @@
+#include "wire/transcript.hpp"
+
+#include "tlscore/cipher_suites.hpp"
+
+namespace tls::wire {
+
+namespace {
+
+std::uint16_t record_version_for(std::uint16_t hello_version) {
+  return hello_version <= 0x0301 ? hello_version : 0x0303;
+}
+
+std::vector<std::uint8_t> finished_record(std::uint16_t record_version) {
+  HandshakeMessage m;
+  m.type = HandshakeType::kFinished;
+  m.body.assign(12, 0x0f);  // stub verify_data
+  Record rec;
+  rec.type = ContentType::kHandshake;
+  rec.legacy_version = record_version;
+  rec.fragment = m.serialize();
+  return rec.serialize();
+}
+
+void append(std::vector<std::uint8_t>& out,
+            const std::vector<std::uint8_t>& bytes) {
+  out.insert(out.end(), bytes.begin(), bytes.end());
+}
+
+/// True when the suite carries no server certificate (anonymous kex or
+/// the NULL_WITH_NULL_NULL placeholder).
+bool certificate_free(std::uint16_t suite) {
+  const auto* info = tls::core::find_cipher_suite(suite);
+  if (info == nullptr) return false;
+  return tls::core::is_anonymous(*info) || suite == 0x0000;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> certificate_message_body(std::size_t cert_count,
+                                                   std::size_t cert_size) {
+  ByteWriter w;
+  {
+    auto list = w.u24_length_scope();
+    for (std::size_t i = 0; i < cert_count; ++i) {
+      auto cert = w.u24_length_scope();
+      for (std::size_t b = 0; b < cert_size; ++b) {
+        w.u8(static_cast<std::uint8_t>(0x30 + i + b % 16));  // DER filler
+      }
+    }
+  }
+  return w.take();
+}
+
+std::vector<std::uint8_t> change_cipher_spec_record(
+    std::uint16_t record_version) {
+  Record rec;
+  rec.type = ContentType::kChangeCipherSpec;
+  rec.legacy_version = record_version;
+  rec.fragment = {1};
+  return rec.serialize();
+}
+
+ParsedFlight parse_flight(std::span<const std::uint8_t> stream) {
+  ParsedFlight flight;
+  std::size_t offset = 0;
+  while (offset < stream.size()) {
+    std::size_t consumed = 0;
+    Record rec = Record::parse_prefix(stream.subspan(offset), &consumed);
+    offset += consumed;
+    switch (rec.type) {
+      case ContentType::kChangeCipherSpec:
+        flight.change_cipher_spec = true;
+        break;
+      case ContentType::kAlert: {
+        if (rec.fragment.size() == 2 &&
+            (rec.fragment[0] == 1 || rec.fragment[0] == 2)) {
+          Alert a;
+          a.level = static_cast<AlertLevel>(rec.fragment[0]);
+          a.description = static_cast<AlertDescription>(rec.fragment[1]);
+          flight.alert = a;
+        }
+        break;
+      }
+      case ContentType::kHandshake: {
+        try {
+          const HandshakeMessage m = HandshakeMessage::parse(rec.fragment);
+          switch (m.type) {
+            case HandshakeType::kClientHello:
+              flight.client_hello = ClientHello::parse_body(m.body);
+              break;
+            case HandshakeType::kServerHello:
+              flight.server_hello = ServerHello::parse_body(m.body);
+              break;
+            case HandshakeType::kServerKeyExchange:
+              flight.server_key_exchange =
+                  EcdheServerKeyExchange::parse_body(m.body);
+              break;
+            case HandshakeType::kCertificate:
+              ++flight.certificate_count;
+              break;
+            default:
+              break;  // CKE, Finished, HelloRequest: nothing to decode
+          }
+        } catch (const ParseError&) {
+          ++flight.unparsed_handshakes;
+        }
+        break;
+      }
+      default:
+        break;  // application data / heartbeat: opaque to the tap
+    }
+    flight.records.push_back(std::move(rec));
+  }
+  return flight;
+}
+
+std::vector<std::uint8_t> client_flight(const ClientHello& hello,
+                                        bool established) {
+  const std::uint16_t rv = record_version_for(hello.legacy_version);
+  std::vector<std::uint8_t> out = hello.serialize_record();
+  if (established) {
+    HandshakeMessage cke;
+    cke.type = HandshakeType::kClientKeyExchange;
+    cke.body.assign(48, 0x5a);  // stub key material
+    Record rec;
+    rec.type = ContentType::kHandshake;
+    rec.legacy_version = rv;
+    rec.fragment = cke.serialize();
+    append(out, rec.serialize());
+    append(out, change_cipher_spec_record(rv));
+    append(out, finished_record(rv));
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> server_flight(
+    const ServerHello& hello,
+    const std::optional<EcdheServerKeyExchange>& ske, bool established) {
+  const std::uint16_t rv = record_version_for(hello.legacy_version);
+  std::vector<std::uint8_t> out = hello.serialize_record();
+
+  if (!certificate_free(hello.cipher_suite)) {
+    Record cert;
+    cert.type = ContentType::kHandshake;
+    cert.legacy_version = rv;
+    HandshakeMessage m;
+    m.type = HandshakeType::kCertificate;
+    m.body = certificate_message_body();
+    cert.fragment = m.serialize();
+    append(out, cert.serialize());
+  }
+  if (ske.has_value()) {
+    append(out, ske->serialize_record(rv));
+  }
+  {
+    Record done;
+    done.type = ContentType::kHandshake;
+    done.legacy_version = rv;
+    HandshakeMessage m;
+    m.type = HandshakeType::kServerHelloDone;
+    done.fragment = m.serialize();
+    append(out, done.serialize());
+  }
+  if (established) {
+    append(out, change_cipher_spec_record(rv));
+    append(out, finished_record(rv));
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> server_failure_flight(
+    const std::optional<ServerHello>& hello, const Alert& alert) {
+  std::vector<std::uint8_t> out;
+  std::uint16_t rv = 0x0301;
+  if (hello.has_value()) {
+    rv = record_version_for(hello->legacy_version);
+    out = hello->serialize_record();
+  }
+  append(out, alert.serialize_record(rv));
+  return out;
+}
+
+}  // namespace tls::wire

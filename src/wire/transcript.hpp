@@ -1,0 +1,61 @@
+// Full handshake flights. The Notary's establishment criterion (§5.5: "our
+// logs indicate that at least some of the sessions were successfully
+// established (both sides sent a Change Cipher Spec)") needs more than the
+// two hellos: this module synthesizes and parses complete per-direction
+// record streams — ClientHello .. Finished on one side, ServerHello ..
+// Finished on the other — with stub certificates and key material.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "wire/alert.hpp"
+#include "wire/client_hello.hpp"
+#include "wire/server_hello.hpp"
+#include "wire/server_key_exchange.hpp"
+
+namespace tls::wire {
+
+/// Opaque-body handshake message helpers (stub contents).
+std::vector<std::uint8_t> certificate_message_body(std::size_t cert_count = 1,
+                                                   std::size_t cert_size = 96);
+std::vector<std::uint8_t> change_cipher_spec_record(
+    std::uint16_t record_version);
+
+/// Everything a passive tap can pull out of one direction's record stream.
+struct ParsedFlight {
+  std::vector<Record> records;
+  std::optional<ClientHello> client_hello;
+  std::optional<ServerHello> server_hello;
+  std::optional<EcdheServerKeyExchange> server_key_exchange;
+  std::optional<Alert> alert;
+  bool change_cipher_spec = false;
+  std::size_t certificate_count = 0;
+  /// Records whose handshake bodies failed to parse (still counted).
+  std::size_t unparsed_handshakes = 0;
+};
+
+/// Splits a byte stream into records and decodes what it recognizes.
+/// Throws ParseError only on record-layer corruption; unknown or
+/// undecodable handshake bodies are tolerated and counted.
+ParsedFlight parse_flight(std::span<const std::uint8_t> stream);
+
+/// Client-side flight for a successful pre-1.3 handshake:
+/// ClientHello, ClientKeyExchange, ChangeCipherSpec, Finished.
+std::vector<std::uint8_t> client_flight(const ClientHello& hello,
+                                        bool established);
+
+/// Server-side flight: ServerHello, Certificate (unless anonymous/NULL-auth
+/// suite), optional ServerKeyExchange (EC kex), ServerHelloDone, then
+/// ChangeCipherSpec + Finished when `established`. For failures pass the
+/// alert instead via server_failure_flight.
+std::vector<std::uint8_t> server_flight(
+    const ServerHello& hello,
+    const std::optional<EcdheServerKeyExchange>& ske, bool established);
+
+/// A failing server's answer: optional ServerHello (spec-violation case)
+/// followed by a fatal alert.
+std::vector<std::uint8_t> server_failure_flight(
+    const std::optional<ServerHello>& hello, const Alert& alert);
+
+}  // namespace tls::wire

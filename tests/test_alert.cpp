@@ -1,0 +1,58 @@
+#include <gtest/gtest.h>
+
+#include "handshake/negotiate.hpp"
+#include "wire/alert.hpp"
+
+namespace tls::wire {
+namespace {
+
+TEST(Alert, RoundTrip) {
+  Alert a;
+  a.level = AlertLevel::kFatal;
+  a.description = AlertDescription::kProtocolVersion;
+  const auto bytes = a.serialize_record(0x0301);
+  ASSERT_EQ(bytes.size(), 7u);
+  EXPECT_EQ(bytes[0], 21);  // alert content type
+  EXPECT_EQ(Alert::parse_record(bytes), a);
+}
+
+TEST(Alert, RejectsWrongContentType) {
+  Record rec;
+  rec.type = ContentType::kHandshake;
+  rec.fragment = {2, 40};
+  EXPECT_THROW(Alert::parse_record(rec.serialize()), ParseError);
+}
+
+TEST(Alert, RejectsBadBody) {
+  Record rec;
+  rec.type = ContentType::kAlert;
+  rec.fragment = {2};
+  EXPECT_THROW(Alert::parse_record(rec.serialize()), ParseError);
+  rec.fragment = {3, 40};  // bad level
+  EXPECT_THROW(Alert::parse_record(rec.serialize()), ParseError);
+}
+
+TEST(Alert, DescriptionNames) {
+  EXPECT_EQ(alert_description_name(AlertDescription::kHandshakeFailure),
+            "handshake_failure");
+  EXPECT_EQ(alert_description_name(AlertDescription::kProtocolVersion),
+            "protocol_version");
+  EXPECT_EQ(alert_description_name(static_cast<AlertDescription>(200)),
+            "unknown");
+}
+
+TEST(AlertFor, MapsFailureReasons) {
+  using tls::handshake::FailureReason;
+  using tls::handshake::alert_for;
+  EXPECT_EQ(alert_for(FailureReason::kNoCommonVersion).description,
+            AlertDescription::kProtocolVersion);
+  EXPECT_EQ(alert_for(FailureReason::kNoCommonCipher).description,
+            AlertDescription::kHandshakeFailure);
+  EXPECT_EQ(
+      alert_for(FailureReason::kClientRejectedUnofferedSuite).description,
+      AlertDescription::kIllegalParameter);
+  EXPECT_THROW(alert_for(FailureReason::kNone), std::logic_error);
+}
+
+}  // namespace
+}  // namespace tls::wire

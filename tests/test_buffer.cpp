@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include "tlscore/rng.hpp"
+#include "wire/buffer.hpp"
+
+namespace tls::wire {
+namespace {
+
+TEST(ByteReader, Primitives) {
+  const std::uint8_t data[] = {0x01, 0x02, 0x03, 0x04, 0x05, 0x06,
+                               0x07, 0x08, 0x09, 0x0a};
+  ByteReader r(data);
+  EXPECT_EQ(r.u8(), 0x01);
+  EXPECT_EQ(r.u16(), 0x0203);
+  EXPECT_EQ(r.u24(), 0x040506u);
+  EXPECT_EQ(r.u32(), 0x0708090au);
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(ByteReader, TruncationThrows) {
+  const std::uint8_t data[] = {0x01};
+  ByteReader r(data);
+  r.u8();
+  EXPECT_THROW(r.u8(), ParseError);
+  ByteReader r2(data);
+  EXPECT_THROW(r2.u16(), ParseError);
+  try {
+    ByteReader r3(data);
+    r3.u32();
+    FAIL();
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.code(), ParseErrorCode::kTruncated);
+  }
+}
+
+TEST(ByteReader, LengthPrefixed) {
+  const std::uint8_t data[] = {0x02, 0xaa, 0xbb, 0x00, 0x01, 0xcc};
+  ByteReader r(data);
+  const auto a = r.length_prefixed_u8();
+  ASSERT_EQ(a.size(), 2u);
+  EXPECT_EQ(a[1], 0xbb);
+  const auto b = r.length_prefixed_u16();
+  ASSERT_EQ(b.size(), 1u);
+  EXPECT_EQ(b[0], 0xcc);
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(ByteReader, LengthPrefixOverrunThrows) {
+  const std::uint8_t data[] = {0x05, 0xaa};
+  ByteReader r(data);
+  EXPECT_THROW(r.length_prefixed_u8(), ParseError);
+}
+
+TEST(ByteReader, U16ListRejectsOddLength) {
+  const std::uint8_t data[] = {0x00, 0x03, 0x01, 0x02, 0x03};
+  ByteReader r(data);
+  try {
+    r.u16_list_u16len();
+    FAIL();
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.code(), ParseErrorCode::kBadLength);
+  }
+}
+
+TEST(ByteReader, ExpectEmpty) {
+  const std::uint8_t data[] = {0x01, 0x02};
+  ByteReader r(data);
+  r.u8();
+  try {
+    r.expect_empty("test");
+    FAIL();
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.code(), ParseErrorCode::kTrailingBytes);
+  }
+  r.u8();
+  EXPECT_NO_THROW(r.expect_empty("test"));
+}
+
+TEST(ByteWriter, Primitives) {
+  ByteWriter w;
+  w.u8(0x01);
+  w.u16(0x0203);
+  w.u24(0x040506);
+  w.u32(0x0708090a);
+  const auto& out = w.data();
+  const std::uint8_t expected[] = {0x01, 0x02, 0x03, 0x04, 0x05,
+                                   0x06, 0x07, 0x08, 0x09, 0x0a};
+  ASSERT_EQ(out.size(), sizeof(expected));
+  EXPECT_TRUE(std::equal(out.begin(), out.end(), expected));
+}
+
+TEST(ByteWriter, LengthScopePatchesPrefix) {
+  ByteWriter w;
+  {
+    auto scope = w.u16_length_scope();
+    w.u8(0xaa);
+    w.u8(0xbb);
+    w.u8(0xcc);
+  }
+  const auto& out = w.data();
+  ASSERT_EQ(out.size(), 5u);
+  EXPECT_EQ(out[0], 0x00);
+  EXPECT_EQ(out[1], 0x03);
+}
+
+TEST(ByteWriter, NestedLengthScopes) {
+  ByteWriter w;
+  {
+    auto outer = w.u24_length_scope();
+    w.u8(0x11);
+    {
+      auto inner = w.u8_length_scope();
+      w.u16(0x2233);
+    }
+  }
+  const auto& out = w.data();
+  // u24 prefix (3) + 0x11 + u8 prefix (1) + u16 (2)
+  ASSERT_EQ(out.size(), 7u);
+  EXPECT_EQ(out[2], 4);     // outer length
+  EXPECT_EQ(out[4], 2);     // inner length
+}
+
+TEST(ByteWriter, U16ListRoundTrip) {
+  const std::uint16_t values[] = {0xc02f, 0x009c, 0x0005};
+  ByteWriter w;
+  w.u16_list_u16len(values);
+  ByteReader r(w.data());
+  const auto parsed = r.u16_list_u16len();
+  ASSERT_EQ(parsed.size(), 3u);
+  EXPECT_EQ(parsed[0], 0xc02f);
+  EXPECT_EQ(parsed[2], 0x0005);
+}
+
+TEST(ByteWriter, PropertyRandomRoundTrip) {
+  tls::core::Rng rng(202);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<std::uint16_t> values(rng.below(40));
+    for (auto& v : values) v = static_cast<std::uint16_t>(rng.next());
+    ByteWriter w;
+    w.u16_list_u16len(values);
+    ByteReader r(w.data());
+    EXPECT_EQ(r.u16_list_u16len(), values);
+    EXPECT_TRUE(r.empty());
+  }
+}
+
+}  // namespace
+}  // namespace tls::wire

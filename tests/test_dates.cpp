@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "tlscore/dates.hpp"
+
+namespace tls::core {
+namespace {
+
+TEST(Date, ValidConstruction) {
+  const Date d(2018, 4, 30);
+  EXPECT_EQ(d.year(), 2018);
+  EXPECT_EQ(d.month(), 4);
+  EXPECT_EQ(d.day(), 30);
+}
+
+TEST(Date, RejectsInvalidMonth) {
+  EXPECT_THROW(Date(2018, 0, 1), std::invalid_argument);
+  EXPECT_THROW(Date(2018, 13, 1), std::invalid_argument);
+}
+
+TEST(Date, RejectsInvalidDay) {
+  EXPECT_THROW(Date(2018, 4, 31), std::invalid_argument);
+  EXPECT_THROW(Date(2018, 2, 30), std::invalid_argument);
+  EXPECT_THROW(Date(2018, 1, 0), std::invalid_argument);
+}
+
+TEST(Date, LeapYearRules) {
+  EXPECT_TRUE(is_leap_year(2016));
+  EXPECT_TRUE(is_leap_year(2000));
+  EXPECT_FALSE(is_leap_year(1900));
+  EXPECT_FALSE(is_leap_year(2018));
+  EXPECT_EQ(days_in_month(2016, 2), 29);
+  EXPECT_EQ(days_in_month(2018, 2), 28);
+  EXPECT_NO_THROW(Date(2016, 2, 29));
+  EXPECT_THROW(Date(2018, 2, 29), std::invalid_argument);
+}
+
+TEST(Date, EpochAnchor) {
+  EXPECT_EQ(Date(1970, 1, 1).to_days(), 0);
+  EXPECT_EQ(Date(1970, 1, 2).to_days(), 1);
+  EXPECT_EQ(Date(1969, 12, 31).to_days(), -1);
+}
+
+TEST(Date, RoundTripThroughDays) {
+  // Sweep every day of the study window.
+  for (std::int64_t d = Date(2012, 1, 1).to_days();
+       d <= Date(2018, 12, 31).to_days(); ++d) {
+    EXPECT_EQ(Date::from_days(d).to_days(), d);
+  }
+}
+
+TEST(Date, Ordering) {
+  EXPECT_LT(Date(2014, 4, 7), Date(2014, 10, 14));
+  EXPECT_EQ(Date(2014, 4, 7), Date(2014, 4, 7));
+  EXPECT_GT(Date(2015, 1, 1), Date(2014, 12, 31));
+}
+
+TEST(Date, ParseAndFormat) {
+  EXPECT_EQ(Date::parse("2014-04-07"), Date(2014, 4, 7));
+  EXPECT_EQ(Date(2014, 4, 7).to_string(), "2014-04-07");
+  EXPECT_THROW(Date::parse("not a date"), std::invalid_argument);
+  EXPECT_THROW(Date::parse("2014-04"), std::invalid_argument);
+  EXPECT_THROW(Date::parse("2014-04-07x"), std::invalid_argument);
+}
+
+TEST(Month, ArithmeticAndFields) {
+  Month m(2012, 2);
+  EXPECT_EQ(m.year(), 2012);
+  EXPECT_EQ(m.month(), 2);
+  EXPECT_EQ((m + 11).to_string(), "2013-01");
+  EXPECT_EQ(Month(2018, 4) - Month(2012, 2), 74);
+  ++m;
+  EXPECT_EQ(m, Month(2012, 3));
+}
+
+TEST(Month, FromDateAndFirstDay) {
+  EXPECT_EQ(Month(Date(2014, 10, 14)), Month(2014, 10));
+  EXPECT_EQ(Month(2014, 10).first_day(), Date(2014, 10, 1));
+}
+
+TEST(Month, Parse) {
+  EXPECT_EQ(Month::parse("2015-08"), Month(2015, 8));
+  EXPECT_THROW(Month::parse("2015"), std::invalid_argument);
+  EXPECT_THROW(Month(2015, 13), std::invalid_argument);
+}
+
+TEST(MonthRange, SizeAndContains) {
+  const MonthRange r{Month(2012, 2), Month(2018, 4)};
+  EXPECT_EQ(r.size(), 75);
+  EXPECT_TRUE(r.contains(Month(2015, 1)));
+  EXPECT_TRUE(r.contains(Month(2012, 2)));
+  EXPECT_TRUE(r.contains(Month(2018, 4)));
+  EXPECT_FALSE(r.contains(Month(2018, 5)));
+  EXPECT_FALSE(r.contains(Month(2012, 1)));
+}
+
+TEST(MonthRange, StudyWindows) {
+  EXPECT_EQ(notary_window().begin_month, Month(2012, 2));
+  EXPECT_EQ(notary_window().end_month, Month(2018, 4));
+  EXPECT_EQ(censys_window().begin_month, Month(2015, 8));
+  EXPECT_EQ(censys_window().end_month, Month(2018, 5));
+}
+
+}  // namespace
+}  // namespace tls::core

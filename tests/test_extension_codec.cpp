@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "wire/extension_codec.hpp"
+
+namespace tls::wire {
+namespace {
+
+using tls::core::ExtensionType;
+
+TEST(ExtensionCodec, ServerNameRoundTrip) {
+  const auto ext = make_server_name("example.org");
+  EXPECT_EQ(ext.type, 0);
+  EXPECT_EQ(parse_server_name(ext.body), "example.org");
+}
+
+TEST(ExtensionCodec, ServerNameRejectsNonHostType) {
+  auto ext = make_server_name("x");
+  ext.body[2] = 1;  // name_type
+  EXPECT_THROW(parse_server_name(ext.body), ParseError);
+}
+
+TEST(ExtensionCodec, SupportedGroupsRoundTrip) {
+  const std::uint16_t groups[] = {29, 23, 24};
+  const auto ext = make_supported_groups(groups);
+  EXPECT_EQ(ext.type, 10);
+  const auto parsed = parse_supported_groups(ext.body);
+  EXPECT_EQ(parsed, std::vector<std::uint16_t>({29, 23, 24}));
+}
+
+TEST(ExtensionCodec, EcPointFormatsRoundTrip) {
+  const std::uint8_t formats[] = {0, 1, 2};
+  const auto ext = make_ec_point_formats(formats);
+  EXPECT_EQ(parse_ec_point_formats(ext.body),
+            std::vector<std::uint8_t>({0, 1, 2}));
+}
+
+TEST(ExtensionCodec, SupportedVersionsClientRoundTrip) {
+  const std::uint16_t versions[] = {0x7f1c, 0x0304, 0x0303};
+  const auto ext = make_supported_versions_client(versions);
+  EXPECT_EQ(ext.type, 43);
+  EXPECT_EQ(parse_supported_versions_client(ext.body),
+            std::vector<std::uint16_t>({0x7f1c, 0x0304, 0x0303}));
+}
+
+TEST(ExtensionCodec, SupportedVersionsServerRoundTrip) {
+  const auto ext = make_supported_versions_server(0x7e02);
+  EXPECT_EQ(parse_supported_versions_server(ext.body), 0x7e02);
+}
+
+TEST(ExtensionCodec, SupportedVersionsRejectsOddBody) {
+  std::uint8_t body[] = {3, 0x03, 0x04, 0x7f};
+  EXPECT_THROW(parse_supported_versions_client(body), ParseError);
+}
+
+TEST(ExtensionCodec, SignatureAlgorithmsRoundTrip) {
+  const std::uint16_t schemes[] = {0x0403, 0x0804};
+  const auto ext = make_signature_algorithms(schemes);
+  EXPECT_EQ(parse_signature_algorithms(ext.body),
+            std::vector<std::uint16_t>({0x0403, 0x0804}));
+}
+
+TEST(ExtensionCodec, AlpnRoundTrip) {
+  const std::vector<std::string> protos = {"h2", "http/1.1"};
+  const auto ext = make_alpn(protos);
+  EXPECT_EQ(parse_alpn(ext.body), protos);
+}
+
+TEST(ExtensionCodec, HeartbeatRoundTrip) {
+  const auto ext = make_heartbeat(1);
+  EXPECT_EQ(ext.type, 15);
+  EXPECT_EQ(parse_heartbeat(ext.body), 1);
+  EXPECT_EQ(parse_heartbeat(make_heartbeat(2).body), 2);
+}
+
+TEST(ExtensionCodec, HeartbeatRejectsBadMode) {
+  std::uint8_t body[] = {3};
+  EXPECT_THROW(parse_heartbeat(body), ParseError);
+}
+
+TEST(ExtensionCodec, KeyShareClientRoundTrip) {
+  const std::uint16_t groups[] = {29, 23};
+  const auto ext = make_key_share_client(groups);
+  EXPECT_EQ(parse_key_share_client_groups(ext.body),
+            std::vector<std::uint16_t>({29, 23}));
+}
+
+TEST(ExtensionCodec, KeyShareServerRoundTrip) {
+  const auto ext = make_key_share_server(29);
+  EXPECT_EQ(parse_key_share_server_group(ext.body), 29);
+}
+
+TEST(ExtensionCodec, EmptyBodiedExtensions) {
+  EXPECT_TRUE(make_encrypt_then_mac().body.empty());
+  EXPECT_TRUE(make_extended_master_secret().body.empty());
+  EXPECT_TRUE(make_sct().body.empty());
+  EXPECT_TRUE(make_session_ticket().body.empty());
+  EXPECT_EQ(make_padding(16).body.size(), 16u);
+  EXPECT_EQ(make_renegotiation_info().body.size(), 1u);
+}
+
+TEST(ExtensionCodec, GreaseExtension) {
+  const auto ext = make_grease_extension(0x3a3a);
+  EXPECT_EQ(ext.type, 0x3a3a);
+  EXPECT_TRUE(ext.body.empty());
+}
+
+TEST(ExtensionCodec, FindExtension) {
+  std::vector<Extension> exts = {make_server_name("a"), make_heartbeat(1)};
+  EXPECT_NE(find_extension(exts, ExtensionType::kHeartbeat), nullptr);
+  EXPECT_EQ(find_extension(exts, ExtensionType::kAlpn), nullptr);
+  EXPECT_EQ(find_extension(exts, std::uint16_t{0}), &exts[0]);
+}
+
+}  // namespace
+}  // namespace tls::wire

@@ -1,0 +1,187 @@
+// Tests for the §9 extension-deployment tracking, the extended fingerprint
+// variant, the popularity-weighted scan, and CSV export.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "analysis/csv.hpp"
+#include "fingerprint/fingerprint.hpp"
+#include "notary/monitor.hpp"
+#include "scan/scanner.hpp"
+
+namespace {
+
+using tls::core::Month;
+using tls::wire::ClientHello;
+using tls::wire::ServerHello;
+
+ClientHello hello_with_extensions() {
+  ClientHello ch;
+  ch.legacy_version = 0x0303;
+  ch.cipher_suites = {0xc02f, 0xc013};
+  const std::uint16_t groups[] = {23};
+  ch.extensions.push_back(tls::wire::make_server_name("e.test"));
+  ch.extensions.push_back(tls::wire::make_supported_groups(groups));
+  ch.extensions.push_back(tls::wire::make_renegotiation_info());
+  ch.extensions.push_back(tls::wire::make_encrypt_then_mac());
+  ch.extensions.push_back(tls::wire::make_extended_master_secret());
+  ch.extensions.push_back(tls::wire::make_session_ticket());
+  return ch;
+}
+
+TEST(ExtensionTracking, OfferedCounters) {
+  tls::notary::PassiveMonitor mon;
+  const auto ch = hello_with_extensions();
+  ServerHello sh;
+  sh.cipher_suite = 0xc013;
+  sh.extensions.push_back(tls::wire::make_renegotiation_info());
+  sh.extensions.push_back(tls::wire::make_encrypt_then_mac());
+  mon.observe_wire(Month(2017, 1), tls::core::Date(2017, 1, 5),
+                   ch.serialize_record(), sh.serialize_record(), {}, true);
+  const auto* s = mon.month(Month(2017, 1));
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->reneg_info_offered, 1u);
+  EXPECT_EQ(s->etm_offered, 1u);
+  EXPECT_EQ(s->ems_offered, 1u);
+  EXPECT_EQ(s->sni_offered, 1u);
+  EXPECT_EQ(s->session_ticket_offered, 1u);
+  EXPECT_EQ(s->reneg_info_negotiated, 1u);
+  EXPECT_EQ(s->etm_negotiated, 1u);
+  EXPECT_EQ(s->ems_negotiated, 0u);
+}
+
+TEST(ExtensionTracking, RieScsvCountsAsOffered) {
+  tls::notary::PassiveMonitor mon;
+  ClientHello ch;
+  ch.legacy_version = 0x0301;
+  ch.cipher_suites = {0x002f, 0x00ff};  // RIE via SCSV, not extension
+  mon.observe_wire(Month(2013, 1), tls::core::Date(2013, 1, 5),
+                   ch.serialize_record(), {}, {}, false);
+  EXPECT_EQ(mon.month(Month(2013, 1))->reneg_info_offered, 1u);
+}
+
+TEST(ExtensionTracking, AlertAccounting) {
+  tls::notary::PassiveMonitor mon;
+  ClientHello ch;
+  ch.cipher_suites = {0x002f};
+  tls::wire::Alert alert;
+  alert.description = tls::wire::AlertDescription::kProtocolVersion;
+  mon.observe_wire(Month(2015, 1), tls::core::Date(2015, 1, 5),
+                   ch.serialize_record(), {}, {}, false, false,
+                   alert.serialize_record(0x0301));
+  const auto* s = mon.month(Month(2015, 1));
+  EXPECT_EQ(s->alerts.at(70), 1u);  // protocol_version
+  EXPECT_EQ(s->failures, 1u);
+}
+
+TEST(EtmSemantics, OnlyEchoedForCbcSuites) {
+  // RFC 7366: no EtM extension when an AEAD suite is chosen.
+  tls::servers::ServerConfig server;
+  server.cipher_preference = {0xc02f, 0xc013};
+  server.supports_etm = true;
+  auto ch = hello_with_extensions();
+  tls::core::Rng rng(3);
+  auto r = tls::handshake::negotiate(ch, server, rng);
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(r.negotiated_cipher, 0xc02f);  // AEAD
+  EXPECT_FALSE(r.server_hello->has_extension(
+      tls::core::ExtensionType::kEncryptThenMac));
+
+  server.cipher_preference = {0xc013};  // CBC only
+  r = tls::handshake::negotiate(ch, server, rng);
+  ASSERT_TRUE(r.success);
+  EXPECT_TRUE(r.server_hello->has_extension(
+      tls::core::ExtensionType::kEncryptThenMac));
+}
+
+TEST(ExtendedFingerprint, IncludesVersionCompressionSigAlgs) {
+  auto ch = hello_with_extensions();
+  const std::uint16_t sig[] = {0x0403, 0x0401};
+  ch.extensions.push_back(tls::wire::make_signature_algorithms(sig));
+  const auto base = tls::fp::extended_fingerprint_hash(ch);
+
+  auto v = ch;
+  v.legacy_version = 0x0302;
+  EXPECT_NE(tls::fp::extended_fingerprint_hash(v), base);
+  EXPECT_EQ(tls::fp::extract_fingerprint(v).hash(),
+            tls::fp::extract_fingerprint(ch).hash());
+
+  auto c = ch;
+  c.compression_methods = {1, 0};
+  EXPECT_NE(tls::fp::extended_fingerprint_hash(c), base);
+  EXPECT_EQ(tls::fp::extract_fingerprint(c).hash(),
+            tls::fp::extract_fingerprint(ch).hash());
+
+  auto s2 = ch;
+  const std::uint16_t sig2[] = {0x0401, 0x0403};  // reordered values
+  s2.extensions.back() = tls::wire::make_signature_algorithms(sig2);
+  EXPECT_NE(tls::fp::extended_fingerprint_hash(s2), base);
+  EXPECT_EQ(tls::fp::extract_fingerprint(s2).hash(),
+            tls::fp::extract_fingerprint(ch).hash());
+}
+
+TEST(ExtendedFingerprint, StringShape) {
+  auto ch = hello_with_extensions();
+  const auto s = tls::fp::extended_fingerprint_string(ch);
+  // version|restricted|compression|sigalgs
+  EXPECT_EQ(std::count(s.begin(), s.end(), '|'), 3);
+  EXPECT_EQ(s.rfind("771|", 0), 0u);
+}
+
+TEST(PopularScan, DiffersFromHostScan) {
+  const auto pop = tls::servers::ServerPopulation::standard();
+  const tls::scan::ActiveScanner scanner(pop);
+  const Month m(2017, 6);
+  const auto hosts = scanner.scan(m);
+  const auto popular = scanner.scan_popular(m);
+  // Popular (traffic-weighted) sites are more modern than the IPv4 tail.
+  EXPECT_GT(popular.chooses_aead, hosts.chooses_aead);
+  EXPECT_LT(popular.ssl3_support, hosts.ssl3_support);
+  EXPECT_LT(popular.rc4_support, hosts.rc4_support);
+}
+
+TEST(CsvExport, WritesChartFile) {
+  tls::analysis::MonthlyChart chart;
+  chart.range = {Month(2015, 1), Month(2015, 3)};
+  chart.series.push_back({"a", {1, 2, 3}});
+  const auto path =
+      (std::filesystem::temp_directory_path() / "tls_test_chart.csv").string();
+  tls::analysis::write_csv_file(path, chart);
+  std::ifstream in(path);
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header, "month,a");
+  std::string row;
+  std::getline(in, row);
+  EXPECT_EQ(row, "2015-01,1");
+  std::filesystem::remove(path);
+}
+
+TEST(CsvExport, WritesScanFile) {
+  const auto pop = tls::servers::ServerPopulation::standard();
+  const tls::scan::ActiveScanner scanner(pop);
+  std::vector<tls::scan::ScanSnapshot> snaps = {scanner.scan(Month(2016, 1))};
+  const auto path =
+      (std::filesystem::temp_directory_path() / "tls_test_scan.csv").string();
+  tls::analysis::write_scan_csv_file(path, snaps);
+  std::ifstream in(path);
+  std::string header, row;
+  std::getline(in, header);
+  std::getline(in, row);
+  EXPECT_NE(header.find("ssl3_support"), std::string::npos);
+  EXPECT_EQ(row.rfind("2016-01,", 0), 0u);
+  std::filesystem::remove(path);
+}
+
+TEST(CsvExport, ThrowsOnUnwritablePath) {
+  tls::analysis::MonthlyChart chart;
+  chart.range = {Month(2015, 1), Month(2015, 1)};
+  chart.series.push_back({"a", {1}});
+  EXPECT_THROW(
+      tls::analysis::write_csv_file("/no/such/dir/file.csv", chart),
+      std::runtime_error);
+}
+
+}  // namespace

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "fingerprint/fingerprint.hpp"
+#include "fingerprint/md5.hpp"
+#include "tlscore/grease.hpp"
+
+namespace tls::fp {
+namespace {
+
+tls::wire::ClientHello base_hello() {
+  tls::wire::ClientHello ch;
+  ch.legacy_version = 0x0303;
+  ch.cipher_suites = {0xc02f, 0x009c, 0x0035};
+  ch.extensions.push_back(tls::wire::make_server_name("fp.test"));
+  const std::uint16_t groups[] = {29, 23};
+  ch.extensions.push_back(tls::wire::make_supported_groups(groups));
+  const std::uint8_t formats[] = {0};
+  ch.extensions.push_back(tls::wire::make_ec_point_formats(formats));
+  return ch;
+}
+
+TEST(Fingerprint, CanonicalFormat) {
+  const auto fp = extract_fingerprint(base_hello());
+  EXPECT_EQ(fp.canonical(), "49199-156-53,0-10-11,29-23,0");
+}
+
+TEST(Fingerprint, HashIsMd5OfCanonical) {
+  const auto fp = extract_fingerprint(base_hello());
+  EXPECT_EQ(fp.hash(), Md5::hex(fp.canonical()));
+  EXPECT_EQ(fp.hash().size(), 32u);
+}
+
+TEST(Fingerprint, FieldOrderPreserved) {
+  auto hello = base_hello();
+  std::swap(hello.cipher_suites[0], hello.cipher_suites[2]);
+  const auto a = extract_fingerprint(base_hello());
+  const auto b = extract_fingerprint(hello);
+  EXPECT_NE(a.hash(), b.hash());  // order matters, per §4
+}
+
+TEST(Fingerprint, SniContentDoesNotMatter) {
+  auto hello = base_hello();
+  hello.extensions[0] = tls::wire::make_server_name("other.example");
+  EXPECT_EQ(extract_fingerprint(base_hello()).hash(),
+            extract_fingerprint(hello).hash());
+}
+
+TEST(Fingerprint, RandomAndSessionIdDoNotMatter) {
+  auto hello = base_hello();
+  hello.random.fill(0x77);
+  hello.session_id = {9, 9, 9};
+  EXPECT_EQ(extract_fingerprint(base_hello()).hash(),
+            extract_fingerprint(hello).hash());
+}
+
+// GREASE property: injecting any GREASE value at any position in any of the
+// GREASEable fields never changes the fingerprint (§4).
+class GreaseInvariance : public ::testing::TestWithParam<std::uint16_t> {};
+
+TEST_P(GreaseInvariance, CipherPosition) {
+  const auto baseline = extract_fingerprint(base_hello()).hash();
+  for (std::size_t pos = 0; pos <= 3; ++pos) {
+    auto hello = base_hello();
+    hello.cipher_suites.insert(
+        hello.cipher_suites.begin() + static_cast<std::ptrdiff_t>(pos),
+        GetParam());
+    EXPECT_EQ(extract_fingerprint(hello).hash(), baseline) << pos;
+  }
+}
+
+TEST_P(GreaseInvariance, ExtensionAndGroup) {
+  const auto baseline = extract_fingerprint(base_hello()).hash();
+  auto hello = base_hello();
+  hello.extensions.insert(hello.extensions.begin(),
+                          tls::wire::make_grease_extension(GetParam()));
+  hello.extensions.push_back(tls::wire::make_grease_extension(GetParam()));
+  // Rebuild supported_groups with a GREASE group in front.
+  const std::uint16_t groups[] = {GetParam(), 29, 23};
+  hello.extensions[2] = tls::wire::make_supported_groups(groups);
+  EXPECT_EQ(extract_fingerprint(hello).hash(), baseline);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllGreaseValues, GreaseInvariance,
+                         ::testing::ValuesIn(tls::core::grease_values()));
+
+TEST(Fingerprint, MissingGroupsAndFormatsYieldEmptyFields) {
+  tls::wire::ClientHello ch;
+  ch.cipher_suites = {0x0005};
+  const auto fp = extract_fingerprint(ch);
+  EXPECT_TRUE(fp.groups.empty());
+  EXPECT_TRUE(fp.ec_point_formats.empty());
+  EXPECT_EQ(fp.canonical(), "5,,,");
+}
+
+TEST(Fingerprint, OffersUsesRegistry) {
+  const auto fp = extract_fingerprint(base_hello());
+  EXPECT_TRUE(fp.offers(
+      [](const tls::core::CipherSuiteInfo& s) { return tls::core::is_aead(s); }));
+  EXPECT_FALSE(fp.offers(
+      [](const tls::core::CipherSuiteInfo& s) { return tls::core::is_rc4(s); }));
+}
+
+TEST(Ja3, IncludesVersionPrefix) {
+  const auto s = ja3_string(base_hello());
+  EXPECT_EQ(s.rfind("771,", 0), 0u);  // 0x0303 == 771
+  EXPECT_EQ(ja3_hash(base_hello()), Md5::hex(s));
+}
+
+TEST(Ja3, VersionChangesHash) {
+  auto hello = base_hello();
+  hello.legacy_version = 0x0301;
+  EXPECT_NE(ja3_hash(hello), ja3_hash(base_hello()));
+  // ...but the paper's fingerprint (no version field) is unchanged.
+  EXPECT_EQ(extract_fingerprint(hello).hash(),
+            extract_fingerprint(base_hello()).hash());
+}
+
+}  // namespace
+}  // namespace tls::fp

@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include "fingerprint/database.hpp"
+#include "fingerprint/duration.hpp"
+
+namespace tls::fp {
+namespace {
+
+using Outcome = FingerprintDatabase::AddOutcome;
+
+SoftwareLabel label(const char* name, SoftwareClass cls, const char* v = "1") {
+  return SoftwareLabel{name, cls, v, v};
+}
+
+TEST(Database, AddAndLookup) {
+  FingerprintDatabase db;
+  EXPECT_EQ(db.add("h1", label("Chrome", SoftwareClass::kBrowser)),
+            Outcome::kAdded);
+  const auto* l = db.lookup("h1");
+  ASSERT_NE(l, nullptr);
+  EXPECT_EQ(l->software, "Chrome");
+  EXPECT_EQ(db.lookup("h2"), nullptr);
+  EXPECT_EQ(db.size(), 1u);
+}
+
+TEST(Database, SameSoftwareExtendsVersionRange) {
+  FingerprintDatabase db;
+  db.add("h1", label("Chrome", SoftwareClass::kBrowser, "33"));
+  EXPECT_EQ(db.add("h1", label("Chrome", SoftwareClass::kBrowser, "39")),
+            Outcome::kVersionExtended);
+  const auto* l = db.lookup("h1");
+  EXPECT_EQ(l->version_min, "33");
+  EXPECT_EQ(l->version_max, "39");
+  EXPECT_EQ(db.size(), 1u);
+}
+
+TEST(Database, AppThenLibraryResolvesToLibrary) {
+  // §4: "when a collision between a specific software and a library occurs
+  // we assume that the software uses the library."
+  FingerprintDatabase db;
+  db.add("h1", label("Chrome on Android", SoftwareClass::kBrowser));
+  EXPECT_EQ(db.add("h1", label("Android SDK", SoftwareClass::kLibrary)),
+            Outcome::kResolvedLibrary);
+  EXPECT_EQ(db.lookup("h1")->software, "Android SDK");
+}
+
+TEST(Database, LibraryThenAppKeepsLibrary) {
+  FingerprintDatabase db;
+  db.add("h1", label("OpenSSL", SoftwareClass::kLibrary));
+  EXPECT_EQ(db.add("h1", label("curl", SoftwareClass::kDevTool)),
+            Outcome::kResolvedLibrary);
+  EXPECT_EQ(db.lookup("h1")->software, "OpenSSL");
+}
+
+TEST(Database, CrossSoftwareCollisionRemovesPermanently) {
+  // §4: "when a collision with a different kind of software occurs we
+  // remove the fingerprint; it cannot uniquely identify a client."
+  FingerprintDatabase db;
+  db.add("h1", label("Chrome", SoftwareClass::kBrowser));
+  EXPECT_EQ(db.add("h1", label("Firefox", SoftwareClass::kBrowser)),
+            Outcome::kRemoved);
+  EXPECT_EQ(db.lookup("h1"), nullptr);
+  EXPECT_EQ(db.size(), 0u);
+  EXPECT_EQ(db.removed_count(), 1u);
+  // Even re-adding the original label fails: the hash is burned.
+  EXPECT_EQ(db.add("h1", label("Chrome", SoftwareClass::kBrowser)),
+            Outcome::kAlreadyRemoved);
+  EXPECT_EQ(db.lookup("h1"), nullptr);
+}
+
+TEST(Database, TwoLibrariesCollidingAreRemoved) {
+  FingerprintDatabase db;
+  db.add("h1", label("OpenSSL", SoftwareClass::kLibrary));
+  EXPECT_EQ(db.add("h1", label("NSS", SoftwareClass::kLibrary)),
+            Outcome::kRemoved);
+  EXPECT_EQ(db.lookup("h1"), nullptr);
+}
+
+TEST(Database, CountByClass) {
+  FingerprintDatabase db;
+  db.add("h1", label("Chrome", SoftwareClass::kBrowser));
+  db.add("h2", label("Firefox", SoftwareClass::kBrowser));
+  db.add("h3", label("OpenSSL", SoftwareClass::kLibrary));
+  const auto counts = db.count_by_class();
+  EXPECT_EQ(counts.at(SoftwareClass::kBrowser), 2u);
+  EXPECT_EQ(counts.at(SoftwareClass::kLibrary), 1u);
+}
+
+TEST(Database, ClassNames) {
+  EXPECT_EQ(software_class_name(SoftwareClass::kMalware), "Malware & PUP");
+  EXPECT_EQ(software_class_name(SoftwareClass::kBrowser), "Browsers");
+}
+
+using tls::core::Date;
+
+TEST(DurationTracker, SingleDayLifetime) {
+  DurationTracker t;
+  t.record("h1", Date(2015, 3, 10), 5);
+  const auto s = t.summarize();
+  EXPECT_EQ(s.fingerprint_count, 1u);
+  EXPECT_EQ(s.single_day_count, 1u);
+  EXPECT_EQ(s.single_day_connections, 5u);
+  EXPECT_DOUBLE_EQ(s.median_days, 1.0);
+  EXPECT_EQ(s.max_days, 1);
+}
+
+TEST(DurationTracker, SpanAcrossDays) {
+  DurationTracker t;
+  t.record("h1", Date(2015, 3, 10));
+  t.record("h1", Date(2015, 3, 20));
+  t.record("h1", Date(2015, 3, 15));  // middle observation doesn't extend
+  const auto& lt = t.lifetimes().at("h1");
+  EXPECT_EQ(lt.duration_days(), 11);
+  EXPECT_EQ(lt.connections, 3u);
+}
+
+TEST(DurationTracker, SummaryStatistics) {
+  DurationTracker t;
+  // Lifetimes: 1, 1, 1, 11, 101 days.
+  t.record("a", Date(2015, 1, 1));
+  t.record("b", Date(2015, 1, 1));
+  t.record("c", Date(2015, 1, 1));
+  t.record("d", Date(2015, 1, 1));
+  t.record("d", Date(2015, 1, 11));
+  t.record("e", Date(2015, 1, 1), 10);
+  t.record("e", Date(2015, 4, 11), 10);
+  const auto s = t.summarize(/*long_lived_threshold=*/50);
+  EXPECT_EQ(s.fingerprint_count, 5u);
+  EXPECT_DOUBLE_EQ(s.median_days, 1.0);
+  EXPECT_DOUBLE_EQ(s.mean_days, (1 + 1 + 1 + 11 + 101) / 5.0);
+  EXPECT_EQ(s.max_days, 101);
+  EXPECT_EQ(s.single_day_count, 3u);
+  EXPECT_EQ(s.long_lived_count, 1u);
+  EXPECT_EQ(s.long_lived_connections, 20u);
+  EXPECT_EQ(s.total_connections, 25u);
+  EXPECT_NEAR(s.long_lived_connection_share, 20.0 / 25.0, 1e-12);
+}
+
+TEST(DurationTracker, EmptySummary) {
+  DurationTracker t;
+  const auto s = t.summarize();
+  EXPECT_EQ(s.fingerprint_count, 0u);
+  EXPECT_EQ(s.total_connections, 0u);
+}
+
+TEST(DurationTracker, QuantileInterpolation) {
+  DurationTracker t;
+  // Lifetimes 1..4 -> Q3 = 3.25.
+  t.record("a", Date(2015, 1, 1));
+  t.record("b", Date(2015, 1, 1));
+  t.record("b", Date(2015, 1, 2));
+  t.record("c", Date(2015, 1, 1));
+  t.record("c", Date(2015, 1, 3));
+  t.record("d", Date(2015, 1, 1));
+  t.record("d", Date(2015, 1, 4));
+  const auto s = t.summarize();
+  EXPECT_DOUBLE_EQ(s.q3_days, 3.25);
+  EXPECT_DOUBLE_EQ(s.median_days, 2.5);
+}
+
+}  // namespace
+}  // namespace tls::fp

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "clients/catalog.hpp"
+#include "core/study.hpp"
+#include "fingerprint/io.hpp"
+
+namespace tls::fp {
+namespace {
+
+FingerprintDatabase sample_db() {
+  FingerprintDatabase db;
+  db.add("00ff00ff00ff00ff00ff00ff00ff00ff",
+         SoftwareLabel{"Chrome", SoftwareClass::kBrowser, "29", "39"});
+  db.add("0123456789abcdef0123456789abcdef",
+         SoftwareLabel{"OpenSSL", SoftwareClass::kLibrary, "1.0.1", "1.0.2"});
+  db.add("aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa",
+         SoftwareLabel{"Zbot", SoftwareClass::kMalware, "2", "2"});
+  return db;
+}
+
+TEST(FingerprintIo, SaveLoadRoundTrip) {
+  const auto db = sample_db();
+  std::stringstream stream;
+  save_database(stream, db);
+  const auto loaded = load_database(stream);
+  EXPECT_EQ(loaded.size(), db.size());
+  const auto* chrome = loaded.lookup("00ff00ff00ff00ff00ff00ff00ff00ff");
+  ASSERT_NE(chrome, nullptr);
+  EXPECT_EQ(chrome->software, "Chrome");
+  EXPECT_EQ(chrome->cls, SoftwareClass::kBrowser);
+  EXPECT_EQ(chrome->version_min, "29");
+  EXPECT_EQ(chrome->version_max, "39");
+  EXPECT_EQ(loaded.lookup("aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa")->cls,
+            SoftwareClass::kMalware);
+}
+
+TEST(FingerprintIo, OutputIsSortedAndCommented) {
+  std::stringstream stream;
+  save_database(stream, sample_db());
+  std::string line;
+  std::getline(stream, line);
+  EXPECT_EQ(line[0], '#');
+  std::getline(stream, line);
+  EXPECT_EQ(line[0], '#');
+  std::string prev;
+  while (std::getline(stream, line)) {
+    EXPECT_LT(prev, line.substr(0, 32));
+    prev = line.substr(0, 32);
+  }
+}
+
+TEST(FingerprintIo, RejectsMalformedLines) {
+  {
+    std::stringstream s("not-a-record\n");
+    EXPECT_THROW(load_database(s), std::runtime_error);
+  }
+  {
+    std::stringstream s("xyz\tbrowser\tChrome\t1\t2\n");  // bad hash
+    EXPECT_THROW(load_database(s), std::runtime_error);
+  }
+  {
+    std::stringstream s(
+        "0123456789abcdef0123456789abcdef\tspaceship\tChrome\t1\t2\n");
+    EXPECT_THROW(load_database(s), std::runtime_error);
+  }
+}
+
+TEST(FingerprintIo, SkipsCommentsAndBlank) {
+  std::stringstream s(
+      "# header\n\n"
+      "0123456789abcdef0123456789abcdef\tbrowser\tChrome\t1\t2\n");
+  const auto db = load_database(s);
+  EXPECT_EQ(db.size(), 1u);
+}
+
+TEST(FingerprintIo, CollisionRulesApplyOnLoad) {
+  std::stringstream s(
+      "0123456789abcdef0123456789abcdef\tbrowser\tChrome\t1\t1\n"
+      "0123456789abcdef0123456789abcdef\tbrowser\tFirefox\t1\t1\n");
+  const auto db = load_database(s);
+  EXPECT_EQ(db.size(), 0u);  // cross-software collision removed (§4)
+  EXPECT_EQ(db.removed_count(), 1u);
+}
+
+TEST(FingerprintIo, ClassTokensRoundTrip) {
+  for (const auto cls :
+       {SoftwareClass::kLibrary, SoftwareClass::kBrowser,
+        SoftwareClass::kOsTool, SoftwareClass::kMobileApp,
+        SoftwareClass::kDevTool, SoftwareClass::kAntivirus,
+        SoftwareClass::kCloudStorage, SoftwareClass::kEmail,
+        SoftwareClass::kMalware}) {
+    EXPECT_EQ(software_class_from_token(software_class_token(cls)), cls);
+  }
+  EXPECT_THROW(software_class_from_token("nope"), std::runtime_error);
+}
+
+TEST(FingerprintIo, FullCatalogRoundTrip) {
+  const auto catalog = tls::clients::Catalog::core_only();
+  const auto db = tls::study::LongitudinalStudy::build_database(catalog);
+  std::stringstream stream;
+  save_database(stream, db);
+  const auto loaded = load_database(stream);
+  EXPECT_EQ(loaded.size(), db.size());
+  for (const auto& [hash, label] : db.entries()) {
+    const auto* l = loaded.lookup(hash);
+    ASSERT_NE(l, nullptr) << hash;
+    EXPECT_EQ(l->software, label.software);
+  }
+}
+
+}  // namespace
+}  // namespace tls::fp

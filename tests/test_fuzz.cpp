@@ -1,0 +1,152 @@
+// Robustness properties for every wire parser: arbitrary truncation or
+// mutation of valid messages must either parse to *something* or throw
+// ParseError — never crash, hang, or throw anything else. This is the
+// contract the passive monitor relies on when fed hostile traffic.
+#include <gtest/gtest.h>
+
+#include "clients/catalog.hpp"
+#include "tlscore/rng.hpp"
+#include "wire/alert.hpp"
+#include "wire/client_hello.hpp"
+#include "wire/server_hello.hpp"
+#include "wire/server_key_exchange.hpp"
+#include "wire/sslv2.hpp"
+
+namespace {
+
+using Bytes = std::vector<std::uint8_t>;
+
+template <typename ParseFn>
+void expect_parse_or_parse_error(const Bytes& data, ParseFn&& parse,
+                                 const char* what) {
+  try {
+    parse(data);
+  } catch (const tls::wire::ParseError&) {
+    // acceptable
+  } catch (const std::exception& e) {
+    FAIL() << what << ": unexpected exception type: " << e.what();
+  }
+}
+
+Bytes sample_client_hello_bytes() {
+  const auto catalog = tls::clients::Catalog::core_only();
+  const auto* cfg =
+      catalog.find("Chrome")->config_at(tls::core::Date(2018, 4, 1));
+  tls::core::Rng rng(55);
+  return tls::clients::make_client_hello(*cfg, rng, "fuzz.test")
+      .serialize_record();
+}
+
+TEST(Fuzz, ClientHelloEveryTruncation) {
+  const auto bytes = sample_client_hello_bytes();
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    const Bytes prefix(bytes.begin(),
+                       bytes.begin() + static_cast<std::ptrdiff_t>(cut));
+    expect_parse_or_parse_error(
+        prefix,
+        [](const Bytes& b) { tls::wire::ClientHello::parse_record(b); },
+        "truncated client hello");
+  }
+}
+
+TEST(Fuzz, ClientHelloRandomMutations) {
+  const auto base = sample_client_hello_bytes();
+  tls::core::Rng rng(77);
+  for (int trial = 0; trial < 3000; ++trial) {
+    Bytes mutated = base;
+    const int flips = 1 + static_cast<int>(rng.below(8));
+    for (int i = 0; i < flips; ++i) {
+      mutated[rng.below(mutated.size())] =
+          static_cast<std::uint8_t>(rng.next());
+    }
+    expect_parse_or_parse_error(
+        mutated,
+        [](const Bytes& b) { tls::wire::ClientHello::parse_record(b); },
+        "mutated client hello");
+  }
+}
+
+TEST(Fuzz, ClientHelloRandomGarbage) {
+  tls::core::Rng rng(88);
+  for (int trial = 0; trial < 3000; ++trial) {
+    Bytes garbage(rng.below(300));
+    for (auto& b : garbage) b = static_cast<std::uint8_t>(rng.next());
+    expect_parse_or_parse_error(
+        garbage,
+        [](const Bytes& b) { tls::wire::ClientHello::parse_record(b); },
+        "garbage client hello");
+  }
+}
+
+TEST(Fuzz, ServerHelloMutations) {
+  tls::wire::ServerHello sh;
+  sh.cipher_suite = 0xc02f;
+  sh.extensions.push_back(tls::wire::make_supported_versions_server(0x7e02));
+  sh.extensions.push_back(tls::wire::make_key_share_server(29));
+  const auto base = sh.serialize_record();
+  tls::core::Rng rng(99);
+  for (int trial = 0; trial < 3000; ++trial) {
+    Bytes mutated = base;
+    mutated[rng.below(mutated.size())] =
+        static_cast<std::uint8_t>(rng.next());
+    try {
+      const auto parsed = tls::wire::ServerHello::parse_record(mutated);
+      // Typed accessors on a structurally-valid parse must also be safe.
+      (void)parsed.negotiated_version();
+      (void)parsed.heartbeat_mode();
+      (void)parsed.key_share_group();
+    } catch (const tls::wire::ParseError&) {
+    }
+  }
+}
+
+TEST(Fuzz, TypedAccessorsOnMutatedClientHello) {
+  const auto base = sample_client_hello_bytes();
+  tls::core::Rng rng(111);
+  for (int trial = 0; trial < 2000; ++trial) {
+    Bytes mutated = base;
+    mutated[rng.below(mutated.size())] =
+        static_cast<std::uint8_t>(rng.next());
+    try {
+      const auto ch = tls::wire::ClientHello::parse_record(mutated);
+      (void)ch.server_name();
+      (void)ch.supported_groups();
+      (void)ch.ec_point_formats();
+      (void)ch.supported_versions();
+      (void)ch.heartbeat_mode();
+      (void)ch.max_offered_version();
+    } catch (const tls::wire::ParseError&) {
+    }
+  }
+}
+
+TEST(Fuzz, Sslv2Garbage) {
+  tls::core::Rng rng(123);
+  for (int trial = 0; trial < 2000; ++trial) {
+    Bytes garbage(3 + rng.below(100));
+    for (auto& b : garbage) b = static_cast<std::uint8_t>(rng.next());
+    expect_parse_or_parse_error(
+        garbage,
+        [](const Bytes& b) { tls::wire::Sslv2ClientHello::parse(b); },
+        "garbage sslv2");
+  }
+}
+
+TEST(Fuzz, AlertAndSkeGarbage) {
+  tls::core::Rng rng(321);
+  for (int trial = 0; trial < 2000; ++trial) {
+    Bytes garbage(rng.below(64));
+    for (auto& b : garbage) b = static_cast<std::uint8_t>(rng.next());
+    expect_parse_or_parse_error(
+        garbage, [](const Bytes& b) { tls::wire::Alert::parse_record(b); },
+        "garbage alert");
+    expect_parse_or_parse_error(
+        garbage,
+        [](const Bytes& b) {
+          tls::wire::EcdheServerKeyExchange::parse_record(b);
+        },
+        "garbage ske");
+  }
+}
+
+}  // namespace

@@ -1,0 +1,218 @@
+#include <gtest/gtest.h>
+
+#include "clients/catalog.hpp"
+#include "wire/client_hello.hpp"
+#include "wire/server_hello.hpp"
+#include "wire/server_key_exchange.hpp"
+#include "wire/sslv2.hpp"
+
+namespace tls::wire {
+namespace {
+
+ClientHello sample_hello() {
+  ClientHello ch;
+  ch.legacy_version = 0x0303;
+  ch.random.fill(0x42);
+  ch.session_id = {1, 2, 3};
+  ch.cipher_suites = {0xc02f, 0xc030, 0x009c, 0x0035, 0x000a};
+  ch.extensions.push_back(make_server_name("host.test"));
+  const std::uint16_t groups[] = {29, 23};
+  ch.extensions.push_back(make_supported_groups(groups));
+  const std::uint8_t formats[] = {0};
+  ch.extensions.push_back(make_ec_point_formats(formats));
+  return ch;
+}
+
+TEST(ClientHello, BodyRoundTrip) {
+  const ClientHello ch = sample_hello();
+  const auto parsed = ClientHello::parse_body(ch.serialize_body());
+  EXPECT_EQ(parsed, ch);
+}
+
+TEST(ClientHello, RecordRoundTrip) {
+  const ClientHello ch = sample_hello();
+  const auto parsed = ClientHello::parse_record(ch.serialize_record());
+  EXPECT_EQ(parsed, ch);
+}
+
+TEST(ClientHello, RecordVersionConvention) {
+  ClientHello ch = sample_hello();
+  ch.legacy_version = 0x0303;
+  auto rec = Record::parse_prefix(ch.serialize_record(), nullptr);
+  EXPECT_EQ(rec.legacy_version, 0x0301);  // middlebox-compatible
+  ch.legacy_version = 0x0300;
+  rec = Record::parse_prefix(ch.serialize_record(), nullptr);
+  EXPECT_EQ(rec.legacy_version, 0x0300);
+}
+
+TEST(ClientHello, NoExtensionsFormIsValid) {
+  // Pre-extension clients (OpenSSL 0.9.8, SSLv3 stacks) omit the block.
+  ClientHello ch;
+  ch.cipher_suites = {0x0005, 0x000a};
+  ch.extensions.clear();
+  const auto bytes = ch.serialize_body();
+  const auto parsed = ClientHello::parse_body(bytes);
+  EXPECT_TRUE(parsed.extensions.empty());
+  EXPECT_EQ(parsed.cipher_suites, ch.cipher_suites);
+}
+
+TEST(ClientHello, RejectsEmptyCipherList) {
+  ClientHello ch = sample_hello();
+  ch.cipher_suites.clear();
+  const auto bytes = ch.serialize_body();
+  EXPECT_THROW(ClientHello::parse_body(bytes), ParseError);
+}
+
+TEST(ClientHello, RejectsEmptyCompressionList) {
+  ClientHello ch = sample_hello();
+  ch.compression_methods.clear();
+  const auto bytes = ch.serialize_body();
+  EXPECT_THROW(ClientHello::parse_body(bytes), ParseError);
+}
+
+TEST(ClientHello, RejectsTruncation) {
+  const auto bytes = sample_hello().serialize_body();
+  for (std::size_t cut : {std::size_t{1}, bytes.size() / 2, bytes.size() - 1}) {
+    EXPECT_THROW(ClientHello::parse_body(
+                     std::span(bytes.data(), cut)),
+                 ParseError)
+        << "cut=" << cut;
+  }
+}
+
+TEST(ClientHello, TypedAccessors) {
+  const ClientHello ch = sample_hello();
+  EXPECT_EQ(*ch.server_name(), "host.test");
+  EXPECT_EQ(*ch.supported_groups(), std::vector<std::uint16_t>({29, 23}));
+  EXPECT_EQ(*ch.ec_point_formats(), std::vector<std::uint8_t>({0}));
+  EXPECT_FALSE(ch.supported_versions().has_value());
+  EXPECT_FALSE(ch.heartbeat_mode().has_value());
+  EXPECT_TRUE(ch.has_extension(tls::core::ExtensionType::kServerName));
+  EXPECT_FALSE(ch.has_extension(tls::core::ExtensionType::kAlpn));
+}
+
+TEST(ClientHello, MaxOfferedVersionWithoutExtension) {
+  ClientHello ch = sample_hello();
+  EXPECT_EQ(ch.max_offered_version(), 0x0303);
+}
+
+TEST(ClientHello, MaxOfferedVersionPrefersSupportedVersions) {
+  ClientHello ch = sample_hello();
+  const std::uint16_t versions[] = {0x2a2a /*GREASE*/, 0x7e02, 0x0303};
+  ch.extensions.push_back(make_supported_versions_client(versions));
+  EXPECT_EQ(ch.max_offered_version(), 0x7e02);
+}
+
+TEST(ClientHello, OffersPredicate) {
+  const ClientHello ch = sample_hello();
+  EXPECT_TRUE(ch.offers(
+      [](const tls::core::CipherSuiteInfo& s) { return tls::core::is_aead(s); }));
+  EXPECT_TRUE(ch.offers(
+      [](const tls::core::CipherSuiteInfo& s) { return tls::core::is_3des(s); }));
+  EXPECT_FALSE(ch.offers(
+      [](const tls::core::CipherSuiteInfo& s) { return tls::core::is_rc4(s); }));
+}
+
+// Property: every catalog config's emitted hello survives a byte round trip.
+class CatalogHelloRoundTrip
+    : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(CatalogHelloRoundTrip, SerializeParse) {
+  const auto& catalog = tls::clients::Catalog::core_only();
+  const auto* profile = catalog.find(GetParam());
+  ASSERT_NE(profile, nullptr);
+  tls::core::Rng rng(17);
+  for (const auto& cfg : profile->versions) {
+    const auto hello = tls::clients::make_client_hello(cfg, rng, "rt.test");
+    const auto parsed = ClientHello::parse_record(hello.serialize_record());
+    EXPECT_EQ(parsed, hello) << profile->name << " " << cfg.version_label;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Profiles, CatalogHelloRoundTrip,
+    ::testing::Values("Chrome", "Firefox", "Opera", "Safari", "IE/Edge",
+                      "OpenSSL", "OpenSSL 0.9.x", "Android SDK",
+                      "Apple SecureTransport", "MS CryptoAPI", "Java JSSE",
+                      "NSS", "GridFTP", "Nagios NRPE", "Shodan", "Zbot",
+                      "IoT Gateway", "Firefox Nightly"),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string n = info.param;
+      for (auto& c : n) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return n;
+    });
+
+TEST(ServerHello, RoundTrip) {
+  ServerHello sh;
+  sh.legacy_version = 0x0303;
+  sh.random.fill(9);
+  sh.session_id = {7, 7};
+  sh.cipher_suite = 0xc02f;
+  sh.extensions.push_back(make_renegotiation_info());
+  const auto parsed = ServerHello::parse_record(sh.serialize_record());
+  EXPECT_EQ(parsed, sh);
+}
+
+TEST(ServerHello, NegotiatedVersionFromExtension) {
+  ServerHello sh;
+  sh.legacy_version = 0x0303;
+  sh.cipher_suite = 0x1301;
+  sh.extensions.push_back(make_supported_versions_server(0x7f1c));
+  EXPECT_EQ(sh.negotiated_version(), 0x7f1c);
+  sh.extensions.clear();
+  EXPECT_EQ(sh.negotiated_version(), 0x0303);
+}
+
+TEST(ServerHello, KeyShareAndHeartbeatAccessors) {
+  ServerHello sh;
+  sh.extensions.push_back(make_key_share_server(29));
+  sh.extensions.push_back(make_heartbeat(1));
+  EXPECT_EQ(*sh.key_share_group(), 29);
+  EXPECT_EQ(*sh.heartbeat_mode(), 1);
+}
+
+TEST(ServerKeyExchange, RoundTrip) {
+  const auto ske = EcdheServerKeyExchange::stub(24);
+  const auto parsed =
+      EcdheServerKeyExchange::parse_record(ske.serialize_record(0x0303));
+  EXPECT_EQ(parsed.named_curve, 24);
+  EXPECT_EQ(parsed.public_point, ske.public_point);
+}
+
+TEST(ServerKeyExchange, RejectsNonNamedCurve) {
+  auto body = EcdheServerKeyExchange::stub(23).serialize_body();
+  body[0] = 1;  // explicit_prime
+  EXPECT_THROW(EcdheServerKeyExchange::parse_body(body), ParseError);
+}
+
+TEST(Sslv2, RoundTrip) {
+  Sslv2ClientHello ch;
+  ch.cipher_specs = {sslv2_ciphers::SSL_CK_RC4_128_WITH_MD5,
+                     sslv2_ciphers::SSL_CK_DES_192_EDE3_CBC_WITH_MD5};
+  ch.challenge.assign(16, 0xab);
+  const auto bytes = ch.serialize();
+  EXPECT_TRUE(Sslv2ClientHello::looks_like(bytes));
+  const auto parsed = Sslv2ClientHello::parse(bytes);
+  EXPECT_EQ(parsed.cipher_specs, ch.cipher_specs);
+  EXPECT_EQ(parsed.challenge, ch.challenge);
+  EXPECT_EQ(parsed.version, 0x0002);
+}
+
+TEST(Sslv2, RejectsNonSslv2) {
+  const std::uint8_t tls_bytes[] = {22, 3, 1, 0, 0};
+  EXPECT_FALSE(Sslv2ClientHello::looks_like(tls_bytes));
+  EXPECT_THROW(Sslv2ClientHello::parse(tls_bytes), ParseError);
+}
+
+TEST(Sslv2, RejectsBadCipherSpecLength) {
+  Sslv2ClientHello ch;
+  ch.cipher_specs = {0x010080};
+  auto bytes = ch.serialize();
+  bytes[5] = 2;  // cipher-spec-length not divisible by 3
+  EXPECT_THROW(Sslv2ClientHello::parse(bytes), ParseError);
+}
+
+}  // namespace
+}  // namespace tls::wire

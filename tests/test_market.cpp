@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "population/market.hpp"
+
+namespace tls::population {
+namespace {
+
+using tls::core::Date;
+using tls::core::Month;
+
+TEST(UpdateLag, MonotoneNondecreasing) {
+  const UpdateLagModel lag{3.0, 0.1, 40.0};
+  double prev = 0;
+  for (double a = 0; a < 120; a += 0.5) {
+    const double f = lag.updated_fraction(a);
+    EXPECT_GE(f, prev);
+    EXPECT_LE(f, 1.0);
+    prev = f;
+  }
+  EXPECT_EQ(lag.updated_fraction(-1), 0.0);
+  EXPECT_EQ(lag.updated_fraction(0), 0.0);
+}
+
+TEST(UpdateLag, HalfLifeSemantics) {
+  const UpdateLagModel lag{4.0, 0.0, 1e9};
+  EXPECT_NEAR(lag.updated_fraction(4.0), 0.5, 1e-9);
+  EXPECT_NEAR(lag.updated_fraction(8.0), 0.75, 1e-9);
+}
+
+TEST(UpdateLag, RetirementDrainsAbandonedAtom) {
+  const UpdateLagModel lag{2.0, 0.5, 10.0};
+  // After many retirement half-lives nearly everyone has moved on.
+  EXPECT_GT(lag.updated_fraction(100.0), 0.99);
+  // At moderate age the abandoned half lags behind.
+  EXPECT_LT(lag.updated_fraction(10.0), 0.80);
+}
+
+tls::clients::ClientProfile three_version_profile() {
+  tls::clients::ClientProfile p{"P", tls::fp::SoftwareClass::kBrowser, {}};
+  for (const auto& [label, date] :
+       std::initializer_list<std::pair<const char*, Date>>{
+           {"1", Date(2013, 1, 15)},
+           {"2", Date(2014, 1, 15)},
+           {"3", Date(2016, 1, 15)}}) {
+    tls::clients::ClientConfig c;
+    c.version_label = label;
+    c.release = date;
+    c.cipher_suites = {0x002f};
+    p.versions.push_back(c);
+  }
+  return p;
+}
+
+TEST(VersionShares, ZeroBeforeFirstRelease) {
+  const auto p = three_version_profile();
+  const auto shares = version_shares(p, Month(2012, 6), UpdateLagModel{});
+  EXPECT_EQ(std::accumulate(shares.begin(), shares.end(), 0.0), 0.0);
+}
+
+TEST(VersionShares, SumToOneAfterRelease) {
+  const auto p = three_version_profile();
+  for (const Month m : {Month(2013, 2), Month(2014, 6), Month(2017, 1)}) {
+    const auto shares = version_shares(p, m, UpdateLagModel{2.0, 0.1, 40});
+    const double sum = std::accumulate(shares.begin(), shares.end(), 0.0);
+    EXPECT_NEAR(sum, 1.0, 1e-9) << m.to_string();
+  }
+}
+
+TEST(VersionShares, NewestVersionGainsOverTime) {
+  const auto p = three_version_profile();
+  const UpdateLagModel lag{2.0, 0.05, 40};
+  const auto early = version_shares(p, Month(2016, 2), lag);
+  const auto late = version_shares(p, Month(2017, 6), lag);
+  EXPECT_GT(late[2], early[2]);
+  EXPECT_LT(late[0], early[0] + 1e-12);
+}
+
+TEST(VersionShares, AbandonedMassSticksToOldest) {
+  const auto p = three_version_profile();
+  const UpdateLagModel sticky{1.0, 0.4, 1e9};
+  const auto shares = version_shares(p, Month(2017, 6), sticky);
+  EXPECT_GT(shares[0], 0.35);  // the abandoned atom
+  EXPECT_GT(shares[2], 0.5);
+}
+
+TEST(VersionShares, FutureVersionsGetNothing) {
+  const auto p = three_version_profile();
+  const auto shares = version_shares(p, Month(2015, 6), UpdateLagModel{});
+  EXPECT_EQ(shares[2], 0.0);
+  EXPECT_GT(shares[1], 0.0);
+}
+
+TEST(Market, StandardBuildsAgainstCoreCatalog) {
+  const auto catalog = tls::clients::Catalog::core_only();
+  const auto market = MarketModel::standard(catalog);
+  EXPECT_GT(market.entries().size(), 30u);
+  for (const auto& e : market.entries()) {
+    ASSERT_NE(e.profile, nullptr);
+    EXPECT_GE(e.traffic_share.at(Month(2015, 1)), 0.0);
+  }
+}
+
+TEST(Market, SampleReturnsReleasedConfigs) {
+  const auto catalog = tls::clients::Catalog::core_only();
+  const auto market = MarketModel::standard(catalog);
+  tls::core::Rng rng(21);
+  for (int i = 0; i < 3000; ++i) {
+    const auto pick = market.sample(Month(2014, 6), rng);
+    ASSERT_NE(pick.entry, nullptr);
+    ASSERT_NE(pick.config, nullptr);
+    EXPECT_LE(pick.config->release, Date(2014, 7, 1));
+  }
+}
+
+TEST(Market, DestinationsRoutedClientsPresent) {
+  const auto catalog = tls::clients::Catalog::core_only();
+  const auto market = MarketModel::standard(catalog);
+  bool grid = false, nagios = false, interwise = false, splunk = false;
+  for (const auto& e : market.entries()) {
+    grid = grid || e.destination == "grid";
+    nagios = nagios || e.destination == "nagios";
+    interwise = interwise || e.destination == "interwise";
+    splunk = splunk || e.destination == "splunk";
+  }
+  EXPECT_TRUE(grid);
+  EXPECT_TRUE(nagios);
+  EXPECT_TRUE(interwise);
+  EXPECT_TRUE(splunk);
+}
+
+}  // namespace
+}  // namespace tls::population

@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include "fingerprint/md5.hpp"
+
+namespace tls::fp {
+namespace {
+
+// RFC 1321 appendix A.5 test suite.
+TEST(Md5, Rfc1321Vectors) {
+  EXPECT_EQ(Md5::hex(""), "d41d8cd98f00b204e9800998ecf8427e");
+  EXPECT_EQ(Md5::hex("a"), "0cc175b9c0f1b6a831c399e269772661");
+  EXPECT_EQ(Md5::hex("abc"), "900150983cd24fb0d6963f7d28e17f72");
+  EXPECT_EQ(Md5::hex("message digest"), "f96b697d7cb7938d525a2f31aaf161d0");
+  EXPECT_EQ(Md5::hex("abcdefghijklmnopqrstuvwxyz"),
+            "c3fcd3d76192e4007dfb496cca67e13b");
+  EXPECT_EQ(Md5::hex("ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz012"
+                     "3456789"),
+            "d174ab98d277d9f5a5611c2c9f419d9f");
+  EXPECT_EQ(Md5::hex("1234567890123456789012345678901234567890123456789012345"
+                     "6789012345678901234567890"),
+            "57edf4a22be3c955ac49da2e2107b67a");
+}
+
+TEST(Md5, IncrementalMatchesOneShot) {
+  const std::string text =
+      "The quick brown fox jumps over the lazy dog, repeatedly, to cross "
+      "block boundaries in the incremental interface.";
+  for (std::size_t chunk = 1; chunk <= 70; chunk += 7) {
+    Md5 h;
+    for (std::size_t i = 0; i < text.size(); i += chunk) {
+      h.update(std::string_view(text).substr(i, chunk));
+    }
+    EXPECT_EQ(to_hex(h.digest()), Md5::hex(text)) << "chunk=" << chunk;
+  }
+}
+
+TEST(Md5, BlockBoundaryLengths) {
+  // 55/56/57 and 63/64/65 bytes exercise the padding edge cases.
+  for (const std::size_t n : {55u, 56u, 57u, 63u, 64u, 65u, 119u, 128u}) {
+    const std::string a(n, 'x');
+    Md5 h;
+    h.update(a);
+    // Compare against one-shot of the same content (self-consistency).
+    EXPECT_EQ(to_hex(h.digest()), Md5::hex(a)) << n;
+  }
+  // Known value for 64 'a' characters.
+  EXPECT_EQ(Md5::hex(std::string(64, 'a')),
+            "014842d480b571495a4a0363793f7367");
+}
+
+TEST(Md5, UpdateAfterDigestThrows) {
+  Md5 h;
+  h.update("x");
+  h.digest();
+  EXPECT_THROW(h.update("y"), std::logic_error);
+  EXPECT_THROW(h.digest(), std::logic_error);
+}
+
+TEST(Md5, ToHexFormatting) {
+  const std::uint8_t bytes[] = {0x00, 0xff, 0x0a};
+  EXPECT_EQ(to_hex(bytes), "00ff0a");
+}
+
+}  // namespace
+}  // namespace tls::fp

@@ -1,0 +1,92 @@
+// Whole-model sanity: the population weights are meant to be (approximate)
+// shares. If someone edits an anchor and the totals drift far from 1, every
+// percentage in the study silently re-normalizes against a different base —
+// these tests bound that drift.
+#include <gtest/gtest.h>
+
+#include "clients/catalog.hpp"
+#include "population/market.hpp"
+#include "servers/population.hpp"
+
+namespace {
+
+using tls::core::Month;
+
+TEST(ModelSanity, MarketTrafficSharesSumNearOne) {
+  const auto catalog = tls::clients::Catalog::core_only();
+  const auto market = tls::population::MarketModel::standard(catalog);
+  for (Month m(2012, 6); m <= Month(2018, 4); m += 6) {
+    double total = 0;
+    for (const auto& e : market.entries()) total += e.traffic_share.at(m);
+    EXPECT_GT(total, 0.75) << m.to_string();
+    EXPECT_LT(total, 1.35) << m.to_string();
+  }
+}
+
+TEST(ModelSanity, ServerTrafficSharesSumNearOne) {
+  const auto pop = tls::servers::ServerPopulation::standard();
+  for (Month m(2012, 6); m <= Month(2018, 4); m += 6) {
+    double total = 0;
+    for (const auto& s : pop.segments()) {
+      if (!s.special_destination) total += s.traffic_share.at(m);
+    }
+    EXPECT_GT(total, 0.75) << m.to_string();
+    EXPECT_LT(total, 1.45) << m.to_string();
+  }
+}
+
+TEST(ModelSanity, ServerHostSharesSumNearOneInScanWindow) {
+  const auto pop = tls::servers::ServerPopulation::standard();
+  for (Month m(2015, 8); m <= Month(2018, 5); m += 3) {
+    double total = 0;
+    for (const auto& s : pop.segments()) total += s.host_share.at(m);
+    EXPECT_GT(total, 0.8) << m.to_string();
+    EXPECT_LT(total, 1.2) << m.to_string();
+  }
+}
+
+TEST(ModelSanity, NoNegativeShares) {
+  const auto catalog = tls::clients::Catalog::core_only();
+  const auto market = tls::population::MarketModel::standard(catalog);
+  const auto pop = tls::servers::ServerPopulation::standard();
+  for (Month m(2012, 1); m <= Month(2018, 5); ++m) {
+    for (const auto& e : market.entries()) {
+      ASSERT_GE(e.traffic_share.at(m), 0.0) << e.profile->name;
+    }
+    for (const auto& s : pop.segments()) {
+      ASSERT_GE(s.traffic_share.at(m), 0.0) << s.name;
+      ASSERT_GE(s.host_share.at(m), 0.0) << s.name;
+      ASSERT_GE(s.heartbleed_unpatched.at(m), 0.0) << s.name;
+      ASSERT_LE(s.heartbleed_unpatched.at(m), 1.0) << s.name;
+    }
+  }
+}
+
+TEST(ModelSanity, MarketEntriesAreUniqueProfiles) {
+  const auto catalog = tls::clients::Catalog::core_only();
+  const auto market = tls::population::MarketModel::standard(catalog);
+  std::set<const tls::clients::ClientProfile*> seen;
+  for (const auto& e : market.entries()) {
+    EXPECT_TRUE(seen.insert(e.profile).second)
+        << "duplicate market entry: " << e.profile->name;
+  }
+}
+
+TEST(ModelSanity, SpecialDestinationsAllRoutable) {
+  // Every destination key used by the market must match at least one
+  // special segment (TrafficGenerator::route throws otherwise).
+  const auto catalog = tls::clients::Catalog::core_only();
+  const auto market = tls::population::MarketModel::standard(catalog);
+  const auto pop = tls::servers::ServerPopulation::standard();
+  for (const auto& e : market.entries()) {
+    if (e.destination.empty()) continue;
+    bool found = false;
+    for (const auto& s : pop.segments()) {
+      found = found || (s.special_destination &&
+                        s.name.starts_with(e.destination));
+    }
+    EXPECT_TRUE(found) << e.destination;
+  }
+}
+
+}  // namespace

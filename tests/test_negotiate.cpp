@@ -1,0 +1,348 @@
+#include <gtest/gtest.h>
+
+#include "handshake/negotiate.hpp"
+#include "wire/extension_codec.hpp"
+
+namespace tls::handshake {
+namespace {
+
+using tls::servers::ServerConfig;
+using tls::servers::ServerQuirk;
+using tls::wire::ClientHello;
+
+ClientHello hello_with(std::vector<std::uint16_t> suites,
+                       std::uint16_t version = 0x0303,
+                       std::vector<std::uint16_t> groups = {29, 23, 24}) {
+  ClientHello ch;
+  ch.legacy_version = version;
+  ch.cipher_suites = std::move(suites);
+  if (!groups.empty()) {
+    ch.extensions.push_back(tls::wire::make_supported_groups(groups));
+  }
+  return ch;
+}
+
+ServerConfig server_with(std::vector<std::uint16_t> prefs,
+                         std::uint16_t max = 0x0303,
+                         std::uint16_t min = 0x0300) {
+  ServerConfig c;
+  c.max_version = max;
+  c.min_version = min;
+  c.cipher_preference = std::move(prefs);
+  return c;
+}
+
+tls::core::Rng rng_fixture() { return tls::core::Rng(77); }
+
+TEST(Negotiate, VersionIsMinOfClientAndServer) {
+  auto rng = rng_fixture();
+  const auto r = negotiate(hello_with({0x002f}, 0x0301),
+                           server_with({0x002f}), rng);
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(r.negotiated_version, 0x0301);
+
+  const auto r2 = negotiate(hello_with({0x002f}, 0x0303),
+                            server_with({0x002f}, 0x0301), rng);
+  ASSERT_TRUE(r2.success);
+  EXPECT_EQ(r2.negotiated_version, 0x0301);
+}
+
+TEST(Negotiate, FailsBelowServerMinimum) {
+  auto rng = rng_fixture();
+  const auto r = negotiate(hello_with({0x002f}, 0x0301),
+                           server_with({0x002f}, 0x0303, 0x0303), rng);
+  EXPECT_FALSE(r.success);
+  EXPECT_EQ(r.failure, FailureReason::kNoCommonVersion);
+  EXPECT_FALSE(r.server_hello.has_value());
+}
+
+TEST(Negotiate, ServerPreferenceOrderWins) {
+  auto rng = rng_fixture();
+  // Client prefers GCM; server prefers RC4 (the bankmellat case, §5.3).
+  const auto r = negotiate(hello_with({0xc02f, 0x0005}),
+                           server_with({0x0005, 0xc02f}), rng);
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(r.negotiated_cipher, 0x0005);
+}
+
+TEST(Negotiate, ClientPreferenceHonoredWhenConfigured) {
+  auto rng = rng_fixture();
+  auto server = server_with({0x0005, 0xc02f});
+  server.prefer_server_order = false;
+  const auto r = negotiate(hello_with({0xc02f, 0x0005}), server, rng);
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(r.negotiated_cipher, 0xc02f);
+}
+
+TEST(Negotiate, NoCommonCipherFails) {
+  auto rng = rng_fixture();
+  const auto r =
+      negotiate(hello_with({0xc02f}), server_with({0x0005}), rng);
+  EXPECT_FALSE(r.success);
+  EXPECT_EQ(r.failure, FailureReason::kNoCommonCipher);
+}
+
+TEST(Negotiate, AeadRequiresTls12) {
+  auto rng = rng_fixture();
+  // TLS 1.0 client offering GCM (nonsensical but possible): GCM must not
+  // be selected at 1.0; fall through to CBC.
+  const auto r = negotiate(hello_with({0xc02f, 0x002f}, 0x0301),
+                           server_with({0xc02f, 0x002f}), rng);
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(r.negotiated_version, 0x0301);
+  EXPECT_EQ(r.negotiated_cipher, 0x002f);
+}
+
+TEST(Negotiate, Sha256SuitesRequireTls12) {
+  auto rng = rng_fixture();
+  const auto r = negotiate(hello_with({0x003c, 0x002f}, 0x0302),
+                           server_with({0x003c, 0x002f}), rng);
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(r.negotiated_cipher, 0x002f);
+}
+
+TEST(Negotiate, EcdheRequiresMutualGroup) {
+  auto rng = rng_fixture();
+  // Client supports only x25519; server only P-256: EC suites unusable.
+  auto server = server_with({0xc02f, 0x009c});
+  server.groups = {23};
+  const auto r = negotiate(hello_with({0xc02f, 0x009c}, 0x0303, {29}),
+                           server, rng);
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(r.negotiated_cipher, 0x009c);
+  EXPECT_EQ(r.negotiated_group, 0);
+}
+
+TEST(Negotiate, GroupSelectionFollowsServerPreference) {
+  auto rng = rng_fixture();
+  auto server = server_with({0xc02f});
+  server.groups = {29, 23};
+  const auto r =
+      negotiate(hello_with({0xc02f}, 0x0303, {23, 29}), server, rng);
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(r.negotiated_group, 29);
+}
+
+TEST(Negotiate, MissingGroupsExtensionImpliesDefaults) {
+  auto rng = rng_fixture();
+  auto server = server_with({0xc013});
+  server.groups = {23, 24};
+  const auto r = negotiate(hello_with({0xc013}, 0x0303, {}), server, rng);
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(r.negotiated_group, 23);
+}
+
+TEST(Negotiate, GreaseSuitesNeverSelected) {
+  auto rng = rng_fixture();
+  const auto r = negotiate(hello_with({0x5a5a, 0x002f}),
+                           server_with({0x5a5a, 0x002f}), rng);
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(r.negotiated_cipher, 0x002f);
+}
+
+TEST(Negotiate, ScsvNeverSelected) {
+  auto rng = rng_fixture();
+  const auto r = negotiate(hello_with({0x00ff, 0x002f}),
+                           server_with({0x00ff, 0x002f}), rng);
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(r.negotiated_cipher, 0x002f);
+}
+
+TEST(Negotiate, NullWithNullNullIsSelectable) {
+  auto rng = rng_fixture();
+  const auto r = negotiate(hello_with({0x0000, 0x0034}),
+                           server_with({0x0000, 0x0034}), rng);
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(r.negotiated_cipher, 0x0000);
+}
+
+TEST(Negotiate, Tls13ViaSupportedVersions) {
+  auto rng = rng_fixture();
+  auto hello = hello_with({0x1301, 0xc02f});
+  const std::uint16_t versions[] = {0x7a7a /*GREASE*/, 0x7e02, 0x0303};
+  hello.extensions.push_back(
+      tls::wire::make_supported_versions_client(versions));
+  auto server = server_with({0x1301, 0xc02f});
+  server.tls13_versions = {0x7e02, 0x7f12};
+  const auto r = negotiate(hello, server, rng);
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(r.negotiated_version, 0x7e02);
+  EXPECT_EQ(r.negotiated_cipher, 0x1301);
+  EXPECT_NE(r.negotiated_group, 0);
+  ASSERT_TRUE(r.server_hello.has_value());
+  EXPECT_EQ(r.server_hello->negotiated_version(), 0x7e02);
+  EXPECT_TRUE(r.server_hello->key_share_group().has_value());
+}
+
+TEST(Negotiate, Tls13PicksHighestMutualDraft) {
+  auto rng = rng_fixture();
+  auto hello = hello_with({0x1301});
+  const std::uint16_t versions[] = {0x7f1c, 0x7f12, 0x0303};
+  hello.extensions.push_back(
+      tls::wire::make_supported_versions_client(versions));
+  auto server = server_with({0x1301});
+  server.tls13_versions = {0x7f12, 0x7f1c};
+  const auto r = negotiate(hello, server, rng);
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(r.negotiated_version, 0x7f1c);  // draft-28 > draft-18
+}
+
+TEST(Negotiate, Tls13FallsBackTo12WithoutMutualDraft) {
+  auto rng = rng_fixture();
+  auto hello = hello_with({0x1301, 0xc02f});
+  const std::uint16_t versions[] = {0x7f12, 0x0303};
+  hello.extensions.push_back(
+      tls::wire::make_supported_versions_client(versions));
+  auto server = server_with({0x1301, 0xc02f});
+  server.tls13_versions = {0x7e02};  // disjoint draft sets
+  const auto r = negotiate(hello, server, rng);
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(r.negotiated_version, 0x0303);
+  EXPECT_EQ(r.negotiated_cipher, 0xc02f);
+}
+
+TEST(Negotiate, Tls13SuitesUnusableBelow13) {
+  auto rng = rng_fixture();
+  const auto r =
+      negotiate(hello_with({0x1301}), server_with({0x1301}), rng);
+  EXPECT_FALSE(r.success);
+  EXPECT_EQ(r.failure, FailureReason::kNoCommonCipher);
+}
+
+TEST(Negotiate, QuirkExportRc4RejectedByStandardClient) {
+  auto rng = rng_fixture();
+  auto server = server_with({0x0003, 0x0005});
+  server.quirk = ServerQuirk::kChooseExportRc4Unoffered;
+  const auto r = negotiate(hello_with({0x0005, 0x002f}, 0x0301), server, rng);
+  EXPECT_FALSE(r.success);
+  EXPECT_TRUE(r.spec_violation);
+  EXPECT_EQ(r.failure, FailureReason::kClientRejectedUnofferedSuite);
+  ASSERT_TRUE(r.server_hello.has_value());
+  EXPECT_EQ(r.server_hello->cipher_suite, 0x0003);
+}
+
+TEST(Negotiate, QuirkAcceptedByTolerantClient) {
+  // The Interwise population completes such sessions (§5.5).
+  auto rng = rng_fixture();
+  auto server = server_with({0x0003});
+  server.quirk = ServerQuirk::kChooseExportRc4Unoffered;
+  NegotiateOptions opts;
+  opts.accept_unoffered_suite = true;
+  const auto r =
+      negotiate(hello_with({0x0005}, 0x0301), server, rng, opts);
+  EXPECT_TRUE(r.success);
+  EXPECT_TRUE(r.spec_violation);
+  EXPECT_EQ(r.negotiated_cipher, 0x0003);
+}
+
+TEST(Negotiate, QuirkSkippedWhenClientactuallyOffers) {
+  auto rng = rng_fixture();
+  auto server = server_with({0x0003, 0x0005});
+  server.quirk = ServerQuirk::kChooseExportRc4Unoffered;
+  // Client that DOES offer the export suite: normal selection, no violation.
+  const auto r = negotiate(hello_with({0x0003, 0x0005}, 0x0301), server, rng);
+  EXPECT_TRUE(r.success);
+  EXPECT_FALSE(r.spec_violation);
+  EXPECT_EQ(r.negotiated_cipher, 0x0003);
+}
+
+TEST(Negotiate, GostQuirk) {
+  auto rng = rng_fixture();
+  auto server = server_with({0x0081});
+  server.quirk = ServerQuirk::kChooseGostUnoffered;
+  const auto r = negotiate(hello_with({0xc02f}), server, rng);
+  EXPECT_FALSE(r.success);
+  EXPECT_TRUE(r.spec_violation);
+  EXPECT_EQ(r.server_hello->cipher_suite, 0x0081);
+}
+
+TEST(Negotiate, HeartbeatEchoedOnlyWhenOfferedAndSupported) {
+  auto rng = rng_fixture();
+  auto hello = hello_with({0x002f});
+  hello.extensions.push_back(tls::wire::make_heartbeat(1));
+  auto server = server_with({0x002f});
+  server.echo_heartbeat = true;
+  auto r = negotiate(hello, server, rng);
+  ASSERT_TRUE(r.success);
+  EXPECT_TRUE(r.heartbeat_negotiated);
+  EXPECT_TRUE(r.server_hello->heartbeat_mode().has_value());
+
+  server.echo_heartbeat = false;
+  r = negotiate(hello, server, rng);
+  EXPECT_FALSE(r.heartbeat_negotiated);
+
+  server.echo_heartbeat = true;
+  r = negotiate(hello_with({0x002f}), server, rng);  // client didn't offer
+  EXPECT_FALSE(r.heartbeat_negotiated);
+}
+
+TEST(Negotiate, SessionTicketAndEmsEcho) {
+  auto rng = rng_fixture();
+  auto hello = hello_with({0x002f});
+  hello.extensions.push_back(tls::wire::make_session_ticket());
+  hello.extensions.push_back(tls::wire::make_extended_master_secret());
+  auto server = server_with({0x002f});
+  server.supports_ems = true;
+  const auto r = negotiate(hello, server, rng);
+  ASSERT_TRUE(r.success);
+  EXPECT_TRUE(r.server_hello->has_extension(
+      tls::core::ExtensionType::kSessionTicket));
+  EXPECT_TRUE(r.server_hello->has_extension(
+      tls::core::ExtensionType::kExtendedMasterSecret));
+}
+
+TEST(Negotiate, ResumptionEchoesSessionId) {
+  auto rng = rng_fixture();
+  auto hello = hello_with({0x002f});
+  hello.session_id.assign(32, 0x11);
+  auto server = server_with({0x002f});
+  server.resumption_rate = 1.0;
+  NegotiateOptions opts;
+  opts.attempt_resumption = true;
+  const auto r = negotiate(hello, server, rng, opts);
+  ASSERT_TRUE(r.success);
+  EXPECT_TRUE(r.resumed);
+  EXPECT_EQ(r.server_hello->session_id, hello.session_id);
+
+  // Rate 0: fresh session id, no resumption.
+  server.resumption_rate = 0.0;
+  const auto r2 = negotiate(hello, server, rng, opts);
+  ASSERT_TRUE(r2.success);
+  EXPECT_FALSE(r2.resumed);
+  EXPECT_NE(r2.server_hello->session_id, hello.session_id);
+}
+
+TEST(Negotiate, Tls13SessionIdEchoIsNotResumption) {
+  auto rng = rng_fixture();
+  auto hello = hello_with({0x1301});
+  hello.session_id.assign(32, 0x22);
+  const std::uint16_t versions[] = {0x0304, 0x0303};
+  hello.extensions.push_back(
+      tls::wire::make_supported_versions_client(versions));
+  auto server = server_with({0x1301});
+  server.tls13_versions = {0x0304};
+  server.resumption_rate = 1.0;
+  NegotiateOptions opts;
+  opts.attempt_resumption = true;
+  const auto r = negotiate(hello, server, rng, opts);
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(r.server_hello->session_id, hello.session_id);  // compat echo
+  EXPECT_FALSE(r.resumed);
+}
+
+TEST(SuiteAllowed, VersionTable) {
+  const auto* gcm = tls::core::find_cipher_suite(std::uint16_t{0xc02f});
+  const auto* cbc = tls::core::find_cipher_suite(std::uint16_t{0x002f});
+  const auto* t13 = tls::core::find_cipher_suite(std::uint16_t{0x1301});
+  EXPECT_FALSE(suite_allowed_at_version(*gcm, 0x0301));
+  EXPECT_TRUE(suite_allowed_at_version(*gcm, 0x0303));
+  EXPECT_TRUE(suite_allowed_at_version(*cbc, 0x0300));
+  EXPECT_TRUE(suite_allowed_at_version(*cbc, 0x0303));
+  EXPECT_FALSE(suite_allowed_at_version(*cbc, 0x7f1c));
+  EXPECT_TRUE(suite_allowed_at_version(*t13, 0x7f1c));
+  EXPECT_TRUE(suite_allowed_at_version(*t13, 0x7e02));
+  EXPECT_FALSE(suite_allowed_at_version(*t13, 0x0303));
+}
+
+}  // namespace
+}  // namespace tls::handshake

@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "wire/record.hpp"
+
+namespace tls::wire {
+namespace {
+
+TEST(Record, RoundTrip) {
+  Record rec;
+  rec.type = ContentType::kHandshake;
+  rec.legacy_version = 0x0301;
+  rec.fragment = {0xde, 0xad, 0xbe, 0xef};
+  const auto bytes = rec.serialize();
+  ASSERT_EQ(bytes.size(), 9u);
+  EXPECT_EQ(bytes[0], 22);
+  EXPECT_EQ(bytes[3], 0x00);
+  EXPECT_EQ(bytes[4], 0x04);
+  const Record parsed = Record::parse(bytes);
+  EXPECT_EQ(parsed.type, rec.type);
+  EXPECT_EQ(parsed.legacy_version, rec.legacy_version);
+  EXPECT_EQ(parsed.fragment, rec.fragment);
+}
+
+TEST(Record, RejectsUnknownContentType) {
+  std::uint8_t bytes[] = {99, 0x03, 0x01, 0x00, 0x00};
+  EXPECT_THROW(Record::parse(bytes), ParseError);
+}
+
+TEST(Record, RejectsTruncatedFragment) {
+  std::uint8_t bytes[] = {22, 0x03, 0x01, 0x00, 0x05, 0xaa};
+  EXPECT_THROW(Record::parse(bytes), ParseError);
+}
+
+TEST(Record, RejectsTrailingBytes) {
+  Record rec;
+  rec.fragment = {0x01};
+  auto bytes = rec.serialize();
+  bytes.push_back(0xff);
+  EXPECT_THROW(Record::parse(bytes), ParseError);
+}
+
+TEST(Record, ParsePrefixReportsConsumed) {
+  Record rec;
+  rec.fragment = {0x01, 0x02};
+  auto bytes = rec.serialize();
+  const auto n = bytes.size();
+  bytes.push_back(0x77);
+  std::size_t consumed = 0;
+  const Record parsed = Record::parse_prefix(bytes, &consumed);
+  EXPECT_EQ(consumed, n);
+  EXPECT_EQ(parsed.fragment.size(), 2u);
+}
+
+TEST(Record, RejectsOversizedFragment) {
+  Record rec;
+  rec.fragment.assign(0x5000, 0);
+  EXPECT_THROW(rec.serialize(), ParseError);
+}
+
+TEST(HandshakeMessage, RoundTrip) {
+  HandshakeMessage m;
+  m.type = HandshakeType::kClientHello;
+  m.body = {1, 2, 3};
+  const auto bytes = m.serialize();
+  ASSERT_EQ(bytes.size(), 7u);
+  EXPECT_EQ(bytes[0], 1);
+  EXPECT_EQ(bytes[3], 3);
+  const auto parsed = HandshakeMessage::parse(bytes);
+  EXPECT_EQ(parsed.type, HandshakeType::kClientHello);
+  EXPECT_EQ(parsed.body, m.body);
+}
+
+TEST(HandshakeMessage, RejectsTrailing) {
+  HandshakeMessage m;
+  m.body = {1};
+  auto bytes = m.serialize();
+  bytes.push_back(0);
+  EXPECT_THROW(HandshakeMessage::parse(bytes), ParseError);
+}
+
+TEST(WrapUnwrap, RoundTrip) {
+  const std::uint8_t body[] = {0xca, 0xfe};
+  const auto wire = wrap_handshake(HandshakeType::kServerHello, body, 0x0303);
+  const auto out = unwrap_handshake(wire, HandshakeType::kServerHello);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], 0xca);
+}
+
+TEST(WrapUnwrap, RejectsWrongHandshakeType) {
+  const std::uint8_t body[] = {0xca};
+  const auto wire = wrap_handshake(HandshakeType::kServerHello, body, 0x0303);
+  EXPECT_THROW(unwrap_handshake(wire, HandshakeType::kClientHello),
+               ParseError);
+}
+
+TEST(WrapUnwrap, RejectsNonHandshakeRecord) {
+  Record rec;
+  rec.type = ContentType::kAlert;
+  rec.fragment = {2, 40};
+  EXPECT_THROW(
+      unwrap_handshake(rec.serialize(), HandshakeType::kClientHello),
+      ParseError);
+}
+
+}  // namespace
+}  // namespace tls::wire

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "analysis/render.hpp"
+
+namespace tls::analysis {
+namespace {
+
+using tls::core::Month;
+
+MonthlyChart small_chart() {
+  MonthlyChart c;
+  c.title = "test chart";
+  c.range = {Month(2015, 1), Month(2015, 6)};
+  c.series.push_back({"up", {0, 20, 40, 60, 80, 100}});
+  c.series.push_back({"down", {100, 80, 60, 40, 20, 0}});
+  c.height = 6;
+  return c;
+}
+
+TEST(Render, ChartContainsTitleLegendAndAxis) {
+  const auto out = render_chart(small_chart());
+  EXPECT_NE(out.find("test chart"), std::string::npos);
+  EXPECT_NE(out.find("A = up"), std::string::npos);
+  EXPECT_NE(out.find("B = down"), std::string::npos);
+  EXPECT_NE(out.find("2015"), std::string::npos);
+}
+
+TEST(Render, ChartPlotsExtremes) {
+  const auto out = render_chart(small_chart());
+  // First column: up at bottom row, down at top row.
+  const auto lines = [&] {
+    std::vector<std::string> v;
+    std::size_t start = 0;
+    while (true) {
+      const auto nl = out.find('\n', start);
+      if (nl == std::string::npos) break;
+      v.push_back(out.substr(start, nl - start));
+      start = nl + 1;
+    }
+    return v;
+  }();
+  // Row 1 is the top data row (after the title).
+  EXPECT_NE(lines[1].find('B'), std::string::npos);
+  EXPECT_NE(lines[6].find('A'), std::string::npos);
+}
+
+TEST(Render, ChartRejectsLengthMismatch) {
+  auto c = small_chart();
+  c.series[0].values.pop_back();
+  EXPECT_THROW(render_chart(c), std::invalid_argument);
+}
+
+TEST(Render, MarkersRendered) {
+  auto c = small_chart();
+  c.markers.emplace_back(Month(2015, 3), 'x');
+  const auto out = render_chart(c);
+  EXPECT_NE(out.find("x=2015-03"), std::string::npos);
+}
+
+TEST(Render, AutoScale) {
+  auto c = small_chart();
+  c.y_max = 0;  // auto
+  EXPECT_NO_THROW(render_chart(c));
+}
+
+TEST(Render, TableAlignsColumns) {
+  const auto out = render_table({{"a", "bb", "c"},
+                                 {"dddd", "e", "ff"},
+                                 {"g", "hhhhh", "i"}});
+  // Each row must place column 2 at the same offset.
+  const auto pos1 = out.find("bb");
+  const auto line2 = out.find("dddd");
+  const auto pos2 = out.find('e', line2);
+  EXPECT_EQ(pos2 - line2, pos1);
+  EXPECT_NE(out.find("----"), std::string::npos);  // header rule
+}
+
+TEST(Render, TableEmpty) { EXPECT_EQ(render_table({}), ""); }
+
+TEST(Render, CsvFormat) {
+  const auto csv = to_csv(small_chart());
+  EXPECT_EQ(csv.rfind("month,up,down\n", 0), 0u);
+  EXPECT_NE(csv.find("2015-01,0,100"), std::string::npos);
+  EXPECT_NE(csv.find("2015-06,100,0"), std::string::npos);
+}
+
+TEST(Render, PctFormatting) {
+  EXPECT_EQ(pct(12.34), "12.3%");
+  EXPECT_EQ(pct(0.0), "0.0%");
+}
+
+}  // namespace
+}  // namespace tls::analysis

@@ -1,0 +1,127 @@
+// The traffic generator samples through per-month cumulative-weight caches;
+// MarketModel::sample is the reference implementation. These tests pin the
+// two to the same distribution, and check composition invariants of the
+// browser cipher-list builder.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <unordered_set>
+
+#include "clients/catalog_detail.hpp"
+#include "population/traffic.hpp"
+
+namespace {
+
+using tls::core::Month;
+
+TEST(SamplingEquivalence, CacheMatchesReferenceDistribution) {
+  const auto catalog = tls::clients::Catalog::core_only();
+  const auto servers = tls::servers::ServerPopulation::standard();
+  const auto market = tls::population::MarketModel::standard(catalog);
+  const Month m(2015, 6);
+  const int n = 40000;
+
+  // Reference: direct MarketModel sampling.
+  std::map<std::string, int> reference;
+  tls::core::Rng ref_rng(1);
+  for (int i = 0; i < n; ++i) {
+    const auto pick = market.sample(m, ref_rng);
+    ASSERT_NE(pick.entry, nullptr);
+    ++reference[pick.entry->profile->name];
+  }
+
+  // Cached path: the generator's picks, observed through events.
+  std::map<std::string, int> cached;
+  tls::population::TrafficGenerator gen(market, servers, 2);
+  gen.generate_month(m, n, [&](const tls::population::ConnectionEvent& ev) {
+    ++cached[ev.client->name];
+  });
+
+  // Every profile with meaningful mass appears in both with similar share.
+  for (const auto& [name, count] : reference) {
+    const double ref_share = static_cast<double>(count) / n;
+    if (ref_share < 0.01) continue;
+    const auto it = cached.find(name);
+    ASSERT_NE(it, cached.end()) << name;
+    const double cached_share = static_cast<double>(it->second) / n;
+    EXPECT_NEAR(cached_share, ref_share, 0.012) << name;
+  }
+}
+
+TEST(SamplingEquivalence, VersionMixMatches) {
+  const auto catalog = tls::clients::Catalog::core_only();
+  const auto servers = tls::servers::ServerPopulation::standard();
+  const auto market = tls::population::MarketModel::standard(catalog);
+  const Month m(2016, 6);
+  const int n = 40000;
+
+  std::map<std::string, int> reference, cached;
+  tls::core::Rng ref_rng(3);
+  for (int i = 0; i < n; ++i) {
+    const auto pick = market.sample(m, ref_rng);
+    if (pick.entry->profile->name == "Chrome") {
+      ++reference[pick.config->version_label];
+    }
+  }
+  tls::population::TrafficGenerator gen(market, servers, 4);
+  gen.generate_month(m, n, [&](const tls::population::ConnectionEvent& ev) {
+    if (ev.client->name == "Chrome") ++cached[ev.config->version_label];
+  });
+
+  int ref_total = 0, cached_total = 0;
+  for (const auto& [v, c] : reference) ref_total += c;
+  for (const auto& [v, c] : cached) cached_total += c;
+  ASSERT_GT(ref_total, 1000);
+  ASSERT_GT(cached_total, 1000);
+  for (const auto& [version, count] : reference) {
+    const double ref_share = static_cast<double>(count) / ref_total;
+    if (ref_share < 0.05) continue;
+    const double cached_share =
+        cached.count(version) == 0
+            ? 0.0
+            : static_cast<double>(cached.at(version)) / cached_total;
+    EXPECT_NEAR(cached_share, ref_share, 0.03) << "Chrome " << version;
+  }
+}
+
+TEST(BrowserList, CountsMatchRequest) {
+  using namespace tls::clients;
+  for (const std::size_t aead : {0u, 4u, 6u}) {
+    for (const std::size_t cbc : {5u, 10u, 17u, 29u}) {
+      for (const std::size_t rc4 : {0u, 4u, 6u}) {
+        for (const std::size_t tdes : {0u, 1u, 3u}) {
+          const auto list = detail::browser_list(aead, cbc, rc4, tdes);
+          ClientConfig cfg;
+          cfg.cipher_suites = list;
+          EXPECT_EQ(cfg.count_cbc(), cbc);
+          EXPECT_EQ(cfg.count_rc4(), rc4);
+          EXPECT_EQ(cfg.count_3des(), tdes);
+          EXPECT_EQ(cfg.offers_aead(), aead > 0);
+          // No duplicates.
+          std::unordered_set<std::uint16_t> seen(list.begin(), list.end());
+          EXPECT_EQ(seen.size(), list.size());
+        }
+      }
+    }
+  }
+}
+
+TEST(BrowserList, Rc4SitsMidListWhenPresent) {
+  using namespace tls::clients;
+  const auto list = detail::browser_list(0, 29, 6, 8);
+  std::size_t first_rc4 = list.size();
+  for (std::size_t i = 0; i < list.size(); ++i) {
+    const auto* info = tls::core::find_cipher_suite(list[i]);
+    if (info != nullptr && tls::core::is_rc4(*info)) {
+      first_rc4 = i;
+      break;
+    }
+  }
+  ASSERT_LT(first_rc4, list.size());
+  const double rel = static_cast<double>(first_rc4) /
+                     static_cast<double>(list.size());
+  EXPECT_GT(rel, 0.25);  // after the CBC head (Fig. 5 mid-list placement)
+  EXPECT_LT(rel, 0.75);
+}
+
+}  // namespace

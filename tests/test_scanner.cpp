@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "scan/scanner.hpp"
+#include "wire/client_hello.hpp"
+
+namespace tls::scan {
+namespace {
+
+using tls::core::Month;
+
+TEST(ScanHellos, AreWellFormedWire) {
+  for (const auto& hello : {chrome2015_hello(), ssl3_only_hello(),
+                            export_only_hello(), tls13_draft_hello()}) {
+    const auto parsed =
+        tls::wire::ClientHello::parse_record(hello.serialize_record());
+    EXPECT_EQ(parsed, hello);
+    EXPECT_FALSE(hello.cipher_suites.empty());
+  }
+}
+
+TEST(ScanHellos, Chrome2015Composition) {
+  // §3.2: strong AES-GCM FS suites plus weaker CBC, RC4 and 3DES.
+  const auto h = chrome2015_hello();
+  using namespace tls::core;
+  EXPECT_TRUE(h.offers([](const CipherSuiteInfo& s) { return is_aead(s); }));
+  EXPECT_TRUE(h.offers([](const CipherSuiteInfo& s) { return is_cbc(s); }));
+  EXPECT_TRUE(h.offers([](const CipherSuiteInfo& s) { return is_rc4(s); }));
+  EXPECT_TRUE(h.offers([](const CipherSuiteInfo& s) { return is_3des(s); }));
+  EXPECT_FALSE(h.offers([](const CipherSuiteInfo& s) { return is_export(s); }));
+  EXPECT_EQ(h.legacy_version, 0x0303);
+}
+
+TEST(ScanHellos, Ssl3OnlyAndExportOnly) {
+  EXPECT_EQ(ssl3_only_hello().legacy_version, 0x0300);
+  const auto exp = export_only_hello();
+  using namespace tls::core;
+  EXPECT_FALSE(
+      exp.offers([](const CipherSuiteInfo& s) { return !is_export(s); }));
+}
+
+struct Fixture {
+  tls::servers::ServerPopulation pop =
+      tls::servers::ServerPopulation::standard();
+  ActiveScanner scanner{pop};
+};
+
+TEST(Scanner, FractionsAreProbabilities) {
+  Fixture f;
+  for (Month m(2015, 8); m <= Month(2018, 5); m += 6) {
+    const auto s = f.scanner.scan(m);
+    for (const double v :
+         {s.ssl3_support, s.export_support, s.chooses_rc4, s.chooses_cbc,
+          s.chooses_aead, s.chooses_3des, s.rc4_support, s.rc4_only,
+          s.heartbeat_support, s.heartbleed_vulnerable, s.tls13_support}) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0);
+    }
+  }
+}
+
+TEST(Scanner, ChoiceClassesRoughlyPartition) {
+  Fixture f;
+  const auto s = f.scanner.scan(Month(2016, 6));
+  // Nearly every host picks something for the Chrome hello.
+  EXPECT_GT(s.chooses_rc4 + s.chooses_cbc + s.chooses_aead, 0.9);
+}
+
+TEST(Scanner, Ssl3SupportDeclines) {
+  Fixture f;
+  const auto a = f.scanner.scan(Month(2015, 9));
+  const auto b = f.scanner.scan(Month(2018, 5));
+  EXPECT_GT(a.ssl3_support, b.ssl3_support);
+  EXPECT_GT(a.ssl3_support, 0.40);
+  EXPECT_LT(b.ssl3_support, 0.25);
+}
+
+TEST(Scanner, Rc4ChoosersDecline) {
+  Fixture f;
+  EXPECT_GT(f.scanner.scan(Month(2015, 9)).chooses_rc4,
+            f.scanner.scan(Month(2018, 5)).chooses_rc4);
+}
+
+TEST(Scanner, HeartbleedDecaysSharply) {
+  Fixture f;
+  const double at_disclosure =
+      f.scanner.scan(Month(2014, 3)).heartbleed_vulnerable;
+  const double a_month_later =
+      f.scanner.scan(Month(2014, 6)).heartbleed_vulnerable;
+  const double in_2018 = f.scanner.scan(Month(2018, 5)).heartbleed_vulnerable;
+  EXPECT_GT(at_disclosure, 0.15);
+  EXPECT_LT(a_month_later, 0.02);
+  EXPECT_GT(in_2018, 0.0);   // the long tail never reaches zero (§5.4)
+  EXPECT_LT(in_2018, 0.01);
+}
+
+TEST(Scanner, Tls13SupportAppearsLate) {
+  Fixture f;
+  EXPECT_EQ(f.scanner.scan(Month(2015, 9)).tls13_support, 0.0);
+  EXPECT_GT(f.scanner.scan(Month(2018, 5)).tls13_support, 0.0);
+}
+
+TEST(Scanner, ScanRangeCoversWindow) {
+  Fixture f;
+  const auto snaps = f.scanner.scan_range(tls::core::censys_window());
+  EXPECT_EQ(snaps.size(),
+            static_cast<std::size_t>(tls::core::censys_window().size()));
+  EXPECT_EQ(snaps.front().month, Month(2015, 8));
+  EXPECT_EQ(snaps.back().month, Month(2018, 5));
+}
+
+TEST(Scanner, ExportSupportSmallAndShrinking) {
+  Fixture f;
+  const auto a = f.scanner.scan(Month(2015, 9));
+  const auto b = f.scanner.scan(Month(2018, 5));
+  EXPECT_LT(b.export_support, a.export_support + 1e-12);
+  EXPECT_LT(b.export_support, 0.2);
+}
+
+}  // namespace
+}  // namespace tls::scan

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "servers/population.hpp"
+#include "tlscore/cipher_suites.hpp"
+
+namespace tls::servers {
+namespace {
+
+using tls::core::Month;
+
+TEST(ServerConfig, SupportsSuite) {
+  ServerConfig c;
+  c.cipher_preference = {0xc02f, 0x002f};
+  EXPECT_TRUE(c.supports_suite(0xc02f));
+  EXPECT_FALSE(c.supports_suite(0x0005));
+}
+
+TEST(ServerConfig, Ssl3AndTls13Flags) {
+  ServerConfig c;
+  c.min_version = 0x0300;
+  EXPECT_TRUE(c.supports_ssl3());
+  c.min_version = 0x0301;
+  EXPECT_FALSE(c.supports_ssl3());
+  EXPECT_FALSE(c.supports_tls13());
+  c.tls13_versions = {0x7e02};
+  EXPECT_TRUE(c.supports_tls13());
+}
+
+TEST(Population, StandardSegmentsWellFormed) {
+  const auto pop = ServerPopulation::standard();
+  ASSERT_GE(pop.segments().size(), 15u);
+  for (const auto& seg : pop.segments()) {
+    EXPECT_FALSE(seg.name.empty());
+    EXPECT_FALSE(seg.config.cipher_preference.empty()) << seg.name;
+    EXPECT_LE(seg.config.min_version, seg.config.max_version) << seg.name;
+    for (const auto id : seg.config.cipher_preference) {
+      EXPECT_NE(tls::core::find_cipher_suite(id), nullptr)
+          << seg.name << " suite " << id;
+    }
+  }
+}
+
+TEST(Population, FindByName) {
+  const auto pop = ServerPopulation::standard();
+  EXPECT_NE(pop.find("web-modern-ecdhe"), nullptr);
+  EXPECT_NE(pop.find("grid-storage"), nullptr);
+  EXPECT_EQ(pop.find("no-such-segment"), nullptr);
+}
+
+TEST(Population, SpecialDestinationsExcludedFromGeneralSampling) {
+  const auto pop = ServerPopulation::standard();
+  tls::core::Rng rng(12);
+  for (int i = 0; i < 2000; ++i) {
+    const auto& seg = pop.sample_by_traffic(Month(2015, 6), rng);
+    EXPECT_FALSE(seg.special_destination) << seg.name;
+  }
+}
+
+TEST(Population, SamplingTracksWeights) {
+  const auto pop = ServerPopulation::standard();
+  tls::core::Rng rng(13);
+  int legacy = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const auto& seg = pop.sample_by_traffic(Month(2012, 6), rng);
+    legacy += seg.name.starts_with("web-legacy");
+  }
+  // Legacy segments dominate 2012 traffic.
+  EXPECT_GT(static_cast<double>(legacy) / n, 0.5);
+
+  legacy = 0;
+  for (int i = 0; i < n; ++i) {
+    const auto& seg = pop.sample_by_traffic(Month(2018, 3), rng);
+    legacy += seg.name.starts_with("web-legacy");
+  }
+  EXPECT_LT(static_cast<double>(legacy) / n, 0.05);
+}
+
+TEST(Population, HostFractionSsl3Declines) {
+  const auto pop = ServerPopulation::standard();
+  const auto ssl3 = [&](Month m) {
+    return pop.host_fraction(m, [](const ServerSegment& s) {
+      return s.config.supports_ssl3();
+    });
+  };
+  EXPECT_GT(ssl3(Month(2015, 9)), 0.40);
+  EXPECT_LT(ssl3(Month(2018, 5)), 0.25);
+  EXPECT_GT(ssl3(Month(2015, 9)), ssl3(Month(2018, 5)));
+}
+
+TEST(Population, HeartbleedRampOnlyOnHeartbeatSegments) {
+  const auto pop = ServerPopulation::standard();
+  for (const auto& seg : pop.segments()) {
+    if (!seg.config.echo_heartbeat) {
+      EXPECT_EQ(seg.heartbleed_unpatched.at(Month(2014, 4)), 0.0) << seg.name;
+    }
+  }
+  const auto* hb = pop.find("web-tls12-rc4first");
+  ASSERT_NE(hb, nullptr);
+  EXPECT_GT(hb->heartbleed_unpatched.at(Month(2014, 3)),
+            hb->heartbleed_unpatched.at(Month(2014, 6)));
+}
+
+TEST(Population, QuirkSegmentsPresent) {
+  const auto pop = ServerPopulation::standard();
+  EXPECT_EQ(pop.find("interwise-conf")->config.quirk,
+            ServerQuirk::kChooseExportRc4Unoffered);
+  EXPECT_EQ(pop.find("web-gost")->config.quirk,
+            ServerQuirk::kChooseGostUnoffered);
+}
+
+TEST(Population, NagiosSpeaksSslv2) {
+  const auto pop = ServerPopulation::standard();
+  EXPECT_LE(pop.find("nagios-monitor")->config.min_version, 0x0002);
+}
+
+}  // namespace
+}  // namespace tls::servers

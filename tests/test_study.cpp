@@ -1,0 +1,173 @@
+// Integration tests: the full pipeline on a reduced window / connection
+// budget. These assert the qualitative claims of the paper hold in the
+// regenerated data — trends, crossovers, orderings — not absolute values.
+#include <gtest/gtest.h>
+
+#include "core/study.hpp"
+
+namespace tls::study {
+namespace {
+
+using tls::core::Month;
+
+StudyOptions fast_options() {
+  StudyOptions o;
+  o.connections_per_month = 2500;
+  o.full_catalog = false;
+  return o;
+}
+
+double at(const tls::analysis::MonthlyChart& c, std::size_t series, Month m) {
+  return c.series[series].values[static_cast<std::size_t>(
+      m - c.range.begin_month)];
+}
+
+class StudyTest : public ::testing::Test {
+ protected:
+  static LongitudinalStudy& study() {
+    static auto* s = new LongitudinalStudy(fast_options());
+    return *s;
+  }
+};
+
+TEST_F(StudyTest, DatabaseBuiltFromCatalog) {
+  EXPECT_GT(study().database().size(), 80u);
+  EXPECT_EQ(study().monitor().malformed_hellos(), 0u);
+}
+
+TEST_F(StudyTest, Figure1VersionMigration) {
+  const auto c = study().figure1_versions();
+  ASSERT_EQ(c.series.size(), 4u);
+  // TLS 1.0 dominates 2012, TLS 1.2 dominates 2018.
+  EXPECT_GT(at(c, 1, Month(2012, 3)), 90.0);
+  EXPECT_GT(at(c, 3, Month(2018, 3)), 80.0);
+  EXPECT_LT(at(c, 1, Month(2018, 3)), 15.0);
+  // Crossover happens mid-study.
+  EXPECT_LT(at(c, 3, Month(2013, 6)), 50.0);
+  EXPECT_GT(at(c, 3, Month(2015, 6)), 50.0);
+}
+
+TEST_F(StudyTest, Figure2CipherClassMigration) {
+  const auto c = study().figure2_negotiated_classes();
+  // RC4 dies; AEAD wins; CBC declines after Aug 2015.
+  EXPECT_GT(at(c, 2, Month(2013, 8)), 30.0);
+  EXPECT_LT(at(c, 2, Month(2018, 3)), 1.0);
+  EXPECT_LT(at(c, 0, Month(2013, 1)), 5.0);
+  EXPECT_GT(at(c, 0, Month(2018, 3)), 70.0);
+  EXPECT_GT(at(c, 1, Month(2015, 8)), at(c, 1, Month(2018, 3)));
+}
+
+TEST_F(StudyTest, Figure3AdvertisingLagsNegotiation) {
+  const auto adv = study().figure3_advertised_classes();
+  const auto neg = study().figure2_negotiated_classes();
+  // In 2016 RC4 advertising (slow updaters) exceeds RC4 negotiation.
+  EXPECT_GT(at(adv, 1, Month(2016, 6)), at(neg, 2, Month(2016, 6)));
+  // 3DES advertised by the majority even in 2018 (§5.6).
+  EXPECT_GT(at(adv, 3, Month(2018, 3)), 50.0);
+}
+
+TEST_F(StudyTest, Figure5PositionsOrdered) {
+  const auto c = study().figure5_relative_positions();
+  const Month m(2016, 6);
+  // AEAD/CBC near the top; RC4 mid; 3DES near the bottom (Fig. 5).
+  EXPECT_LT(at(c, 0, m), at(c, 2, m));
+  EXPECT_LT(at(c, 1, m), at(c, 2, m));
+  EXPECT_LT(at(c, 2, m), at(c, 4, m));
+}
+
+TEST_F(StudyTest, Figure8ForwardSecrecyShift) {
+  const auto c = study().figure8_key_exchange();
+  // RSA dominates 2012; ECDHE dominates 2017+.
+  EXPECT_GT(at(c, 2, Month(2012, 6)), 50.0);
+  EXPECT_GT(at(c, 1, Month(2017, 6)), 60.0);
+  EXPECT_LT(at(c, 2, Month(2018, 3)), 25.0);
+  // DHE never dominant.
+  for (const auto v : c.series[0].values) EXPECT_LT(v, 25.0);
+}
+
+TEST_F(StudyTest, Figure9Aes128Dominates) {
+  const auto c = study().figure9_aead_negotiated();
+  const Month m(2017, 6);
+  EXPECT_GT(at(c, 1, m), at(c, 2, m));  // 128-GCM > 256-GCM
+  EXPECT_GT(at(c, 1, m), at(c, 3, m));  // 128-GCM > ChaCha
+}
+
+TEST_F(StudyTest, PercentagesAreBounded) {
+  for (const auto& chart :
+       {study().figure1_versions(), study().figure2_negotiated_classes(),
+        study().figure3_advertised_classes(),
+        study().figure7_weak_advertised(), study().figure8_key_exchange(),
+        study().figure10_aead_advertised()}) {
+    for (const auto& s : chart.series) {
+      for (const auto v : s.values) {
+        EXPECT_GE(v, 0.0) << chart.title << " " << s.name;
+        EXPECT_LE(v, 100.0) << chart.title << " " << s.name;
+      }
+    }
+  }
+}
+
+TEST_F(StudyTest, SeriesSpanTheWindow) {
+  const auto c = study().figure1_versions();
+  EXPECT_EQ(c.range.begin_month, tls::core::notary_window().begin_month);
+  for (const auto& s : c.series) {
+    EXPECT_EQ(static_cast<int>(s.values.size()), c.range.size());
+  }
+  // Figures 4/5 start at the fingerprint feature introduction.
+  EXPECT_EQ(study().figure4_fingerprint_support().range.begin_month,
+            tls::notary::PassiveMonitor::fp_start());
+}
+
+TEST_F(StudyTest, MonthlySeriesProjector) {
+  auto s = study().monthly_series("fallbacks", [](const auto& m) {
+    return static_cast<double>(m.fallbacks);
+  });
+  EXPECT_EQ(static_cast<int>(s.values.size()),
+            study().options().window.size());
+}
+
+TEST(StudyDeterminism, SameSeedSameFigures) {
+  StudyOptions o = fast_options();
+  o.connections_per_month = 800;
+  o.window = {Month(2014, 1), Month(2015, 6)};
+  LongitudinalStudy a(o), b(o);
+  const auto ca = a.figure2_negotiated_classes();
+  const auto cb = b.figure2_negotiated_classes();
+  for (std::size_t i = 0; i < ca.series.size(); ++i) {
+    EXPECT_EQ(ca.series[i].values, cb.series[i].values);
+  }
+}
+
+TEST(StudyDeterminism, DifferentSeedSameShape) {
+  StudyOptions o = fast_options();
+  o.connections_per_month = 2000;
+  o.window = {Month(2014, 1), Month(2015, 6)};
+  LongitudinalStudy a(o);
+  o.seed = 777;
+  LongitudinalStudy b(o);
+  const auto ca = a.figure2_negotiated_classes();
+  const auto cb = b.figure2_negotiated_classes();
+  // Values differ but within sampling noise.
+  for (std::size_t i = 0; i < ca.series.size(); ++i) {
+    for (std::size_t j = 0; j < ca.series[i].values.size(); ++j) {
+      EXPECT_NEAR(ca.series[i].values[j], cb.series[i].values[j], 6.0);
+    }
+  }
+}
+
+TEST(StudyWindow, RespectsCustomWindow) {
+  StudyOptions o = fast_options();
+  o.connections_per_month = 500;
+  o.window = {Month(2016, 1), Month(2016, 12)};
+  LongitudinalStudy s(o);
+  EXPECT_EQ(s.monitor().months().size(), 12u);
+  EXPECT_EQ(s.monitor().months().begin()->first, Month(2016, 1));
+}
+
+TEST(AttackMarkers, CoverHeadlineAttacks) {
+  const auto markers = attack_markers();
+  EXPECT_GE(markers.size(), 7u);
+}
+
+}  // namespace
+}  // namespace tls::study

@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include "population/traffic.hpp"
+
+namespace tls::population {
+namespace {
+
+using tls::core::Month;
+
+struct Fixture {
+  tls::clients::Catalog catalog = tls::clients::Catalog::core_only();
+  tls::servers::ServerPopulation servers =
+      tls::servers::ServerPopulation::standard();
+  MarketModel market = MarketModel::standard(catalog);
+};
+
+TEST(Traffic, GeneratesRequestedCount) {
+  Fixture f;
+  TrafficGenerator gen(f.market, f.servers, 1);
+  int count = 0;
+  gen.generate_month(Month(2015, 6), 500,
+                     [&](const ConnectionEvent&) { ++count; });
+  EXPECT_EQ(count, 500);
+}
+
+TEST(Traffic, DeterministicForSameSeed) {
+  Fixture f;
+  const auto run = [&](std::uint64_t seed) {
+    TrafficGenerator gen(f.market, f.servers, seed);
+    std::uint64_t acc = 0;
+    gen.generate_month(Month(2015, 6), 300, [&](const ConnectionEvent& ev) {
+      acc = acc * 31 + ev.result.negotiated_cipher + ev.hello.cipher_suites.size();
+    });
+    return acc;
+  };
+  EXPECT_EQ(run(99), run(99));
+  EXPECT_NE(run(99), run(100));
+}
+
+TEST(Traffic, SpecialClientsReachTheirDestinations) {
+  Fixture f;
+  TrafficGenerator gen(f.market, f.servers, 3);
+  bool saw_grid_mismatch = false;
+  int grid_events = 0;
+  gen.generate_range({Month(2014, 1), Month(2014, 6)}, 2000,
+                     [&](const ConnectionEvent& ev) {
+                       if (ev.client->name == "GridFTP") {
+                         ++grid_events;
+                         if (!ev.server->name.starts_with("grid")) {
+                           saw_grid_mismatch = true;
+                         }
+                       } else {
+                         if (ev.server->name.starts_with("grid")) {
+                           saw_grid_mismatch = true;
+                         }
+                       }
+                     });
+  EXPECT_GT(grid_events, 0);
+  EXPECT_FALSE(saw_grid_mismatch);
+}
+
+TEST(Traffic, GridNegotiatesNullCiphers) {
+  Fixture f;
+  TrafficGenerator gen(f.market, f.servers, 4);
+  int grid = 0, null_negotiated = 0;
+  gen.generate_month(Month(2013, 6), 5000, [&](const ConnectionEvent& ev) {
+    if (ev.client->name != "GridFTP" || !ev.result.success) return;
+    ++grid;
+    const auto* s = tls::core::find_cipher_suite(ev.result.negotiated_cipher);
+    null_negotiated += s != nullptr && tls::core::is_null_cipher(*s);
+  });
+  ASSERT_GT(grid, 10);
+  // GRID endpoints prefer NULL; nearly all GRID connections use it (§6.1).
+  EXPECT_GT(static_cast<double>(null_negotiated) / grid, 0.95);
+}
+
+TEST(Traffic, InterwiseSessionsCompleteDespiteViolation) {
+  Fixture f;
+  TrafficGenerator gen(f.market, f.servers, 5);
+  int interwise = 0, violations = 0, successes = 0;
+  gen.generate_range({Month(2013, 1), Month(2014, 12)}, 3000,
+                     [&](const ConnectionEvent& ev) {
+                       if (ev.client->name != "Interwise") return;
+                       ++interwise;
+                       violations += ev.result.spec_violation;
+                       successes += ev.result.success;
+                     });
+  ASSERT_GT(interwise, 0);
+  EXPECT_EQ(violations, interwise);
+  EXPECT_EQ(successes, interwise);
+}
+
+TEST(Traffic, SslV2OnlyFromNagios) {
+  Fixture f;
+  TrafficGenerator gen(f.market, f.servers, 6);
+  int sslv2 = 0;
+  gen.generate_range({Month(2017, 1), Month(2018, 4)}, 4000,
+                     [&](const ConnectionEvent& ev) {
+                       if (ev.sslv2) {
+                         ++sslv2;
+                         EXPECT_EQ(ev.client->name, "Nagios NRPE");
+                       }
+                     });
+  EXPECT_GT(sslv2, 0);
+}
+
+TEST(Traffic, FallbackTriggersForLegacyServers) {
+  Fixture f;
+  TrafficGenerator gen(f.market, f.servers, 7);
+  int fallbacks = 0, fallback_success = 0;
+  gen.generate_month(Month(2013, 6), 20000, [&](const ConnectionEvent& ev) {
+    if (!ev.used_fallback) return;
+    ++fallbacks;
+    fallback_success += ev.result.success;
+    // Fallback only happens toward servers older than the client.
+    EXPECT_LT(ev.server->config.max_version, 0x0303);
+  });
+  EXPECT_GT(fallbacks, 0);
+  EXPECT_EQ(fallbacks, fallback_success);
+}
+
+TEST(Traffic, FallbackScsvAppearsAfterRfc7507) {
+  Fixture f;
+  TrafficGenerator gen(f.market, f.servers, 8);
+  bool early_scsv = false;
+  bool late_scsv = false;
+  const auto has_scsv = [](const ConnectionEvent& ev) {
+    return std::find(ev.hello.cipher_suites.begin(),
+                     ev.hello.cipher_suites.end(),
+                     tls::core::suites::TLS_FALLBACK_SCSV) !=
+           ev.hello.cipher_suites.end();
+  };
+  gen.generate_month(Month(2013, 6), 20000, [&](const ConnectionEvent& ev) {
+    if (ev.used_fallback && has_scsv(ev)) early_scsv = true;
+  });
+  gen.generate_month(Month(2015, 9), 20000, [&](const ConnectionEvent& ev) {
+    if (ev.used_fallback && has_scsv(ev)) late_scsv = true;
+  });
+  EXPECT_FALSE(early_scsv);
+  EXPECT_TRUE(late_scsv);
+}
+
+TEST(Traffic, EventDayWithinMonth) {
+  Fixture f;
+  TrafficGenerator gen(f.market, f.servers, 9);
+  gen.generate_month(Month(2015, 2), 1000, [&](const ConnectionEvent& ev) {
+    EXPECT_EQ(ev.day.year(), 2015);
+    EXPECT_EQ(ev.day.month(), 2);
+    EXPECT_GE(ev.day.day(), 1);
+    EXPECT_LE(ev.day.day(), 28);
+  });
+}
+
+}  // namespace
+}  // namespace tls::population

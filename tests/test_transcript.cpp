@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include "notary/monitor.hpp"
+#include "population/traffic.hpp"
+#include "wire/transcript.hpp"
+
+namespace tls::wire {
+namespace {
+
+ClientHello sample_hello() {
+  ClientHello ch;
+  ch.legacy_version = 0x0303;
+  ch.cipher_suites = {0xc02f, 0x002f};
+  const std::uint16_t groups[] = {23};
+  ch.extensions.push_back(make_supported_groups(groups));
+  return ch;
+}
+
+TEST(Transcript, SuccessfulFlightsRoundTrip) {
+  const auto ch = sample_hello();
+  ServerHello sh;
+  sh.legacy_version = 0x0303;
+  sh.cipher_suite = 0xc02f;
+  const auto ske = EcdheServerKeyExchange::stub(23);
+
+  const auto client = client_flight(ch, /*established=*/true);
+  const auto server = server_flight(sh, ske, /*established=*/true);
+
+  const auto cf = parse_flight(client);
+  ASSERT_TRUE(cf.client_hello.has_value());
+  EXPECT_EQ(*cf.client_hello, ch);
+  EXPECT_TRUE(cf.change_cipher_spec);
+  EXPECT_EQ(cf.records.size(), 4u);  // CH, CKE, CCS, Finished
+
+  const auto sf = parse_flight(server);
+  ASSERT_TRUE(sf.server_hello.has_value());
+  EXPECT_EQ(sf.server_hello->cipher_suite, 0xc02f);
+  ASSERT_TRUE(sf.server_key_exchange.has_value());
+  EXPECT_EQ(sf.server_key_exchange->named_curve, 23);
+  EXPECT_EQ(sf.certificate_count, 1u);
+  EXPECT_TRUE(sf.change_cipher_spec);
+  EXPECT_FALSE(sf.alert.has_value());
+}
+
+TEST(Transcript, AnonymousSuiteSkipsCertificate) {
+  ServerHello sh;
+  sh.cipher_suite = 0x0034;  // DH_anon
+  const auto sf = parse_flight(server_flight(sh, std::nullopt, true));
+  EXPECT_EQ(sf.certificate_count, 0u);
+}
+
+TEST(Transcript, UnestablishedFlightHasNoCcs) {
+  const auto cf = parse_flight(client_flight(sample_hello(), false));
+  EXPECT_FALSE(cf.change_cipher_spec);
+  EXPECT_EQ(cf.records.size(), 1u);
+}
+
+TEST(Transcript, FailureFlightCarriesAlert) {
+  Alert alert;
+  alert.description = AlertDescription::kHandshakeFailure;
+  const auto sf = parse_flight(server_failure_flight(std::nullopt, alert));
+  EXPECT_FALSE(sf.server_hello.has_value());
+  ASSERT_TRUE(sf.alert.has_value());
+  EXPECT_EQ(sf.alert->description, AlertDescription::kHandshakeFailure);
+  EXPECT_FALSE(sf.change_cipher_spec);
+}
+
+TEST(Transcript, SpecViolationFailureKeepsServerHello) {
+  ServerHello sh;
+  sh.cipher_suite = 0x0081;  // GOST, unoffered
+  Alert alert;
+  alert.description = AlertDescription::kIllegalParameter;
+  const auto sf = parse_flight(server_failure_flight(sh, alert));
+  ASSERT_TRUE(sf.server_hello.has_value());
+  EXPECT_EQ(sf.server_hello->cipher_suite, 0x0081);
+  ASSERT_TRUE(sf.alert.has_value());
+}
+
+TEST(Transcript, CorruptHandshakeBodyTolerated) {
+  // Valid record framing, garbage handshake inside: counted, not thrown.
+  Record rec;
+  rec.type = ContentType::kHandshake;
+  rec.fragment = {1, 0, 0, 50};  // ClientHello claiming 50 bytes, has 0
+  const auto flight = parse_flight(rec.serialize());
+  EXPECT_EQ(flight.unparsed_handshakes, 1u);
+  EXPECT_FALSE(flight.client_hello.has_value());
+}
+
+TEST(Transcript, RecordLayerCorruptionThrows) {
+  std::vector<std::uint8_t> bytes = sample_hello().serialize_record();
+  bytes.resize(bytes.size() - 3);  // truncate mid-record
+  EXPECT_THROW(parse_flight(bytes), ParseError);
+}
+
+TEST(Transcript, CertificateMessageBodyShape) {
+  const auto body = certificate_message_body(2, 10);
+  ByteReader r(body);
+  ByteReader list(r.length_prefixed_u24());
+  r.expect_empty("cert body");
+  int certs = 0;
+  while (!list.empty()) {
+    const auto cert = list.length_prefixed_u24();
+    EXPECT_EQ(cert.size(), 10u);
+    ++certs;
+  }
+  EXPECT_EQ(certs, 2);
+}
+
+}  // namespace
+}  // namespace tls::wire
+
+namespace tls::population {
+namespace {
+
+using tls::core::Month;
+
+TEST(TranscriptMode, AggregatesMatchDirectObservation) {
+  // Feed the same generated connections through observe() and through
+  // synthesize_flights()+observe_flights(); monthly aggregates must agree.
+  const auto catalog = tls::clients::Catalog::core_only();
+  const auto servers = tls::servers::ServerPopulation::standard();
+  const auto market = MarketModel::standard(catalog);
+  TrafficGenerator gen(market, servers, 17);
+
+  tls::notary::PassiveMonitor direct, via_flights;
+  gen.generate_range({Month(2015, 1), Month(2015, 6)}, 1500,
+                     [&](const ConnectionEvent& ev) {
+                       direct.observe(ev);
+                       if (ev.sslv2) {
+                         via_flights.observe_sslv2(ev.month);
+                         return;
+                       }
+                       const auto flights = synthesize_flights(ev);
+                       via_flights.observe_flights(ev.month, ev.day,
+                                                   flights.client,
+                                                   flights.server);
+                     });
+
+  ASSERT_EQ(direct.total_connections(), via_flights.total_connections());
+  for (const auto& [m, a] : direct.months()) {
+    const auto* b = via_flights.month(m);
+    ASSERT_NE(b, nullptr);
+    EXPECT_EQ(a.total, b->total) << m.to_string();
+    EXPECT_EQ(a.successful, b->successful) << m.to_string();
+    EXPECT_EQ(a.negotiated_version, b->negotiated_version) << m.to_string();
+    EXPECT_EQ(a.negotiated_class, b->negotiated_class) << m.to_string();
+    EXPECT_EQ(a.negotiated_kex, b->negotiated_kex) << m.to_string();
+    EXPECT_EQ(a.negotiated_group, b->negotiated_group) << m.to_string();
+    EXPECT_EQ(a.adv_rc4, b->adv_rc4) << m.to_string();
+    EXPECT_EQ(a.adv_aead, b->adv_aead) << m.to_string();
+    EXPECT_EQ(a.heartbeat_negotiated, b->heartbeat_negotiated)
+        << m.to_string();
+    EXPECT_EQ(a.spec_violations, b->spec_violations) << m.to_string();
+    EXPECT_EQ(a.alerts, b->alerts) << m.to_string();
+    EXPECT_EQ(a.fingerprints.size(), b->fingerprints.size()) << m.to_string();
+  }
+}
+
+}  // namespace
+}  // namespace tls::population
