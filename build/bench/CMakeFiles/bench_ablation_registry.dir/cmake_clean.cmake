@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_registry.dir/bench_ablation_registry.cpp.o"
+  "CMakeFiles/bench_ablation_registry.dir/bench_ablation_registry.cpp.o.d"
+  "bench_ablation_registry"
+  "bench_ablation_registry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_registry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_rie_etm.dir/bench_ext_rie_etm.cpp.o"
+  "CMakeFiles/bench_ext_rie_etm.dir/bench_ext_rie_etm.cpp.o.d"
+  "bench_ext_rie_etm"
+  "bench_ext_rie_etm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_rie_etm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_advertised.dir/bench_fig3_advertised.cpp.o"
+  "CMakeFiles/bench_fig3_advertised.dir/bench_fig3_advertised.cpp.o.d"
+  "bench_fig3_advertised"
+  "bench_fig3_advertised.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_advertised.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_fp_support.dir/bench_fig4_fp_support.cpp.o"
+  "CMakeFiles/bench_fig4_fp_support.dir/bench_fig4_fp_support.cpp.o.d"
+  "bench_fig4_fp_support"
+  "bench_fig4_fp_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_fp_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

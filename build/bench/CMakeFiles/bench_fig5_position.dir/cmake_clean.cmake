@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_position.dir/bench_fig5_position.cpp.o"
+  "CMakeFiles/bench_fig5_position.dir/bench_fig5_position.cpp.o.d"
+  "bench_fig5_position"
+  "bench_fig5_position.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_position.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

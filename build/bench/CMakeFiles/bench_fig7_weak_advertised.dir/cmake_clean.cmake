@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_weak_advertised.dir/bench_fig7_weak_advertised.cpp.o"
+  "CMakeFiles/bench_fig7_weak_advertised.dir/bench_fig7_weak_advertised.cpp.o.d"
+  "bench_fig7_weak_advertised"
+  "bench_fig7_weak_advertised.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_weak_advertised.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_kex.dir/bench_fig8_kex.cpp.o"
+  "CMakeFiles/bench_fig8_kex.dir/bench_fig8_kex.cpp.o.d"
+  "bench_fig8_kex"
+  "bench_fig8_kex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_kex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_aead_negotiated.dir/bench_fig9_aead_negotiated.cpp.o"
+  "CMakeFiles/bench_fig9_aead_negotiated.dir/bench_fig9_aead_negotiated.cpp.o.d"
+  "bench_fig9_aead_negotiated"
+  "bench_fig9_aead_negotiated.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_aead_negotiated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

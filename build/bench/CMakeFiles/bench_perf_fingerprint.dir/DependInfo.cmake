@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_perf_fingerprint.cpp" "bench/CMakeFiles/bench_perf_fingerprint.dir/bench_perf_fingerprint.cpp.o" "gcc" "bench/CMakeFiles/bench_perf_fingerprint.dir/bench_perf_fingerprint.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tls_study.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/tls_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/notary/CMakeFiles/tls_notary.dir/DependInfo.cmake"
+  "/root/repo/build/src/scan/CMakeFiles/tls_scan.dir/DependInfo.cmake"
+  "/root/repo/build/src/population/CMakeFiles/tls_population.dir/DependInfo.cmake"
+  "/root/repo/build/src/clients/CMakeFiles/tls_clients.dir/DependInfo.cmake"
+  "/root/repo/build/src/handshake/CMakeFiles/tls_handshake.dir/DependInfo.cmake"
+  "/root/repo/build/src/servers/CMakeFiles/tls_servers.dir/DependInfo.cmake"
+  "/root/repo/build/src/fingerprint/CMakeFiles/tls_fingerprint.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/tls_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/tlscore/CMakeFiles/tls_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

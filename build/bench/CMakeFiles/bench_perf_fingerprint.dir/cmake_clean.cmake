@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_perf_fingerprint.dir/bench_perf_fingerprint.cpp.o"
+  "CMakeFiles/bench_perf_fingerprint.dir/bench_perf_fingerprint.cpp.o.d"
+  "bench_perf_fingerprint"
+  "bench_perf_fingerprint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_fingerprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

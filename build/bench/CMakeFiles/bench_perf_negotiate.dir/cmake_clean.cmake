@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_perf_negotiate.dir/bench_perf_negotiate.cpp.o"
+  "CMakeFiles/bench_perf_negotiate.dir/bench_perf_negotiate.cpp.o.d"
+  "bench_perf_negotiate"
+  "bench_perf_negotiate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_negotiate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

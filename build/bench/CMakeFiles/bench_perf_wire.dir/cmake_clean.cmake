@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_perf_wire.dir/bench_perf_wire.cpp.o"
+  "CMakeFiles/bench_perf_wire.dir/bench_perf_wire.cpp.o.d"
+  "bench_perf_wire"
+  "bench_perf_wire.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_wire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

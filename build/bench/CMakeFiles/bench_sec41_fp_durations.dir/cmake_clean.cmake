@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec41_fp_durations.dir/bench_sec41_fp_durations.cpp.o"
+  "CMakeFiles/bench_sec41_fp_durations.dir/bench_sec41_fp_durations.cpp.o.d"
+  "bench_sec41_fp_durations"
+  "bench_sec41_fp_durations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec41_fp_durations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

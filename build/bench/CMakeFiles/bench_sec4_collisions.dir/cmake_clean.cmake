@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec4_collisions.dir/bench_sec4_collisions.cpp.o"
+  "CMakeFiles/bench_sec4_collisions.dir/bench_sec4_collisions.cpp.o.d"
+  "bench_sec4_collisions"
+  "bench_sec4_collisions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec4_collisions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

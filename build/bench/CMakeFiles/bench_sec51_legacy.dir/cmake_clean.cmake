@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec51_legacy.dir/bench_sec51_legacy.cpp.o"
+  "CMakeFiles/bench_sec51_legacy.dir/bench_sec51_legacy.cpp.o.d"
+  "bench_sec51_legacy"
+  "bench_sec51_legacy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec51_legacy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec53_rc4_servers.dir/bench_sec53_rc4_servers.cpp.o"
+  "CMakeFiles/bench_sec53_rc4_servers.dir/bench_sec53_rc4_servers.cpp.o.d"
+  "bench_sec53_rc4_servers"
+  "bench_sec53_rc4_servers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec53_rc4_servers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec54_heartbleed.dir/bench_sec54_heartbleed.cpp.o"
+  "CMakeFiles/bench_sec54_heartbleed.dir/bench_sec54_heartbleed.cpp.o.d"
+  "bench_sec54_heartbleed"
+  "bench_sec54_heartbleed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec54_heartbleed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

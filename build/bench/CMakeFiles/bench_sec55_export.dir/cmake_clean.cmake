@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec55_export.dir/bench_sec55_export.cpp.o"
+  "CMakeFiles/bench_sec55_export.dir/bench_sec55_export.cpp.o.d"
+  "bench_sec55_export"
+  "bench_sec55_export.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec55_export.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

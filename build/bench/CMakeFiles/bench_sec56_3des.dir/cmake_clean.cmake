@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec56_3des.dir/bench_sec56_3des.cpp.o"
+  "CMakeFiles/bench_sec56_3des.dir/bench_sec56_3des.cpp.o.d"
+  "bench_sec56_3des"
+  "bench_sec56_3des.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec56_3des.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

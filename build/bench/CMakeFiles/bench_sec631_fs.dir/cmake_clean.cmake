@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec631_fs.dir/bench_sec631_fs.cpp.o"
+  "CMakeFiles/bench_sec631_fs.dir/bench_sec631_fs.cpp.o.d"
+  "bench_sec631_fs"
+  "bench_sec631_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec631_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec633_curves.dir/bench_sec633_curves.cpp.o"
+  "CMakeFiles/bench_sec633_curves.dir/bench_sec633_curves.cpp.o.d"
+  "bench_sec633_curves"
+  "bench_sec633_curves.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec633_curves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec64_tls13.dir/bench_sec64_tls13.cpp.o"
+  "CMakeFiles/bench_sec64_tls13.dir/bench_sec64_tls13.cpp.o.d"
+  "bench_sec64_tls13"
+  "bench_sec64_tls13.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec64_tls13.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

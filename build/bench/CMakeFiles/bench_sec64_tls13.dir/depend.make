@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_sec64_tls13.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec6_null_anon.dir/bench_sec6_null_anon.cpp.o"
+  "CMakeFiles/bench_sec6_null_anon.dir/bench_sec6_null_anon.cpp.o.d"
+  "bench_sec6_null_anon"
+  "bench_sec6_null_anon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec6_null_anon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

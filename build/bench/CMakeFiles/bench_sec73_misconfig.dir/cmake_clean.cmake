@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec73_misconfig.dir/bench_sec73_misconfig.cpp.o"
+  "CMakeFiles/bench_sec73_misconfig.dir/bench_sec73_misconfig.cpp.o.d"
+  "bench_sec73_misconfig"
+  "bench_sec73_misconfig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec73_misconfig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

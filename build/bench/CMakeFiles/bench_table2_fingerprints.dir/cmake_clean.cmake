@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_fingerprints.dir/bench_table2_fingerprints.cpp.o"
+  "CMakeFiles/bench_table2_fingerprints.dir/bench_table2_fingerprints.cpp.o.d"
+  "bench_table2_fingerprints"
+  "bench_table2_fingerprints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_fingerprints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_cbc_browsers.dir/bench_table3_cbc_browsers.cpp.o"
+  "CMakeFiles/bench_table3_cbc_browsers.dir/bench_table3_cbc_browsers.cpp.o.d"
+  "bench_table3_cbc_browsers"
+  "bench_table3_cbc_browsers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_cbc_browsers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_3des_browsers.dir/bench_table5_3des_browsers.cpp.o"
+  "CMakeFiles/bench_table5_3des_browsers.dir/bench_table5_3des_browsers.cpp.o.d"
+  "bench_table5_3des_browsers"
+  "bench_table5_3des_browsers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_3des_browsers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/active_scanning.dir/active_scanning.cpp.o"
+  "CMakeFiles/active_scanning.dir/active_scanning.cpp.o.d"
+  "active_scanning"
+  "active_scanning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/active_scanning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

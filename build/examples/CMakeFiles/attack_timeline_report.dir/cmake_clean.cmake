@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attack_timeline_report.dir/attack_timeline_report.cpp.o"
+  "CMakeFiles/attack_timeline_report.dir/attack_timeline_report.cpp.o.d"
+  "attack_timeline_report"
+  "attack_timeline_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attack_timeline_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fingerprint_survey.dir/fingerprint_survey.cpp.o"
+  "CMakeFiles/fingerprint_survey.dir/fingerprint_survey.cpp.o.d"
+  "fingerprint_survey"
+  "fingerprint_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fingerprint_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

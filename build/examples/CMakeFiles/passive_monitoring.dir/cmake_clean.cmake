@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/passive_monitoring.dir/passive_monitoring.cpp.o"
+  "CMakeFiles/passive_monitoring.dir/passive_monitoring.cpp.o.d"
+  "passive_monitoring"
+  "passive_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/passive_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

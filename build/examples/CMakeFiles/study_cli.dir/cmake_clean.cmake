@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/study_cli.dir/study_cli.cpp.o"
+  "CMakeFiles/study_cli.dir/study_cli.cpp.o.d"
+  "study_cli"
+  "study_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/study_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("tlscore")
+subdirs("wire")
+subdirs("fingerprint")
+subdirs("clients")
+subdirs("servers")
+subdirs("handshake")
+subdirs("population")
+subdirs("notary")
+subdirs("scan")
+subdirs("analysis")
+subdirs("core")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tls_analysis.dir/csv.cpp.o"
+  "CMakeFiles/tls_analysis.dir/csv.cpp.o.d"
+  "CMakeFiles/tls_analysis.dir/render.cpp.o"
+  "CMakeFiles/tls_analysis.dir/render.cpp.o.d"
+  "libtls_analysis.a"
+  "libtls_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tls_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

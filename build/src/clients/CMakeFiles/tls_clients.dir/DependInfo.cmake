@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/clients/catalog.cpp" "src/clients/CMakeFiles/tls_clients.dir/catalog.cpp.o" "gcc" "src/clients/CMakeFiles/tls_clients.dir/catalog.cpp.o.d"
+  "/root/repo/src/clients/catalog_apps.cpp" "src/clients/CMakeFiles/tls_clients.dir/catalog_apps.cpp.o" "gcc" "src/clients/CMakeFiles/tls_clients.dir/catalog_apps.cpp.o.d"
+  "/root/repo/src/clients/catalog_browsers.cpp" "src/clients/CMakeFiles/tls_clients.dir/catalog_browsers.cpp.o" "gcc" "src/clients/CMakeFiles/tls_clients.dir/catalog_browsers.cpp.o.d"
+  "/root/repo/src/clients/catalog_detail.cpp" "src/clients/CMakeFiles/tls_clients.dir/catalog_detail.cpp.o" "gcc" "src/clients/CMakeFiles/tls_clients.dir/catalog_detail.cpp.o.d"
+  "/root/repo/src/clients/catalog_libraries.cpp" "src/clients/CMakeFiles/tls_clients.dir/catalog_libraries.cpp.o" "gcc" "src/clients/CMakeFiles/tls_clients.dir/catalog_libraries.cpp.o.d"
+  "/root/repo/src/clients/profile.cpp" "src/clients/CMakeFiles/tls_clients.dir/profile.cpp.o" "gcc" "src/clients/CMakeFiles/tls_clients.dir/profile.cpp.o.d"
+  "/root/repo/src/clients/suite_pools.cpp" "src/clients/CMakeFiles/tls_clients.dir/suite_pools.cpp.o" "gcc" "src/clients/CMakeFiles/tls_clients.dir/suite_pools.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/wire/CMakeFiles/tls_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/tlscore/CMakeFiles/tls_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fingerprint/CMakeFiles/tls_fingerprint.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tls_clients.dir/catalog.cpp.o"
+  "CMakeFiles/tls_clients.dir/catalog.cpp.o.d"
+  "CMakeFiles/tls_clients.dir/catalog_apps.cpp.o"
+  "CMakeFiles/tls_clients.dir/catalog_apps.cpp.o.d"
+  "CMakeFiles/tls_clients.dir/catalog_browsers.cpp.o"
+  "CMakeFiles/tls_clients.dir/catalog_browsers.cpp.o.d"
+  "CMakeFiles/tls_clients.dir/catalog_detail.cpp.o"
+  "CMakeFiles/tls_clients.dir/catalog_detail.cpp.o.d"
+  "CMakeFiles/tls_clients.dir/catalog_libraries.cpp.o"
+  "CMakeFiles/tls_clients.dir/catalog_libraries.cpp.o.d"
+  "CMakeFiles/tls_clients.dir/profile.cpp.o"
+  "CMakeFiles/tls_clients.dir/profile.cpp.o.d"
+  "CMakeFiles/tls_clients.dir/suite_pools.cpp.o"
+  "CMakeFiles/tls_clients.dir/suite_pools.cpp.o.d"
+  "libtls_clients.a"
+  "libtls_clients.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tls_clients.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tls_study.dir/study.cpp.o"
+  "CMakeFiles/tls_study.dir/study.cpp.o.d"
+  "libtls_study.a"
+  "libtls_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tls_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

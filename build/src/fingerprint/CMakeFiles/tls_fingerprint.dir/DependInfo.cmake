@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fingerprint/database.cpp" "src/fingerprint/CMakeFiles/tls_fingerprint.dir/database.cpp.o" "gcc" "src/fingerprint/CMakeFiles/tls_fingerprint.dir/database.cpp.o.d"
+  "/root/repo/src/fingerprint/duration.cpp" "src/fingerprint/CMakeFiles/tls_fingerprint.dir/duration.cpp.o" "gcc" "src/fingerprint/CMakeFiles/tls_fingerprint.dir/duration.cpp.o.d"
+  "/root/repo/src/fingerprint/fingerprint.cpp" "src/fingerprint/CMakeFiles/tls_fingerprint.dir/fingerprint.cpp.o" "gcc" "src/fingerprint/CMakeFiles/tls_fingerprint.dir/fingerprint.cpp.o.d"
+  "/root/repo/src/fingerprint/io.cpp" "src/fingerprint/CMakeFiles/tls_fingerprint.dir/io.cpp.o" "gcc" "src/fingerprint/CMakeFiles/tls_fingerprint.dir/io.cpp.o.d"
+  "/root/repo/src/fingerprint/md5.cpp" "src/fingerprint/CMakeFiles/tls_fingerprint.dir/md5.cpp.o" "gcc" "src/fingerprint/CMakeFiles/tls_fingerprint.dir/md5.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/wire/CMakeFiles/tls_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/tlscore/CMakeFiles/tls_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

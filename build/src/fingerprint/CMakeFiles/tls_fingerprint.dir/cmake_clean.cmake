@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tls_fingerprint.dir/database.cpp.o"
+  "CMakeFiles/tls_fingerprint.dir/database.cpp.o.d"
+  "CMakeFiles/tls_fingerprint.dir/duration.cpp.o"
+  "CMakeFiles/tls_fingerprint.dir/duration.cpp.o.d"
+  "CMakeFiles/tls_fingerprint.dir/fingerprint.cpp.o"
+  "CMakeFiles/tls_fingerprint.dir/fingerprint.cpp.o.d"
+  "CMakeFiles/tls_fingerprint.dir/io.cpp.o"
+  "CMakeFiles/tls_fingerprint.dir/io.cpp.o.d"
+  "CMakeFiles/tls_fingerprint.dir/md5.cpp.o"
+  "CMakeFiles/tls_fingerprint.dir/md5.cpp.o.d"
+  "libtls_fingerprint.a"
+  "libtls_fingerprint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tls_fingerprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tls_handshake.dir/negotiate.cpp.o"
+  "CMakeFiles/tls_handshake.dir/negotiate.cpp.o.d"
+  "libtls_handshake.a"
+  "libtls_handshake.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tls_handshake.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tls_notary.dir/monitor.cpp.o"
+  "CMakeFiles/tls_notary.dir/monitor.cpp.o.d"
+  "libtls_notary.a"
+  "libtls_notary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tls_notary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tls_notary.
+# This may be replaced when dependencies are built.

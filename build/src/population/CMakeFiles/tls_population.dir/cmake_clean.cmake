@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tls_population.dir/market.cpp.o"
+  "CMakeFiles/tls_population.dir/market.cpp.o.d"
+  "CMakeFiles/tls_population.dir/market_standard.cpp.o"
+  "CMakeFiles/tls_population.dir/market_standard.cpp.o.d"
+  "CMakeFiles/tls_population.dir/traffic.cpp.o"
+  "CMakeFiles/tls_population.dir/traffic.cpp.o.d"
+  "libtls_population.a"
+  "libtls_population.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tls_population.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

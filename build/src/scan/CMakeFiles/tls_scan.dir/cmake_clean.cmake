@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tls_scan.dir/scanner.cpp.o"
+  "CMakeFiles/tls_scan.dir/scanner.cpp.o.d"
+  "libtls_scan.a"
+  "libtls_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tls_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/servers/config.cpp" "src/servers/CMakeFiles/tls_servers.dir/config.cpp.o" "gcc" "src/servers/CMakeFiles/tls_servers.dir/config.cpp.o.d"
+  "/root/repo/src/servers/population.cpp" "src/servers/CMakeFiles/tls_servers.dir/population.cpp.o" "gcc" "src/servers/CMakeFiles/tls_servers.dir/population.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tlscore/CMakeFiles/tls_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

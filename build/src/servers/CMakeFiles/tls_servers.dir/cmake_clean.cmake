@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tls_servers.dir/config.cpp.o"
+  "CMakeFiles/tls_servers.dir/config.cpp.o.d"
+  "CMakeFiles/tls_servers.dir/population.cpp.o"
+  "CMakeFiles/tls_servers.dir/population.cpp.o.d"
+  "libtls_servers.a"
+  "libtls_servers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tls_servers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

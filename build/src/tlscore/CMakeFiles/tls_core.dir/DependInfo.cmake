@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tlscore/cipher_suites.cpp" "src/tlscore/CMakeFiles/tls_core.dir/cipher_suites.cpp.o" "gcc" "src/tlscore/CMakeFiles/tls_core.dir/cipher_suites.cpp.o.d"
+  "/root/repo/src/tlscore/dates.cpp" "src/tlscore/CMakeFiles/tls_core.dir/dates.cpp.o" "gcc" "src/tlscore/CMakeFiles/tls_core.dir/dates.cpp.o.d"
+  "/root/repo/src/tlscore/extensions.cpp" "src/tlscore/CMakeFiles/tls_core.dir/extensions.cpp.o" "gcc" "src/tlscore/CMakeFiles/tls_core.dir/extensions.cpp.o.d"
+  "/root/repo/src/tlscore/grease.cpp" "src/tlscore/CMakeFiles/tls_core.dir/grease.cpp.o" "gcc" "src/tlscore/CMakeFiles/tls_core.dir/grease.cpp.o.d"
+  "/root/repo/src/tlscore/named_groups.cpp" "src/tlscore/CMakeFiles/tls_core.dir/named_groups.cpp.o" "gcc" "src/tlscore/CMakeFiles/tls_core.dir/named_groups.cpp.o.d"
+  "/root/repo/src/tlscore/series.cpp" "src/tlscore/CMakeFiles/tls_core.dir/series.cpp.o" "gcc" "src/tlscore/CMakeFiles/tls_core.dir/series.cpp.o.d"
+  "/root/repo/src/tlscore/timeline.cpp" "src/tlscore/CMakeFiles/tls_core.dir/timeline.cpp.o" "gcc" "src/tlscore/CMakeFiles/tls_core.dir/timeline.cpp.o.d"
+  "/root/repo/src/tlscore/version.cpp" "src/tlscore/CMakeFiles/tls_core.dir/version.cpp.o" "gcc" "src/tlscore/CMakeFiles/tls_core.dir/version.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tls_core.dir/cipher_suites.cpp.o"
+  "CMakeFiles/tls_core.dir/cipher_suites.cpp.o.d"
+  "CMakeFiles/tls_core.dir/dates.cpp.o"
+  "CMakeFiles/tls_core.dir/dates.cpp.o.d"
+  "CMakeFiles/tls_core.dir/extensions.cpp.o"
+  "CMakeFiles/tls_core.dir/extensions.cpp.o.d"
+  "CMakeFiles/tls_core.dir/grease.cpp.o"
+  "CMakeFiles/tls_core.dir/grease.cpp.o.d"
+  "CMakeFiles/tls_core.dir/named_groups.cpp.o"
+  "CMakeFiles/tls_core.dir/named_groups.cpp.o.d"
+  "CMakeFiles/tls_core.dir/series.cpp.o"
+  "CMakeFiles/tls_core.dir/series.cpp.o.d"
+  "CMakeFiles/tls_core.dir/timeline.cpp.o"
+  "CMakeFiles/tls_core.dir/timeline.cpp.o.d"
+  "CMakeFiles/tls_core.dir/version.cpp.o"
+  "CMakeFiles/tls_core.dir/version.cpp.o.d"
+  "libtls_core.a"
+  "libtls_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tls_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wire/alert.cpp" "src/wire/CMakeFiles/tls_wire.dir/alert.cpp.o" "gcc" "src/wire/CMakeFiles/tls_wire.dir/alert.cpp.o.d"
+  "/root/repo/src/wire/buffer.cpp" "src/wire/CMakeFiles/tls_wire.dir/buffer.cpp.o" "gcc" "src/wire/CMakeFiles/tls_wire.dir/buffer.cpp.o.d"
+  "/root/repo/src/wire/client_hello.cpp" "src/wire/CMakeFiles/tls_wire.dir/client_hello.cpp.o" "gcc" "src/wire/CMakeFiles/tls_wire.dir/client_hello.cpp.o.d"
+  "/root/repo/src/wire/extension_codec.cpp" "src/wire/CMakeFiles/tls_wire.dir/extension_codec.cpp.o" "gcc" "src/wire/CMakeFiles/tls_wire.dir/extension_codec.cpp.o.d"
+  "/root/repo/src/wire/heartbeat.cpp" "src/wire/CMakeFiles/tls_wire.dir/heartbeat.cpp.o" "gcc" "src/wire/CMakeFiles/tls_wire.dir/heartbeat.cpp.o.d"
+  "/root/repo/src/wire/record.cpp" "src/wire/CMakeFiles/tls_wire.dir/record.cpp.o" "gcc" "src/wire/CMakeFiles/tls_wire.dir/record.cpp.o.d"
+  "/root/repo/src/wire/server_hello.cpp" "src/wire/CMakeFiles/tls_wire.dir/server_hello.cpp.o" "gcc" "src/wire/CMakeFiles/tls_wire.dir/server_hello.cpp.o.d"
+  "/root/repo/src/wire/server_key_exchange.cpp" "src/wire/CMakeFiles/tls_wire.dir/server_key_exchange.cpp.o" "gcc" "src/wire/CMakeFiles/tls_wire.dir/server_key_exchange.cpp.o.d"
+  "/root/repo/src/wire/sslv2.cpp" "src/wire/CMakeFiles/tls_wire.dir/sslv2.cpp.o" "gcc" "src/wire/CMakeFiles/tls_wire.dir/sslv2.cpp.o.d"
+  "/root/repo/src/wire/transcript.cpp" "src/wire/CMakeFiles/tls_wire.dir/transcript.cpp.o" "gcc" "src/wire/CMakeFiles/tls_wire.dir/transcript.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tlscore/CMakeFiles/tls_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tls_wire.dir/alert.cpp.o"
+  "CMakeFiles/tls_wire.dir/alert.cpp.o.d"
+  "CMakeFiles/tls_wire.dir/buffer.cpp.o"
+  "CMakeFiles/tls_wire.dir/buffer.cpp.o.d"
+  "CMakeFiles/tls_wire.dir/client_hello.cpp.o"
+  "CMakeFiles/tls_wire.dir/client_hello.cpp.o.d"
+  "CMakeFiles/tls_wire.dir/extension_codec.cpp.o"
+  "CMakeFiles/tls_wire.dir/extension_codec.cpp.o.d"
+  "CMakeFiles/tls_wire.dir/heartbeat.cpp.o"
+  "CMakeFiles/tls_wire.dir/heartbeat.cpp.o.d"
+  "CMakeFiles/tls_wire.dir/record.cpp.o"
+  "CMakeFiles/tls_wire.dir/record.cpp.o.d"
+  "CMakeFiles/tls_wire.dir/server_hello.cpp.o"
+  "CMakeFiles/tls_wire.dir/server_hello.cpp.o.d"
+  "CMakeFiles/tls_wire.dir/server_key_exchange.cpp.o"
+  "CMakeFiles/tls_wire.dir/server_key_exchange.cpp.o.d"
+  "CMakeFiles/tls_wire.dir/sslv2.cpp.o"
+  "CMakeFiles/tls_wire.dir/sslv2.cpp.o.d"
+  "CMakeFiles/tls_wire.dir/transcript.cpp.o"
+  "CMakeFiles/tls_wire.dir/transcript.cpp.o.d"
+  "libtls_wire.a"
+  "libtls_wire.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tls_wire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

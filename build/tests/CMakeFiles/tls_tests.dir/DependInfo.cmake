@@ -1,0 +1,58 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_alert.cpp" "tests/CMakeFiles/tls_tests.dir/test_alert.cpp.o" "gcc" "tests/CMakeFiles/tls_tests.dir/test_alert.cpp.o.d"
+  "/root/repo/tests/test_buffer.cpp" "tests/CMakeFiles/tls_tests.dir/test_buffer.cpp.o" "gcc" "tests/CMakeFiles/tls_tests.dir/test_buffer.cpp.o.d"
+  "/root/repo/tests/test_cipher_suites.cpp" "tests/CMakeFiles/tls_tests.dir/test_cipher_suites.cpp.o" "gcc" "tests/CMakeFiles/tls_tests.dir/test_cipher_suites.cpp.o.d"
+  "/root/repo/tests/test_clients.cpp" "tests/CMakeFiles/tls_tests.dir/test_clients.cpp.o" "gcc" "tests/CMakeFiles/tls_tests.dir/test_clients.cpp.o.d"
+  "/root/repo/tests/test_compat_matrix.cpp" "tests/CMakeFiles/tls_tests.dir/test_compat_matrix.cpp.o" "gcc" "tests/CMakeFiles/tls_tests.dir/test_compat_matrix.cpp.o.d"
+  "/root/repo/tests/test_dates.cpp" "tests/CMakeFiles/tls_tests.dir/test_dates.cpp.o" "gcc" "tests/CMakeFiles/tls_tests.dir/test_dates.cpp.o.d"
+  "/root/repo/tests/test_extension_codec.cpp" "tests/CMakeFiles/tls_tests.dir/test_extension_codec.cpp.o" "gcc" "tests/CMakeFiles/tls_tests.dir/test_extension_codec.cpp.o.d"
+  "/root/repo/tests/test_extensions_tracking.cpp" "tests/CMakeFiles/tls_tests.dir/test_extensions_tracking.cpp.o" "gcc" "tests/CMakeFiles/tls_tests.dir/test_extensions_tracking.cpp.o.d"
+  "/root/repo/tests/test_fingerprint.cpp" "tests/CMakeFiles/tls_tests.dir/test_fingerprint.cpp.o" "gcc" "tests/CMakeFiles/tls_tests.dir/test_fingerprint.cpp.o.d"
+  "/root/repo/tests/test_fp_database.cpp" "tests/CMakeFiles/tls_tests.dir/test_fp_database.cpp.o" "gcc" "tests/CMakeFiles/tls_tests.dir/test_fp_database.cpp.o.d"
+  "/root/repo/tests/test_fp_io.cpp" "tests/CMakeFiles/tls_tests.dir/test_fp_io.cpp.o" "gcc" "tests/CMakeFiles/tls_tests.dir/test_fp_io.cpp.o.d"
+  "/root/repo/tests/test_fuzz.cpp" "tests/CMakeFiles/tls_tests.dir/test_fuzz.cpp.o" "gcc" "tests/CMakeFiles/tls_tests.dir/test_fuzz.cpp.o.d"
+  "/root/repo/tests/test_heartbeat.cpp" "tests/CMakeFiles/tls_tests.dir/test_heartbeat.cpp.o" "gcc" "tests/CMakeFiles/tls_tests.dir/test_heartbeat.cpp.o.d"
+  "/root/repo/tests/test_hellos.cpp" "tests/CMakeFiles/tls_tests.dir/test_hellos.cpp.o" "gcc" "tests/CMakeFiles/tls_tests.dir/test_hellos.cpp.o.d"
+  "/root/repo/tests/test_market.cpp" "tests/CMakeFiles/tls_tests.dir/test_market.cpp.o" "gcc" "tests/CMakeFiles/tls_tests.dir/test_market.cpp.o.d"
+  "/root/repo/tests/test_md5.cpp" "tests/CMakeFiles/tls_tests.dir/test_md5.cpp.o" "gcc" "tests/CMakeFiles/tls_tests.dir/test_md5.cpp.o.d"
+  "/root/repo/tests/test_model_sanity.cpp" "tests/CMakeFiles/tls_tests.dir/test_model_sanity.cpp.o" "gcc" "tests/CMakeFiles/tls_tests.dir/test_model_sanity.cpp.o.d"
+  "/root/repo/tests/test_monitor.cpp" "tests/CMakeFiles/tls_tests.dir/test_monitor.cpp.o" "gcc" "tests/CMakeFiles/tls_tests.dir/test_monitor.cpp.o.d"
+  "/root/repo/tests/test_negotiate.cpp" "tests/CMakeFiles/tls_tests.dir/test_negotiate.cpp.o" "gcc" "tests/CMakeFiles/tls_tests.dir/test_negotiate.cpp.o.d"
+  "/root/repo/tests/test_record.cpp" "tests/CMakeFiles/tls_tests.dir/test_record.cpp.o" "gcc" "tests/CMakeFiles/tls_tests.dir/test_record.cpp.o.d"
+  "/root/repo/tests/test_registries.cpp" "tests/CMakeFiles/tls_tests.dir/test_registries.cpp.o" "gcc" "tests/CMakeFiles/tls_tests.dir/test_registries.cpp.o.d"
+  "/root/repo/tests/test_render.cpp" "tests/CMakeFiles/tls_tests.dir/test_render.cpp.o" "gcc" "tests/CMakeFiles/tls_tests.dir/test_render.cpp.o.d"
+  "/root/repo/tests/test_sampling.cpp" "tests/CMakeFiles/tls_tests.dir/test_sampling.cpp.o" "gcc" "tests/CMakeFiles/tls_tests.dir/test_sampling.cpp.o.d"
+  "/root/repo/tests/test_scanner.cpp" "tests/CMakeFiles/tls_tests.dir/test_scanner.cpp.o" "gcc" "tests/CMakeFiles/tls_tests.dir/test_scanner.cpp.o.d"
+  "/root/repo/tests/test_series_rng.cpp" "tests/CMakeFiles/tls_tests.dir/test_series_rng.cpp.o" "gcc" "tests/CMakeFiles/tls_tests.dir/test_series_rng.cpp.o.d"
+  "/root/repo/tests/test_servers.cpp" "tests/CMakeFiles/tls_tests.dir/test_servers.cpp.o" "gcc" "tests/CMakeFiles/tls_tests.dir/test_servers.cpp.o.d"
+  "/root/repo/tests/test_study.cpp" "tests/CMakeFiles/tls_tests.dir/test_study.cpp.o" "gcc" "tests/CMakeFiles/tls_tests.dir/test_study.cpp.o.d"
+  "/root/repo/tests/test_traffic.cpp" "tests/CMakeFiles/tls_tests.dir/test_traffic.cpp.o" "gcc" "tests/CMakeFiles/tls_tests.dir/test_traffic.cpp.o.d"
+  "/root/repo/tests/test_transcript.cpp" "tests/CMakeFiles/tls_tests.dir/test_transcript.cpp.o" "gcc" "tests/CMakeFiles/tls_tests.dir/test_transcript.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tls_study.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/tls_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/notary/CMakeFiles/tls_notary.dir/DependInfo.cmake"
+  "/root/repo/build/src/scan/CMakeFiles/tls_scan.dir/DependInfo.cmake"
+  "/root/repo/build/src/population/CMakeFiles/tls_population.dir/DependInfo.cmake"
+  "/root/repo/build/src/clients/CMakeFiles/tls_clients.dir/DependInfo.cmake"
+  "/root/repo/build/src/handshake/CMakeFiles/tls_handshake.dir/DependInfo.cmake"
+  "/root/repo/build/src/servers/CMakeFiles/tls_servers.dir/DependInfo.cmake"
+  "/root/repo/build/src/fingerprint/CMakeFiles/tls_fingerprint.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/tls_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/tlscore/CMakeFiles/tls_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
