@@ -1,0 +1,106 @@
+// Soak-test artifact: sweeps the chaos tap's fault rate over the passive
+// pipeline and the network loss level over the active scanner, printing the
+// loss-accounting tables the robustness section of EXPERIMENTS.md quotes.
+// The invariants asserted by tests/test_soak.cpp are recomputed here so the
+// printed run is self-checking (any violation shows up in the output).
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "faults/injector.hpp"
+
+namespace {
+
+using tls::core::Month;
+using tls::core::MonthRange;
+
+struct SweepRow {
+  double rate;
+  std::uint64_t events = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t quarantined = 0;
+  std::uint64_t one_sided = 0;
+  std::uint64_t parse_errors = 0;
+  bool partition_exact = true;
+  double adv_aead_pct = 0;
+};
+
+SweepRow sweep_passive(double rate, const tls::study::StudyOptions& base) {
+  tls::study::StudyOptions opts = base;
+  opts.faults = tls::faults::FaultConfig::uniform(rate);
+  tls::study::LongitudinalStudy study(opts);
+  const auto& monitor = study.monitor();
+
+  SweepRow row;
+  row.rate = rate;
+  std::uint64_t aead = 0;
+  for (const auto& [m, s] : monitor.months()) {
+    row.events += s.total;
+    row.accepted += s.accepted();
+    row.quarantined += s.quarantined;
+    row.one_sided += s.one_sided_client + s.one_sided_server;
+    row.partition_exact &=
+        s.total == s.successful + s.failures + s.quarantined;
+    for (const auto& [code, n] : s.parse_errors) row.parse_errors += n;
+    aead += s.adv_aead;
+  }
+  if (row.accepted > 0) {
+    row.adv_aead_pct = 100.0 * static_cast<double>(aead) /
+                       static_cast<double>(row.accepted);
+  }
+  if (rate == 0.5) {
+    std::puts("== per-month loss table (fault rate 50%) ==");
+    std::fputs(tls::analysis::render_loss_table(tls::notary::loss_rows(monitor))
+                   .c_str(),
+               stdout);
+    std::puts("");
+  }
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  auto opts = bench::default_options();
+  opts.full_catalog = false;  // robustness sweep, not fingerprint coverage
+  opts.window = MonthRange{Month(2014, 10), Month(2015, 9)};
+
+  std::puts("== passive soak: fault-rate sweep ==");
+  std::vector<std::vector<std::string>> table;
+  table.push_back({"fault rate", "events", "accepted", "quar", "1-sided",
+                   "parse errs", "partition", "adv AEAD"});
+  for (const double rate : {0.0, 0.01, 0.10, 0.50}) {
+    const auto row = sweep_passive(rate, opts);
+    table.push_back({bench::fmt_pct(100.0 * rate, 0),
+                     std::to_string(row.events), std::to_string(row.accepted),
+                     std::to_string(row.quarantined),
+                     std::to_string(row.one_sided),
+                     std::to_string(row.parse_errors),
+                     row.partition_exact ? "exact" : "VIOLATED",
+                     bench::fmt_pct(row.adv_aead_pct)});
+  }
+  std::fputs(tls::analysis::render_table(table).c_str(), stdout);
+  std::puts("");
+
+  std::puts("== active soak: network loss sweep (2016-06) ==");
+  const auto servers = tls::servers::ServerPopulation::standard();
+  std::vector<std::vector<std::string>> scan_table;
+  scan_table.push_back({"loss level", "scanned", "unreachable", "closure",
+                        "attempts", "retries", "abandoned"});
+  for (const double level : {0.0, 0.01, 0.10, 0.50}) {
+    tls::scan::ScanPolicy policy;
+    policy.network = tls::faults::NetworkProfile::lossy(level);
+    const tls::scan::ActiveScanner scanner(servers, policy);
+    const auto snap = scanner.scan(Month(2016, 6));
+    const double closure = snap.scanned + snap.unreachable;
+    scan_table.push_back(
+        {bench::fmt_pct(100.0 * level, 0),
+         bench::fmt_pct(100.0 * snap.scanned),
+         bench::fmt_pct(100.0 * snap.unreachable),
+         std::abs(closure - 1.0) < 1e-9 ? "1.0 (exact)" : "VIOLATED",
+         std::to_string(snap.probe_attempts),
+         std::to_string(snap.probe_retries),
+         std::to_string(snap.probes_abandoned)});
+  }
+  std::fputs(tls::analysis::render_table(scan_table).c_str(), stdout);
+  return 0;
+}

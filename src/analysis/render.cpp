@@ -119,6 +119,51 @@ std::string render_table(const std::vector<std::vector<std::string>>& rows) {
   return out.str();
 }
 
+std::string render_loss_table(const std::vector<LossRow>& rows) {
+  if (rows.empty()) return "";
+  static const char* kCodeNames[] = {"trunc", "trail", "bad-len", "bad-val",
+                                     "unsup"};
+  std::vector<std::vector<std::string>> table;
+  table.push_back({"month", "total", "ok", "failed", "quar", "quar%",
+                   "1-sided", kCodeNames[0], kCodeNames[1], kCodeNames[2],
+                   kCodeNames[3], kCodeNames[4]});
+  std::size_t clean = 0;
+  const auto is_clean = [](const LossRow& r) {
+    if (r.quarantined != 0 || r.one_sided != 0) return false;
+    for (const auto c : r.by_code) {
+      if (c != 0) return false;
+    }
+    return true;
+  };
+  for (const auto& r : rows) {
+    if (is_clean(r)) {
+      ++clean;
+      continue;
+    }
+    const double quar_pct =
+        r.total == 0 ? 0.0
+                     : 100.0 * static_cast<double>(r.quarantined) /
+                           static_cast<double>(r.total);
+    std::vector<std::string> row{
+        r.month,
+        std::to_string(r.total),
+        std::to_string(r.successful),
+        std::to_string(r.failures),
+        std::to_string(r.quarantined),
+        pct(quar_pct),
+        std::to_string(r.one_sided)};
+    for (const auto c : r.by_code) row.push_back(std::to_string(c));
+    table.push_back(std::move(row));
+  }
+  std::ostringstream out;
+  out << render_table(table);
+  if (clean > 0) {
+    out << "(clean) " << clean << " month" << (clean == 1 ? "" : "s")
+        << " with no losses\n";
+  }
+  return out.str();
+}
+
 std::string to_csv(const MonthlyChart& chart) {
   std::ostringstream out;
   out << "month";

@@ -3,6 +3,8 @@
 // text tables (for its tables).
 #pragma once
 
+#include <array>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -34,6 +36,27 @@ std::string render_chart(const MonthlyChart& chart);
 
 /// Aligned text table; first row is the header.
 std::string render_table(const std::vector<std::vector<std::string>>& rows);
+
+/// One month of ingest loss accounting for render_loss_table. Deliberately a
+/// plain struct (no notary/wire dependency): `by_code` follows the
+/// tls::wire::ParseErrorCode order — truncated, trailing, bad-length,
+/// bad-value, unsupported.
+struct LossRow {
+  std::string month;
+  std::uint64_t total = 0;        // successful + failures + quarantined
+  std::uint64_t successful = 0;
+  std::uint64_t failures = 0;
+  std::uint64_t quarantined = 0;
+  std::uint64_t one_sided = 0;    // captures salvaged from a single direction
+  std::array<std::uint64_t, 5> by_code{};
+};
+
+/// Per-month malformed/quarantine summary:
+///   month  total  ok  failed  quar  quar%  1-sided  trunc  trail  ...
+/// Months with nothing quarantined, no one-sided captures, and no parse
+/// errors are collapsed into a single "(clean)" count line to keep long
+/// windows readable. Returns "" for empty input.
+std::string render_loss_table(const std::vector<LossRow>& rows);
 
 /// Formats a double as a percent with one decimal ("12.3%").
 std::string pct(double value_0_to_100);

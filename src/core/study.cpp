@@ -23,7 +23,8 @@ LongitudinalStudy::LongitudinalStudy(StudyOptions options)
   market_ = std::make_unique<tls::population::MarketModel>(
       tls::population::MarketModel::standard(catalog_));
   monitor_ = std::make_unique<tls::notary::PassiveMonitor>(&database_);
-  scanner_ = std::make_unique<tls::scan::ActiveScanner>(servers_);
+  scanner_ =
+      std::make_unique<tls::scan::ActiveScanner>(servers_, options_.scan_policy);
 }
 
 tls::fp::FingerprintDatabase LongitudinalStudy::build_database(
@@ -46,11 +47,18 @@ tls::fp::FingerprintDatabase LongitudinalStudy::build_database(
 void LongitudinalStudy::run() {
   if (ran_) return;
   ran_ = true;
+  std::unique_ptr<tls::faults::FaultInjector> injector;
+  if (options_.faults.total() > 0) {
+    injector = std::make_unique<tls::faults::FaultInjector>(
+        options_.faults, options_.fault_seed);
+    monitor_->set_fault_injector(injector.get());
+  }
   tls::population::TrafficGenerator gen(*market_, servers_, options_.seed);
   gen.generate_range(options_.window, options_.connections_per_month,
                      [this](const tls::population::ConnectionEvent& ev) {
                        monitor_->observe(ev);
                      });
+  monitor_->set_fault_injector(nullptr);
 }
 
 const tls::notary::PassiveMonitor& LongitudinalStudy::monitor() {

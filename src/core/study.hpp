@@ -12,6 +12,7 @@
 
 #include "analysis/render.hpp"
 #include "clients/catalog.hpp"
+#include "faults/injector.hpp"
 #include "fingerprint/database.hpp"
 #include "notary/monitor.hpp"
 #include "population/market.hpp"
@@ -30,6 +31,14 @@ struct StudyOptions {
   /// Full catalog includes the ~1,684-fingerprint Table-2 expansion;
   /// disable for fast tests.
   bool full_catalog = true;
+  /// Chaos tap for the passive plane: when any rate is non-zero, every
+  /// serialized capture passes through a FaultInjector seeded with
+  /// `fault_seed` before reaching the monitor. All-zero (default) keeps
+  /// the pipeline byte-identical to the fault-free build.
+  tls::faults::FaultConfig faults{};
+  std::uint64_t fault_seed = 0xc4a05;
+  /// Network model + retry budget for the active plane (default: ideal).
+  tls::scan::ScanPolicy scan_policy{};
 };
 
 class LongitudinalStudy {

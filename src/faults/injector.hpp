@@ -1,0 +1,129 @@
+// Chaos tap: seeded, deterministic fault injection for the measurement
+// planes. The real Notary saw truncated flows, one-sided captures and
+// malformed hellos; Censys-style scans saw resets and timeouts. The
+// FaultInjector reproduces those degradations on demand so the ingestion
+// pipeline can be soak-tested at sweep-able fault rates: every mutation is
+// drawn from an explicitly seeded tls::core::Rng, so a (config, seed) pair
+// always yields the same corrupted byte stream.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "tlscore/rng.hpp"
+
+namespace tls::faults {
+
+enum class FaultKind : std::uint8_t {
+  kNone,             // stream passed through untouched
+  kTruncate,         // cut at an arbitrary byte offset
+  kBitFlip,          // 1..8 random bit flips
+  kLengthCorrupt,    // randomize a record header's length field
+  kTrailingGarbage,  // random bytes appended after the last record
+  kRecordSplit,      // one record re-framed as two fragments
+  kRecordCoalesce,   // two adjacent records merged into one
+  kDropFlight,       // the whole capture lost (both directions)
+  kOneSided,         // one direction of the capture lost
+};
+
+inline constexpr std::size_t kFaultKindCount = 9;
+
+std::string_view fault_kind_name(FaultKind kind);
+
+/// Per-kind injection probabilities (independent of each other only in the
+/// sense that at most ONE fault is applied per stream/capture; the rates
+/// are selection weights and their sum is the total fault rate, <= 1).
+struct FaultConfig {
+  double truncate = 0;
+  double bit_flip = 0;
+  double length_corrupt = 0;
+  double trailing_garbage = 0;
+  double record_split = 0;
+  double record_coalesce = 0;
+  double drop_flight = 0;
+  double one_sided = 0;
+
+  /// Total fault rate (probability any fault fires per capture).
+  [[nodiscard]] double total() const {
+    return truncate + bit_flip + length_corrupt + trailing_garbage +
+           record_split + record_coalesce + drop_flight + one_sided;
+  }
+
+  /// Splits `rate` evenly over all eight fault kinds.
+  static FaultConfig uniform(double rate);
+  /// Byte-level faults only (no capture loss): even split over truncate,
+  /// bit_flip, length_corrupt, trailing_garbage, record_split, coalesce.
+  static FaultConfig bytes_only(double rate);
+};
+
+/// Counts of what the injector actually did — the ground truth a soak test
+/// compares the monitor's error taxonomy against.
+struct FaultStats {
+  std::array<std::uint64_t, kFaultKindCount> applied{};
+  std::uint64_t streams_seen = 0;
+  std::uint64_t captures_seen = 0;
+
+  [[nodiscard]] std::uint64_t total_faults() const {
+    std::uint64_t n = 0;
+    for (std::size_t i = 1; i < kFaultKindCount; ++i) n += applied[i];
+    return n;
+  }
+  [[nodiscard]] std::uint64_t count(FaultKind k) const {
+    return applied[static_cast<std::size_t>(k)];
+  }
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultConfig config, std::uint64_t seed = 0xfa11);
+
+  /// Possibly applies one byte-level fault to a single record stream,
+  /// in place. Capture-level kinds (kDropFlight, kOneSided) degrade to
+  /// clearing the stream. Returns what was done.
+  FaultKind corrupt_stream(std::vector<std::uint8_t>& stream);
+
+  /// Possibly applies one fault to a two-direction capture: kDropFlight
+  /// clears both streams, kOneSided clears one (coin-flip which), and the
+  /// byte-level kinds hit one direction (coin-flip which).
+  FaultKind corrupt_capture(std::vector<std::uint8_t>& client,
+                            std::vector<std::uint8_t>& server);
+
+  [[nodiscard]] const FaultStats& stats() const { return stats_; }
+  [[nodiscard]] const FaultConfig& config() const { return config_; }
+  [[nodiscard]] tls::core::Rng& rng() { return rng_; }
+
+ private:
+  FaultKind roll();
+  void apply_bytes(FaultKind kind, std::vector<std::uint8_t>& stream);
+
+  FaultConfig config_;
+  tls::core::Rng rng_;
+  FaultStats stats_;
+};
+
+// ---- deterministic mutation primitives (exposed for fuzz tests) ----
+
+/// Offsets of the record headers in a serialized record stream, walking the
+/// declared length fields; stops at the first malformed header.
+std::vector<std::size_t> record_offsets(
+    const std::vector<std::uint8_t>& stream);
+
+void truncate_at(std::vector<std::uint8_t>& stream, std::size_t offset);
+void flip_bits(std::vector<std::uint8_t>& stream, tls::core::Rng& rng,
+               int flips);
+/// Randomizes the u16 length field of a randomly chosen record header.
+/// Falls back to a bit flip when no header is found.
+void corrupt_record_length(std::vector<std::uint8_t>& stream,
+                           tls::core::Rng& rng);
+void append_garbage(std::vector<std::uint8_t>& stream, tls::core::Rng& rng,
+                    std::size_t max_bytes = 32);
+/// Re-frames one record as two records carrying the split fragment
+/// (legal TLS fragmentation). Returns false when no record can be split.
+bool split_record(std::vector<std::uint8_t>& stream, tls::core::Rng& rng);
+/// Merges the first two adjacent records with equal type+version into one
+/// record (legal coalescing). Returns false when no such pair exists.
+bool coalesce_records(std::vector<std::uint8_t>& stream);
+
+}  // namespace tls::faults

@@ -1,0 +1,75 @@
+#include "faults/network.hpp"
+
+#include <algorithm>
+
+namespace tls::faults {
+
+std::string_view probe_outcome_name(ProbeOutcome outcome) {
+  switch (outcome) {
+    case ProbeOutcome::kOk: return "ok";
+    case ProbeOutcome::kTimeout: return "timeout";
+    case ProbeOutcome::kReset: return "reset";
+    case ProbeOutcome::kUnreachable: return "unreachable";
+  }
+  return "?";
+}
+
+NetworkProfile NetworkProfile::lossy(double level) {
+  NetworkProfile p;
+  p.unreachable = 0.5 * level;
+  p.timeout = 0.2 * level;
+  p.reset = 0.1 * level;
+  p.flaky_hosts = 0.1 * level;
+  return p;
+}
+
+ProbeTrace run_probe(const NetworkProfile& profile, const RetryPolicy& policy,
+                     tls::core::Rng& rng) {
+  ProbeTrace trace;
+  const bool host_dead = rng.chance(profile.unreachable);
+  const bool host_flaky = rng.chance(profile.flaky_hosts);
+  const double penalty = host_flaky ? profile.flaky_penalty : 1.0;
+  const double p_timeout = std::min(1.0, profile.timeout * penalty);
+  const double p_reset = std::min(1.0, profile.reset * penalty);
+
+  const std::uint32_t attempts = std::max<std::uint32_t>(1, policy.max_attempts);
+  for (std::uint32_t i = 0; i < attempts; ++i) {
+    if (i > 0) {
+      double backoff = policy.base_backoff_ms;
+      for (std::uint32_t k = 1; k < i; ++k) backoff *= policy.backoff_factor;
+      backoff *= 1.0 + policy.jitter * (2.0 * rng.uniform() - 1.0);
+      trace.backoffs_ms.push_back(backoff);
+      trace.elapsed_ms += backoff;
+    }
+    ProbeOutcome outcome;
+    if (host_dead) {
+      outcome = ProbeOutcome::kUnreachable;
+      trace.elapsed_ms += policy.attempt_timeout_ms;
+    } else {
+      const double u = rng.uniform();
+      if (u < p_timeout) {
+        outcome = ProbeOutcome::kTimeout;
+        trace.elapsed_ms += policy.attempt_timeout_ms;
+      } else if (u < p_timeout + p_reset) {
+        outcome = ProbeOutcome::kReset;
+        // A reset comes back fast; charge a token cost.
+        trace.elapsed_ms += policy.attempt_timeout_ms * 0.05;
+      } else {
+        outcome = ProbeOutcome::kOk;
+      }
+    }
+    trace.attempts.push_back(outcome);
+    if (outcome == ProbeOutcome::kOk) {
+      trace.reached = true;
+      return trace;
+    }
+    if (policy.total_budget_ms > 0 &&
+        trace.elapsed_ms >= policy.total_budget_ms) {
+      trace.abandoned = i + 1 < attempts;
+      return trace;
+    }
+  }
+  return trace;
+}
+
+}  // namespace tls::faults

@@ -1,0 +1,82 @@
+// Scan-plane fault model: the failure modes a Censys-style scanner meets on
+// the open internet (dead hosts, RSTs, timeouts, flaky middleboxes) plus a
+// deterministic retry/backoff engine. Everything is driven by an explicit
+// tls::core::Rng so a fixed seed reproduces the exact same probe schedule —
+// attempts, backoff delays and final outcome.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "tlscore/rng.hpp"
+
+namespace tls::faults {
+
+enum class ProbeOutcome : std::uint8_t {
+  kOk,           // handshake bytes flowed
+  kTimeout,      // no answer within the per-attempt timeout
+  kReset,        // TCP RST / ICMP unreachable mid-attempt
+  kUnreachable,  // host dead for the whole scan (no retry helps)
+};
+
+std::string_view probe_outcome_name(ProbeOutcome outcome);
+
+/// Per-host/per-attempt failure probabilities. All zero = ideal network
+/// (the default everywhere, keeping the fault-free path bit-identical).
+struct NetworkProfile {
+  /// Fraction of hosts that are down for the entire sweep.
+  double unreachable = 0;
+  /// Per-attempt probability of a timeout on a live host.
+  double timeout = 0;
+  /// Per-attempt probability of a connection reset on a live host.
+  double reset = 0;
+  /// Fraction of live hosts that are flaky: their per-attempt timeout and
+  /// reset probabilities are multiplied by `flaky_penalty`.
+  double flaky_hosts = 0;
+  double flaky_penalty = 10.0;
+
+  [[nodiscard]] bool ideal() const {
+    return unreachable == 0 && timeout == 0 && reset == 0 && flaky_hosts == 0;
+  }
+
+  /// A plausibly-shaped lossy profile scaled by `level` in [0, 1]:
+  /// level 0.1 ~ a bad day on a campus uplink, 1.0 ~ a hostile network.
+  static NetworkProfile lossy(double level);
+};
+
+/// Retry/backoff policy for one probe: capped exponential backoff with
+/// deterministic jitter, bounded by attempts and a total time budget.
+struct RetryPolicy {
+  std::uint32_t max_attempts = 3;
+  double attempt_timeout_ms = 1000;
+  double base_backoff_ms = 50;
+  double backoff_factor = 2.0;
+  /// Jitter fraction: each backoff is scaled by (1 +/- jitter * u), with u
+  /// drawn from the probe's Rng — deterministic for a fixed seed.
+  double jitter = 0.25;
+  /// Abandon the probe once total elapsed (timeouts + backoffs) exceeds
+  /// this; <= 0 means no budget.
+  double total_budget_ms = 10000;
+};
+
+/// What one probe did, attempt by attempt.
+struct ProbeTrace {
+  std::vector<ProbeOutcome> attempts;
+  std::vector<double> backoffs_ms;  // delay before attempt i+1
+  bool reached = false;
+  bool abandoned = false;  // gave up on budget before exhausting attempts
+  double elapsed_ms = 0;
+
+  [[nodiscard]] std::uint32_t retries() const {
+    return attempts.empty() ? 0
+                            : static_cast<std::uint32_t>(attempts.size() - 1);
+  }
+};
+
+/// Runs one probe against a host drawn from `profile` under `policy`,
+/// consuming randomness only from `rng`.
+ProbeTrace run_probe(const NetworkProfile& profile, const RetryPolicy& policy,
+                     tls::core::Rng& rng);
+
+}  // namespace tls::faults

@@ -1,5 +1,6 @@
 #include "notary/monitor.hpp"
 
+#include "faults/injector.hpp"
 #include "fingerprint/fingerprint.hpp"
 #include "tlscore/grease.hpp"
 #include "wire/server_hello.hpp"
@@ -50,7 +51,7 @@ void PassiveMonitor::observe(const tls::population::ConnectionEvent& event) {
     observe_sslv2(event.month);
     return;
   }
-  const auto client_record = event.hello.serialize_record();
+  auto client_record = event.hello.serialize_record();
   std::vector<std::uint8_t> server_record;
   std::vector<std::uint8_t> ske_record;
   if (event.result.server_hello.has_value()) {
@@ -70,27 +71,55 @@ void PassiveMonitor::observe(const tls::population::ConnectionEvent& event) {
     alert_record = tls::handshake::alert_for(event.result.failure)
                        .serialize_record(0x0301);
   }
+  bool client_only = false;
+  if (injector_ != nullptr) {
+    using tls::faults::FaultKind;
+    const FaultKind kind =
+        injector_->corrupt_capture(client_record, server_record);
+    // SKE and alert records travel in the server direction: when that
+    // direction is lost, they are lost with it.
+    if (server_record.empty() &&
+        (kind == FaultKind::kDropFlight || kind == FaultKind::kOneSided)) {
+      ske_record.clear();
+      alert_record.clear();
+      client_only = kind == FaultKind::kOneSided && !client_record.empty();
+    }
+  }
   observe_wire(event.month, event.day, client_record, server_record,
                ske_record, event.result.success, event.used_fallback,
                alert_record);
+  if (client_only) ++stats(event.month).one_sided_client;
 }
 
 void PassiveMonitor::observe_flights(
     Month m, const tls::core::Date& day,
     std::span<const std::uint8_t> client_stream,
     std::span<const std::uint8_t> server_stream) {
-  tls::wire::ParsedFlight cf, sf;
-  try {
-    cf = tls::wire::parse_flight(client_stream);
-    sf = tls::wire::parse_flight(server_stream);
-  } catch (const tls::wire::ParseError&) {
-    ++malformed_;
-    return;
+  const tls::wire::ParsedFlight cf =
+      tls::wire::parse_flight_lenient(client_stream);
+  const tls::wire::ParsedFlight sf =
+      tls::wire::parse_flight_lenient(server_stream);
+  if (cf.stream_error.has_value()) {
+    note_error(m, IngestStage::kClientFlight, *cf.stream_error,
+               client_stream);
   }
+  if (sf.stream_error.has_value()) {
+    note_error(m, IngestStage::kServerFlight, *sf.stream_error,
+               server_stream);
+  }
+
   if (!cf.client_hello.has_value()) {
-    ++malformed_;
+    if (sf.server_hello.has_value()) {
+      // One-sided capture, server direction only: harvest what the
+      // ServerHello alone supports instead of discarding the flow.
+      observe_server_only(m, sf);
+      return;
+    }
+    // No usable hello in either direction: the capture is quarantined.
+    quarantine_capture(m);
     return;
   }
+
   // §5.5: a session counts as established only when both directions carry
   // a ChangeCipherSpec.
   const bool established = cf.change_cipher_spec && sf.change_cipher_spec;
@@ -106,9 +135,11 @@ void PassiveMonitor::observe_flights(
   if (sf.alert.has_value()) {
     alert_record = sf.alert->serialize_record(0x0301);
   }
+  const bool server_side_seen = !sf.records.empty();
   observe_wire(m, day, cf.client_hello->serialize_record(), server_record,
                ske_record, established, /*used_fallback=*/false,
                alert_record);
+  if (!server_side_seen) ++stats(m).one_sided_client;
 }
 
 void PassiveMonitor::observe_sslv2(Month m) {
@@ -129,8 +160,9 @@ void PassiveMonitor::observe_wire(
   ClientHello hello;
   try {
     hello = ClientHello::parse_record(client_record);
-  } catch (const tls::wire::ParseError&) {
-    ++malformed_;
+  } catch (const tls::wire::ParseError& e) {
+    note_error(m, IngestStage::kClientHello, e.code(), client_record);
+    quarantine_capture(m);
     return;
   }
 
@@ -165,7 +197,14 @@ void PassiveMonitor::observe_wire(
   s.adv_ccm += hello.offers(
       [](const CipherSuiteInfo& i) { return aead_kind(i) == AeadKind::kAesCcm; });
 
-  if (const auto hb = hello.heartbeat_mode()) ++s.heartbeat_offered;
+  // Typed extension accessors parse opaque bodies lazily, so corrupted
+  // captures can surface ParseErrors here long after the structural parse
+  // succeeded; each harvest is guarded to keep observe_wire never-throw.
+  try {
+    if (const auto hb = hello.heartbeat_mode()) ++s.heartbeat_offered;
+  } catch (const tls::wire::ParseError& e) {
+    note_error(m, IngestStage::kClientHello, e.code(), client_record);
+  }
   s.reneg_info_offered +=
       hello.has_extension(ExtensionType::kRenegotiationInfo) ||
       std::find(hello.cipher_suites.begin(), hello.cipher_suites.end(),
@@ -177,16 +216,20 @@ void PassiveMonitor::observe_wire(
   s.session_ticket_offered +=
       hello.has_extension(ExtensionType::kSessionTicket);
 
-  if (const auto versions = hello.supported_versions()) {
-    bool any13 = false;
-    for (const auto v : *versions) {
-      if (is_grease_version(v)) continue;
-      if (v == 0x0304 || (v & 0xff00) == 0x7f00 || (v & 0xff00) == 0x7e00) {
-        any13 = true;
-        ++s.adv_tls13_versions[v];
+  try {
+    if (const auto versions = hello.supported_versions()) {
+      bool any13 = false;
+      for (const auto v : *versions) {
+        if (is_grease_version(v)) continue;
+        if (v == 0x0304 || (v & 0xff00) == 0x7f00 || (v & 0xff00) == 0x7e00) {
+          any13 = true;
+          ++s.adv_tls13_versions[v];
+        }
       }
+      s.adv_tls13 += any13;
     }
-    s.adv_tls13 += any13;
+  } catch (const tls::wire::ParseError& e) {
+    note_error(m, IngestStage::kClientHello, e.code(), client_record);
   }
 
   // ---- Fig. 5 relative positions ----
@@ -198,21 +241,27 @@ void PassiveMonitor::observe_wire(
 
   // ---- fingerprint stream (fields available from fp_start(), §4.0.1) ----
   if (m >= fp_start()) {
-    const auto fp = tls::fp::extract_fingerprint(hello);
-    const std::string hash = fp.hash();
-    durations_.record(hash, day);
-    ++fingerprintable_;
-    std::uint8_t flags = 0;
-    if (rc4) flags |= kFpRc4;
-    if (des) flags |= kFpDes;
-    if (tdes) flags |= kFp3Des;
-    if (aead) flags |= kFpAead;
-    if (cbc) flags |= kFpCbc;
-    s.fingerprints[hash] |= flags;
-    if (database_ != nullptr) {
-      if (const auto* label = database_->lookup(hash)) {
-        ++labeled_by_class_[label->cls];
+    try {
+      const auto fp = tls::fp::extract_fingerprint(hello);
+      const std::string hash = fp.hash();
+      durations_.record(hash, day);
+      ++fingerprintable_;
+      std::uint8_t flags = 0;
+      if (rc4) flags |= kFpRc4;
+      if (des) flags |= kFpDes;
+      if (tdes) flags |= kFp3Des;
+      if (aead) flags |= kFpAead;
+      if (cbc) flags |= kFpCbc;
+      s.fingerprints[hash] |= flags;
+      if (database_ != nullptr) {
+        if (const auto* label = database_->lookup(hash)) {
+          ++labeled_by_class_[label->cls];
+        }
       }
+    } catch (const tls::wire::ParseError& e) {
+      // Corrupt extension bodies make the hello unfingerprintable, nothing
+      // more; the connection itself stays in the partition.
+      note_error(m, IngestStage::kClientHello, e.code(), client_record);
     }
   }
 
@@ -221,8 +270,8 @@ void PassiveMonitor::observe_wire(
     try {
       const auto alert = tls::wire::Alert::parse_record(alert_record);
       ++s.alerts[static_cast<std::uint8_t>(alert.description)];
-    } catch (const tls::wire::ParseError&) {
-      ++malformed_;
+    } catch (const tls::wire::ParseError& e) {
+      note_error(m, IngestStage::kAlert, e.code(), alert_record);
     }
   }
 
@@ -234,8 +283,8 @@ void PassiveMonitor::observe_wire(
   ServerHello sh;
   try {
     sh = ServerHello::parse_record(server_record);
-  } catch (const tls::wire::ParseError&) {
-    ++malformed_;
+  } catch (const tls::wire::ParseError& e) {
+    note_error(m, IngestStage::kServerHello, e.code(), server_record);
     ++s.failures;
     return;
   }
@@ -252,50 +301,148 @@ void PassiveMonitor::observe_wire(
   }
   ++s.successful;
 
-  const std::uint16_t version = sh.negotiated_version();
-  if (!hello.session_id.empty() && sh.session_id == hello.session_id &&
-      !(version == 0x0304 || (version & 0xff00) == 0x7f00 ||
-        (version & 0xff00) == 0x7e00)) {
-    ++s.resumed;
-  }
-  ++s.negotiated_version[version];
-  if (version == 0x0304 || (version & 0xff00) == 0x7f00 ||
-      (version & 0xff00) == 0x7e00) {
-    ++s.negotiated_tls13;
-  }
-
-  const auto* suite = find_cipher_suite(sh.cipher_suite);
-  if (suite != nullptr) {
-    if (is_rc4(*suite) && aead) ++s.rc4_despite_aead;
-    ++s.negotiated_class[cipher_class(*suite)];
-    ++s.negotiated_kex[kex_class(*suite)];
-    if (is_aead(*suite)) ++s.negotiated_aead[aead_kind(*suite)];
-    if (is_3des(*suite)) ++s.negotiated_3des;
-    if (is_export(*suite)) ++s.negotiated_export;
-    if (is_anonymous(*suite)) ++s.negotiated_anon;
-    if (is_null_cipher(*suite)) ++s.negotiated_null;
-    if (is_null_with_null_null(*suite)) ++s.negotiated_null_with_null_null;
-  }
-
-  if (const auto group = sh.key_share_group()) {
-    ++s.negotiated_group[*group];
-  } else if (!server_key_exchange_record.empty()) {
-    try {
-      const auto ske = tls::wire::EcdheServerKeyExchange::parse_record(
-          server_key_exchange_record);
-      ++s.negotiated_group[ske.named_curve];
-    } catch (const tls::wire::ParseError&) {
-      ++malformed_;
+  try {
+    const std::uint16_t version = sh.negotiated_version();
+    if (!hello.session_id.empty() && sh.session_id == hello.session_id &&
+        !(version == 0x0304 || (version & 0xff00) == 0x7f00 ||
+          (version & 0xff00) == 0x7e00)) {
+      ++s.resumed;
     }
-  }
+    ++s.negotiated_version[version];
+    if (version == 0x0304 || (version & 0xff00) == 0x7f00 ||
+        (version & 0xff00) == 0x7e00) {
+      ++s.negotiated_tls13;
+    }
 
-  if (sh.heartbeat_mode().has_value() && hello.heartbeat_mode().has_value()) {
-    ++s.heartbeat_negotiated;
+    const auto* suite = find_cipher_suite(sh.cipher_suite);
+    if (suite != nullptr) {
+      if (is_rc4(*suite) && aead) ++s.rc4_despite_aead;
+      ++s.negotiated_class[cipher_class(*suite)];
+      ++s.negotiated_kex[kex_class(*suite)];
+      if (is_aead(*suite)) ++s.negotiated_aead[aead_kind(*suite)];
+      if (is_3des(*suite)) ++s.negotiated_3des;
+      if (is_export(*suite)) ++s.negotiated_export;
+      if (is_anonymous(*suite)) ++s.negotiated_anon;
+      if (is_null_cipher(*suite)) ++s.negotiated_null;
+      if (is_null_with_null_null(*suite)) ++s.negotiated_null_with_null_null;
+    }
+
+    if (const auto group = sh.key_share_group()) {
+      ++s.negotiated_group[*group];
+    } else if (!server_key_exchange_record.empty()) {
+      try {
+        const auto ske = tls::wire::EcdheServerKeyExchange::parse_record(
+            server_key_exchange_record);
+        ++s.negotiated_group[ske.named_curve];
+      } catch (const tls::wire::ParseError& e) {
+        note_error(m, IngestStage::kServerKeyExchange, e.code(),
+                   server_key_exchange_record);
+      }
+    }
+
+    if (sh.heartbeat_mode().has_value() &&
+        hello.heartbeat_mode().has_value()) {
+      ++s.heartbeat_negotiated;
+    }
+    s.reneg_info_negotiated +=
+        sh.has_extension(ExtensionType::kRenegotiationInfo);
+    s.etm_negotiated += sh.has_extension(ExtensionType::kEncryptThenMac);
+    s.ems_negotiated += sh.has_extension(ExtensionType::kExtendedMasterSecret);
+  } catch (const tls::wire::ParseError& e) {
+    // A lazy ServerHello accessor hit a corrupt extension body: the
+    // connection stays successful, the remaining server-side stats for it
+    // are unharvestable.
+    note_error(m, IngestStage::kServerHello, e.code(), server_record);
   }
-  s.reneg_info_negotiated +=
-      sh.has_extension(ExtensionType::kRenegotiationInfo);
-  s.etm_negotiated += sh.has_extension(ExtensionType::kEncryptThenMac);
-  s.ems_negotiated += sh.has_extension(ExtensionType::kExtendedMasterSecret);
+}
+
+void PassiveMonitor::note_error(Month m, IngestStage stage,
+                                tls::wire::ParseErrorCode code,
+                                std::span<const std::uint8_t> bytes) {
+  taxonomy_.record(stage, code);
+  ++stats(m).parse_errors[code];
+  quarantine_.push(stage, code, m, bytes);
+}
+
+void PassiveMonitor::quarantine_capture(Month m) {
+  MonthlyStats& s = stats(m);
+  ++s.total;
+  ++s.quarantined;
+}
+
+void PassiveMonitor::observe_server_only(Month m,
+                                         const tls::wire::ParsedFlight& sf) {
+  using namespace tls::core;
+  const ServerHello& sh = *sf.server_hello;
+  MonthlyStats& s = stats(m);
+  ++s.total;
+  ++s.one_sided_server;
+  ++total_;
+
+  // Without the client direction, the §5.5 two-sided criterion is out of
+  // reach; the server's own ChangeCipherSpec is the best available proxy.
+  if (!sf.change_cipher_spec) {
+    ++s.failures;
+    if (sf.alert.has_value()) {
+      ++s.alerts[static_cast<std::uint8_t>(sf.alert->description)];
+    }
+    return;
+  }
+  ++s.successful;
+
+  try {
+    const std::uint16_t version = sh.negotiated_version();
+    ++s.negotiated_version[version];
+    if (version == 0x0304 || (version & 0xff00) == 0x7f00 ||
+        (version & 0xff00) == 0x7e00) {
+      ++s.negotiated_tls13;
+    }
+    const auto* suite = find_cipher_suite(sh.cipher_suite);
+    if (suite != nullptr) {
+      ++s.negotiated_class[cipher_class(*suite)];
+      ++s.negotiated_kex[kex_class(*suite)];
+      if (is_aead(*suite)) ++s.negotiated_aead[aead_kind(*suite)];
+      if (is_3des(*suite)) ++s.negotiated_3des;
+      if (is_export(*suite)) ++s.negotiated_export;
+      if (is_anonymous(*suite)) ++s.negotiated_anon;
+      if (is_null_cipher(*suite)) ++s.negotiated_null;
+      if (is_null_with_null_null(*suite)) ++s.negotiated_null_with_null_null;
+    }
+    if (const auto group = sh.key_share_group()) {
+      ++s.negotiated_group[*group];
+    } else if (sf.server_key_exchange.has_value()) {
+      ++s.negotiated_group[sf.server_key_exchange->named_curve];
+    }
+    s.reneg_info_negotiated +=
+        sh.has_extension(ExtensionType::kRenegotiationInfo);
+    s.etm_negotiated += sh.has_extension(ExtensionType::kEncryptThenMac);
+    s.ems_negotiated +=
+        sh.has_extension(ExtensionType::kExtendedMasterSecret);
+  } catch (const tls::wire::ParseError& e) {
+    note_error(m, IngestStage::kServerHello, e.code(), {});
+  }
+  // Client-dependent stats (advertised classes, fingerprints, resumption,
+  // heartbeat negotiation, spec checks) are unknowable from one side.
+}
+
+std::vector<tls::analysis::LossRow> loss_rows(const PassiveMonitor& monitor) {
+  std::vector<tls::analysis::LossRow> rows;
+  rows.reserve(monitor.months().size());
+  for (const auto& [m, s] : monitor.months()) {
+    tls::analysis::LossRow row;
+    row.month = m.to_string();
+    row.total = s.total;
+    row.successful = s.successful;
+    row.failures = s.failures;
+    row.quarantined = s.quarantined;
+    row.one_sided = s.one_sided_client + s.one_sided_server;
+    for (const auto& [code, n] : s.parse_errors) {
+      const auto i = static_cast<std::size_t>(code);
+      if (i < row.by_code.size()) row.by_code[i] += n;
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
 }
 
 }  // namespace tls::notary

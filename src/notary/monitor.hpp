@@ -12,11 +12,21 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "analysis/render.hpp"
 #include "fingerprint/database.hpp"
 #include "fingerprint/duration.hpp"
+#include "notary/quarantine.hpp"
 #include "population/traffic.hpp"
 #include "tlscore/cipher_suites.hpp"
 #include "tlscore/dates.hpp"
+#include "wire/errors.hpp"
+
+namespace tls::faults {
+class FaultInjector;
+}
+namespace tls::wire {
+struct ParsedFlight;
+}
 
 namespace tls::notary {
 
@@ -34,9 +44,21 @@ struct PositionAccumulator {
 };
 
 struct MonthlyStats {
+  /// Every capture handed to the monitor this month lands in exactly one of
+  /// successful / failures / quarantined; total is their sum.
   std::uint64_t total = 0;
   std::uint64_t successful = 0;
   std::uint64_t failures = 0;
+  /// Captures whose ClientHello (or whole capture) was unusable; the bytes
+  /// go to the quarantine ring, the code to parse_errors.
+  std::uint64_t quarantined = 0;
+  /// Captures where only one direction was seen (§3.1's one-sided flows):
+  /// still harvested for whatever stats that direction supports.
+  std::uint64_t one_sided_client = 0;
+  std::uint64_t one_sided_server = 0;
+  /// Record-level parse failures observed this month, by code (includes
+  /// non-fatal ones on otherwise-accepted connections).
+  std::map<tls::wire::ParseErrorCode, std::uint64_t> parse_errors;
   std::uint64_t fallbacks = 0;
   std::uint64_t spec_violations = 0;
   std::uint64_t sslv2_connections = 0;
@@ -104,10 +126,16 @@ struct MonthlyStats {
   /// (Fig. 4). Bit 0: RC4, 1: DES, 2: 3DES, 3: AEAD, 4: CBC.
   std::unordered_map<std::string, std::uint8_t> fingerprints;
 
+  /// Connections whose ClientHello parsed — the denominator for every
+  /// client-advertised percentage. Quarantined captures carry no features,
+  /// so excluding them keeps aggregates unbiased under unbiased loss (and
+  /// equal to total when nothing was quarantined).
+  [[nodiscard]] std::uint64_t accepted() const { return successful + failures; }
+
   [[nodiscard]] double pct(std::uint64_t x) const {
-    return total == 0 ? 0.0
-                      : 100.0 * static_cast<double>(x) /
-                            static_cast<double>(total);
+    return accepted() == 0 ? 0.0
+                           : 100.0 * static_cast<double>(x) /
+                                 static_cast<double>(accepted());
   }
 };
 
@@ -125,11 +153,15 @@ class PassiveMonitor {
       : database_(database) {}
 
   /// Convenience wrapper: serializes the event's hellos to records, then
-  /// feeds observe_wire — keeping the byte-level path honest.
+  /// feeds observe_wire — keeping the byte-level path honest. When a fault
+  /// injector is attached, the serialized records pass through it first
+  /// (the chaos tap sits between the wire and the monitor).
   void observe(const tls::population::ConnectionEvent& event);
 
   /// The raw-tap entry point. `server_key_exchange_record` may be empty
-  /// (RSA key transport, TLS 1.3, or failed handshakes).
+  /// (RSA key transport, TLS 1.3, or failed handshakes). Never throws on
+  /// hostile input: unparseable ClientHellos quarantine the capture, and
+  /// record-level failures elsewhere are counted per stage and code.
   void observe_wire(tls::core::Month month, const tls::core::Date& day,
                     std::span<const std::uint8_t> client_hello_record,
                     std::span<const std::uint8_t> server_hello_record,
@@ -140,9 +172,19 @@ class PassiveMonitor {
   /// Full-transcript entry point: parses both directions' record streams
   /// (hellos, ServerKeyExchange, alerts, ChangeCipherSpec) and applies the
   /// §5.5 establishment criterion — both sides sent ChangeCipherSpec.
+  /// Never throws on hostile input: corrupt streams are salvaged up to the
+  /// first bad record, one-sided captures are partially harvested, and
+  /// captures with no usable hello are quarantined.
   void observe_flights(tls::core::Month month, const tls::core::Date& day,
                        std::span<const std::uint8_t> client_stream,
                        std::span<const std::uint8_t> server_stream);
+
+  /// Attaches a chaos tap: observe() runs every serialized record through
+  /// `injector` before ingesting it. nullptr (default) detaches; the
+  /// fault-free path is untouched either way.
+  void set_fault_injector(tls::faults::FaultInjector* injector) {
+    injector_ = injector;
+  }
 
   /// Records an SSLv2 CLIENT-HELLO connection (§5.1 residue).
   void observe_sslv2(tls::core::Month month);
@@ -178,18 +220,48 @@ class PassiveMonitor {
     for (const auto& [cls, c] : labeled_by_class_) n += c;
     return n;
   }
-  [[nodiscard]] std::uint64_t malformed_hellos() const { return malformed_; }
+  /// Total record parse failures across all stages (legacy name; equals
+  /// errors().total()).
+  [[nodiscard]] std::uint64_t malformed_hellos() const {
+    return taxonomy_.total();
+  }
+
+  // ---- error observability ----
+  [[nodiscard]] const ErrorTaxonomy& errors() const { return taxonomy_; }
+  [[nodiscard]] const QuarantineRing& quarantine() const {
+    return quarantine_;
+  }
 
  private:
   MonthlyStats& stats(tls::core::Month m) { return months_[m]; }
+
+  /// Records one parse failure: taxonomy counters, the month's per-code
+  /// map, and the offending bytes into the quarantine ring.
+  void note_error(tls::core::Month m, IngestStage stage,
+                  tls::wire::ParseErrorCode code,
+                  std::span<const std::uint8_t> bytes);
+  /// Counts a capture rejected outright into the month's partition
+  /// (total = successful + failures + quarantined stays exact).
+  void quarantine_capture(tls::core::Month m);
+  /// Partial harvest of a server-direction-only capture.
+  void observe_server_only(tls::core::Month m,
+                           const tls::wire::ParsedFlight& flight);
 
   const tls::fp::FingerprintDatabase* database_;
   std::map<tls::core::Month, MonthlyStats> months_;
   tls::fp::DurationTracker durations_;
   std::uint64_t total_ = 0;
   std::uint64_t fingerprintable_ = 0;
-  std::uint64_t malformed_ = 0;
   std::map<tls::fp::SoftwareClass, std::uint64_t> labeled_by_class_;
+  ErrorTaxonomy taxonomy_;
+  QuarantineRing quarantine_;
+  tls::faults::FaultInjector* injector_ = nullptr;
 };
+
+/// Flattens the monitor's per-month partition + parse-error counters into
+/// rows for tls::analysis::render_loss_table (one row per observed month,
+/// chronological).
+[[nodiscard]] std::vector<tls::analysis::LossRow> loss_rows(
+    const PassiveMonitor& monitor);
 
 }  // namespace tls::notary

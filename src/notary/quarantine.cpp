@@ -1,0 +1,36 @@
+#include "notary/quarantine.hpp"
+
+namespace tls::notary {
+
+std::string_view ingest_stage_name(IngestStage stage) {
+  switch (stage) {
+    case IngestStage::kClientFlight: return "client_flight";
+    case IngestStage::kServerFlight: return "server_flight";
+    case IngestStage::kClientHello: return "client_hello";
+    case IngestStage::kServerHello: return "server_hello";
+    case IngestStage::kServerKeyExchange: return "server_key_exchange";
+    case IngestStage::kAlert: return "alert";
+  }
+  return "?";
+}
+
+void QuarantineRing::push(IngestStage stage, tls::wire::ParseErrorCode code,
+                          tls::core::Month month,
+                          std::span<const std::uint8_t> bytes) {
+  ++total_pushed_;
+  if (capacity_ == 0) return;
+  QuarantinedRecord rec;
+  rec.stage = stage;
+  rec.code = code;
+  rec.month = month;
+  const std::size_t n = std::min(bytes.size(), prefix_limit_);
+  rec.prefix.assign(bytes.begin(), bytes.begin() + static_cast<std::ptrdiff_t>(n));
+  if (entries_.size() < capacity_) {
+    entries_.push_back(std::move(rec));
+  } else {
+    entries_[head_] = std::move(rec);
+    head_ = (head_ + 1) % entries_.size();
+  }
+}
+
+}  // namespace tls::notary

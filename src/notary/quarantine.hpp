@@ -1,0 +1,106 @@
+// Error observability for the passive monitor: a per-stage × per-code
+// taxonomy of parse failures (replacing the old single "malformed" scalar)
+// and a bounded quarantine ring keeping the first bytes of the most recent
+// offending records for post-mortem inspection — the loss-accounting side
+// of a credible longitudinal measurement.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "tlscore/dates.hpp"
+#include "wire/errors.hpp"
+
+namespace tls::notary {
+
+/// Where in the ingestion pipeline a record failed to parse.
+enum class IngestStage : std::uint8_t {
+  kClientFlight,       // client-direction record stream (record layer)
+  kServerFlight,       // server-direction record stream (record layer)
+  kClientHello,
+  kServerHello,
+  kServerKeyExchange,
+  kAlert,
+};
+
+inline constexpr std::size_t kIngestStageCount = 6;
+
+std::string_view ingest_stage_name(IngestStage stage);
+
+/// Per-stage × per-ParseErrorCode failure counters.
+class ErrorTaxonomy {
+ public:
+  void record(IngestStage stage, tls::wire::ParseErrorCode code) {
+    ++counts_[index(stage)][static_cast<std::size_t>(code)];
+    ++total_;
+  }
+
+  [[nodiscard]] std::uint64_t count(IngestStage stage,
+                                    tls::wire::ParseErrorCode code) const {
+    return counts_[index(stage)][static_cast<std::size_t>(code)];
+  }
+  [[nodiscard]] std::uint64_t stage_total(IngestStage stage) const {
+    std::uint64_t n = 0;
+    for (const auto c : counts_[index(stage)]) n += c;
+    return n;
+  }
+  [[nodiscard]] std::uint64_t code_total(tls::wire::ParseErrorCode code) const {
+    std::uint64_t n = 0;
+    for (const auto& row : counts_) n += row[static_cast<std::size_t>(code)];
+    return n;
+  }
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+
+ private:
+  static std::size_t index(IngestStage s) {
+    return static_cast<std::size_t>(s);
+  }
+
+  std::array<std::array<std::uint64_t, tls::wire::kParseErrorCodeCount>,
+             kIngestStageCount>
+      counts_{};
+  std::uint64_t total_ = 0;
+};
+
+/// One quarantined record: where it failed, why, when, and its head bytes.
+struct QuarantinedRecord {
+  IngestStage stage = IngestStage::kClientHello;
+  tls::wire::ParseErrorCode code = tls::wire::ParseErrorCode::kTruncated;
+  tls::core::Month month{2012, 1};
+  std::vector<std::uint8_t> prefix;  // first bytes of the offending input
+};
+
+/// Fixed-capacity ring of the most recent quarantined records. Memory is
+/// bounded regardless of how hostile the tap gets: capacity entries of at
+/// most prefix_limit bytes each.
+class QuarantineRing {
+ public:
+  explicit QuarantineRing(std::size_t capacity = 64,
+                          std::size_t prefix_limit = 48)
+      : capacity_(capacity), prefix_limit_(prefix_limit) {}
+
+  void push(IngestStage stage, tls::wire::ParseErrorCode code,
+            tls::core::Month month, std::span<const std::uint8_t> bytes);
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  /// Total records ever quarantined (>= size() once the ring wraps).
+  [[nodiscard]] std::uint64_t total_pushed() const { return total_pushed_; }
+
+  /// Entries oldest-first; index 0 is the oldest still retained.
+  [[nodiscard]] const QuarantinedRecord& operator[](std::size_t i) const {
+    return entries_[(head_ + i) % entries_.size()];
+  }
+
+ private:
+  std::size_t capacity_;
+  std::size_t prefix_limit_;
+  std::vector<QuarantinedRecord> entries_;
+  std::size_t head_ = 0;  // oldest entry once full
+  std::uint64_t total_pushed_ = 0;
+};
+
+}  // namespace tls::notary

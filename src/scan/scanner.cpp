@@ -82,12 +82,36 @@ ScanSnapshot ActiveScanner::scan_weighted(Month m, bool by_traffic) const {
   const ClientHello expo = export_only_hello();
   const ClientHello tls13 = tls13_draft_hello();
 
-  double total = 0;
+  const bool ideal_network = policy_.network.ideal();
+  double total = 0;        // reached weight: denominator for the fractions
+  double population = 0;   // full target weight: denominator for coverage
+  std::size_t segment_index = 0;
   for (const auto& seg : population_.segments()) {
+    const std::size_t seg_i = segment_index++;
     if (by_traffic && seg.special_destination) continue;  // not web-facing
     const double w =
         by_traffic ? seg.traffic_share.at(m) : seg.host_share.at(m);
     if (w <= 0) continue;
+    population += w;
+    if (!ideal_network) {
+      // Deterministic per (seed, month, segment): reordering segments or
+      // months cannot change any host's fate.
+      tls::core::Rng fault_rng(policy_.seed ^
+                               (static_cast<std::uint64_t>(m.index()) << 20) ^
+                               seg_i);
+      const auto trace = tls::faults::run_probe(policy_.network,
+                                                policy_.retry, fault_rng);
+      snap.probe_attempts += trace.attempts.size();
+      snap.probe_retries += trace.retries();
+      if (trace.abandoned) ++snap.probes_abandoned;
+      if (!trace.reached) {
+        snap.unreachable += w;
+        continue;
+      }
+    } else {
+      ++snap.probe_attempts;
+    }
+    snap.scanned += w;
     total += w;
     tls::core::Rng rng(0xacce55);
 
@@ -148,6 +172,13 @@ ScanSnapshot ActiveScanner::scan_weighted(Month m, bool by_traffic) const {
           &snap.heartbleed_vulnerable, &snap.tls13_support}) {
       *f /= total;
     }
+  }
+  // Coverage fractions over the full target population: together with the
+  // results above, every figure can report how much of the population it
+  // actually saw. scanned + unreachable == 1 by construction.
+  if (population > 0) {
+    snap.scanned /= population;
+    snap.unreachable /= population;
   }
   return snap;
 }

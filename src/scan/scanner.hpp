@@ -10,6 +10,7 @@
 
 #include <vector>
 
+#include "faults/network.hpp"
 #include "servers/population.hpp"
 #include "tlscore/dates.hpp"
 #include "tlscore/rng.hpp"
@@ -23,10 +24,23 @@ tls::wire::ClientHello ssl3_only_hello();
 tls::wire::ClientHello export_only_hello();
 tls::wire::ClientHello tls13_draft_hello();
 
+/// How a sweep probes: the network it expects and the retry/backoff budget
+/// it spends per host. The default is an ideal network — zero faults, no
+/// retries consumed — keeping the fault-free sweep bit-identical.
+struct ScanPolicy {
+  tls::faults::NetworkProfile network{};
+  tls::faults::RetryPolicy retry{};
+  /// Seed for the fault/retry stream; sweeps are deterministic per
+  /// (seed, month, segment), independent of evaluation order.
+  std::uint64_t seed = 0x5ca4;
+};
+
 struct ScanSnapshot {
   tls::core::Month month{2015, 8};
 
-  // Fractions of hosts (0..1), host_share-weighted.
+  // Fractions of hosts (0..1), host_share-weighted. Support/selection
+  // fractions are normalized over *reached* hosts, so unbiased loss leaves
+  // them asymptotically unchanged.
   double ssl3_support = 0;      // completes the SSL3-only handshake
   double export_support = 0;    // completes the EXPORT-only handshake
   double chooses_rc4 = 0;       // given the 2015-Chrome hello
@@ -38,12 +52,24 @@ struct ScanSnapshot {
   double heartbeat_support = 0;
   double heartbleed_vulnerable = 0;
   double tls13_support = 0;
+
+  // ---- loss accounting (coverage reported alongside results) ----
+  /// Host-share fractions over the whole target population;
+  /// scanned + unreachable == 1 whenever any weight exists.
+  double scanned = 0;
+  double unreachable = 0;
+  /// Probe bookkeeping: total attempts (incl. retries), retries alone, and
+  /// probes abandoned on the retry/time budget.
+  std::uint64_t probe_attempts = 0;
+  std::uint64_t probe_retries = 0;
+  std::uint64_t probes_abandoned = 0;
 };
 
 class ActiveScanner {
  public:
-  explicit ActiveScanner(const tls::servers::ServerPopulation& population)
-      : population_(population) {}
+  explicit ActiveScanner(const tls::servers::ServerPopulation& population,
+                         ScanPolicy policy = {})
+      : population_(population), policy_(policy) {}
 
   /// One full IPv4-style sweep for month m (host_share-weighted).
   [[nodiscard]] ScanSnapshot scan(tls::core::Month m) const;
@@ -72,11 +98,14 @@ class ActiveScanner {
   [[nodiscard]] std::vector<ScanSnapshot> scan_range(
       tls::core::MonthRange range) const;
 
+  [[nodiscard]] const ScanPolicy& policy() const { return policy_; }
+
  private:
   [[nodiscard]] ScanSnapshot scan_weighted(tls::core::Month m,
                                            bool by_traffic) const;
 
   const tls::servers::ServerPopulation& population_;
+  ScanPolicy policy_;
 };
 
 }  // namespace tls::scan

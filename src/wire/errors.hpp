@@ -5,6 +5,7 @@
 
 #include <stdexcept>
 #include <string>
+#include <string_view>
 
 namespace tls::wire {
 
@@ -15,6 +16,9 @@ enum class ParseErrorCode {
   kBadValue,         // illegal enum / reserved value
   kUnsupported,      // recognized but unimplemented construct
 };
+
+/// Number of ParseErrorCode values (for per-code counter arrays).
+inline constexpr std::size_t kParseErrorCodeCount = 5;
 
 std::string_view parse_error_code_name(ParseErrorCode c);
 

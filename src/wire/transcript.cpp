@@ -60,12 +60,22 @@ std::vector<std::uint8_t> change_cipher_spec_record(
   return rec.serialize();
 }
 
-ParsedFlight parse_flight(std::span<const std::uint8_t> stream) {
+namespace {
+
+ParsedFlight parse_flight_impl(std::span<const std::uint8_t> stream,
+                               bool lenient) {
   ParsedFlight flight;
   std::size_t offset = 0;
   while (offset < stream.size()) {
     std::size_t consumed = 0;
-    Record rec = Record::parse_prefix(stream.subspan(offset), &consumed);
+    Record rec;
+    try {
+      rec = Record::parse_prefix(stream.subspan(offset), &consumed);
+    } catch (const ParseError& e) {
+      if (!lenient) throw;
+      flight.stream_error = e.code();
+      return flight;
+    }
     offset += consumed;
     switch (rec.type) {
       case ContentType::kChangeCipherSpec:
@@ -112,6 +122,16 @@ ParsedFlight parse_flight(std::span<const std::uint8_t> stream) {
     flight.records.push_back(std::move(rec));
   }
   return flight;
+}
+
+}  // namespace
+
+ParsedFlight parse_flight(std::span<const std::uint8_t> stream) {
+  return parse_flight_impl(stream, /*lenient=*/false);
+}
+
+ParsedFlight parse_flight_lenient(std::span<const std::uint8_t> stream) {
+  return parse_flight_impl(stream, /*lenient=*/true);
 }
 
 std::vector<std::uint8_t> client_flight(const ClientHello& hello,

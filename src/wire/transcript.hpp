@@ -33,12 +33,20 @@ struct ParsedFlight {
   std::size_t certificate_count = 0;
   /// Records whose handshake bodies failed to parse (still counted).
   std::size_t unparsed_handshakes = 0;
+  /// Record-layer corruption hit by the lenient parser (parse_flight throws
+  /// instead); everything before the corrupt record was still decoded.
+  std::optional<ParseErrorCode> stream_error;
 };
 
 /// Splits a byte stream into records and decodes what it recognizes.
 /// Throws ParseError only on record-layer corruption; unknown or
 /// undecodable handshake bodies are tolerated and counted.
 ParsedFlight parse_flight(std::span<const std::uint8_t> stream);
+
+/// Graceful-degradation variant for hostile taps: never throws. Stops at
+/// the first record-layer corruption, salvages the parsed prefix, and
+/// reports the error in ParsedFlight::stream_error.
+ParsedFlight parse_flight_lenient(std::span<const std::uint8_t> stream);
 
 /// Client-side flight for a successful pre-1.3 handshake:
 /// ClientHello, ClientKeyExchange, ChangeCipherSpec, Finished.

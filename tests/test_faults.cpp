@@ -1,0 +1,295 @@
+// The chaos tap itself: the FaultInjector's determinism contract (a
+// (config, seed) pair always produces the same corrupted bytes), the
+// byte-level mutation primitives, and the scan-side probe engine's
+// deterministic retry/backoff schedule.
+#include <gtest/gtest.h>
+
+#include "faults/injector.hpp"
+#include "faults/network.hpp"
+#include "wire/record.hpp"
+#include "wire/transcript.hpp"
+
+namespace tls::faults {
+namespace {
+
+using Bytes = std::vector<std::uint8_t>;
+
+Bytes sample_stream(int records = 3, std::size_t frag = 20) {
+  Bytes out;
+  for (int r = 0; r < records; ++r) {
+    tls::wire::Record rec;
+    rec.type = tls::wire::ContentType::kHandshake;
+    rec.fragment.assign(frag, static_cast<std::uint8_t>(0x40 + r));
+    const auto bytes = rec.serialize();
+    out.insert(out.end(), bytes.begin(), bytes.end());
+  }
+  return out;
+}
+
+TEST(FaultConfig, TotalsAndSplits) {
+  EXPECT_EQ(FaultConfig{}.total(), 0.0);
+  EXPECT_NEAR(FaultConfig::uniform(0.4).total(), 0.4, 1e-12);
+  const auto bytes = FaultConfig::bytes_only(0.3);
+  EXPECT_NEAR(bytes.total(), 0.3, 1e-12);
+  EXPECT_EQ(bytes.drop_flight, 0.0);
+  EXPECT_EQ(bytes.one_sided, 0.0);
+}
+
+TEST(FaultInjector, ZeroRateIsIdentity) {
+  FaultInjector inj(FaultConfig{}, 1);
+  for (int i = 0; i < 200; ++i) {
+    Bytes stream = sample_stream();
+    const Bytes before = stream;
+    EXPECT_EQ(inj.corrupt_stream(stream), FaultKind::kNone);
+    EXPECT_EQ(stream, before);
+  }
+  EXPECT_EQ(inj.stats().total_faults(), 0u);
+  EXPECT_EQ(inj.stats().streams_seen, 200u);
+}
+
+TEST(FaultInjector, SameSeedSameCorruption) {
+  FaultInjector a(FaultConfig::uniform(0.8), 42);
+  FaultInjector b(FaultConfig::uniform(0.8), 42);
+  for (int i = 0; i < 500; ++i) {
+    Bytes ca = sample_stream(2 + i % 3);
+    Bytes sa = sample_stream(3);
+    Bytes cb = ca;
+    Bytes sb = sa;
+    EXPECT_EQ(a.corrupt_capture(ca, sa), b.corrupt_capture(cb, sb));
+    ASSERT_EQ(ca, cb);
+    ASSERT_EQ(sa, sb);
+  }
+  EXPECT_EQ(a.stats().applied, b.stats().applied);
+}
+
+TEST(FaultInjector, DifferentSeedsDiverge) {
+  FaultInjector a(FaultConfig::uniform(0.8), 1);
+  FaultInjector b(FaultConfig::uniform(0.8), 2);
+  int differing = 0;
+  for (int i = 0; i < 200; ++i) {
+    Bytes ca = sample_stream();
+    Bytes sa = sample_stream();
+    Bytes cb = ca;
+    Bytes sb = sa;
+    a.corrupt_capture(ca, sa);
+    b.corrupt_capture(cb, sb);
+    differing += (ca != cb || sa != sb);
+  }
+  EXPECT_GT(differing, 0);
+}
+
+TEST(FaultInjector, FullRateAppliesEveryKindEventually) {
+  FaultInjector inj(FaultConfig::uniform(1.0), 7);
+  for (int i = 0; i < 2000; ++i) {
+    Bytes c = sample_stream();
+    Bytes s = sample_stream();
+    EXPECT_NE(inj.corrupt_capture(c, s), FaultKind::kNone);
+  }
+  EXPECT_EQ(inj.stats().total_faults(), 2000u);
+  EXPECT_EQ(inj.stats().captures_seen, 2000u);
+  for (std::size_t k = 1; k < kFaultKindCount; ++k) {
+    EXPECT_GT(inj.stats().applied[k], 0u)
+        << fault_kind_name(static_cast<FaultKind>(k));
+  }
+}
+
+TEST(FaultInjector, DropFlightClearsBothOneSidedClearsOne) {
+  FaultConfig drop;
+  drop.drop_flight = 1.0;
+  FaultInjector d(drop, 3);
+  Bytes c = sample_stream();
+  Bytes s = sample_stream();
+  EXPECT_EQ(d.corrupt_capture(c, s), FaultKind::kDropFlight);
+  EXPECT_TRUE(c.empty());
+  EXPECT_TRUE(s.empty());
+
+  FaultConfig side;
+  side.one_sided = 1.0;
+  FaultInjector o(side, 3);
+  int client_lost = 0;
+  int server_lost = 0;
+  for (int i = 0; i < 100; ++i) {
+    c = sample_stream();
+    s = sample_stream();
+    EXPECT_EQ(o.corrupt_capture(c, s), FaultKind::kOneSided);
+    EXPECT_TRUE(c.empty() != s.empty());  // exactly one direction lost
+    client_lost += c.empty();
+    server_lost += s.empty();
+  }
+  EXPECT_GT(client_lost, 0);
+  EXPECT_GT(server_lost, 0);
+}
+
+TEST(MutationPrimitives, RecordOffsetsWalkHeaders) {
+  const Bytes stream = sample_stream(3, 20);
+  const auto offsets = record_offsets(stream);
+  ASSERT_EQ(offsets.size(), 3u);
+  EXPECT_EQ(offsets[0], 0u);
+  EXPECT_EQ(offsets[1], 25u);
+  EXPECT_EQ(offsets[2], 50u);
+
+  // A truncated final record is not reported as an offset.
+  Bytes cut = stream;
+  cut.resize(cut.size() - 1);
+  EXPECT_EQ(record_offsets(cut).size(), 2u);
+  EXPECT_TRUE(record_offsets({}).empty());
+}
+
+TEST(MutationPrimitives, SplitIsLegalFragmentation) {
+  tls::core::Rng rng(9);
+  Bytes stream = sample_stream(2, 30);
+  const auto payload_before = stream.size() - 2 * 5;
+  ASSERT_TRUE(split_record(stream, rng));
+  const auto offsets = record_offsets(stream);
+  EXPECT_EQ(offsets.size(), 3u);  // one record became two
+  EXPECT_EQ(stream.size(), payload_before + 3 * 5);
+  // Still a walkable, parseable record stream (fragmented handshake bodies
+  // are tolerated by the lenient flight parser).
+  EXPECT_FALSE(
+      tls::wire::parse_flight_lenient(stream).stream_error.has_value());
+}
+
+TEST(MutationPrimitives, CoalesceMergesAdjacentSameType) {
+  Bytes stream = sample_stream(2, 10);
+  ASSERT_TRUE(coalesce_records(stream));
+  const auto offsets = record_offsets(stream);
+  ASSERT_EQ(offsets.size(), 1u);
+  EXPECT_EQ(stream.size(), 5u + 20u);  // one header, both fragments
+  EXPECT_FALSE(
+      tls::wire::parse_flight_lenient(stream).stream_error.has_value());
+
+  // Nothing to merge: single record, or mismatched types.
+  Bytes single = sample_stream(1);
+  EXPECT_FALSE(coalesce_records(single));
+  Bytes mixed = sample_stream(1, 10);
+  {
+    tls::wire::Record alert;
+    alert.type = tls::wire::ContentType::kAlert;
+    alert.fragment = {2, 40};
+    const auto bytes = alert.serialize();
+    mixed.insert(mixed.end(), bytes.begin(), bytes.end());
+  }
+  EXPECT_FALSE(coalesce_records(mixed));
+}
+
+TEST(MutationPrimitives, TruncateAndGarbage) {
+  Bytes stream = sample_stream();
+  truncate_at(stream, 7);
+  EXPECT_EQ(stream.size(), 7u);
+  truncate_at(stream, 100);  // beyond the end: no-op
+  EXPECT_EQ(stream.size(), 7u);
+
+  tls::core::Rng rng(5);
+  const auto before = stream.size();
+  append_garbage(stream, rng, 16);
+  EXPECT_GT(stream.size(), before);
+  EXPECT_LE(stream.size(), before + 16);
+}
+
+TEST(MutationPrimitives, LengthCorruptionHitsAHeader) {
+  tls::core::Rng rng(11);
+  Bytes stream = sample_stream(1, 20);
+  const Bytes before = stream;
+  corrupt_record_length(stream, rng);
+  EXPECT_EQ(stream.size(), before.size());
+  // Only the two length bytes of the single header may differ.
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    if (i == 3 || i == 4) continue;
+    EXPECT_EQ(stream[i], before[i]) << "byte " << i;
+  }
+  EXPECT_TRUE(stream[3] != before[3] || stream[4] != before[4]);
+}
+
+// ---- scan-side probe engine ----
+
+TEST(Probe, IdealNetworkSucceedsFirstTry) {
+  tls::core::Rng rng(1);
+  const auto trace = run_probe(NetworkProfile{}, RetryPolicy{}, rng);
+  EXPECT_TRUE(trace.reached);
+  EXPECT_FALSE(trace.abandoned);
+  ASSERT_EQ(trace.attempts.size(), 1u);
+  EXPECT_EQ(trace.attempts[0], ProbeOutcome::kOk);
+  EXPECT_EQ(trace.retries(), 0u);
+  EXPECT_TRUE(trace.backoffs_ms.empty());
+}
+
+TEST(Probe, DeadHostExhaustsAttempts) {
+  NetworkProfile p;
+  p.unreachable = 1.0;
+  RetryPolicy policy;
+  policy.total_budget_ms = 0;  // no budget: attempts bound the probe
+  tls::core::Rng rng(2);
+  const auto trace = run_probe(p, policy, rng);
+  EXPECT_FALSE(trace.reached);
+  EXPECT_EQ(trace.attempts.size(), policy.max_attempts);
+  EXPECT_EQ(trace.retries(), policy.max_attempts - 1);
+  for (const auto a : trace.attempts) {
+    EXPECT_EQ(a, ProbeOutcome::kUnreachable);
+  }
+}
+
+TEST(Probe, DeterministicSchedule) {
+  const auto p = NetworkProfile::lossy(0.8);
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    tls::core::Rng r1(seed);
+    tls::core::Rng r2(seed);
+    const auto a = run_probe(p, RetryPolicy{}, r1);
+    const auto b = run_probe(p, RetryPolicy{}, r2);
+    EXPECT_EQ(a.attempts, b.attempts);
+    EXPECT_EQ(a.backoffs_ms, b.backoffs_ms);
+    EXPECT_EQ(a.reached, b.reached);
+    EXPECT_EQ(a.abandoned, b.abandoned);
+    EXPECT_DOUBLE_EQ(a.elapsed_ms, b.elapsed_ms);
+  }
+}
+
+TEST(Probe, BackoffGrowsExponentiallyWithinJitter) {
+  NetworkProfile p;
+  p.timeout = 1.0;  // every attempt times out
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  policy.total_budget_ms = 0;
+  tls::core::Rng rng(3);
+  const auto trace = run_probe(p, policy, rng);
+  ASSERT_EQ(trace.backoffs_ms.size(), 4u);
+  double expected = policy.base_backoff_ms;
+  for (const auto b : trace.backoffs_ms) {
+    EXPECT_GE(b, expected * (1.0 - policy.jitter));
+    EXPECT_LE(b, expected * (1.0 + policy.jitter));
+    expected *= policy.backoff_factor;
+  }
+}
+
+TEST(Probe, BudgetAbandonsEarly) {
+  NetworkProfile p;
+  p.timeout = 1.0;
+  RetryPolicy policy;
+  policy.max_attempts = 10;
+  policy.attempt_timeout_ms = 1000;
+  policy.total_budget_ms = 2500;  // room for ~2 attempts
+  tls::core::Rng rng(4);
+  const auto trace = run_probe(p, policy, rng);
+  EXPECT_FALSE(trace.reached);
+  EXPECT_TRUE(trace.abandoned);
+  EXPECT_LT(trace.attempts.size(), 10u);
+}
+
+TEST(Probe, LossyProfileScalesWithLevel) {
+  const auto mild = NetworkProfile::lossy(0.1);
+  const auto harsh = NetworkProfile::lossy(1.0);
+  EXPECT_LT(mild.unreachable, harsh.unreachable);
+  EXPECT_FALSE(mild.ideal());
+  EXPECT_TRUE(NetworkProfile{}.ideal());
+  EXPECT_TRUE(NetworkProfile::lossy(0).ideal());
+}
+
+TEST(Names, AllDistinct) {
+  for (std::size_t i = 0; i < kFaultKindCount; ++i) {
+    EXPECT_NE(fault_kind_name(static_cast<FaultKind>(i)), "?");
+  }
+  EXPECT_EQ(probe_outcome_name(ProbeOutcome::kOk), "ok");
+  EXPECT_EQ(probe_outcome_name(ProbeOutcome::kReset), "reset");
+}
+
+}  // namespace
+}  // namespace tls::faults

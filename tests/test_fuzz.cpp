@@ -5,12 +5,17 @@
 #include <gtest/gtest.h>
 
 #include "clients/catalog.hpp"
+#include "faults/injector.hpp"
 #include "tlscore/rng.hpp"
 #include "wire/alert.hpp"
 #include "wire/client_hello.hpp"
+#include "wire/extension_codec.hpp"
+#include "wire/heartbeat.hpp"
+#include "wire/record.hpp"
 #include "wire/server_hello.hpp"
 #include "wire/server_key_exchange.hpp"
 #include "wire/sslv2.hpp"
+#include "wire/transcript.hpp"
 
 namespace {
 
@@ -130,6 +135,152 @@ TEST(Fuzz, Sslv2Garbage) {
         [](const Bytes& b) { tls::wire::Sslv2ClientHello::parse(b); },
         "garbage sslv2");
   }
+}
+
+TEST(Fuzz, RecordLayerGarbageAndTruncation) {
+  tls::core::Rng rng(201);
+  for (int trial = 0; trial < 2000; ++trial) {
+    Bytes garbage(rng.below(128));
+    for (auto& b : garbage) b = static_cast<std::uint8_t>(rng.next());
+    expect_parse_or_parse_error(
+        garbage, [](const Bytes& b) { tls::wire::Record::parse(b); },
+        "garbage record");
+    expect_parse_or_parse_error(
+        garbage,
+        [](const Bytes& b) {
+          std::size_t consumed = 0;
+          tls::wire::Record::parse_prefix(b, &consumed);
+        },
+        "garbage record prefix");
+    expect_parse_or_parse_error(
+        garbage,
+        [](const Bytes& b) { tls::wire::HandshakeMessage::parse(b); },
+        "garbage handshake message");
+  }
+  // Every truncation of a valid record.
+  tls::wire::Record rec;
+  rec.fragment.assign(40, 0x17);
+  const auto bytes = rec.serialize();
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    const Bytes prefix(bytes.begin(),
+                       bytes.begin() + static_cast<std::ptrdiff_t>(cut));
+    expect_parse_or_parse_error(
+        prefix, [](const Bytes& b) { tls::wire::Record::parse(b); },
+        "truncated record");
+  }
+}
+
+TEST(Fuzz, TranscriptStrictParsesOrThrowsLenientNeverThrows) {
+  const auto ch_bytes = sample_client_hello_bytes();
+  const Bytes base = tls::wire::client_flight(
+      tls::wire::ClientHello::parse_record(ch_bytes), /*established=*/true);
+  tls::core::Rng rng(202);
+  for (int trial = 0; trial < 2000; ++trial) {
+    Bytes mutated = base;
+    const int flips = 1 + static_cast<int>(rng.below(6));
+    for (int i = 0; i < flips; ++i) {
+      mutated[rng.below(mutated.size())] =
+          static_cast<std::uint8_t>(rng.next());
+    }
+    expect_parse_or_parse_error(
+        mutated, [](const Bytes& b) { tls::wire::parse_flight(b); },
+        "mutated flight (strict)");
+    ASSERT_NO_THROW(tls::wire::parse_flight_lenient(mutated));
+  }
+  for (std::size_t cut = 0; cut < base.size(); ++cut) {
+    const Bytes prefix(base.begin(),
+                       base.begin() + static_cast<std::ptrdiff_t>(cut));
+    ASSERT_NO_THROW(tls::wire::parse_flight_lenient(prefix));
+  }
+}
+
+TEST(Fuzz, HeartbeatGarbageAndResponder) {
+  tls::core::Rng rng(203);
+  const tls::wire::HeartbeatResponder patched(false, Bytes(128, 0xaa));
+  const tls::wire::HeartbeatResponder vulnerable(true, Bytes(128, 0xbb));
+  for (int trial = 0; trial < 2000; ++trial) {
+    Bytes garbage(rng.below(96));
+    for (auto& b : garbage) b = static_cast<std::uint8_t>(rng.next());
+    expect_parse_or_parse_error(
+        garbage,
+        [](const Bytes& b) { tls::wire::HeartbeatMessage::parse_record(b); },
+        "garbage heartbeat");
+    // Responders face the same hostile input and must never throw: either
+    // answer or silently drop.
+    ASSERT_NO_THROW((void)patched.respond(garbage));
+    ASSERT_NO_THROW((void)vulnerable.respond(garbage));
+  }
+}
+
+TEST(Fuzz, ExtensionCodecGarbageBodies) {
+  tls::core::Rng rng(204);
+  for (int trial = 0; trial < 2000; ++trial) {
+    Bytes body(rng.below(64));
+    for (auto& b : body) b = static_cast<std::uint8_t>(rng.next());
+    expect_parse_or_parse_error(
+        body, [](const Bytes& b) { tls::wire::parse_server_name(b); },
+        "server_name");
+    expect_parse_or_parse_error(
+        body, [](const Bytes& b) { tls::wire::parse_supported_groups(b); },
+        "supported_groups");
+    expect_parse_or_parse_error(
+        body, [](const Bytes& b) { tls::wire::parse_ec_point_formats(b); },
+        "ec_point_formats");
+    expect_parse_or_parse_error(
+        body,
+        [](const Bytes& b) { tls::wire::parse_supported_versions_client(b); },
+        "supported_versions (client)");
+    expect_parse_or_parse_error(
+        body,
+        [](const Bytes& b) { tls::wire::parse_supported_versions_server(b); },
+        "supported_versions (server)");
+    expect_parse_or_parse_error(
+        body,
+        [](const Bytes& b) { tls::wire::parse_signature_algorithms(b); },
+        "signature_algorithms");
+    expect_parse_or_parse_error(
+        body, [](const Bytes& b) { tls::wire::parse_alpn(b); }, "alpn");
+    expect_parse_or_parse_error(
+        body, [](const Bytes& b) { tls::wire::parse_heartbeat(b); },
+        "heartbeat mode");
+    expect_parse_or_parse_error(
+        body,
+        [](const Bytes& b) { tls::wire::parse_key_share_client_groups(b); },
+        "key_share (client)");
+    expect_parse_or_parse_error(
+        body,
+        [](const Bytes& b) { tls::wire::parse_key_share_server_group(b); },
+        "key_share (server)");
+  }
+}
+
+TEST(Fuzz, FaultInjectorDrivenFlights) {
+  // The chaos tap as a structured fuzzer: realistic flights, deterministic
+  // structural corruption, and the parse-or-ParseError contract on top.
+  const auto ch_bytes = sample_client_hello_bytes();
+  const Bytes base = tls::wire::client_flight(
+      tls::wire::ClientHello::parse_record(ch_bytes), /*established=*/true);
+  tls::faults::FaultInjector injector(
+      tls::faults::FaultConfig::bytes_only(1.0), 205);
+  for (int trial = 0; trial < 3000; ++trial) {
+    Bytes mutated = base;
+    injector.corrupt_stream(mutated);
+    expect_parse_or_parse_error(
+        mutated, [](const Bytes& b) { tls::wire::parse_flight(b); },
+        "injector-corrupted flight (strict)");
+    const auto flight = tls::wire::parse_flight_lenient(mutated);
+    // Legal re-framing (split/coalesce) keeps the record layer walkable;
+    // everything else must either salvage a prefix or report the error.
+    if (flight.stream_error.has_value()) {
+      EXPECT_LE(flight.records.size(),
+                tls::faults::record_offsets(mutated).size() + 1);
+    }
+    expect_parse_or_parse_error(
+        mutated,
+        [](const Bytes& b) { tls::wire::ClientHello::parse_record(b); },
+        "injector-corrupted hello record");
+  }
+  EXPECT_EQ(injector.stats().total_faults(), 3000u);
 }
 
 TEST(Fuzz, AlertAndSkeGarbage) {

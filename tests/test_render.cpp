@@ -89,5 +89,53 @@ TEST(Render, PctFormatting) {
   EXPECT_EQ(pct(0.0), "0.0%");
 }
 
+TEST(Render, LossTableEmpty) { EXPECT_EQ(render_loss_table({}), ""); }
+
+TEST(Render, LossTableShowsPartitionAndCodes) {
+  LossRow jan;
+  jan.month = "2015-01";
+  jan.total = 1000;
+  jan.successful = 900;
+  jan.failures = 50;
+  jan.quarantined = 50;
+  jan.one_sided = 7;
+  jan.by_code = {30, 0, 12, 5, 0};  // trunc, trail, bad-len, bad-val, unsup
+  const auto out = render_loss_table({jan});
+  EXPECT_NE(out.find("month"), std::string::npos);
+  EXPECT_NE(out.find("quar%"), std::string::npos);
+  EXPECT_NE(out.find("bad-len"), std::string::npos);
+  EXPECT_NE(out.find("2015-01"), std::string::npos);
+  EXPECT_NE(out.find("1000"), std::string::npos);
+  EXPECT_NE(out.find("5.0%"), std::string::npos);  // 50/1000 quarantined
+  EXPECT_NE(out.find("30"), std::string::npos);
+  EXPECT_EQ(out.find("(clean)"), std::string::npos);
+}
+
+TEST(Render, LossTableCollapsesCleanMonths) {
+  LossRow clean;
+  clean.month = "2015-02";
+  clean.total = clean.successful = 500;
+  LossRow dirty;
+  dirty.month = "2015-03";
+  dirty.total = 100;
+  dirty.successful = 90;
+  dirty.quarantined = 10;
+  dirty.by_code[0] = 10;
+  const auto out = render_loss_table({clean, clean, dirty});
+  EXPECT_EQ(out.find("2015-02"), std::string::npos);  // collapsed
+  EXPECT_NE(out.find("2015-03"), std::string::npos);
+  EXPECT_NE(out.find("(clean) 2 months with no losses"), std::string::npos);
+}
+
+TEST(Render, LossTableZeroTotalHasZeroPct) {
+  LossRow empty;
+  empty.month = "2016-01";
+  empty.quarantined = 0;
+  empty.one_sided = 1;  // forces the row to render
+  const auto out = render_loss_table({empty});
+  EXPECT_NE(out.find("2016-01"), std::string::npos);
+  EXPECT_NE(out.find("0.0%"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace tls::analysis
