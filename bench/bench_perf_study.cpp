@@ -1,0 +1,93 @@
+// Serial-vs-parallel wall time for the sharded study runner. Runs the
+// full passive pipeline (and the active sweep via export paths is covered
+// elsewhere) at each thread count, checks the figures stay bit-identical
+// to the serial run, and reports the speedup.
+//
+// Environment knobs (shared with the figure benches):
+//   TLS_STUDY_CPM      connections per month (default 20000 here)
+//   TLS_STUDY_SEED     simulation seed
+//   TLS_STUDY_THREADS  comma list of thread counts (default "0,2,4,8")
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double run_once(tls::study::StudyOptions opts, unsigned threads,
+                std::string* fingerprint_csv) {
+  opts.threads = threads;
+  tls::study::LongitudinalStudy study(opts);
+  const auto start = Clock::now();
+  study.run();
+  const auto wall =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  // A cheap whole-pipeline digest: the Fig. 2 CSV covers negotiated
+  // counters and the month partition; byte equality across thread counts
+  // is the determinism contract.
+  *fingerprint_csv = tls::analysis::to_csv(study.figure2_negotiated_classes());
+  return wall;
+}
+
+}  // namespace
+
+int main() {
+  tls::study::StudyOptions opts = bench::default_options();
+  if (std::getenv("TLS_STUDY_CPM") == nullptr) {
+    opts.connections_per_month = 20000;
+  }
+  opts.full_catalog = false;
+
+  std::vector<unsigned> thread_counts{0, 2, 4, 8};
+  if (const char* env = std::getenv("TLS_STUDY_THREADS")) {
+    thread_counts.clear();
+    const std::string s(env);
+    for (std::size_t pos = 0; pos < s.size();) {
+      const auto comma = s.find(',', pos);
+      thread_counts.push_back(static_cast<unsigned>(
+          std::strtoul(s.substr(pos, comma - pos).c_str(), nullptr, 10)));
+      if (comma == std::string::npos) break;
+      pos = comma + 1;
+    }
+  }
+
+  std::printf("== bench_perf_study: sharded runner wall time ==\n");
+  std::printf("connections_per_month=%zu window=%d months shards=%zu\n\n",
+              opts.connections_per_month, opts.window.size(),
+              opts.shards_per_month);
+
+  std::string serial_csv;
+  double serial_wall = 0;
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"threads", "wall (s)", "speedup", "figures"});
+  for (const unsigned threads : thread_counts) {
+    std::string csv;
+    const double wall = run_once(opts, threads, &csv);
+    if (threads == thread_counts.front()) {
+      serial_csv = csv;
+      serial_wall = wall;
+    }
+    char wall_s[32], speed_s[32];
+    std::snprintf(wall_s, sizeof(wall_s), "%.3f", wall);
+    std::snprintf(speed_s, sizeof(speed_s), "%.2fx",
+                  wall > 0 ? serial_wall / wall : 0.0);
+    rows.push_back({std::to_string(threads), wall_s, speed_s,
+                    csv == serial_csv ? "bit-identical" : "MISMATCH"});
+  }
+  std::fputs(tls::analysis::render_table(rows).c_str(), stdout);
+
+  for (const auto& row : rows) {
+    if (row.back() == "MISMATCH") {
+      std::fprintf(stderr,
+                   "FAIL: thread count %s produced different figures\n",
+                   row.front().c_str());
+      return 1;
+    }
+  }
+  return 0;
+}

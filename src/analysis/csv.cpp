@@ -30,11 +30,16 @@ void write_scan_csv_file(const std::string& path,
          "chooses_aead,chooses_3des,rc4_support,rc4_only,heartbeat_support,"
          "heartbleed_vulnerable,tls13_support\n";
   for (const auto& s : snaps) {
-    out << s.month.to_string() << ',' << s.ssl3_support << ','
-        << s.export_support << ',' << s.chooses_rc4 << ',' << s.chooses_cbc
-        << ',' << s.chooses_aead << ',' << s.chooses_3des << ','
-        << s.rc4_support << ',' << s.rc4_only << ',' << s.heartbeat_support
-        << ',' << s.heartbleed_vulnerable << ',' << s.tls13_support << '\n';
+    // csv_double keeps every fraction round-trippable; the default stream
+    // precision (6 significant digits) silently rounded exported values.
+    out << s.month.to_string() << ',' << csv_double(s.ssl3_support) << ','
+        << csv_double(s.export_support) << ',' << csv_double(s.chooses_rc4)
+        << ',' << csv_double(s.chooses_cbc) << ','
+        << csv_double(s.chooses_aead) << ',' << csv_double(s.chooses_3des)
+        << ',' << csv_double(s.rc4_support) << ',' << csv_double(s.rc4_only)
+        << ',' << csv_double(s.heartbeat_support) << ','
+        << csv_double(s.heartbleed_vulnerable) << ','
+        << csv_double(s.tls13_support) << '\n';
   }
   if (!out) throw std::runtime_error("write failed: " + path);
 }

@@ -164,19 +164,95 @@ std::string render_loss_table(const std::vector<LossRow>& rows) {
   return out.str();
 }
 
+std::string csv_escape(const std::string& field) {
+  if (field.find_first_of(",\"\r\n") == std::string::npos) return field;
+  std::string out;
+  out.reserve(field.size() + 2);
+  out.push_back('"');
+  for (const char c : field) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string csv_double(double value) {
+  // %.17g (max_digits10) is the shortest fixed precision guaranteeing
+  // text -> double round-trips; %g also drops trailing zeros, so integral
+  // values keep printing as "0" / "100".
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
 std::string to_csv(const MonthlyChart& chart) {
   std::ostringstream out;
   out << "month";
-  for (const auto& s : chart.series) out << "," << s.name;
+  for (const auto& s : chart.series) out << "," << csv_escape(s.name);
   out << "\n";
   for (int x = 0; x < chart.range.size(); ++x) {
-    out << (chart.range.begin_month + x).to_string();
+    out << csv_escape((chart.range.begin_month + x).to_string());
     for (const auto& s : chart.series) {
-      out << "," << s.values[static_cast<std::size_t>(x)];
+      out << "," << csv_double(s.values[static_cast<std::size_t>(x)]);
     }
     out << "\n";
   }
   return out.str();
+}
+
+std::vector<std::vector<std::string>> parse_csv(const std::string& text) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string field;
+  bool quoted = false;
+  bool field_started = false;  // row has content pending a terminator
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field.push_back('"');
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        quoted = true;
+        field_started = true;
+        break;
+      case ',':
+        row.push_back(std::move(field));
+        field.clear();
+        field_started = true;
+        break;
+      case '\r':
+        if (i + 1 < text.size() && text[i + 1] == '\n') ++i;
+        [[fallthrough]];
+      case '\n':
+        row.push_back(std::move(field));
+        field.clear();
+        rows.push_back(std::move(row));
+        row.clear();
+        field_started = false;
+        break;
+      default:
+        field.push_back(c);
+        field_started = true;
+        break;
+    }
+  }
+  if (field_started || !row.empty()) {
+    row.push_back(std::move(field));
+    rows.push_back(std::move(row));
+  }
+  return rows;
 }
 
 }  // namespace tls::analysis

@@ -61,7 +61,24 @@ std::string render_loss_table(const std::vector<LossRow>& rows);
 /// Formats a double as a percent with one decimal ("12.3%").
 std::string pct(double value_0_to_100);
 
-/// Writes chart series as CSV ("month,series1,series2,...").
+/// RFC 4180 field escaping: fields containing a comma, double quote, CR,
+/// or LF are wrapped in double quotes with embedded quotes doubled; all
+/// other fields pass through unchanged.
+std::string csv_escape(const std::string& field);
+
+/// Formats a double with max_digits10 significant digits — enough that
+/// parsing the text back yields the identical double (round-trippable),
+/// while integral values still print without a trailing ".0".
+std::string csv_double(double value);
+
+/// Writes chart series as CSV ("month,series1,series2,..."). Series names
+/// and month labels are RFC 4180-escaped; values round-trip exactly.
 std::string to_csv(const MonthlyChart& chart);
+
+/// Parses RFC 4180 CSV text (quoted fields, doubled quotes, embedded
+/// newlines in quoted fields) into rows of unescaped fields. Accepts both
+/// "\n" and "\r\n" row terminators; a trailing newline does not produce an
+/// empty final row.
+std::vector<std::vector<std::string>> parse_csv(const std::string& text);
 
 }  // namespace tls::analysis

@@ -1,0 +1,100 @@
+#include "core/shard.hpp"
+
+namespace tls::core {
+
+std::vector<std::size_t> shard_counts(std::size_t total, std::size_t shards) {
+  if (shards == 0) shards = 1;
+  std::vector<std::size_t> counts(shards, total / shards);
+  const std::size_t extra = total % shards;
+  for (std::size_t i = 0; i < extra; ++i) ++counts[i];
+  return counts;
+}
+
+ThreadPool::ThreadPool(unsigned threads) {
+  workers_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen_generation = 0;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [&] {
+        return shutdown_ || (task_ != nullptr && generation_ != seen_generation);
+      });
+      if (shutdown_) return;
+      seen_generation = generation_;
+    }
+    drain();
+  }
+}
+
+void ThreadPool::drain() {
+  while (true) {
+    std::size_t index;
+    const std::function<void(std::size_t)>* task;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (task_ == nullptr || next_index_ >= total_) return;
+      index = next_index_++;
+      task = task_;
+    }
+    std::exception_ptr error;
+    try {
+      (*task)(index);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (error && !first_error_) first_error_ = error;
+      if (++completed_ == total_) {
+        done_cv_.notify_all();
+      }
+    }
+  }
+}
+
+void ThreadPool::run(std::size_t n,
+                     const std::function<void(std::size_t)>& task) {
+  if (n == 0) return;
+  if (workers_.empty()) {
+    // Serial path: no scheduling machinery at all.
+    for (std::size_t i = 0; i < n; ++i) task(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    task_ = &task;
+    next_index_ = 0;
+    total_ = n;
+    completed_ = 0;
+    first_error_ = nullptr;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  // The caller helps drain the grid instead of idling.
+  drain();
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] { return completed_ == total_; });
+    task_ = nullptr;
+    error = first_error_;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace tls::core

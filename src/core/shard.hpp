@@ -1,0 +1,63 @@
+// Sharded execution primitives for the study pipeline: a deterministic
+// work partitioner (shard_counts) and a small thread pool whose only job
+// is to run an indexed task grid. Determinism contract: the pool never
+// decides *what* a task computes or *where* its result lands — tasks are
+// pure functions of their index writing to per-index slots — so the result
+// of run() is bit-identical for every pool size, including zero (inline).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tls::core {
+
+/// Splits `total` work items into `shards` contiguous chunks whose sizes
+/// sum to `total`; the first (total % shards) chunks get one extra item.
+/// The partition depends only on (total, shards) — never on thread count.
+std::vector<std::size_t> shard_counts(std::size_t total, std::size_t shards);
+
+/// Fixed-size pool of worker threads executing indexed task grids.
+/// `threads == 0` keeps everything on the calling thread (the serial
+/// path): no workers are spawned and run() degenerates to a plain loop.
+class ThreadPool {
+ public:
+  explicit ThreadPool(unsigned threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] unsigned size() const {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// Executes task(0) .. task(n-1), each exactly once, and blocks until
+  /// all have finished. Tasks are claimed from a shared counter, so the
+  /// schedule load-balances; callers must make each index independent.
+  /// The first exception thrown by any task is rethrown here after the
+  /// grid drains.
+  void run(std::size_t n, const std::function<void(std::size_t)>& task);
+
+ private:
+  void worker_loop();
+  /// Claims and runs indices until the grid is exhausted.
+  void drain();
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;   // wakes workers for a new grid
+  std::condition_variable done_cv_;   // wakes run() when the grid drains
+  const std::function<void(std::size_t)>* task_ = nullptr;
+  std::size_t next_index_ = 0;
+  std::size_t total_ = 0;
+  std::size_t completed_ = 0;
+  std::uint64_t generation_ = 0;  // bumped per grid so workers re-sleep
+  std::exception_ptr first_error_;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace tls::core

@@ -1,9 +1,11 @@
 #include "core/study.hpp"
 
+#include <algorithm>
 #include <filesystem>
 
 #include "analysis/csv.hpp"
 
+#include "core/shard.hpp"
 #include "fingerprint/fingerprint.hpp"
 #include "tlscore/timeline.hpp"
 
@@ -47,18 +49,59 @@ tls::fp::FingerprintDatabase LongitudinalStudy::build_database(
 void LongitudinalStudy::run() {
   if (ran_) return;
   ran_ = true;
-  std::unique_ptr<tls::faults::FaultInjector> injector;
-  if (options_.faults.total() > 0) {
-    injector = std::make_unique<tls::faults::FaultInjector>(
-        options_.faults, options_.fault_seed);
-    monitor_->set_fault_injector(injector.get());
+  // Deterministic shard plan: every month is split into a fixed number of
+  // shards, each driving its own traffic generator (and fault injector)
+  // seeded by rng_stream(seed, month, shard). The plan — shard counts,
+  // stream seeds, and the (month, shard) merge order below — depends only
+  // on StudyOptions, never on `threads`, which merely schedules the shard
+  // tasks. Result: bit-identical figures at every thread count.
+  const std::size_t shards =
+      std::max<std::size_t>(1, options_.shards_per_month);
+  const auto counts =
+      tls::core::shard_counts(options_.connections_per_month, shards);
+
+  struct ShardTask {
+    Month month;
+    std::size_t shard = 0;
+    std::size_t count = 0;
+  };
+  std::vector<ShardTask> tasks;
+  tasks.reserve(static_cast<std::size_t>(options_.window.size()) * shards);
+  for (Month m = options_.window.begin_month; m <= options_.window.end_month;
+       ++m) {
+    for (std::size_t s = 0; s < shards; ++s) {
+      if (counts[s] > 0) tasks.push_back({m, s, counts[s]});
+    }
   }
-  tls::population::TrafficGenerator gen(*market_, servers_, options_.seed);
-  gen.generate_range(options_.window, options_.connections_per_month,
-                     [this](const tls::population::ConnectionEvent& ev) {
-                       monitor_->observe(ev);
-                     });
-  monitor_->set_fault_injector(nullptr);
+
+  const bool faulty = options_.faults.total() > 0;
+  std::vector<std::unique_ptr<tls::notary::PassiveMonitor>> shard_monitors(
+      tasks.size());
+  tls::core::ThreadPool pool(options_.threads);
+  pool.run(tasks.size(), [&](std::size_t i) {
+    const ShardTask& task = tasks[i];
+    const auto lane = static_cast<std::uint64_t>(task.month.index());
+    auto mon = std::make_unique<tls::notary::PassiveMonitor>(&database_);
+    std::unique_ptr<tls::faults::FaultInjector> injector;
+    if (faulty) {
+      injector = std::make_unique<tls::faults::FaultInjector>(
+          options_.faults,
+          tls::core::rng_stream_seed(options_.fault_seed, lane, task.shard));
+      mon->set_fault_injector(injector.get());
+    }
+    tls::population::TrafficGenerator gen(
+        *market_, servers_,
+        tls::core::rng_stream_seed(options_.seed, lane, task.shard));
+    gen.generate_month(task.month, task.count,
+                       [&](const tls::population::ConnectionEvent& ev) {
+                         mon->observe(ev);
+                       });
+    mon->set_fault_injector(nullptr);
+    shard_monitors[i] = std::move(mon);
+  });
+
+  // Late aggregation in plan order — the only place shard results meet.
+  for (const auto& mon : shard_monitors) monitor_->absorb(*mon);
 }
 
 const tls::notary::PassiveMonitor& LongitudinalStudy::monitor() {
@@ -104,8 +147,11 @@ std::vector<std::string> LongitudinalStudy::export_figures(
   }
   const auto scan_path =
       (std::filesystem::path(directory) / "censys_scans.csv").string();
+  // The pool-backed sweep folds per-(month, segment) probes in plan order,
+  // so these bytes match the serial scan_range at any thread count.
+  tls::core::ThreadPool pool(options_.threads);
   tls::analysis::write_scan_csv_file(
-      scan_path, scanner().scan_range(tls::core::censys_window()));
+      scan_path, scanner().scan_range(tls::core::censys_window(), pool));
   written.push_back(scan_path);
   return written;
 }

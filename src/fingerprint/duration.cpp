@@ -16,6 +16,17 @@ void DurationTracker::record(const std::string& hash,
   lt.connections += connections;
 }
 
+void DurationTracker::merge(const DurationTracker& other) {
+  for (const auto& [hash, lt] : other.lifetimes_) {
+    auto [it, inserted] = lifetimes_.try_emplace(hash, lt);
+    if (inserted) continue;
+    Lifetime& mine = it->second;
+    mine.first_day = std::min(mine.first_day, lt.first_day);
+    mine.last_day = std::max(mine.last_day, lt.last_day);
+    mine.connections += lt.connections;
+  }
+}
+
 DurationTracker::Summary DurationTracker::summarize(
     std::int64_t long_lived_threshold) const {
   Summary s;
@@ -27,7 +38,10 @@ DurationTracker::Summary DurationTracker::summarize(
   for (const auto& [hash, lt] : lifetimes_) {
     durations.push_back(lt.duration_days());
     s.total_connections += lt.connections;
-    if (lt.duration_days() <= 1) {
+    // §4.1 single-day definition: first and last sighting fall on the same
+    // civil day, i.e. duration_days() == 1 (its minimum — record() keeps
+    // first_day <= last_day, so durations below 1 cannot occur).
+    if (lt.duration_days() == 1) {
       ++s.single_day_count;
       s.single_day_connections += lt.connections;
     }
@@ -38,6 +52,10 @@ DurationTracker::Summary DurationTracker::summarize(
   }
   std::sort(durations.begin(), durations.end());
 
+  // Linear-interpolation quantile over the sorted durations (type-7, the
+  // R/NumPy default). At size() == 1, pos == 0 for every q, so lo == hi
+  // and the single duration is returned exactly — median and Q3 of a
+  // one-fingerprint dataset are that fingerprint's lifetime.
   const auto quantile = [&](double q) {
     const double pos = q * (static_cast<double>(durations.size()) - 1);
     const auto lo = static_cast<std::size_t>(pos);

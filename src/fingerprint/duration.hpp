@@ -21,12 +21,21 @@ class DurationTracker {
   void record(const std::string& hash, const tls::core::Date& day,
               std::uint64_t connections = 1);
 
+  /// Shard merge: folds `other`'s lifetimes into this tracker. Per hash
+  /// the merge is min(first)/max(last)/sum(connections) — commutative and
+  /// associative, so the merged tracker equals one that observed both
+  /// event streams in any interleaving.
+  void merge(const DurationTracker& other);
+
   struct Lifetime {
     std::int64_t first_day = 0;  // days since epoch
     std::int64_t last_day = 0;
     std::uint64_t connections = 0;
 
-    /// Inclusive duration in days (single-day fingerprints -> 1).
+    /// Inclusive duration in days (single-day fingerprints -> 1). Since
+    /// last_day >= first_day always holds, this is >= 1, and §4.1's
+    /// "single-day fingerprint" (first and last sighting on the same
+    /// civil day) is exactly duration_days() == 1.
     [[nodiscard]] std::int64_t duration_days() const {
       return last_day - first_day + 1;
     }

@@ -41,6 +41,101 @@ std::optional<double> first_position(const ClientHello& hello, Pred&& pred) {
 
 }  // namespace
 
+namespace {
+
+template <typename Key>
+void merge_map(std::map<Key, std::uint64_t>& into,
+               const std::map<Key, std::uint64_t>& from) {
+  for (const auto& [key, n] : from) into[key] += n;
+}
+
+}  // namespace
+
+void MonthlyStats::merge(const MonthlyStats& other) {
+  total += other.total;
+  successful += other.successful;
+  failures += other.failures;
+  quarantined += other.quarantined;
+  one_sided_client += other.one_sided_client;
+  one_sided_server += other.one_sided_server;
+  merge_map(parse_errors, other.parse_errors);
+  fallbacks += other.fallbacks;
+  spec_violations += other.spec_violations;
+  sslv2_connections += other.sslv2_connections;
+
+  merge_map(negotiated_version, other.negotiated_version);
+  merge_map(negotiated_class, other.negotiated_class);
+  merge_map(negotiated_aead, other.negotiated_aead);
+  merge_map(negotiated_kex, other.negotiated_kex);
+  merge_map(negotiated_group, other.negotiated_group);
+
+  adv_rc4 += other.adv_rc4;
+  adv_des += other.adv_des;
+  adv_3des += other.adv_3des;
+  adv_aead += other.adv_aead;
+  adv_cbc += other.adv_cbc;
+  adv_export += other.adv_export;
+  adv_anon += other.adv_anon;
+  adv_null += other.adv_null;
+  adv_fs += other.adv_fs;
+  adv_aes128gcm += other.adv_aes128gcm;
+  adv_aes256gcm += other.adv_aes256gcm;
+  adv_chacha += other.adv_chacha;
+  adv_ccm += other.adv_ccm;
+
+  adv_tls13 += other.adv_tls13;
+  merge_map(adv_tls13_versions, other.adv_tls13_versions);
+  negotiated_tls13 += other.negotiated_tls13;
+
+  heartbeat_offered += other.heartbeat_offered;
+  heartbeat_negotiated += other.heartbeat_negotiated;
+
+  reneg_info_offered += other.reneg_info_offered;
+  reneg_info_negotiated += other.reneg_info_negotiated;
+  etm_offered += other.etm_offered;
+  etm_negotiated += other.etm_negotiated;
+  ems_offered += other.ems_offered;
+  ems_negotiated += other.ems_negotiated;
+  sni_offered += other.sni_offered;
+  session_ticket_offered += other.session_ticket_offered;
+  resumed += other.resumed;
+
+  merge_map(alerts, other.alerts);
+  rc4_despite_aead += other.rc4_despite_aead;
+
+  negotiated_3des += other.negotiated_3des;
+  negotiated_export += other.negotiated_export;
+  negotiated_anon += other.negotiated_anon;
+  negotiated_null += other.negotiated_null;
+  negotiated_null_with_null_null += other.negotiated_null_with_null_null;
+
+  pos_aead.merge(other.pos_aead);
+  pos_cbc.merge(other.pos_cbc);
+  pos_rc4.merge(other.pos_rc4);
+  pos_des.merge(other.pos_des);
+  pos_3des.merge(other.pos_3des);
+
+  // Flag OR is commutative: the merged flag-map is the same set no matter
+  // how the observations were split across shards.
+  for (const auto& [hash, flags] : other.fingerprints) {
+    fingerprints[hash] |= flags;
+  }
+}
+
+void PassiveMonitor::absorb(const PassiveMonitor& other) {
+  for (const auto& [m, s] : other.months_) {
+    months_[m].merge(s);
+  }
+  durations_.merge(other.durations_);
+  total_ += other.total_;
+  fingerprintable_ += other.fingerprintable_;
+  for (const auto& [cls, n] : other.labeled_by_class_) {
+    labeled_by_class_[cls] += n;
+  }
+  taxonomy_.merge(other.taxonomy_);
+  quarantine_.absorb(other.quarantine_);
+}
+
 const MonthlyStats* PassiveMonitor::month(Month m) const {
   const auto it = months_.find(m);
   return it == months_.end() ? nullptr : &it->second;

@@ -40,6 +40,13 @@ struct PositionAccumulator {
     sum += rel;
     ++n;
   }
+  /// Shard merge: one double addition per absorbed shard. Merging shards
+  /// in a fixed order therefore yields a bit-identical sum regardless of
+  /// which threads computed them.
+  void merge(const PositionAccumulator& other) {
+    sum += other.sum;
+    n += other.n;
+  }
   [[nodiscard]] double average() const { return n == 0 ? 0.0 : sum / static_cast<double>(n); }
 };
 
@@ -137,6 +144,13 @@ struct MonthlyStats {
                            : 100.0 * static_cast<double>(x) /
                                  static_cast<double>(accepted());
   }
+
+  /// Shard merge: adds every counter, folds every keyed map per key, and
+  /// ORs fingerprint flag-maps. All integer/flag folds are commutative;
+  /// the only floating-point state (PositionAccumulators) merges with one
+  /// addition per shard, so merging in a fixed shard order reproduces the
+  /// serial-sharded result bit for bit.
+  void merge(const MonthlyStats& other);
 };
 
 /// Fingerprint support-flag bits used in MonthlyStats::fingerprints.
@@ -188,6 +202,13 @@ class PassiveMonitor {
 
   /// Records an SSLv2 CLIENT-HELLO connection (§5.1 residue).
   void observe_sslv2(tls::core::Month month);
+
+  /// Shard merge: folds another monitor's entire state (monthly stats,
+  /// duration tracker, dataset tallies, error taxonomy, quarantine ring)
+  /// into this one. Absorbing per-shard monitors in a fixed (month,
+  /// shard) order makes the result independent of which threads ran the
+  /// shards — the determinism contract of the parallel study runner.
+  void absorb(const PassiveMonitor& other);
 
   [[nodiscard]] const std::map<tls::core::Month, MonthlyStats>& months()
       const {

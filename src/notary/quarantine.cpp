@@ -33,4 +33,15 @@ void QuarantineRing::push(IngestStage stage, tls::wire::ParseErrorCode code,
   }
 }
 
+void QuarantineRing::absorb(const QuarantineRing& other) {
+  const std::size_t n = other.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const QuarantinedRecord& rec = other[i];
+    push(rec.stage, rec.code, rec.month, rec.prefix);
+  }
+  // push() counted the re-pushed entries; add only what `other` pushed
+  // beyond the entries it still retained.
+  total_pushed_ += other.total_pushed_ - n;
+}
+
 }  // namespace tls::notary

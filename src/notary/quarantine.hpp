@@ -54,6 +54,16 @@ class ErrorTaxonomy {
   }
   [[nodiscard]] std::uint64_t total() const { return total_; }
 
+  /// Adds another taxonomy's counters into this one (shard merge).
+  void merge(const ErrorTaxonomy& other) {
+    for (std::size_t s = 0; s < kIngestStageCount; ++s) {
+      for (std::size_t c = 0; c < tls::wire::kParseErrorCodeCount; ++c) {
+        counts_[s][c] += other.counts_[s][c];
+      }
+    }
+    total_ += other.total_;
+  }
+
  private:
   static std::size_t index(IngestStage s) {
     return static_cast<std::size_t>(s);
@@ -84,6 +94,14 @@ class QuarantineRing {
 
   void push(IngestStage stage, tls::wire::ParseErrorCode code,
             tls::core::Month month, std::span<const std::uint8_t> bytes);
+
+  /// Shard merge: re-pushes `other`'s retained entries into this ring,
+  /// oldest first, and folds its total_pushed. The merged ring is a
+  /// deterministic function of the absorb call order (callers absorb
+  /// shards in (month, shard) order), not of thread scheduling. Entries
+  /// evicted from `other` before the merge stay evicted — the ring is a
+  /// bounded sample, not a ledger.
+  void absorb(const QuarantineRing& other);
 
   [[nodiscard]] std::size_t size() const { return entries_.size(); }
   [[nodiscard]] std::size_t capacity() const { return capacity_; }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "clients/suite_pools.hpp"
+#include "core/shard.hpp"
 #include "handshake/negotiate.hpp"
 #include "tlscore/cipher_suites.hpp"
 #include "wire/heartbeat.hpp"
@@ -73,97 +74,121 @@ ScanSnapshot ActiveScanner::scan_popular(Month m) const {
   return scan_weighted(m, /*by_traffic=*/true);
 }
 
-ScanSnapshot ActiveScanner::scan_weighted(Month m, bool by_traffic) const {
-  ScanSnapshot snap;
-  snap.month = m;
+SegmentProbe ActiveScanner::probe_segment(Month m, std::size_t segment_index,
+                                          bool by_traffic) const {
+  SegmentProbe probe;
+  const auto& seg = population_.segments()[segment_index];
+  if (by_traffic && seg.special_destination) return probe;  // not web-facing
+  const double w =
+      by_traffic ? seg.traffic_share.at(m) : seg.host_share.at(m);
+  if (w <= 0) return probe;
+  probe.included = true;
+  probe.weight = w;
+
+  if (!policy_.network.ideal()) {
+    // Deterministic per (seed, month, segment): reordering segments or
+    // months — or running them on different threads — cannot change any
+    // host's fate.
+    tls::core::Rng fault_rng(policy_.seed ^
+                             (static_cast<std::uint64_t>(m.index()) << 20) ^
+                             segment_index);
+    const auto trace =
+        tls::faults::run_probe(policy_.network, policy_.retry, fault_rng);
+    probe.attempts = trace.attempts.size();
+    probe.retries = trace.retries();
+    probe.abandoned = trace.abandoned;
+    if (!trace.reached) return probe;
+  } else {
+    probe.attempts = 1;
+  }
+  probe.reached = true;
 
   const ClientHello chrome = chrome2015_hello();
-  const ClientHello ssl3 = ssl3_only_hello();
-  const ClientHello expo = export_only_hello();
-  const ClientHello tls13 = tls13_draft_hello();
+  tls::core::Rng rng(0xacce55);
 
-  const bool ideal_network = policy_.network.ideal();
-  double total = 0;        // reached weight: denominator for the fractions
-  double population = 0;   // full target weight: denominator for coverage
-  std::size_t segment_index = 0;
-  for (const auto& seg : population_.segments()) {
-    const std::size_t seg_i = segment_index++;
-    if (by_traffic && seg.special_destination) continue;  // not web-facing
-    const double w =
-        by_traffic ? seg.traffic_share.at(m) : seg.host_share.at(m);
-    if (w <= 0) continue;
-    population += w;
-    if (!ideal_network) {
-      // Deterministic per (seed, month, segment): reordering segments or
-      // months cannot change any host's fate.
-      tls::core::Rng fault_rng(policy_.seed ^
-                               (static_cast<std::uint64_t>(m.index()) << 20) ^
-                               seg_i);
-      const auto trace = tls::faults::run_probe(policy_.network,
-                                                policy_.retry, fault_rng);
-      snap.probe_attempts += trace.attempts.size();
-      snap.probe_retries += trace.retries();
-      if (trace.abandoned) ++snap.probes_abandoned;
-      if (!trace.reached) {
-        snap.unreachable += w;
-        continue;
+  const auto chrome_result =
+      tls::handshake::negotiate(chrome, seg.config, rng);
+  if (chrome_result.success) {
+    using namespace tls::core;
+    switch (cipher_class(chrome_result.negotiated_cipher)) {
+      case CipherClass::kRc4: probe.rc4 = w; break;
+      case CipherClass::kCbc: probe.cbc = w; break;
+      case CipherClass::kAead: probe.aead = w; break;
+      default: break;
+    }
+    const auto* info = find_cipher_suite(chrome_result.negotiated_cipher);
+    if (info != nullptr && is_3des(*info)) probe.tdes = w;
+
+    // Suite-support probes (SSL-Pulse style): which offered suites would
+    // the server accept at all?
+    bool any_rc4 = false;
+    bool any_non_rc4 = false;
+    for (const auto id : chrome.cipher_suites) {
+      if (!seg.config.supports_suite(id)) continue;
+      const auto* i = find_cipher_suite(id);
+      if (i == nullptr) continue;
+      if (is_rc4(*i)) {
+        any_rc4 = true;
+      } else {
+        any_non_rc4 = true;
       }
-    } else {
-      ++snap.probe_attempts;
     }
-    snap.scanned += w;
-    total += w;
-    tls::core::Rng rng(0xacce55);
-
-    const auto chrome_result =
-        tls::handshake::negotiate(chrome, seg.config, rng);
-    if (chrome_result.success) {
-      using namespace tls::core;
-      switch (cipher_class(chrome_result.negotiated_cipher)) {
-        case CipherClass::kRc4: snap.chooses_rc4 += w; break;
-        case CipherClass::kCbc: snap.chooses_cbc += w; break;
-        case CipherClass::kAead: snap.chooses_aead += w; break;
-        default: break;
-      }
-      const auto* info = find_cipher_suite(chrome_result.negotiated_cipher);
-      if (info != nullptr && is_3des(*info)) snap.chooses_3des += w;
-
-      // Suite-support probes (SSL-Pulse style): which offered suites would
-      // the server accept at all?
-      bool any_rc4 = false;
-      bool any_non_rc4 = false;
-      for (const auto id : chrome.cipher_suites) {
-        if (!seg.config.supports_suite(id)) continue;
-        const auto* i = find_cipher_suite(id);
-        if (i == nullptr) continue;
-        if (is_rc4(*i)) {
-          any_rc4 = true;
-        } else {
-          any_non_rc4 = true;
-        }
-      }
-      if (any_rc4) snap.rc4_support += w;
-      if (any_rc4 && !any_non_rc4) snap.rc4_only += w;
-    }
-
-    if (tls::handshake::negotiate(ssl3, seg.config, rng).success) {
-      snap.ssl3_support += w;
-    }
-    if (tls::handshake::negotiate(expo, seg.config, rng).success) {
-      snap.export_support += w;
-    }
-    const auto r13 = tls::handshake::negotiate(tls13, seg.config, rng);
-    if (r13.success && r13.negotiated_version != 0x0303 &&
-        r13.negotiated_version != 0x0301) {
-      snap.tls13_support += w;
-    }
-
-    if (seg.config.echo_heartbeat) {
-      snap.heartbeat_support += w;
-      snap.heartbleed_vulnerable += w * seg.heartbleed_unpatched.at(m);
-    }
+    if (any_rc4) probe.rc4_support = w;
+    if (any_rc4 && !any_non_rc4) probe.rc4_only = w;
   }
 
+  if (tls::handshake::negotiate(ssl3_only_hello(), seg.config, rng).success) {
+    probe.ssl3 = w;
+  }
+  if (tls::handshake::negotiate(export_only_hello(), seg.config, rng)
+          .success) {
+    probe.expo = w;
+  }
+  const auto r13 =
+      tls::handshake::negotiate(tls13_draft_hello(), seg.config, rng);
+  if (r13.success && r13.negotiated_version != 0x0303 &&
+      r13.negotiated_version != 0x0301) {
+    probe.tls13 = w;
+  }
+
+  if (seg.config.echo_heartbeat) {
+    probe.heartbeat = w;
+    probe.heartbleed = w * seg.heartbleed_unpatched.at(m);
+  }
+  return probe;
+}
+
+void ActiveScanner::fold_probe(ScanSnapshot& snap, const SegmentProbe& probe,
+                               double& total, double& population) {
+  if (!probe.included) return;
+  population += probe.weight;
+  snap.probe_attempts += probe.attempts;
+  snap.probe_retries += probe.retries;
+  if (probe.abandoned) ++snap.probes_abandoned;
+  if (!probe.reached) {
+    snap.unreachable += probe.weight;
+    return;
+  }
+  snap.scanned += probe.weight;
+  total += probe.weight;
+  // Each field receives either 0.0 or exactly the weight the serial sweep
+  // would have added; adding 0.0 to a non-negative sum is the identity, so
+  // the fold reproduces the conditional serial additions bit for bit.
+  snap.chooses_rc4 += probe.rc4;
+  snap.chooses_cbc += probe.cbc;
+  snap.chooses_aead += probe.aead;
+  snap.chooses_3des += probe.tdes;
+  snap.rc4_support += probe.rc4_support;
+  snap.rc4_only += probe.rc4_only;
+  snap.ssl3_support += probe.ssl3;
+  snap.export_support += probe.expo;
+  snap.tls13_support += probe.tls13;
+  snap.heartbeat_support += probe.heartbeat;
+  snap.heartbleed_vulnerable += probe.heartbleed;
+}
+
+void ActiveScanner::finalize(ScanSnapshot& snap, double total,
+                             double population) {
   if (total > 0) {
     for (double* f :
          {&snap.ssl3_support, &snap.export_support, &snap.chooses_rc4,
@@ -180,6 +205,18 @@ ScanSnapshot ActiveScanner::scan_weighted(Month m, bool by_traffic) const {
     snap.scanned /= population;
     snap.unreachable /= population;
   }
+}
+
+ScanSnapshot ActiveScanner::scan_weighted(Month m, bool by_traffic) const {
+  ScanSnapshot snap;
+  snap.month = m;
+  double total = 0;        // reached weight: denominator for the fractions
+  double population = 0;   // full target weight: denominator for coverage
+  const std::size_t n_segments = population_.segments().size();
+  for (std::size_t i = 0; i < n_segments; ++i) {
+    fold_probe(snap, probe_segment(m, i, by_traffic), total, population);
+  }
+  finalize(snap, total, population);
   return snap;
 }
 
@@ -227,6 +264,37 @@ std::vector<ScanSnapshot> ActiveScanner::scan_range(
   out.reserve(static_cast<std::size_t>(range.size()));
   for (Month m = range.begin_month; m <= range.end_month; ++m) {
     out.push_back(scan(m));
+  }
+  return out;
+}
+
+std::vector<ScanSnapshot> ActiveScanner::scan_range(
+    tls::core::MonthRange range, tls::core::ThreadPool& pool) const {
+  const auto n_months = static_cast<std::size_t>(range.size());
+  const std::size_t n_segments = population_.segments().size();
+  if (n_months == 0 || n_segments == 0) return scan_range(range);
+
+  // One task per (month, segment); every task writes only its own slot.
+  std::vector<SegmentProbe> probes(n_months * n_segments);
+  pool.run(probes.size(), [&](std::size_t i) {
+    const auto mi = static_cast<int>(i / n_segments);
+    probes[i] = probe_segment(range.begin_month + mi, i % n_segments,
+                              /*by_traffic=*/false);
+  });
+
+  // Fold in (month, segment) order — the serial sweep's order exactly.
+  std::vector<ScanSnapshot> out;
+  out.reserve(n_months);
+  for (std::size_t mi = 0; mi < n_months; ++mi) {
+    ScanSnapshot snap;
+    snap.month = range.begin_month + static_cast<int>(mi);
+    double total = 0;
+    double population = 0;
+    for (std::size_t si = 0; si < n_segments; ++si) {
+      fold_probe(snap, probes[mi * n_segments + si], total, population);
+    }
+    finalize(snap, total, population);
+    out.push_back(snap);
   }
   return out;
 }

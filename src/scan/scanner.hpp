@@ -16,6 +16,10 @@
 #include "tlscore/rng.hpp"
 #include "wire/client_hello.hpp"
 
+namespace tls::core {
+class ThreadPool;
+}
+
 namespace tls::scan {
 
 /// The fixed scan hellos. Built once; byte-identical across calls.
@@ -65,6 +69,26 @@ struct ScanSnapshot {
   std::uint64_t probes_abandoned = 0;
 };
 
+/// One (month, segment) probe result — the indivisible unit of scan work,
+/// and therefore the unit of parallelism. A probe is a pure function of
+/// (policy, month, segment): its fault stream is seeded per (seed, month,
+/// segment) and its negotiation stream is a fixed per-segment constant, so
+/// probes can run on any thread in any order. Folding probes into a
+/// ScanSnapshot in segment order reproduces the serial sweep bit for bit:
+/// every weight-valued field here is either 0 or the exact double the
+/// serial loop would have added.
+struct SegmentProbe {
+  bool included = false;  // segment carries weight for this sweep
+  bool reached = false;
+  double weight = 0;
+  std::uint64_t attempts = 0;
+  std::uint64_t retries = 0;
+  bool abandoned = false;
+  double ssl3 = 0, expo = 0, rc4 = 0, cbc = 0, aead = 0, tdes = 0;
+  double rc4_support = 0, rc4_only = 0;
+  double heartbeat = 0, heartbleed = 0, tls13 = 0;
+};
+
 class ActiveScanner {
  public:
   explicit ActiveScanner(const tls::servers::ServerPopulation& population,
@@ -73,6 +97,11 @@ class ActiveScanner {
 
   /// One full IPv4-style sweep for month m (host_share-weighted).
   [[nodiscard]] ScanSnapshot scan(tls::core::Month m) const;
+
+  /// Probes population_.segments()[segment_index] for month m.
+  [[nodiscard]] SegmentProbe probe_segment(tls::core::Month m,
+                                           std::size_t segment_index,
+                                           bool by_traffic) const;
 
   /// SSL-Pulse-style sweep of *popular* sites: the same probes weighted by
   /// traffic_share instead of host_share (§5.3's Alexa-based numbers).
@@ -98,11 +127,25 @@ class ActiveScanner {
   [[nodiscard]] std::vector<ScanSnapshot> scan_range(
       tls::core::MonthRange range) const;
 
+  /// The same sweeps, fanned out per (month, segment) on `pool`. Returns
+  /// snapshots byte-identical to the serial scan_range: probes are
+  /// deterministic per (seed, month, segment) and are folded in (month,
+  /// segment) order after the grid drains.
+  [[nodiscard]] std::vector<ScanSnapshot> scan_range(
+      tls::core::MonthRange range, tls::core::ThreadPool& pool) const;
+
   [[nodiscard]] const ScanPolicy& policy() const { return policy_; }
 
  private:
   [[nodiscard]] ScanSnapshot scan_weighted(tls::core::Month m,
                                            bool by_traffic) const;
+  /// Adds one probe into the sweep accumulator; `total` is the reached
+  /// weight, `population` the full target weight.
+  static void fold_probe(ScanSnapshot& snap, const SegmentProbe& probe,
+                         double& total, double& population);
+  /// Normalizes the accumulated sweep (support fractions over reached
+  /// weight, coverage fractions over population weight).
+  static void finalize(ScanSnapshot& snap, double total, double population);
 
   const tls::servers::ServerPopulation& population_;
   ScanPolicy policy_;

@@ -56,4 +56,27 @@ class Rng {
   std::array<std::uint64_t, 4> state_{};
 };
 
+/// Stateless seed derivation for partitioned work: (seed, lane, shard)
+/// always yields the same 64-bit stream seed, and distinct (lane, shard)
+/// pairs yield decorrelated seeds. `lane` is typically a month index and
+/// `shard` a within-month shard number, so a sharded run can hand every
+/// (month, shard) task its own reproducible generator regardless of which
+/// thread executes it or in what order.
+constexpr std::uint64_t rng_stream_seed(std::uint64_t seed, std::uint64_t lane,
+                                        std::uint64_t shard) {
+  std::uint64_t state = seed ^ 0xa0761d6478bd642full;
+  std::uint64_t h = splitmix64(state);
+  state ^= (lane + 0x8bb84b93962eacc9ull) * 0x2545f4914f6cdd1dull;
+  h ^= splitmix64(state);
+  state ^= (shard + 0x71d67fffeda60000ull) * 0xd6e8feb86659fd93ull;
+  h ^= splitmix64(state);
+  return h;
+}
+
+/// An Rng seeded with rng_stream_seed(seed, lane, shard).
+inline Rng rng_stream(std::uint64_t seed, std::uint64_t lane,
+                      std::uint64_t shard) {
+  return Rng(rng_stream_seed(seed, lane, shard));
+}
+
 }  // namespace tls::core

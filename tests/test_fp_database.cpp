@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <tuple>
+
 #include "fingerprint/database.hpp"
 #include "fingerprint/duration.hpp"
 
@@ -156,6 +158,70 @@ TEST(DurationTracker, QuantileInterpolation) {
   const auto s = t.summarize();
   EXPECT_DOUBLE_EQ(s.q3_days, 3.25);
   EXPECT_DOUBLE_EQ(s.median_days, 2.5);
+}
+
+// §4.1 boundary semantics, pinned explicitly: "single day" means first and
+// last observation fall on the same calendar day (duration_days() == 1) —
+// not "short-lived". A fingerprint seen on two consecutive days spans two
+// days and must NOT count as single-day.
+TEST(DurationTracker, SameDayRepeatsStaySingleDay) {
+  DurationTracker t;
+  t.record("h1", Date(2015, 6, 1), 2);
+  t.record("h1", Date(2015, 6, 1), 3);  // more traffic, same day
+  const auto& lt = t.lifetimes().at("h1");
+  EXPECT_EQ(lt.duration_days(), 1);
+  EXPECT_EQ(lt.connections, 5u);
+  const auto s = t.summarize();
+  EXPECT_EQ(s.single_day_count, 1u);
+  EXPECT_EQ(s.single_day_connections, 5u);
+}
+
+TEST(DurationTracker, ConsecutiveDaysAreNotSingleDay) {
+  DurationTracker t;
+  t.record("h1", Date(2015, 6, 1));
+  t.record("h1", Date(2015, 6, 2));
+  EXPECT_EQ(t.lifetimes().at("h1").duration_days(), 2);
+  const auto s = t.summarize();
+  EXPECT_EQ(s.single_day_count, 0u);
+  EXPECT_EQ(s.single_day_connections, 0u);
+}
+
+TEST(DurationTracker, SingleSampleQuantilesAreExact) {
+  // size() == 1: every quantile is the lone duration, no interpolation.
+  DurationTracker t;
+  t.record("h1", Date(2015, 6, 1));
+  t.record("h1", Date(2015, 6, 7));  // 7-day lifetime
+  const auto s = t.summarize();
+  EXPECT_EQ(s.fingerprint_count, 1u);
+  EXPECT_DOUBLE_EQ(s.median_days, 7.0);
+  EXPECT_DOUBLE_EQ(s.q3_days, 7.0);
+  EXPECT_DOUBLE_EQ(s.mean_days, 7.0);
+  EXPECT_EQ(s.max_days, 7);
+}
+
+TEST(DurationTracker, MergeMatchesInterleavedObservation) {
+  // Shard merge must equal the tracker that saw the union of events.
+  DurationTracker whole, left, right;
+  const auto events = {
+      std::tuple{"x", Date(2015, 1, 5), std::uint64_t{2}},
+      std::tuple{"x", Date(2015, 2, 1), std::uint64_t{1}},
+      std::tuple{"y", Date(2015, 1, 9), std::uint64_t{4}},
+      std::tuple{"x", Date(2014, 12, 30), std::uint64_t{3}},
+      std::tuple{"z", Date(2015, 3, 3), std::uint64_t{1}},
+  };
+  std::size_t i = 0;
+  for (const auto& [hash, day, n] : events) {
+    whole.record(hash, day, n);
+    (i++ % 2 == 0 ? left : right).record(hash, day, n);
+  }
+  left.merge(right);
+  ASSERT_EQ(left.size(), whole.size());
+  for (const auto& [hash, lt] : whole.lifetimes()) {
+    const auto& merged = left.lifetimes().at(hash);
+    EXPECT_EQ(merged.first_day, lt.first_day) << hash;
+    EXPECT_EQ(merged.last_day, lt.last_day) << hash;
+    EXPECT_EQ(merged.connections, lt.connections) << hash;
+  }
 }
 
 }  // namespace

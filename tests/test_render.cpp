@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 #include "analysis/render.hpp"
 
 namespace tls::analysis {
@@ -87,6 +89,83 @@ TEST(Render, CsvFormat) {
 TEST(Render, PctFormatting) {
   EXPECT_EQ(pct(12.34), "12.3%");
   EXPECT_EQ(pct(0.0), "0.0%");
+}
+
+TEST(Render, CsvEscapePassesPlainFieldsThrough) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape(""), "");
+  EXPECT_EQ(csv_escape("2015-01"), "2015-01");
+}
+
+TEST(Render, CsvEscapeQuotesSpecials) {
+  // RFC 4180: fields with comma, quote, CR, or LF get quoted; embedded
+  // quotes double.
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
+  EXPECT_EQ(csv_escape("cr\rhere"), "\"cr\rhere\"");
+}
+
+TEST(Render, CsvSeriesNamesWithCommasStayOneField) {
+  // Regression: a series named "RC4, advertised" used to split the header
+  // into two columns.
+  MonthlyChart c;
+  c.title = "t";
+  c.range = {Month(2015, 1), Month(2015, 2)};
+  c.series.push_back({"RC4, advertised", {1, 2}});
+  c.series.push_back({"with \"quote\"", {3, 4}});
+  const auto csv = to_csv(c);
+  EXPECT_EQ(csv.rfind("month,\"RC4, advertised\",\"with \"\"quote\"\"\"\n", 0),
+            0u);
+  const auto rows = parse_csv(csv);
+  ASSERT_EQ(rows.size(), 3u);
+  ASSERT_EQ(rows[0].size(), 3u);
+  EXPECT_EQ(rows[0][1], "RC4, advertised");
+  EXPECT_EQ(rows[0][2], "with \"quote\"");
+  EXPECT_EQ(rows[1][0], "2015-01");
+}
+
+TEST(Render, CsvDoubleRoundTrips) {
+  // max_digits10 formatting: text -> double -> text is the identity for
+  // values the old 6-digit default silently rounded.
+  for (const double v : {0.1, 1.0 / 3.0, 12.345678901234567, 99.999999999,
+                         0.0, 100.0, 1e-9, 2.0 / 7.0 * 100.0}) {
+    const auto text = csv_double(v);
+    EXPECT_EQ(std::strtod(text.c_str(), nullptr), v) << text;
+  }
+  // Integral values keep their short form (no trailing ".00000...").
+  EXPECT_EQ(csv_double(0.0), "0");
+  EXPECT_EQ(csv_double(100.0), "100");
+}
+
+TEST(Render, CsvValuesSurviveExportParseCycle) {
+  MonthlyChart c;
+  c.title = "t";
+  c.range = {Month(2015, 1), Month(2015, 3)};
+  c.series.push_back({"frac", {1.0 / 3.0, 2.0 / 3.0, 0.1 + 0.2}});
+  const auto rows = parse_csv(to_csv(c));
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(std::strtod(rows[1][1].c_str(), nullptr), 1.0 / 3.0);
+  EXPECT_EQ(std::strtod(rows[2][1].c_str(), nullptr), 2.0 / 3.0);
+  EXPECT_EQ(std::strtod(rows[3][1].c_str(), nullptr), 0.1 + 0.2);
+}
+
+TEST(Render, ParseCsvHandlesQuotedFieldsAndCrlf) {
+  const auto rows =
+      parse_csv("a,\"b,1\",c\r\n\"multi\nline\",\"\"\"q\"\"\",tail\n");
+  ASSERT_EQ(rows.size(), 2u);
+  ASSERT_EQ(rows[0].size(), 3u);
+  EXPECT_EQ(rows[0][1], "b,1");
+  EXPECT_EQ(rows[1][0], "multi\nline");
+  EXPECT_EQ(rows[1][1], "\"q\"");
+  EXPECT_EQ(rows[1][2], "tail");
+}
+
+TEST(Render, ParseCsvEmptyAndTrailingNewline) {
+  EXPECT_TRUE(parse_csv("").empty());
+  const auto rows = parse_csv("x,y\n");
+  ASSERT_EQ(rows.size(), 1u);  // trailing newline adds no empty row
+  EXPECT_EQ(rows[0][1], "y");
 }
 
 TEST(Render, LossTableEmpty) { EXPECT_EQ(render_loss_table({}), ""); }
