@@ -1,0 +1,202 @@
+// Observe-path throughput: replays a fixed pool of pre-serialized captures
+// through PassiveMonitor::observe_wire with the ObserveCache off and on,
+// reports connections/sec + cache hit rate, and fails if the two monitors
+// disagree on a single exported counter. The pool models the paper's
+// heavy-hitter skew (319.3B connections onto ~70k fingerprints): a few
+// hundred distinct records observed over and over.
+//
+// Environment knobs:
+//   TLS_BENCH_POOL    distinct captures in the pool (default 400)
+//   TLS_BENCH_REPLAY  total observations per run (default 200000)
+//   TLS_BENCH_JSON    output path (default BENCH_observe.json)
+//   TLS_STUDY_SEED    pool-sampling seed (default 42)
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "wire/server_key_exchange.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using tls::core::Month;
+
+struct Capture {
+  std::vector<std::uint8_t> client;
+  std::vector<std::uint8_t> server;
+  std::vector<std::uint8_t> ske;
+  std::vector<std::uint8_t> alert;
+  bool success = false;
+  bool used_fallback = false;
+};
+
+std::size_t env_size(const char* name, std::size_t fallback) {
+  const char* v = std::getenv(name);
+  return v == nullptr ? fallback : std::strtoull(v, nullptr, 10);
+}
+
+// Serializes one generated event exactly the way PassiveMonitor::observe
+// does, so the replay stream is indistinguishable from live capture.
+Capture to_capture(const tls::population::ConnectionEvent& ev) {
+  Capture c;
+  c.client = ev.hello.serialize_record();
+  c.success = ev.result.success;
+  c.used_fallback = ev.used_fallback;
+  if (ev.result.server_hello.has_value()) {
+    const auto& sh = *ev.result.server_hello;
+    c.server = sh.serialize_record();
+    if (ev.result.negotiated_group != 0 &&
+        !sh.has_extension(tls::core::ExtensionType::kSupportedVersions)) {
+      c.ske = tls::wire::EcdheServerKeyExchange::stub(ev.result.negotiated_group)
+                  .serialize_record(sh.legacy_version);
+    }
+  }
+  if (!ev.result.success &&
+      ev.result.failure != tls::handshake::FailureReason::kNone) {
+    c.alert =
+        tls::handshake::alert_for(ev.result.failure).serialize_record(0x0301);
+  }
+  return c;
+}
+
+// Exhaustive text digest of a monitor's exported state; byte equality of
+// two digests is the cache-on/off correctness gate.
+std::string digest(const tls::notary::PassiveMonitor& mon) {
+  std::ostringstream out;
+  for (const auto& [m, s] : mon.months()) {
+    out << m.to_string() << ' ' << s.total << ' ' << s.successful << ' '
+        << s.failures << ' ' << s.quarantined << ' ' << s.fallbacks << ' '
+        << s.spec_violations << ' ' << s.resumed << ' ' << s.adv_aead << ' '
+        << s.adv_rc4 << ' ' << s.adv_fs << ' ' << s.heartbeat_negotiated
+        << ' ' << s.negotiated_tls13 << '\n';
+    for (const auto& [v, n] : s.negotiated_version()) {
+      out << "v " << v << ' ' << n << '\n';
+    }
+    for (const auto& [c, n] : s.negotiated_class()) {
+      out << "c " << static_cast<int>(c) << ' ' << n << '\n';
+    }
+    for (const auto& [k, n] : s.negotiated_kex()) {
+      out << "k " << static_cast<int>(k) << ' ' << n << '\n';
+    }
+    for (const auto& [a, n] : s.negotiated_aead()) {
+      out << "a " << static_cast<int>(a) << ' ' << n << '\n';
+    }
+    for (const auto& [g, n] : s.negotiated_group()) {
+      out << "g " << g << ' ' << n << '\n';
+    }
+    for (const auto& [d, n] : s.alerts()) {
+      out << "al " << static_cast<int>(d) << ' ' << n << '\n';
+    }
+    for (const auto& [e, n] : s.parse_errors()) {
+      out << "e " << static_cast<int>(e) << ' ' << n << '\n';
+    }
+    for (const auto& [hash, flags] : std::map<std::string, std::uint8_t>(
+             s.fingerprints.begin(), s.fingerprints.end())) {
+      out << "f " << hash << ' ' << static_cast<int>(flags) << '\n';
+    }
+  }
+  return out.str();
+}
+
+double replay(tls::notary::PassiveMonitor& mon, Month m,
+              const std::vector<Capture>& pool, std::size_t total) {
+  const tls::core::Date day(m.year(), m.month(), 15);
+  const auto start = Clock::now();
+  for (std::size_t i = 0; i < total; ++i) {
+    const Capture& c = pool[i % pool.size()];
+    mon.observe_wire(m, day, c.client, c.server, c.ske, c.success,
+                     c.used_fallback, c.alert);
+  }
+  const double wall =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  return wall > 0 ? static_cast<double>(total) / wall : 0.0;
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t pool_size = env_size("TLS_BENCH_POOL", 400);
+  const std::size_t total = env_size("TLS_BENCH_REPLAY", 200000);
+  const char* json_path_env = std::getenv("TLS_BENCH_JSON");
+  const std::string json_path =
+      json_path_env != nullptr ? json_path_env : "BENCH_observe.json";
+  const std::uint64_t seed = env_size("TLS_STUDY_SEED", 42);
+
+  // Default catalog mix at a fingerprint-era month.
+  const auto catalog = tls::clients::Catalog::standard();
+  const auto database = tls::study::LongitudinalStudy::build_database(catalog);
+  const auto servers = tls::servers::ServerPopulation::standard();
+  const auto market = tls::population::MarketModel::standard(catalog);
+  const Month m(2017, 1);
+
+  std::vector<Capture> pool;
+  pool.reserve(pool_size);
+  tls::population::TrafficGenerator gen(market, servers, seed);
+  while (pool.size() < pool_size) {
+    gen.generate_month(m, 1,
+                       [&](const tls::population::ConnectionEvent& ev) {
+                         if (!ev.sslv2 && pool.size() < pool_size) {
+                           pool.push_back(to_capture(ev));
+                         }
+                       });
+  }
+
+  std::printf("== bench_observe_throughput ==\n");
+  std::printf("pool=%zu distinct captures, replay=%zu observations\n\n",
+              pool.size(), total);
+
+  tls::notary::PassiveMonitor cold(&database);
+  cold.set_observe_cache_capacity(0);
+  const double off_cps = replay(cold, m, pool, total);
+
+  tls::notary::PassiveMonitor warm(&database);
+  warm.set_observe_cache_capacity(
+      tls::notary::ObserveCache::kDefaultCapacity);
+  const double on_cps = replay(warm, m, pool, total);
+
+  const auto& cs = warm.observe_cache_stats();
+  const double speedup = off_cps > 0 ? on_cps / off_cps : 0.0;
+  const bool identical = digest(cold) == digest(warm);
+
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"config", "conn/s", "hit rate", "figures"});
+  char off_s[32], on_s[32], hit_s[32];
+  std::snprintf(off_s, sizeof(off_s), "%.0f", off_cps);
+  std::snprintf(on_s, sizeof(on_s), "%.0f", on_cps);
+  std::snprintf(hit_s, sizeof(hit_s), "%.3f", cs.client.hit_rate());
+  rows.push_back({"cache off", off_s, "-", "baseline"});
+  rows.push_back(
+      {"cache on", on_s, hit_s, identical ? "bit-identical" : "MISMATCH"});
+  std::fputs(tls::analysis::render_table(rows).c_str(), stdout);
+  std::printf("\nspeedup: %.2fx (target >= 3x)\n", speedup);
+
+  std::ofstream json(json_path);
+  json << "{\n"
+       << "  \"connections\": " << total << ",\n"
+       << "  \"distinct_records\": " << pool.size() << ",\n"
+       << "  \"cache_off_cps\": " << static_cast<std::uint64_t>(off_cps)
+       << ",\n"
+       << "  \"cache_on_cps\": " << static_cast<std::uint64_t>(on_cps)
+       << ",\n"
+       << "  \"speedup\": " << speedup << ",\n"
+       << "  \"client_hit_rate\": " << cs.client.hit_rate() << ",\n"
+       << "  \"client_hits\": " << cs.client.hits << ",\n"
+       << "  \"client_misses\": " << cs.client.misses << ",\n"
+       << "  \"server_hit_rate\": " << cs.server.hit_rate() << ",\n"
+       << "  \"evictions\": " << cs.client.evictions + cs.server.evictions
+       << ",\n"
+       << "  \"identical\": " << (identical ? "true" : "false") << "\n"
+       << "}\n";
+  std::printf("wrote %s\n", json_path.c_str());
+
+  if (!identical) {
+    std::fprintf(stderr, "FAIL: cache-on monitor diverged from cache-off\n");
+    return 1;
+  }
+  return 0;
+}

@@ -17,11 +17,8 @@ int main() {
   const auto* aug14 = mon.month(Month(2014, 8));
   const auto pct_v = [](const tls::notary::MonthlyStats* s, std::uint16_t v) {
     if (s == nullptr || s->total == 0) return 0.0;
-    const auto it = s->negotiated_version.find(v);
-    return it == s->negotiated_version.end()
-               ? 0.0
-               : 100.0 * static_cast<double>(it->second) /
-                     static_cast<double>(s->total);
+    return 100.0 * static_cast<double>(s->negotiated_version_count(v)) /
+           static_cast<double>(s->total);
   };
 
   const tls::scan::ActiveScanner scanner(study.servers());

@@ -21,10 +21,7 @@ int main() {
                 success_all = 0;
   for (const auto& [m, s] : mon.months()) {
     using KC = tls::core::KexClass;
-    const auto get = [&](KC c) {
-      const auto it = s.negotiated_kex.find(c);
-      return it == s.negotiated_kex.end() ? std::uint64_t{0} : it->second;
-    };
+    const auto get = [&](KC c) { return s.negotiated_kex_count(c); };
     ecdh_static += get(KC::kEcdhStatic);
     dh_static += get(KC::kDhStatic);
     fs_negotiated += get(KC::kEcdhe) + get(KC::kDhe) + get(KC::kTls13);
@@ -43,8 +40,7 @@ int main() {
     using KC = tls::core::KexClass;
     std::uint64_t n = 0;
     for (const auto c : {KC::kEcdhe, KC::kDhe, KC::kTls13}) {
-      const auto it = mar18->negotiated_kex.find(c);
-      if (it != mar18->negotiated_kex.end()) n += it->second;
+      n += mar18->negotiated_kex_count(c);
     }
     fs_2018 = 100.0 * static_cast<double>(n) /
               static_cast<double>(mar18->successful);

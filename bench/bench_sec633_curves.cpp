@@ -15,7 +15,7 @@ int main() {
   std::map<std::uint16_t, std::uint64_t> totals;
   std::uint64_t all = 0;
   for (const auto& [m, s] : mon.months()) {
-    for (const auto& [g, n] : s.negotiated_group) {
+    for (const auto& [g, n] : s.negotiated_group()) {
       totals[g] += n;
       all += n;
     }
@@ -31,10 +31,10 @@ int main() {
   double x25519_feb18 = 0;
   if (const auto* s = mon.month(Month(2018, 2))) {
     std::uint64_t month_all = 0;
-    for (const auto& [g, n] : s->negotiated_group) month_all += n;
-    const auto it = s->negotiated_group.find(29);
-    if (it != s->negotiated_group.end() && month_all > 0) {
-      x25519_feb18 = 100.0 * static_cast<double>(it->second) /
+    for (const auto& [g, n] : s->negotiated_group()) month_all += n;
+    if (month_all > 0) {
+      x25519_feb18 = 100.0 *
+                     static_cast<double>(s->negotiated_group_count(29)) /
                      static_cast<double>(month_all);
     }
   }

@@ -30,7 +30,7 @@ int main() {
   std::map<std::uint16_t, std::uint64_t> drafts;
   if (apr != nullptr) {
     with_ext = apr->adv_tls13;
-    drafts = apr->adv_tls13_versions;
+    drafts = apr->adv_tls13_versions();
   }
   const auto draft_share = [&](std::uint16_t v) {
     const auto it = drafts.find(v);

@@ -20,7 +20,7 @@ int main() {
     rc4_despite_aead += s.rc4_despite_aead;
     violations += s.spec_violations;
     total += s.total;
-    for (const auto& [desc, n] : s.alerts) alerts[desc] += n;
+    for (const auto& [desc, n] : s.alerts()) alerts[desc] += n;
   }
   // illegal_parameter alerts = standard clients aborting on unoffered
   // suites (GOST); Interwise sessions complete, so they raise no alert.

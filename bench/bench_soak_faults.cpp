@@ -40,7 +40,7 @@ SweepRow sweep_passive(double rate, const tls::study::StudyOptions& base) {
     row.one_sided += s.one_sided_client + s.one_sided_server;
     row.partition_exact &=
         s.total == s.successful + s.failures + s.quarantined;
-    for (const auto& [code, n] : s.parse_errors) row.parse_errors += n;
+    for (const auto& [code, n] : s.parse_errors()) row.parse_errors += n;
     aead += s.adv_aead;
   }
   if (row.accepted > 0) {

@@ -14,26 +14,24 @@ using tls::core::Month;
 using tls::notary::MonthlyStats;
 
 double metric_rc4(const MonthlyStats& s) {
-  const auto it = s.negotiated_class.find(tls::core::CipherClass::kRc4);
-  return it == s.negotiated_class.end() || s.successful == 0
-             ? 0
-             : 100.0 * static_cast<double>(it->second) /
-                   static_cast<double>(s.successful);
+  const std::uint64_t n = s.negotiated_class_count(tls::core::CipherClass::kRc4);
+  return s.successful == 0 ? 0
+                           : 100.0 * static_cast<double>(n) /
+                                 static_cast<double>(s.successful);
 }
 
 double metric_cbc(const MonthlyStats& s) {
-  const auto it = s.negotiated_class.find(tls::core::CipherClass::kCbc);
-  return it == s.negotiated_class.end() || s.successful == 0
-             ? 0
-             : 100.0 * static_cast<double>(it->second) /
-                   static_cast<double>(s.successful);
+  const std::uint64_t n = s.negotiated_class_count(tls::core::CipherClass::kCbc);
+  return s.successful == 0 ? 0
+                           : 100.0 * static_cast<double>(n) /
+                                 static_cast<double>(s.successful);
 }
 
 double metric_rsa_kex(const MonthlyStats& s) {
-  const auto it = s.negotiated_kex.find(tls::core::KexClass::kRsa);
-  return it == s.negotiated_kex.end() || s.successful == 0
+  const std::uint64_t n = s.negotiated_kex_count(tls::core::KexClass::kRsa);
+  return s.successful == 0
              ? 0
-             : 100.0 * static_cast<double>(it->second) /
+             : 100.0 * static_cast<double>(n) /
                    static_cast<double>(s.successful);
 }
 

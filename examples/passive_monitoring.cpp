@@ -19,17 +19,17 @@ int main() {
               "TLS1.0", "TLS1.1", "TLS1.2", "RC4", "CBC", "AEAD");
   for (const auto& [month, stats] : monitor.months()) {
     const auto vp = [&](std::uint16_t v) {
-      const auto it = stats.negotiated_version.find(v);
-      return it == stats.negotiated_version.end()
+      return stats.successful == 0
                  ? 0.0
-                 : 100.0 * static_cast<double>(it->second) /
+                 : 100.0 *
+                       static_cast<double>(stats.negotiated_version_count(v)) /
                        static_cast<double>(stats.successful);
     };
     const auto cp = [&](core::CipherClass c) {
-      const auto it = stats.negotiated_class.find(c);
-      return it == stats.negotiated_class.end()
+      return stats.successful == 0
                  ? 0.0
-                 : 100.0 * static_cast<double>(it->second) /
+                 : 100.0 *
+                       static_cast<double>(stats.negotiated_class_count(c)) /
                        static_cast<double>(stats.successful);
     };
     std::printf("%-8s %8llu %6.1f%% %6.1f%% %6.1f%% | %6.1f%% %6.1f%% %6.1f%%\n",

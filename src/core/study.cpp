@@ -82,6 +82,8 @@ void LongitudinalStudy::run() {
     const ShardTask& task = tasks[i];
     const auto lane = static_cast<std::uint64_t>(task.month.index());
     auto mon = std::make_unique<tls::notary::PassiveMonitor>(&database_);
+    mon->set_observe_cache_capacity(options_.observe_cache_entries);
+    mon->set_fast_observe(options_.fast_observe);
     std::unique_ptr<tls::faults::FaultInjector> injector;
     if (faulty) {
       injector = std::make_unique<tls::faults::FaultInjector>(
@@ -92,10 +94,13 @@ void LongitudinalStudy::run() {
     tls::population::TrafficGenerator gen(
         *market_, servers_,
         tls::core::rng_stream_seed(options_.seed, lane, task.shard));
-    gen.generate_month(task.month, task.count,
-                       [&](const tls::population::ConnectionEvent& ev) {
-                         mon->observe(ev);
-                       });
+    // Batched hand-off: one virtual-call boundary per 256 events instead of
+    // per event; the generator's RNG stream is unchanged.
+    gen.generate_month_batched(
+        task.month, task.count, 256,
+        [&](std::span<const tls::population::ConnectionEvent> events) {
+          mon->observe_span(events);
+        });
     mon->set_fault_injector(nullptr);
     shard_monitors[i] = std::move(mon);
   });
@@ -178,16 +183,7 @@ double pct_of(std::uint64_t num, std::uint64_t den) {
 }
 
 double version_pct(const MonthlyStats& s, std::uint16_t version) {
-  const auto it = s.negotiated_version.find(version);
-  return it == s.negotiated_version.end() ? 0.0
-                                          : pct_of(it->second, s.successful);
-}
-
-template <typename Key>
-double map_pct(const std::map<Key, std::uint64_t>& m, Key key,
-               std::uint64_t den) {
-  const auto it = m.find(key);
-  return it == m.end() ? 0.0 : pct_of(it->second, den);
+  return pct_of(s.negotiated_version_count(version), s.successful);
 }
 
 }  // namespace
@@ -224,7 +220,7 @@ MonthlyChart LongitudinalStudy::figure2_negotiated_classes() {
            {CipherClass::kRc4, "RC4"}}) {
     c.series.push_back(
         monthly_series(name, [cls = cls](const MonthlyStats& s) {
-          return map_pct(s.negotiated_class, cls, s.successful);
+          return pct_of(s.negotiated_class_count(cls), s.successful);
         }));
   }
   return c;
@@ -367,10 +363,11 @@ MonthlyChart LongitudinalStudy::figure8_key_exchange() {
         monthly_series(name, [cls = cls](const MonthlyStats& s) {
           // TLS 1.3 connections always use an ephemeral (EC)DHE exchange.
           if (cls == KexClass::kEcdhe) {
-            return map_pct(s.negotiated_kex, KexClass::kEcdhe, s.successful) +
-                   map_pct(s.negotiated_kex, KexClass::kTls13, s.successful);
+            return pct_of(s.negotiated_kex_count(KexClass::kEcdhe) +
+                              s.negotiated_kex_count(KexClass::kTls13),
+                          s.successful);
           }
-          return map_pct(s.negotiated_kex, cls, s.successful);
+          return pct_of(s.negotiated_kex_count(cls), s.successful);
         }));
   }
   return c;
@@ -383,8 +380,8 @@ MonthlyChart LongitudinalStudy::figure9_aead_negotiated() {
       "Figure 9: Negotiated AEAD ciphers (% monthly connections)";
   c.range = options_.window;
   c.series.push_back(monthly_series("AEAD Total", [](const MonthlyStats& s) {
-    return map_pct(s.negotiated_class, tls::core::CipherClass::kAead,
-                   s.successful);
+    return pct_of(s.negotiated_class_count(tls::core::CipherClass::kAead),
+                  s.successful);
   }));
   for (const auto& [kind, name] :
        std::initializer_list<std::pair<AeadKind, const char*>>{
@@ -393,7 +390,7 @@ MonthlyChart LongitudinalStudy::figure9_aead_negotiated() {
            {AeadKind::kChaCha20Poly1305, "ChaCha20-Poly1305"}}) {
     c.series.push_back(
         monthly_series(name, [kind = kind](const MonthlyStats& s) {
-          return map_pct(s.negotiated_aead, kind, s.successful);
+          return pct_of(s.negotiated_aead_count(kind), s.successful);
         }));
   }
   return c;

@@ -49,6 +49,13 @@ struct StudyOptions {
   /// (it changes which rng stream feeds each connection), so changing it
   /// changes the sampled stream — changing `threads` never does.
   std::size_t shards_per_month = 8;
+  /// Per-side capacity of each shard monitor's ObserveCache (0 disables).
+  /// Cache state never changes any exported byte — only throughput.
+  std::size_t observe_cache_entries = tls::notary::ObserveCache::kDefaultCapacity;
+  /// Struct-reuse fast path for fault-free observations (see
+  /// PassiveMonitor::observe). Off forces the serialize→parse byte path;
+  /// outputs are identical either way.
+  bool fast_observe = true;
 };
 
 class LongitudinalStudy {

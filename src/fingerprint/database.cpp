@@ -56,7 +56,7 @@ FingerprintDatabase::AddOutcome FingerprintDatabase::add(
   // Two distinct software packages (or two distinct libraries) share the
   // fingerprint: it cannot uniquely identify a client. Drop it permanently.
   entries_.erase(it);
-  removed_.emplace(hash, true);
+  removed_.insert(hash);
   return AddOutcome::kRemoved;
 }
 

@@ -12,6 +12,7 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "fingerprint/fingerprint.hpp"
@@ -73,7 +74,8 @@ class FingerprintDatabase {
 
  private:
   std::unordered_map<std::string, SoftwareLabel> entries_;
-  std::unordered_map<std::string, bool> removed_;  // hash -> dropped
+  // Membership is the only question ever asked of dropped hashes.
+  std::unordered_set<std::string> removed_;
 };
 
 }  // namespace tls::fp

@@ -25,6 +25,11 @@ std::vector<std::uint16_t> strip_grease(std::vector<std::uint16_t> vals) {
 
 std::string Fingerprint::canonical() const {
   std::string out;
+  // Each id renders as at most 5 digits plus a separator; reserving up front
+  // keeps the hot fingerprint path to a single allocation.
+  out.reserve(6 * (cipher_suites.size() + extensions.size() + groups.size() +
+                   ec_point_formats.size()) +
+              3);
   append_list(out, cipher_suites);
   out.push_back(',');
   append_list(out, extensions);
@@ -60,7 +65,10 @@ Fingerprint extract_fingerprint(const tls::wire::ClientHello& hello) {
 
 std::string ja3_string(const tls::wire::ClientHello& hello) {
   const Fingerprint fp = extract_fingerprint(hello);
-  std::string out = std::to_string(hello.legacy_version);
+  std::string out;
+  out.reserve(8 + 6 * (fp.cipher_suites.size() + fp.extensions.size() +
+                       fp.groups.size() + fp.ec_point_formats.size()));
+  out += std::to_string(hello.legacy_version);
   out.push_back(',');
   out += fp.canonical();
   return out;

@@ -1,0 +1,89 @@
+// Allocation-free counter containers for the monitor's hot path. The old
+// MonthlyStats counters were std::map<Key, uint64_t>: every first-of-month
+// increment allocated a red-black tree node and every increment chased
+// pointers. The observe pipeline touches a handful of counters per
+// connection, so these are replaced by:
+//   * EnumCounterArray — a fixed-size array indexed by the enum value, for
+//     keys with a small closed domain (cipher class, kex class, AEAD kind,
+//     parse-error code);
+//   * SmallCounterMap  — an unsorted vector of (key, count) pairs with
+//     linear lookup, for sparse open domains (wire versions, named groups,
+//     alert codes) that see at most a few dozen distinct keys per month.
+// Both convert to a sorted std::map only at render/CSV time, so every
+// exported artifact stays byte-identical to the std::map implementation;
+// and both merge by commutative integer addition, preserving the sharded
+// runner's any-thread-count determinism.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+namespace tls::notary {
+
+template <typename Enum, std::size_t N>
+class EnumCounterArray {
+ public:
+  void add(Enum key, std::uint64_t n = 1) {
+    counts_[static_cast<std::size_t>(key)] += n;
+  }
+
+  [[nodiscard]] std::uint64_t count(Enum key) const {
+    return counts_[static_cast<std::size_t>(key)];
+  }
+
+  void merge(const EnumCounterArray& other) {
+    for (std::size_t i = 0; i < N; ++i) counts_[i] += other.counts_[i];
+  }
+
+  /// Sorted render-time view; zero entries are omitted, matching a map
+  /// that was only ever written by increments.
+  [[nodiscard]] std::map<Enum, std::uint64_t> to_map() const {
+    std::map<Enum, std::uint64_t> out;
+    for (std::size_t i = 0; i < N; ++i) {
+      if (counts_[i] != 0) out.emplace(static_cast<Enum>(i), counts_[i]);
+    }
+    return out;
+  }
+
+ private:
+  std::array<std::uint64_t, N> counts_{};
+};
+
+template <typename Key>
+class SmallCounterMap {
+ public:
+  void add(Key key, std::uint64_t n = 1) {
+    for (auto& [k, count] : items_) {
+      if (k == key) {
+        count += n;
+        return;
+      }
+    }
+    items_.emplace_back(key, n);
+  }
+
+  [[nodiscard]] std::uint64_t count(Key key) const {
+    for (const auto& [k, n] : items_) {
+      if (k == key) return n;
+    }
+    return 0;
+  }
+
+  void merge(const SmallCounterMap& other) {
+    for (const auto& [k, n] : other.items_) add(k, n);
+  }
+
+  [[nodiscard]] std::map<Key, std::uint64_t> to_map() const {
+    return {items_.begin(), items_.end()};
+  }
+
+  [[nodiscard]] bool empty() const { return items_.empty(); }
+
+ private:
+  std::vector<std::pair<Key, std::uint64_t>> items_;
+};
+
+}  // namespace tls::notary

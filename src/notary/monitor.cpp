@@ -1,5 +1,7 @@
 #include "notary/monitor.hpp"
 
+#include <algorithm>
+
 #include "faults/injector.hpp"
 #include "fingerprint/fingerprint.hpp"
 #include "tlscore/grease.hpp"
@@ -20,33 +22,9 @@ using tls::wire::ServerHello;
 
 namespace {
 
-/// Relative position (0 = head, approaching 1 = tail) of the first offered
-/// suite matching pred; nullopt when no suite matches. GREASE and SCSV
-/// entries are skipped for both numerator and denominator, matching the
-/// fingerprint normalization.
-template <typename Pred>
-std::optional<double> first_position(const ClientHello& hello, Pred&& pred) {
-  std::size_t real_index = 0;
-  std::optional<std::size_t> hit;
-  for (const auto id : hello.cipher_suites) {
-    if (tls::core::is_grease(id)) continue;
-    const auto* info = find_cipher_suite(id);
-    if (info != nullptr && info->scsv) continue;
-    if (!hit && info != nullptr && pred(*info)) hit = real_index;
-    ++real_index;
-  }
-  if (!hit || real_index == 0) return std::nullopt;
-  return static_cast<double>(*hit) / static_cast<double>(real_index);
-}
-
-}  // namespace
-
-namespace {
-
-template <typename Key>
-void merge_map(std::map<Key, std::uint64_t>& into,
-               const std::map<Key, std::uint64_t>& from) {
-  for (const auto& [key, n] : from) into[key] += n;
+bool is_tls13_version(std::uint16_t version) {
+  return version == 0x0304 || (version & 0xff00) == 0x7f00 ||
+         (version & 0xff00) == 0x7e00;
 }
 
 }  // namespace
@@ -58,16 +36,16 @@ void MonthlyStats::merge(const MonthlyStats& other) {
   quarantined += other.quarantined;
   one_sided_client += other.one_sided_client;
   one_sided_server += other.one_sided_server;
-  merge_map(parse_errors, other.parse_errors);
+  parse_error_counts_.merge(other.parse_error_counts_);
   fallbacks += other.fallbacks;
   spec_violations += other.spec_violations;
   sslv2_connections += other.sslv2_connections;
 
-  merge_map(negotiated_version, other.negotiated_version);
-  merge_map(negotiated_class, other.negotiated_class);
-  merge_map(negotiated_aead, other.negotiated_aead);
-  merge_map(negotiated_kex, other.negotiated_kex);
-  merge_map(negotiated_group, other.negotiated_group);
+  version_counts_.merge(other.version_counts_);
+  class_counts_.merge(other.class_counts_);
+  aead_counts_.merge(other.aead_counts_);
+  kex_counts_.merge(other.kex_counts_);
+  group_counts_.merge(other.group_counts_);
 
   adv_rc4 += other.adv_rc4;
   adv_des += other.adv_des;
@@ -84,7 +62,7 @@ void MonthlyStats::merge(const MonthlyStats& other) {
   adv_ccm += other.adv_ccm;
 
   adv_tls13 += other.adv_tls13;
-  merge_map(adv_tls13_versions, other.adv_tls13_versions);
+  tls13_version_counts_.merge(other.tls13_version_counts_);
   negotiated_tls13 += other.negotiated_tls13;
 
   heartbeat_offered += other.heartbeat_offered;
@@ -100,7 +78,7 @@ void MonthlyStats::merge(const MonthlyStats& other) {
   session_ticket_offered += other.session_ticket_offered;
   resumed += other.resumed;
 
-  merge_map(alerts, other.alerts);
+  alert_counts_.merge(other.alert_counts_);
   rc4_despite_aead += other.rc4_despite_aead;
 
   negotiated_3des += other.negotiated_3des;
@@ -134,6 +112,7 @@ void PassiveMonitor::absorb(const PassiveMonitor& other) {
   }
   taxonomy_.merge(other.taxonomy_);
   quarantine_.absorb(other.quarantine_);
+  cache_.stats().merge(other.cache_.stats());
 }
 
 const MonthlyStats* PassiveMonitor::month(Month m) const {
@@ -146,44 +125,60 @@ void PassiveMonitor::observe(const tls::population::ConnectionEvent& event) {
     observe_sslv2(event.month);
     return;
   }
-  auto client_record = event.hello.serialize_record();
-  std::vector<std::uint8_t> server_record;
-  std::vector<std::uint8_t> ske_record;
+  // Fast path: without a chaos tap the serialized records are byte-for-byte
+  // what the structs would produce (the codecs are inverses), so the
+  // serialize→parse round trip is pure overhead. observe_event_fast
+  // harvests the structs directly and declines (recording nothing) on any
+  // event the byte path would treat specially — which then falls through.
+  if (injector_ == nullptr && fast_observe_ && observe_event_fast(event)) {
+    return;
+  }
+  event.hello.serialize_record_into(buf_client_);
+  buf_server_.clear();
+  buf_ske_.clear();
+  buf_alert_.clear();
   if (event.result.server_hello.has_value()) {
     const auto& sh = *event.result.server_hello;
-    server_record = sh.serialize_record();
+    sh.serialize_record_into(buf_server_);
     // Pre-1.3 EC handshakes carry the chosen curve in ServerKeyExchange.
     if (event.result.negotiated_group != 0 &&
         !sh.has_extension(tls::core::ExtensionType::kSupportedVersions)) {
-      ske_record = tls::wire::EcdheServerKeyExchange::stub(
-                       event.result.negotiated_group)
-                       .serialize_record(sh.legacy_version);
+      buf_ske_ = tls::wire::EcdheServerKeyExchange::stub(
+                     event.result.negotiated_group)
+                     .serialize_record(sh.legacy_version);
     }
   }
-  std::vector<std::uint8_t> alert_record;
   if (!event.result.success &&
       event.result.failure != tls::handshake::FailureReason::kNone) {
-    alert_record = tls::handshake::alert_for(event.result.failure)
-                       .serialize_record(0x0301);
+    buf_alert_ = tls::handshake::alert_for(event.result.failure)
+                     .serialize_record(0x0301);
   }
   bool client_only = false;
+  bool cacheable = true;
   if (injector_ != nullptr) {
     using tls::faults::FaultKind;
-    const FaultKind kind =
-        injector_->corrupt_capture(client_record, server_record);
+    const FaultKind kind = injector_->corrupt_capture(buf_client_, buf_server_);
+    // Anything the tap touched must bypass the cache: the quarantine and
+    // error-taxonomy paths have to run for every corrupted repetition.
+    cacheable = kind == FaultKind::kNone;
     // SKE and alert records travel in the server direction: when that
     // direction is lost, they are lost with it.
-    if (server_record.empty() &&
+    if (buf_server_.empty() &&
         (kind == FaultKind::kDropFlight || kind == FaultKind::kOneSided)) {
-      ske_record.clear();
-      alert_record.clear();
-      client_only = kind == FaultKind::kOneSided && !client_record.empty();
+      buf_ske_.clear();
+      buf_alert_.clear();
+      client_only = kind == FaultKind::kOneSided && !buf_client_.empty();
     }
   }
-  observe_wire(event.month, event.day, client_record, server_record,
-               ske_record, event.result.success, event.used_fallback,
-               alert_record);
+  observe_wire(event.month, event.day, buf_client_, buf_server_, buf_ske_,
+               event.result.success, event.used_fallback, buf_alert_,
+               cacheable);
   if (client_only) ++stats(event.month).one_sided_client;
+}
+
+void PassiveMonitor::observe_span(
+    std::span<const tls::population::ConnectionEvent> events) {
+  for (const auto& event : events) observe(event);
 }
 
 void PassiveMonitor::observe_flights(
@@ -242,8 +237,161 @@ void PassiveMonitor::observe_sslv2(Month m) {
   ++s.total;
   ++s.successful;
   ++s.sslv2_connections;
-  ++s.negotiated_version[0x0002];
+  s.count_version(0x0002);
   ++total_;
+}
+
+void PassiveMonitor::apply_client_features(MonthlyStats& s, Month m,
+                                           const tls::core::Date& day,
+                                           const ClientHelloFeatures& f) {
+  s.adv_rc4 += f.adv_rc4;
+  s.adv_des += f.adv_des;
+  s.adv_3des += f.adv_3des;
+  s.adv_aead += f.adv_aead;
+  s.adv_cbc += f.adv_cbc;
+  s.adv_export += f.adv_export;
+  s.adv_anon += f.adv_anon;
+  s.adv_null += f.adv_null;
+  s.adv_fs += f.adv_fs;
+  s.adv_aes128gcm += f.adv_aes128gcm;
+  s.adv_aes256gcm += f.adv_aes256gcm;
+  s.adv_chacha += f.adv_chacha;
+  s.adv_ccm += f.adv_ccm;
+
+  s.heartbeat_offered += f.heartbeat_offered;
+  s.reneg_info_offered += f.reneg_info_offered;
+  s.etm_offered += f.etm_offered;
+  s.ems_offered += f.ems_offered;
+  s.sni_offered += f.sni_offered;
+  s.session_ticket_offered += f.session_ticket_offered;
+
+  for (const auto v : f.tls13_versions) s.count_adv_tls13_version(v);
+  s.adv_tls13 += f.adv_tls13;
+
+  if (f.pos_aead) s.pos_aead.add(*f.pos_aead);
+  if (f.pos_cbc) s.pos_cbc.add(*f.pos_cbc);
+  if (f.pos_rc4) s.pos_rc4.add(*f.pos_rc4);
+  if (f.pos_des) s.pos_des.add(*f.pos_des);
+  if (f.pos_3des) s.pos_3des.add(*f.pos_3des);
+
+  if (m >= fp_start() && f.fingerprint_computed) {
+    durations_.record(f.fp_hash, day);
+    ++fingerprintable_;
+    s.fingerprints[f.fp_hash] |= f.fp_flags;
+    if (f.label_cls) ++labeled_by_class_[*f.label_cls];
+  }
+}
+
+void PassiveMonitor::apply_server_features(
+    MonthlyStats& s, const ClientHello& hello, const ClientHelloFeatures& cf,
+    const ServerHello& sh, const ServerHelloFeatures& sf,
+    std::optional<std::uint16_t> ske_group) {
+  using namespace tls::core;
+  const std::uint16_t version = sf.version;
+  if (!hello.session_id.empty() && sh.session_id == hello.session_id &&
+      !is_tls13_version(version)) {
+    ++s.resumed;
+  }
+  s.count_version(version);
+  if (is_tls13_version(version)) ++s.negotiated_tls13;
+
+  const auto* suite = sf.suite;
+  if (suite != nullptr) {
+    if (is_rc4(*suite) && cf.adv_aead) ++s.rc4_despite_aead;
+    s.count_class(cipher_class(*suite));
+    s.count_kex(kex_class(*suite));
+    if (is_aead(*suite)) s.count_aead(aead_kind(*suite));
+    if (is_3des(*suite)) ++s.negotiated_3des;
+    if (is_export(*suite)) ++s.negotiated_export;
+    if (is_anonymous(*suite)) ++s.negotiated_anon;
+    if (is_null_cipher(*suite)) ++s.negotiated_null;
+    if (is_null_with_null_null(*suite)) ++s.negotiated_null_with_null_null;
+  }
+
+  if (sf.key_share_group) {
+    s.count_group(*sf.key_share_group);
+  } else if (ske_group) {
+    s.count_group(*ske_group);
+  }
+
+  if (sf.heartbeat_present && cf.heartbeat_offered) ++s.heartbeat_negotiated;
+  s.reneg_info_negotiated += sf.reneg;
+  s.etm_negotiated += sf.etm;
+  s.ems_negotiated += sf.ems;
+}
+
+bool PassiveMonitor::observe_event_fast(
+    const tls::population::ConnectionEvent& event) {
+  using namespace tls::core;
+  const ClientHello& hello = event.hello;
+  // The byte path quarantines hellos that fail the structural parse; the
+  // only struct states that can trigger that are rejected here.
+  if (hello.cipher_suites.empty() || hello.compression_methods.empty()) {
+    return false;
+  }
+  const Month m = event.month;
+
+  // Phase 1 — precompute everything that could throw, before any state
+  // mutation, so declining is always clean. Self-generated events never
+  // carry corrupt extension bodies, but the guard keeps the fast path
+  // byte-identical to the slow path even if one did.
+  scratch_errors_.clear();
+  build_client_features(hello, database_, m >= fp_start(), scratch_features_,
+                        scratch_errors_);
+  if (!scratch_errors_.empty()) return false;
+
+  const ServerHello* sh = event.result.server_hello.has_value()
+                              ? &*event.result.server_hello
+                              : nullptr;
+  if (sh != nullptr &&
+      !build_server_features(*sh, scratch_server_features_)) {
+    return false;
+  }
+
+  // Phase 2 — mutate, mirroring observe_wire's order exactly.
+  MonthlyStats& s = stats(m);
+  ++s.total;
+  ++total_;
+  if (event.used_fallback) ++s.fallbacks;
+
+  apply_client_features(s, m, event.day, scratch_features_);
+
+  // observe() synthesizes an alert record only for failed handshakes with
+  // a concrete failure reason; alert_for's output always parses back.
+  if (!event.result.success &&
+      event.result.failure != tls::handshake::FailureReason::kNone) {
+    const auto alert = tls::handshake::alert_for(event.result.failure);
+    s.count_alert(static_cast<std::uint8_t>(alert.description));
+  }
+
+  if (sh == nullptr) {
+    ++s.failures;
+    return true;
+  }
+
+  const bool offered =
+      std::find(hello.cipher_suites.begin(), hello.cipher_suites.end(),
+                sh->cipher_suite) != hello.cipher_suites.end();
+  if (!offered) ++s.spec_violations;
+
+  if (!event.result.success) {
+    ++s.failures;
+    return true;
+  }
+  ++s.successful;
+
+  // The byte path sees the curve via the synthesized ServerKeyExchange
+  // record, emitted only for pre-1.3 handshakes; stub(group) round-trips
+  // the group value exactly.
+  std::optional<std::uint16_t> ske_group;
+  if (!scratch_server_features_.key_share_group &&
+      event.result.negotiated_group != 0 &&
+      !sh->has_extension(ExtensionType::kSupportedVersions)) {
+    ske_group = event.result.negotiated_group;
+  }
+  apply_server_features(s, hello, scratch_features_, *sh,
+                        scratch_server_features_, ske_group);
+  return true;
 }
 
 void PassiveMonitor::observe_wire(
@@ -251,14 +399,51 @@ void PassiveMonitor::observe_wire(
     std::span<const std::uint8_t> client_record,
     std::span<const std::uint8_t> server_record,
     std::span<const std::uint8_t> server_key_exchange_record, bool success,
-    bool used_fallback, std::span<const std::uint8_t> alert_record) {
-  ClientHello hello;
-  try {
-    hello = ClientHello::parse_record(client_record);
-  } catch (const tls::wire::ParseError& e) {
-    note_error(m, IngestStage::kClientHello, e.code(), client_record);
-    quarantine_capture(m);
-    return;
+    bool used_fallback, std::span<const std::uint8_t> alert_record,
+    bool cacheable) {
+  using namespace tls::core;
+  const bool use_cache = cacheable && cache_.enabled();
+  if (!cacheable && cache_.enabled()) cache_.count_bypass();
+  const bool want_fp = m >= fp_start();
+
+  // ---- client side: memoized feature extraction ----
+  const ClientHello* hello = nullptr;
+  const ClientHelloFeatures* feats = nullptr;
+  bool client_clean = true;
+  if (use_cache) {
+    if (const auto hit = cache_.find_client(client_record, want_fp)) {
+      hello = hit->hello;
+      feats = hit->features;
+    }
+  }
+  if (feats == nullptr) {
+    try {
+      scratch_hello_ = ClientHello::parse_record(client_record);
+    } catch (const tls::wire::ParseError& e) {
+      note_error(m, IngestStage::kClientHello, e.code(), client_record);
+      quarantine_capture(m);
+      return;
+    }
+    scratch_errors_.clear();
+    build_client_features(scratch_hello_, database_, want_fp,
+                          scratch_features_, scratch_errors_);
+    for (const auto code : scratch_errors_) {
+      note_error(m, IngestStage::kClientHello, code, client_record);
+    }
+    client_clean = scratch_errors_.empty();
+    if (use_cache && client_clean) {
+      // Only error-free extractions are memoized: repetitions of a record
+      // that produces errors must replay the taxonomy/quarantine writes.
+      const auto inserted =
+          cache_.insert_client(client_record, scratch_hello_,
+                               scratch_features_);
+      hello = inserted.hello;
+      feats = inserted.features;
+    } else {
+      if (use_cache) cache_.count_uncacheable();
+      hello = &scratch_hello_;
+      feats = &scratch_features_;
+    }
   }
 
   MonthlyStats& s = stats(m);
@@ -266,105 +451,13 @@ void PassiveMonitor::observe_wire(
   ++total_;
   if (used_fallback) ++s.fallbacks;
 
-  // ---- client-advertised features ----
-  using namespace tls::core;
-  const bool rc4 = hello.offers([](const CipherSuiteInfo& i) { return is_rc4(i); });
-  const bool des = hello.offers([](const CipherSuiteInfo& i) { return is_single_des(i); });
-  const bool tdes = hello.offers([](const CipherSuiteInfo& i) { return is_3des(i); });
-  const bool aead = hello.offers([](const CipherSuiteInfo& i) { return is_aead(i); });
-  const bool cbc = hello.offers([](const CipherSuiteInfo& i) { return is_cbc(i); });
-  s.adv_rc4 += rc4;
-  s.adv_des += des;
-  s.adv_3des += tdes;
-  s.adv_aead += aead;
-  s.adv_cbc += cbc;
-  s.adv_export += hello.offers([](const CipherSuiteInfo& i) { return is_export(i); });
-  s.adv_anon += hello.offers([](const CipherSuiteInfo& i) { return is_anonymous(i); });
-  s.adv_null += hello.offers([](const CipherSuiteInfo& i) { return is_null_cipher(i); });
-  s.adv_fs += hello.offers([](const CipherSuiteInfo& i) { return is_forward_secret(i); });
-  s.adv_aes128gcm += hello.offers(
-      [](const CipherSuiteInfo& i) { return aead_kind(i) == AeadKind::kAes128Gcm; });
-  s.adv_aes256gcm += hello.offers(
-      [](const CipherSuiteInfo& i) { return aead_kind(i) == AeadKind::kAes256Gcm; });
-  s.adv_chacha += hello.offers([](const CipherSuiteInfo& i) {
-    return aead_kind(i) == AeadKind::kChaCha20Poly1305;
-  });
-  s.adv_ccm += hello.offers(
-      [](const CipherSuiteInfo& i) { return aead_kind(i) == AeadKind::kAesCcm; });
-
-  // Typed extension accessors parse opaque bodies lazily, so corrupted
-  // captures can surface ParseErrors here long after the structural parse
-  // succeeded; each harvest is guarded to keep observe_wire never-throw.
-  try {
-    if (const auto hb = hello.heartbeat_mode()) ++s.heartbeat_offered;
-  } catch (const tls::wire::ParseError& e) {
-    note_error(m, IngestStage::kClientHello, e.code(), client_record);
-  }
-  s.reneg_info_offered +=
-      hello.has_extension(ExtensionType::kRenegotiationInfo) ||
-      std::find(hello.cipher_suites.begin(), hello.cipher_suites.end(),
-                suites::TLS_EMPTY_RENEGOTIATION_INFO_SCSV) !=
-          hello.cipher_suites.end();
-  s.etm_offered += hello.has_extension(ExtensionType::kEncryptThenMac);
-  s.ems_offered += hello.has_extension(ExtensionType::kExtendedMasterSecret);
-  s.sni_offered += hello.has_extension(ExtensionType::kServerName);
-  s.session_ticket_offered +=
-      hello.has_extension(ExtensionType::kSessionTicket);
-
-  try {
-    if (const auto versions = hello.supported_versions()) {
-      bool any13 = false;
-      for (const auto v : *versions) {
-        if (is_grease_version(v)) continue;
-        if (v == 0x0304 || (v & 0xff00) == 0x7f00 || (v & 0xff00) == 0x7e00) {
-          any13 = true;
-          ++s.adv_tls13_versions[v];
-        }
-      }
-      s.adv_tls13 += any13;
-    }
-  } catch (const tls::wire::ParseError& e) {
-    note_error(m, IngestStage::kClientHello, e.code(), client_record);
-  }
-
-  // ---- Fig. 5 relative positions ----
-  if (const auto p = first_position(hello, [](const CipherSuiteInfo& i) { return is_aead(i); })) s.pos_aead.add(*p);
-  if (const auto p = first_position(hello, [](const CipherSuiteInfo& i) { return is_cbc(i); })) s.pos_cbc.add(*p);
-  if (const auto p = first_position(hello, [](const CipherSuiteInfo& i) { return is_rc4(i); })) s.pos_rc4.add(*p);
-  if (const auto p = first_position(hello, [](const CipherSuiteInfo& i) { return is_single_des(i); })) s.pos_des.add(*p);
-  if (const auto p = first_position(hello, [](const CipherSuiteInfo& i) { return is_3des(i); })) s.pos_3des.add(*p);
-
-  // ---- fingerprint stream (fields available from fp_start(), §4.0.1) ----
-  if (m >= fp_start()) {
-    try {
-      const auto fp = tls::fp::extract_fingerprint(hello);
-      const std::string hash = fp.hash();
-      durations_.record(hash, day);
-      ++fingerprintable_;
-      std::uint8_t flags = 0;
-      if (rc4) flags |= kFpRc4;
-      if (des) flags |= kFpDes;
-      if (tdes) flags |= kFp3Des;
-      if (aead) flags |= kFpAead;
-      if (cbc) flags |= kFpCbc;
-      s.fingerprints[hash] |= flags;
-      if (database_ != nullptr) {
-        if (const auto* label = database_->lookup(hash)) {
-          ++labeled_by_class_[label->cls];
-        }
-      }
-    } catch (const tls::wire::ParseError& e) {
-      // Corrupt extension bodies make the hello unfingerprintable, nothing
-      // more; the connection itself stays in the partition.
-      note_error(m, IngestStage::kClientHello, e.code(), client_record);
-    }
-  }
+  apply_client_features(s, m, day, *feats);
 
   // ---- alerts on failed handshakes ----
   if (!alert_record.empty()) {
     try {
       const auto alert = tls::wire::Alert::parse_record(alert_record);
-      ++s.alerts[static_cast<std::uint8_t>(alert.description)];
+      s.count_alert(static_cast<std::uint8_t>(alert.description));
     } catch (const tls::wire::ParseError& e) {
       note_error(m, IngestStage::kAlert, e.code(), alert_record);
     }
@@ -375,19 +468,46 @@ void PassiveMonitor::observe_wire(
     ++s.failures;
     return;
   }
-  ServerHello sh;
-  try {
-    sh = ServerHello::parse_record(server_record);
-  } catch (const tls::wire::ParseError& e) {
-    note_error(m, IngestStage::kServerHello, e.code(), server_record);
-    ++s.failures;
-    return;
+  const ServerHello* sh = nullptr;
+  const ServerHelloFeatures* sfeats = nullptr;
+  if (use_cache) {
+    if (const auto hit = cache_.find_server(server_record)) {
+      sh = hit->hello;
+      sfeats = hit->features;
+    }
+  }
+  if (sh == nullptr) {
+    try {
+      scratch_server_hello_ = ServerHello::parse_record(server_record);
+    } catch (const tls::wire::ParseError& e) {
+      note_error(m, IngestStage::kServerHello, e.code(), server_record);
+      ++s.failures;
+      return;
+    }
+    // Records whose lazy accessors throw are never memoized — every
+    // repetition must replay the guarded harvest below with its partial
+    // counting and error notes.
+    const bool derived =
+        build_server_features(scratch_server_hello_, scratch_server_features_);
+    sh = &scratch_server_hello_;
+    if (derived) {
+      if (use_cache) {
+        const auto inserted = cache_.insert_server(
+            server_record, scratch_server_hello_, scratch_server_features_);
+        sh = inserted.hello;
+        sfeats = inserted.features;
+      } else {
+        sfeats = &scratch_server_features_;
+      }
+    } else if (use_cache) {
+      cache_.count_uncacheable();
+    }
   }
 
   // Spec check: did the server pick something the client never offered?
   const bool offered =
-      std::find(hello.cipher_suites.begin(), hello.cipher_suites.end(),
-                sh.cipher_suite) != hello.cipher_suites.end();
+      std::find(hello->cipher_suites.begin(), hello->cipher_suites.end(),
+                sh->cipher_suite) != hello->cipher_suites.end();
   if (!offered) ++s.spec_violations;
 
   if (!success) {
@@ -396,25 +516,39 @@ void PassiveMonitor::observe_wire(
   }
   ++s.successful;
 
+  if (sfeats != nullptr && client_clean) {
+    // Both sides extracted error-free: no accessor can throw, so the
+    // memoized mirror of the guarded block below applies.
+    std::optional<std::uint16_t> ske_group;
+    if (!sfeats->key_share_group && !server_key_exchange_record.empty()) {
+      try {
+        ske_group = tls::wire::EcdheServerKeyExchange::parse_record(
+                        server_key_exchange_record)
+                        .named_curve;
+      } catch (const tls::wire::ParseError& e) {
+        note_error(m, IngestStage::kServerKeyExchange, e.code(),
+                   server_key_exchange_record);
+      }
+    }
+    apply_server_features(s, *hello, *feats, *sh, *sfeats, ske_group);
+    return;
+  }
+
   try {
-    const std::uint16_t version = sh.negotiated_version();
-    if (!hello.session_id.empty() && sh.session_id == hello.session_id &&
-        !(version == 0x0304 || (version & 0xff00) == 0x7f00 ||
-          (version & 0xff00) == 0x7e00)) {
+    const std::uint16_t version = sh->negotiated_version();
+    if (!hello->session_id.empty() && sh->session_id == hello->session_id &&
+        !is_tls13_version(version)) {
       ++s.resumed;
     }
-    ++s.negotiated_version[version];
-    if (version == 0x0304 || (version & 0xff00) == 0x7f00 ||
-        (version & 0xff00) == 0x7e00) {
-      ++s.negotiated_tls13;
-    }
+    s.count_version(version);
+    if (is_tls13_version(version)) ++s.negotiated_tls13;
 
-    const auto* suite = find_cipher_suite(sh.cipher_suite);
+    const auto* suite = find_cipher_suite(sh->cipher_suite);
     if (suite != nullptr) {
-      if (is_rc4(*suite) && aead) ++s.rc4_despite_aead;
-      ++s.negotiated_class[cipher_class(*suite)];
-      ++s.negotiated_kex[kex_class(*suite)];
-      if (is_aead(*suite)) ++s.negotiated_aead[aead_kind(*suite)];
+      if (is_rc4(*suite) && feats->adv_aead) ++s.rc4_despite_aead;
+      s.count_class(cipher_class(*suite));
+      s.count_kex(kex_class(*suite));
+      if (is_aead(*suite)) s.count_aead(aead_kind(*suite));
       if (is_3des(*suite)) ++s.negotiated_3des;
       if (is_export(*suite)) ++s.negotiated_export;
       if (is_anonymous(*suite)) ++s.negotiated_anon;
@@ -422,27 +556,27 @@ void PassiveMonitor::observe_wire(
       if (is_null_with_null_null(*suite)) ++s.negotiated_null_with_null_null;
     }
 
-    if (const auto group = sh.key_share_group()) {
-      ++s.negotiated_group[*group];
+    if (const auto group = sh->key_share_group()) {
+      s.count_group(*group);
     } else if (!server_key_exchange_record.empty()) {
       try {
         const auto ske = tls::wire::EcdheServerKeyExchange::parse_record(
             server_key_exchange_record);
-        ++s.negotiated_group[ske.named_curve];
+        s.count_group(ske.named_curve);
       } catch (const tls::wire::ParseError& e) {
         note_error(m, IngestStage::kServerKeyExchange, e.code(),
                    server_key_exchange_record);
       }
     }
 
-    if (sh.heartbeat_mode().has_value() &&
-        hello.heartbeat_mode().has_value()) {
+    if (sh->heartbeat_mode().has_value() &&
+        hello->heartbeat_mode().has_value()) {
       ++s.heartbeat_negotiated;
     }
     s.reneg_info_negotiated +=
-        sh.has_extension(ExtensionType::kRenegotiationInfo);
-    s.etm_negotiated += sh.has_extension(ExtensionType::kEncryptThenMac);
-    s.ems_negotiated += sh.has_extension(ExtensionType::kExtendedMasterSecret);
+        sh->has_extension(ExtensionType::kRenegotiationInfo);
+    s.etm_negotiated += sh->has_extension(ExtensionType::kEncryptThenMac);
+    s.ems_negotiated += sh->has_extension(ExtensionType::kExtendedMasterSecret);
   } catch (const tls::wire::ParseError& e) {
     // A lazy ServerHello accessor hit a corrupt extension body: the
     // connection stays successful, the remaining server-side stats for it
@@ -455,7 +589,7 @@ void PassiveMonitor::note_error(Month m, IngestStage stage,
                                 tls::wire::ParseErrorCode code,
                                 std::span<const std::uint8_t> bytes) {
   taxonomy_.record(stage, code);
-  ++stats(m).parse_errors[code];
+  stats(m).count_parse_error(code);
   quarantine_.push(stage, code, m, bytes);
 }
 
@@ -479,7 +613,7 @@ void PassiveMonitor::observe_server_only(Month m,
   if (!sf.change_cipher_spec) {
     ++s.failures;
     if (sf.alert.has_value()) {
-      ++s.alerts[static_cast<std::uint8_t>(sf.alert->description)];
+      s.count_alert(static_cast<std::uint8_t>(sf.alert->description));
     }
     return;
   }
@@ -487,16 +621,13 @@ void PassiveMonitor::observe_server_only(Month m,
 
   try {
     const std::uint16_t version = sh.negotiated_version();
-    ++s.negotiated_version[version];
-    if (version == 0x0304 || (version & 0xff00) == 0x7f00 ||
-        (version & 0xff00) == 0x7e00) {
-      ++s.negotiated_tls13;
-    }
+    s.count_version(version);
+    if (is_tls13_version(version)) ++s.negotiated_tls13;
     const auto* suite = find_cipher_suite(sh.cipher_suite);
     if (suite != nullptr) {
-      ++s.negotiated_class[cipher_class(*suite)];
-      ++s.negotiated_kex[kex_class(*suite)];
-      if (is_aead(*suite)) ++s.negotiated_aead[aead_kind(*suite)];
+      s.count_class(cipher_class(*suite));
+      s.count_kex(kex_class(*suite));
+      if (is_aead(*suite)) s.count_aead(aead_kind(*suite));
       if (is_3des(*suite)) ++s.negotiated_3des;
       if (is_export(*suite)) ++s.negotiated_export;
       if (is_anonymous(*suite)) ++s.negotiated_anon;
@@ -504,9 +635,9 @@ void PassiveMonitor::observe_server_only(Month m,
       if (is_null_with_null_null(*suite)) ++s.negotiated_null_with_null_null;
     }
     if (const auto group = sh.key_share_group()) {
-      ++s.negotiated_group[*group];
+      s.count_group(*group);
     } else if (sf.server_key_exchange.has_value()) {
-      ++s.negotiated_group[sf.server_key_exchange->named_curve];
+      s.count_group(sf.server_key_exchange->named_curve);
     }
     s.reneg_info_negotiated +=
         sh.has_extension(ExtensionType::kRenegotiationInfo);
@@ -531,9 +662,11 @@ std::vector<tls::analysis::LossRow> loss_rows(const PassiveMonitor& monitor) {
     row.failures = s.failures;
     row.quarantined = s.quarantined;
     row.one_sided = s.one_sided_client + s.one_sided_server;
-    for (const auto& [code, n] : s.parse_errors) {
-      const auto i = static_cast<std::size_t>(code);
-      if (i < row.by_code.size()) row.by_code[i] += n;
+    for (std::size_t i = 0;
+         i < std::min(row.by_code.size(), tls::wire::kParseErrorCodeCount);
+         ++i) {
+      row.by_code[i] +=
+          s.parse_error_count(static_cast<tls::wire::ParseErrorCode>(i));
     }
     rows.push_back(std::move(row));
   }

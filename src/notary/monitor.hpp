@@ -15,6 +15,8 @@
 #include "analysis/render.hpp"
 #include "fingerprint/database.hpp"
 #include "fingerprint/duration.hpp"
+#include "notary/counters.hpp"
+#include "notary/observe_cache.hpp"
 #include "notary/quarantine.hpp"
 #include "population/traffic.hpp"
 #include "tlscore/cipher_suites.hpp"
@@ -57,30 +59,15 @@ struct MonthlyStats {
   std::uint64_t successful = 0;
   std::uint64_t failures = 0;
   /// Captures whose ClientHello (or whole capture) was unusable; the bytes
-  /// go to the quarantine ring, the code to parse_errors.
+  /// go to the quarantine ring, the code to parse_errors().
   std::uint64_t quarantined = 0;
   /// Captures where only one direction was seen (§3.1's one-sided flows):
   /// still harvested for whatever stats that direction supports.
   std::uint64_t one_sided_client = 0;
   std::uint64_t one_sided_server = 0;
-  /// Record-level parse failures observed this month, by code (includes
-  /// non-fatal ones on otherwise-accepted connections).
-  std::map<tls::wire::ParseErrorCode, std::uint64_t> parse_errors;
   std::uint64_t fallbacks = 0;
   std::uint64_t spec_violations = 0;
   std::uint64_t sslv2_connections = 0;
-
-  /// Negotiated protocol versions (wire values; TLS 1.3 drafts collapse to
-  /// their wire value; SSLv2 recorded as 0x0002).
-  std::map<std::uint16_t, std::uint64_t> negotiated_version;
-  /// Negotiated cipher class (Fig. 2).
-  std::map<tls::core::CipherClass, std::uint64_t> negotiated_class;
-  /// Negotiated AEAD breakdown (Fig. 9).
-  std::map<tls::core::AeadKind, std::uint64_t> negotiated_aead;
-  /// Negotiated key-exchange family (Fig. 8).
-  std::map<tls::core::KexClass, std::uint64_t> negotiated_kex;
-  /// Negotiated named group (§6.3.3).
-  std::map<std::uint16_t, std::uint64_t> negotiated_group;
 
   // Client-advertised support, counted per connection (Figs. 3, 6, 7, 10).
   std::uint64_t adv_rc4 = 0, adv_des = 0, adv_3des = 0, adv_aead = 0;
@@ -91,7 +78,6 @@ struct MonthlyStats {
 
   // TLS 1.3 deployment (§6.4).
   std::uint64_t adv_tls13 = 0;
-  std::map<std::uint16_t, std::uint64_t> adv_tls13_versions;
   std::uint64_t negotiated_tls13 = 0;
 
   // Heartbeat (§5.4).
@@ -112,9 +98,6 @@ struct MonthlyStats {
   /// echoed verbatim by the server.
   std::uint64_t resumed = 0;
 
-  /// Fatal alerts observed on failed handshakes, by description.
-  std::map<std::uint8_t, std::uint64_t> alerts;
-
   /// Server selected RC4 although the client offered AEAD suites — the
   /// bankmellat-style outdated-choice misconfiguration of §5.3/§7.3.
   std::uint64_t rc4_despite_aead = 0;
@@ -133,6 +116,95 @@ struct MonthlyStats {
   /// (Fig. 4). Bit 0: RC4, 1: DES, 2: 3DES, 3: AEAD, 4: CBC.
   std::unordered_map<std::string, std::uint8_t> fingerprints;
 
+  // ---- hot-path counter increments (flat storage, see counters.hpp) ----
+  void count_parse_error(tls::wire::ParseErrorCode code) {
+    parse_error_counts_.add(code);
+  }
+  void count_version(std::uint16_t version) { version_counts_.add(version); }
+  void count_class(tls::core::CipherClass cls) { class_counts_.add(cls); }
+  void count_aead(tls::core::AeadKind kind) { aead_counts_.add(kind); }
+  void count_kex(tls::core::KexClass cls) { kex_counts_.add(cls); }
+  void count_group(std::uint16_t group) { group_counts_.add(group); }
+  void count_adv_tls13_version(std::uint16_t v) { tls13_version_counts_.add(v); }
+  void count_alert(std::uint8_t description) { alert_counts_.add(description); }
+
+  // ---- render-time sorted-map views (byte-identical to the former
+  //      std::map fields of the same names) ----
+  /// Record-level parse failures observed this month, by code (includes
+  /// non-fatal ones on otherwise-accepted connections).
+  [[nodiscard]] std::map<tls::wire::ParseErrorCode, std::uint64_t>
+  parse_errors() const {
+    return parse_error_counts_.to_map();
+  }
+  /// Negotiated protocol versions (wire values; TLS 1.3 drafts collapse to
+  /// their wire value; SSLv2 recorded as 0x0002).
+  [[nodiscard]] std::map<std::uint16_t, std::uint64_t> negotiated_version()
+      const {
+    return version_counts_.to_map();
+  }
+  /// Negotiated cipher class (Fig. 2).
+  [[nodiscard]] std::map<tls::core::CipherClass, std::uint64_t>
+  negotiated_class() const {
+    return class_counts_.to_map();
+  }
+  /// Negotiated AEAD breakdown (Fig. 9).
+  [[nodiscard]] std::map<tls::core::AeadKind, std::uint64_t> negotiated_aead()
+      const {
+    return aead_counts_.to_map();
+  }
+  /// Negotiated key-exchange family (Fig. 8).
+  [[nodiscard]] std::map<tls::core::KexClass, std::uint64_t> negotiated_kex()
+      const {
+    return kex_counts_.to_map();
+  }
+  /// Negotiated named group (§6.3.3).
+  [[nodiscard]] std::map<std::uint16_t, std::uint64_t> negotiated_group()
+      const {
+    return group_counts_.to_map();
+  }
+  /// Advertised TLS 1.3 supported_versions values (§6.4).
+  [[nodiscard]] std::map<std::uint16_t, std::uint64_t> adv_tls13_versions()
+      const {
+    return tls13_version_counts_.to_map();
+  }
+  /// Fatal alerts observed on failed handshakes, by description.
+  [[nodiscard]] std::map<std::uint8_t, std::uint64_t> alerts() const {
+    return alert_counts_.to_map();
+  }
+
+  // ---- point lookups (no map materialization) ----
+  [[nodiscard]] std::uint64_t parse_error_count(
+      tls::wire::ParseErrorCode code) const {
+    return parse_error_counts_.count(code);
+  }
+  [[nodiscard]] std::uint64_t negotiated_version_count(
+      std::uint16_t version) const {
+    return version_counts_.count(version);
+  }
+  [[nodiscard]] std::uint64_t negotiated_class_count(
+      tls::core::CipherClass cls) const {
+    return class_counts_.count(cls);
+  }
+  [[nodiscard]] std::uint64_t negotiated_aead_count(
+      tls::core::AeadKind kind) const {
+    return aead_counts_.count(kind);
+  }
+  [[nodiscard]] std::uint64_t negotiated_kex_count(
+      tls::core::KexClass cls) const {
+    return kex_counts_.count(cls);
+  }
+  [[nodiscard]] std::uint64_t negotiated_group_count(
+      std::uint16_t group) const {
+    return group_counts_.count(group);
+  }
+  [[nodiscard]] std::uint64_t adv_tls13_version_count(
+      std::uint16_t version) const {
+    return tls13_version_counts_.count(version);
+  }
+  [[nodiscard]] std::uint64_t alert_count(std::uint8_t description) const {
+    return alert_counts_.count(description);
+  }
+
   /// Connections whose ClientHello parsed — the denominator for every
   /// client-advertised percentage. Quarantined captures carry no features,
   /// so excluding them keeps aggregates unbiased under unbiased loss (and
@@ -145,20 +217,27 @@ struct MonthlyStats {
                                  static_cast<double>(accepted());
   }
 
-  /// Shard merge: adds every counter, folds every keyed map per key, and
-  /// ORs fingerprint flag-maps. All integer/flag folds are commutative;
+  /// Shard merge: adds every counter, folds every keyed counter per key,
+  /// and ORs fingerprint flag-maps. All integer/flag folds are commutative;
   /// the only floating-point state (PositionAccumulators) merges with one
   /// addition per shard, so merging in a fixed shard order reproduces the
   /// serial-sharded result bit for bit.
   void merge(const MonthlyStats& other);
-};
 
-/// Fingerprint support-flag bits used in MonthlyStats::fingerprints.
-inline constexpr std::uint8_t kFpRc4 = 1;
-inline constexpr std::uint8_t kFpDes = 2;
-inline constexpr std::uint8_t kFp3Des = 4;
-inline constexpr std::uint8_t kFpAead = 8;
-inline constexpr std::uint8_t kFpCbc = 16;
+ private:
+  EnumCounterArray<tls::wire::ParseErrorCode, tls::wire::kParseErrorCodeCount>
+      parse_error_counts_;
+  EnumCounterArray<tls::core::CipherClass, tls::core::kCipherClassCount>
+      class_counts_;
+  EnumCounterArray<tls::core::AeadKind, tls::core::kAeadKindCount>
+      aead_counts_;
+  EnumCounterArray<tls::core::KexClass, tls::core::kKexClassCount>
+      kex_counts_;
+  SmallCounterMap<std::uint16_t> version_counts_;
+  SmallCounterMap<std::uint16_t> group_counts_;
+  SmallCounterMap<std::uint16_t> tls13_version_counts_;
+  SmallCounterMap<std::uint8_t> alert_counts_;
+};
 
 class PassiveMonitor {
  public:
@@ -166,22 +245,32 @@ class PassiveMonitor {
   explicit PassiveMonitor(const tls::fp::FingerprintDatabase* database = nullptr)
       : database_(database) {}
 
-  /// Convenience wrapper: serializes the event's hellos to records, then
-  /// feeds observe_wire — keeping the byte-level path honest. When a fault
-  /// injector is attached, the serialized records pass through it first
-  /// (the chaos tap sits between the wire and the monitor).
+  /// Convenience wrapper: feeds one generated connection to the monitor.
+  /// With no fault injector attached, a documented fast path harvests the
+  /// already-built structs directly — serializing and re-parsing them would
+  /// be a pure round trip (the codecs are inverses; proven byte-identical
+  /// by test). With an injector attached, the event is serialized, run
+  /// through the chaos tap, and ingested via observe_wire; records the tap
+  /// touched bypass the observe cache.
   void observe(const tls::population::ConnectionEvent& event);
+
+  /// Batch entry point used by the sharded study runner: identical to
+  /// calling observe per event, amortizing the call overhead.
+  void observe_span(std::span<const tls::population::ConnectionEvent> events);
 
   /// The raw-tap entry point. `server_key_exchange_record` may be empty
   /// (RSA key transport, TLS 1.3, or failed handshakes). Never throws on
   /// hostile input: unparseable ClientHellos quarantine the capture, and
   /// record-level failures elsewhere are counted per stage and code.
+  /// `cacheable=false` routes the capture around the observe cache (used
+  /// for fault-injected records).
   void observe_wire(tls::core::Month month, const tls::core::Date& day,
                     std::span<const std::uint8_t> client_hello_record,
                     std::span<const std::uint8_t> server_hello_record,
                     std::span<const std::uint8_t> server_key_exchange_record,
                     bool success, bool used_fallback = false,
-                    std::span<const std::uint8_t> alert_record = {});
+                    std::span<const std::uint8_t> alert_record = {},
+                    bool cacheable = true);
 
   /// Full-transcript entry point: parses both directions' record streams
   /// (hellos, ServerKeyExchange, alerts, ChangeCipherSpec) and applies the
@@ -204,10 +293,11 @@ class PassiveMonitor {
   void observe_sslv2(tls::core::Month month);
 
   /// Shard merge: folds another monitor's entire state (monthly stats,
-  /// duration tracker, dataset tallies, error taxonomy, quarantine ring)
-  /// into this one. Absorbing per-shard monitors in a fixed (month,
-  /// shard) order makes the result independent of which threads ran the
-  /// shards — the determinism contract of the parallel study runner.
+  /// duration tracker, dataset tallies, error taxonomy, quarantine ring,
+  /// observe-cache statistics) into this one. Absorbing per-shard monitors
+  /// in a fixed (month, shard) order makes the result independent of which
+  /// threads ran the shards — the determinism contract of the parallel
+  /// study runner.
   void absorb(const PassiveMonitor& other);
 
   [[nodiscard]] const std::map<tls::core::Month, MonthlyStats>& months()
@@ -225,6 +315,24 @@ class PassiveMonitor {
   /// the Notary gained the fields in Feb 2014; usable from Oct 2014).
   [[nodiscard]] static tls::core::Month fp_start() {
     return tls::core::Month(2014, 10);
+  }
+
+  // ---- observe-cache control / observability ----
+  /// Per-direction entry budget; 0 disables memoization. Any setting
+  /// yields identical aggregates — the cache memoizes a pure function of
+  /// the record bytes.
+  void set_observe_cache_capacity(std::size_t entries) {
+    cache_.set_capacity(entries);
+  }
+  [[nodiscard]] const ObserveCacheStats& observe_cache_stats() const {
+    return cache_.stats();
+  }
+  /// Test seam: disabling forces observe() onto the serialize→parse byte
+  /// path even without a fault injector.
+  void set_fast_observe(bool enabled) { fast_observe_ = enabled; }
+  /// Test seam: degenerate hash functions force 64-bit key collisions.
+  void set_observe_cache_hash_for_test(ObserveCache::HashFn hash) {
+    cache_.set_hash_for_test(hash);
   }
 
   // ---- dataset-wide tallies ----
@@ -257,7 +365,7 @@ class PassiveMonitor {
   MonthlyStats& stats(tls::core::Month m) { return months_[m]; }
 
   /// Records one parse failure: taxonomy counters, the month's per-code
-  /// map, and the offending bytes into the quarantine ring.
+  /// counters, and the offending bytes into the quarantine ring.
   void note_error(tls::core::Month m, IngestStage stage,
                   tls::wire::ParseErrorCode code,
                   std::span<const std::uint8_t> bytes);
@@ -268,6 +376,24 @@ class PassiveMonitor {
   void observe_server_only(tls::core::Month m,
                            const tls::wire::ParsedFlight& flight);
 
+  /// Struct-reuse fast path for observe(); returns false — having recorded
+  /// nothing — when the event needs the byte path (structurally
+  /// unparseable hello, or any lazy accessor that would throw mid-harvest).
+  bool observe_event_fast(const tls::population::ConnectionEvent& event);
+
+  /// Applies memoized client features to the month (pure increments).
+  void apply_client_features(MonthlyStats& s, tls::core::Month m,
+                             const tls::core::Date& day,
+                             const ClientHelloFeatures& f);
+  /// Applies memoized server features; only valid when both sides' feature
+  /// extraction was error-free (no accessor can throw then).
+  void apply_server_features(MonthlyStats& s,
+                             const tls::wire::ClientHello& hello,
+                             const ClientHelloFeatures& cf,
+                             const tls::wire::ServerHello& sh,
+                             const ServerHelloFeatures& sf,
+                             std::optional<std::uint16_t> ske_group);
+
   const tls::fp::FingerprintDatabase* database_;
   std::map<tls::core::Month, MonthlyStats> months_;
   tls::fp::DurationTracker durations_;
@@ -277,6 +403,17 @@ class PassiveMonitor {
   ErrorTaxonomy taxonomy_;
   QuarantineRing quarantine_;
   tls::faults::FaultInjector* injector_ = nullptr;
+
+  ObserveCache cache_;
+  bool fast_observe_ = true;
+  // Reusable scratch for the per-connection hot path (a monitor is
+  // single-threaded; shard parallelism uses one monitor per shard).
+  tls::wire::ClientHello scratch_hello_;
+  tls::wire::ServerHello scratch_server_hello_;
+  ClientHelloFeatures scratch_features_;
+  ServerHelloFeatures scratch_server_features_;
+  std::vector<tls::wire::ParseErrorCode> scratch_errors_;
+  std::vector<std::uint8_t> buf_client_, buf_server_, buf_ske_, buf_alert_;
 };
 
 /// Flattens the monitor's per-month partition + parse-error counters into

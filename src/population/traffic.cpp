@@ -96,7 +96,7 @@ const TrafficGenerator::MonthCache& TrafficGenerator::cache_for(Month m) {
   return cache_.emplace(m.index(), std::move(c)).first->second;
 }
 
-void TrafficGenerator::generate_one(Month m, const Sink& sink) {
+bool TrafficGenerator::generate_into(Month m, ConnectionEvent& ev) {
   const MonthCache& cache = cache_for(m);
   MarketModel::Pick pick;
   if (!cache.entry_cum.empty() && cache.entry_cum.back() > 0) {
@@ -117,9 +117,8 @@ void TrafficGenerator::generate_one(Month m, const Sink& sink) {
       pick.config = &pick.entry->profile->versions[vi];
     }
   }
-  if (pick.entry == nullptr || pick.config == nullptr) return;
+  if (pick.entry == nullptr || pick.config == nullptr) return false;
 
-  ConnectionEvent ev;
   ev.month = m;
   ev.day = tls::core::Date(
       m.year(), m.month(),
@@ -136,8 +135,7 @@ void TrafficGenerator::generate_one(Month m, const Sink& sink) {
       rng_.chance(pick.entry->sslv2_fraction) &&
       server.config.min_version <= 0x0002) {
     ev.sslv2 = true;
-    sink(ev);
-    return;
+    return true;
   }
 
   ev.hello = tls::clients::make_client_hello(*pick.config, rng_, "host.test");
@@ -173,12 +171,37 @@ void TrafficGenerator::generate_one(Month m, const Sink& sink) {
     ev.result = tls::handshake::negotiate(ev.hello, server.config, rng_, opts);
     ev.used_fallback = true;
   }
-  sink(ev);
+  return true;
+}
+
+void TrafficGenerator::generate_one(Month m, const Sink& sink) {
+  ConnectionEvent ev;
+  if (generate_into(m, ev)) sink(ev);
 }
 
 void TrafficGenerator::generate_month(Month m, std::size_t count,
                                       const Sink& sink) {
   for (std::size_t i = 0; i < count; ++i) generate_one(m, sink);
+}
+
+void TrafficGenerator::generate_month_batched(Month m, std::size_t count,
+                                              std::size_t batch_size,
+                                              const SpanSink& sink) {
+  if (batch_size == 0) batch_size = 1;
+  if (batch_.size() < batch_size) batch_.resize(batch_size);
+  std::size_t filled = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    ConnectionEvent& ev = batch_[filled];
+    ev = ConnectionEvent{};  // reset the reused slot
+    if (generate_into(m, ev)) ++filled;
+    if (filled == batch_size) {
+      sink(std::span<const ConnectionEvent>(batch_.data(), filled));
+      filled = 0;
+    }
+  }
+  if (filled > 0) {
+    sink(std::span<const ConnectionEvent>(batch_.data(), filled));
+  }
 }
 
 void TrafficGenerator::generate_range(tls::core::MonthRange range,

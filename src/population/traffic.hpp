@@ -6,6 +6,7 @@
 #pragma once
 
 #include <functional>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -44,10 +45,19 @@ class TrafficGenerator {
                    std::uint64_t seed = 42);
 
   using Sink = std::function<void(const ConnectionEvent&)>;
+  using SpanSink = std::function<void(std::span<const ConnectionEvent>)>;
 
   /// Generates `count` connections during month m.
   void generate_month(tls::core::Month m, std::size_t count,
                       const Sink& sink);
+
+  /// Batched variant: events are accumulated in an internal reusable buffer
+  /// and delivered `batch_size` at a time (final batch may be short). Draws
+  /// the exact same RNG stream as generate_month, so the event sequence is
+  /// identical — only the delivery granularity changes. Pairs with
+  /// PassiveMonitor::observe_span to amortize per-connection call overhead.
+  void generate_month_batched(tls::core::Month m, std::size_t count,
+                              std::size_t batch_size, const SpanSink& sink);
 
   /// Generates count-per-month connections over an inclusive month range.
   void generate_range(tls::core::MonthRange range, std::size_t per_month,
@@ -65,12 +75,17 @@ class TrafficGenerator {
   const MonthCache& cache_for(tls::core::Month m);
   const tls::servers::ServerSegment& route(const MarketEntry& entry,
                                            tls::core::Month m);
+  /// Samples one connection into `ev` (which must be freshly reset);
+  /// returns false when the month has no live traffic for the draw (the
+  /// RNG advances identically either way).
+  bool generate_into(tls::core::Month m, ConnectionEvent& ev);
   void generate_one(tls::core::Month m, const Sink& sink);
 
   const MarketModel& market_;
   const tls::servers::ServerPopulation& servers_;
   tls::core::Rng rng_;
   std::unordered_map<int, MonthCache> cache_;
+  std::vector<ConnectionEvent> batch_;  // reused by generate_month_batched
 };
 
 }  // namespace tls::population

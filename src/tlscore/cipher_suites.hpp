@@ -133,6 +133,8 @@ bool is_forward_secret(const CipherSuiteInfo& s);
 
 /// Encryption-mode class for Figures 2/3/4. NULL and unknown map to kOther.
 enum class CipherClass : std::uint8_t { kAead, kCbc, kRc4, kNullCipher, kOther };
+/// Number of CipherClass values (for enum-indexed counter arrays).
+inline constexpr std::size_t kCipherClassCount = 5;
 CipherClass cipher_class(const CipherSuiteInfo& s);
 /// Classifies a raw id; unknown/GREASE ids yield kOther.
 CipherClass cipher_class(std::uint16_t id);
@@ -142,6 +144,8 @@ std::string_view cipher_class_name(CipherClass c);
 enum class KexClass : std::uint8_t {
   kRsa, kDhe, kEcdhe, kDhStatic, kEcdhStatic, kAnon, kPskFamily, kTls13, kOther
 };
+/// Number of KexClass values (for enum-indexed counter arrays).
+inline constexpr std::size_t kKexClassCount = 9;
 KexClass kex_class(const CipherSuiteInfo& s);
 KexClass kex_class(std::uint16_t id);
 std::string_view kex_class_name(KexClass c);
@@ -152,6 +156,8 @@ enum class AeadKind : std::uint8_t {
   kOtherAead,  // ARIA-GCM / Camellia-GCM
   kNotAead
 };
+/// Number of AeadKind values (for enum-indexed counter arrays).
+inline constexpr std::size_t kAeadKindCount = 6;
 AeadKind aead_kind(const CipherSuiteInfo& s);
 AeadKind aead_kind(std::uint16_t id);
 

@@ -57,6 +57,15 @@ class ByteReader {
 
 class ByteWriter {
  public:
+  ByteWriter() = default;
+  /// Adopts an existing buffer as backing storage (cleared, capacity kept)
+  /// so hot paths can serialize without a fresh allocation; reclaim it with
+  /// take().
+  explicit ByteWriter(std::vector<std::uint8_t>&& buf)
+      : out_(std::move(buf)) {
+    out_.clear();
+  }
+
   void u8(std::uint8_t v) { out_.push_back(v); }
   void u16(std::uint16_t v);
   void u24(std::uint32_t v);

@@ -65,8 +65,7 @@ std::uint16_t ClientHello::max_offered_version() const {
   return best_rank >= 0 ? best : legacy_version;
 }
 
-std::vector<std::uint8_t> ClientHello::serialize_body() const {
-  ByteWriter w;
+void ClientHello::write_body(ByteWriter& w) const {
   w.u16(legacy_version);
   w.bytes(random);
   w.u8(static_cast<std::uint8_t>(session_id.size()));
@@ -82,6 +81,11 @@ std::vector<std::uint8_t> ClientHello::serialize_body() const {
       w.bytes(e.body);
     }
   }
+}
+
+std::vector<std::uint8_t> ClientHello::serialize_body() const {
+  ByteWriter w;
+  write_body(w);
   return w.take();
 }
 
@@ -123,6 +127,25 @@ std::vector<std::uint8_t> ClientHello::serialize_record() const {
       legacy_version <= 0x0301 ? legacy_version : 0x0301;
   return wrap_handshake(HandshakeType::kClientHello, serialize_body(),
                         record_version);
+}
+
+void ClientHello::serialize_record_into(std::vector<std::uint8_t>& out) const {
+  const std::uint16_t record_version =
+      legacy_version <= 0x0301 ? legacy_version : 0x0301;
+  ByteWriter w(std::move(out));
+  w.u8(static_cast<std::uint8_t>(ContentType::kHandshake));
+  w.u16(record_version);
+  {
+    auto fragment = w.u16_length_scope();
+    w.u8(static_cast<std::uint8_t>(HandshakeType::kClientHello));
+    auto body = w.u24_length_scope();
+    write_body(w);
+  }
+  out = w.take();
+  // Parity with Record::serialize's fragment bound (record header is 5B).
+  if (out.size() - 5 > 0x4000 + 2048) {
+    throw ParseError(ParseErrorCode::kBadLength, "record fragment too large");
+  }
 }
 
 ClientHello ClientHello::parse_record(std::span<const std::uint8_t> data) {

@@ -60,10 +60,15 @@ struct ClientHello {
 
   /// Serializes the handshake body (no record / handshake framing).
   [[nodiscard]] std::vector<std::uint8_t> serialize_body() const;
+  /// Streams the handshake body into an existing writer (no framing).
+  void write_body(ByteWriter& w) const;
   static ClientHello parse_body(std::span<const std::uint8_t> body);
 
   /// Full record: TLSPlaintext(handshake(client_hello)).
   [[nodiscard]] std::vector<std::uint8_t> serialize_record() const;
+  /// serialize_record into a reusable buffer: one pass, no intermediate
+  /// body/fragment vectors, byte-identical output. `out` is replaced.
+  void serialize_record_into(std::vector<std::uint8_t>& out) const;
   static ClientHello parse_record(std::span<const std::uint8_t> data);
 
   friend bool operator==(const ClientHello&, const ClientHello&) = default;

@@ -31,8 +31,7 @@ std::optional<std::uint16_t> ServerHello::key_share_group() const {
   return parse_key_share_server_group(e->body);
 }
 
-std::vector<std::uint8_t> ServerHello::serialize_body() const {
-  ByteWriter w;
+void ServerHello::write_body(ByteWriter& w) const {
   w.u16(legacy_version);
   w.bytes(random);
   w.u8(static_cast<std::uint8_t>(session_id.size()));
@@ -47,6 +46,11 @@ std::vector<std::uint8_t> ServerHello::serialize_body() const {
       w.bytes(e.body);
     }
   }
+}
+
+std::vector<std::uint8_t> ServerHello::serialize_body() const {
+  ByteWriter w;
+  write_body(w);
   return w.take();
 }
 
@@ -79,6 +83,25 @@ std::vector<std::uint8_t> ServerHello::serialize_record() const {
       legacy_version <= 0x0301 ? legacy_version : 0x0301;
   return wrap_handshake(HandshakeType::kServerHello, serialize_body(),
                         record_version);
+}
+
+void ServerHello::serialize_record_into(std::vector<std::uint8_t>& out) const {
+  const std::uint16_t record_version =
+      legacy_version <= 0x0301 ? legacy_version : 0x0301;
+  ByteWriter w(std::move(out));
+  w.u8(static_cast<std::uint8_t>(ContentType::kHandshake));
+  w.u16(record_version);
+  {
+    auto fragment = w.u16_length_scope();
+    w.u8(static_cast<std::uint8_t>(HandshakeType::kServerHello));
+    auto body = w.u24_length_scope();
+    write_body(w);
+  }
+  out = w.take();
+  // Parity with Record::serialize's fragment bound (record header is 5B).
+  if (out.size() - 5 > 0x4000 + 2048) {
+    throw ParseError(ParseErrorCode::kBadLength, "record fragment too large");
+  }
 }
 
 ServerHello ServerHello::parse_record(std::span<const std::uint8_t> data) {

@@ -32,8 +32,13 @@ struct ServerHello {
   [[nodiscard]] std::optional<std::uint16_t> key_share_group() const;
 
   [[nodiscard]] std::vector<std::uint8_t> serialize_body() const;
+  /// Streams the handshake body into an existing writer (no framing).
+  void write_body(ByteWriter& w) const;
   static ServerHello parse_body(std::span<const std::uint8_t> body);
   [[nodiscard]] std::vector<std::uint8_t> serialize_record() const;
+  /// serialize_record into a reusable buffer: one pass, no intermediate
+  /// body/fragment vectors, byte-identical output. `out` is replaced.
+  void serialize_record_into(std::vector<std::uint8_t>& out) const;
   static ServerHello parse_record(std::span<const std::uint8_t> data);
 
   friend bool operator==(const ServerHello&, const ServerHello&) = default;

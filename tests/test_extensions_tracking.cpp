@@ -72,7 +72,7 @@ TEST(ExtensionTracking, AlertAccounting) {
                    ch.serialize_record(), {}, {}, false, false,
                    alert.serialize_record(0x0301));
   const auto* s = mon.month(Month(2015, 1));
-  EXPECT_EQ(s->alerts.at(70), 1u);  // protocol_version
+  EXPECT_EQ(s->alert_count(70), 1u);  // protocol_version
   EXPECT_EQ(s->failures, 1u);
 }
 

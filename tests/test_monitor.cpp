@@ -47,9 +47,9 @@ TEST(Monitor, CountsNegotiatedClassesAndVersions) {
   ASSERT_NE(s, nullptr);
   EXPECT_EQ(s->total, 2u);
   EXPECT_EQ(s->successful, 2u);
-  EXPECT_EQ(s->negotiated_class.at(tls::core::CipherClass::kAead), 1u);
-  EXPECT_EQ(s->negotiated_class.at(tls::core::CipherClass::kRc4), 1u);
-  EXPECT_EQ(s->negotiated_version.at(0x0303), 2u);
+  EXPECT_EQ(s->negotiated_class_count(tls::core::CipherClass::kAead), 1u);
+  EXPECT_EQ(s->negotiated_class_count(tls::core::CipherClass::kRc4), 1u);
+  EXPECT_EQ(s->negotiated_version_count(0x0303), 2u);
 }
 
 TEST(Monitor, AdvertisedFlagsPerConnection) {
@@ -79,7 +79,7 @@ TEST(Monitor, FailureCountsAndNoNegotiation) {
   EXPECT_EQ(s->total, 1u);
   EXPECT_EQ(s->failures, 1u);
   EXPECT_EQ(s->successful, 0u);
-  EXPECT_TRUE(s->negotiated_version.empty());
+  EXPECT_TRUE(s->negotiated_version().empty());
 }
 
 TEST(Monitor, MalformedClientHelloCounted) {
@@ -123,10 +123,10 @@ TEST(Monitor, Tls13AccountingViaSupportedVersions) {
   feed(mon, m, ch, sh);
   const auto* s = mon.month(m);
   EXPECT_EQ(s->adv_tls13, 1u);
-  EXPECT_EQ(s->adv_tls13_versions.at(0x7e02), 1u);
+  EXPECT_EQ(s->adv_tls13_version_count(0x7e02), 1u);
   EXPECT_EQ(s->negotiated_tls13, 1u);
-  EXPECT_EQ(s->negotiated_version.at(0x7e02), 1u);
-  EXPECT_EQ(s->negotiated_group.at(29), 1u);
+  EXPECT_EQ(s->negotiated_version_count(0x7e02), 1u);
+  EXPECT_EQ(s->negotiated_group_count(29), 1u);
 }
 
 TEST(Monitor, CurveFromServerKeyExchange) {
@@ -136,7 +136,7 @@ TEST(Monitor, CurveFromServerKeyExchange) {
       tls::wire::EcdheServerKeyExchange::stub(24).serialize_record(0x0303);
   feed(mon, m, client_hello({0xc02f}), server_hello(0xc02f), true, ske);
   const auto* s = mon.month(m);
-  EXPECT_EQ(s->negotiated_group.at(24), 1u);
+  EXPECT_EQ(s->negotiated_group_count(24), 1u);
 }
 
 TEST(Monitor, FingerprintsOnlyAfterFeatureIntroduction) {
@@ -192,7 +192,7 @@ TEST(Monitor, Sslv2Accounting) {
   mon.observe_sslv2(Month(2018, 2));
   const auto* s = mon.month(Month(2018, 2));
   EXPECT_EQ(s->sslv2_connections, 1u);
-  EXPECT_EQ(s->negotiated_version.at(0x0002), 1u);
+  EXPECT_EQ(s->negotiated_version_count(0x0002), 1u);
   EXPECT_EQ(s->successful, 1u);
 }
 

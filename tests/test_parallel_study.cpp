@@ -65,8 +65,8 @@ void expect_monitors_equal(const PassiveMonitor& a, const PassiveMonitor& b) {
     EXPECT_EQ(sa.successful, sb->successful) << m.to_string();
     EXPECT_EQ(sa.failures, sb->failures) << m.to_string();
     EXPECT_EQ(sa.quarantined, sb->quarantined) << m.to_string();
-    EXPECT_EQ(sa.parse_errors, sb->parse_errors) << m.to_string();
-    EXPECT_EQ(sa.negotiated_version, sb->negotiated_version) << m.to_string();
+    EXPECT_EQ(sa.parse_errors(), sb->parse_errors()) << m.to_string();
+    EXPECT_EQ(sa.negotiated_version(), sb->negotiated_version()) << m.to_string();
     EXPECT_EQ(sa.fingerprints, sb->fingerprints) << m.to_string();
     // Bit-identical double accumulators, not just approximately equal.
     EXPECT_EQ(sa.pos_aead.sum, sb->pos_aead.sum) << m.to_string();
@@ -114,6 +114,76 @@ TEST(ParallelStudy, FiguresByteIdenticalUnderFaults) {
   tls::study::LongitudinalStudy parallel(popts);
   EXPECT_EQ(chart_csv(parallel), serial_csv);
   expect_monitors_equal(serial.monitor(), parallel.monitor());
+}
+
+TEST(ParallelStudy, CacheOnOffByteIdenticalAcrossThreadsAndFaults) {
+  // The ObserveCache and the struct-reuse fast path are pure accelerators:
+  // every figure CSV must be byte-identical with the cache on or off, at
+  // every thread count, with and without fault injection. The reference
+  // run disables both accelerators (pure serialize→parse byte path).
+  for (const double fault_rate : {0.0, 0.10}) {
+    SCOPED_TRACE(fault_rate);
+    auto base = small_options();
+    base.connections_per_month = 800;
+    if (fault_rate > 0) {
+      base.faults = tls::faults::FaultConfig::uniform(fault_rate);
+    }
+    auto ref_opts = base;
+    ref_opts.observe_cache_entries = 0;
+    ref_opts.fast_observe = false;
+    tls::study::LongitudinalStudy ref(ref_opts);
+    const auto ref_csv = chart_csv(ref);
+
+    for (const unsigned threads : {0u, 1u, 8u}) {
+      for (const bool cache_on : {false, true}) {
+        SCOPED_TRACE(std::to_string(threads) +
+                     (cache_on ? " cache-on" : " cache-off"));
+        auto o = base;
+        o.threads = threads;
+        o.observe_cache_entries = cache_on ? 4096 : 0;
+        // Keep the byte path so the cache is exercised even at 0% faults
+        // (the fast path would otherwise skip serialization entirely).
+        o.fast_observe = false;
+        tls::study::LongitudinalStudy study(o);
+        EXPECT_EQ(chart_csv(study), ref_csv);
+        expect_monitors_equal(ref.monitor(), study.monitor());
+      }
+    }
+
+    // Default configuration (fast path + cache, parallel) too.
+    auto dflt_opts = base;
+    dflt_opts.threads = 8;
+    tls::study::LongitudinalStudy dflt(dflt_opts);
+    EXPECT_EQ(chart_csv(dflt), ref_csv);
+    expect_monitors_equal(ref.monitor(), dflt.monitor());
+  }
+}
+
+TEST(ParallelStudy, ExportedFilesByteIdenticalCacheOnVsOff) {
+  namespace fs = std::filesystem;
+  const fs::path base = fs::path(::testing::TempDir()) / "tls_cache_csv";
+  fs::remove_all(base);
+
+  auto opts = small_options();
+  opts.connections_per_month = 600;
+  opts.fast_observe = false;
+  auto off_opts = opts;
+  off_opts.observe_cache_entries = 0;
+  tls::study::LongitudinalStudy off(off_opts);
+  const auto off_files = off.export_figures((base / "off").string());
+
+  auto on_opts = opts;
+  on_opts.observe_cache_entries = 4096;
+  tls::study::LongitudinalStudy on(on_opts);
+  const auto on_files = on.export_figures((base / "on").string());
+
+  ASSERT_EQ(off_files.size(), on_files.size());
+  for (std::size_t i = 0; i < off_files.size(); ++i) {
+    const auto expected = slurp(off_files[i]);
+    ASSERT_FALSE(expected.empty()) << off_files[i];
+    EXPECT_EQ(slurp(on_files[i]), expected) << on_files[i];
+  }
+  fs::remove_all(base);
 }
 
 TEST(ParallelStudy, ExportedCsvFilesByteIdenticalAndRoundTrip) {
@@ -235,8 +305,8 @@ TEST(MonitorAbsorb, MonthDisjointShardsEqualSerialRun) {
     EXPECT_EQ(s.pos_aead.sum, other->pos_aead.sum) << m.to_string();
     EXPECT_EQ(s.pos_cbc.sum, other->pos_cbc.sum) << m.to_string();
     EXPECT_EQ(s.adv_rc4, other->adv_rc4) << m.to_string();
-    EXPECT_EQ(s.alerts, other->alerts) << m.to_string();
-    EXPECT_EQ(s.negotiated_group, other->negotiated_group) << m.to_string();
+    EXPECT_EQ(s.alerts(), other->alerts()) << m.to_string();
+    EXPECT_EQ(s.negotiated_group(), other->negotiated_group()) << m.to_string();
   }
 }
 

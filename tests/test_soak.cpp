@@ -125,14 +125,14 @@ TEST(Soak, ZeroFaultRateBitIdenticalToNoInjector) {
     EXPECT_EQ(a.successful, b->successful) << m.to_string();
     EXPECT_EQ(a.failures, b->failures) << m.to_string();
     EXPECT_EQ(a.quarantined, b->quarantined) << m.to_string();
-    EXPECT_EQ(a.negotiated_version, b->negotiated_version) << m.to_string();
-    EXPECT_EQ(a.negotiated_class, b->negotiated_class) << m.to_string();
-    EXPECT_EQ(a.negotiated_kex, b->negotiated_kex) << m.to_string();
+    EXPECT_EQ(a.negotiated_version(), b->negotiated_version()) << m.to_string();
+    EXPECT_EQ(a.negotiated_class(), b->negotiated_class()) << m.to_string();
+    EXPECT_EQ(a.negotiated_kex(), b->negotiated_kex()) << m.to_string();
     EXPECT_EQ(a.adv_rc4, b->adv_rc4) << m.to_string();
     EXPECT_EQ(a.adv_aead, b->adv_aead) << m.to_string();
-    EXPECT_EQ(a.alerts, b->alerts) << m.to_string();
+    EXPECT_EQ(a.alerts(), b->alerts()) << m.to_string();
     EXPECT_EQ(a.fingerprints, b->fingerprints) << m.to_string();
-    EXPECT_EQ(a.parse_errors.size(), 0u) << m.to_string();
+    EXPECT_EQ(a.parse_errors().size(), 0u) << m.to_string();
   }
 }
 
@@ -182,7 +182,7 @@ TEST(Soak, TaxonomyAccountsForByteFaultRuns) {
   // Per-month parse_errors roll up to the same grand total as the taxonomy.
   std::uint64_t by_month = 0;
   for (const auto& [m, s] : monitor.months()) {
-    for (const auto& [code, n] : s.parse_errors) by_month += n;
+    for (const auto& [code, n] : s.parse_errors()) by_month += n;
   }
   EXPECT_EQ(by_month, monitor.errors().total());
 

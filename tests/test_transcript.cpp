@@ -142,16 +142,16 @@ TEST(TranscriptMode, AggregatesMatchDirectObservation) {
     ASSERT_NE(b, nullptr);
     EXPECT_EQ(a.total, b->total) << m.to_string();
     EXPECT_EQ(a.successful, b->successful) << m.to_string();
-    EXPECT_EQ(a.negotiated_version, b->negotiated_version) << m.to_string();
-    EXPECT_EQ(a.negotiated_class, b->negotiated_class) << m.to_string();
-    EXPECT_EQ(a.negotiated_kex, b->negotiated_kex) << m.to_string();
-    EXPECT_EQ(a.negotiated_group, b->negotiated_group) << m.to_string();
+    EXPECT_EQ(a.negotiated_version(), b->negotiated_version()) << m.to_string();
+    EXPECT_EQ(a.negotiated_class(), b->negotiated_class()) << m.to_string();
+    EXPECT_EQ(a.negotiated_kex(), b->negotiated_kex()) << m.to_string();
+    EXPECT_EQ(a.negotiated_group(), b->negotiated_group()) << m.to_string();
     EXPECT_EQ(a.adv_rc4, b->adv_rc4) << m.to_string();
     EXPECT_EQ(a.adv_aead, b->adv_aead) << m.to_string();
     EXPECT_EQ(a.heartbeat_negotiated, b->heartbeat_negotiated)
         << m.to_string();
     EXPECT_EQ(a.spec_violations, b->spec_violations) << m.to_string();
-    EXPECT_EQ(a.alerts, b->alerts) << m.to_string();
+    EXPECT_EQ(a.alerts(), b->alerts()) << m.to_string();
     EXPECT_EQ(a.fingerprints.size(), b->fingerprints.size()) << m.to_string();
   }
 }
