@@ -1,7 +1,9 @@
 // Serial-vs-parallel wall time for the sharded study runner. Runs the
 // full passive pipeline (and the active sweep via export paths is covered
 // elsewhere) at each thread count, checks the figures stay bit-identical
-// to the serial run, and reports the speedup.
+// to the serial run, and reports the speedup. A second section measures
+// the checkpoint journal: cold journaled run (checkpoint write overhead)
+// vs resumed run (every shard replayed from disk instead of recomputed).
 //
 // Environment knobs (shared with the figure benches):
 //   TLS_STUDY_CPM      connections per month (default 20000 here)
@@ -10,6 +12,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <string>
 #include <vector>
 
@@ -63,6 +66,7 @@ int main() {
 
   std::string serial_csv;
   double serial_wall = 0;
+  double plain_wall_last = 0;  // un-journaled wall at the last thread count
   std::vector<std::vector<std::string>> rows;
   rows.push_back({"threads", "wall (s)", "speedup", "figures"});
   for (const unsigned threads : thread_counts) {
@@ -72,6 +76,7 @@ int main() {
       serial_csv = csv;
       serial_wall = wall;
     }
+    plain_wall_last = wall;
     char wall_s[32], speed_s[32];
     std::snprintf(wall_s, sizeof(wall_s), "%.3f", wall);
     std::snprintf(speed_s, sizeof(speed_s), "%.2fx",
@@ -88,6 +93,62 @@ int main() {
                    row.front().c_str());
       return 1;
     }
+  }
+
+  // ---- checkpoint journal: write overhead and resume speedup ----
+  std::printf("\n== checkpoint journal: cold vs resumed ==\n");
+  const auto ckpt_dir =
+      std::filesystem::temp_directory_path() / "tls_bench_ckpt";
+  std::filesystem::remove_all(ckpt_dir);
+  auto jopts = opts;
+  jopts.threads = thread_counts.back();
+  jopts.checkpoint_dir = ckpt_dir.string();
+
+  std::string cold_csv, resumed_csv;
+  double cold_wall = 0, resumed_wall = 0;
+  {
+    tls::study::LongitudinalStudy study(jopts);
+    const auto start = Clock::now();
+    study.run();
+    cold_wall = std::chrono::duration<double>(Clock::now() - start).count();
+    cold_csv = tls::analysis::to_csv(study.figure2_negotiated_classes());
+  }
+  jopts.resume = true;
+  {
+    tls::study::LongitudinalStudy study(jopts);
+    const auto start = Clock::now();
+    study.run();
+    resumed_wall =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    resumed_csv = tls::analysis::to_csv(study.figure2_negotiated_classes());
+    const auto report = study.recovery();
+    std::printf("replayed %llu frames, skipped %llu tasks, recomputed %llu\n",
+                static_cast<unsigned long long>(report.frames_replayed),
+                static_cast<unsigned long long>(report.tasks_skipped),
+                static_cast<unsigned long long>(report.tasks_recomputed));
+  }
+  std::filesystem::remove_all(ckpt_dir);
+
+  char cold_s[32], resumed_s[32], over_s[32], speed_s[32];
+  std::snprintf(cold_s, sizeof(cold_s), "%.3f", cold_wall);
+  std::snprintf(resumed_s, sizeof(resumed_s), "%.3f", resumed_wall);
+  std::snprintf(over_s, sizeof(over_s), "%+.1f%%",
+                plain_wall_last > 0
+                    ? 100.0 * (cold_wall - plain_wall_last) / plain_wall_last
+                    : 0.0);
+  std::snprintf(speed_s, sizeof(speed_s), "%.2fx",
+                resumed_wall > 0 ? cold_wall / resumed_wall : 0.0);
+  std::vector<std::vector<std::string>> jrows;
+  jrows.push_back({"run", "wall (s)", "vs plain", "figures"});
+  jrows.push_back({"cold + journal", cold_s, over_s,
+                   cold_csv == serial_csv ? "bit-identical" : "MISMATCH"});
+  jrows.push_back({"resumed", resumed_s, std::string(speed_s) + " faster",
+                   resumed_csv == serial_csv ? "bit-identical" : "MISMATCH"});
+  std::fputs(tls::analysis::render_table(jrows).c_str(), stdout);
+
+  if (cold_csv != serial_csv || resumed_csv != serial_csv) {
+    std::fprintf(stderr, "FAIL: checkpointed run changed exported bytes\n");
+    return 1;
   }
   return 0;
 }

@@ -2,14 +2,22 @@
 //
 //   study_cli figure <1..10>          render one paper figure as ASCII
 //   study_cli scan [YYYY-MM]          one Censys-style sweep (default window)
-//   study_cli export <dir>            write all figures + scans as CSV
+//   study_cli export <dir> [--checkpoint-dir <ckpt>] [--resume]
+//                                     write all figures + scans as CSV;
+//                                     with a checkpoint dir the run is
+//                                     journaled (crash-safe) and --resume
+//                                     replays verified work after a crash
 //   study_cli fingerprints <file>     dump the labeled fingerprint DB
 //   study_cli identify <hex-record>   fingerprint a raw ClientHello record
 //
-// Environment: TLS_STUDY_CPM / TLS_STUDY_SEED / TLS_STUDY_CORE as in bench/.
+// Environment: TLS_STUDY_CPM / TLS_STUDY_SEED / TLS_STUDY_CORE as in bench/;
+// TLS_STUDY_THREADS sets the worker pool; TLS_STUDY_KILL_AFTER (test/CI
+// seam) SIGKILLs the process after N durable journal appends.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <string>
 
 #include "analysis/csv.hpp"
@@ -32,12 +40,20 @@ tls::study::StudyOptions options_from_env() {
   if (const char* core = std::getenv("TLS_STUDY_CORE")) {
     opts.full_catalog = std::string(core) != "1";
   }
+  if (const char* threads = std::getenv("TLS_STUDY_THREADS")) {
+    opts.threads = static_cast<unsigned>(std::strtoul(threads, nullptr, 10));
+  }
+  if (const char* kill = std::getenv("TLS_STUDY_KILL_AFTER")) {
+    opts.checkpoint_kill_after_frames =
+        static_cast<std::size_t>(std::strtoull(kill, nullptr, 10));
+  }
   return opts;
 }
 
 int usage() {
   std::fputs(
-      "usage: study_cli figure <1..10> | scan [YYYY-MM] | export <dir> |\n"
+      "usage: study_cli figure <1..10> | scan [YYYY-MM] |\n"
+      "       export <dir> [--checkpoint-dir <ckpt>] [--resume] |\n"
       "       fingerprints <file> | identify <hex-client-hello-record>\n",
       stderr);
   return 2;
@@ -84,10 +100,24 @@ int cmd_scan(const char* month_arg) {
   return 0;
 }
 
-int cmd_export(const char* dir) {
-  tls::study::LongitudinalStudy study(options_from_env());
+int cmd_export(const char* dir, const char* checkpoint_dir, bool resume) {
+  auto opts = options_from_env();
+  if (checkpoint_dir != nullptr) {
+    opts.checkpoint_dir = checkpoint_dir;
+    opts.resume = resume;
+  }
+  tls::study::LongitudinalStudy study(opts);
   for (const auto& path : study.export_figures(dir)) {
     std::printf("wrote %s\n", path.c_str());
+  }
+  if (checkpoint_dir != nullptr) {
+    const auto report = study.recovery();
+    const auto table = tls::analysis::render_recovery_table(report);
+    std::fputs(table.c_str(), stdout);
+    const auto report_path =
+        (std::filesystem::path(checkpoint_dir) / "RECOVERY.txt").string();
+    std::ofstream(report_path) << table;
+    std::printf("wrote %s\n", report_path.c_str());
   }
   return 0;
 }
@@ -146,7 +176,20 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   if (cmd == "figure" && argc == 3) return cmd_figure(std::atoi(argv[2]));
   if (cmd == "scan") return cmd_scan(argc >= 3 ? argv[2] : nullptr);
-  if (cmd == "export" && argc == 3) return cmd_export(argv[2]);
+  if (cmd == "export" && argc >= 3) {
+    const char* checkpoint_dir = nullptr;
+    bool resume = false;
+    for (int i = 3; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--checkpoint-dir") == 0 && i + 1 < argc) {
+        checkpoint_dir = argv[++i];
+      } else if (std::strcmp(argv[i], "--resume") == 0) {
+        resume = true;
+      } else {
+        return usage();
+      }
+    }
+    return cmd_export(argv[2], checkpoint_dir, resume);
+  }
   if (cmd == "fingerprints" && argc == 3) return cmd_fingerprints(argv[2]);
   if (cmd == "identify" && argc == 3) return cmd_identify(argv[2]);
   return usage();

@@ -164,6 +164,30 @@ std::string render_loss_table(const std::vector<LossRow>& rows) {
   return out.str();
 }
 
+std::string render_recovery_table(const RecoveryReport& report) {
+  std::vector<std::vector<std::string>> table;
+  table.push_back({"recovery", "count"});
+  table.push_back({"resumed", report.resumed ? "yes" : "no"});
+  table.push_back({"frames replayed", std::to_string(report.frames_replayed)});
+  table.push_back({"frames torn", std::to_string(report.frames_torn)});
+  table.push_back({"frames corrupt", std::to_string(report.frames_corrupt)});
+  table.push_back(
+      {"frames mismatched", std::to_string(report.frames_mismatched)});
+  table.push_back(
+      {"frames duplicate", std::to_string(report.frames_duplicate)});
+  table.push_back({"tasks skipped", std::to_string(report.tasks_skipped)});
+  table.push_back(
+      {"tasks recomputed", std::to_string(report.tasks_recomputed)});
+  table.push_back({"stuck reruns", std::to_string(report.stuck_reruns)});
+  std::ostringstream out;
+  out << render_table(table);
+  if (!report.quarantined.empty()) {
+    out << "quarantined frames:\n";
+    for (const auto& path : report.quarantined) out << "  " << path << "\n";
+  }
+  return out.str();
+}
+
 std::string csv_escape(const std::string& field) {
   if (field.find_first_of(",\"\r\n") == std::string::npos) return field;
   std::string out;

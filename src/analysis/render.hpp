@@ -58,6 +58,27 @@ struct LossRow {
 /// windows readable. Returns "" for empty input.
 std::string render_loss_table(const std::vector<LossRow>& rows);
 
+/// What a checkpoint-journal replay found and did. Like LossRow this is a
+/// plain struct with no dependency on the journal that fills it, so the
+/// study layer can produce one and this layer can render it.
+struct RecoveryReport {
+  bool resumed = false;  // a usable manifest was found and accepted
+  std::uint64_t frames_replayed = 0;   // verified and absorbed
+  std::uint64_t frames_torn = 0;       // leftover .tmp (interrupted write)
+  std::uint64_t frames_corrupt = 0;    // checksum/decode failure
+  std::uint64_t frames_mismatched = 0; // wrong options digest or version
+  std::uint64_t frames_duplicate = 0;  // same (kind, month, slot) twice
+  std::uint64_t tasks_skipped = 0;     // satisfied from the journal
+  std::uint64_t tasks_recomputed = 0;  // run (fresh, or frame unusable)
+  std::uint64_t stuck_reruns = 0;      // watchdog-discarded shard attempts
+  /// Quarantine sidecar paths of every rejected frame, in replay order.
+  std::vector<std::string> quarantined;
+};
+
+/// Renders the replay summary as an aligned two-column table followed by
+/// the quarantined-frame paths (if any), one per line.
+std::string render_recovery_table(const RecoveryReport& report);
+
 /// Formats a double as a percent with one decimal ("12.3%").
 std::string pct(double value_0_to_100);
 

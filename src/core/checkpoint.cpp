@@ -1,0 +1,506 @@
+#include "core/checkpoint.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <bit>
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <system_error>
+
+#include "core/study.hpp"
+#include "notary/observe_cache.hpp"
+#include "wire/buffer.hpp"
+
+namespace tls::study {
+
+namespace fs = std::filesystem;
+using tls::wire::ByteReader;
+using tls::wire::ByteWriter;
+using tls::wire::ParseError;
+using tls::wire::ParseErrorCode;
+
+namespace {
+
+constexpr std::uint32_t kFrameMagic = 0x544c534a;     // "TLSJ"
+constexpr std::uint32_t kManifestMagic = 0x544c534d;  // "TLSM"
+// One monitor snapshot for a tiny shard is a few KiB; a full-catalog shard
+// a few hundred KiB. Anything beyond this is a corrupt length field, not a
+// plausible payload — reject before allocating.
+constexpr std::uint32_t kMaxFramePayload = 64u * 1024u * 1024u;
+
+std::uint64_t fnv1a64(std::span<const std::uint8_t> bytes) {
+  return tls::notary::ObserveCache::fnv1a64(bytes);
+}
+
+void write_double(ByteWriter& w, double v) {
+  w.u64(std::bit_cast<std::uint64_t>(v));
+}
+
+double read_double(ByteReader& r) { return std::bit_cast<double>(r.u64()); }
+
+/// Reads a whole file; returns false on any IO error (caller treats the
+/// frame as unreadable, i.e. corrupt).
+bool slurp_file(const fs::path& path, std::vector<std::uint8_t>& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  out.assign(std::istreambuf_iterator<char>(in),
+             std::istreambuf_iterator<char>());
+  return !in.bad();
+}
+
+void fsync_path(const fs::path& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+}
+
+/// write-to-temp + fsync + atomic-rename + fsync-dir. Returns false on any
+/// failure (partial temp files are removed on a best-effort basis).
+bool write_file_atomic(const fs::path& path,
+                       std::span<const std::uint8_t> bytes) {
+  const fs::path tmp = path.string() + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return false;
+  std::size_t written = 0;
+  while (written < bytes.size()) {
+    const ::ssize_t n =
+        ::write(fd, bytes.data() + written, bytes.size() - written);
+    if (n <= 0) {
+      ::close(fd);
+      std::error_code ignore;
+      fs::remove(tmp, ignore);
+      return false;
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    std::error_code ignore;
+    fs::remove(tmp, ignore);
+    return false;
+  }
+  ::close(fd);
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::error_code ignore;
+    fs::remove(tmp, ignore);
+    return false;
+  }
+  fsync_path(path.parent_path());
+  return true;
+}
+
+char frame_prefix(FrameKind kind) {
+  return kind == FrameKind::kPassiveShard ? 'p' : 's';
+}
+
+/// `p_000123_0004.frame` — lexicographic directory order IS (kind, month,
+/// slot) plan order, with all passive frames sorting before scan frames.
+std::string frame_file_name(FrameKind kind, std::uint32_t month_index,
+                            std::uint32_t slot) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%c_%06u_%04u.frame", frame_prefix(kind),
+                month_index, slot);
+  return buf;
+}
+
+}  // namespace
+
+std::uint64_t options_digest(const StudyOptions& options) {
+  // Canonical encoding of every byte-affecting option. Field order is part
+  // of the format: changing it (or what is included) orphans old journals,
+  // which is the safe failure mode.
+  ByteWriter w;
+  w.u64(options.seed);
+  w.u64(options.connections_per_month);
+  w.u32(static_cast<std::uint32_t>(options.window.begin_month.index()));
+  w.u32(static_cast<std::uint32_t>(options.window.end_month.index()));
+  w.u8(options.full_catalog ? 1 : 0);
+  // Capture-plane fault rates only: the frame_* rates of this config are
+  // never rolled by the passive pipeline.
+  for (const double rate :
+       {options.faults.truncate, options.faults.bit_flip,
+        options.faults.length_corrupt, options.faults.trailing_garbage,
+        options.faults.record_split, options.faults.record_coalesce,
+        options.faults.drop_flight, options.faults.one_sided}) {
+    write_double(w, rate);
+  }
+  w.u64(options.fault_seed);
+  const auto& net = options.scan_policy.network;
+  for (const double v : {net.unreachable, net.timeout, net.reset,
+                         net.flaky_hosts, net.flaky_penalty}) {
+    write_double(w, v);
+  }
+  const auto& retry = options.scan_policy.retry;
+  w.u32(retry.max_attempts);
+  for (const double v : {retry.attempt_timeout_ms, retry.base_backoff_ms,
+                         retry.backoff_factor, retry.jitter,
+                         retry.total_budget_ms}) {
+    write_double(w, v);
+  }
+  w.u64(options.scan_policy.seed);
+  w.u64(options.shards_per_month);
+  return fnv1a64(w.data());
+}
+
+CheckpointManifest make_manifest(const StudyOptions& options,
+                                 std::size_t scan_segments) {
+  CheckpointManifest m;
+  m.options_digest = options_digest(options);
+  m.seed = options.seed;
+  m.window_begin =
+      static_cast<std::uint32_t>(options.window.begin_month.index());
+  m.window_end = static_cast<std::uint32_t>(options.window.end_month.index());
+  m.shards_per_month = static_cast<std::uint32_t>(
+      std::max<std::size_t>(1, options.shards_per_month));
+  m.connections_per_month = options.connections_per_month;
+  const auto scan = tls::core::censys_window();
+  m.scan_begin = static_cast<std::uint32_t>(scan.begin_month.index());
+  m.scan_end = static_cast<std::uint32_t>(scan.end_month.index());
+  m.scan_segments = static_cast<std::uint32_t>(scan_segments);
+  return m;
+}
+
+std::vector<std::uint8_t> encode_manifest(const CheckpointManifest& manifest) {
+  ByteWriter w;
+  w.u32(kManifestMagic);
+  w.u32(manifest.format_version);
+  w.u64(manifest.options_digest);
+  w.u64(manifest.seed);
+  w.u32(manifest.window_begin);
+  w.u32(manifest.window_end);
+  w.u32(manifest.shards_per_month);
+  w.u64(manifest.connections_per_month);
+  w.u32(manifest.scan_begin);
+  w.u32(manifest.scan_end);
+  w.u32(manifest.scan_segments);
+  w.u64(fnv1a64(w.data()));
+  return w.take();
+}
+
+CheckpointManifest decode_manifest(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < 8) {
+    throw ParseError(ParseErrorCode::kTruncated, "manifest too short");
+  }
+  const std::uint64_t expected = fnv1a64(bytes.first(bytes.size() - 8));
+  ByteReader r(bytes);
+  if (r.u32() != kManifestMagic) {
+    throw ParseError(ParseErrorCode::kBadValue, "manifest magic");
+  }
+  CheckpointManifest m;
+  m.format_version = r.u32();
+  if (m.format_version != kCheckpointFormatVersion) {
+    throw ParseError(ParseErrorCode::kUnsupported,
+                     "manifest format version " +
+                         std::to_string(m.format_version));
+  }
+  m.options_digest = r.u64();
+  m.seed = r.u64();
+  m.window_begin = r.u32();
+  m.window_end = r.u32();
+  m.shards_per_month = r.u32();
+  m.connections_per_month = r.u64();
+  m.scan_begin = r.u32();
+  m.scan_end = r.u32();
+  m.scan_segments = r.u32();
+  if (r.u64() != expected) {
+    throw ParseError(ParseErrorCode::kBadValue, "manifest checksum");
+  }
+  r.expect_empty("checkpoint manifest");
+  return m;
+}
+
+std::vector<std::uint8_t> encode_frame(std::uint64_t options_digest,
+                                       const FrameHeader& header,
+                                       std::span<const std::uint8_t> payload) {
+  ByteWriter w;
+  w.u32(kFrameMagic);
+  w.u32(kCheckpointFormatVersion);
+  w.u64(options_digest);
+  w.u8(static_cast<std::uint8_t>(header.kind));
+  w.u32(header.month_index);
+  w.u32(header.slot);
+  w.u32(static_cast<std::uint32_t>(payload.size()));
+  w.bytes(payload);
+  w.u64(fnv1a64(w.data()));
+  return w.take();
+}
+
+DecodedFrame decode_frame(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < 8) {
+    throw ParseError(ParseErrorCode::kTruncated, "frame too short");
+  }
+  const std::uint64_t expected = fnv1a64(bytes.first(bytes.size() - 8));
+  ByteReader r(bytes);
+  if (r.u32() != kFrameMagic) {
+    throw ParseError(ParseErrorCode::kBadValue, "frame magic");
+  }
+  const std::uint32_t version = r.u32();
+  if (version != kCheckpointFormatVersion) {
+    throw ParseError(ParseErrorCode::kUnsupported,
+                     "frame format version " + std::to_string(version));
+  }
+  DecodedFrame frame;
+  frame.options_digest = r.u64();
+  const std::uint8_t kind = r.u8();
+  if (kind != static_cast<std::uint8_t>(FrameKind::kPassiveShard) &&
+      kind != static_cast<std::uint8_t>(FrameKind::kScanSegment)) {
+    throw ParseError(ParseErrorCode::kBadValue,
+                     "frame kind " + std::to_string(kind));
+  }
+  frame.header.kind = static_cast<FrameKind>(kind);
+  frame.header.month_index = r.u32();
+  frame.header.slot = r.u32();
+  const std::uint32_t payload_len = r.u32();
+  if (payload_len > kMaxFramePayload) {
+    throw ParseError(ParseErrorCode::kBadLength,
+                     "frame payload length " + std::to_string(payload_len));
+  }
+  const auto payload = r.bytes(payload_len);
+  frame.payload.assign(payload.begin(), payload.end());
+  if (r.u64() != expected) {
+    throw ParseError(ParseErrorCode::kBadValue, "frame checksum");
+  }
+  r.expect_empty("checkpoint frame");
+  return frame;
+}
+
+std::vector<std::uint8_t> encode_segment_probe(
+    const tls::scan::SegmentProbe& probe) {
+  ByteWriter w;
+  w.u8(probe.included ? 1 : 0);
+  w.u8(probe.reached ? 1 : 0);
+  w.u8(probe.abandoned ? 1 : 0);
+  write_double(w, probe.weight);
+  w.u64(probe.attempts);
+  w.u64(probe.retries);
+  for (const double v :
+       {probe.ssl3, probe.expo, probe.rc4, probe.cbc, probe.aead, probe.tdes,
+        probe.rc4_support, probe.rc4_only, probe.heartbeat, probe.heartbleed,
+        probe.tls13}) {
+    write_double(w, v);
+  }
+  return w.take();
+}
+
+tls::scan::SegmentProbe decode_segment_probe(
+    std::span<const std::uint8_t> bytes) {
+  ByteReader r(bytes);
+  tls::scan::SegmentProbe probe;
+  const auto read_flag = [&r](const char* what) {
+    const std::uint8_t v = r.u8();
+    if (v > 1) {
+      throw ParseError(ParseErrorCode::kBadValue,
+                       std::string("segment probe ") + what);
+    }
+    return v == 1;
+  };
+  probe.included = read_flag("included");
+  probe.reached = read_flag("reached");
+  probe.abandoned = read_flag("abandoned");
+  probe.weight = read_double(r);
+  probe.attempts = r.u64();
+  probe.retries = r.u64();
+  for (double* v :
+       {&probe.ssl3, &probe.expo, &probe.rc4, &probe.cbc, &probe.aead,
+        &probe.tdes, &probe.rc4_support, &probe.rc4_only, &probe.heartbeat,
+        &probe.heartbleed, &probe.tls13}) {
+    *v = read_double(r);
+  }
+  r.expect_empty("segment probe");
+  return probe;
+}
+
+RunJournal::RunJournal(Config config) : config_(std::move(config)) {
+  const fs::path dir(config_.directory);
+  frames_dir_ = (dir / "frames").string();
+  quarantine_dir_ = (dir / "quarantine").string();
+  std::error_code ec;
+  fs::create_directories(frames_dir_, ec);
+  replay();
+}
+
+void RunJournal::replay() {
+  const fs::path dir(config_.directory);
+  const fs::path manifest_path = dir / "MANIFEST";
+  const std::vector<std::uint8_t> manifest_bytes = encode_manifest(
+      config_.manifest);
+
+  bool accept_frames = false;
+  if (config_.resume && fs::exists(manifest_path)) {
+    std::vector<std::uint8_t> on_disk;
+    if (slurp_file(manifest_path, on_disk)) {
+      try {
+        accept_frames = decode_manifest(on_disk) == config_.manifest;
+      } catch (const ParseError&) {
+        accept_frames = false;
+      }
+    }
+    report_.resumed = accept_frames;
+  }
+
+  // Directory listing in sorted (== plan) order, .tmp leftovers included.
+  std::vector<std::string> names;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(frames_dir_, ec)) {
+    names.push_back(entry.path().filename().string());
+  }
+  std::sort(names.begin(), names.end());
+
+  if (!config_.resume) {
+    // Cold start: wipe whatever is there and lay down a fresh manifest.
+    for (const auto& name : names) {
+      fs::remove(fs::path(frames_dir_) / name, ec);
+    }
+    write_file_atomic(manifest_path, manifest_bytes);
+    return;
+  }
+
+  for (const auto& name : names) {
+    const fs::path path = fs::path(frames_dir_) / name;
+    if (name.size() >= 4 && name.ends_with(".tmp")) {
+      // A temp file survived: the writer died mid-frame.
+      ++report_.frames_torn;
+      quarantine_file(name);
+      continue;
+    }
+    if (!accept_frames) {
+      // Foreign or absent manifest: every frame describes different work.
+      ++report_.frames_mismatched;
+      quarantine_file(name);
+      continue;
+    }
+    std::vector<std::uint8_t> bytes;
+    if (!slurp_file(path, bytes)) {
+      ++report_.frames_corrupt;
+      quarantine_file(name);
+      continue;
+    }
+    DecodedFrame frame;
+    try {
+      frame = decode_frame(bytes);
+    } catch (const ParseError&) {
+      ++report_.frames_corrupt;
+      quarantine_file(name);
+      continue;
+    }
+    if (frame.options_digest != config_.manifest.options_digest) {
+      ++report_.frames_mismatched;
+      quarantine_file(name);
+      continue;
+    }
+    const FrameKey key{static_cast<std::uint8_t>(frame.header.kind),
+                       frame.header.month_index, frame.header.slot};
+    auto [it, inserted] = frames_.try_emplace(key);
+    if (inserted || !it->second.usable) {
+      // First sighting — or a duplicate of a frame we already threw out;
+      // an independently-written copy may still verify.
+      if (!inserted) ++report_.frames_duplicate;
+      it->second.payload = std::move(frame.payload);
+      it->second.file_name = name;
+      it->second.usable = true;
+      ++report_.frames_replayed;
+    } else {
+      // Same task twice (e.g. an injected duplicate append). The first
+      // verified copy wins; the extra file is quarantined.
+      ++report_.frames_duplicate;
+      quarantine_file(name);
+    }
+  }
+
+  // Re-stamp the manifest: on a clean resume it is byte-identical; after a
+  // manifest mismatch this adopts the journal for the current options.
+  if (!accept_frames) write_file_atomic(manifest_path, manifest_bytes);
+}
+
+const std::vector<std::uint8_t>* RunJournal::replayed(
+    FrameKind kind, std::uint32_t month_index, std::uint32_t slot) const {
+  const auto it = frames_.find(
+      FrameKey{static_cast<std::uint8_t>(kind), month_index, slot});
+  if (it == frames_.end() || !it->second.usable) return nullptr;
+  return &it->second.payload;
+}
+
+void RunJournal::write_frame_file(const std::string& name,
+                                  std::span<const std::uint8_t> bytes) {
+  write_file_atomic(fs::path(frames_dir_) / name, bytes);
+}
+
+void RunJournal::append(FrameKind kind, std::uint32_t month_index,
+                        std::uint32_t slot,
+                        std::span<const std::uint8_t> payload) {
+  FrameHeader header{kind, month_index, slot};
+  std::vector<std::uint8_t> bytes =
+      encode_frame(config_.manifest.options_digest, header, payload);
+  const std::string name = frame_file_name(kind, month_index, slot);
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  bool duplicate = false;
+  if (config_.frame_faults != nullptr) {
+    const auto fault = config_.frame_faults->corrupt_frame(bytes);
+    duplicate = fault == tls::faults::FaultKind::kFrameDuplicate;
+  }
+  write_frame_file(name, bytes);
+  if (duplicate) {
+    // A replayed append: the same frame lands twice under sibling names.
+    write_frame_file(name + ".dup.frame", bytes);
+  }
+  ++appended_;
+  if (config_.kill_after_frames != 0 &&
+      appended_ >= config_.kill_after_frames) {
+    // Crash-matrix seam: die exactly here, after N durable frames.
+    std::raise(SIGKILL);
+  }
+}
+
+void RunJournal::invalidate(FrameKind kind, std::uint32_t month_index,
+                            std::uint32_t slot) {
+  const auto it = frames_.find(
+      FrameKey{static_cast<std::uint8_t>(kind), month_index, slot});
+  if (it == frames_.end() || !it->second.usable) return;
+  it->second.usable = false;
+  std::lock_guard<std::mutex> lock(mutex_);
+  --report_.frames_replayed;
+  ++report_.frames_corrupt;
+  quarantine_file(it->second.file_name);
+}
+
+void RunJournal::note_task(bool replayed_from_journal) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (replayed_from_journal) {
+    ++report_.tasks_skipped;
+  } else {
+    ++report_.tasks_recomputed;
+  }
+}
+
+void RunJournal::quarantine_file(const std::string& name) {
+  std::error_code ec;
+  fs::create_directories(quarantine_dir_, ec);
+  char seq[16];
+  std::snprintf(seq, sizeof(seq), "q%04zu_", report_.quarantined.size());
+  const fs::path from = fs::path(frames_dir_) / name;
+  const fs::path to = fs::path(quarantine_dir_) / (seq + name);
+  fs::rename(from, to, ec);
+  if (ec) {
+    // Cross-device or racing remove: fall back to copy+delete, and if even
+    // that fails just remove the bad frame — never abort a recovery.
+    fs::copy_file(from, to, fs::copy_options::overwrite_existing, ec);
+    fs::remove(from, ec);
+  }
+  report_.quarantined.push_back(to.string());
+}
+
+tls::analysis::RecoveryReport RunJournal::snapshot_report() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return report_;
+}
+
+}  // namespace tls::study

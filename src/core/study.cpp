@@ -1,12 +1,14 @@
 #include "core/study.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <filesystem>
 
 #include "analysis/csv.hpp"
 
 #include "core/shard.hpp"
 #include "fingerprint/fingerprint.hpp"
+#include "notary/snapshot.hpp"
 #include "tlscore/timeline.hpp"
 
 namespace tls::study {
@@ -27,6 +29,87 @@ LongitudinalStudy::LongitudinalStudy(StudyOptions options)
   monitor_ = std::make_unique<tls::notary::PassiveMonitor>(&database_);
   scanner_ =
       std::make_unique<tls::scan::ActiveScanner>(servers_, options_.scan_policy);
+}
+
+namespace {
+
+/// Internal watchdog signal: the shard blew its per-task deadline. Thrown
+/// from the generator sink and caught inside the same pool task — it must
+/// never escape into the ThreadPool, which would rethrow it from run().
+struct StuckShardError {};
+
+}  // namespace
+
+void LongitudinalStudy::ensure_journal() {
+  if (journal_ != nullptr || options_.checkpoint_dir.empty()) return;
+  if (options_.checkpoint_faults.frame_total() > 0) {
+    frame_injector_ = std::make_unique<tls::faults::FaultInjector>(
+        options_.checkpoint_faults, options_.checkpoint_fault_seed);
+  }
+  RunJournal::Config config;
+  config.directory = options_.checkpoint_dir;
+  config.resume = options_.resume;
+  config.manifest = make_manifest(options_, servers_.segments().size());
+  config.frame_faults = frame_injector_.get();
+  config.kill_after_frames = options_.checkpoint_kill_after_frames;
+  journal_ = std::make_unique<RunJournal>(std::move(config));
+}
+
+tls::analysis::RecoveryReport LongitudinalStudy::recovery() const {
+  tls::analysis::RecoveryReport report;
+  if (journal_ != nullptr) report = journal_->snapshot_report();
+  report.stuck_reruns = stuck_reruns_.load();
+  return report;
+}
+
+std::unique_ptr<tls::notary::PassiveMonitor> LongitudinalStudy::compute_shard(
+    Month month, std::size_t shard, std::size_t count) {
+  const bool faulty = options_.faults.total() > 0;
+  const auto lane = static_cast<std::uint64_t>(month.index());
+  // Each attempt rebuilds monitor, injector and generator from their seeds,
+  // so a watchdog rerun consumes exactly the streams the discarded attempt
+  // did — determinism survives the discard.
+  const auto attempt = [&](bool enforce_deadline) {
+    auto mon = std::make_unique<tls::notary::PassiveMonitor>(&database_);
+    mon->set_observe_cache_capacity(options_.observe_cache_entries);
+    mon->set_fast_observe(options_.fast_observe);
+    std::unique_ptr<tls::faults::FaultInjector> injector;
+    if (faulty) {
+      injector = std::make_unique<tls::faults::FaultInjector>(
+          options_.faults,
+          tls::core::rng_stream_seed(options_.fault_seed, lane, shard));
+      mon->set_fault_injector(injector.get());
+    }
+    tls::population::TrafficGenerator gen(
+        *market_, servers_,
+        tls::core::rng_stream_seed(options_.seed, lane, shard));
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::microseconds(options_.task_deadline_us);
+    // Batched hand-off: one virtual-call boundary per 256 events instead of
+    // per event; the generator's RNG stream is unchanged. The watchdog
+    // piggybacks on the same boundary — a cooperative check per batch.
+    gen.generate_month_batched(
+        month, count, 256,
+        [&](std::span<const tls::population::ConnectionEvent> events) {
+          if (enforce_deadline &&
+              std::chrono::steady_clock::now() >= deadline) {
+            throw StuckShardError{};
+          }
+          mon->observe_span(events);
+        });
+    mon->set_fault_injector(nullptr);
+    return mon;
+  };
+  if (options_.task_deadline_us == 0) return attempt(false);
+  try {
+    return attempt(true);
+  } catch (const StuckShardError&) {
+    // Over budget: discard the partial shard and re-run once without a
+    // deadline so a genuinely slow machine still completes (and report it).
+    stuck_reruns_.fetch_add(1);
+    return attempt(false);
+  }
 }
 
 tls::fp::FingerprintDatabase LongitudinalStudy::build_database(
@@ -74,34 +157,39 @@ void LongitudinalStudy::run() {
     }
   }
 
-  const bool faulty = options_.faults.total() > 0;
+  ensure_journal();
   std::vector<std::unique_ptr<tls::notary::PassiveMonitor>> shard_monitors(
       tasks.size());
   tls::core::ThreadPool pool(options_.threads);
   pool.run(tasks.size(), [&](std::size_t i) {
     const ShardTask& task = tasks[i];
-    const auto lane = static_cast<std::uint64_t>(task.month.index());
-    auto mon = std::make_unique<tls::notary::PassiveMonitor>(&database_);
-    mon->set_observe_cache_capacity(options_.observe_cache_entries);
-    mon->set_fast_observe(options_.fast_observe);
-    std::unique_ptr<tls::faults::FaultInjector> injector;
-    if (faulty) {
-      injector = std::make_unique<tls::faults::FaultInjector>(
-          options_.faults,
-          tls::core::rng_stream_seed(options_.fault_seed, lane, task.shard));
-      mon->set_fault_injector(injector.get());
+    const auto month_index = static_cast<std::uint32_t>(task.month.index());
+    const auto slot = static_cast<std::uint32_t>(task.shard);
+    if (journal_ != nullptr) {
+      // Resume path: a verified journal frame replaces the whole task.
+      // Absorbing the decoded monitor is bit-identical to absorbing the
+      // one that wrote the frame, so replayed and recomputed shards mix
+      // freely without changing a single exported byte.
+      if (const auto* payload = journal_->replayed(FrameKind::kPassiveShard,
+                                                   month_index, slot)) {
+        try {
+          shard_monitors[i] = std::make_unique<tls::notary::PassiveMonitor>(
+              tls::notary::decode_monitor_state(*payload, &database_));
+          journal_->note_task(true);
+          return;
+        } catch (const tls::wire::ParseError&) {
+          // Framing verified but the payload didn't decode: quarantine and
+          // fall through to an ordinary recompute.
+          journal_->invalidate(FrameKind::kPassiveShard, month_index, slot);
+        }
+      }
     }
-    tls::population::TrafficGenerator gen(
-        *market_, servers_,
-        tls::core::rng_stream_seed(options_.seed, lane, task.shard));
-    // Batched hand-off: one virtual-call boundary per 256 events instead of
-    // per event; the generator's RNG stream is unchanged.
-    gen.generate_month_batched(
-        task.month, task.count, 256,
-        [&](std::span<const tls::population::ConnectionEvent> events) {
-          mon->observe_span(events);
-        });
-    mon->set_fault_injector(nullptr);
+    auto mon = compute_shard(task.month, task.shard, task.count);
+    if (journal_ != nullptr) {
+      journal_->append(FrameKind::kPassiveShard, month_index, slot,
+                       tls::notary::encode_monitor_state(*mon));
+      journal_->note_task(false);
+    }
     shard_monitors[i] = std::move(mon);
   });
 
@@ -155,8 +243,44 @@ std::vector<std::string> LongitudinalStudy::export_figures(
   // The pool-backed sweep folds per-(month, segment) probes in plan order,
   // so these bytes match the serial scan_range at any thread count.
   tls::core::ThreadPool pool(options_.threads);
-  tls::analysis::write_scan_csv_file(
-      scan_path, scanner().scan_range(tls::core::censys_window(), pool));
+  const auto range = tls::core::censys_window();
+  ensure_journal();
+  if (journal_ != nullptr) {
+    // Journaled sweep: each (month, segment) probe is replayed from the
+    // journal when a verified frame exists, recomputed (and appended)
+    // otherwise, then everything folds through the identical plan-order
+    // fold — the same bytes as the un-journaled sweep.
+    const auto n_months = static_cast<std::size_t>(range.size());
+    const std::size_t n_segments = servers_.segments().size();
+    std::vector<tls::scan::SegmentProbe> probes(n_months * n_segments);
+    pool.run(probes.size(), [&](std::size_t i) {
+      const auto mi = static_cast<int>(i / n_segments);
+      const std::size_t si = i % n_segments;
+      const auto month_index =
+          static_cast<std::uint32_t>((range.begin_month + mi).index());
+      const auto slot = static_cast<std::uint32_t>(si);
+      if (const auto* payload =
+              journal_->replayed(FrameKind::kScanSegment, month_index, slot)) {
+        try {
+          probes[i] = decode_segment_probe(*payload);
+          journal_->note_task(true);
+          return;
+        } catch (const tls::wire::ParseError&) {
+          journal_->invalidate(FrameKind::kScanSegment, month_index, slot);
+        }
+      }
+      probes[i] = scanner_->probe_segment(range.begin_month + mi, si,
+                                          /*by_traffic=*/false);
+      journal_->append(FrameKind::kScanSegment, month_index, slot,
+                       encode_segment_probe(probes[i]));
+      journal_->note_task(false);
+    });
+    tls::analysis::write_scan_csv_file(scan_path,
+                                       scanner().fold_range(range, probes));
+  } else {
+    tls::analysis::write_scan_csv_file(scan_path,
+                                       scanner().scan_range(range, pool));
+  }
   written.push_back(scan_path);
   return written;
 }

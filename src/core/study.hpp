@@ -7,11 +7,14 @@
 // primary public entry point; the bench binaries are thin wrappers over it.
 #pragma once
 
+#include <atomic>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "analysis/render.hpp"
 #include "clients/catalog.hpp"
+#include "core/checkpoint.hpp"
 #include "faults/injector.hpp"
 #include "fingerprint/database.hpp"
 #include "notary/monitor.hpp"
@@ -56,6 +59,27 @@ struct StudyOptions {
   /// PassiveMonitor::observe). Off forces the serialize→parse byte path;
   /// outputs are identical either way.
   bool fast_observe = true;
+
+  // ---- durable checkpoint/resume (off by default; no byte may change
+  //      whether checkpointing is on, off, or resumed mid-run) ----
+  /// Journal directory; empty disables checkpointing entirely.
+  std::string checkpoint_dir{};
+  /// Replay a compatible journal found in checkpoint_dir instead of wiping
+  /// it. Frames that fail verification are quarantined and recomputed.
+  bool resume = false;
+  /// Cooperative stuck-shard watchdog: a passive shard task exceeding this
+  /// budget (microseconds of wall clock) is discarded mid-generation and
+  /// re-run once from scratch; the rerun is exempt so a slow machine can
+  /// still finish. 0 disables.
+  std::uint64_t task_deadline_us = 0;
+  /// Chaos tap for the journal itself (frame_* rates): soak-tests the
+  /// torn/corrupt/duplicate recovery paths. All-zero (default) keeps the
+  /// journal bytes pristine.
+  tls::faults::FaultConfig checkpoint_faults{};
+  std::uint64_t checkpoint_fault_seed = 0x57a7e;
+  /// Test seam: SIGKILL the process after this many durable frame appends
+  /// (1-based; 0 disables). Drives the crash-matrix tests and CI job.
+  std::size_t checkpoint_kill_after_frames = 0;
 };
 
 class LongitudinalStudy {
@@ -77,6 +101,10 @@ class LongitudinalStudy {
     return *scanner_;
   }
   [[nodiscard]] const StudyOptions& options() const { return options_; }
+
+  /// Journal replay + watchdog accounting for the last run()/export. All
+  /// zeros (resumed=false) when checkpointing is disabled.
+  [[nodiscard]] tls::analysis::RecoveryReport recovery() const;
 
   // ---- passive figures (monthly percentage series over options.window) --
   [[nodiscard]] tls::analysis::MonthlyChart figure1_versions();
@@ -113,7 +141,17 @@ class LongitudinalStudy {
   std::unique_ptr<tls::population::MarketModel> market_;
   std::unique_ptr<tls::notary::PassiveMonitor> monitor_;
   std::unique_ptr<tls::scan::ActiveScanner> scanner_;
+  std::unique_ptr<RunJournal> journal_;
+  std::unique_ptr<tls::faults::FaultInjector> frame_injector_;
+  std::atomic<std::uint64_t> stuck_reruns_{0};
   bool ran_ = false;
+
+  /// Lazily opens (and replays) the journal; no-op without checkpoint_dir.
+  void ensure_journal();
+  /// One passive (month, shard) task under the watchdog; returns the
+  /// shard's monitor (rerun once if the first attempt blows the deadline).
+  std::unique_ptr<tls::notary::PassiveMonitor> compute_shard(
+      tls::core::Month month, std::size_t shard, std::size_t count);
 };
 
 /// The study's standard attack markers for charts (Figs. 1, 2, 3, 6).

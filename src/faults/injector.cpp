@@ -15,6 +15,9 @@ std::string_view fault_kind_name(FaultKind kind) {
     case FaultKind::kRecordCoalesce: return "record_coalesce";
     case FaultKind::kDropFlight: return "drop_flight";
     case FaultKind::kOneSided: return "one_sided";
+    case FaultKind::kFrameTruncate: return "frame_truncate";
+    case FaultKind::kFrameBitFlip: return "frame_bit_flip";
+    case FaultKind::kFrameDuplicate: return "frame_duplicate";
   }
   return "?";
 }
@@ -32,6 +35,13 @@ FaultConfig FaultConfig::bytes_only(double rate) {
   FaultConfig c;
   c.truncate = c.bit_flip = c.length_corrupt = c.trailing_garbage =
       c.record_split = c.record_coalesce = r;
+  return c;
+}
+
+FaultConfig FaultConfig::frames_only(double rate) {
+  const double r = rate / 3.0;
+  FaultConfig c;
+  c.frame_truncate = c.frame_bit_flip = c.frame_duplicate = r;
   return c;
 }
 
@@ -83,7 +93,10 @@ void FaultInjector::apply_bytes(FaultKind kind,
       stream.clear();
       break;
     case FaultKind::kNone:
-      break;
+    case FaultKind::kFrameTruncate:
+    case FaultKind::kFrameBitFlip:
+    case FaultKind::kFrameDuplicate:
+      break;  // frame kinds are handled by corrupt_frame, never here
   }
 }
 
@@ -97,13 +110,17 @@ FaultKind FaultInjector::corrupt_stream(std::vector<std::uint8_t>& stream) {
   return kind;
 }
 
-FaultKind FaultInjector::corrupt_capture(std::vector<std::uint8_t>& client,
-                                         std::vector<std::uint8_t>& server) {
+FaultKind FaultInjector::roll_capture() {
   ++stats_.captures_seen;
-  const FaultKind kind = roll();
+  return roll();
+}
+
+void FaultInjector::apply_capture(FaultKind kind,
+                                  std::vector<std::uint8_t>& client,
+                                  std::vector<std::uint8_t>& server) {
   switch (kind) {
     case FaultKind::kNone:
-      break;
+      return;
     case FaultKind::kDropFlight:
       client.clear();
       server.clear();
@@ -113,6 +130,50 @@ FaultKind FaultInjector::corrupt_capture(std::vector<std::uint8_t>& client,
       break;
     default:
       apply_bytes(kind, rng_.next() & 1 ? client : server);
+      break;
+  }
+  ++stats_.applied[static_cast<std::size_t>(kind)];
+}
+
+FaultKind FaultInjector::corrupt_capture(std::vector<std::uint8_t>& client,
+                                         std::vector<std::uint8_t>& server) {
+  const FaultKind kind = roll_capture();
+  apply_capture(kind, client, server);
+  return kind;
+}
+
+FaultKind FaultInjector::corrupt_frame(std::vector<std::uint8_t>& frame) {
+  ++stats_.frames_seen;
+  double u = rng_.uniform();
+  const std::pair<FaultKind, double> weights[] = {
+      {FaultKind::kFrameTruncate, config_.frame_truncate},
+      {FaultKind::kFrameBitFlip, config_.frame_bit_flip},
+      {FaultKind::kFrameDuplicate, config_.frame_duplicate},
+  };
+  FaultKind kind = FaultKind::kNone;
+  for (const auto& [k, w] : weights) {
+    if (u < w) {
+      kind = k;
+      break;
+    }
+    u -= w;
+  }
+  switch (kind) {
+    case FaultKind::kFrameTruncate:
+      truncate_at(frame, frame.empty() ? 0 : rng_.below(frame.size()));
+      break;
+    case FaultKind::kFrameBitFlip:
+      // One byte XORed with a non-zero mask: guaranteed to change the
+      // frame (flip_bits may revisit a bit and cancel itself out), which
+      // the checksum-detection contract relies on.
+      if (!frame.empty()) {
+        frame[rng_.below(frame.size())] ^=
+            static_cast<std::uint8_t>(1 + rng_.below(255));
+      }
+      break;
+    case FaultKind::kFrameDuplicate:
+      break;  // no mutation: the journal writes the frame twice
+    default:
       break;
   }
   if (kind != FaultKind::kNone) {

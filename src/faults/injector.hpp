@@ -26,9 +26,16 @@ enum class FaultKind : std::uint8_t {
   kRecordCoalesce,   // two adjacent records merged into one
   kDropFlight,       // the whole capture lost (both directions)
   kOneSided,         // one direction of the capture lost
+
+  // Checkpoint-journal frame faults (corrupt_frame only; never rolled by
+  // the capture/stream paths, so adding them left every existing RNG
+  // stream untouched).
+  kFrameTruncate,    // journal frame cut short (simulated torn write)
+  kFrameBitFlip,     // 1..8 bit flips inside a journal frame
+  kFrameDuplicate,   // frame written twice (replayed append)
 };
 
-inline constexpr std::size_t kFaultKindCount = 9;
+inline constexpr std::size_t kFaultKindCount = 12;
 
 std::string_view fault_kind_name(FaultKind kind);
 
@@ -45,17 +52,32 @@ struct FaultConfig {
   double drop_flight = 0;
   double one_sided = 0;
 
-  /// Total fault rate (probability any fault fires per capture).
+  // Journal-frame fault rates, drawn only by corrupt_frame. Kept out of
+  // total()/uniform() so capture fault baselines are unchanged.
+  double frame_truncate = 0;
+  double frame_bit_flip = 0;
+  double frame_duplicate = 0;
+
+  /// Total capture/stream fault rate (probability any fault fires per
+  /// capture). Frame rates are separate; see frame_total().
   [[nodiscard]] double total() const {
     return truncate + bit_flip + length_corrupt + trailing_garbage +
            record_split + record_coalesce + drop_flight + one_sided;
   }
 
-  /// Splits `rate` evenly over all eight fault kinds.
+  /// Total journal-frame fault rate (probability corrupt_frame acts).
+  [[nodiscard]] double frame_total() const {
+    return frame_truncate + frame_bit_flip + frame_duplicate;
+  }
+
+  /// Splits `rate` evenly over all eight capture fault kinds.
   static FaultConfig uniform(double rate);
   /// Byte-level faults only (no capture loss): even split over truncate,
   /// bit_flip, length_corrupt, trailing_garbage, record_split, coalesce.
   static FaultConfig bytes_only(double rate);
+  /// Journal-frame faults only: even split over frame_truncate,
+  /// frame_bit_flip, frame_duplicate.
+  static FaultConfig frames_only(double rate);
 };
 
 /// Counts of what the injector actually did — the ground truth a soak test
@@ -64,6 +86,7 @@ struct FaultStats {
   std::array<std::uint64_t, kFaultKindCount> applied{};
   std::uint64_t streams_seen = 0;
   std::uint64_t captures_seen = 0;
+  std::uint64_t frames_seen = 0;
 
   [[nodiscard]] std::uint64_t total_faults() const {
     std::uint64_t n = 0;
@@ -89,6 +112,22 @@ class FaultInjector {
   /// byte-level kinds hit one direction (coin-flip which).
   FaultKind corrupt_capture(std::vector<std::uint8_t>& client,
                             std::vector<std::uint8_t>& server);
+
+  /// Decision half of corrupt_capture: counts the capture and draws the
+  /// capture-fault roll (exactly one uniform), applying nothing. Lets the
+  /// monitor decide *before* serializing whether this event can take the
+  /// struct fast path (kNone) while consuming the identical RNG stream.
+  FaultKind roll_capture();
+  /// Mutation half of corrupt_capture: applies `kind` (as returned by
+  /// roll_capture) to the capture and books the stat. roll_capture followed
+  /// by apply_capture is byte-for-byte equivalent to corrupt_capture.
+  void apply_capture(FaultKind kind, std::vector<std::uint8_t>& client,
+                     std::vector<std::uint8_t>& server);
+
+  /// Possibly applies one journal-frame fault in place, drawing from the
+  /// frame_* rates only. kFrameDuplicate performs no mutation — the caller
+  /// is responsible for writing the frame twice.
+  FaultKind corrupt_frame(std::vector<std::uint8_t>& frame);
 
   [[nodiscard]] const FaultStats& stats() const { return stats_; }
   [[nodiscard]] const FaultConfig& config() const { return config_; }

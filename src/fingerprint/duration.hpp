@@ -6,6 +6,7 @@
 // > 1200 days carrying 21.75% of fingerprintable connections.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <unordered_map>
@@ -55,6 +56,20 @@ class DurationTracker {
     std::uint64_t long_lived_connections = 0;
     double long_lived_connection_share = 0;  // fraction of all connections
   };
+
+  /// Folds one externally-reconstructed lifetime into the tracker (the
+  /// snapshot-restore counterpart of merge): min(first)/max(last)/
+  /// sum(connections), identical to absorbing a tracker holding only this
+  /// entry.
+  void add_lifetime(const std::string& hash, const Lifetime& life) {
+    auto [it, inserted] = lifetimes_.try_emplace(hash, life);
+    if (!inserted) {
+      Lifetime& l = it->second;
+      l.first_day = std::min(l.first_day, life.first_day);
+      l.last_day = std::max(l.last_day, life.last_day);
+      l.connections += life.connections;
+    }
+  }
 
   /// Computes the §4.1 statistics. `long_lived_threshold` defaults to the
   /// paper's 1200-day cut.

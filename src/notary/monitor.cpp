@@ -125,12 +125,22 @@ void PassiveMonitor::observe(const tls::population::ConnectionEvent& event) {
     observe_sslv2(event.month);
     return;
   }
-  // Fast path: without a chaos tap the serialized records are byte-for-byte
-  // what the structs would produce (the codecs are inverses), so the
-  // serialize→parse round trip is pure overhead. observe_event_fast
-  // harvests the structs directly and declines (recording nothing) on any
-  // event the byte path would treat specially — which then falls through.
-  if (injector_ == nullptr && fast_observe_ && observe_event_fast(event)) {
+  using tls::faults::FaultKind;
+  // With a chaos tap attached, draw the capture-fault roll BEFORE
+  // serializing: the roll consumes exactly the one uniform the old
+  // corrupt_capture drew, so the injector's RNG stream is unchanged, and
+  // events the tap leaves untouched (kNone — the overwhelming majority at
+  // realistic fault rates) are known untouched up front.
+  const FaultKind kind = injector_ == nullptr
+                             ? FaultKind::kNone
+                             : injector_->roll_capture();
+  // Fast path: for untouched events the serialized records are
+  // byte-for-byte what the structs would produce (the codecs are
+  // inverses), so the serialize→parse round trip is pure overhead.
+  // observe_event_fast harvests the structs directly and declines
+  // (recording nothing) on any event the byte path would treat specially —
+  // which then falls through to serialization below.
+  if (kind == FaultKind::kNone && fast_observe_ && observe_event_fast(event)) {
     return;
   }
   event.hello.serialize_record_into(buf_client_);
@@ -143,24 +153,21 @@ void PassiveMonitor::observe(const tls::population::ConnectionEvent& event) {
     // Pre-1.3 EC handshakes carry the chosen curve in ServerKeyExchange.
     if (event.result.negotiated_group != 0 &&
         !sh.has_extension(tls::core::ExtensionType::kSupportedVersions)) {
-      buf_ske_ = tls::wire::EcdheServerKeyExchange::stub(
-                     event.result.negotiated_group)
-                     .serialize_record(sh.legacy_version);
+      tls::wire::EcdheServerKeyExchange::stub(event.result.negotiated_group)
+          .serialize_record_into(sh.legacy_version, buf_ske_);
     }
   }
   if (!event.result.success &&
       event.result.failure != tls::handshake::FailureReason::kNone) {
-    buf_alert_ = tls::handshake::alert_for(event.result.failure)
-                     .serialize_record(0x0301);
+    tls::handshake::alert_for(event.result.failure)
+        .serialize_record_into(0x0301, buf_alert_);
   }
   bool client_only = false;
-  bool cacheable = true;
-  if (injector_ != nullptr) {
-    using tls::faults::FaultKind;
-    const FaultKind kind = injector_->corrupt_capture(buf_client_, buf_server_);
-    // Anything the tap touched must bypass the cache: the quarantine and
-    // error-taxonomy paths have to run for every corrupted repetition.
-    cacheable = kind == FaultKind::kNone;
+  // Anything the tap touched must bypass the cache: the quarantine and
+  // error-taxonomy paths have to run for every corrupted repetition.
+  const bool cacheable = kind == FaultKind::kNone;
+  if (kind != FaultKind::kNone) {
+    injector_->apply_capture(kind, buf_client_, buf_server_);
     // SKE and alert records travel in the server direction: when that
     // direction is lost, they are lost with it.
     if (buf_server_.empty() &&

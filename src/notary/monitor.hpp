@@ -32,6 +32,11 @@ struct ParsedFlight;
 
 namespace tls::notary {
 
+/// Snapshot codec's private-state gateway (defined in snapshot.cpp): the
+/// checkpoint journal serializes and rebuilds the monitor's complete
+/// absorb-state through this single friend.
+struct MonitorSnapshotCodec;
+
 /// Accumulator for the average relative position of the first offered
 /// cipher of a class within the client's list (Fig. 5).
 struct PositionAccumulator {
@@ -225,6 +230,8 @@ struct MonthlyStats {
   void merge(const MonthlyStats& other);
 
  private:
+  friend struct MonitorSnapshotCodec;
+
   EnumCounterArray<tls::wire::ParseErrorCode, tls::wire::kParseErrorCodeCount>
       parse_error_counts_;
   EnumCounterArray<tls::core::CipherClass, tls::core::kCipherClassCount>
@@ -362,6 +369,8 @@ class PassiveMonitor {
   }
 
  private:
+  friend struct MonitorSnapshotCodec;
+
   MonthlyStats& stats(tls::core::Month m) { return months_[m]; }
 
   /// Records one parse failure: taxonomy counters, the month's per-code

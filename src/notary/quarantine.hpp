@@ -54,6 +54,14 @@ class ErrorTaxonomy {
   }
   [[nodiscard]] std::uint64_t total() const { return total_; }
 
+  /// Bulk fold (snapshot restore): n occurrences at once; equivalent to n
+  /// record() calls.
+  void add(IngestStage stage, tls::wire::ParseErrorCode code,
+           std::uint64_t n) {
+    counts_[index(stage)][static_cast<std::size_t>(code)] += n;
+    total_ += n;
+  }
+
   /// Adds another taxonomy's counters into this one (shard merge).
   void merge(const ErrorTaxonomy& other) {
     for (std::size_t s = 0; s < kIngestStageCount; ++s) {
@@ -107,6 +115,11 @@ class QuarantineRing {
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
   /// Total records ever quarantined (>= size() once the ring wraps).
   [[nodiscard]] std::uint64_t total_pushed() const { return total_pushed_; }
+
+  /// Snapshot restore: accounts for records that were pushed but already
+  /// evicted when the ring was serialized (re-pushing the retained entries
+  /// only restores size() of them).
+  void add_unretained(std::uint64_t n) { total_pushed_ += n; }
 
   /// Entries oldest-first; index 0 is the oldest still retained.
   [[nodiscard]] const QuarantinedRecord& operator[](std::size_t i) const {

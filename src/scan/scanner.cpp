@@ -66,6 +66,24 @@ ClientHello tls13_draft_hello() {
   return ch;
 }
 
+const ScanProbeSet& scan_probe_set() {
+  // Magic-static initialization is thread-safe; after the first probe the
+  // hellos and their wire bytes are shared by every sweep on every thread.
+  static const ScanProbeSet set = [] {
+    ScanProbeSet s;
+    s.chrome = chrome2015_hello();
+    s.ssl3 = ssl3_only_hello();
+    s.expo = export_only_hello();
+    s.tls13 = tls13_draft_hello();
+    s.chrome_record = s.chrome.serialize_record();
+    s.ssl3_record = s.ssl3.serialize_record();
+    s.expo_record = s.expo.serialize_record();
+    s.tls13_record = s.tls13.serialize_record();
+    return s;
+  }();
+  return set;
+}
+
 ScanSnapshot ActiveScanner::scan(Month m) const {
   return scan_weighted(m, /*by_traffic=*/false);
 }
@@ -103,7 +121,8 @@ SegmentProbe ActiveScanner::probe_segment(Month m, std::size_t segment_index,
   }
   probe.reached = true;
 
-  const ClientHello chrome = chrome2015_hello();
+  const ScanProbeSet& probes = scan_probe_set();
+  const ClientHello& chrome = probes.chrome;
   tls::core::Rng rng(0xacce55);
 
   const auto chrome_result =
@@ -137,15 +156,14 @@ SegmentProbe ActiveScanner::probe_segment(Month m, std::size_t segment_index,
     if (any_rc4 && !any_non_rc4) probe.rc4_only = w;
   }
 
-  if (tls::handshake::negotiate(ssl3_only_hello(), seg.config, rng).success) {
+  if (tls::handshake::negotiate(probes.ssl3, seg.config, rng).success) {
     probe.ssl3 = w;
   }
-  if (tls::handshake::negotiate(export_only_hello(), seg.config, rng)
-          .success) {
+  if (tls::handshake::negotiate(probes.expo, seg.config, rng).success) {
     probe.expo = w;
   }
   const auto r13 =
-      tls::handshake::negotiate(tls13_draft_hello(), seg.config, rng);
+      tls::handshake::negotiate(probes.tls13, seg.config, rng);
   if (r13.success && r13.negotiated_version != 0x0303 &&
       r13.negotiated_version != 0x0301) {
     probe.tls13 = w;
@@ -281,7 +299,13 @@ std::vector<ScanSnapshot> ActiveScanner::scan_range(
     probes[i] = probe_segment(range.begin_month + mi, i % n_segments,
                               /*by_traffic=*/false);
   });
+  return fold_range(range, probes);
+}
 
+std::vector<ScanSnapshot> ActiveScanner::fold_range(
+    tls::core::MonthRange range, std::span<const SegmentProbe> probes) const {
+  const auto n_months = static_cast<std::size_t>(range.size());
+  const std::size_t n_segments = population_.segments().size();
   // Fold in (month, segment) order — the serial sweep's order exactly.
   std::vector<ScanSnapshot> out;
   out.reserve(n_months);

@@ -8,6 +8,8 @@
 // (§5.4), and the SSL-Pulse-style RC4 support rates of §5.3.
 #pragma once
 
+#include <cstdint>
+#include <span>
 #include <vector>
 
 #include "faults/network.hpp"
@@ -27,6 +29,26 @@ tls::wire::ClientHello chrome2015_hello();
 tls::wire::ClientHello ssl3_only_hello();
 tls::wire::ClientHello export_only_hello();
 tls::wire::ClientHello tls13_draft_hello();
+
+/// The four scan hellos plus their serialized records, built exactly once
+/// per process (the hellos are compile-time-fixed, so rebuilding suite
+/// pools and extension vectors for every (month, segment) probe was pure
+/// allocation churn). The structs are what negotiate() consumes; the
+/// records are the bytes a real scanner would put on the wire, kept for
+/// callers that need them.
+struct ScanProbeSet {
+  tls::wire::ClientHello chrome;
+  tls::wire::ClientHello ssl3;
+  tls::wire::ClientHello expo;
+  tls::wire::ClientHello tls13;
+  std::vector<std::uint8_t> chrome_record;
+  std::vector<std::uint8_t> ssl3_record;
+  std::vector<std::uint8_t> expo_record;
+  std::vector<std::uint8_t> tls13_record;
+};
+
+/// Process-wide memoized probe set (thread-safe function-local static).
+const ScanProbeSet& scan_probe_set();
 
 /// How a sweep probes: the network it expects and the retry/backoff budget
 /// it spends per host. The default is an ideal network — zero faults, no
@@ -133,6 +155,14 @@ class ActiveScanner {
   /// segment) order after the grid drains.
   [[nodiscard]] std::vector<ScanSnapshot> scan_range(
       tls::core::MonthRange range, tls::core::ThreadPool& pool) const;
+
+  /// Folds an externally-computed month-major probe grid (size() months ×
+  /// segments() entries, (month, segment) order) into monthly snapshots —
+  /// byte-identical to scan_range over the same range. This is the
+  /// aggregation half of scan_range(pool), split out so the checkpoint
+  /// journal can replay persisted probes through the identical fold.
+  [[nodiscard]] std::vector<ScanSnapshot> fold_range(
+      tls::core::MonthRange range, std::span<const SegmentProbe> probes) const;
 
   [[nodiscard]] const ScanPolicy& policy() const { return policy_; }
 

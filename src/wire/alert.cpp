@@ -34,6 +34,18 @@ std::vector<std::uint8_t> Alert::serialize_record(
   return rec.serialize();
 }
 
+void Alert::serialize_record_into(std::uint16_t record_version,
+                                  std::vector<std::uint8_t>& out) const {
+  out.clear();
+  out.push_back(static_cast<std::uint8_t>(ContentType::kAlert));
+  out.push_back(static_cast<std::uint8_t>(record_version >> 8));
+  out.push_back(static_cast<std::uint8_t>(record_version & 0xff));
+  out.push_back(0);
+  out.push_back(2);
+  out.push_back(static_cast<std::uint8_t>(level));
+  out.push_back(static_cast<std::uint8_t>(description));
+}
+
 Alert Alert::parse_record(std::span<const std::uint8_t> data) {
   const Record rec = Record::parse(data);
   if (rec.type != ContentType::kAlert) {

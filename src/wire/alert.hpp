@@ -42,6 +42,10 @@ struct Alert {
 
   [[nodiscard]] std::vector<std::uint8_t> serialize_record(
       std::uint16_t record_version) const;
+  /// serialize_record into a reusable buffer: no intermediate fragment
+  /// vector. Byte-identical to serialize_record.
+  void serialize_record_into(std::uint16_t record_version,
+                             std::vector<std::uint8_t>& out) const;
   static Alert parse_record(std::span<const std::uint8_t> data);
 
   friend bool operator==(const Alert&, const Alert&) = default;

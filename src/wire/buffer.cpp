@@ -47,6 +47,16 @@ std::uint32_t ByteReader::u32() {
   return v;
 }
 
+std::uint64_t ByteReader::u64() {
+  need(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v = v << 8 | data_[pos_ + static_cast<std::size_t>(i)];
+  }
+  pos_ += 8;
+  return v;
+}
+
 std::span<const std::uint8_t> ByteReader::bytes(std::size_t n) {
   need(n);
   auto s = data_.subspan(pos_, n);
@@ -105,6 +115,12 @@ void ByteWriter::u32(std::uint32_t v) {
   out_.push_back(static_cast<std::uint8_t>(v >> 16));
   out_.push_back(static_cast<std::uint8_t>(v >> 8));
   out_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void ByteWriter::u64(std::uint64_t v) {
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    out_.push_back(static_cast<std::uint8_t>(v >> shift));
+  }
 }
 
 void ByteWriter::bytes(std::span<const std::uint8_t> b) {

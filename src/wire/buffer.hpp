@@ -25,6 +25,7 @@ class ByteReader {
   std::uint16_t u16();
   std::uint32_t u24();
   std::uint32_t u32();
+  std::uint64_t u64();
 
   /// Consumes exactly n bytes.
   std::span<const std::uint8_t> bytes(std::size_t n);
@@ -70,6 +71,7 @@ class ByteWriter {
   void u16(std::uint16_t v);
   void u24(std::uint32_t v);
   void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
   void bytes(std::span<const std::uint8_t> b);
 
   /// RAII scope that back-patches an n-byte big-endian length prefix

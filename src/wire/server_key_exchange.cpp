@@ -39,6 +39,28 @@ std::vector<std::uint8_t> EcdheServerKeyExchange::serialize_record(
                         record_version);
 }
 
+void EcdheServerKeyExchange::serialize_record_into(
+    std::uint16_t record_version, std::vector<std::uint8_t>& out) const {
+  ByteWriter w(std::move(out));
+  w.u8(static_cast<std::uint8_t>(ContentType::kHandshake));
+  w.u16(record_version);
+  {
+    auto record = w.u16_length_scope();
+    w.u8(static_cast<std::uint8_t>(HandshakeType::kServerKeyExchange));
+    {
+      auto handshake = w.u24_length_scope();
+      w.u8(3);  // curve_type: named_curve
+      w.u16(named_curve);
+      w.u8(static_cast<std::uint8_t>(public_point.size()));
+      w.bytes(public_point);
+      w.u16(0x0401);  // signature algorithm: rsa_pkcs1_sha256 (stub)
+      w.u16(static_cast<std::uint16_t>(signature.size()));
+      w.bytes(signature);
+    }
+  }
+  out = w.take();
+}
+
 EcdheServerKeyExchange EcdheServerKeyExchange::parse_record(
     std::span<const std::uint8_t> data) {
   return parse_body(unwrap_handshake(data, HandshakeType::kServerKeyExchange));

@@ -21,6 +21,10 @@ struct EcdheServerKeyExchange {
   static EcdheServerKeyExchange parse_body(std::span<const std::uint8_t> body);
   [[nodiscard]] std::vector<std::uint8_t> serialize_record(
       std::uint16_t record_version) const;
+  /// serialize_record into a reusable buffer: one pass, no intermediate
+  /// body/fragment vectors. Byte-identical to serialize_record.
+  void serialize_record_into(std::uint16_t record_version,
+                             std::vector<std::uint8_t>& out) const;
   static EcdheServerKeyExchange parse_record(
       std::span<const std::uint8_t> data);
 

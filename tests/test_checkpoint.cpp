@@ -1,0 +1,698 @@
+// Durable checkpoint/resume (core/checkpoint.hpp). Built as its own binary
+// (tls_checkpoint_tests) with a custom main: when invoked with
+// `--checkpoint-child`, the process re-enters itself as a study worker that
+// journals an export and — via StudyOptions::checkpoint_kill_after_frames —
+// SIGKILLs itself mid-journal. The gtest side forks those children to drive
+// a real crash matrix: murdered at several journal offsets, resumed, and
+// byte-compared against an uninterrupted reference at multiple thread
+// counts and fault rates.
+//
+// Also covered in-process: frame/manifest/probe codecs, the options
+// digest, journal replay/quarantine mechanics, frame-fault soak, and the
+// stuck-shard watchdog.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <csignal>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/checkpoint.hpp"
+#include "core/study.hpp"
+#include "faults/injector.hpp"
+#include "wire/errors.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+using tls::core::Month;
+using tls::study::CheckpointManifest;
+using tls::study::FrameHeader;
+using tls::study::FrameKind;
+using tls::study::LongitudinalStudy;
+using tls::study::RunJournal;
+using tls::study::StudyOptions;
+using tls::wire::ParseError;
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+std::string chart_csv(LongitudinalStudy& study) {
+  std::string all;
+  for (const auto& chart :
+       {study.figure1_versions(), study.figure2_negotiated_classes(),
+        study.figure3_advertised_classes(),
+        study.figure4_fingerprint_support(),
+        study.figure5_relative_positions(), study.figure6_rc4_advertised(),
+        study.figure7_weak_advertised(), study.figure8_key_exchange(),
+        study.figure9_aead_negotiated(), study.figure10_aead_advertised()}) {
+    all += tls::analysis::to_csv(chart);
+  }
+  return all;
+}
+
+/// The one option set shared by parent references and forked children —
+/// crash matrix comparisons are only meaningful if both sides agree on it.
+StudyOptions matrix_options(int fault_milli) {
+  StudyOptions o;
+  o.connections_per_month = 300;
+  o.full_catalog = false;
+  o.window = {Month(2014, 6), Month(2015, 3)};
+  if (fault_milli > 0) {
+    o.faults = tls::faults::FaultConfig::uniform(fault_milli / 1000.0);
+  }
+  return o;
+}
+
+/// Small passive-only option set for the in-process journal tests.
+StudyOptions journal_options(const std::string& ckpt_dir) {
+  auto o = matrix_options(0);
+  o.window = {Month(2015, 1), Month(2015, 6)};
+  o.checkpoint_dir = ckpt_dir;
+  return o;
+}
+
+fs::path fresh_dir(const std::string& name) {
+  const fs::path dir = fs::path(::testing::TempDir()) / name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+std::vector<fs::path> frame_files(const fs::path& ckpt) {
+  std::vector<fs::path> out;
+  for (const auto& e : fs::directory_iterator(ckpt / "frames")) {
+    out.push_back(e.path());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+// ---- child side of the crash matrix ------------------------------------
+
+/// `<exe> --checkpoint-child <ckpt> <out> <threads> <fault_milli> <kill>`:
+/// journals an export, possibly SIGKILLing itself after <kill> appends.
+int run_checkpoint_child(int argc, char** argv) {
+  if (argc != 7) return 2;
+  auto opts = matrix_options(std::atoi(argv[4]));
+  opts.checkpoint_dir = argv[2];
+  opts.resume = true;  // empty dir on the first pass; replay afterwards
+  opts.threads = static_cast<unsigned>(std::atoi(argv[3]));
+  opts.checkpoint_kill_after_frames =
+      static_cast<std::size_t>(std::atol(argv[5]));
+  LongitudinalStudy study(opts);
+  study.export_figures(argv[6]);
+  return 0;
+}
+
+/// Forks + re-execs this binary in child mode; returns the wait status.
+int spawn_child(const std::string& ckpt, const std::string& out,
+                unsigned threads, int fault_milli, std::size_t kill_after) {
+  const pid_t pid = fork();
+  if (pid == 0) {
+    const std::string threads_s = std::to_string(threads);
+    const std::string fault_s = std::to_string(fault_milli);
+    const std::string kill_s = std::to_string(kill_after);
+    const char* child_argv[] = {"tls_checkpoint_tests",
+                                "--checkpoint-child",
+                                ckpt.c_str(),
+                                threads_s.c_str(),
+                                fault_s.c_str(),
+                                kill_s.c_str(),
+                                out.c_str(),
+                                nullptr};
+    execv("/proc/self/exe", const_cast<char* const*>(child_argv));
+    _exit(127);  // exec failed
+  }
+  int status = 0;
+  waitpid(pid, &status, 0);
+  return status;
+}
+
+// ---- codecs -------------------------------------------------------------
+
+TEST(CheckpointCodec, FrameRoundTrip) {
+  const std::vector<std::uint8_t> payload = {1, 2, 3, 250, 0, 77};
+  const FrameHeader header{FrameKind::kScanSegment, 24184u, 3u};
+  const auto bytes = tls::study::encode_frame(0xdeadbeefcafe1234ull, header,
+                                              payload);
+  const auto frame = tls::study::decode_frame(bytes);
+  EXPECT_EQ(frame.header.kind, FrameKind::kScanSegment);
+  EXPECT_EQ(frame.header.month_index, 24184u);
+  EXPECT_EQ(frame.header.slot, 3u);
+  EXPECT_EQ(frame.options_digest, 0xdeadbeefcafe1234ull);
+  EXPECT_EQ(frame.payload, payload);
+  // Empty payloads are legal frames.
+  const auto empty = tls::study::encode_frame(1, {}, {});
+  EXPECT_TRUE(tls::study::decode_frame(empty).payload.empty());
+}
+
+TEST(CheckpointCodec, FrameTamperingIsAlwaysDetected) {
+  const std::vector<std::uint8_t> payload(64, 0xab);
+  const auto bytes = tls::study::encode_frame(
+      42, {FrameKind::kPassiveShard, 10, 2}, payload);
+  // Any single bit flip anywhere in the frame breaks either a structural
+  // check or the trailing checksum.
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    auto bad = bytes;
+    bad[i] ^= 0x20;
+    EXPECT_THROW((void)tls::study::decode_frame(bad), ParseError)
+        << "byte " << i;
+  }
+  // Every truncation (torn write) is detected.
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    EXPECT_THROW((void)tls::study::decode_frame({bytes.data(), len}),
+                 ParseError)
+        << "prefix " << len;
+  }
+  // Trailing garbage after a valid frame is rejected.
+  auto padded = bytes;
+  padded.push_back(0);
+  EXPECT_THROW((void)tls::study::decode_frame(padded), ParseError);
+}
+
+TEST(CheckpointCodec, ManifestRoundTripAndVersionGate) {
+  CheckpointManifest m;
+  m.options_digest = 0x1122334455667788ull;
+  m.seed = 99;
+  m.window_begin = 24170;
+  m.window_end = 24185;
+  m.shards_per_month = 8;
+  m.connections_per_month = 1200;
+  m.scan_begin = 24187;
+  m.scan_end = 24220;
+  m.scan_segments = 6;
+  const auto bytes = tls::study::encode_manifest(m);
+  EXPECT_EQ(tls::study::decode_manifest(bytes), m);
+
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    EXPECT_THROW((void)tls::study::decode_manifest({bytes.data(), len}),
+                 ParseError);
+  }
+  auto foreign = m;
+  foreign.format_version = tls::study::kCheckpointFormatVersion + 1;
+  EXPECT_THROW((void)tls::study::decode_manifest(
+                   tls::study::encode_manifest(foreign)),
+               ParseError);
+}
+
+TEST(CheckpointCodec, SegmentProbeRoundTripIsBitExact) {
+  tls::scan::SegmentProbe p;
+  p.included = true;
+  p.reached = true;
+  p.abandoned = false;
+  p.weight = 0.12345678901234567;  // exercises full double precision
+  p.attempts = 17;
+  p.retries = 4;
+  p.ssl3 = 0.25;
+  p.expo = 1e-9;
+  p.rc4 = 0.5;
+  p.cbc = 0.75;
+  p.aead = 0.125;
+  p.tdes = 0.0625;
+  p.rc4_support = 0.3;
+  p.rc4_only = 0.01;
+  p.heartbeat = 0.6;
+  p.heartbleed = 0.07;
+  p.tls13 = 0.001;
+  const auto bytes = tls::study::encode_segment_probe(p);
+  const auto back = tls::study::decode_segment_probe(bytes);
+  EXPECT_EQ(back.included, p.included);
+  EXPECT_EQ(back.reached, p.reached);
+  EXPECT_EQ(back.abandoned, p.abandoned);
+  EXPECT_EQ(back.weight, p.weight);  // bit-exact, not approximate
+  EXPECT_EQ(back.attempts, p.attempts);
+  EXPECT_EQ(back.retries, p.retries);
+  EXPECT_EQ(back.ssl3, p.ssl3);
+  EXPECT_EQ(back.expo, p.expo);
+  EXPECT_EQ(back.rc4, p.rc4);
+  EXPECT_EQ(back.cbc, p.cbc);
+  EXPECT_EQ(back.aead, p.aead);
+  EXPECT_EQ(back.tdes, p.tdes);
+  EXPECT_EQ(back.rc4_support, p.rc4_support);
+  EXPECT_EQ(back.rc4_only, p.rc4_only);
+  EXPECT_EQ(back.heartbeat, p.heartbeat);
+  EXPECT_EQ(back.heartbleed, p.heartbleed);
+  EXPECT_EQ(back.tls13, p.tls13);
+
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    EXPECT_THROW((void)tls::study::decode_segment_probe({bytes.data(), len}),
+                 ParseError);
+  }
+  auto bad_flag = bytes;
+  bad_flag[0] = 2;  // bools must be 0/1
+  EXPECT_THROW((void)tls::study::decode_segment_probe(bad_flag), ParseError);
+}
+
+TEST(CheckpointCodec, OptionsDigestTracksByteAffectingFieldsOnly) {
+  const auto base = matrix_options(0);
+  const auto digest = tls::study::options_digest(base);
+  EXPECT_EQ(tls::study::options_digest(base), digest);  // deterministic
+
+  // Fields that change exported bytes must change the digest.
+  auto o = base;
+  o.seed = 43;
+  EXPECT_NE(tls::study::options_digest(o), digest);
+  o = base;
+  o.connections_per_month += 1;
+  EXPECT_NE(tls::study::options_digest(o), digest);
+  o = base;
+  o.window.end_month = Month(2015, 4);
+  EXPECT_NE(tls::study::options_digest(o), digest);
+  o = base;
+  o.full_catalog = !o.full_catalog;
+  EXPECT_NE(tls::study::options_digest(o), digest);
+  o = base;
+  o.faults = tls::faults::FaultConfig::uniform(0.10);
+  EXPECT_NE(tls::study::options_digest(o), digest);
+  o = base;
+  o.fault_seed ^= 1;
+  EXPECT_NE(tls::study::options_digest(o), digest);
+  o = base;
+  o.shards_per_month = 4;
+  EXPECT_NE(tls::study::options_digest(o), digest);
+  o = base;
+  o.scan_policy.retry.max_attempts += 1;
+  EXPECT_NE(tls::study::options_digest(o), digest);
+
+  // Pure accelerator / checkpoint knobs must NOT orphan a journal.
+  o = base;
+  o.threads = 8;
+  o.observe_cache_entries = 0;
+  o.fast_observe = false;
+  o.checkpoint_dir = "/anywhere";
+  o.resume = true;
+  o.task_deadline_us = 12345;
+  o.checkpoint_faults = tls::faults::FaultConfig::frames_only(0.5);
+  o.checkpoint_fault_seed ^= 1;
+  o.checkpoint_kill_after_frames = 3;
+  EXPECT_EQ(tls::study::options_digest(o), digest);
+}
+
+// ---- journal mechanics (direct RunJournal use) --------------------------
+
+TEST(RunJournal, AppendThenResumeReplaysVerifiedFrames) {
+  const auto dir = fresh_dir("journal_basic");
+  CheckpointManifest manifest;
+  manifest.options_digest = 7;
+  const std::vector<std::uint8_t> pay_a = {1, 2, 3};
+  const std::vector<std::uint8_t> pay_b = {9};
+  {
+    RunJournal journal({dir.string(), /*resume=*/false, manifest});
+    journal.append(FrameKind::kPassiveShard, 100, 0, pay_a);
+    journal.append(FrameKind::kScanSegment, 200, 5, pay_b);
+  }
+  RunJournal resumed({dir.string(), /*resume=*/true, manifest});
+  const auto report = resumed.snapshot_report();
+  EXPECT_TRUE(report.resumed);
+  EXPECT_EQ(report.frames_replayed, 2u);
+  EXPECT_EQ(report.frames_corrupt, 0u);
+  ASSERT_NE(resumed.replayed(FrameKind::kPassiveShard, 100, 0), nullptr);
+  EXPECT_EQ(*resumed.replayed(FrameKind::kPassiveShard, 100, 0), pay_a);
+  ASSERT_NE(resumed.replayed(FrameKind::kScanSegment, 200, 5), nullptr);
+  EXPECT_EQ(*resumed.replayed(FrameKind::kScanSegment, 200, 5), pay_b);
+  EXPECT_EQ(resumed.replayed(FrameKind::kPassiveShard, 100, 1), nullptr);
+  fs::remove_all(dir);
+}
+
+TEST(RunJournal, ColdStartWipesExistingFrames) {
+  const auto dir = fresh_dir("journal_wipe");
+  CheckpointManifest manifest;
+  {
+    RunJournal journal({dir.string(), false, manifest});
+    journal.append(FrameKind::kPassiveShard, 1, 0, {{1}});
+  }
+  RunJournal cold({dir.string(), /*resume=*/false, manifest});
+  EXPECT_EQ(cold.replayed(FrameKind::kPassiveShard, 1, 0), nullptr);
+  EXPECT_FALSE(cold.snapshot_report().resumed);
+  EXPECT_TRUE(frame_files(dir).empty());
+  fs::remove_all(dir);
+}
+
+TEST(RunJournal, DamagedFramesAreQuarantinedNeverFatal) {
+  const auto dir = fresh_dir("journal_damage");
+  CheckpointManifest manifest;
+  manifest.options_digest = 11;
+  {
+    RunJournal journal({dir.string(), false, manifest});
+    for (std::uint32_t s = 0; s < 4; ++s) {
+      journal.append(FrameKind::kPassiveShard, 50, s,
+                     std::vector<std::uint8_t>(32, std::uint8_t(s)));
+    }
+  }
+  auto files = frame_files(dir);
+  ASSERT_EQ(files.size(), 4u);
+  {  // bit-rot frame 0
+    auto bytes = slurp(files[0].string());
+    bytes[bytes.size() / 2] ^= 0x01;
+    std::ofstream(files[0], std::ios::binary) << bytes;
+  }
+  {  // tear frame 1 (simulated partial write that was renamed by old code)
+    auto bytes = slurp(files[1].string());
+    std::ofstream(files[1], std::ios::binary)
+        << bytes.substr(0, bytes.size() / 3);
+  }
+  {  // a crash mid-write leaves a .tmp behind
+    std::ofstream(dir / "frames" / "p_000050_0009.frame.tmp") << "partial";
+  }
+  {  // frame 2 rewritten under a different options digest
+    const auto foreign = tls::study::encode_frame(
+        manifest.options_digest + 1, {FrameKind::kPassiveShard, 50, 2},
+        std::vector<std::uint8_t>(8, 0xcc));
+    std::ofstream(files[2], std::ios::binary)
+        .write(reinterpret_cast<const char*>(foreign.data()),
+               static_cast<std::streamsize>(foreign.size()));
+  }
+
+  RunJournal resumed({dir.string(), /*resume=*/true, manifest});
+  const auto report = resumed.snapshot_report();
+  EXPECT_TRUE(report.resumed);
+  EXPECT_EQ(report.frames_replayed, 1u);  // only frame 3 survived
+  EXPECT_EQ(report.frames_corrupt, 2u);   // bit-rot + tear
+  EXPECT_EQ(report.frames_torn, 1u);      // the .tmp
+  EXPECT_EQ(report.frames_mismatched, 1u);
+  EXPECT_EQ(report.quarantined.size(), 4u);
+  for (const auto& q : report.quarantined) {
+    EXPECT_TRUE(fs::exists(q)) << q;
+  }
+  EXPECT_EQ(resumed.replayed(FrameKind::kPassiveShard, 50, 0), nullptr);
+  EXPECT_EQ(resumed.replayed(FrameKind::kPassiveShard, 50, 1), nullptr);
+  EXPECT_EQ(resumed.replayed(FrameKind::kPassiveShard, 50, 2), nullptr);
+  EXPECT_NE(resumed.replayed(FrameKind::kPassiveShard, 50, 3), nullptr);
+  fs::remove_all(dir);
+}
+
+TEST(RunJournal, ManifestMismatchInvalidatesEveryFrame) {
+  const auto dir = fresh_dir("journal_mismatch");
+  CheckpointManifest manifest;
+  manifest.options_digest = 1;
+  manifest.seed = 42;
+  {
+    RunJournal journal({dir.string(), false, manifest});
+    journal.append(FrameKind::kPassiveShard, 7, 0, {{1, 2}});
+  }
+  auto other = manifest;
+  other.seed = 43;
+  other.options_digest = 2;
+  RunJournal resumed({dir.string(), /*resume=*/true, other});
+  const auto report = resumed.snapshot_report();
+  EXPECT_FALSE(report.resumed);
+  EXPECT_EQ(report.frames_replayed, 0u);
+  EXPECT_EQ(report.frames_mismatched, 1u);
+  EXPECT_EQ(resumed.replayed(FrameKind::kPassiveShard, 7, 0), nullptr);
+  // The journal was re-stamped for the new run: appending then resuming
+  // under `other` works.
+  resumed.append(FrameKind::kPassiveShard, 7, 0, {{3, 4}});
+  RunJournal again({dir.string(), /*resume=*/true, other});
+  EXPECT_TRUE(again.snapshot_report().resumed);
+  ASSERT_NE(again.replayed(FrameKind::kPassiveShard, 7, 0), nullptr);
+  fs::remove_all(dir);
+}
+
+// ---- study-level behaviour ----------------------------------------------
+
+TEST(CheckpointStudy, JournalingChangesNoExportedByte) {
+  const auto ckpt = fresh_dir("study_onoff_ckpt");
+  const auto out_plain = fresh_dir("study_onoff_plain");
+  const auto out_journaled = fresh_dir("study_onoff_journaled");
+
+  auto plain_opts = matrix_options(0);
+  LongitudinalStudy plain(plain_opts);
+  const auto plain_files = plain.export_figures(out_plain.string());
+  ASSERT_EQ(plain_files.size(), 11u);
+
+  auto jopts = plain_opts;
+  jopts.checkpoint_dir = ckpt.string();
+  jopts.threads = 8;
+  LongitudinalStudy journaled(jopts);
+  const auto journaled_files = journaled.export_figures(out_journaled.string());
+  ASSERT_EQ(journaled_files.size(), plain_files.size());
+  for (std::size_t i = 0; i < plain_files.size(); ++i) {
+    EXPECT_EQ(slurp(journaled_files[i]), slurp(plain_files[i]))
+        << plain_files[i];
+  }
+
+  // The journal actually materialized: manifest + one frame per task.
+  EXPECT_TRUE(fs::exists(ckpt / "MANIFEST"));
+  const auto report = journaled.recovery();
+  EXPECT_FALSE(report.resumed);
+  EXPECT_GT(report.tasks_recomputed, 0u);
+  EXPECT_EQ(report.tasks_skipped, 0u);
+  EXPECT_EQ(frame_files(ckpt).size(), report.tasks_recomputed);
+
+  // Resume in a fresh process-equivalent: every task served from journal.
+  auto ropts = jopts;
+  ropts.resume = true;
+  ropts.threads = 0;  // resume across thread counts, same bytes
+  const auto out_resumed = fresh_dir("study_onoff_resumed");
+  LongitudinalStudy resumed(ropts);
+  const auto resumed_files = resumed.export_figures(out_resumed.string());
+  for (std::size_t i = 0; i < plain_files.size(); ++i) {
+    EXPECT_EQ(slurp(resumed_files[i]), slurp(plain_files[i]));
+  }
+  const auto rreport = resumed.recovery();
+  EXPECT_TRUE(rreport.resumed);
+  EXPECT_EQ(rreport.tasks_recomputed, 0u);
+  EXPECT_EQ(rreport.tasks_skipped, report.tasks_recomputed);
+  EXPECT_EQ(rreport.frames_replayed, report.tasks_recomputed);
+
+  for (const auto& d : {ckpt, out_plain, out_journaled, out_resumed}) {
+    fs::remove_all(d);
+  }
+}
+
+TEST(CheckpointStudy, CorruptFramesAreRecomputedToIdenticalBytes) {
+  const auto ckpt = fresh_dir("study_corrupt");
+  auto opts = journal_options(ckpt.string());
+
+  auto plain = opts;
+  plain.checkpoint_dir.clear();
+  LongitudinalStudy reference(plain);
+  const auto ref_csv = chart_csv(reference);
+
+  {
+    LongitudinalStudy first(opts);
+    (void)first.monitor();
+    EXPECT_GT(first.recovery().tasks_recomputed, 0u);
+  }
+  auto files = frame_files(ckpt);
+  ASSERT_GE(files.size(), 3u);
+  {  // bit-rot one frame (outer checksum catches it on replay)
+    auto bytes = slurp(files[0].string());
+    bytes[bytes.size() - 9] ^= 0x40;
+    std::ofstream(files[0], std::ios::binary) << bytes;
+  }
+  {  // valid wrapper, garbage payload: survives replay, fails the monitor
+     // decode inside run(), and must take the invalidate() path
+    const auto digest = tls::study::options_digest(opts);
+    const auto name = files[1].filename().string();
+    // p_%06u_%04u.frame
+    const auto month_index =
+        static_cast<std::uint32_t>(std::stoul(name.substr(2, 6)));
+    const auto slot = static_cast<std::uint32_t>(std::stoul(name.substr(9, 4)));
+    const auto evil = tls::study::encode_frame(
+        digest, {FrameKind::kPassiveShard, month_index, slot},
+        std::vector<std::uint8_t>(40, 0xee));
+    std::ofstream(files[1], std::ios::binary)
+        .write(reinterpret_cast<const char*>(evil.data()),
+               static_cast<std::streamsize>(evil.size()));
+  }
+  {  // and one torn temp file
+    std::ofstream(ckpt / "frames" / (files[2].filename().string() + ".tmp"))
+        << "torn";
+  }
+
+  auto ropts = opts;
+  ropts.resume = true;
+  LongitudinalStudy resumed(ropts);
+  EXPECT_EQ(chart_csv(resumed), ref_csv);  // damage cost recompute, not bytes
+  const auto report = resumed.recovery();
+  EXPECT_TRUE(report.resumed);
+  EXPECT_EQ(report.frames_corrupt, 2u);  // bit-rot + invalidated payload
+  EXPECT_EQ(report.frames_torn, 1u);
+  EXPECT_EQ(report.tasks_recomputed, 2u);
+  EXPECT_GT(report.tasks_skipped, 0u);
+  EXPECT_EQ(report.quarantined.size(), 3u);
+  for (const auto& q : report.quarantined) EXPECT_TRUE(fs::exists(q)) << q;
+  fs::remove_all(ckpt);
+}
+
+TEST(CheckpointStudy, OptionChangeOrphansJournalGracefully) {
+  const auto ckpt = fresh_dir("study_orphan");
+  auto opts = journal_options(ckpt.string());
+  {
+    LongitudinalStudy first(opts);
+    (void)first.monitor();
+  }
+  const auto n_frames = frame_files(ckpt).size();
+  ASSERT_GT(n_frames, 0u);
+
+  // Different seed => different bytes => every old frame must be rejected.
+  auto other = opts;
+  other.seed = opts.seed + 1;
+  other.resume = true;
+  auto other_plain = other;
+  other_plain.checkpoint_dir.clear();
+  LongitudinalStudy reference(other_plain);
+  LongitudinalStudy resumed(other);
+  EXPECT_EQ(chart_csv(resumed), chart_csv(reference));
+  const auto report = resumed.recovery();
+  EXPECT_FALSE(report.resumed);
+  EXPECT_EQ(report.frames_mismatched, n_frames);
+  EXPECT_EQ(report.tasks_skipped, 0u);
+  fs::remove_all(ckpt);
+}
+
+TEST(CheckpointStudy, FrameFaultSoakNeverChangesBytes) {
+  // Hostile journal: a third of appended frames are torn, bit-flipped, or
+  // duplicated before reaching disk. Neither the journaled run nor a
+  // resume over the damaged journal may change one exported byte.
+  const auto ckpt = fresh_dir("study_soak");
+  auto opts = journal_options(ckpt.string());
+  auto plain = opts;
+  plain.checkpoint_dir.clear();
+  LongitudinalStudy reference(plain);
+  const auto ref_csv = chart_csv(reference);
+
+  opts.checkpoint_faults = tls::faults::FaultConfig::frames_only(0.9);
+  {
+    LongitudinalStudy soaked(opts);
+    EXPECT_EQ(chart_csv(soaked), ref_csv);
+  }
+  auto ropts = opts;
+  ropts.resume = true;
+  ropts.checkpoint_faults = {};  // repair pass journals cleanly
+  LongitudinalStudy resumed(ropts);
+  EXPECT_EQ(chart_csv(resumed), ref_csv);
+  const auto report = resumed.recovery();
+  EXPECT_TRUE(report.resumed);
+  // At a 90% combined frame-fault rate, the damage must actually land.
+  EXPECT_GT(report.frames_corrupt + report.frames_torn +
+                report.frames_duplicate + report.frames_mismatched,
+            0u);
+  const auto n_tasks = static_cast<std::size_t>(opts.window.size()) *
+                       opts.shards_per_month;
+  EXPECT_EQ(report.tasks_skipped + report.tasks_recomputed, n_tasks);
+  fs::remove_all(ckpt);
+}
+
+TEST(CheckpointStudy, WatchdogRerunsStuckShardsWithoutChangingBytes) {
+  auto opts = journal_options("");  // watchdog is independent of journaling
+  LongitudinalStudy reference(opts);
+  const auto ref_csv = chart_csv(reference);
+  EXPECT_EQ(reference.recovery().stuck_reruns, 0u);
+
+  // A 1 µs budget trips the per-batch deadline check in (essentially)
+  // every shard; each is discarded and re-run once without a deadline, and
+  // the rerun reproduces the identical stream.
+  auto strict = opts;
+  strict.task_deadline_us = 1;
+  strict.threads = 8;
+  LongitudinalStudy watched(strict);
+  EXPECT_EQ(chart_csv(watched), ref_csv);
+  EXPECT_GT(watched.recovery().stuck_reruns, 0u);
+
+  // A generous budget never trips.
+  auto lax = opts;
+  lax.task_deadline_us = 60'000'000;
+  LongitudinalStudy relaxed(lax);
+  EXPECT_EQ(chart_csv(relaxed), ref_csv);
+  EXPECT_EQ(relaxed.recovery().stuck_reruns, 0u);
+}
+
+// ---- the crash matrix ---------------------------------------------------
+
+TEST(CheckpointCrashMatrix, KillResumeByteIdenticalAcrossThreadsAndFaults) {
+  for (const int fault_milli : {0, 100}) {
+    SCOPED_TRACE("fault_milli=" + std::to_string(fault_milli));
+
+    // Uninterrupted reference export (no checkpointing at all).
+    const auto ref_dir =
+        fresh_dir("crash_ref_" + std::to_string(fault_milli));
+    LongitudinalStudy reference(matrix_options(fault_milli));
+    const auto ref_files = reference.export_figures(ref_dir.string());
+    ASSERT_EQ(ref_files.size(), 11u);
+
+    // One complete journaled child establishes the total frame count so
+    // the kill offsets below provably land inside the journal — early in
+    // the passive phase, mid-run, and inside the scan phase.
+    const auto probe_ckpt =
+        fresh_dir("crash_probe_" + std::to_string(fault_milli));
+    const auto probe_out =
+        fresh_dir("crash_probe_out_" + std::to_string(fault_milli));
+    {
+      const int status = spawn_child(probe_ckpt.string(), probe_out.string(),
+                                     0, fault_milli, 0);
+      ASSERT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+    }
+    const std::size_t total_frames = frame_files(probe_ckpt).size();
+    ASSERT_GT(total_frames, 4u);
+    for (const auto& f : ref_files) {
+      const auto name = fs::path(f).filename();
+      EXPECT_EQ(slurp((probe_out / name).string()), slurp(f)) << name;
+    }
+    fs::remove_all(probe_ckpt);
+    fs::remove_all(probe_out);
+
+    const std::size_t offsets[] = {1, total_frames / 2, total_frames - 2};
+    for (const unsigned threads : {0u, 8u}) {
+      for (const std::size_t kill_after : offsets) {
+        // Keep the matrix affordable: the serial lane runs the mid offset
+        // only; the threaded lane runs all three.
+        if (threads == 0 && kill_after != total_frames / 2) continue;
+        SCOPED_TRACE("threads=" + std::to_string(threads) +
+                     " kill_after=" + std::to_string(kill_after));
+        const auto tag = std::to_string(fault_milli) + "_" +
+                         std::to_string(threads) + "_" +
+                         std::to_string(kill_after);
+        const auto ckpt = fresh_dir("crash_ckpt_" + tag);
+        const auto out = fresh_dir("crash_out_" + tag);
+
+        // Phase 1: the child is SIGKILLed mid-journal — no atexit, no
+        // stack unwinding, exactly like a power cut.
+        const int killed = spawn_child(ckpt.string(), out.string(), threads,
+                                       fault_milli, kill_after);
+        ASSERT_TRUE(WIFSIGNALED(killed)) << "status " << killed;
+        EXPECT_EQ(WTERMSIG(killed), SIGKILL);
+        EXPECT_GE(frame_files(ckpt).size(), kill_after);
+
+        // Phase 2: resume to completion in a fresh process.
+        const int resumed = spawn_child(ckpt.string(), out.string(), threads,
+                                        fault_milli, 0);
+        ASSERT_TRUE(WIFEXITED(resumed) && WEXITSTATUS(resumed) == 0)
+            << "status " << resumed;
+
+        // Byte-compare all 11 CSVs against the uninterrupted run.
+        for (const auto& f : ref_files) {
+          const auto name = fs::path(f).filename();
+          EXPECT_EQ(slurp((out / name).string()), slurp(f)) << name;
+        }
+        fs::remove_all(ckpt);
+        fs::remove_all(out);
+      }
+    }
+    fs::remove_all(ref_dir);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 1 && std::string(argv[1]) == "--checkpoint-child") {
+    return run_checkpoint_child(argc, argv);
+  }
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

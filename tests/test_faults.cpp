@@ -79,14 +79,23 @@ TEST(FaultInjector, DifferentSeedsDiverge) {
 }
 
 TEST(FaultInjector, FullRateAppliesEveryKindEventually) {
-  FaultInjector inj(FaultConfig::uniform(1.0), 7);
+  // Saturate both fault pools so every kind — capture and frame — shows up.
+  auto config = FaultConfig::uniform(1.0);
+  const auto frames = FaultConfig::frames_only(1.0);
+  config.frame_truncate = frames.frame_truncate;
+  config.frame_bit_flip = frames.frame_bit_flip;
+  config.frame_duplicate = frames.frame_duplicate;
+  FaultInjector inj(config, 7);
   for (int i = 0; i < 2000; ++i) {
     Bytes c = sample_stream();
     Bytes s = sample_stream();
     EXPECT_NE(inj.corrupt_capture(c, s), FaultKind::kNone);
+    Bytes frame = sample_stream();
+    EXPECT_NE(inj.corrupt_frame(frame), FaultKind::kNone);
   }
-  EXPECT_EQ(inj.stats().total_faults(), 2000u);
+  EXPECT_EQ(inj.stats().total_faults(), 4000u);
   EXPECT_EQ(inj.stats().captures_seen, 2000u);
+  EXPECT_EQ(inj.stats().frames_seen, 2000u);
   for (std::size_t k = 1; k < kFaultKindCount; ++k) {
     EXPECT_GT(inj.stats().applied[k], 0u)
         << fault_kind_name(static_cast<FaultKind>(k));
@@ -289,6 +298,93 @@ TEST(Names, AllDistinct) {
   }
   EXPECT_EQ(probe_outcome_name(ProbeOutcome::kOk), "ok");
   EXPECT_EQ(probe_outcome_name(ProbeOutcome::kReset), "reset");
+}
+
+TEST(FaultConfig, FramePoolIsSeparateFromCapturePool) {
+  // frame_* rates feed only corrupt_frame(); total()/uniform() govern only
+  // the capture path. Keeping the pools disjoint is what lets checkpoint
+  // chaos ride along without perturbing existing capture-fault baselines.
+  const auto frames = FaultConfig::frames_only(0.6);
+  EXPECT_DOUBLE_EQ(frames.frame_truncate, 0.2);
+  EXPECT_DOUBLE_EQ(frames.frame_bit_flip, 0.2);
+  EXPECT_DOUBLE_EQ(frames.frame_duplicate, 0.2);
+  EXPECT_DOUBLE_EQ(frames.frame_total(), 0.6);
+  EXPECT_DOUBLE_EQ(frames.total(), 0.0);  // capture pool untouched
+
+  const auto captures = FaultConfig::uniform(0.5);
+  EXPECT_GT(captures.total(), 0.0);
+  EXPECT_DOUBLE_EQ(captures.frame_total(), 0.0);  // frame pool untouched
+}
+
+TEST(FaultInjector, RollThenApplyEqualsCorruptCapture) {
+  // corrupt_capture() must be exactly roll_capture() + apply_capture():
+  // same RNG stream consumption, same mutations, same stats. The monitor's
+  // roll-first observe path depends on this equivalence.
+  const auto config = FaultConfig::uniform(0.35);
+  FaultInjector combined(config, 1234);
+  FaultInjector split(config, 1234);
+  std::vector<std::uint8_t> base_client(96), base_server(64);
+  for (std::size_t i = 0; i < base_client.size(); ++i) {
+    base_client[i] = static_cast<std::uint8_t>(i * 7);
+  }
+  for (std::size_t i = 0; i < base_server.size(); ++i) {
+    base_server[i] = static_cast<std::uint8_t>(i * 13);
+  }
+  for (int i = 0; i < 500; ++i) {
+    auto c1 = base_client, s1 = base_server;
+    auto c2 = base_client, s2 = base_server;
+    const auto kind = combined.corrupt_capture(c1, s1);
+    const auto kind2 = split.roll_capture();
+    split.apply_capture(kind2, c2, s2);
+    EXPECT_EQ(kind, kind2);
+    EXPECT_EQ(c1, c2);
+    EXPECT_EQ(s1, s2);
+  }
+  EXPECT_EQ(combined.stats().captures_seen, split.stats().captures_seen);
+  EXPECT_EQ(combined.stats().total_faults(), split.stats().total_faults());
+}
+
+TEST(FaultInjector, FrameFaultsMutateOrDuplicate) {
+  FaultInjector injector(FaultConfig::frames_only(1.0), 99);
+  const std::vector<std::uint8_t> base(128, 0x5a);
+  std::size_t truncated = 0, flipped = 0, duplicated = 0;
+  for (int i = 0; i < 600; ++i) {
+    auto frame = base;
+    switch (injector.corrupt_frame(frame)) {
+      case FaultKind::kFrameTruncate:
+        ++truncated;
+        EXPECT_LT(frame.size(), base.size());
+        break;
+      case FaultKind::kFrameBitFlip:
+        ++flipped;
+        EXPECT_EQ(frame.size(), base.size());
+        EXPECT_NE(frame, base);
+        break;
+      case FaultKind::kFrameDuplicate:
+        ++duplicated;
+        EXPECT_EQ(frame, base);  // caller writes the extra copy
+        break;
+      default:
+        FAIL() << "rate 1.0 must always pick a frame fault";
+    }
+  }
+  // All three kinds occur, and every event was counted.
+  EXPECT_GT(truncated, 0u);
+  EXPECT_GT(flipped, 0u);
+  EXPECT_GT(duplicated, 0u);
+  EXPECT_EQ(injector.stats().frames_seen, 600u);
+  EXPECT_EQ(injector.stats().total_faults(), 600u);
+}
+
+TEST(FaultInjector, ZeroFrameRateIsIdentity) {
+  FaultInjector injector(FaultConfig{}, 7);
+  const std::vector<std::uint8_t> base(64, 0x11);
+  for (int i = 0; i < 100; ++i) {
+    auto frame = base;
+    EXPECT_EQ(injector.corrupt_frame(frame), FaultKind::kNone);
+    EXPECT_EQ(frame, base);
+  }
+  EXPECT_EQ(injector.stats().total_faults(), 0u);
 }
 
 }  // namespace

@@ -5,7 +5,9 @@
 #include <gtest/gtest.h>
 
 #include "clients/catalog.hpp"
+#include "core/checkpoint.hpp"
 #include "faults/injector.hpp"
+#include "notary/snapshot.hpp"
 #include "tlscore/rng.hpp"
 #include "wire/alert.hpp"
 #include "wire/client_hello.hpp"
@@ -297,6 +299,108 @@ TEST(Fuzz, AlertAndSkeGarbage) {
           tls::wire::EcdheServerKeyExchange::parse_record(b);
         },
         "garbage ske");
+  }
+}
+
+// ---- checkpoint journal decoders (core/checkpoint.hpp, notary/snapshot) --
+// These parse bytes read back from disk, where a crash or media fault can
+// have left literally anything; the journal's never-abort recovery contract
+// rests on the same parse-or-ParseError guarantee as the wire parsers.
+
+TEST(Fuzz, CheckpointFrameTruncationAndMutation) {
+  const Bytes payload = {0xde, 0xad, 0xbe, 0xef, 0x00, 0x42};
+  const auto frame = tls::study::encode_frame(
+      0x1234, {tls::study::FrameKind::kPassiveShard, 500, 3}, payload);
+  for (std::size_t cut = 0; cut < frame.size(); ++cut) {
+    expect_parse_or_parse_error(
+        Bytes(frame.begin(), frame.begin() + static_cast<std::ptrdiff_t>(cut)),
+        [](const Bytes& b) { (void)tls::study::decode_frame(b); },
+        "truncated checkpoint frame");
+  }
+  tls::core::Rng rng(91);
+  for (int trial = 0; trial < 3000; ++trial) {
+    auto mutated = frame;
+    const int flips = 1 + static_cast<int>(rng.below(6));
+    for (int i = 0; i < flips; ++i) {
+      mutated[rng.below(mutated.size())] ^=
+          static_cast<std::uint8_t>(1u << rng.below(8));
+    }
+    expect_parse_or_parse_error(
+        mutated, [](const Bytes& b) { (void)tls::study::decode_frame(b); },
+        "mutated checkpoint frame");
+  }
+}
+
+TEST(Fuzz, CheckpointFrameHostileLengthPrefix) {
+  // A flipped payload_len must be caught by the bounds/size checks, never
+  // trusted. Craft frames whose declared length disagrees with reality.
+  auto frame = tls::study::encode_frame(
+      7, {tls::study::FrameKind::kScanSegment, 1, 1}, Bytes(16, 0x55));
+  // payload_len is the u32 right before the 16 payload bytes + 8 checksum.
+  const std::size_t len_off = frame.size() - 16 - 8 - 4;
+  for (const std::uint8_t hostile : {0x00, 0x01, 0x7f, 0xff}) {
+    auto bad = frame;
+    bad[len_off] = hostile;      // high byte: up to a 4 GiB claim
+    bad[len_off + 3] ^= hostile; // low byte too
+    expect_parse_or_parse_error(
+        bad, [](const Bytes& b) { (void)tls::study::decode_frame(b); },
+        "hostile frame length");
+  }
+}
+
+TEST(Fuzz, CheckpointManifestGarbage) {
+  tls::study::CheckpointManifest manifest;
+  manifest.options_digest = 99;
+  const auto bytes = tls::study::encode_manifest(manifest);
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    expect_parse_or_parse_error(
+        Bytes(bytes.begin(), bytes.begin() + static_cast<std::ptrdiff_t>(cut)),
+        [](const Bytes& b) { (void)tls::study::decode_manifest(b); },
+        "truncated manifest");
+  }
+  tls::core::Rng rng(92);
+  for (int trial = 0; trial < 2000; ++trial) {
+    Bytes garbage(rng.below(96));
+    for (auto& b : garbage) b = static_cast<std::uint8_t>(rng.next());
+    expect_parse_or_parse_error(
+        garbage, [](const Bytes& b) { (void)tls::study::decode_manifest(b); },
+        "garbage manifest");
+    expect_parse_or_parse_error(
+        garbage,
+        [](const Bytes& b) { (void)tls::study::decode_segment_probe(b); },
+        "garbage segment probe");
+  }
+}
+
+TEST(Fuzz, MonitorSnapshotGarbageAndStaleVersion) {
+  const tls::notary::PassiveMonitor empty;
+  const auto valid = tls::notary::encode_monitor_state(empty);
+  // Stale/foreign snapshot version: first u32.
+  for (const std::uint32_t v : {0u, 2u, 0xffffffffu}) {
+    auto stale = valid;
+    stale[0] = static_cast<std::uint8_t>(v >> 24);
+    stale[1] = static_cast<std::uint8_t>(v >> 16);
+    stale[2] = static_cast<std::uint8_t>(v >> 8);
+    stale[3] = static_cast<std::uint8_t>(v);
+    expect_parse_or_parse_error(
+        stale,
+        [](const Bytes& b) { (void)tls::notary::decode_monitor_state(b); },
+        "stale snapshot version");
+  }
+  tls::core::Rng rng(93);
+  for (int trial = 0; trial < 2000; ++trial) {
+    Bytes garbage(4 + rng.below(128));
+    for (auto& b : garbage) b = static_cast<std::uint8_t>(rng.next());
+    // Half the trials keep a valid version header so the fuzz reaches the
+    // section decoders instead of dying at the version gate.
+    if (trial % 2 == 0) {
+      garbage[0] = garbage[1] = garbage[2] = 0;
+      garbage[3] = 1;
+    }
+    expect_parse_or_parse_error(
+        garbage,
+        [](const Bytes& b) { (void)tls::notary::decode_monitor_state(b); },
+        "garbage monitor snapshot");
   }
 }
 

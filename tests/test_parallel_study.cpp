@@ -116,6 +116,36 @@ TEST(ParallelStudy, FiguresByteIdenticalUnderFaults) {
   expect_monitors_equal(serial.monitor(), parallel.monitor());
 }
 
+TEST(ParallelStudy, FastObserveUnderFaultsByteIdentical) {
+  // The struct-reuse fast path now extends to fault-injected runs: the
+  // fault kind is rolled *before* serialization, so a kNone roll can skip
+  // the byte path entirely without shifting the injector's RNG stream.
+  // Contract: at a 10% fault rate, fast path on vs off is byte-identical.
+  auto base = small_options();
+  base.connections_per_month = 800;
+  base.faults = tls::faults::FaultConfig::uniform(0.10);
+
+  auto ref_opts = base;
+  ref_opts.fast_observe = false;
+  tls::study::LongitudinalStudy ref(ref_opts);
+  const auto ref_csv = chart_csv(ref);
+
+  // The faults actually bit in the reference run.
+  std::uint64_t quarantined = 0;
+  for (const auto& [m, s] : ref.monitor().months()) quarantined += s.quarantined;
+  EXPECT_GT(quarantined, 0u);
+
+  for (const unsigned threads : {0u, 8u}) {
+    SCOPED_TRACE(threads);
+    auto o = base;
+    o.threads = threads;
+    o.fast_observe = true;
+    tls::study::LongitudinalStudy fast(o);
+    EXPECT_EQ(chart_csv(fast), ref_csv);
+    expect_monitors_equal(ref.monitor(), fast.monitor());
+  }
+}
+
 TEST(ParallelStudy, CacheOnOffByteIdenticalAcrossThreadsAndFaults) {
   // The ObserveCache and the struct-reuse fast path are pure accelerators:
   // every figure CSV must be byte-identical with the cache on or off, at

@@ -116,5 +116,49 @@ TEST(Scanner, ExportSupportSmallAndShrinking) {
   EXPECT_LT(b.export_support, 0.2);
 }
 
+TEST(Scanner, ProbeSetMatchesFreshlyBuiltHellos) {
+  // The memoized probe set must be exactly what probe_segment used to
+  // build per call: the same four hellos and their serialized records.
+  const auto& probes = scan_probe_set();
+  EXPECT_EQ(probes.chrome, chrome2015_hello());
+  EXPECT_EQ(probes.ssl3, ssl3_only_hello());
+  EXPECT_EQ(probes.expo, export_only_hello());
+  EXPECT_EQ(probes.tls13, tls13_draft_hello());
+  EXPECT_EQ(probes.chrome_record, chrome2015_hello().serialize_record());
+  EXPECT_EQ(probes.ssl3_record, ssl3_only_hello().serialize_record());
+  EXPECT_EQ(probes.expo_record, export_only_hello().serialize_record());
+  EXPECT_EQ(probes.tls13_record, tls13_draft_hello().serialize_record());
+  // Same object every call (built exactly once per process).
+  EXPECT_EQ(&scan_probe_set(), &probes);
+}
+
+TEST(Scanner, FoldRangeReproducesScanRange) {
+  // fold_range is scan_range's aggregation half, split out so replayed
+  // checkpoint probes fold through the identical code path. Folding
+  // freshly-probed segments must reproduce scan_range exactly.
+  Fixture f;
+  const tls::core::MonthRange range{Month(2016, 1), Month(2016, 6)};
+  const auto n_segments = f.pop.segments().size();
+  const auto n_months = static_cast<std::size_t>(range.size());
+  std::vector<SegmentProbe> probes(n_months * n_segments);
+  for (std::size_t i = 0; i < probes.size(); ++i) {
+    probes[i] = f.scanner.probe_segment(
+        range.begin_month + static_cast<int>(i / n_segments),
+        i % n_segments, /*by_traffic=*/false);
+  }
+  const auto folded = f.scanner.fold_range(range, probes);
+  const auto direct = f.scanner.scan_range(range);
+  ASSERT_EQ(folded.size(), direct.size());
+  for (std::size_t i = 0; i < folded.size(); ++i) {
+    EXPECT_EQ(folded[i].month, direct[i].month);
+    // Bit-exact doubles: both paths fold probes in the same plan order.
+    EXPECT_EQ(folded[i].ssl3_support, direct[i].ssl3_support);
+    EXPECT_EQ(folded[i].export_support, direct[i].export_support);
+    EXPECT_EQ(folded[i].chooses_rc4, direct[i].chooses_rc4);
+    EXPECT_EQ(folded[i].heartbleed_vulnerable, direct[i].heartbleed_vulnerable);
+    EXPECT_EQ(folded[i].tls13_support, direct[i].tls13_support);
+  }
+}
+
 }  // namespace
 }  // namespace tls::scan
