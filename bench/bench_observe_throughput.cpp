@@ -1,7 +1,10 @@
 // Observe-path throughput: replays a fixed pool of pre-serialized captures
 // through PassiveMonitor::observe_wire with the ObserveCache off and on,
 // reports connections/sec + cache hit rate, and fails if the two monitors
-// disagree on a single exported counter. The pool models the paper's
+// disagree on a single exported counter. A third run attaches a telemetry
+// registry to the cache-on monitor and reports the overhead of the enabled
+// counter hooks (the disabled path is the no-op sink: the off/on runs have
+// null handles, one branch per event). The pool models the paper's
 // heavy-hitter skew (319.3B connections onto ~70k fingerprints): a few
 // hundred distinct records observed over and over.
 //
@@ -10,7 +13,6 @@
 //   TLS_BENCH_REPLAY  total observations per run (default 200000)
 //   TLS_BENCH_JSON    output path (default BENCH_observe.json)
 //   TLS_STUDY_SEED    pool-sampling seed (default 42)
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -19,11 +21,11 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "telemetry/metrics.hpp"
 #include "wire/server_key_exchange.hpp"
 
 namespace {
 
-using Clock = std::chrono::steady_clock;
 using tls::core::Month;
 
 struct Capture {
@@ -106,14 +108,13 @@ std::string digest(const tls::notary::PassiveMonitor& mon) {
 double replay(tls::notary::PassiveMonitor& mon, Month m,
               const std::vector<Capture>& pool, std::size_t total) {
   const tls::core::Date day(m.year(), m.month(), 15);
-  const auto start = Clock::now();
-  for (std::size_t i = 0; i < total; ++i) {
-    const Capture& c = pool[i % pool.size()];
-    mon.observe_wire(m, day, c.client, c.server, c.ske, c.success,
-                     c.used_fallback, c.alert);
-  }
-  const double wall =
-      std::chrono::duration<double>(Clock::now() - start).count();
+  const double wall = bench::timed_seconds([&] {
+    for (std::size_t i = 0; i < total; ++i) {
+      const Capture& c = pool[i % pool.size()];
+      mon.observe_wire(m, day, c.client, c.server, c.ske, c.success,
+                       c.used_fallback, c.alert);
+    }
+  });
   return wall > 0 ? static_cast<double>(total) / wall : 0.0;
 }
 
@@ -159,21 +160,40 @@ int main() {
       tls::notary::ObserveCache::kDefaultCapacity);
   const double on_cps = replay(warm, m, pool, total);
 
+  // Telemetry-attached run: same cache-on config with live counter
+  // handles. The delta vs `on_cps` is the enabled-hook overhead; the
+  // off/on runs above measure the disabled (null-handle) path.
+  tls::telemetry::MetricsRegistry registry;
+  tls::notary::PassiveMonitor telem(&database);
+  telem.set_observe_cache_capacity(
+      tls::notary::ObserveCache::kDefaultCapacity);
+  telem.set_telemetry(&registry);
+  const double telem_cps = replay(telem, m, pool, total);
+  telem.set_telemetry(nullptr);
+
   const auto& cs = warm.observe_cache_stats();
   const double speedup = off_cps > 0 ? on_cps / off_cps : 0.0;
+  const double telem_overhead_pct =
+      on_cps > 0 ? 100.0 * (on_cps - telem_cps) / on_cps : 0.0;
   const bool identical = digest(cold) == digest(warm);
+  const bool telem_identical = digest(cold) == digest(telem);
 
   std::vector<std::vector<std::string>> rows;
   rows.push_back({"config", "conn/s", "hit rate", "figures"});
-  char off_s[32], on_s[32], hit_s[32];
+  char off_s[32], on_s[32], tel_s[32], hit_s[32];
   std::snprintf(off_s, sizeof(off_s), "%.0f", off_cps);
   std::snprintf(on_s, sizeof(on_s), "%.0f", on_cps);
+  std::snprintf(tel_s, sizeof(tel_s), "%.0f", telem_cps);
   std::snprintf(hit_s, sizeof(hit_s), "%.3f", cs.client.hit_rate());
   rows.push_back({"cache off", off_s, "-", "baseline"});
   rows.push_back(
       {"cache on", on_s, hit_s, identical ? "bit-identical" : "MISMATCH"});
+  rows.push_back({"cache on + telemetry", tel_s, hit_s,
+                  telem_identical ? "bit-identical" : "MISMATCH"});
   std::fputs(tls::analysis::render_table(rows).c_str(), stdout);
   std::printf("\nspeedup: %.2fx (target >= 3x)\n", speedup);
+  std::printf("telemetry overhead: %+.1f%% (enabled hooks vs cache-on)\n",
+              telem_overhead_pct);
 
   std::ofstream json(json_path);
   json << "{\n"
@@ -183,6 +203,9 @@ int main() {
        << ",\n"
        << "  \"cache_on_cps\": " << static_cast<std::uint64_t>(on_cps)
        << ",\n"
+       << "  \"telemetry_on_cps\": " << static_cast<std::uint64_t>(telem_cps)
+       << ",\n"
+       << "  \"telemetry_overhead_pct\": " << telem_overhead_pct << ",\n"
        << "  \"speedup\": " << speedup << ",\n"
        << "  \"client_hit_rate\": " << cs.client.hit_rate() << ",\n"
        << "  \"client_hits\": " << cs.client.hits << ",\n"
@@ -190,12 +213,18 @@ int main() {
        << "  \"server_hit_rate\": " << cs.server.hit_rate() << ",\n"
        << "  \"evictions\": " << cs.client.evictions + cs.server.evictions
        << ",\n"
-       << "  \"identical\": " << (identical ? "true" : "false") << "\n"
+       << "  \"identical\": "
+       << (identical && telem_identical ? "true" : "false") << "\n"
        << "}\n";
   std::printf("wrote %s\n", json_path.c_str());
 
   if (!identical) {
     std::fprintf(stderr, "FAIL: cache-on monitor diverged from cache-off\n");
+    return 1;
+  }
+  if (!telem_identical) {
+    std::fprintf(stderr,
+                 "FAIL: telemetry-attached monitor diverged from cache-off\n");
     return 1;
   }
   return 0;

@@ -5,11 +5,14 @@
 // the checkpoint journal: cold journaled run (checkpoint write overhead)
 // vs resumed run (every shard replayed from disk instead of recomputed).
 //
+// A third section runs once with telemetry enabled and prints the phase
+// attribution (generate vs observe vs absorb vs checkpoint share of summed
+// task time) from the study's own metrics registry.
+//
 // Environment knobs (shared with the figure benches):
 //   TLS_STUDY_CPM      connections per month (default 20000 here)
 //   TLS_STUDY_SEED     simulation seed
 //   TLS_STUDY_THREADS  comma list of thread counts (default "0,2,4,8")
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -17,24 +20,27 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "telemetry/export.hpp"
 
 namespace {
-
-using Clock = std::chrono::steady_clock;
 
 double run_once(tls::study::StudyOptions opts, unsigned threads,
                 std::string* fingerprint_csv) {
   opts.threads = threads;
   tls::study::LongitudinalStudy study(opts);
-  const auto start = Clock::now();
-  study.run();
-  const auto wall =
-      std::chrono::duration<double>(Clock::now() - start).count();
+  const double wall = bench::timed_seconds([&] { study.run(); });
   // A cheap whole-pipeline digest: the Fig. 2 CSV covers negotiated
   // counters and the month partition; byte equality across thread counts
   // is the determinism contract.
   *fingerprint_csv = tls::analysis::to_csv(study.figure2_negotiated_classes());
   return wall;
+}
+
+/// Histogram sum (µs) for a registry metric, 0 when absent.
+std::uint64_t hist_sum_us(const tls::telemetry::MetricsRegistry& reg,
+                          const char* name) {
+  const auto* m = reg.find(name);
+  return m == nullptr ? 0 : m->histogram.sum;
 }
 
 }  // namespace
@@ -108,18 +114,13 @@ int main() {
   double cold_wall = 0, resumed_wall = 0;
   {
     tls::study::LongitudinalStudy study(jopts);
-    const auto start = Clock::now();
-    study.run();
-    cold_wall = std::chrono::duration<double>(Clock::now() - start).count();
+    cold_wall = bench::timed_seconds([&] { study.run(); });
     cold_csv = tls::analysis::to_csv(study.figure2_negotiated_classes());
   }
   jopts.resume = true;
   {
     tls::study::LongitudinalStudy study(jopts);
-    const auto start = Clock::now();
-    study.run();
-    resumed_wall =
-        std::chrono::duration<double>(Clock::now() - start).count();
+    resumed_wall = bench::timed_seconds([&] { study.run(); });
     resumed_csv = tls::analysis::to_csv(study.figure2_negotiated_classes());
     const auto report = study.recovery();
     std::printf("replayed %llu frames, skipped %llu tasks, recomputed %llu\n",
@@ -150,5 +151,55 @@ int main() {
     std::fprintf(stderr, "FAIL: checkpointed run changed exported bytes\n");
     return 1;
   }
+
+  // ---- phase attribution: where does a journaled run spend its time? ----
+  // One telemetry-enabled run; the study's own registry provides the
+  // generate / observe / absorb / checkpoint split (summed task time, so
+  // shares are thread-count independent up to scheduling noise).
+  std::printf("\n== phase attribution (telemetry-enabled run) ==\n");
+  auto topts = jopts;
+  topts.resume = false;
+  topts.telemetry = true;
+  topts.checkpoint_dir = ckpt_dir.string();
+  std::filesystem::remove_all(ckpt_dir);
+  std::string tel_csv;
+  {
+    tls::study::LongitudinalStudy study(topts);
+    study.run();
+    tel_csv = tls::analysis::to_csv(study.figure2_negotiated_classes());
+    const auto& reg = study.metrics();
+    const std::pair<const char*, const char*> phases[] = {
+        {"generate", "tls_repro_pipeline_generate_us"},
+        {"observe", "tls_repro_pipeline_observe_us"},
+        {"absorb", "tls_repro_pipeline_absorb_us"},
+        {"checkpoint encode", "tls_repro_checkpoint_encode_us"},
+        {"checkpoint append", "tls_repro_checkpoint_append_us"},
+    };
+    std::uint64_t total_us = 0;
+    for (const auto& [label, metric] : phases) {
+      total_us += hist_sum_us(reg, metric);
+    }
+    std::vector<std::vector<std::string>> prows;
+    prows.push_back({"phase", "summed task time (s)", "share"});
+    for (const auto& [label, metric] : phases) {
+      const std::uint64_t us = hist_sum_us(reg, metric);
+      char time_s[32], share_s[32];
+      std::snprintf(time_s, sizeof(time_s), "%.3f",
+                    static_cast<double>(us) / 1e6);
+      std::snprintf(share_s, sizeof(share_s), "%.1f%%",
+                    total_us > 0
+                        ? 100.0 * static_cast<double>(us) /
+                              static_cast<double>(total_us)
+                        : 0.0);
+      prows.push_back({label, time_s, share_s});
+    }
+    std::fputs(tls::analysis::render_table(prows).c_str(), stdout);
+  }
+  std::filesystem::remove_all(ckpt_dir);
+  if (tel_csv != serial_csv) {
+    std::fprintf(stderr, "FAIL: telemetry-enabled run changed exported bytes\n");
+    return 1;
+  }
+  std::printf("telemetry run figures: bit-identical\n");
   return 0;
 }

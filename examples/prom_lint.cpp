@@ -1,0 +1,37 @@
+// Prometheus text-exposition lint (no external deps): validates the
+// `.prom` artifact study_cli writes. CI runs this over the exported
+// metrics and fails the job on any violation.
+//
+//   prom_lint <file.prom>
+//
+// Exit status: 0 clean, 1 violations (one per line on stderr), 2 usage/IO.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "telemetry/export.hpp"
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fputs("usage: prom_lint <file.prom>\n", stderr);
+    return 2;
+  }
+  std::ifstream in(argv[1]);
+  if (!in) {
+    std::fprintf(stderr, "prom_lint: cannot open %s\n", argv[1]);
+    return 2;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const auto errors = tls::telemetry::lint_prometheus(buf.str());
+  for (const auto& e : errors) {
+    std::fprintf(stderr, "%s: %s\n", argv[1], e.c_str());
+  }
+  if (!errors.empty()) {
+    std::fprintf(stderr, "prom_lint: %zu violation(s)\n", errors.size());
+    return 1;
+  }
+  std::printf("%s: ok\n", argv[1]);
+  return 0;
+}

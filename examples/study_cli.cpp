@@ -3,10 +3,15 @@
 //   study_cli figure <1..10>          render one paper figure as ASCII
 //   study_cli scan [YYYY-MM]          one Censys-style sweep (default window)
 //   study_cli export <dir> [--checkpoint-dir <ckpt>] [--resume]
+//                    [--metrics-out <file>] [--trace-out <file>]
 //                                     write all figures + scans as CSV;
 //                                     with a checkpoint dir the run is
 //                                     journaled (crash-safe) and --resume
-//                                     replays verified work after a crash
+//                                     replays verified work after a crash;
+//                                     --metrics-out writes METRICS.json (plus
+//                                     a .prom Prometheus exposition next to
+//                                     it) and prints the run report;
+//                                     --trace-out writes Chrome trace JSON
 //   study_cli fingerprints <file>     dump the labeled fingerprint DB
 //   study_cli identify <hex-record>   fingerprint a raw ClientHello record
 //
@@ -24,6 +29,7 @@
 #include "core/study.hpp"
 #include "fingerprint/fingerprint.hpp"
 #include "fingerprint/io.hpp"
+#include "telemetry/export.hpp"
 
 namespace {
 
@@ -53,7 +59,8 @@ tls::study::StudyOptions options_from_env() {
 int usage() {
   std::fputs(
       "usage: study_cli figure <1..10> | scan [YYYY-MM] |\n"
-      "       export <dir> [--checkpoint-dir <ckpt>] [--resume] |\n"
+      "       export <dir> [--checkpoint-dir <ckpt>] [--resume]\n"
+      "              [--metrics-out <file>] [--trace-out <file>] |\n"
       "       fingerprints <file> | identify <hex-client-hello-record>\n",
       stderr);
   return 2;
@@ -100,15 +107,44 @@ int cmd_scan(const char* month_arg) {
   return 0;
 }
 
-int cmd_export(const char* dir, const char* checkpoint_dir, bool resume) {
+/// Sibling path for the Prometheus exposition: swaps a trailing ".json"
+/// for ".prom", else appends ".prom".
+std::string prometheus_path(const std::string& metrics_path) {
+  const std::string suffix = ".json";
+  if (metrics_path.size() > suffix.size() &&
+      metrics_path.compare(metrics_path.size() - suffix.size(), suffix.size(),
+                           suffix) == 0) {
+    return metrics_path.substr(0, metrics_path.size() - suffix.size()) +
+           ".prom";
+  }
+  return metrics_path + ".prom";
+}
+
+int cmd_export(const char* dir, const char* checkpoint_dir, bool resume,
+               const char* metrics_out, const char* trace_out) {
   auto opts = options_from_env();
   if (checkpoint_dir != nullptr) {
     opts.checkpoint_dir = checkpoint_dir;
     opts.resume = resume;
   }
+  opts.telemetry = metrics_out != nullptr || trace_out != nullptr;
   tls::study::LongitudinalStudy study(opts);
   for (const auto& path : study.export_figures(dir)) {
     std::printf("wrote %s\n", path.c_str());
+  }
+  if (metrics_out != nullptr) {
+    std::ofstream(metrics_out) << tls::telemetry::to_metrics_json(
+        study.metrics());
+    std::printf("wrote %s\n", metrics_out);
+    const auto prom = prometheus_path(metrics_out);
+    std::ofstream(prom) << tls::telemetry::to_prometheus(study.metrics());
+    std::printf("wrote %s\n", prom.c_str());
+    std::fputs(tls::telemetry::render_run_report(study.metrics()).c_str(),
+               stdout);
+  }
+  if (trace_out != nullptr) {
+    std::ofstream(trace_out) << study.trace().to_json();
+    std::printf("wrote %s\n", trace_out);
   }
   if (checkpoint_dir != nullptr) {
     const auto report = study.recovery();
@@ -178,17 +214,24 @@ int main(int argc, char** argv) {
   if (cmd == "scan") return cmd_scan(argc >= 3 ? argv[2] : nullptr);
   if (cmd == "export" && argc >= 3) {
     const char* checkpoint_dir = nullptr;
+    const char* metrics_out = nullptr;
+    const char* trace_out = nullptr;
     bool resume = false;
     for (int i = 3; i < argc; ++i) {
       if (std::strcmp(argv[i], "--checkpoint-dir") == 0 && i + 1 < argc) {
         checkpoint_dir = argv[++i];
       } else if (std::strcmp(argv[i], "--resume") == 0) {
         resume = true;
+      } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
+        metrics_out = argv[++i];
+      } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+        trace_out = argv[++i];
       } else {
         return usage();
       }
     }
-    return cmd_export(argv[2], checkpoint_dir, resume);
+    return cmd_export(argv[2], checkpoint_dir, resume, metrics_out,
+                      trace_out);
   }
   if (cmd == "fingerprints" && argc == 3) return cmd_fingerprints(argv[2]);
   if (cmd == "identify" && argc == 3) return cmd_identify(argv[2]);

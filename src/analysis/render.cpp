@@ -179,6 +179,9 @@ std::string render_recovery_table(const RecoveryReport& report) {
   table.push_back(
       {"tasks recomputed", std::to_string(report.tasks_recomputed)});
   table.push_back({"stuck reruns", std::to_string(report.stuck_reruns)});
+  if (report.telemetry_partial) {
+    table.push_back({"telemetry", "partial since resume"});
+  }
   std::ostringstream out;
   out << render_table(table);
   if (!report.quarantined.empty()) {

@@ -71,6 +71,12 @@ struct RecoveryReport {
   std::uint64_t tasks_skipped = 0;     // satisfied from the journal
   std::uint64_t tasks_recomputed = 0;  // run (fresh, or frame unusable)
   std::uint64_t stuck_reruns = 0;      // watchdog-discarded shard attempts
+  /// Telemetry covers only the recomputed slice of this run: checkpoint
+  /// frames carry monitor state but not the metrics registry, so after a
+  /// resume the phase timings / fault-trigger counters describe just the
+  /// tasks that actually re-ran. (Cache and error-taxonomy stats ARE
+  /// frame-persisted and stay exact across resume.)
+  bool telemetry_partial = false;
   /// Quarantine sidecar paths of every rejected frame, in replay order.
   std::vector<std::string> quarantined;
 };

@@ -1,5 +1,7 @@
 #include "core/shard.hpp"
 
+#include "telemetry/stopwatch.hpp"
+
 namespace tls::core {
 
 std::vector<std::size_t> shard_counts(std::size_t total, std::size_t shards) {
@@ -52,11 +54,14 @@ void ThreadPool::drain() {
       task = task_;
     }
     std::exception_ptr error;
+    const telemetry::Stopwatch body;
     try {
       (*task)(index);
     } catch (...) {
       error = std::current_exception();
     }
+    busy_us_.fetch_add(body.elapsed_us(), std::memory_order_relaxed);
+    tasks_.fetch_add(1, std::memory_order_relaxed);
     {
       std::lock_guard<std::mutex> lock(mutex_);
       if (error && !first_error_) first_error_ = error;
@@ -70,9 +75,17 @@ void ThreadPool::drain() {
 void ThreadPool::run(std::size_t n,
                      const std::function<void(std::size_t)>& task) {
   if (n == 0) return;
+  const telemetry::Stopwatch grid;
+  grids_.fetch_add(1, std::memory_order_relaxed);
   if (workers_.empty()) {
     // Serial path: no scheduling machinery at all.
-    for (std::size_t i = 0; i < n; ++i) task(i);
+    for (std::size_t i = 0; i < n; ++i) {
+      const telemetry::Stopwatch body;
+      task(i);
+      busy_us_.fetch_add(body.elapsed_us(), std::memory_order_relaxed);
+      tasks_.fetch_add(1, std::memory_order_relaxed);
+    }
+    wall_us_.fetch_add(grid.elapsed_us(), std::memory_order_relaxed);
     return;
   }
   {
@@ -94,6 +107,7 @@ void ThreadPool::run(std::size_t n,
     task_ = nullptr;
     error = first_error_;
   }
+  wall_us_.fetch_add(grid.elapsed_us(), std::memory_order_relaxed);
   if (error) std::rethrow_exception(error);
 }
 

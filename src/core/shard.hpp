@@ -6,6 +6,7 @@
 // of run() is bit-identical for every pool size, including zero (inline).
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -20,6 +21,17 @@ namespace tls::core {
 /// The partition depends only on (total, shards) — never on thread count.
 std::vector<std::size_t> shard_counts(std::size_t total, std::size_t shards);
 
+/// Cumulative pool accounting since construction. busy_us sums the time
+/// spent inside task bodies across all lanes (so it can exceed wall_us,
+/// which sums the run() call durations). Wall-clock values feed telemetry
+/// only — they never influence task results.
+struct ThreadPoolStats {
+  std::uint64_t grids = 0;    // run() calls that executed at least one task
+  std::uint64_t tasks = 0;    // task invocations completed
+  std::uint64_t busy_us = 0;  // summed task-body time across lanes
+  std::uint64_t wall_us = 0;  // summed run() durations
+};
+
 /// Fixed-size pool of worker threads executing indexed task grids.
 /// `threads == 0` keeps everything on the calling thread (the serial
 /// path): no workers are spawned and run() degenerates to a plain loop.
@@ -33,6 +45,10 @@ class ThreadPool {
 
   [[nodiscard]] unsigned size() const {
     return static_cast<unsigned>(workers_.size());
+  }
+
+  [[nodiscard]] ThreadPoolStats stats() const {
+    return {grids_.load(), tasks_.load(), busy_us_.load(), wall_us_.load()};
   }
 
   /// Executes task(0) .. task(n-1), each exactly once, and blocks until
@@ -58,6 +74,11 @@ class ThreadPool {
   std::exception_ptr first_error_;
   bool shutdown_ = false;
   std::vector<std::thread> workers_;
+
+  std::atomic<std::uint64_t> grids_{0};
+  std::atomic<std::uint64_t> tasks_{0};
+  std::atomic<std::uint64_t> busy_us_{0};
+  std::atomic<std::uint64_t> wall_us_{0};
 };
 
 }  // namespace tls::core

@@ -9,6 +9,7 @@
 #include "core/shard.hpp"
 #include "fingerprint/fingerprint.hpp"
 #include "notary/snapshot.hpp"
+#include "telemetry/stopwatch.hpp"
 #include "tlscore/timeline.hpp"
 
 namespace tls::study {
@@ -59,20 +60,27 @@ tls::analysis::RecoveryReport LongitudinalStudy::recovery() const {
   tls::analysis::RecoveryReport report;
   if (journal_ != nullptr) report = journal_->snapshot_report();
   report.stuck_reruns = stuck_reruns_.load();
+  // Checkpoint frames persist monitor state (including cache and taxonomy
+  // stats) but not the telemetry registry: after a resume the phase
+  // timings and fault-trigger counters cover only the recomputed tasks.
+  report.telemetry_partial =
+      options_.telemetry && report.resumed && report.tasks_skipped > 0;
   return report;
 }
 
 std::unique_ptr<tls::notary::PassiveMonitor> LongitudinalStudy::compute_shard(
-    Month month, std::size_t shard, std::size_t count) {
+    Month month, std::size_t shard, std::size_t count,
+    TaskTelemetry* telemetry, std::uint32_t lane_id) {
   const bool faulty = options_.faults.total() > 0;
   const auto lane = static_cast<std::uint64_t>(month.index());
   // Each attempt rebuilds monitor, injector and generator from their seeds,
   // so a watchdog rerun consumes exactly the streams the discarded attempt
   // did — determinism survives the discard.
-  const auto attempt = [&](bool enforce_deadline) {
+  const auto attempt = [&](bool enforce_deadline, TaskTelemetry* tel) {
     auto mon = std::make_unique<tls::notary::PassiveMonitor>(&database_);
     mon->set_observe_cache_capacity(options_.observe_cache_entries);
     mon->set_fast_observe(options_.fast_observe);
+    if (tel != nullptr) mon->set_telemetry(&tel->registry);
     std::unique_ptr<tls::faults::FaultInjector> injector;
     if (faulty) {
       injector = std::make_unique<tls::faults::FaultInjector>(
@@ -86,6 +94,8 @@ std::unique_ptr<tls::notary::PassiveMonitor> LongitudinalStudy::compute_shard(
     const auto deadline =
         std::chrono::steady_clock::now() +
         std::chrono::microseconds(options_.task_deadline_us);
+    const tls::telemetry::Stopwatch task_watch;
+    std::uint64_t observe_us = 0;
     // Batched hand-off: one virtual-call boundary per 256 events instead of
     // per event; the generator's RNG stream is unchanged. The watchdog
     // piggybacks on the same boundary — a cooperative check per batch.
@@ -96,19 +106,73 @@ std::unique_ptr<tls::notary::PassiveMonitor> LongitudinalStudy::compute_shard(
               std::chrono::steady_clock::now() >= deadline) {
             throw StuckShardError{};
           }
+          if (tel == nullptr) {
+            mon->observe_span(events);
+            return;
+          }
+          const tls::telemetry::Stopwatch sw;
           mon->observe_span(events);
+          observe_us += sw.elapsed_us();
         });
     mon->set_fault_injector(nullptr);
+    mon->set_telemetry(nullptr);
+    if (tel != nullptr) {
+      const std::uint64_t total_us = task_watch.elapsed_us();
+      const std::uint64_t generate_us =
+          total_us > observe_us ? total_us - observe_us : 0;
+      auto buckets = tls::telemetry::duration_buckets_us();
+      tel->registry
+          .histogram("tls_repro_pipeline_generate_us", buckets, "",
+                     "Traffic-generation share of each shard task")
+          .record(generate_us);
+      tel->registry
+          .histogram("tls_repro_pipeline_observe_us", buckets, "",
+                     "Monitor-ingest share of each shard task")
+          .record(observe_us);
+      tel->registry
+          .counter("tls_repro_pipeline_shard_tasks_total", "",
+                   "Passive (month, shard) tasks computed")
+          .add();
+      if (injector != nullptr) {
+        const auto& fs = injector->stats();
+        for (std::size_t k = 1; k < tls::faults::kFaultKindCount; ++k) {
+          if (fs.applied[k] == 0) continue;
+          const auto kind = static_cast<tls::faults::FaultKind>(k);
+          std::string label = "kind=\"";
+          label += tls::faults::fault_kind_name(kind);
+          label += '"';
+          tel->registry
+              .counter("tls_repro_faults_applied_total", label,
+                       "Faults the chaos tap injected, by kind")
+              .add(fs.applied[k]);
+        }
+      }
+      // The generate/observe split interleaves per batch; render the two
+      // shares as contiguous child spans under the task span.
+      const std::uint64_t t0 = task_watch.start_us();
+      tel->trace.add({"generate", "passive", t0, generate_us, lane_id, {}});
+      tel->trace.add(
+          {"observe", "passive", t0 + generate_us, observe_us, lane_id, {}});
+      tls::telemetry::TraceEvent task_event{
+          "shard_task", "passive", t0, total_us, lane_id, {}};
+      task_event.args.emplace_back("month", lane);
+      task_event.args.emplace_back("shard", shard);
+      task_event.args.emplace_back("connections", count);
+      tel->trace.add(std::move(task_event));
+    }
     return mon;
   };
-  if (options_.task_deadline_us == 0) return attempt(false);
+  if (options_.task_deadline_us == 0) return attempt(false, telemetry);
   try {
-    return attempt(true);
+    return attempt(true, telemetry);
   } catch (const StuckShardError&) {
     // Over budget: discard the partial shard and re-run once without a
     // deadline so a genuinely slow machine still completes (and report it).
     stuck_reruns_.fetch_add(1);
-    return attempt(false);
+    // Drop the aborted attempt's partial telemetry so nothing is counted
+    // twice; only the successful attempt reports.
+    if (telemetry != nullptr) *telemetry = TaskTelemetry{};
+    return attempt(false, telemetry);
   }
 }
 
@@ -160,11 +224,15 @@ void LongitudinalStudy::run() {
   ensure_journal();
   std::vector<std::unique_ptr<tls::notary::PassiveMonitor>> shard_monitors(
       tasks.size());
+  const bool telemetry_on = options_.telemetry;
+  std::vector<TaskTelemetry> task_telemetry(telemetry_on ? tasks.size() : 0);
   tls::core::ThreadPool pool(options_.threads);
   pool.run(tasks.size(), [&](std::size_t i) {
     const ShardTask& task = tasks[i];
     const auto month_index = static_cast<std::uint32_t>(task.month.index());
     const auto slot = static_cast<std::uint32_t>(task.shard);
+    TaskTelemetry* tel = telemetry_on ? &task_telemetry[i] : nullptr;
+    const auto lane_id = static_cast<std::uint32_t>(i + 1);  // 0 = study
     if (journal_ != nullptr) {
       // Resume path: a verified journal frame replaces the whole task.
       // Absorbing the decoded monitor is bit-identical to absorbing the
@@ -173,6 +241,9 @@ void LongitudinalStudy::run() {
       if (const auto* payload = journal_->replayed(FrameKind::kPassiveShard,
                                                    month_index, slot)) {
         try {
+          tls::telemetry::Span replay_span(tel ? &tel->trace : nullptr,
+                                           "checkpoint_replay", "checkpoint",
+                                           lane_id);
           shard_monitors[i] = std::make_unique<tls::notary::PassiveMonitor>(
               tls::notary::decode_monitor_state(*payload, &database_));
           journal_->note_task(true);
@@ -184,17 +255,193 @@ void LongitudinalStudy::run() {
         }
       }
     }
-    auto mon = compute_shard(task.month, task.shard, task.count);
+    auto mon = compute_shard(task.month, task.shard, task.count, tel, lane_id);
     if (journal_ != nullptr) {
-      journal_->append(FrameKind::kPassiveShard, month_index, slot,
-                       tls::notary::encode_monitor_state(*mon));
+      if (tel == nullptr) {
+        journal_->append(FrameKind::kPassiveShard, month_index, slot,
+                         tls::notary::encode_monitor_state(*mon));
+      } else {
+        const tls::telemetry::Stopwatch enc;
+        const auto payload = tls::notary::encode_monitor_state(*mon);
+        const std::uint64_t enc_us = enc.elapsed_us();
+        tel->registry
+            .histogram("tls_repro_checkpoint_encode_us",
+                       tls::telemetry::duration_buckets_us(), "",
+                       "Monitor-state snapshot encode time per frame")
+            .record(enc_us);
+        tls::telemetry::TraceEvent enc_event{
+            "checkpoint_encode", "checkpoint", enc.start_us(), enc_us,
+            lane_id,             {}};
+        enc_event.args.emplace_back("bytes", payload.size());
+        tel->trace.add(std::move(enc_event));
+        const tls::telemetry::Stopwatch app;
+        journal_->append(FrameKind::kPassiveShard, month_index, slot,
+                         payload);
+        const std::uint64_t app_us = app.elapsed_us();
+        tel->registry
+            .histogram("tls_repro_checkpoint_append_us",
+                       tls::telemetry::duration_buckets_us(), "",
+                       "Durable frame write+fsync time per frame")
+            .record(app_us);
+        tel->trace.add({"checkpoint_append", "checkpoint", app.start_us(),
+                        app_us, lane_id, {}});
+      }
       journal_->note_task(false);
     }
     shard_monitors[i] = std::move(mon);
   });
 
   // Late aggregation in plan order — the only place shard results meet.
-  for (const auto& mon : shard_monitors) monitor_->absorb(*mon);
+  {
+    tls::telemetry::Span absorb_span(telemetry_on ? &trace_ : nullptr,
+                                     "absorb", "passive", 0);
+    for (const auto& mon : shard_monitors) {
+      if (!telemetry_on) {
+        monitor_->absorb(*mon);
+        continue;
+      }
+      const tls::telemetry::Stopwatch sw;
+      monitor_->absorb(*mon);
+      metrics_
+          .histogram("tls_repro_pipeline_absorb_us",
+                     tls::telemetry::duration_buckets_us(), "",
+                     "Shard-monitor merge time per absorbed shard")
+          .record(sw.elapsed_us());
+    }
+  }
+  // Fold the per-task telemetry islands in the same fixed plan order as
+  // the monitors — the registry's merge is associative and commutative,
+  // so the folded state is independent of which threads ran which tasks.
+  for (auto& tel : task_telemetry) {
+    metrics_.merge(tel.registry);
+    trace_.append(std::move(tel.trace));
+  }
+  collect_run_metrics(pool);
+}
+
+void LongitudinalStudy::collect_run_metrics(const tls::core::ThreadPool& pool) {
+  if (!options_.telemetry) return;
+  // ---- observe-cache stat island (merged across shards by absorb) ----
+  const auto& cs = monitor_->observe_cache_stats();
+  const auto side = [&](const char* label,
+                        const tls::notary::CacheSideStats& s) {
+    const std::string lb = std::string("side=\"") + label + '"';
+    const std::pair<const char*, std::uint64_t> counters[] = {
+        {"tls_repro_observe_cache_hits_total", s.hits},
+        {"tls_repro_observe_cache_misses_total", s.misses},
+        {"tls_repro_observe_cache_inserts_total", s.inserts},
+        {"tls_repro_observe_cache_evictions_total", s.evictions},
+        {"tls_repro_observe_cache_flushes_total", s.flushes},
+        {"tls_repro_observe_cache_collisions_total", s.collisions},
+    };
+    for (const auto& [name, v] : counters) {
+      metrics_.counter(name, lb, "ObserveCache accounting, per side").value = v;
+    }
+  };
+  side("client", cs.client);
+  side("server", cs.server);
+  metrics_
+      .counter("tls_repro_observe_cache_bypasses_total", "",
+               "Captures routed around the cache (fault-touched records)")
+      .value = cs.bypasses;
+  metrics_
+      .counter("tls_repro_observe_cache_uncacheable_total", "",
+               "Captures with no cacheable record shape")
+      .value = cs.uncacheable;
+
+  // ---- error taxonomy + quarantine ring ----
+  for (std::size_t s = 0; s < tls::notary::kIngestStageCount; ++s) {
+    const auto stage = static_cast<tls::notary::IngestStage>(s);
+    const std::uint64_t n = monitor_->errors().stage_total(stage);
+    if (n == 0) continue;
+    std::string label = "stage=\"";
+    label += tls::notary::ingest_stage_name(stage);
+    label += '"';
+    metrics_
+        .counter("tls_repro_notary_parse_errors_total", label,
+                 "Record parse failures, by ingest stage")
+        .value = n;
+  }
+  const auto& ring = monitor_->quarantine();
+  metrics_
+      .gauge("tls_repro_quarantine_occupancy", "",
+             "Quarantined records currently retained in the ring")
+      .set(ring.size());
+  metrics_
+      .gauge("tls_repro_quarantine_capacity", "",
+             "Quarantine ring capacity")
+      .set(ring.capacity());
+  metrics_
+      .counter("tls_repro_quarantine_pushed_total", "",
+               "Records ever quarantined (including evicted)")
+      .value = ring.total_pushed();
+
+  // ---- dataset totals ----
+  metrics_
+      .counter("tls_repro_notary_connections_total", "",
+               "Connections the merged monitor ingested")
+      .value = monitor_->total_connections();
+  metrics_
+      .counter("tls_repro_notary_fingerprintable_total", "",
+               "Connections within the fingerprint-feature window")
+      .value = monitor_->fingerprintable_connections();
+
+  // ---- pool + watchdog accounting (wall-clock / schedule dependent) ----
+  const auto ps = pool.stats();
+  metrics_
+      .counter("tls_repro_pool_tasks_total", "",
+               "Task-grid indices executed by the thread pool")
+      .value = ps.tasks;
+  metrics_
+      .counter("tls_repro_pool_busy_us", "",
+               "Summed task-body wall time across lanes", /*timing=*/true)
+      .value = ps.busy_us;
+  metrics_
+      .counter("tls_repro_pool_wall_us", "",
+               "Summed run() grid durations", /*timing=*/true)
+      .value = ps.wall_us;
+  metrics_
+      .gauge("tls_repro_pool_threads", "", "Configured worker threads",
+             /*timing=*/true)
+      .set(options_.threads);
+  metrics_
+      .counter("tls_repro_watchdog_stuck_reruns_total", "",
+               "Shard attempts discarded by the stuck-shard watchdog",
+               /*timing=*/true)
+      .value = stuck_reruns_.load();
+
+  // ---- checkpoint recovery (gauge semantics: refreshed, not summed) ----
+  const auto rep = recovery();
+  metrics_
+      .gauge("tls_repro_checkpoint_frames_replayed", "",
+             "Journal frames verified and replayed", /*timing=*/true)
+      .set(rep.frames_replayed);
+  metrics_
+      .gauge("tls_repro_checkpoint_frames_quarantined", "",
+             "Journal frames rejected (torn/corrupt/mismatched/duplicate)",
+             /*timing=*/true)
+      .set(rep.frames_torn + rep.frames_corrupt + rep.frames_mismatched +
+           rep.frames_duplicate);
+  metrics_
+      .gauge("tls_repro_checkpoint_tasks_skipped", "",
+             "Tasks satisfied from the journal", /*timing=*/true)
+      .set(rep.tasks_skipped);
+  metrics_
+      .gauge("tls_repro_telemetry_partial", "",
+             "1 when timings/fault counters cover only the resumed run's "
+             "recomputed slice",
+             /*timing=*/true)
+      .set(rep.telemetry_partial ? 1 : 0);
+}
+
+const tls::telemetry::MetricsRegistry& LongitudinalStudy::metrics() {
+  run();
+  return metrics_;
+}
+
+const tls::telemetry::TraceRecorder& LongitudinalStudy::trace() {
+  run();
+  return trace_;
 }
 
 const tls::notary::PassiveMonitor& LongitudinalStudy::monitor() {
@@ -233,9 +480,20 @@ std::vector<std::string> LongitudinalStudy::export_figures(
       {"fig9_aead_negotiated.csv", figure9_aead_negotiated()},
       {"fig10_aead_advertised.csv", figure10_aead_advertised()},
   };
+  const bool telemetry_on = options_.telemetry;
   for (const auto& [name, chart] : figures) {
     const auto path = (std::filesystem::path(directory) / name).string();
+    tls::telemetry::Span csv_span(telemetry_on ? &trace_ : nullptr,
+                                  "csv_render", "export", 0);
+    const tls::telemetry::Stopwatch sw;
     tls::analysis::write_csv_file(path, chart);
+    if (telemetry_on) {
+      metrics_
+          .histogram("tls_repro_export_csv_us",
+                     tls::telemetry::duration_buckets_us(), "",
+                     "CSV figure render+write time per file")
+          .record(sw.elapsed_us());
+    }
     written.push_back(path);
   }
   const auto scan_path =
@@ -243,6 +501,8 @@ std::vector<std::string> LongitudinalStudy::export_figures(
   // The pool-backed sweep folds per-(month, segment) probes in plan order,
   // so these bytes match the serial scan_range at any thread count.
   tls::core::ThreadPool pool(options_.threads);
+  tls::telemetry::Span sweep_span(telemetry_on ? &trace_ : nullptr,
+                                  "scan_sweep", "scan", 0);
   const auto range = tls::core::censys_window();
   ensure_journal();
   if (journal_ != nullptr) {
@@ -253,12 +513,18 @@ std::vector<std::string> LongitudinalStudy::export_figures(
     const auto n_months = static_cast<std::size_t>(range.size());
     const std::size_t n_segments = servers_.segments().size();
     std::vector<tls::scan::SegmentProbe> probes(n_months * n_segments);
+    // Per-probe telemetry islands (lock-free; folded in plan order below).
+    std::vector<tls::telemetry::TraceRecorder> probe_traces(
+        telemetry_on ? probes.size() : 0);
+    std::vector<std::uint64_t> probe_us(telemetry_on ? probes.size() : 0);
     pool.run(probes.size(), [&](std::size_t i) {
       const auto mi = static_cast<int>(i / n_segments);
       const std::size_t si = i % n_segments;
       const auto month_index =
           static_cast<std::uint32_t>((range.begin_month + mi).index());
       const auto slot = static_cast<std::uint32_t>(si);
+      tls::telemetry::TraceRecorder* rec =
+          telemetry_on ? &probe_traces[i] : nullptr;
       if (const auto* payload =
               journal_->replayed(FrameKind::kScanSegment, month_index, slot)) {
         try {
@@ -269,17 +535,42 @@ std::vector<std::string> LongitudinalStudy::export_figures(
           journal_->invalidate(FrameKind::kScanSegment, month_index, slot);
         }
       }
-      probes[i] = scanner_->probe_segment(range.begin_month + mi, si,
-                                          /*by_traffic=*/false);
+      {
+        tls::telemetry::Span probe_span(
+            rec, "scan_probe", "scan", static_cast<std::uint32_t>(i + 1));
+        probe_span.arg("month", month_index);
+        probe_span.arg("segment", slot);
+        const tls::telemetry::Stopwatch sw;
+        probes[i] = scanner_->probe_segment(range.begin_month + mi, si,
+                                            /*by_traffic=*/false);
+        if (telemetry_on) probe_us[i] = sw.elapsed_us();
+      }
       journal_->append(FrameKind::kScanSegment, month_index, slot,
                        encode_segment_probe(probes[i]));
       journal_->note_task(false);
     });
+    if (telemetry_on) {
+      auto& hist = metrics_.histogram(
+          "tls_repro_scan_probe_us", tls::telemetry::duration_buckets_us(),
+          "", "Active-scan segment probe time per (month, segment)");
+      for (std::size_t i = 0; i < probes.size(); ++i) {
+        if (probe_us[i] > 0) hist.record(probe_us[i]);
+        trace_.append(std::move(probe_traces[i]));
+      }
+    }
     tls::analysis::write_scan_csv_file(scan_path,
                                        scanner().fold_range(range, probes));
   } else {
     tls::analysis::write_scan_csv_file(scan_path,
                                        scanner().scan_range(range, pool));
+  }
+  sweep_span.close();
+  if (telemetry_on) {
+    // Fold this pool's accounting on top of run()'s (counter add).
+    const auto ps = pool.stats();
+    metrics_.counter("tls_repro_pool_tasks_total").add(ps.tasks);
+    metrics_.counter("tls_repro_pool_busy_us", "", "", true).add(ps.busy_us);
+    metrics_.counter("tls_repro_pool_wall_us", "", "", true).add(ps.wall_us);
   }
   written.push_back(scan_path);
   return written;

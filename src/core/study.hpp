@@ -22,6 +22,12 @@
 #include "population/traffic.hpp"
 #include "scan/scanner.hpp"
 #include "servers/population.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
+
+namespace tls::core {
+class ThreadPool;
+}
 
 namespace tls::study {
 
@@ -59,6 +65,13 @@ struct StudyOptions {
   /// PassiveMonitor::observe). Off forces the serialize→parse byte path;
   /// outputs are identical either way.
   bool fast_observe = true;
+  /// Unified telemetry: collect the metrics registry and pipeline spans
+  /// during run()/export_figures(). Observability only — enabling it may
+  /// not change a single exported CSV byte at any thread count or fault
+  /// rate (tested); wall-clock readings are confined to the metrics/trace
+  /// artifacts. Off (default) keeps the hot path on the compiled-in no-op
+  /// sink: null handles, one branch per event, no clock reads.
+  bool telemetry = false;
 
   // ---- durable checkpoint/resume (off by default; no byte may change
   //      whether checkpointing is on, off, or resumed mid-run) ----
@@ -106,6 +119,15 @@ class LongitudinalStudy {
   /// zeros (resumed=false) when checkpointing is disabled.
   [[nodiscard]] tls::analysis::RecoveryReport recovery() const;
 
+  // ---- telemetry artifacts (populated when options.telemetry is set) ----
+  /// The merged metrics registry: per-shard registries folded in plan
+  /// order, plus the post-run stat collection (cache, taxonomy,
+  /// quarantine, pool, recovery). Empty when telemetry is off.
+  [[nodiscard]] const tls::telemetry::MetricsRegistry& metrics();
+  /// Pipeline spans in plan order (one trace lane per shard task, lane 0
+  /// for study-level phases). Empty when telemetry is off.
+  [[nodiscard]] const tls::telemetry::TraceRecorder& trace();
+
   // ---- passive figures (monthly percentage series over options.window) --
   [[nodiscard]] tls::analysis::MonthlyChart figure1_versions();
   [[nodiscard]] tls::analysis::MonthlyChart figure2_negotiated_classes();
@@ -145,13 +167,29 @@ class LongitudinalStudy {
   std::unique_ptr<tls::faults::FaultInjector> frame_injector_;
   std::atomic<std::uint64_t> stuck_reruns_{0};
   bool ran_ = false;
+  tls::telemetry::MetricsRegistry metrics_;
+  tls::telemetry::TraceRecorder trace_;
+
+  /// Per-shard-task telemetry island: written lock-free by whichever
+  /// thread runs the task, folded into metrics_/trace_ in plan order.
+  struct TaskTelemetry {
+    tls::telemetry::MetricsRegistry registry;
+    tls::telemetry::TraceRecorder trace;
+  };
 
   /// Lazily opens (and replays) the journal; no-op without checkpoint_dir.
   void ensure_journal();
   /// One passive (month, shard) task under the watchdog; returns the
   /// shard's monitor (rerun once if the first attempt blows the deadline).
+  /// `telemetry` (nullable) receives the successful attempt's metrics and
+  /// spans; `lane` is the trace lane (task index).
   std::unique_ptr<tls::notary::PassiveMonitor> compute_shard(
-      tls::core::Month month, std::size_t shard, std::size_t count);
+      tls::core::Month month, std::size_t shard, std::size_t count,
+      TaskTelemetry* telemetry, std::uint32_t lane);
+  /// Post-run stat collection: migrates the subsystem stat islands (cache,
+  /// taxonomy, quarantine, monitor totals, pool accounting, recovery)
+  /// onto the registry. No-op when telemetry is off.
+  void collect_run_metrics(const tls::core::ThreadPool& pool);
 };
 
 /// The study's standard attack markers for charts (Figs. 1, 2, 3, 6).

@@ -4,6 +4,7 @@
 
 #include "faults/injector.hpp"
 #include "fingerprint/fingerprint.hpp"
+#include "telemetry/metrics.hpp"
 #include "tlscore/grease.hpp"
 #include "wire/server_hello.hpp"
 #include "wire/alert.hpp"
@@ -141,6 +142,7 @@ void PassiveMonitor::observe(const tls::population::ConnectionEvent& event) {
   // (recording nothing) on any event the byte path would treat specially —
   // which then falls through to serialization below.
   if (kind == FaultKind::kNone && fast_observe_ && observe_event_fast(event)) {
+    if (tel_fast_ != nullptr) tel_fast_->add();
     return;
   }
   event.hello.serialize_record_into(buf_client_);
@@ -239,7 +241,23 @@ void PassiveMonitor::observe_flights(
   if (!server_side_seen) ++stats(m).one_sided_client;
 }
 
+void PassiveMonitor::set_telemetry(tls::telemetry::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    tel_fast_ = tel_byte_ = tel_sslv2_ = nullptr;
+    return;
+  }
+  tel_fast_ = &registry->counter(
+      "tls_repro_notary_fast_path_total", "",
+      "Connections harvested via the struct-reuse fast path");
+  tel_byte_ = &registry->counter(
+      "tls_repro_notary_byte_path_total", "",
+      "Connections ingested through the serialize/parse byte path");
+  tel_sslv2_ = &registry->counter("tls_repro_notary_sslv2_total", "",
+                                  "SSLv2 CLIENT-HELLO connections recorded");
+}
+
 void PassiveMonitor::observe_sslv2(Month m) {
+  if (tel_sslv2_ != nullptr) tel_sslv2_->add();
   MonthlyStats& s = stats(m);
   ++s.total;
   ++s.successful;
@@ -408,6 +426,7 @@ void PassiveMonitor::observe_wire(
     std::span<const std::uint8_t> server_key_exchange_record, bool success,
     bool used_fallback, std::span<const std::uint8_t> alert_record,
     bool cacheable) {
+  if (tel_byte_ != nullptr) tel_byte_->add();
   using namespace tls::core;
   const bool use_cache = cacheable && cache_.enabled();
   if (!cacheable && cache_.enabled()) cache_.count_bypass();

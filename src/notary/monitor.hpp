@@ -26,6 +26,10 @@
 namespace tls::faults {
 class FaultInjector;
 }
+namespace tls::telemetry {
+class MetricsRegistry;
+struct Counter;
+}
 namespace tls::wire {
 struct ParsedFlight;
 }
@@ -299,6 +303,13 @@ class PassiveMonitor {
   /// Records an SSLv2 CLIENT-HELLO connection (§5.1 residue).
   void observe_sslv2(tls::core::Month month);
 
+  /// Attaches a telemetry registry: the monitor resolves counter handles
+  /// for its ingest-path split (fast/byte/sslv2) and bumps them per event.
+  /// nullptr (default) detaches; the disabled path costs one null check
+  /// per event and never reads a clock, so attaching telemetry cannot
+  /// perturb any aggregate the monitor exports.
+  void set_telemetry(tls::telemetry::MetricsRegistry* registry);
+
   /// Shard merge: folds another monitor's entire state (monthly stats,
   /// duration tracker, dataset tallies, error taxonomy, quarantine ring,
   /// observe-cache statistics) into this one. Absorbing per-shard monitors
@@ -415,6 +426,11 @@ class PassiveMonitor {
 
   ObserveCache cache_;
   bool fast_observe_ = true;
+  // Telemetry counter handles (null = telemetry detached). Registry map
+  // nodes have stable addresses, so caching the pointers is safe.
+  tls::telemetry::Counter* tel_fast_ = nullptr;
+  tls::telemetry::Counter* tel_byte_ = nullptr;
+  tls::telemetry::Counter* tel_sslv2_ = nullptr;
   // Reusable scratch for the per-connection hot path (a monitor is
   // single-threaded; shard parallelism uses one monitor per shard).
   tls::wire::ClientHello scratch_hello_;

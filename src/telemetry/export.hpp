@@ -1,0 +1,45 @@
+// Telemetry exports: the machine-readable METRICS.json, the Prometheus
+// text exposition, the human run-report table, and the small validators
+// (Prometheus format lint + JSON syntax check) that CI gates on. All
+// output is a deterministic function of registry state: metrics are
+// emitted in sorted key order and integers verbatim, so two registries
+// with equal state always produce byte-identical artifacts.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
+
+namespace tls::telemetry {
+
+/// METRICS.json: one object per metric with kind, labels, help and the
+/// kind-specific value payload (histograms include bounds + buckets).
+[[nodiscard]] std::string to_metrics_json(const MetricsRegistry& registry);
+
+/// Prometheus text exposition (version 0.0.4): # HELP / # TYPE headers per
+/// family, `_bucket{le=...}` / `_sum` / `_count` expansion for histograms.
+[[nodiscard]] std::string to_prometheus(const MetricsRegistry& registry);
+
+/// Human-readable run report: an aligned table of every metric (counters
+/// and gauges by value; histograms by count/sum/mean/max).
+[[nodiscard]] std::string render_run_report(const MetricsRegistry& registry);
+
+/// Canonical text of the deterministic registry subset — every metric not
+/// registered with timing=true. Equal digests across thread counts is the
+/// registry's determinism contract (tested at threads {0,8}).
+[[nodiscard]] std::string deterministic_digest(const MetricsRegistry& registry);
+
+/// Prometheus exposition lint (no external deps): validates name/label
+/// charsets, HELP/TYPE placement, sample syntax, non-interleaved families,
+/// and histogram completeness (+Inf bucket, _sum, _count). Returns one
+/// message per violation; empty means the text passes.
+[[nodiscard]] std::vector<std::string> lint_prometheus(
+    const std::string& text);
+
+/// Minimal JSON syntax validator (objects, arrays, strings, numbers,
+/// true/false/null) used by the trace/metrics schema tests.
+[[nodiscard]] bool json_syntax_valid(const std::string& text);
+
+}  // namespace tls::telemetry

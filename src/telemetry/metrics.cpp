@@ -1,0 +1,125 @@
+#include "telemetry/metrics.hpp"
+
+#include <algorithm>
+
+namespace tls::telemetry {
+
+void Histogram::record(std::uint64_t sample) {
+  if (counts.size() != bounds.size() + 1) {
+    counts.assign(bounds.size() + 1, 0);
+  }
+  std::size_t bucket = bounds.size();  // +Inf by default
+  for (std::size_t i = 0; i < bounds.size(); ++i) {
+    if (sample <= bounds[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  ++counts[bucket];
+  if (count == 0 || sample < min) min = sample;
+  if (count == 0 || sample > max) max = sample;
+  ++count;
+  sum += sample;
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.count == 0) return;
+  if (bounds == other.bounds) {
+    if (counts.size() != bounds.size() + 1) {
+      counts.assign(bounds.size() + 1, 0);
+    }
+    for (std::size_t i = 0; i < counts.size() && i < other.counts.size();
+         ++i) {
+      counts[i] += other.counts[i];
+    }
+  }
+  if (count == 0 || other.min < min) min = other.min;
+  if (count == 0 || other.max > max) max = other.max;
+  count += other.count;
+  sum += other.sum;
+}
+
+std::vector<std::uint64_t> duration_buckets_us() {
+  return {10,     100,     1'000,     10'000,
+          100'000, 1'000'000, 10'000'000};
+}
+
+std::string MetricsRegistry::key_of(std::string_view name,
+                                    std::string_view labels) {
+  std::string key(name);
+  if (!labels.empty()) {
+    key += '{';
+    key += labels;
+    key += '}';
+  }
+  return key;
+}
+
+Metric& MetricsRegistry::resolve(MetricKind kind, std::string_view name,
+                                 std::string_view labels,
+                                 std::string_view help, bool timing) {
+  auto [it, inserted] = metrics_.try_emplace(key_of(name, labels));
+  Metric& m = it->second;
+  if (inserted) {
+    m.kind = kind;
+    m.name = std::string(name);
+    m.labels = std::string(labels);
+    m.help = std::string(help);
+    m.timing = timing;
+  } else if (m.help.empty() && !help.empty()) {
+    m.help = std::string(help);
+  }
+  return m;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name,
+                                  std::string_view labels,
+                                  std::string_view help, bool timing) {
+  return resolve(MetricKind::kCounter, name, labels, help, timing).counter;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name, std::string_view labels,
+                              std::string_view help, bool timing) {
+  return resolve(MetricKind::kGauge, name, labels, help, timing).gauge;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::vector<std::uint64_t> bounds,
+                                      std::string_view labels,
+                                      std::string_view help, bool timing) {
+  Metric& m = resolve(MetricKind::kHistogram, name, labels, help, timing);
+  if (m.histogram.bounds.empty() && m.histogram.count == 0) {
+    m.histogram.bounds = std::move(bounds);
+    m.histogram.counts.assign(m.histogram.bounds.size() + 1, 0);
+  }
+  return m.histogram;
+}
+
+void MetricsRegistry::merge(const MetricsRegistry& other) {
+  for (const auto& [key, theirs] : other.metrics_) {
+    auto [it, inserted] = metrics_.try_emplace(key, theirs);
+    if (inserted) continue;
+    Metric& mine = it->second;
+    if (mine.kind != theirs.kind) continue;  // programming error; keep ours
+    switch (mine.kind) {
+      case MetricKind::kCounter:
+        mine.counter.value += theirs.counter.value;
+        break;
+      case MetricKind::kGauge:
+        mine.gauge.value = std::max(mine.gauge.value, theirs.gauge.value);
+        break;
+      case MetricKind::kHistogram:
+        mine.histogram.merge(theirs.histogram);
+        break;
+    }
+    if (mine.help.empty()) mine.help = theirs.help;
+  }
+}
+
+const Metric* MetricsRegistry::find(std::string_view name,
+                                    std::string_view labels) const {
+  const auto it = metrics_.find(key_of(name, labels));
+  return it == metrics_.end() ? nullptr : &it->second;
+}
+
+}  // namespace tls::telemetry

@@ -1,0 +1,42 @@
+// The one wall-clock abstraction shared by every timing consumer in the
+// repo: pipeline spans, the metrics registry's duration histograms, the
+// thread pool's busy accounting, and the bench binaries. Header-only so
+// low-level libraries (core/shard) can time without linking telemetry.
+//
+// Determinism contract: wall-clock readings are observability-only. They
+// flow into trace files and metrics artifacts, never into checkpoint
+// digests, CSV exports, or any RNG-adjacent state.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace tls::telemetry {
+
+/// Monotonic now in microseconds (steady_clock; origin unspecified).
+[[nodiscard]] inline std::uint64_t now_us() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Minimal monotonic stopwatch: started at construction, restartable.
+class Stopwatch {
+ public:
+  Stopwatch() : start_us_(now_us()) {}
+
+  void restart() { start_us_ = now_us(); }
+  [[nodiscard]] std::uint64_t start_us() const { return start_us_; }
+  [[nodiscard]] std::uint64_t elapsed_us() const {
+    return now_us() - start_us_;
+  }
+  [[nodiscard]] double elapsed_seconds() const {
+    return static_cast<double>(elapsed_us()) / 1e6;
+  }
+
+ private:
+  std::uint64_t start_us_;
+};
+
+}  // namespace tls::telemetry
