@@ -8,11 +8,18 @@
 // heavy-hitter skew (319.3B connections onto ~70k fingerprints): a few
 // hundred distinct records observed over and over.
 //
+// A fourth section replays a low-locality pool (distinct records several
+// times the cache capacity, so a cyclic replay evicts every entry before
+// it is seen again) and reports the degraded hit rate and residual
+// overhead: the cache must fail soft, never wrong.
+//
 // Environment knobs:
-//   TLS_BENCH_POOL    distinct captures in the pool (default 400)
-//   TLS_BENCH_REPLAY  total observations per run (default 200000)
-//   TLS_BENCH_JSON    output path (default BENCH_observe.json)
-//   TLS_STUDY_SEED    pool-sampling seed (default 42)
+//   TLS_BENCH_POOL       distinct captures in the pool (default 400)
+//   TLS_BENCH_POOL_COLD  distinct captures in the low-locality pool
+//                        (default 4x the cache capacity)
+//   TLS_BENCH_REPLAY     total observations per run (default 200000)
+//   TLS_BENCH_JSON       output path (default BENCH_observe.json)
+//   TLS_STUDY_SEED       pool-sampling seed (default 42)
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -105,6 +112,25 @@ std::string digest(const tls::notary::PassiveMonitor& mon) {
   return out.str();
 }
 
+// Samples `pool_size` non-SSLv2 captures from a fresh generator stream.
+std::vector<Capture> build_pool(const tls::population::MarketModel& market,
+                                const tls::servers::ServerPopulation& servers,
+                                Month m, std::size_t pool_size,
+                                std::uint64_t seed) {
+  std::vector<Capture> pool;
+  pool.reserve(pool_size);
+  tls::population::TrafficGenerator gen(market, servers, seed);
+  while (pool.size() < pool_size) {
+    gen.generate_month(m, 1,
+                       [&](const tls::population::ConnectionEvent& ev) {
+                         if (!ev.sslv2 && pool.size() < pool_size) {
+                           pool.push_back(to_capture(ev));
+                         }
+                       });
+  }
+  return pool;
+}
+
 double replay(tls::notary::PassiveMonitor& mon, Month m,
               const std::vector<Capture>& pool, std::size_t total) {
   const tls::core::Date day(m.year(), m.month(), 15);
@@ -135,17 +161,8 @@ int main() {
   const auto market = tls::population::MarketModel::standard(catalog);
   const Month m(2017, 1);
 
-  std::vector<Capture> pool;
-  pool.reserve(pool_size);
-  tls::population::TrafficGenerator gen(market, servers, seed);
-  while (pool.size() < pool_size) {
-    gen.generate_month(m, 1,
-                       [&](const tls::population::ConnectionEvent& ev) {
-                         if (!ev.sslv2 && pool.size() < pool_size) {
-                           pool.push_back(to_capture(ev));
-                         }
-                       });
-  }
+  const std::vector<Capture> pool =
+      build_pool(market, servers, m, pool_size, seed);
 
   std::printf("== bench_observe_throughput ==\n");
   std::printf("pool=%zu distinct captures, replay=%zu observations\n\n",
@@ -171,6 +188,28 @@ int main() {
   const double telem_cps = replay(telem, m, pool, total);
   telem.set_telemetry(nullptr);
 
+  // Low-locality pool: distinct records several times the cache capacity.
+  // A cyclic replay over an LRU this much smaller than the pool evicts
+  // every entry before its next use, so the hit rate collapses and every
+  // observation pays the full miss path (hash + probe + insert + evict).
+  // The row quantifies that worst-case overhead; the hard gate is
+  // correctness only — exported bytes must stay identical.
+  const std::size_t cold_pool_size = env_size(
+      "TLS_BENCH_POOL_COLD", 4 * tls::notary::ObserveCache::kDefaultCapacity);
+  const std::vector<Capture> cold_pool =
+      build_pool(market, servers, m, cold_pool_size, seed + 1);
+  tls::notary::PassiveMonitor lowloc_off(&database);
+  lowloc_off.set_observe_cache_capacity(0);
+  const double lowloc_off_cps = replay(lowloc_off, m, cold_pool, total);
+  tls::notary::PassiveMonitor lowloc_on(&database);
+  lowloc_on.set_observe_cache_capacity(
+      tls::notary::ObserveCache::kDefaultCapacity);
+  const double lowloc_on_cps = replay(lowloc_on, m, cold_pool, total);
+  const auto& lcs = lowloc_on.observe_cache_stats();
+  const bool lowloc_identical = digest(lowloc_off) == digest(lowloc_on);
+  const double lowloc_speedup =
+      lowloc_off_cps > 0 ? lowloc_on_cps / lowloc_off_cps : 0.0;
+
   const auto& cs = warm.observe_cache_stats();
   const double speedup = off_cps > 0 ? on_cps / off_cps : 0.0;
   const double telem_overhead_pct =
@@ -190,10 +229,22 @@ int main() {
       {"cache on", on_s, hit_s, identical ? "bit-identical" : "MISMATCH"});
   rows.push_back({"cache on + telemetry", tel_s, hit_s,
                   telem_identical ? "bit-identical" : "MISMATCH"});
+  char loff_s[32], lon_s[32], lhit_s[32];
+  std::snprintf(loff_s, sizeof(loff_s), "%.0f", lowloc_off_cps);
+  std::snprintf(lon_s, sizeof(lon_s), "%.0f", lowloc_on_cps);
+  std::snprintf(lhit_s, sizeof(lhit_s), "%.3f", lcs.client.hit_rate());
+  rows.push_back({"cache off, low-locality", loff_s, "-", "baseline"});
+  rows.push_back({"cache on, low-locality", lon_s, lhit_s,
+                  lowloc_identical ? "bit-identical" : "MISMATCH"});
   std::fputs(tls::analysis::render_table(rows).c_str(), stdout);
   std::printf("\nspeedup: %.2fx (target >= 3x)\n", speedup);
   std::printf("telemetry overhead: %+.1f%% (enabled hooks vs cache-on)\n",
               telem_overhead_pct);
+  std::printf(
+      "low-locality (%zu distinct vs %zu-entry cache): %.2fx, "
+      "hit rate %.3f\n",
+      cold_pool.size(), tls::notary::ObserveCache::kDefaultCapacity,
+      lowloc_speedup, lcs.client.hit_rate());
 
   std::ofstream json(json_path);
   json << "{\n"
@@ -213,8 +264,16 @@ int main() {
        << "  \"server_hit_rate\": " << cs.server.hit_rate() << ",\n"
        << "  \"evictions\": " << cs.client.evictions + cs.server.evictions
        << ",\n"
+       << "  \"low_locality_distinct\": " << cold_pool.size() << ",\n"
+       << "  \"low_locality_off_cps\": "
+       << static_cast<std::uint64_t>(lowloc_off_cps) << ",\n"
+       << "  \"low_locality_on_cps\": "
+       << static_cast<std::uint64_t>(lowloc_on_cps) << ",\n"
+       << "  \"low_locality_speedup\": " << lowloc_speedup << ",\n"
+       << "  \"low_locality_hit_rate\": " << lcs.client.hit_rate() << ",\n"
        << "  \"identical\": "
-       << (identical && telem_identical ? "true" : "false") << "\n"
+       << (identical && telem_identical && lowloc_identical ? "true" : "false")
+       << "\n"
        << "}\n";
   std::printf("wrote %s\n", json_path.c_str());
 
@@ -225,6 +284,12 @@ int main() {
   if (!telem_identical) {
     std::fprintf(stderr,
                  "FAIL: telemetry-attached monitor diverged from cache-off\n");
+    return 1;
+  }
+  if (!lowloc_identical) {
+    std::fprintf(stderr,
+                 "FAIL: low-locality cache-on monitor diverged from "
+                 "cache-off\n");
     return 1;
   }
   return 0;

@@ -3,11 +3,22 @@
 //   study_cli figure <1..10>          render one paper figure as ASCII
 //   study_cli scan [YYYY-MM]          one Censys-style sweep (default window)
 //   study_cli export <dir> [--checkpoint-dir <ckpt>] [--resume]
+//                    [--journal-mode <frame|group>]
+//                    [--journal-group-frames <n>] [--journal-group-ms <t>]
 //                    [--metrics-out <file>] [--trace-out <file>]
 //                                     write all figures + scans as CSV;
 //                                     with a checkpoint dir the run is
 //                                     journaled (crash-safe) and --resume
 //                                     replays verified work after a crash;
+//                                     --journal-mode picks the durability
+//                                     store: "group" (default) batches
+//                                     frames through the group-commit
+//                                     segmented journal (one fsync per
+//                                     group; size/age thresholds set by the
+//                                     --journal-group-* knobs), "frame" is
+//                                     the legacy one-durable-file-per-frame
+//                                     store. Either mode resumes a journal
+//                                     written by the other;
 //                                     --metrics-out writes METRICS.json (plus
 //                                     a .prom Prometheus exposition next to
 //                                     it) and prints the run report;
@@ -60,6 +71,8 @@ int usage() {
   std::fputs(
       "usage: study_cli figure <1..10> | scan [YYYY-MM] |\n"
       "       export <dir> [--checkpoint-dir <ckpt>] [--resume]\n"
+      "              [--journal-mode <frame|group>]\n"
+      "              [--journal-group-frames <n>] [--journal-group-ms <t>]\n"
       "              [--metrics-out <file>] [--trace-out <file>] |\n"
       "       fingerprints <file> | identify <hex-client-hello-record>\n",
       stderr);
@@ -121,11 +134,31 @@ std::string prometheus_path(const std::string& metrics_path) {
 }
 
 int cmd_export(const char* dir, const char* checkpoint_dir, bool resume,
-               const char* metrics_out, const char* trace_out) {
+               const char* journal_mode, long journal_group_frames,
+               long journal_group_ms, const char* metrics_out,
+               const char* trace_out) {
   auto opts = options_from_env();
   if (checkpoint_dir != nullptr) {
     opts.checkpoint_dir = checkpoint_dir;
     opts.resume = resume;
+  }
+  if (journal_mode != nullptr) {
+    if (std::strcmp(journal_mode, "frame") == 0) {
+      opts.journal_mode = tls::study::JournalMode::kPerFrame;
+    } else if (std::strcmp(journal_mode, "group") == 0) {
+      opts.journal_mode = tls::study::JournalMode::kGrouped;
+    } else {
+      std::fprintf(stderr, "export: unknown --journal-mode '%s'\n",
+                   journal_mode);
+      return 2;
+    }
+  }
+  if (journal_group_frames > 0) {
+    opts.journal_group_frames =
+        static_cast<std::size_t>(journal_group_frames);
+  }
+  if (journal_group_ms >= 0) {
+    opts.journal_group_ms = static_cast<std::uint64_t>(journal_group_ms);
   }
   opts.telemetry = metrics_out != nullptr || trace_out != nullptr;
   tls::study::LongitudinalStudy study(opts);
@@ -216,12 +249,24 @@ int main(int argc, char** argv) {
     const char* checkpoint_dir = nullptr;
     const char* metrics_out = nullptr;
     const char* trace_out = nullptr;
+    const char* journal_mode = nullptr;
+    long journal_group_frames = 0;  // 0 = keep the StudyOptions default
+    long journal_group_ms = -1;     // -1 = keep the StudyOptions default
     bool resume = false;
     for (int i = 3; i < argc; ++i) {
       if (std::strcmp(argv[i], "--checkpoint-dir") == 0 && i + 1 < argc) {
         checkpoint_dir = argv[++i];
       } else if (std::strcmp(argv[i], "--resume") == 0) {
         resume = true;
+      } else if (std::strcmp(argv[i], "--journal-mode") == 0 &&
+                 i + 1 < argc) {
+        journal_mode = argv[++i];
+      } else if (std::strcmp(argv[i], "--journal-group-frames") == 0 &&
+                 i + 1 < argc) {
+        journal_group_frames = std::atol(argv[++i]);
+      } else if (std::strcmp(argv[i], "--journal-group-ms") == 0 &&
+                 i + 1 < argc) {
+        journal_group_ms = std::atol(argv[++i]);
       } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
         metrics_out = argv[++i];
       } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
@@ -230,7 +275,8 @@ int main(int argc, char** argv) {
         return usage();
       }
     }
-    return cmd_export(argv[2], checkpoint_dir, resume, metrics_out,
+    return cmd_export(argv[2], checkpoint_dir, resume, journal_mode,
+                      journal_group_frames, journal_group_ms, metrics_out,
                       trace_out);
   }
   if (cmd == "fingerprints" && argc == 3) return cmd_fingerprints(argv[2]);

@@ -71,6 +71,17 @@ struct RecoveryReport {
   std::uint64_t tasks_skipped = 0;     // satisfied from the journal
   std::uint64_t tasks_recomputed = 0;  // run (fresh, or frame unusable)
   std::uint64_t stuck_reruns = 0;      // watchdog-discarded shard attempts
+  // Group-commit journal accounting (zero in per-frame mode).
+  std::uint64_t groups_committed = 0;  // checksummed groups written/replayed
+  std::uint64_t groups_torn = 0;       // segments with a torn tail
+  std::uint64_t torn_bytes = 0;        // bytes scan-truncated off tails
+  std::uint64_t index_stale = 0;       // INDEX entries contradicted by scan
+  std::uint64_t io_retries = 0;        // transient IO errors recovered
+  std::uint64_t io_errors = 0;         // terminal IO failures (per-stage)
+  std::uint64_t fallback_frames = 0;   // frames written per-frame (degraded)
+  /// The writer hit repeated backend failures and fell back to the legacy
+  /// per-frame durable path for the rest of the run.
+  bool degraded_per_frame = false;
   /// Telemetry covers only the recomputed slice of this run: checkpoint
   /// frames carry monitor state but not the metrics registry, so after a
   /// resume the phase timings / fault-trigger counters describe just the

@@ -54,47 +54,11 @@ bool slurp_file(const fs::path& path, std::vector<std::uint8_t>& out) {
   return !in.bad();
 }
 
-void fsync_path(const fs::path& path) {
-  const int fd = ::open(path.c_str(), O_RDONLY);
-  if (fd >= 0) {
-    ::fsync(fd);
-    ::close(fd);
-  }
-}
-
-/// write-to-temp + fsync + atomic-rename + fsync-dir. Returns false on any
-/// failure (partial temp files are removed on a best-effort basis).
+/// EINTR/short-write-hardened temp+fsync+rename recipe (core/journal.cpp);
+/// the journal's IO taxonomy parameter is unused on this legacy path.
 bool write_file_atomic(const fs::path& path,
                        std::span<const std::uint8_t> bytes) {
-  const fs::path tmp = path.string() + ".tmp";
-  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
-  if (fd < 0) return false;
-  std::size_t written = 0;
-  while (written < bytes.size()) {
-    const ::ssize_t n =
-        ::write(fd, bytes.data() + written, bytes.size() - written);
-    if (n <= 0) {
-      ::close(fd);
-      std::error_code ignore;
-      fs::remove(tmp, ignore);
-      return false;
-    }
-    written += static_cast<std::size_t>(n);
-  }
-  if (::fsync(fd) != 0) {
-    ::close(fd);
-    std::error_code ignore;
-    fs::remove(tmp, ignore);
-    return false;
-  }
-  ::close(fd);
-  if (::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::error_code ignore;
-    fs::remove(tmp, ignore);
-    return false;
-  }
-  fsync_path(path.parent_path());
-  return true;
+  return write_file_durable(path.string(), bytes);
 }
 
 char frame_prefix(FrameKind kind) {
@@ -324,7 +288,31 @@ RunJournal::RunJournal(Config config) : config_(std::move(config)) {
   quarantine_dir_ = (dir / "quarantine").string();
   std::error_code ec;
   fs::create_directories(frames_dir_, ec);
+  if (config_.backend != nullptr) {
+    backend_ = config_.backend;
+  } else {
+    owned_backend_ = std::make_unique<PosixJournalBackend>(config_.directory);
+    backend_ = owned_backend_.get();
+  }
   replay();
+  if (config_.mode == JournalMode::kGrouped) {
+    GroupCommitWriter::Config wc;
+    wc.group_frames = std::max<std::size_t>(1, config_.group_frames);
+    wc.group_ms = config_.group_ms;
+    wc.options_digest = config_.manifest.options_digest;
+    wc.first_segment_id = next_segment_id_;
+    // Degraded mode writes straight into the legacy frame store, which
+    // replay always reads — so a fallback frame resumes like any other.
+    wc.fallback_dir = frames_dir_;
+    wc.kill_after_frames = config_.kill_after_frames;
+    wc.faults_mutex = &mutex_;
+    writer_ = std::make_unique<GroupCommitWriter>(backend_, wc,
+                                                  config_.frame_faults);
+  }
+}
+
+RunJournal::~RunJournal() {
+  if (writer_ != nullptr) writer_->stop();
 }
 
 void RunJournal::replay() {
@@ -355,10 +343,15 @@ void RunJournal::replay() {
   std::sort(names.begin(), names.end());
 
   if (!config_.resume) {
-    // Cold start: wipe whatever is there and lay down a fresh manifest.
+    // Cold start: wipe whatever is there — legacy frames, segments, and
+    // the index — and lay down a fresh manifest.
     for (const auto& name : names) {
       fs::remove(fs::path(frames_dir_) / name, ec);
     }
+    for (const auto id : backend_->list_segments()) {
+      backend_->remove_segment(id);
+    }
+    backend_->clear_index();
     write_file_atomic(manifest_path, manifest_bytes);
     return;
   }
@@ -383,41 +376,133 @@ void RunJournal::replay() {
       quarantine_file(name);
       continue;
     }
-    DecodedFrame frame;
-    try {
-      frame = decode_frame(bytes);
-    } catch (const ParseError&) {
-      ++report_.frames_corrupt;
-      quarantine_file(name);
-      continue;
-    }
-    if (frame.options_digest != config_.manifest.options_digest) {
-      ++report_.frames_mismatched;
-      quarantine_file(name);
-      continue;
-    }
-    const FrameKey key{static_cast<std::uint8_t>(frame.header.kind),
-                       frame.header.month_index, frame.header.slot};
-    auto [it, inserted] = frames_.try_emplace(key);
-    if (inserted || !it->second.usable) {
-      // First sighting — or a duplicate of a frame we already threw out;
-      // an independently-written copy may still verify.
-      if (!inserted) ++report_.frames_duplicate;
-      it->second.payload = std::move(frame.payload);
-      it->second.file_name = name;
-      it->second.usable = true;
-      ++report_.frames_replayed;
-    } else {
-      // Same task twice (e.g. an injected duplicate append). The first
-      // verified copy wins; the extra file is quarantined.
-      ++report_.frames_duplicate;
-      quarantine_file(name);
-    }
+    accept_frame(name, std::move(bytes), true);
   }
+
+  // Then the segment store: frames recovered from committed groups run
+  // through the same acceptance pipeline, so a journal written in either
+  // mode resumes under the other.
+  replay_segments(accept_frames);
 
   // Re-stamp the manifest: on a clean resume it is byte-identical; after a
   // manifest mismatch this adopts the journal for the current options.
   if (!accept_frames) write_file_atomic(manifest_path, manifest_bytes);
+}
+
+void RunJournal::accept_frame(const std::string& name,
+                              std::vector<std::uint8_t>&& bytes,
+                              bool accept_any) {
+  const bool from_file = !name.empty();
+  const auto reject = [&](const char* reason) {
+    if (from_file) {
+      quarantine_file(name);
+    } else {
+      char buf[48];
+      std::snprintf(buf, sizeof(buf), "seg_frame_%s.frame", reason);
+      quarantine_bytes(buf, bytes);
+    }
+  };
+  if (!accept_any) {
+    ++report_.frames_mismatched;
+    reject("mismatched");
+    return;
+  }
+  DecodedFrame frame;
+  try {
+    frame = decode_frame(bytes);
+  } catch (const ParseError&) {
+    ++report_.frames_corrupt;
+    reject("corrupt");
+    return;
+  }
+  if (frame.options_digest != config_.manifest.options_digest) {
+    ++report_.frames_mismatched;
+    reject("mismatched");
+    return;
+  }
+  const FrameKey key{static_cast<std::uint8_t>(frame.header.kind),
+                     frame.header.month_index, frame.header.slot};
+  auto [it, inserted] = frames_.try_emplace(key);
+  if (inserted || !it->second.usable) {
+    // First sighting — or a duplicate of a frame we already threw out;
+    // an independently-written copy may still verify.
+    if (!inserted) ++report_.frames_duplicate;
+    it->second.payload = std::move(frame.payload);
+    it->second.file_name = name;  // empty for segment-sourced frames
+    it->second.usable = true;
+    ++report_.frames_replayed;
+  } else {
+    // Same task twice (e.g. an injected duplicate append). The first
+    // verified copy wins; the extra copy is quarantined.
+    ++report_.frames_duplicate;
+    reject("duplicate");
+  }
+}
+
+void RunJournal::replay_segments(bool accept_frames) {
+  std::vector<std::uint8_t> index_bytes;
+  std::vector<IndexEntry> index;
+  if (backend_->read_index(index_bytes)) {
+    index = decode_index(index_bytes);
+  }
+
+  std::vector<IndexEntry> rebuilt;
+  const auto ids = backend_->list_segments();
+  for (const auto id : ids) {
+    next_segment_id_ = std::max(next_segment_id_, id + 1);
+    std::vector<std::uint8_t> bytes;
+    if (!backend_->read_segment(id, bytes)) {
+      // Unreadable segment: everything it held is recomputed.
+      ++report_.groups_torn;
+      continue;
+    }
+    SegmentScan scan = scan_segment(bytes);
+    report_.groups_committed += scan.groups;
+    for (auto& frame : scan.frames) {
+      accept_frame({}, std::move(frame), accept_frames);
+    }
+    if (scan.torn_bytes > 0) {
+      // The crash rule in action: an un-fsynced (or damaged) tail is as
+      // if never written. Quarantine the bytes for the post-mortem, then
+      // scan-truncate the segment to the last valid group boundary.
+      ++report_.groups_torn;
+      report_.torn_bytes += scan.torn_bytes;
+      char buf[48];
+      std::snprintf(buf, sizeof(buf), "seg_%06u_tail.torn", id);
+      quarantine_bytes(
+          buf, std::span<const std::uint8_t>(bytes).subspan(
+                   static_cast<std::size_t>(scan.valid_bytes)));
+      backend_->truncate_segment(id, scan.valid_bytes);
+    }
+    // Cross-check INDEX entries against the scan: the index is a hint and
+    // a stale pointer (wrong offset/length, or past the durable tail) is
+    // counted and ignored — the scan above is the ground truth.
+    for (const auto& entry : index) {
+      if (entry.segment != id) continue;
+      const bool matches = std::any_of(
+          scan.boundaries.begin(), scan.boundaries.end(),
+          [&](const SegmentScan::GroupSpan& g) {
+            return g.offset == entry.offset && g.length == entry.length;
+          });
+      if (!matches) ++report_.index_stale;
+    }
+    for (const auto& g : scan.boundaries) {
+      rebuilt.push_back(IndexEntry{id, g.offset, g.length});
+    }
+  }
+  // Entries naming segments that no longer exist are stale too.
+  for (const auto& entry : index) {
+    if (std::find(ids.begin(), ids.end(), entry.segment) == ids.end()) {
+      ++report_.index_stale;
+    }
+  }
+  // Rebuild the index to match post-truncation reality.
+  if (!ids.empty() || !index.empty()) {
+    backend_->clear_index();
+    for (const auto& entry : rebuilt) {
+      backend_->append_index(encode_index_entry(entry));
+    }
+  }
 }
 
 const std::vector<std::uint8_t>* RunJournal::replayed(
@@ -447,6 +532,19 @@ void RunJournal::append(FrameKind kind, std::uint32_t month_index,
     const auto fault = config_.frame_faults->corrupt_frame(bytes);
     duplicate = fault == tls::faults::FaultKind::kFrameDuplicate;
   }
+  if (writer_ != nullptr) {
+    // Grouped mode: hand the frame to the group-commit writer and return;
+    // durability arrives with the frame's group (flush() to wait for it).
+    // The crash-matrix kill seam lives in the writer, after the fsync.
+    ++appended_;
+    if (duplicate) {
+      // A replayed append: the same frame enters the journal twice; replay
+      // dedupes on (kind, month, slot).
+      writer_->enqueue(name, std::vector<std::uint8_t>(bytes));
+    }
+    writer_->enqueue(name, std::move(bytes));
+    return;
+  }
   write_frame_file(name, bytes);
   if (duplicate) {
     // A replayed append: the same frame lands twice under sibling names.
@@ -469,7 +567,12 @@ void RunJournal::invalidate(FrameKind kind, std::uint32_t month_index,
   std::lock_guard<std::mutex> lock(mutex_);
   --report_.frames_replayed;
   ++report_.frames_corrupt;
-  quarantine_file(it->second.file_name);
+  if (it->second.file_name.empty()) {
+    // Segment-sourced frame: no file to move, quarantine the payload.
+    quarantine_bytes("seg_frame_invalidated.bin", it->second.payload);
+  } else {
+    quarantine_file(it->second.file_name);
+  }
 }
 
 void RunJournal::note_task(bool replayed_from_journal) {
@@ -498,9 +601,74 @@ void RunJournal::quarantine_file(const std::string& name) {
   report_.quarantined.push_back(to.string());
 }
 
+void RunJournal::quarantine_bytes(const std::string& name,
+                                  std::span<const std::uint8_t> bytes) {
+  std::error_code ec;
+  fs::create_directories(quarantine_dir_, ec);
+  char seq[16];
+  std::snprintf(seq, sizeof(seq), "q%04zu_", report_.quarantined.size());
+  const fs::path to = fs::path(quarantine_dir_) / (seq + name);
+  // Best-effort, non-durable: the quarantine copy is forensic material,
+  // never replayed, so a failed write must not fail the recovery.
+  std::ofstream out(to, std::ios::binary);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  report_.quarantined.push_back(to.string());
+}
+
+void RunJournal::flush() {
+  if (writer_ != nullptr) writer_->flush();
+}
+
+void RunJournal::collect_metrics(tls::telemetry::MetricsRegistry& out) const {
+  if (writer_ != nullptr) writer_->collect_metrics(out);
+  JournalErrorTaxonomy errors = backend_->errors();
+  if (writer_ != nullptr) errors.merge(writer_->fallback_errors());
+  for (std::size_t s = 0; s < kJournalStageCount; ++s) {
+    for (std::size_t c = 0; c < kJournalErrorClassCount; ++c) {
+      const auto stage = static_cast<JournalStage>(s);
+      const auto cls = static_cast<JournalErrorClass>(c);
+      const std::uint64_t n = errors.count(stage, cls);
+      if (n == 0) continue;
+      const std::string labels =
+          "stage=\"" + std::string(journal_stage_name(stage)) +
+          "\",class=\"" + std::string(journal_error_class_name(cls)) + "\"";
+      out.counter("tls_repro_journal_io_errors_total", labels,
+                  "journal IO incidents by stage and errno class", true)
+          .add(n);
+    }
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (report_.torn_bytes != 0) {
+    out.counter("tls_repro_journal_torn_bytes_total", {},
+                "bytes scan-truncated off torn segment tails on replay",
+                true)
+        .add(report_.torn_bytes);
+  }
+  if (report_.groups_torn != 0) {
+    out.counter("tls_repro_journal_torn_groups_total", {},
+                "segments found with a torn or damaged tail on replay", true)
+        .add(report_.groups_torn);
+  }
+}
+
 tls::analysis::RecoveryReport RunJournal::snapshot_report() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return report_;
+  tls::analysis::RecoveryReport report = report_;
+  if (writer_ != nullptr) {
+    const auto stats = writer_->stats();
+    report.groups_committed += stats.groups;
+    report.fallback_frames = stats.fallback_frames;
+    report.degraded_per_frame = stats.degraded;
+  }
+  JournalErrorTaxonomy errors = backend_->errors();
+  if (writer_ != nullptr) errors.merge(writer_->fallback_errors());
+  for (std::size_t s = 0; s < kJournalStageCount; ++s) {
+    report.io_retries += errors.count(static_cast<JournalStage>(s),
+                                      JournalErrorClass::kRetried);
+  }
+  report.io_errors = errors.failures();
+  return report;
 }
 
 }  // namespace tls::study

@@ -8,15 +8,27 @@
 // recomputed — a half-written journal can degrade a resume back toward a
 // cold run, but can never corrupt a result or crash the study.
 //
-// Durability recipe (one frame per file): write to `<name>.tmp`, fsync,
-// atomically rename to `<name>.frame`, fsync the directory. A power cut
-// leaves either no file or a `.tmp` (counted as torn); a visible `.frame`
-// is complete bar in-place media corruption, which the per-frame FNV-1a-64
-// checksum catches on replay.
+// Two durability modes share the frame format:
+//
+//   kPerFrame (legacy): one frame per file — write `<name>.tmp`, fsync,
+//   atomically rename to `<name>.frame`, fsync the directory. A power cut
+//   leaves either no file or a `.tmp` (counted as torn); a visible
+//   `.frame` is complete bar in-place media corruption, which the
+//   per-frame FNV-1a-64 checksum catches on replay.
+//
+//   kGrouped (default for studies): completed frames are handed to a
+//   group-commit writer (core/journal.hpp) that batches them into
+//   append-only segment files and pays ONE fsync per group. An un-fsynced
+//   group is as if never written: replay scans each segment, truncates at
+//   the last checksummed group boundary, quarantines the torn tail and
+//   recomputes the affected tasks. Replay always reads BOTH stores, so a
+//   journal written in either mode (or by the degraded per-frame fallback)
+//   resumes under the other.
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <span>
 #include <string>
@@ -24,8 +36,10 @@
 #include <vector>
 
 #include "analysis/render.hpp"
+#include "core/journal.hpp"
 #include "faults/injector.hpp"
 #include "scan/scanner.hpp"
+#include "telemetry/metrics.hpp"
 #include "tlscore/dates.hpp"
 
 namespace tls::study {
@@ -35,6 +49,12 @@ struct StudyOptions;
 /// Journal wire-format version; manifests and frames carrying any other
 /// value are quarantined (kUnsupported), never migrated in place.
 inline constexpr std::uint32_t kCheckpointFormatVersion = 1;
+
+/// How completed frames reach durable storage (see file header).
+enum class JournalMode : std::uint8_t {
+  kPerFrame = 0,  // one durable file per frame (legacy)
+  kGrouped = 1,   // segmented group-commit journal, one fsync per group
+};
 
 /// What a frame's payload holds.
 enum class FrameKind : std::uint8_t {
@@ -129,12 +149,25 @@ class RunJournal {
     /// every appended frame's bytes before they hit the disk.
     tls::faults::FaultInjector* frame_faults = nullptr;
     /// Test seam: raise SIGKILL immediately after the Nth successful
-    /// append (1-based). 0 disables. This is how the crash matrix murders
-    /// the process at deterministic journal offsets.
+    /// append (1-based; in grouped mode, after the group containing the
+    /// Nth frame becomes durable). 0 disables. This is how the crash
+    /// matrix murders the process at deterministic journal offsets.
     std::size_t kill_after_frames = 0;
+    /// Durability mode. Defaults to the legacy per-frame store so direct
+    /// constructions stay byte-compatible; studies opt into kGrouped via
+    /// StudyOptions::journal_mode.
+    JournalMode mode = JournalMode::kPerFrame;
+    /// Grouped-mode knobs: flush when this many frames are pending, or
+    /// when the oldest pending frame is this old — whichever first.
+    std::size_t group_frames = 64;
+    std::uint64_t group_ms = 50;
+    /// Optional backend override (tests inject MemoryJournalBackend);
+    /// null means a PosixJournalBackend over `directory`.
+    JournalBackend* backend = nullptr;
   };
 
   explicit RunJournal(Config config);
+  ~RunJournal();
 
   /// The verified payload for a task, or nullptr when the journal has
   /// nothing usable (not present, torn, corrupt, mismatched). Lock-free.
@@ -156,6 +189,16 @@ class RunJournal {
   /// Books one task outcome for the report (true = served from journal).
   void note_task(bool replayed_from_journal);
 
+  /// Blocks until every frame appended so far is durable (grouped mode;
+  /// a no-op per-frame, where append() is already durable-before-return).
+  /// Call at phase boundaries before trusting the journal's contents.
+  void flush();
+
+  /// Folds the journal's telemetry (writer histograms/counters, backend
+  /// IO-error taxonomy) into `out`. All entries are timing=true — journal
+  /// health is wall-clock/IO-dependent, never part of exported bytes.
+  void collect_metrics(tls::telemetry::MetricsRegistry& out) const;
+
   [[nodiscard]] tls::analysis::RecoveryReport snapshot_report() const;
 
   [[nodiscard]] const std::string& directory() const {
@@ -171,15 +214,34 @@ class RunJournal {
   using FrameKey = std::tuple<std::uint8_t, std::uint32_t, std::uint32_t>;
 
   void replay();
+  /// Replays one candidate frame (from a file or a scanned segment group)
+  /// through the acceptance pipeline: decode, digest check, dedupe.
+  /// `name` is the frame's legacy file name when it came from a file
+  /// (quarantined by rename), empty for segment-sourced frames
+  /// (quarantined by writing the bytes out).
+  void accept_frame(const std::string& name,
+                    std::vector<std::uint8_t>&& bytes, bool accept_any);
+  /// Scans every segment: frames of checksummed groups feed
+  /// accept_frame(); torn tails are quarantined and scan-truncated; INDEX
+  /// entries are cross-checked against the scan and stale ones counted.
+  void replay_segments(bool accept_frames);
   /// Moves `frames/<name>` into the quarantine sidecar, recording the
   /// destination path in the report.
   void quarantine_file(const std::string& name);
+  /// Quarantines raw bytes (segment-sourced rejects and torn tails have
+  /// no file of their own to move).
+  void quarantine_bytes(const std::string& name,
+                        std::span<const std::uint8_t> bytes);
   void write_frame_file(const std::string& name,
                         std::span<const std::uint8_t> bytes);
 
   Config config_;
   std::string frames_dir_;
   std::string quarantine_dir_;
+  std::unique_ptr<JournalBackend> owned_backend_;
+  JournalBackend* backend_ = nullptr;
+  std::unique_ptr<GroupCommitWriter> writer_;
+  std::uint32_t next_segment_id_ = 1;  // first id the writer may use
   // Immutable after replay() returns — the lock-free read contract.
   std::map<FrameKey, ReplayedFrame> frames_;
   mutable std::mutex mutex_;  // guards report_ and append-side state

@@ -43,7 +43,9 @@ struct StuckShardError {};
 
 void LongitudinalStudy::ensure_journal() {
   if (journal_ != nullptr || options_.checkpoint_dir.empty()) return;
-  if (options_.checkpoint_faults.frame_total() > 0) {
+  if (options_.checkpoint_faults.frame_total() +
+          options_.checkpoint_faults.group_total() >
+      0) {
     frame_injector_ = std::make_unique<tls::faults::FaultInjector>(
         options_.checkpoint_faults, options_.checkpoint_fault_seed);
   }
@@ -53,6 +55,9 @@ void LongitudinalStudy::ensure_journal() {
   config.manifest = make_manifest(options_, servers_.segments().size());
   config.frame_faults = frame_injector_.get();
   config.kill_after_frames = options_.checkpoint_kill_after_frames;
+  config.mode = options_.journal_mode;
+  config.group_frames = options_.journal_group_frames;
+  config.group_ms = options_.journal_group_ms;
   journal_ = std::make_unique<RunJournal>(std::move(config));
 }
 
@@ -290,6 +295,9 @@ void LongitudinalStudy::run() {
     }
     shard_monitors[i] = std::move(mon);
   });
+  // Phase boundary: everything the passive phase appended is durable (or
+  // has been written through the degraded fallback) before we aggregate.
+  if (journal_ != nullptr) journal_->flush();
 
   // Late aggregation in plan order — the only place shard results meet.
   {
@@ -410,6 +418,9 @@ void LongitudinalStudy::collect_run_metrics(const tls::core::ThreadPool& pool) {
                /*timing=*/true)
       .value = stuck_reruns_.load();
 
+  // ---- journal health (writer histograms, IO taxonomy, torn bytes) ----
+  if (journal_ != nullptr) journal_->collect_metrics(metrics_);
+
   // ---- checkpoint recovery (gauge semantics: refreshed, not summed) ----
   const auto rep = recovery();
   metrics_
@@ -432,6 +443,15 @@ void LongitudinalStudy::collect_run_metrics(const tls::core::ThreadPool& pool) {
              "recomputed slice",
              /*timing=*/true)
       .set(rep.telemetry_partial ? 1 : 0);
+  metrics_
+      .gauge("tls_repro_checkpoint_groups_committed", "",
+             "Journal groups committed (written this run + replayed)",
+             /*timing=*/true)
+      .set(rep.groups_committed);
+  metrics_
+      .gauge("tls_repro_checkpoint_fallback_frames", "",
+             "Frames the degraded writer stored per-frame", /*timing=*/true)
+      .set(rep.fallback_frames);
 }
 
 const tls::telemetry::MetricsRegistry& LongitudinalStudy::metrics() {
@@ -549,6 +569,7 @@ std::vector<std::string> LongitudinalStudy::export_figures(
                        encode_segment_probe(probes[i]));
       journal_->note_task(false);
     });
+    journal_->flush();  // scan-phase frames durable before folding
     if (telemetry_on) {
       auto& hist = metrics_.histogram(
           "tls_repro_scan_probe_us", tls::telemetry::duration_buckets_us(),

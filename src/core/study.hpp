@@ -93,6 +93,21 @@ struct StudyOptions {
   /// Test seam: SIGKILL the process after this many durable frame appends
   /// (1-based; 0 disables). Drives the crash-matrix tests and CI job.
   std::size_t checkpoint_kill_after_frames = 0;
+  /// How completed frames reach durable storage. kGrouped (default)
+  /// batches frames through the group-commit segmented journal — one
+  /// fsync per group instead of per frame; kPerFrame is the legacy
+  /// one-durable-file-per-frame store. Like every checkpoint knob, the
+  /// mode and the group_* tunables below are EXCLUDED from
+  /// options_digest: they never change an exported byte, so switching
+  /// them must not orphan a journal (replay reads both stores).
+  JournalMode journal_mode = JournalMode::kGrouped;
+  /// Grouped mode: flush when this many frames are pending...
+  std::size_t journal_group_frames = 64;
+  /// ...or when the oldest pending frame is this old (ms), whichever
+  /// comes first. The linger bounds how much completed work a crash can
+  /// lose to an uncommitted group; lost frames are recomputed, so the
+  /// default favors fsync amortization over a tighter window.
+  std::uint64_t journal_group_ms = 50;
 };
 
 class LongitudinalStudy {

@@ -18,6 +18,10 @@ std::string_view fault_kind_name(FaultKind kind) {
     case FaultKind::kFrameTruncate: return "frame_truncate";
     case FaultKind::kFrameBitFlip: return "frame_bit_flip";
     case FaultKind::kFrameDuplicate: return "frame_duplicate";
+    case FaultKind::kGroupTornTail: return "group_torn_tail";
+    case FaultKind::kGroupBitFlip: return "group_bit_flip";
+    case FaultKind::kSegmentTruncate: return "segment_truncate";
+    case FaultKind::kIndexStale: return "index_stale";
   }
   return "?";
 }
@@ -42,6 +46,13 @@ FaultConfig FaultConfig::frames_only(double rate) {
   const double r = rate / 3.0;
   FaultConfig c;
   c.frame_truncate = c.frame_bit_flip = c.frame_duplicate = r;
+  return c;
+}
+
+FaultConfig FaultConfig::groups_only(double rate) {
+  const double r = rate / 4.0;
+  FaultConfig c;
+  c.group_torn_tail = c.group_bit_flip = c.segment_truncate = c.index_stale = r;
   return c;
 }
 
@@ -96,7 +107,11 @@ void FaultInjector::apply_bytes(FaultKind kind,
     case FaultKind::kFrameTruncate:
     case FaultKind::kFrameBitFlip:
     case FaultKind::kFrameDuplicate:
-      break;  // frame kinds are handled by corrupt_frame, never here
+    case FaultKind::kGroupTornTail:
+    case FaultKind::kGroupBitFlip:
+    case FaultKind::kSegmentTruncate:
+    case FaultKind::kIndexStale:
+      break;  // journal kinds are handled by corrupt_frame/corrupt_group
   }
 }
 
@@ -173,6 +188,48 @@ FaultKind FaultInjector::corrupt_frame(std::vector<std::uint8_t>& frame) {
       break;
     case FaultKind::kFrameDuplicate:
       break;  // no mutation: the journal writes the frame twice
+    default:
+      break;
+  }
+  if (kind != FaultKind::kNone) {
+    ++stats_.applied[static_cast<std::size_t>(kind)];
+  }
+  return kind;
+}
+
+FaultKind FaultInjector::corrupt_group(std::vector<std::uint8_t>& group) {
+  ++stats_.groups_seen;
+  double u = rng_.uniform();
+  const std::pair<FaultKind, double> weights[] = {
+      {FaultKind::kGroupTornTail, config_.group_torn_tail},
+      {FaultKind::kGroupBitFlip, config_.group_bit_flip},
+      {FaultKind::kSegmentTruncate, config_.segment_truncate},
+      {FaultKind::kIndexStale, config_.index_stale},
+  };
+  FaultKind kind = FaultKind::kNone;
+  for (const auto& [k, w] : weights) {
+    if (u < w) {
+      kind = k;
+      break;
+    }
+    u -= w;
+  }
+  switch (kind) {
+    case FaultKind::kGroupTornTail:
+      // Cut strictly inside the record: the scan must find a torn tail.
+      truncate_at(group, group.empty() ? 0 : rng_.below(group.size()));
+      break;
+    case FaultKind::kGroupBitFlip:
+      // One byte XORed with a non-zero mask (see corrupt_frame): the group
+      // checksum is guaranteed to notice.
+      if (!group.empty()) {
+        group[rng_.below(group.size())] ^=
+            static_cast<std::uint8_t>(1 + rng_.below(255));
+      }
+      break;
+    case FaultKind::kSegmentTruncate:
+    case FaultKind::kIndexStale:
+      break;  // decisions only; the journal writer executes them
     default:
       break;
   }

@@ -33,9 +33,16 @@ enum class FaultKind : std::uint8_t {
   kFrameTruncate,    // journal frame cut short (simulated torn write)
   kFrameBitFlip,     // 1..8 bit flips inside a journal frame
   kFrameDuplicate,   // frame written twice (replayed append)
+
+  // Segment-level journal faults (group-commit path only; rolled by
+  // corrupt_group / roll_segment, so existing RNG streams are untouched).
+  kGroupTornTail,    // group record cut mid-write (power cut during append)
+  kGroupBitFlip,     // one byte corrupted inside a committed group
+  kSegmentTruncate,  // whole segment tail lost after the group landed
+  kIndexStale,       // INDEX entry pointing at a wrong (offset, length)
 };
 
-inline constexpr std::size_t kFaultKindCount = 12;
+inline constexpr std::size_t kFaultKindCount = 16;
 
 std::string_view fault_kind_name(FaultKind kind);
 
@@ -58,6 +65,13 @@ struct FaultConfig {
   double frame_bit_flip = 0;
   double frame_duplicate = 0;
 
+  // Segment-level journal fault rates, drawn only by corrupt_group /
+  // roll_segment on the group-commit path.
+  double group_torn_tail = 0;
+  double group_bit_flip = 0;
+  double segment_truncate = 0;
+  double index_stale = 0;
+
   /// Total capture/stream fault rate (probability any fault fires per
   /// capture). Frame rates are separate; see frame_total().
   [[nodiscard]] double total() const {
@@ -70,6 +84,12 @@ struct FaultConfig {
     return frame_truncate + frame_bit_flip + frame_duplicate;
   }
 
+  /// Total segment-level fault rate (probability corrupt_group or
+  /// roll_segment acts per committed group).
+  [[nodiscard]] double group_total() const {
+    return group_torn_tail + group_bit_flip + segment_truncate + index_stale;
+  }
+
   /// Splits `rate` evenly over all eight capture fault kinds.
   static FaultConfig uniform(double rate);
   /// Byte-level faults only (no capture loss): even split over truncate,
@@ -78,6 +98,9 @@ struct FaultConfig {
   /// Journal-frame faults only: even split over frame_truncate,
   /// frame_bit_flip, frame_duplicate.
   static FaultConfig frames_only(double rate);
+  /// Segment-level faults only: even split over group_torn_tail,
+  /// group_bit_flip, segment_truncate, index_stale.
+  static FaultConfig groups_only(double rate);
 };
 
 /// Counts of what the injector actually did — the ground truth a soak test
@@ -87,6 +110,7 @@ struct FaultStats {
   std::uint64_t streams_seen = 0;
   std::uint64_t captures_seen = 0;
   std::uint64_t frames_seen = 0;
+  std::uint64_t groups_seen = 0;
 
   [[nodiscard]] std::uint64_t total_faults() const {
     std::uint64_t n = 0;
@@ -128,6 +152,14 @@ class FaultInjector {
   /// frame_* rates only. kFrameDuplicate performs no mutation — the caller
   /// is responsible for writing the frame twice.
   FaultKind corrupt_frame(std::vector<std::uint8_t>& frame);
+
+  /// Possibly applies one segment-level fault to an encoded group record,
+  /// drawing from the group_*/segment_*/index_* rates only.
+  /// kGroupTornTail cuts the record short and kGroupBitFlip corrupts one
+  /// byte, both in place; kSegmentTruncate and kIndexStale perform no
+  /// mutation here — they are decisions the journal writer executes
+  /// (dropping the segment tail / corrupting the INDEX entry).
+  FaultKind corrupt_group(std::vector<std::uint8_t>& group);
 
   [[nodiscard]] const FaultStats& stats() const { return stats_; }
   [[nodiscard]] const FaultConfig& config() const { return config_; }

@@ -37,6 +37,7 @@ using tls::core::Month;
 using tls::study::CheckpointManifest;
 using tls::study::FrameHeader;
 using tls::study::FrameKind;
+using tls::study::JournalMode;
 using tls::study::LongitudinalStudy;
 using tls::study::RunJournal;
 using tls::study::StudyOptions;
@@ -102,16 +103,25 @@ std::vector<fs::path> frame_files(const fs::path& ckpt) {
 
 // ---- child side of the crash matrix ------------------------------------
 
-/// `<exe> --checkpoint-child <ckpt> <out> <threads> <fault_milli> <kill>`:
-/// journals an export, possibly SIGKILLing itself after <kill> appends.
+/// `<exe> --checkpoint-child <ckpt> <threads> <fault_milli> <kill> <out>
+/// <group_frames>`: journals an export, possibly SIGKILLing itself after
+/// <kill> durable frames. group_frames == 0 selects the legacy per-frame
+/// store; > 0 selects the group-commit journal with that flush threshold.
 int run_checkpoint_child(int argc, char** argv) {
-  if (argc != 7) return 2;
+  if (argc != 8) return 2;
   auto opts = matrix_options(std::atoi(argv[4]));
   opts.checkpoint_dir = argv[2];
   opts.resume = true;  // empty dir on the first pass; replay afterwards
   opts.threads = static_cast<unsigned>(std::atoi(argv[3]));
   opts.checkpoint_kill_after_frames =
       static_cast<std::size_t>(std::atol(argv[5]));
+  const long group_frames = std::atol(argv[7]);
+  if (group_frames > 0) {
+    opts.journal_mode = JournalMode::kGrouped;
+    opts.journal_group_frames = static_cast<std::size_t>(group_frames);
+  } else {
+    opts.journal_mode = JournalMode::kPerFrame;
+  }
   LongitudinalStudy study(opts);
   study.export_figures(argv[6]);
   return 0;
@@ -119,12 +129,14 @@ int run_checkpoint_child(int argc, char** argv) {
 
 /// Forks + re-execs this binary in child mode; returns the wait status.
 int spawn_child(const std::string& ckpt, const std::string& out,
-                unsigned threads, int fault_milli, std::size_t kill_after) {
+                unsigned threads, int fault_milli, std::size_t kill_after,
+                long group_frames) {
   const pid_t pid = fork();
   if (pid == 0) {
     const std::string threads_s = std::to_string(threads);
     const std::string fault_s = std::to_string(fault_milli);
     const std::string kill_s = std::to_string(kill_after);
+    const std::string group_s = std::to_string(group_frames);
     const char* child_argv[] = {"tls_checkpoint_tests",
                                 "--checkpoint-child",
                                 ckpt.c_str(),
@@ -132,6 +144,7 @@ int spawn_child(const std::string& ckpt, const std::string& out,
                                 fault_s.c_str(),
                                 kill_s.c_str(),
                                 out.c_str(),
+                                group_s.c_str(),
                                 nullptr};
     execv("/proc/self/exe", const_cast<char* const*>(child_argv));
     _exit(127);  // exec failed
@@ -298,6 +311,11 @@ TEST(CheckpointCodec, OptionsDigestTracksByteAffectingFieldsOnly) {
   o.checkpoint_faults = tls::faults::FaultConfig::frames_only(0.5);
   o.checkpoint_fault_seed ^= 1;
   o.checkpoint_kill_after_frames = 3;
+  // Journal-mode knobs route the same frames through a different store;
+  // switching them mid-project must resume, not orphan.
+  o.journal_mode = JournalMode::kPerFrame;
+  o.journal_group_frames = 1;
+  o.journal_group_ms = 0;
   EXPECT_EQ(tls::study::options_digest(o), digest);
 }
 
@@ -444,13 +462,18 @@ TEST(CheckpointStudy, JournalingChangesNoExportedByte) {
         << plain_files[i];
   }
 
-  // The journal actually materialized: manifest + one frame per task.
+  // The journal actually materialized — manifest plus, in the default
+  // grouped mode, checksummed groups in the segment store (the legacy
+  // frames/ dir stays empty unless the writer degrades).
   EXPECT_TRUE(fs::exists(ckpt / "MANIFEST"));
   const auto report = journaled.recovery();
   EXPECT_FALSE(report.resumed);
   EXPECT_GT(report.tasks_recomputed, 0u);
   EXPECT_EQ(report.tasks_skipped, 0u);
-  EXPECT_EQ(frame_files(ckpt).size(), report.tasks_recomputed);
+  EXPECT_GT(report.groups_committed, 0u);
+  EXPECT_FALSE(report.degraded_per_frame);
+  EXPECT_TRUE(frame_files(ckpt).empty());
+  EXPECT_TRUE(fs::exists(ckpt / "segments"));
 
   // Resume in a fresh process-equivalent: every task served from journal.
   auto ropts = jopts;
@@ -476,6 +499,10 @@ TEST(CheckpointStudy, JournalingChangesNoExportedByte) {
 TEST(CheckpointStudy, CorruptFramesAreRecomputedToIdenticalBytes) {
   const auto ckpt = fresh_dir("study_corrupt");
   auto opts = journal_options(ckpt.string());
+  // This test forges damage inside individual frame files, so it pins the
+  // legacy per-frame store; segment-level damage is covered by the journal
+  // suite (test_journal.cpp) and the fuzz/crash-matrix lanes.
+  opts.journal_mode = JournalMode::kPerFrame;
 
   auto plain = opts;
   plain.checkpoint_dir.clear();
@@ -532,11 +559,14 @@ TEST(CheckpointStudy, CorruptFramesAreRecomputedToIdenticalBytes) {
 TEST(CheckpointStudy, OptionChangeOrphansJournalGracefully) {
   const auto ckpt = fresh_dir("study_orphan");
   auto opts = journal_options(ckpt.string());
+  std::size_t n_frames = 0;
   {
     LongitudinalStudy first(opts);
     (void)first.monitor();
+    // One frame journaled per computed task — counted via the report since
+    // grouped mode keeps frames inside segments, not one file each.
+    n_frames = first.recovery().tasks_recomputed;
   }
-  const auto n_frames = frame_files(ckpt).size();
   ASSERT_GT(n_frames, 0u);
 
   // Different seed => different bytes => every old frame must be rejected.
@@ -627,14 +657,16 @@ TEST(CheckpointCrashMatrix, KillResumeByteIdenticalAcrossThreadsAndFaults) {
 
     // One complete journaled child establishes the total frame count so
     // the kill offsets below provably land inside the journal — early in
-    // the passive phase, mid-run, and inside the scan phase.
+    // the passive phase, mid-run, and inside the scan phase. It runs in
+    // per-frame mode so the count is observable as files; the task plan
+    // (and hence the frame count) is identical in grouped mode.
     const auto probe_ckpt =
         fresh_dir("crash_probe_" + std::to_string(fault_milli));
     const auto probe_out =
         fresh_dir("crash_probe_out_" + std::to_string(fault_milli));
     {
       const int status = spawn_child(probe_ckpt.string(), probe_out.string(),
-                                     0, fault_milli, 0);
+                                     0, fault_milli, 0, /*group_frames=*/0);
       ASSERT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
     }
     const std::size_t total_frames = frame_files(probe_ckpt).size();
@@ -646,41 +678,63 @@ TEST(CheckpointCrashMatrix, KillResumeByteIdenticalAcrossThreadsAndFaults) {
     fs::remove_all(probe_ckpt);
     fs::remove_all(probe_out);
 
+    // Journal-mode lanes: the legacy per-frame store (0), the group-commit
+    // journal at its default flush threshold (64), and degenerate
+    // one-frame groups (1) — the latter as a cheap smoke lane; CI runs the
+    // full matrix at both group sizes.
     const std::size_t offsets[] = {1, total_frames / 2, total_frames - 2};
-    for (const unsigned threads : {0u, 8u}) {
-      for (const std::size_t kill_after : offsets) {
-        // Keep the matrix affordable: the serial lane runs the mid offset
-        // only; the threaded lane runs all three.
-        if (threads == 0 && kill_after != total_frames / 2) continue;
-        SCOPED_TRACE("threads=" + std::to_string(threads) +
-                     " kill_after=" + std::to_string(kill_after));
-        const auto tag = std::to_string(fault_milli) + "_" +
-                         std::to_string(threads) + "_" +
-                         std::to_string(kill_after);
-        const auto ckpt = fresh_dir("crash_ckpt_" + tag);
-        const auto out = fresh_dir("crash_out_" + tag);
+    for (const long group_frames : {0L, 64L, 1L}) {
+      SCOPED_TRACE("group_frames=" + std::to_string(group_frames));
+      for (const unsigned threads : {0u, 8u}) {
+        for (const std::size_t kill_after : offsets) {
+          // Keep the matrix affordable: the serial lane runs the mid
+          // offset only; the threaded lane runs all three; the one-frame
+          // group lane runs only threaded-mid.
+          if (threads == 0 && kill_after != total_frames / 2) continue;
+          if (group_frames == 1L &&
+              (threads == 0 || kill_after != total_frames / 2)) {
+            continue;
+          }
+          SCOPED_TRACE("threads=" + std::to_string(threads) +
+                       " kill_after=" + std::to_string(kill_after));
+          const auto tag = std::to_string(fault_milli) + "_" +
+                           std::to_string(threads) + "_" +
+                           std::to_string(kill_after) + "_g" +
+                           std::to_string(group_frames);
+          const auto ckpt = fresh_dir("crash_ckpt_" + tag);
+          const auto out = fresh_dir("crash_out_" + tag);
 
-        // Phase 1: the child is SIGKILLed mid-journal — no atexit, no
-        // stack unwinding, exactly like a power cut.
-        const int killed = spawn_child(ckpt.string(), out.string(), threads,
-                                       fault_milli, kill_after);
-        ASSERT_TRUE(WIFSIGNALED(killed)) << "status " << killed;
-        EXPECT_EQ(WTERMSIG(killed), SIGKILL);
-        EXPECT_GE(frame_files(ckpt).size(), kill_after);
+          // Phase 1: the child is SIGKILLed mid-journal — no atexit, no
+          // stack unwinding, exactly like a power cut. In grouped mode
+          // the seam fires in the writer right after a group fsync, so
+          // at least kill_after frames are durable here too — inside
+          // segments, where only replay can count them.
+          const int killed = spawn_child(ckpt.string(), out.string(),
+                                         threads, fault_milli, kill_after,
+                                         group_frames);
+          ASSERT_TRUE(WIFSIGNALED(killed)) << "status " << killed;
+          EXPECT_EQ(WTERMSIG(killed), SIGKILL);
+          if (group_frames > 0) {
+            EXPECT_TRUE(fs::exists(ckpt / "segments"));
+          } else {
+            EXPECT_GE(frame_files(ckpt).size(), kill_after);
+          }
 
-        // Phase 2: resume to completion in a fresh process.
-        const int resumed = spawn_child(ckpt.string(), out.string(), threads,
-                                        fault_milli, 0);
-        ASSERT_TRUE(WIFEXITED(resumed) && WEXITSTATUS(resumed) == 0)
-            << "status " << resumed;
+          // Phase 2: resume to completion in a fresh process.
+          const int resumed = spawn_child(ckpt.string(), out.string(),
+                                          threads, fault_milli, 0,
+                                          group_frames);
+          ASSERT_TRUE(WIFEXITED(resumed) && WEXITSTATUS(resumed) == 0)
+              << "status " << resumed;
 
-        // Byte-compare all 11 CSVs against the uninterrupted run.
-        for (const auto& f : ref_files) {
-          const auto name = fs::path(f).filename();
-          EXPECT_EQ(slurp((out / name).string()), slurp(f)) << name;
+          // Byte-compare all 11 CSVs against the uninterrupted run.
+          for (const auto& f : ref_files) {
+            const auto name = fs::path(f).filename();
+            EXPECT_EQ(slurp((out / name).string()), slurp(f)) << name;
+          }
+          fs::remove_all(ckpt);
+          fs::remove_all(out);
         }
-        fs::remove_all(ckpt);
-        fs::remove_all(out);
       }
     }
     fs::remove_all(ref_dir);

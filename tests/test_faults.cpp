@@ -79,12 +79,18 @@ TEST(FaultInjector, DifferentSeedsDiverge) {
 }
 
 TEST(FaultInjector, FullRateAppliesEveryKindEventually) {
-  // Saturate both fault pools so every kind — capture and frame — shows up.
+  // Saturate all three fault pools so every kind — capture, frame, and
+  // segment-level group — shows up.
   auto config = FaultConfig::uniform(1.0);
   const auto frames = FaultConfig::frames_only(1.0);
   config.frame_truncate = frames.frame_truncate;
   config.frame_bit_flip = frames.frame_bit_flip;
   config.frame_duplicate = frames.frame_duplicate;
+  const auto groups = FaultConfig::groups_only(1.0);
+  config.group_torn_tail = groups.group_torn_tail;
+  config.group_bit_flip = groups.group_bit_flip;
+  config.segment_truncate = groups.segment_truncate;
+  config.index_stale = groups.index_stale;
   FaultInjector inj(config, 7);
   for (int i = 0; i < 2000; ++i) {
     Bytes c = sample_stream();
@@ -92,10 +98,13 @@ TEST(FaultInjector, FullRateAppliesEveryKindEventually) {
     EXPECT_NE(inj.corrupt_capture(c, s), FaultKind::kNone);
     Bytes frame = sample_stream();
     EXPECT_NE(inj.corrupt_frame(frame), FaultKind::kNone);
+    Bytes group = sample_stream();
+    EXPECT_NE(inj.corrupt_group(group), FaultKind::kNone);
   }
-  EXPECT_EQ(inj.stats().total_faults(), 4000u);
+  EXPECT_EQ(inj.stats().total_faults(), 6000u);
   EXPECT_EQ(inj.stats().captures_seen, 2000u);
   EXPECT_EQ(inj.stats().frames_seen, 2000u);
+  EXPECT_EQ(inj.stats().groups_seen, 2000u);
   for (std::size_t k = 1; k < kFaultKindCount; ++k) {
     EXPECT_GT(inj.stats().applied[k], 0u)
         << fault_kind_name(static_cast<FaultKind>(k));

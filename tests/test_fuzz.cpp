@@ -348,6 +348,141 @@ TEST(Fuzz, CheckpointFrameHostileLengthPrefix) {
   }
 }
 
+TEST(Fuzz, JournalGroupTruncationAndMutation) {
+  // Group records are the journal's unit of durability; any damage must
+  // surface as ParseError from decode_group — never a crash, hang, or
+  // wrong bytes silently accepted.
+  std::vector<Bytes> frames;
+  for (std::uint32_t s = 0; s < 3; ++s) {
+    frames.push_back(tls::study::encode_frame(
+        0xfeed, {tls::study::FrameKind::kPassiveShard, 400, s},
+        Bytes(24 + s, static_cast<std::uint8_t>(s))));
+  }
+  const auto group = tls::study::encode_group(0xfeed, frames);
+  std::size_t consumed = 0;
+  for (std::size_t cut = 0; cut < group.size(); ++cut) {
+    EXPECT_THROW(
+        (void)tls::study::decode_group({group.data(), cut}, &consumed),
+        tls::wire::ParseError)
+        << "prefix " << cut;
+  }
+  // Every single-bit flip anywhere in the record is detected.
+  for (std::size_t i = 0; i < group.size(); ++i) {
+    for (const std::uint8_t bit : {0x01, 0x80}) {
+      auto bad = group;
+      bad[i] ^= bit;
+      EXPECT_THROW((void)tls::study::decode_group(bad, &consumed),
+                   tls::wire::ParseError)
+          << "byte " << i;
+    }
+  }
+  // Multi-bit random mutations never escape the ParseError contract.
+  tls::core::Rng rng(93);
+  for (int trial = 0; trial < 3000; ++trial) {
+    auto mutated = group;
+    const int flips = 1 + static_cast<int>(rng.below(6));
+    for (int i = 0; i < flips; ++i) {
+      mutated[rng.below(mutated.size())] ^=
+          static_cast<std::uint8_t>(1u << rng.below(8));
+    }
+    expect_parse_or_parse_error(
+        mutated,
+        [](const Bytes& b) {
+          std::size_t used = 0;
+          (void)tls::study::decode_group(b, &used);
+        },
+        "mutated group record");
+  }
+}
+
+TEST(Fuzz, JournalGroupHostileCounts) {
+  // frame_count and payload_len live in the fixed header; hostile values
+  // must be bounds-rejected before any allocation is sized from them.
+  const std::vector<Bytes> frames = {tls::study::encode_frame(
+      1, {tls::study::FrameKind::kScanSegment, 2, 2}, Bytes(8, 0x11))};
+  const auto group = tls::study::encode_group(1, frames);
+  std::size_t consumed = 0;
+  // offsets: magic u32 | format u32 | digest u64 | frame_count u32 @16 |
+  // payload_len u32 @20 (big-endian per ByteWriter).
+  for (const std::size_t off : {std::size_t{16}, std::size_t{20}}) {
+    for (const std::uint8_t hostile : {0x7f, 0xff}) {
+      auto bad = group;
+      bad[off] = hostile;  // high byte: claims up to 4 GiB / 4G frames
+      EXPECT_THROW((void)tls::study::decode_group(bad, &consumed),
+                   tls::wire::ParseError);
+    }
+  }
+  // A frame length prefix pointing past the payload is caught too.
+  auto bad = group;
+  bad[tls::study::kGroupHeaderSize + 3] = 0xff;
+  EXPECT_THROW((void)tls::study::decode_group(bad, &consumed),
+               tls::wire::ParseError);
+}
+
+TEST(Fuzz, JournalSegmentScanNeverThrowsAndNeverMiscounts) {
+  // scan_segment is the recovery entry point: whatever a crashed disk
+  // holds, it must partition the bytes into committed groups + torn tail
+  // without throwing, and the two must always add up to the input size.
+  tls::core::Rng rng(94);
+  const auto check = [](const Bytes& segment) {
+    const auto scan = tls::study::scan_segment(segment);
+    EXPECT_EQ(scan.valid_bytes + scan.torn_bytes, segment.size());
+    EXPECT_LE(scan.valid_bytes, segment.size());
+    EXPECT_EQ(scan.boundaries.size(), scan.groups);
+    return scan;
+  };
+  // Pure garbage of many sizes.
+  for (int trial = 0; trial < 2000; ++trial) {
+    Bytes garbage(rng.below(600));
+    for (auto& b : garbage) b = static_cast<std::uint8_t>(rng.next());
+    const auto scan = check(garbage);
+    EXPECT_EQ(scan.groups * 0, 0u);  // no crash is the property under test
+  }
+  // Valid multi-group segments with a random mutation: the scan stops at
+  // (or before) the damage and the intact prefix replays unchanged.
+  std::vector<Bytes> frames;
+  for (std::uint32_t s = 0; s < 2; ++s) {
+    frames.push_back(tls::study::encode_frame(
+        5, {tls::study::FrameKind::kPassiveShard, 300, s}, Bytes(30, 0x3c)));
+  }
+  Bytes segment;
+  for (int g = 0; g < 4; ++g) {
+    const auto group = tls::study::encode_group(5, frames);
+    segment.insert(segment.end(), group.begin(), group.end());
+  }
+  const auto clean = check(segment);
+  EXPECT_EQ(clean.groups, 4u);
+  EXPECT_EQ(clean.torn_bytes, 0u);
+  for (int trial = 0; trial < 2000; ++trial) {
+    auto mutated = segment;
+    mutated[rng.below(mutated.size())] ^=
+        static_cast<std::uint8_t>(1u + rng.below(255));
+    const auto scan = check(mutated);
+    EXPECT_LT(scan.groups, 4u);  // the damaged group can never survive
+    for (const auto& frame : scan.frames) {
+      // Frames recovered from checksummed groups are bit-exact originals.
+      EXPECT_TRUE(frame == frames[0] || frame == frames[1]);
+    }
+  }
+  // Duplicated group records: the scan reports both copies (dedupe is the
+  // replay layer's job) and still accounts for every byte.
+  Bytes doubled = segment;
+  doubled.insert(doubled.end(), segment.begin(), segment.end());
+  EXPECT_EQ(check(doubled).groups, 8u);
+}
+
+TEST(Fuzz, JournalIndexDecodeGarbageNeverThrows) {
+  tls::core::Rng rng(95);
+  for (int trial = 0; trial < 2000; ++trial) {
+    Bytes garbage(rng.below(200));
+    for (auto& b : garbage) b = static_cast<std::uint8_t>(rng.next());
+    // decode_index is torn-tail tolerant by contract: garbage is just an
+    // index with zero (or few) trustworthy entries.
+    const auto entries = tls::study::decode_index(garbage);
+    EXPECT_LE(entries.size() * 32, garbage.size());
+  }
+}
+
 TEST(Fuzz, CheckpointManifestGarbage) {
   tls::study::CheckpointManifest manifest;
   manifest.options_digest = 99;
