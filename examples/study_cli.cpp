@@ -29,6 +29,7 @@
 // Environment: TLS_STUDY_CPM / TLS_STUDY_SEED / TLS_STUDY_CORE as in bench/;
 // TLS_STUDY_THREADS sets the worker pool; TLS_STUDY_KILL_AFTER (test/CI
 // seam) SIGKILLs the process after N durable journal appends.
+#include <climits>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -37,6 +38,7 @@
 #include <string>
 
 #include "analysis/csv.hpp"
+#include "cli_parse.hpp"
 #include "core/study.hpp"
 #include "fingerprint/fingerprint.hpp"
 #include "fingerprint/io.hpp"
@@ -66,6 +68,8 @@ tls::study::StudyOptions options_from_env() {
   }
   return opts;
 }
+
+using tls::cli::parse_long;
 
 int usage() {
   std::fputs(
@@ -243,7 +247,11 @@ int cmd_identify(const char* hex) {
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
-  if (cmd == "figure" && argc == 3) return cmd_figure(std::atoi(argv[2]));
+  if (cmd == "figure" && argc == 3) {
+    long n = 0;
+    if (!parse_long(argv[2], 1, 10, &n)) return usage();
+    return cmd_figure(static_cast<int>(n));
+  }
   if (cmd == "scan") return cmd_scan(argc >= 3 ? argv[2] : nullptr);
   if (cmd == "export" && argc >= 3) {
     const char* checkpoint_dir = nullptr;
@@ -263,10 +271,15 @@ int main(int argc, char** argv) {
         journal_mode = argv[++i];
       } else if (std::strcmp(argv[i], "--journal-group-frames") == 0 &&
                  i + 1 < argc) {
-        journal_group_frames = std::atol(argv[++i]);
+        // A zero-frame group can never commit; reject it with the garbage.
+        if (!parse_long(argv[++i], 1, LONG_MAX, &journal_group_frames)) {
+          return usage();
+        }
       } else if (std::strcmp(argv[i], "--journal-group-ms") == 0 &&
                  i + 1 < argc) {
-        journal_group_ms = std::atol(argv[++i]);
+        if (!parse_long(argv[++i], 0, LONG_MAX, &journal_group_ms)) {
+          return usage();
+        }
       } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
         metrics_out = argv[++i];
       } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {

@@ -1,0 +1,76 @@
+// Internal contract between the md5_batch driver (md5_multilane.cpp) and
+// the SIMD lane kernels (same file for SSE2, md5_multilane_avx2.cpp for
+// AVX2, which needs its own -mavx2 translation unit). Not installed; do not
+// include outside src/fingerprint.
+//
+// Lane layout: state is kept as structure-of-arrays — one vector register
+// per MD5 word (a, b, c, d), lane l of each register belonging to message
+// l. Each round gathers m[g] across lanes with scalar 32-bit loads (the
+// transpose cost) and runs the 64-step compression once for all lanes.
+// Lanes finish at different block counts: a lane whose blocks are exhausted
+// reads the shared zero block and its state update is masked off, so
+// uneven batches stay bit-exact (the driver sorts messages by padded block
+// count before laning, keeping the masked waste small).
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+
+namespace tls::fp::detail {
+
+/// One message, pre-split by the driver into whole blocks read directly
+/// from the source plus a padded tail (RFC 1321 §3.1-3.2: 0x80, zeros,
+/// 64-bit little-endian bit length) of one or two blocks.
+struct Md5LaneJob {
+  const std::uint8_t* data = nullptr;  // source bytes (full blocks)
+  std::size_t full_blocks = 0;
+  std::uint8_t tail[128] = {};
+  std::size_t tail_blocks = 0;         // 1, or 2 when len % 64 >= 56
+  std::size_t total_blocks = 0;        // full_blocks + tail_blocks
+  /// Receives the final a, b, c, d words for this lane.
+  std::uint32_t out_state[4] = {};
+};
+
+inline constexpr std::uint32_t kMd5Init[4] = {0x67452301u, 0xefcdab89u,
+                                              0x98badcfeu, 0x10325476u};
+
+inline constexpr std::uint32_t kMd5K[64] = {
+    0xd76aa478, 0xe8c7b756, 0x242070db, 0xc1bdceee, 0xf57c0faf, 0x4787c62a,
+    0xa8304613, 0xfd469501, 0x698098d8, 0x8b44f7af, 0xffff5bb1, 0x895cd7be,
+    0x6b901122, 0xfd987193, 0xa679438e, 0x49b40821, 0xf61e2562, 0xc040b340,
+    0x265e5a51, 0xe9b6c7aa, 0xd62f105d, 0x02441453, 0xd8a1e681, 0xe7d3fbc8,
+    0x21e1cde6, 0xc33707d6, 0xf4d50d87, 0x455a14ed, 0xa9e3e905, 0xfcefa3f8,
+    0x676f02d9, 0x8d2a4c8a, 0xfffa3942, 0x8771f681, 0x6d9d6122, 0xfde5380c,
+    0xa4beea44, 0x4bdecfa9, 0xf6bb4b60, 0xbebfbc70, 0x289b7ec6, 0xeaa127fa,
+    0xd4ef3085, 0x04881d05, 0xd9d4d039, 0xe6db99e5, 0x1fa27cf8, 0xc4ac5665,
+    0xf4292244, 0x432aff97, 0xab9423a7, 0xfc93a039, 0x655b59c3, 0x8f0ccc92,
+    0xffeff47d, 0x85845dd1, 0x6fa87e4f, 0xfe2ce6e0, 0xa3014314, 0x4e0811a1,
+    0xf7537e82, 0xbd3af235, 0x2ad7d2bb, 0xeb86d391};
+
+inline constexpr int kMd5S[64] = {
+    7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22,
+    5, 9,  14, 20, 5, 9,  14, 20, 5, 9,  14, 20, 5, 9,  14, 20,
+    4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23,
+    6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21};
+
+/// Message-word index for round i (the RFC's per-round g schedule).
+inline constexpr int md5_g(int i) {
+  return i < 16 ? i
+         : i < 32 ? (5 * i + 1) % 16
+         : i < 48 ? (3 * i + 5) % 16
+                  : (7 * i) % 16;
+}
+
+/// All-lanes-shared block read for exhausted lanes (their update is masked
+/// off, so the contents never reach a digest).
+inline constexpr std::uint8_t kMd5ZeroBlock[64] = {};
+
+/// Runs up to 4 jobs through the SSE2 kernel (x86-64 baseline). Jobs may
+/// have different total_blocks. Only defined when the build enables SIMD.
+void md5_lanes_sse2(Md5LaneJob* jobs, std::size_t n);
+
+/// Runs up to 8 jobs through the AVX2 kernel. Only defined when the build
+/// enables AVX2 (TLS_MD5_HAVE_AVX2); callers must runtime-check the CPU.
+void md5_lanes_avx2(Md5LaneJob* jobs, std::size_t n);
+
+}  // namespace tls::fp::detail

@@ -1,0 +1,357 @@
+#include "fingerprint/md5_multilane.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdlib>
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "fingerprint/md5.hpp"
+#include "fingerprint/md5_lane_detail.hpp"
+
+// SIMD kernels are x86-only; every other build runs the scalar fallback.
+#if defined(TLS_SIMD_ENABLED) && (defined(__x86_64__) || defined(_M_X64))
+#define TLS_MD5_SIMD_X86 1
+#include <immintrin.h>
+#endif
+
+namespace tls::fp {
+
+namespace {
+
+/// Process-wide dispatch pin (md5_force_backend). Plain static: the seam is
+/// for single-threaded test/CI setup, not concurrent flipping.
+std::optional<Md5Backend> g_forced_backend;
+
+std::optional<Md5Backend> parse_backend(const char* name) {
+  if (name == nullptr) return std::nullopt;
+  if (std::strcmp(name, "scalar") == 0) return Md5Backend::kScalar;
+  if (std::strcmp(name, "sse2") == 0) return Md5Backend::kSse2;
+  if (std::strcmp(name, "avx2") == 0) return Md5Backend::kAvx2;
+  return std::nullopt;
+}
+
+Md5Backend clamp_to_best(Md5Backend b) {
+  const Md5Backend best = md5_best_backend();
+  return static_cast<std::uint8_t>(b) <= static_cast<std::uint8_t>(best)
+             ? b
+             : best;
+}
+
+std::optional<Md5Backend> env_forced_backend() {
+  static const std::optional<Md5Backend> forced =
+      parse_backend(std::getenv("TLS_MD5_FORCE"));
+  return forced;
+}
+
+/// RFC 1321 padded size in 64-byte blocks: data, 0x80, zeros, 8-byte length.
+std::size_t padded_blocks(std::size_t len) {
+  return len / 64 + (len % 64 >= 56 ? 2 : 1);
+}
+
+void prepare_job(std::string_view msg, detail::Md5LaneJob& job) {
+  const auto* p = reinterpret_cast<const std::uint8_t*>(msg.data());
+  const std::size_t len = msg.size();
+  const std::size_t rem = len % 64;
+  job.data = p;
+  job.full_blocks = len / 64;
+  std::memset(job.tail, 0, sizeof(job.tail));
+  if (rem > 0) std::memcpy(job.tail, p + job.full_blocks * 64, rem);
+  job.tail[rem] = 0x80;
+  job.tail_blocks = rem >= 56 ? 2 : 1;
+  job.total_blocks = job.full_blocks + job.tail_blocks;
+  const std::uint64_t bit_len = static_cast<std::uint64_t>(len) * 8;
+  std::uint8_t* len_le = job.tail + job.tail_blocks * 64 - 8;
+  for (int i = 0; i < 8; ++i) {
+    len_le[i] = static_cast<std::uint8_t>(bit_len >> (8 * i));
+  }
+}
+
+void job_digest(const detail::Md5LaneJob& job,
+                std::array<std::uint8_t, 16>& out) {
+  for (int w = 0; w < 4; ++w) {
+    for (int b = 0; b < 4; ++b) {
+      out[static_cast<std::size_t>(w * 4 + b)] =
+          static_cast<std::uint8_t>(job.out_state[w] >> (8 * b));
+    }
+  }
+}
+
+std::array<std::uint8_t, 16> scalar_digest(std::string_view msg) {
+  Md5 h;
+  h.update(msg);
+  return h.digest();
+}
+
+std::uint64_t fnv1a64_scalar(std::span<const std::uint8_t> bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const auto b : bytes) {
+    h ^= b;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+const char* to_string(Md5Backend backend) {
+  switch (backend) {
+    case Md5Backend::kScalar: return "scalar";
+    case Md5Backend::kSse2: return "sse2";
+    case Md5Backend::kAvx2: return "avx2";
+  }
+  return "?";
+}
+
+Md5Backend md5_best_backend() {
+#if defined(TLS_MD5_SIMD_X86)
+#if defined(TLS_MD5_HAVE_AVX2) && defined(__GNUC__)
+  static const bool avx2 = __builtin_cpu_supports("avx2") != 0;
+  if (avx2) return Md5Backend::kAvx2;
+#endif
+  // SSE2 is architectural baseline on x86-64: no runtime check needed.
+  return Md5Backend::kSse2;
+#else
+  return Md5Backend::kScalar;
+#endif
+}
+
+Md5Backend md5_active_backend() {
+  if (g_forced_backend.has_value()) return clamp_to_best(*g_forced_backend);
+  if (const auto env = env_forced_backend()) return clamp_to_best(*env);
+  return md5_best_backend();
+}
+
+void md5_force_backend(std::optional<Md5Backend> backend) {
+  g_forced_backend = backend;
+}
+
+void md5_batch(std::span<const std::string_view> messages,
+               std::span<std::array<std::uint8_t, 16>> digests) {
+  assert(messages.size() == digests.size());
+  const std::size_t n = messages.size();
+  if (n == 0) return;
+  const Md5Backend backend = md5_active_backend();
+  if (backend == Md5Backend::kScalar || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) digests[i] = scalar_digest(messages[i]);
+    return;
+  }
+#if defined(TLS_MD5_SIMD_X86)
+  const std::size_t width = backend == Md5Backend::kAvx2 ? 8 : 4;
+  // Co-scheduled lanes run in lockstep to the longest lane's block count
+  // (shorter lanes mask off), so group messages of similar padded size:
+  // sort indices by block count. Output order is untouched — digests land
+  // at their original index.
+  std::vector<std::uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](std::uint32_t x, std::uint32_t y) {
+    const std::size_t bx = padded_blocks(messages[x].size());
+    const std::size_t by = padded_blocks(messages[y].size());
+    return bx != by ? bx < by : x < y;
+  });
+  std::vector<detail::Md5LaneJob> jobs(width);
+  for (std::size_t off = 0; off < n; off += width) {
+    const std::size_t k = std::min(width, n - off);
+    if (k == 1) {
+      // A lone remainder message gains nothing from the vector transpose.
+      digests[order[off]] = scalar_digest(messages[order[off]]);
+      continue;
+    }
+    for (std::size_t l = 0; l < k; ++l) {
+      prepare_job(messages[order[off + l]], jobs[l]);
+    }
+#if defined(TLS_MD5_HAVE_AVX2)
+    if (backend == Md5Backend::kAvx2 && k > 4) {
+      detail::md5_lanes_avx2(jobs.data(), k);
+    } else {
+      detail::md5_lanes_sse2(jobs.data(), k);
+    }
+#else
+    detail::md5_lanes_sse2(jobs.data(), k);
+#endif
+    for (std::size_t l = 0; l < k; ++l) {
+      job_digest(jobs[l], digests[order[off + l]]);
+    }
+  }
+#else
+  for (std::size_t i = 0; i < n; ++i) digests[i] = scalar_digest(messages[i]);
+#endif
+}
+
+void fnv1a64_batch(std::span<const std::span<const std::uint8_t>> inputs,
+                   std::span<std::uint64_t> out) {
+  assert(inputs.size() == out.size());
+  const std::size_t n = inputs.size();
+  // FNV-1a is a serial xor+multiply chain per input, so a single stream is
+  // latency-bound on the 64-bit multiply. Four independent chains
+  // interleaved in one loop overlap those latencies and run ~1.2× faster
+  // than back-to-back scalar passes. A true SIMD version loses: AVX2 has no
+  // 64-bit low multiply, and emulating it from 32×32 partial products plus
+  // the per-byte lane gather measures slower than this form (which also
+  // needs no x86-specific code at all).
+  constexpr std::uint64_t kPrime = 0x100000001b3ULL;
+  constexpr std::uint64_t kBasis = 0xcbf29ce484222325ULL;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const std::uint8_t* const d0 = inputs[i].data();
+    const std::uint8_t* const d1 = inputs[i + 1].data();
+    const std::uint8_t* const d2 = inputs[i + 2].data();
+    const std::uint8_t* const d3 = inputs[i + 3].data();
+    const std::size_t common =
+        std::min(std::min(inputs[i].size(), inputs[i + 1].size()),
+                 std::min(inputs[i + 2].size(), inputs[i + 3].size()));
+    std::uint64_t h0 = kBasis, h1 = kBasis, h2 = kBasis, h3 = kBasis;
+    for (std::size_t b = 0; b < common; ++b) {
+      h0 = (h0 ^ d0[b]) * kPrime;
+      h1 = (h1 ^ d1[b]) * kPrime;
+      h2 = (h2 ^ d2[b]) * kPrime;
+      h3 = (h3 ^ d3[b]) * kPrime;
+    }
+    std::uint64_t h[4] = {h0, h1, h2, h3};
+    for (int l = 0; l < 4; ++l) {
+      const auto in = inputs[i + l];
+      for (std::size_t b = common; b < in.size(); ++b) {
+        h[l] = (h[l] ^ in[b]) * kPrime;
+      }
+      out[i + l] = h[l];
+    }
+  }
+  for (; i < n; ++i) out[i] = fnv1a64_scalar(inputs[i]);
+}
+
+#if defined(TLS_MD5_SIMD_X86)
+
+namespace detail {
+
+namespace {
+
+inline std::uint32_t load_le32(const std::uint8_t* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);  // x86 is little-endian; this TU is x86-only
+  return v;
+}
+
+inline __m128i rotl32_x4(__m128i x, int s) {
+  return _mm_or_si128(_mm_slli_epi32(x, s), _mm_srli_epi32(x, 32 - s));
+}
+
+/// state = active ? updated : state, per 32-bit lane.
+inline __m128i select_x4(__m128i mask, __m128i updated, __m128i state) {
+  return _mm_or_si128(_mm_and_si128(mask, updated),
+                      _mm_andnot_si128(mask, state));
+}
+
+}  // namespace
+
+void md5_lanes_sse2(Md5LaneJob* jobs, std::size_t n) {
+  assert(n >= 1 && n <= 4);
+  std::size_t total[4];
+  std::size_t max_blocks = 0;
+  for (std::size_t l = 0; l < 4; ++l) {
+    total[l] = l < n ? jobs[l].total_blocks : 0;
+    max_blocks = std::max(max_blocks, total[l]);
+  }
+  __m128i a = _mm_set1_epi32(static_cast<int>(kMd5Init[0]));
+  __m128i b = _mm_set1_epi32(static_cast<int>(kMd5Init[1]));
+  __m128i c = _mm_set1_epi32(static_cast<int>(kMd5Init[2]));
+  __m128i d = _mm_set1_epi32(static_cast<int>(kMd5Init[3]));
+  const __m128i ones = _mm_set1_epi32(-1);
+
+  for (std::size_t j = 0; j < max_blocks; ++j) {
+    const std::uint8_t* blk[4];
+    std::uint32_t active[4];
+    for (std::size_t l = 0; l < 4; ++l) {
+      if (j < total[l]) {
+        blk[l] = j < jobs[l].full_blocks
+                     ? jobs[l].data + 64 * j
+                     : jobs[l].tail + 64 * (j - jobs[l].full_blocks);
+        active[l] = 0xffffffffu;
+      } else {
+        blk[l] = kMd5ZeroBlock;
+        active[l] = 0;
+      }
+    }
+    const __m128i mask =
+        _mm_set_epi32(static_cast<int>(active[3]), static_cast<int>(active[2]),
+                      static_cast<int>(active[1]), static_cast<int>(active[0]));
+    __m128i m[16];
+    for (int i = 0; i < 16; ++i) {
+      m[i] = _mm_set_epi32(static_cast<int>(load_le32(blk[3] + 4 * i)),
+                           static_cast<int>(load_le32(blk[2] + 4 * i)),
+                           static_cast<int>(load_le32(blk[1] + 4 * i)),
+                           static_cast<int>(load_le32(blk[0] + 4 * i)));
+    }
+    __m128i aa = a, bb = b, cc = c, dd = d;
+    int i = 0;
+    for (; i < 16; ++i) {  // F = (b & c) | (~b & d)
+      const __m128i f = _mm_or_si128(_mm_and_si128(bb, cc),
+                                     _mm_andnot_si128(bb, dd));
+      const __m128i sum = _mm_add_epi32(
+          _mm_add_epi32(_mm_add_epi32(f, aa),
+                        _mm_set1_epi32(static_cast<int>(kMd5K[i]))),
+          m[md5_g(i)]);
+      aa = dd;
+      dd = cc;
+      cc = bb;
+      bb = _mm_add_epi32(bb, rotl32_x4(sum, kMd5S[i]));
+    }
+    for (; i < 32; ++i) {  // G = (d & b) | (~d & c)
+      const __m128i f = _mm_or_si128(_mm_and_si128(dd, bb),
+                                     _mm_andnot_si128(dd, cc));
+      const __m128i sum = _mm_add_epi32(
+          _mm_add_epi32(_mm_add_epi32(f, aa),
+                        _mm_set1_epi32(static_cast<int>(kMd5K[i]))),
+          m[md5_g(i)]);
+      aa = dd;
+      dd = cc;
+      cc = bb;
+      bb = _mm_add_epi32(bb, rotl32_x4(sum, kMd5S[i]));
+    }
+    for (; i < 48; ++i) {  // H = b ^ c ^ d
+      const __m128i f = _mm_xor_si128(_mm_xor_si128(bb, cc), dd);
+      const __m128i sum = _mm_add_epi32(
+          _mm_add_epi32(_mm_add_epi32(f, aa),
+                        _mm_set1_epi32(static_cast<int>(kMd5K[i]))),
+          m[md5_g(i)]);
+      aa = dd;
+      dd = cc;
+      cc = bb;
+      bb = _mm_add_epi32(bb, rotl32_x4(sum, kMd5S[i]));
+    }
+    for (; i < 64; ++i) {  // I = c ^ (b | ~d)
+      const __m128i f =
+          _mm_xor_si128(cc, _mm_or_si128(bb, _mm_xor_si128(dd, ones)));
+      const __m128i sum = _mm_add_epi32(
+          _mm_add_epi32(_mm_add_epi32(f, aa),
+                        _mm_set1_epi32(static_cast<int>(kMd5K[i]))),
+          m[md5_g(i)]);
+      aa = dd;
+      dd = cc;
+      cc = bb;
+      bb = _mm_add_epi32(bb, rotl32_x4(sum, kMd5S[i]));
+    }
+    a = select_x4(mask, _mm_add_epi32(a, aa), a);
+    b = select_x4(mask, _mm_add_epi32(b, bb), b);
+    c = select_x4(mask, _mm_add_epi32(c, cc), c);
+    d = select_x4(mask, _mm_add_epi32(d, dd), d);
+  }
+
+  alignas(16) std::uint32_t oa[4], ob[4], oc[4], od[4];
+  _mm_store_si128(reinterpret_cast<__m128i*>(oa), a);
+  _mm_store_si128(reinterpret_cast<__m128i*>(ob), b);
+  _mm_store_si128(reinterpret_cast<__m128i*>(oc), c);
+  _mm_store_si128(reinterpret_cast<__m128i*>(od), d);
+  for (std::size_t l = 0; l < n; ++l) {
+    jobs[l].out_state[0] = oa[l];
+    jobs[l].out_state[1] = ob[l];
+    jobs[l].out_state[2] = oc[l];
+    jobs[l].out_state[3] = od[l];
+  }
+}
+
+}  // namespace detail
+
+#endif  // TLS_MD5_SIMD_X86
+
+}  // namespace tls::fp

@@ -1,0 +1,55 @@
+// Multi-lane MD5 (RFC 1321) for batched fingerprint hashing. The paper's §4
+// methodology digests one canonical ClientHello string per observed
+// connection; on every ObserveCache miss that digest dominates the observe
+// path. md5_batch() hashes independently-lengthed messages in parallel SIMD
+// lanes — 4 per SSE2 vector, 8 per AVX2 vector — and is bit-exact with the
+// scalar Md5 class for every lane, which remains the always-correct
+// fallback (and the differential oracle for the lane kernels).
+//
+// Dispatch: the widest kernel the build enabled (TLS_SIMD cmake option) AND
+// the CPU supports at runtime. Tests and CI can pin the choice via
+// md5_force_backend() or the TLS_MD5_FORCE environment variable
+// ("scalar" | "sse2" | "avx2", read once at first use); forcing wider than
+// the host supports clamps down, so a forced run can never execute an
+// unsupported instruction.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string_view>
+
+namespace tls::fp {
+
+enum class Md5Backend : std::uint8_t { kScalar = 0, kSse2 = 1, kAvx2 = 2 };
+
+[[nodiscard]] const char* to_string(Md5Backend backend);
+
+/// Widest backend this build + this CPU can run (TLS_SIMD=OFF → kScalar).
+[[nodiscard]] Md5Backend md5_best_backend();
+
+/// Backend md5_batch() will actually use: the forced backend clamped to
+/// md5_best_backend(), or md5_best_backend() when nothing is forced.
+[[nodiscard]] Md5Backend md5_active_backend();
+
+/// Test/CI seam: pin dispatch to `backend` (clamped to what the host
+/// supports); nullopt restores automatic dispatch. Process-wide; intended
+/// for single-threaded test setup, not concurrent flipping.
+void md5_force_backend(std::optional<Md5Backend> backend);
+
+/// digests[i] = MD5(messages[i]). Lengths are independent per lane (0 and
+/// block-boundary lengths included); any batch size works — lanes are
+/// filled in groups of the vector width and the remainder masks off.
+/// Bit-exact with Md5::hash per message under every backend.
+void md5_batch(std::span<const std::string_view> messages,
+               std::span<std::array<std::uint8_t, 16>> digests);
+
+/// out[i] = FNV-1a-64(inputs[i]) — the ObserveCache bucket hash, computed
+/// as four interleaved scalar chains (the byte-serial multiply chain has no
+/// profitable AVX2 mapping; see md5_multilane.cpp). Bit-identical to
+/// ObserveCache::fnv1a64 per input.
+void fnv1a64_batch(std::span<const std::span<const std::uint8_t>> inputs,
+                   std::span<std::uint64_t> out);
+
+}  // namespace tls::fp

@@ -1,0 +1,151 @@
+// 8-lane AVX2 MD5 kernel + 4-lane FNV-1a-64 kernel. This translation unit
+// is compiled with -mavx2 (see src/fingerprint/CMakeLists.txt) and is only
+// added to the build when the toolchain supports that flag; callers must
+// runtime-check the CPU (md5_best_backend) before dispatching here.
+#include <cstring>
+
+#include "fingerprint/md5_lane_detail.hpp"
+
+#if defined(TLS_MD5_HAVE_AVX2) && defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cassert>
+
+namespace tls::fp::detail {
+
+namespace {
+
+inline std::uint32_t load_le32(const std::uint8_t* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);  // x86 is little-endian; this TU is x86-only
+  return v;
+}
+
+inline __m256i rotl32_x8(__m256i x, int s) {
+  return _mm256_or_si256(_mm256_slli_epi32(x, s), _mm256_srli_epi32(x, 32 - s));
+}
+
+inline __m256i select_x8(__m256i mask, __m256i updated, __m256i state) {
+  return _mm256_or_si256(_mm256_and_si256(mask, updated),
+                         _mm256_andnot_si256(mask, state));
+}
+
+}  // namespace
+
+void md5_lanes_avx2(Md5LaneJob* jobs, std::size_t n) {
+  assert(n >= 1 && n <= 8);
+  std::size_t total[8];
+  std::size_t max_blocks = 0;
+  for (std::size_t l = 0; l < 8; ++l) {
+    total[l] = l < n ? jobs[l].total_blocks : 0;
+    max_blocks = std::max(max_blocks, total[l]);
+  }
+  __m256i a = _mm256_set1_epi32(static_cast<int>(kMd5Init[0]));
+  __m256i b = _mm256_set1_epi32(static_cast<int>(kMd5Init[1]));
+  __m256i c = _mm256_set1_epi32(static_cast<int>(kMd5Init[2]));
+  __m256i d = _mm256_set1_epi32(static_cast<int>(kMd5Init[3]));
+  const __m256i ones = _mm256_set1_epi32(-1);
+
+  for (std::size_t j = 0; j < max_blocks; ++j) {
+    const std::uint8_t* blk[8];
+    std::uint32_t active[8];
+    for (std::size_t l = 0; l < 8; ++l) {
+      if (j < total[l]) {
+        blk[l] = j < jobs[l].full_blocks
+                     ? jobs[l].data + 64 * j
+                     : jobs[l].tail + 64 * (j - jobs[l].full_blocks);
+        active[l] = 0xffffffffu;
+      } else {
+        blk[l] = kMd5ZeroBlock;
+        active[l] = 0;
+      }
+    }
+    const __m256i mask = _mm256_set_epi32(
+        static_cast<int>(active[7]), static_cast<int>(active[6]),
+        static_cast<int>(active[5]), static_cast<int>(active[4]),
+        static_cast<int>(active[3]), static_cast<int>(active[2]),
+        static_cast<int>(active[1]), static_cast<int>(active[0]));
+    __m256i m[16];
+    for (int i = 0; i < 16; ++i) {
+      m[i] = _mm256_set_epi32(static_cast<int>(load_le32(blk[7] + 4 * i)),
+                              static_cast<int>(load_le32(blk[6] + 4 * i)),
+                              static_cast<int>(load_le32(blk[5] + 4 * i)),
+                              static_cast<int>(load_le32(blk[4] + 4 * i)),
+                              static_cast<int>(load_le32(blk[3] + 4 * i)),
+                              static_cast<int>(load_le32(blk[2] + 4 * i)),
+                              static_cast<int>(load_le32(blk[1] + 4 * i)),
+                              static_cast<int>(load_le32(blk[0] + 4 * i)));
+    }
+    __m256i aa = a, bb = b, cc = c, dd = d;
+    int i = 0;
+    for (; i < 16; ++i) {  // F = (b & c) | (~b & d)
+      const __m256i f = _mm256_or_si256(_mm256_and_si256(bb, cc),
+                                        _mm256_andnot_si256(bb, dd));
+      const __m256i sum = _mm256_add_epi32(
+          _mm256_add_epi32(_mm256_add_epi32(f, aa),
+                           _mm256_set1_epi32(static_cast<int>(kMd5K[i]))),
+          m[md5_g(i)]);
+      aa = dd;
+      dd = cc;
+      cc = bb;
+      bb = _mm256_add_epi32(bb, rotl32_x8(sum, kMd5S[i]));
+    }
+    for (; i < 32; ++i) {  // G = (d & b) | (~d & c)
+      const __m256i f = _mm256_or_si256(_mm256_and_si256(dd, bb),
+                                        _mm256_andnot_si256(dd, cc));
+      const __m256i sum = _mm256_add_epi32(
+          _mm256_add_epi32(_mm256_add_epi32(f, aa),
+                           _mm256_set1_epi32(static_cast<int>(kMd5K[i]))),
+          m[md5_g(i)]);
+      aa = dd;
+      dd = cc;
+      cc = bb;
+      bb = _mm256_add_epi32(bb, rotl32_x8(sum, kMd5S[i]));
+    }
+    for (; i < 48; ++i) {  // H = b ^ c ^ d
+      const __m256i f = _mm256_xor_si256(_mm256_xor_si256(bb, cc), dd);
+      const __m256i sum = _mm256_add_epi32(
+          _mm256_add_epi32(_mm256_add_epi32(f, aa),
+                           _mm256_set1_epi32(static_cast<int>(kMd5K[i]))),
+          m[md5_g(i)]);
+      aa = dd;
+      dd = cc;
+      cc = bb;
+      bb = _mm256_add_epi32(bb, rotl32_x8(sum, kMd5S[i]));
+    }
+    for (; i < 64; ++i) {  // I = c ^ (b | ~d)
+      const __m256i f = _mm256_xor_si256(
+          cc, _mm256_or_si256(bb, _mm256_xor_si256(dd, ones)));
+      const __m256i sum = _mm256_add_epi32(
+          _mm256_add_epi32(_mm256_add_epi32(f, aa),
+                           _mm256_set1_epi32(static_cast<int>(kMd5K[i]))),
+          m[md5_g(i)]);
+      aa = dd;
+      dd = cc;
+      cc = bb;
+      bb = _mm256_add_epi32(bb, rotl32_x8(sum, kMd5S[i]));
+    }
+    a = select_x8(mask, _mm256_add_epi32(a, aa), a);
+    b = select_x8(mask, _mm256_add_epi32(b, bb), b);
+    c = select_x8(mask, _mm256_add_epi32(c, cc), c);
+    d = select_x8(mask, _mm256_add_epi32(d, dd), d);
+  }
+
+  alignas(32) std::uint32_t oa[8], ob[8], oc[8], od[8];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(oa), a);
+  _mm256_store_si256(reinterpret_cast<__m256i*>(ob), b);
+  _mm256_store_si256(reinterpret_cast<__m256i*>(oc), c);
+  _mm256_store_si256(reinterpret_cast<__m256i*>(od), d);
+  for (std::size_t l = 0; l < n; ++l) {
+    jobs[l].out_state[0] = oa[l];
+    jobs[l].out_state[1] = ob[l];
+    jobs[l].out_state[2] = oc[l];
+    jobs[l].out_state[3] = od[l];
+  }
+}
+
+}  // namespace tls::fp::detail
+
+#endif  // TLS_MD5_HAVE_AVX2 && __AVX2__

@@ -1,7 +1,9 @@
 #include "notary/observe_cache.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cstring>
+#include <utility>
 
 #include "fingerprint/md5.hpp"
 #include "tlscore/grease.hpp"
@@ -42,7 +44,8 @@ void ClientHelloFeatures::reset() {
 void build_client_features(const ClientHello& hello,
                            const tls::fp::FingerprintDatabase* db,
                            bool want_fingerprint, ClientHelloFeatures& out,
-                           std::vector<tls::wire::ParseErrorCode>& errors) {
+                           std::vector<tls::wire::ParseErrorCode>& errors,
+                           std::string* fp_canonical_out) {
   using namespace tls::core;
   out.reset();
 
@@ -180,14 +183,21 @@ void build_client_features(const ClientHello& hello,
         out.fp.ec_point_formats =
             tls::wire::parse_ec_point_formats(ext_formats->body);
       }
-      out.fp_hash = tls::fp::Md5::hex(out.fp.canonical());
+      // Past this point nothing can throw, so deferring the digest (batch
+      // callers hash many canonicals in SIMD lanes) cannot change which
+      // errors the record produces.
+      if (fp_canonical_out != nullptr) {
+        *fp_canonical_out = out.fp.canonical();
+      } else {
+        out.fp_hash = tls::fp::Md5::hex(out.fp.canonical());
+      }
       out.fingerprint_computed = true;
       if (out.adv_rc4) out.fp_flags |= kFpRc4;
       if (out.adv_des) out.fp_flags |= kFpDes;
       if (out.adv_3des) out.fp_flags |= kFp3Des;
       if (out.adv_aead) out.fp_flags |= kFpAead;
       if (out.adv_cbc) out.fp_flags |= kFpCbc;
-      if (db != nullptr) {
+      if (fp_canonical_out == nullptr && db != nullptr) {
         if (const auto* label = db->lookup(out.fp_hash)) {
           out.label_cls = label->cls;
         }
@@ -195,6 +205,17 @@ void build_client_features(const ClientHello& hello,
     } catch (const ParseError& e) {
       out.fingerprint_computed = false;
       errors.push_back(e.code());
+    }
+  }
+}
+
+void finalize_client_fingerprint(ClientHelloFeatures& out,
+                                 const tls::fp::FingerprintDatabase* db,
+                                 const std::array<std::uint8_t, 16>& digest) {
+  out.fp_hash = tls::fp::to_hex(digest);
+  if (db != nullptr) {
+    if (const auto* label = db->lookup(out.fp_hash)) {
+      out.label_cls = label->cls;
     }
   }
 }
@@ -249,39 +270,87 @@ bool same_bytes(const std::vector<std::uint8_t>& key,
           std::memcmp(key.data(), record.data(), key.size()) == 0);
 }
 
+std::size_t probe_table_size(std::size_t capacity) {
+  // Power of two ≥ 2× capacity: load factor ≤ 1/2, so linear probing always
+  // finds an empty cell.
+  return std::bit_ceil(std::max<std::size_t>(16, capacity * 2));
+}
+
 }  // namespace
 
 void ObserveCache::set_capacity(std::size_t capacity) {
   capacity_ = capacity;
-  if (capacity_ == 0) {
-    client_.clear();
-    server_.clear();
-    client_size_ = 0;
-    server_size_ = 0;
+  client_slots_.clear();
+  server_slots_.clear();
+  client_size_ = 0;
+  server_size_ = 0;
+  const std::size_t cells = probe_table_size(capacity_);
+  index_mask_ = cells - 1;
+  client_index_.assign(cells, IndexCell{});
+  server_index_.assign(cells, IndexCell{});
+}
+
+void ObserveCache::flush_client() {
+  // Deterministic generation flush: drop everything, start over. No
+  // recency bookkeeping means no scheduling-dependent state. Only the
+  // probe table is cleared; the slot slab keeps its buffers for reuse.
+  stats_.client.evictions += client_size_;
+  ++stats_.client.flushes;
+  std::fill(client_index_.begin(), client_index_.end(), IndexCell{});
+  client_size_ = 0;
+}
+
+void ObserveCache::flush_server() {
+  stats_.server.evictions += server_size_;
+  ++stats_.server.flushes;
+  std::fill(server_index_.begin(), server_index_.end(), IndexCell{});
+  server_size_ = 0;
+}
+
+void ObserveCache::ensure_client_headroom(std::size_t n) {
+  if (!enabled() || client_size_ == 0 || client_size_ + n <= capacity_) {
+    return;
   }
+  flush_client();
 }
 
 std::optional<CachedClient> ObserveCache::find_client(
     std::span<const std::uint8_t> record, bool require_fingerprint) {
   if (!enabled()) return std::nullopt;
-  const auto it = client_.find(hash_(record));
-  if (it != client_.end()) {
-    for (const auto& entry : it->second) {
-      if (!same_bytes(entry.key, record)) continue;
-      if (require_fingerprint && !entry.features.fingerprint_computed) {
-        // Memoized before the fingerprint era: treat as a miss so the
-        // caller rebuilds with the fingerprint and upgrades the entry.
-        break;
+  return find_client_hashed(record, hash_(record), require_fingerprint);
+}
+
+std::optional<CachedClient> ObserveCache::find_client_hashed(
+    std::span<const std::uint8_t> record, std::uint64_t hash,
+    bool require_fingerprint) {
+  if (!enabled()) return std::nullopt;
+  const auto tag = static_cast<std::uint32_t>(hash >> 32);
+  std::size_t pos = static_cast<std::size_t>(hash) & index_mask_;
+  while (client_index_[pos].head1 != 0) {
+    if (client_index_[pos].tag == tag) {
+      // Chains mix every key that shares this tag and probe path; only
+      // entries whose full 64-bit hash matches belong to this key.
+      bool saw_hash = false;
+      bool byte_match = false;
+      for (std::uint32_t idx = client_index_[pos].head1 - 1; idx != kNilSlot;
+           idx = client_slots_[idx].next) {
+        const auto& entry = client_slots_[idx];
+        if (entry.hash != hash) continue;
+        saw_hash = true;
+        if (!same_bytes(entry.key, record)) continue;
+        byte_match = true;
+        if (require_fingerprint && !entry.features.fingerprint_computed) {
+          // Memoized before the fingerprint era: treat as a miss so the
+          // caller rebuilds with the fingerprint and upgrades the entry.
+          break;
+        }
+        ++stats_.client.hits;
+        return CachedClient{&entry.hello, &entry.features};
       }
-      ++stats_.client.hits;
-      return CachedClient{&entry.hello, &entry.features};
+      if (saw_hash && !byte_match) ++stats_.client.collisions;
+      break;
     }
-    if (std::none_of(it->second.begin(), it->second.end(),
-                     [&](const ClientEntry& e) {
-                       return same_bytes(e.key, record);
-                     })) {
-      ++stats_.client.collisions;
-    }
+    pos = (pos + 1) & index_mask_;
   }
   ++stats_.client.misses;
   return std::nullopt;
@@ -290,49 +359,89 @@ std::optional<CachedClient> ObserveCache::find_client(
 CachedClient ObserveCache::insert_client(std::span<const std::uint8_t> record,
                                          const tls::wire::ClientHello& hello,
                                          const ClientHelloFeatures& features) {
-  const std::uint64_t h = hash_(record);
-  auto& chain = client_[h];
-  for (auto& entry : chain) {
-    if (same_bytes(entry.key, record)) {
+  return insert_client_hashed(record, hash_(record),
+                              tls::wire::ClientHello(hello),
+                              ClientHelloFeatures(features));
+}
+
+CachedClient ObserveCache::insert_client_hashed(
+    std::span<const std::uint8_t> record, std::uint64_t hash,
+    tls::wire::ClientHello&& hello, ClientHelloFeatures&& features) {
+  const auto tag = static_cast<std::uint32_t>(hash >> 32);
+  std::size_t pos = static_cast<std::size_t>(hash) & index_mask_;
+  while (client_index_[pos].head1 != 0 && client_index_[pos].tag != tag) {
+    pos = (pos + 1) & index_mask_;
+  }
+  if (client_index_[pos].head1 != 0) {
+    for (std::uint32_t idx = client_index_[pos].head1 - 1; idx != kNilSlot;
+         idx = client_slots_[idx].next) {
+      auto& entry = client_slots_[idx];
+      if (entry.hash != hash || !same_bytes(entry.key, record)) continue;
       // Fingerprint-era upgrade of a pre-era entry.
-      entry.hello = hello;
-      entry.features = features;
+      entry.hello = std::move(hello);
+      entry.features = std::move(features);
       return CachedClient{&entry.hello, &entry.features};
     }
   }
   if (client_size_ >= capacity_) {
-    // Deterministic generation flush: drop everything, start over. No
-    // recency bookkeeping means no scheduling-dependent state.
-    stats_.client.evictions += client_size_;
-    ++stats_.client.flushes;
-    client_.clear();
-    client_size_ = 0;
-    auto& fresh = client_[h];
-    fresh.push_back(ClientEntry{{record.begin(), record.end()}, hello,
-                                features});
-    ++client_size_;
-    ++stats_.client.inserts;
-    return CachedClient{&fresh.back().hello, &fresh.back().features};
+    flush_client();
+    pos = static_cast<std::size_t>(hash) & index_mask_;
+    // Freshly flushed table: the first probe cell is free.
   }
-  chain.push_back(ClientEntry{{record.begin(), record.end()}, hello,
-                              features});
+  const auto idx = static_cast<std::uint32_t>(client_size_);
+  const std::uint32_t next =
+      client_index_[pos].head1 == 0 ? kNilSlot : client_index_[pos].head1 - 1;
+  if (idx < client_slots_.size()) {
+    // Reuse the retired generation's slot. The hello moves (the parse that
+    // produced it allocates fresh buffers every record, so copying it here
+    // would be pure extra work); the features copy-assign into the slot's
+    // retained vector capacity because their producer reuses its scratch
+    // buffers and must keep them.
+    auto& slot = client_slots_[idx];
+    slot.key.assign(record.begin(), record.end());
+    slot.hello = std::move(hello);
+    slot.features = features;
+    slot.hash = hash;
+    slot.next = next;
+  } else {
+    client_slots_.push_back(ClientSlot{{record.begin(), record.end()},
+                                       std::move(hello), std::move(features),
+                                       hash, next});
+  }
+  client_index_[pos] = IndexCell{tag, idx + 1};
   ++client_size_;
   ++stats_.client.inserts;
-  return CachedClient{&chain.back().hello, &chain.back().features};
+  auto& slot = client_slots_[idx];
+  return CachedClient{&slot.hello, &slot.features};
 }
 
 std::optional<CachedServer> ObserveCache::find_server(
     std::span<const std::uint8_t> record) {
   if (!enabled()) return std::nullopt;
-  const auto it = server_.find(hash_(record));
-  if (it != server_.end()) {
-    for (const auto& entry : it->second) {
-      if (same_bytes(entry.key, record)) {
+  return find_server_hashed(record, hash_(record));
+}
+
+std::optional<CachedServer> ObserveCache::find_server_hashed(
+    std::span<const std::uint8_t> record, std::uint64_t hash) {
+  if (!enabled()) return std::nullopt;
+  const auto tag = static_cast<std::uint32_t>(hash >> 32);
+  std::size_t pos = static_cast<std::size_t>(hash) & index_mask_;
+  while (server_index_[pos].head1 != 0) {
+    if (server_index_[pos].tag == tag) {
+      bool saw_hash = false;
+      for (std::uint32_t idx = server_index_[pos].head1 - 1; idx != kNilSlot;
+           idx = server_slots_[idx].next) {
+        const auto& entry = server_slots_[idx];
+        if (entry.hash != hash) continue;
+        saw_hash = true;
+        if (!same_bytes(entry.key, record)) continue;
         ++stats_.server.hits;
         return CachedServer{&entry.hello, &entry.features};
       }
+      if (saw_hash) ++stats_.server.collisions;
+      break;
     }
-    ++stats_.server.collisions;
+    pos = (pos + 1) & index_mask_;
   }
   ++stats_.server.misses;
   return std::nullopt;
@@ -341,19 +450,41 @@ std::optional<CachedServer> ObserveCache::find_server(
 CachedServer ObserveCache::insert_server(std::span<const std::uint8_t> record,
                                          const tls::wire::ServerHello& hello,
                                          const ServerHelloFeatures& features) {
-  const std::uint64_t h = hash_(record);
+  return insert_server_hashed(record, hash_(record),
+                              tls::wire::ServerHello(hello), features);
+}
+
+CachedServer ObserveCache::insert_server_hashed(
+    std::span<const std::uint8_t> record, std::uint64_t hash,
+    tls::wire::ServerHello&& hello, const ServerHelloFeatures& features) {
   if (server_size_ >= capacity_) {
-    stats_.server.evictions += server_size_;
-    ++stats_.server.flushes;
-    server_.clear();
-    server_size_ = 0;
+    flush_server();
   }
-  auto& chain = server_[h];
-  chain.push_back(ServerEntry{{record.begin(), record.end()}, hello,
-                              features});
+  const auto tag = static_cast<std::uint32_t>(hash >> 32);
+  std::size_t pos = static_cast<std::size_t>(hash) & index_mask_;
+  while (server_index_[pos].head1 != 0 && server_index_[pos].tag != tag) {
+    pos = (pos + 1) & index_mask_;
+  }
+  const auto idx = static_cast<std::uint32_t>(server_size_);
+  const std::uint32_t next =
+      server_index_[pos].head1 == 0 ? kNilSlot : server_index_[pos].head1 - 1;
+  if (idx < server_slots_.size()) {
+    auto& slot = server_slots_[idx];
+    slot.key.assign(record.begin(), record.end());
+    slot.hello = std::move(hello);
+    slot.features = features;
+    slot.hash = hash;
+    slot.next = next;
+  } else {
+    server_slots_.push_back(ServerSlot{{record.begin(), record.end()},
+                                       std::move(hello), features, hash,
+                                       next});
+  }
+  server_index_[pos] = IndexCell{tag, idx + 1};
   ++server_size_;
   ++stats_.server.inserts;
-  return CachedServer{&chain.back().hello, &chain.back().features};
+  auto& slot = server_slots_[idx];
+  return CachedServer{&slot.hello, &slot.features};
 }
 
 }  // namespace tls::notary

@@ -23,11 +23,12 @@
 //     thread scheduling.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <deque>
 #include <optional>
 #include <span>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "fingerprint/database.hpp"
@@ -102,10 +103,26 @@ struct ServerHelloFeatures {
 /// notes them (heartbeat, supported_versions, fingerprint extraction); a
 /// non-empty `errors` marks the record uncacheable. Single pass over the
 /// cipher-suite and extension lists.
+///
+/// `fp_canonical_out` (optional) defers the MD5 digest for batch hashing:
+/// when non-null and the fingerprint extracts cleanly, the canonical string
+/// is written there and `out` is left with fingerprint_computed=true but an
+/// empty fp_hash and no label — the caller must digest the canonical (e.g.
+/// via tls::fp::md5_batch) and call finalize_client_fingerprint before the
+/// features are applied or cached. Nothing after the canonical is built can
+/// throw, so deferral never changes the error stream.
 void build_client_features(const tls::wire::ClientHello& hello,
                            const tls::fp::FingerprintDatabase* db,
                            bool want_fingerprint, ClientHelloFeatures& out,
-                           std::vector<tls::wire::ParseErrorCode>& errors);
+                           std::vector<tls::wire::ParseErrorCode>& errors,
+                           std::string* fp_canonical_out = nullptr);
+
+/// Completes a deferred fingerprint (see build_client_features): sets
+/// fp_hash from the digest of the canonical string and resolves the
+/// database label. Byte-identical to the non-deferred path.
+void finalize_client_fingerprint(ClientHelloFeatures& out,
+                                 const tls::fp::FingerprintDatabase* db,
+                                 const std::array<std::uint8_t, 16>& digest);
 
 /// Derives the server-side feature set; returns false (out unspecified)
 /// when any lazy accessor throws — such records are never memoized.
@@ -160,10 +177,17 @@ class ObserveCache {
   /// Injectable for tests that force 64-bit collisions.
   using HashFn = std::uint64_t (*)(std::span<const std::uint8_t>);
 
-  static constexpr std::size_t kDefaultCapacity = 4096;
+  /// Sized so one generation's slab (~600B/entry/side) stays resident in a
+  /// modest last-level cache: in the all-miss regime every insert writes a
+  /// full entry, and a slab that spills to DRAM costs more than the parse it
+  /// replaces. The paper's skew concentrates real traffic on a few hundred
+  /// distinct records, comfortably inside 1024; workloads with wider working
+  /// sets can raise StudyOptions::observe_cache_entries.
+  static constexpr std::size_t kDefaultCapacity = 1024;
 
-  explicit ObserveCache(std::size_t capacity = kDefaultCapacity)
-      : capacity_(capacity) {}
+  explicit ObserveCache(std::size_t capacity = kDefaultCapacity) {
+    set_capacity(capacity);
+  }
 
   [[nodiscard]] bool enabled() const { return capacity_ > 0; }
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
@@ -172,7 +196,9 @@ class ObserveCache {
     return client_size_ + server_size_;
   }
 
-  /// Capacity applies per side; 0 disables the cache (and clears it).
+  /// Capacity applies per side; 0 disables the cache. Changing the capacity
+  /// drops all entries (without touching eviction stats) and resizes the
+  /// probe tables.
   void set_capacity(std::size_t capacity);
   void set_hash_for_test(HashFn hash) { hash_ = hash; }
 
@@ -192,6 +218,43 @@ class ObserveCache {
                              const tls::wire::ServerHello& hello,
                              const ServerHelloFeatures& features);
 
+  // ---- batched-path variants ----
+  // The batch observe path hashes a whole generation of records in SIMD
+  // lanes up front (tls::fp::fnv1a64_batch) and hands the hash back in, so
+  // each record is hashed exactly once across find + insert; the insert
+  // overloads take ownership instead of deep-copying the parsed hello.
+
+  /// True while the cache runs its production hash — the precondition for
+  /// feeding it hashes from fnv1a64_batch (tests may inject another HashFn).
+  [[nodiscard]] bool uses_default_hash() const { return hash_ == &fnv1a64; }
+  [[nodiscard]] std::uint64_t hash_bytes(
+      std::span<const std::uint8_t> bytes) const {
+    return hash_(bytes);
+  }
+
+  /// Pre-flushes the client side so that up to `n` subsequent inserts
+  /// cannot trigger a generation flush. Batch callers hold CachedClient
+  /// pointers from a find phase across an insert phase; a flush between the
+  /// two would dangle them. (If the flush leaves the side empty and `n`
+  /// still exceeds capacity, every batched find misses, so no pointer can
+  /// outlive a later flush either way.)
+  void ensure_client_headroom(std::size_t n);
+
+  [[nodiscard]] std::optional<CachedClient> find_client_hashed(
+      std::span<const std::uint8_t> record, std::uint64_t hash,
+      bool require_fingerprint);
+  CachedClient insert_client_hashed(std::span<const std::uint8_t> record,
+                                    std::uint64_t hash,
+                                    tls::wire::ClientHello&& hello,
+                                    ClientHelloFeatures&& features);
+
+  [[nodiscard]] std::optional<CachedServer> find_server_hashed(
+      std::span<const std::uint8_t> record, std::uint64_t hash);
+  CachedServer insert_server_hashed(std::span<const std::uint8_t> record,
+                                    std::uint64_t hash,
+                                    tls::wire::ServerHello&& hello,
+                                    const ServerHelloFeatures& features);
+
   void count_bypass() { ++stats_.bypasses; }
   void count_uncacheable() { ++stats_.uncacheable; }
 
@@ -202,24 +265,57 @@ class ObserveCache {
   static std::uint64_t fnv1a64(std::span<const std::uint8_t> bytes);
 
  private:
-  struct ClientEntry {
+  // Storage layout, tuned for the whole-generation-flush lifecycle. Entries
+  // live in a slot slab (std::deque — pointers into slots stay valid while
+  // the slab grows) and are addressed through a flat open-addressed probe
+  // table of (hash, head) cells; distinct records sharing a 64-bit key form
+  // an intrusive chain via ClientSlot::next, and every chain hit is still
+  // verified against the full record bytes before use. A generation flush
+  // just zeroes the probe table and resets the live count: the slabs keep
+  // their slots, and the next generation reuses them index-for-index by
+  // assigning into the retained vector/string capacity. In the
+  // all-miss regime (every record distinct) this makes insert + flush
+  // nearly allocation-free instead of ~10 heap round-trips per record.
+  static constexpr std::uint32_t kNilSlot = 0xffffffffu;
+
+  struct ClientSlot {
     std::vector<std::uint8_t> key;
     tls::wire::ClientHello hello;
     ClientHelloFeatures features;
+    std::uint64_t hash = 0;
+    std::uint32_t next = kNilSlot;
   };
-  struct ServerEntry {
+  struct ServerSlot {
     std::vector<std::uint8_t> key;
     tls::wire::ServerHello hello;
     ServerHelloFeatures features;
+    std::uint64_t hash = 0;
+    std::uint32_t next = kNilSlot;
+  };
+  /// One probe-table cell: head1 is the 1-based head slot of a chain
+  /// (0 == empty cell). The cell stores only the high 32 bits of the 64-bit
+  /// key as a tag — 8-byte cells keep both tables L2-resident — and chains
+  /// are walked comparing the full hash stored in each slot, so distinct
+  /// keys that share a tag and a probe path just share a chain. Probe
+  /// position comes from the low hash bits; table size is a power of two
+  /// ≥ 2× capacity, so the load factor never exceeds 1/2 and linear probing
+  /// terminates.
+  struct IndexCell {
+    std::uint32_t tag = 0;
+    std::uint32_t head1 = 0;
   };
 
-  // Chained by 64-bit key; every chain hit is verified against the full
-  // record bytes before use.
-  std::unordered_map<std::uint64_t, std::vector<ClientEntry>> client_;
-  std::unordered_map<std::uint64_t, std::vector<ServerEntry>> server_;
+  void flush_client();
+  void flush_server();
+
+  std::deque<ClientSlot> client_slots_;
+  std::deque<ServerSlot> server_slots_;
+  std::vector<IndexCell> client_index_;
+  std::vector<IndexCell> server_index_;
+  std::size_t index_mask_ = 0;
   std::size_t client_size_ = 0;
   std::size_t server_size_ = 0;
-  std::size_t capacity_;
+  std::size_t capacity_ = 0;
   HashFn hash_ = &fnv1a64;
   ObserveCacheStats stats_;
 };
