@@ -73,6 +73,17 @@ tls::analysis::RecoveryReport LongitudinalStudy::recovery() const {
   return report;
 }
 
+tls::population::TrafficGenerator& LongitudinalStudy::worker_generator() {
+  const auto id = std::this_thread::get_id();
+  const std::lock_guard<std::mutex> lock(worker_gen_mutex_);
+  auto& slot = worker_gens_[id];
+  if (slot == nullptr) {
+    slot = std::make_unique<tls::population::TrafficGenerator>(*market_,
+                                                               servers_, 0);
+  }
+  return *slot;
+}
+
 std::unique_ptr<tls::notary::PassiveMonitor> LongitudinalStudy::compute_shard(
     Month month, std::size_t shard, std::size_t count,
     TaskTelemetry* telemetry, std::uint32_t lane_id) {
@@ -93,9 +104,14 @@ std::unique_ptr<tls::notary::PassiveMonitor> LongitudinalStudy::compute_shard(
           tls::core::rng_stream_seed(options_.fault_seed, lane, shard));
       mon->set_fault_injector(injector.get());
     }
-    tls::population::TrafficGenerator gen(
-        *market_, servers_,
-        tls::core::rng_stream_seed(options_.seed, lane, shard));
+    // Worker-local generator, re-seeded per task: every cache it carries
+    // is a pure function of the models, so the stream (and every exported
+    // byte) is identical to a freshly constructed generator's — but the
+    // gen-cache templates compile once per worker instead of once per task.
+    tls::population::TrafficGenerator& gen = worker_generator();
+    gen.set_gen_cache(options_.gen_cache);
+    gen.reseed(tls::core::rng_stream_seed(options_.seed, lane, shard));
+    const auto gen_stats_before = gen.gen_cache_stats();
     const auto deadline =
         std::chrono::steady_clock::now() +
         std::chrono::microseconds(options_.task_deadline_us);
@@ -138,6 +154,44 @@ std::unique_ptr<tls::notary::PassiveMonitor> LongitudinalStudy::compute_shard(
           .counter("tls_repro_pipeline_shard_tasks_total", "",
                    "Passive (month, shard) tasks computed")
           .add();
+      {
+        // Deltas against the task-start snapshot: the worker generator's
+        // cache (and its stats) persists across tasks.
+        const auto& gs = gen.gen_cache_stats();
+        const auto& gb = gen_stats_before;
+        // template_hits and bypasses are per-connection facts (functions
+        // of the plan); the warmth counters (misses, plan hits/misses,
+        // resident bytes) depend on which worker ran which tasks, so they
+        // carry the schedule-derived flag and stay out of the
+        // deterministic digest.
+        struct GenCounter {
+          const char* name;
+          std::uint64_t value;
+          bool warmth;
+        };
+        const GenCounter gen_counters[] = {
+            {"tls_repro_gen_cache_template_hits_total",
+             gs.template_hits - gb.template_hits, false},
+            {"tls_repro_gen_cache_bypass_total", gs.bypasses - gb.bypasses,
+             false},
+            {"tls_repro_gen_cache_template_misses_total",
+             gs.template_misses - gb.template_misses, true},
+            {"tls_repro_gen_cache_plan_hits_total",
+             gs.plan_hits - gb.plan_hits, true},
+            {"tls_repro_gen_cache_plan_misses_total",
+             gs.plan_misses - gb.plan_misses, true},
+            {"tls_repro_gen_cache_template_bytes_total",
+             gs.template_bytes - gb.template_bytes, true},
+        };
+        for (const auto& [name, value, warmth] : gen_counters) {
+          if (value == 0) continue;
+          tel->registry
+              .counter(name, "",
+                       "Producer-side GenCache template/plan activity",
+                       warmth)
+              .add(value);
+        }
+      }
       if (injector != nullptr) {
         const auto& fs = injector->stats();
         for (std::size_t k = 1; k < tls::faults::kFaultKindCount; ++k) {

@@ -9,7 +9,10 @@
 
 #include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "analysis/render.hpp"
@@ -65,6 +68,13 @@ struct StudyOptions {
   /// PassiveMonitor::observe). Off forces the serialize→parse byte path;
   /// outputs are identical either way.
   bool fast_observe = true;
+  /// Producer-side template cache (tls::population::GenCache): compiled
+  /// hello wire templates + memoized negotiation plans. Off forces the
+  /// build-from-scratch path; the RNG stream and every exported byte are
+  /// identical either way (tested across threads and fault rates), so —
+  /// like the observe-cache knobs above — it is excluded from
+  /// options_digest and a checkpointed run may resume with it flipped.
+  bool gen_cache = true;
   /// Unified telemetry: collect the metrics registry and pipeline spans
   /// during run()/export_figures(). Observability only — enabling it may
   /// not change a single exported CSV byte at any thread count or fault
@@ -181,6 +191,14 @@ class LongitudinalStudy {
   std::unique_ptr<RunJournal> journal_;
   std::unique_ptr<tls::faults::FaultInjector> frame_injector_;
   std::atomic<std::uint64_t> stuck_reruns_{0};
+  /// One TrafficGenerator per worker thread, reused (re-seeded) across
+  /// shard tasks so the gen-cache templates compile once per worker, not
+  /// once per task. Guarded by worker_gen_mutex_ for slot creation; each
+  /// thread only ever touches its own generator.
+  std::mutex worker_gen_mutex_;
+  std::unordered_map<std::thread::id,
+                     std::unique_ptr<tls::population::TrafficGenerator>>
+      worker_gens_;
   bool ran_ = false;
   tls::telemetry::MetricsRegistry metrics_;
   tls::telemetry::TraceRecorder trace_;
@@ -194,6 +212,9 @@ class LongitudinalStudy {
 
   /// Lazily opens (and replays) the journal; no-op without checkpoint_dir.
   void ensure_journal();
+  /// Returns this worker thread's reusable generator (created on first
+  /// use). Callers must reseed() it before generating.
+  tls::population::TrafficGenerator& worker_generator();
   /// One passive (month, shard) task under the watchdog; returns the
   /// shard's monitor (rerun once if the first attempt blows the deadline).
   /// `telemetry` (nullable) receives the successful attempt's metrics and

@@ -156,10 +156,11 @@ bool suite_allowed_at_version(const CipherSuiteInfo& suite,
   return true;
 }
 
-NegotiationResult negotiate(const ClientHello& hello,
-                            const ServerConfig& server, tls::core::Rng& rng,
-                            const NegotiateOptions& opts) {
-  NegotiationResult result;
+NegotiationPlan plan_negotiation(const ClientHello& hello,
+                                 const ServerConfig& server,
+                                 const NegotiateOptions& opts) {
+  NegotiationPlan plan;
+  NegotiationResult& result = plan.skeleton;
 
   // ---- version selection ----
   std::uint16_t version = 0;
@@ -190,32 +191,29 @@ NegotiationResult negotiate(const ClientHello& hello,
     if (server.version_intolerant && hello.legacy_version > server.max_version) {
       // Broken stack: drops the connection instead of negotiating down.
       result.failure = FailureReason::kNoCommonVersion;
-      return result;
+      plan.version_fail = true;
+      return plan;
     }
     version = std::min(hello.legacy_version, server.max_version);
     if (version < server.min_version) {
       result.failure = FailureReason::kNoCommonVersion;
-      return result;
+      plan.version_fail = true;
+      return plan;
     }
   }
   result.negotiated_version = version;
-
-  ServerHello sh;
-  sh.legacy_version = tls13 ? 0x0303 : version;
-  for (auto& b : sh.random) b = static_cast<std::uint8_t>(rng.next());
+  plan.tls13 = tls13;
   // Pre-1.3 resumption: the server that still holds the session echoes the
   // presented id, signalling an abbreviated handshake. TLS 1.3 echoes the
   // id unconditionally (middlebox compatibility), which is NOT resumption.
-  const bool resume = !tls13 && opts.attempt_resumption &&
-                      !hello.session_id.empty() &&
-                      rng.chance(server.resumption_rate);
-  if (tls13 || resume) {
-    sh.session_id = hello.session_id;
-    result.resumed = resume;
-  } else {
-    sh.session_id.resize(32);
-    for (auto& b : sh.session_id) b = static_cast<std::uint8_t>(rng.next());
-  }
+  plan.draw_resumption =
+      !tls13 && opts.attempt_resumption && !hello.session_id.empty();
+  plan.resumption_rate = server.resumption_rate;
+
+  ServerHello sh;
+  sh.legacy_version = tls13 ? 0x0303 : version;
+  // random and session id stay blank: complete_negotiation_into() draws
+  // them per connection in the legacy order.
 
   // ---- quirks: servers answering with unoffered suites (§5.5, §7.3) ----
   std::uint16_t quirk_suite = 0;
@@ -227,7 +225,7 @@ NegotiationResult negotiate(const ClientHello& hello,
   }
   if (quirk_suite != 0 && !client_offers(hello, quirk_suite)) {
     sh.cipher_suite = quirk_suite;
-    result.server_hello = sh;
+    result.server_hello = std::move(sh);
     result.negotiated_cipher = quirk_suite;
     result.spec_violation = true;
     if (opts.accept_unoffered_suite) {
@@ -235,7 +233,7 @@ NegotiationResult negotiate(const ClientHello& hello,
     } else {
       result.failure = FailureReason::kClientRejectedUnofferedSuite;
     }
-    return result;
+    return plan;
   }
 
   // ---- cipher selection ----
@@ -247,8 +245,11 @@ NegotiationResult negotiate(const ClientHello& hello,
           : pick_suite(hello.cipher_suites, server.cipher_preference, version,
                        hello, server, &group);
   if (!suite.has_value()) {
+    // No server_hello, but completion still consumes the random /
+    // resumption / session-id draws exactly as the monolith did before
+    // reaching this point.
     result.failure = FailureReason::kNoCommonCipher;
-    return result;
+    return plan;
   }
   sh.cipher_suite = *suite;
   result.negotiated_cipher = *suite;
@@ -258,7 +259,7 @@ NegotiationResult negotiate(const ClientHello& hello,
     group = select_group(hello, server);
     if (group == 0) {
       result.failure = FailureReason::kNoCommonCipher;
-      return result;
+      return plan;
     }
   }
   result.negotiated_group = group;
@@ -273,6 +274,60 @@ NegotiationResult negotiate(const ClientHello& hello,
 
   result.server_hello = std::move(sh);
   result.success = true;
+  return plan;
+}
+
+void complete_negotiation_into(const NegotiationPlan& plan,
+                               const ClientHello& hello, tls::core::Rng& rng,
+                               NegotiationResult& out) {
+  const NegotiationResult& skel = plan.skeleton;
+  out.success = skel.success;
+  out.failure = skel.failure;
+  out.negotiated_version = skel.negotiated_version;
+  out.negotiated_cipher = skel.negotiated_cipher;
+  out.negotiated_group = skel.negotiated_group;
+  out.spec_violation = skel.spec_violation;
+  out.heartbeat_negotiated = skel.heartbeat_negotiated;
+  out.resumed = false;
+  if (plan.version_fail) {
+    // The monolith returned before its first draw; do the same.
+    out.server_hello.reset();
+    return;
+  }
+
+  ServerHello* sh = nullptr;
+  if (skel.server_hello.has_value()) {
+    if (!out.server_hello.has_value()) out.server_hello.emplace();
+    sh = &*out.server_hello;
+    const ServerHello& proto = *skel.server_hello;
+    sh->legacy_version = proto.legacy_version;
+    sh->cipher_suite = proto.cipher_suite;
+    sh->compression_method = proto.compression_method;
+    sh->extensions = proto.extensions;
+    for (auto& b : sh->random) b = static_cast<std::uint8_t>(rng.next());
+  } else {
+    // Failure after the draws (no common cipher): the RNG still advances.
+    out.server_hello.reset();
+    for (int i = 0; i < 32; ++i) rng.next();
+  }
+
+  const bool resume = plan.draw_resumption && rng.chance(plan.resumption_rate);
+  if (plan.tls13 || resume) {
+    if (sh != nullptr) sh->session_id = hello.session_id;
+    out.resumed = resume;
+  } else if (sh != nullptr) {
+    sh->session_id.resize(32);
+    for (auto& b : sh->session_id) b = static_cast<std::uint8_t>(rng.next());
+  } else {
+    for (int i = 0; i < 32; ++i) rng.next();
+  }
+}
+
+NegotiationResult negotiate(const ClientHello& hello, const ServerConfig& server,
+                            tls::core::Rng& rng, const NegotiateOptions& opts) {
+  NegotiationResult result;
+  complete_negotiation_into(plan_negotiation(hello, server, opts), hello, rng,
+                            result);
   return result;
 }
 

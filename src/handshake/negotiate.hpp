@@ -57,6 +57,43 @@ NegotiationResult negotiate(const tls::wire::ClientHello& hello,
                             tls::core::Rng& rng,
                             const NegotiateOptions& opts = {});
 
+/// The deterministic core of negotiate(), split out so callers that replay
+/// the same (hello shape, server, options) triple many times — the
+/// producer-side GenCache — can compute it once and memoize it. The plan
+/// captures everything that does not depend on the per-connection RNG
+/// draws: version selection, quirk handling, cipher/group selection and
+/// the echoed extension set. It depends on the hello only through
+/// template-stable content (legacy_version, cipher_suites, extension
+/// bodies, session-id *emptiness*) — never through the random bytes or the
+/// session-id value, which complete_negotiation_into() fills per
+/// connection.
+struct NegotiationPlan {
+  /// Fully-negotiated result with server random / session id left blank.
+  NegotiationResult skeleton;
+  /// Version selection failed before the first RNG draw: completion copies
+  /// the skeleton and returns without touching the RNG, matching the
+  /// legacy early return.
+  bool version_fail = false;
+  bool tls13 = false;
+  /// Whether completion must consume the resumption-acceptance draw
+  /// (pre-1.3, client re-presented a session id, attempt_resumption set).
+  bool draw_resumption = false;
+  double resumption_rate = 0.0;
+};
+
+NegotiationPlan plan_negotiation(const tls::wire::ClientHello& hello,
+                                 const tls::servers::ServerConfig& server,
+                                 const NegotiateOptions& opts = {});
+
+/// Completes a plan into `out`, drawing exactly the RNG sequence the
+/// monolithic negotiate() would draw for the same inputs (server random,
+/// resumption chance, fresh session id) so the stream stays bit-identical
+/// whether or not the plan was cached. `hello` supplies the per-connection
+/// session id to echo; `out` is reused capacity-preservingly.
+void complete_negotiation_into(const NegotiationPlan& plan,
+                               const tls::wire::ClientHello& hello,
+                               tls::core::Rng& rng, NegotiationResult& out);
+
 /// The alert a failed negotiation puts on the wire (RFC 5246 §7.2.2):
 /// version mismatch -> protocol_version, no common cipher ->
 /// handshake_failure, client abort on an unoffered suite ->

@@ -148,7 +148,13 @@ void PassiveMonitor::observe(const tls::population::ConnectionEvent& event) {
     if (tel_fast_ != nullptr) tel_fast_->add();
     return;
   }
-  event.hello.serialize_record_into(buf_client_);
+  // The GenCache ships the hello's record bytes with the event; copy them
+  // (the injector mutates this buffer in place) instead of re-serializing.
+  if (!event.client_record.empty()) {
+    buf_client_.assign(event.client_record.begin(), event.client_record.end());
+  } else {
+    event.hello.serialize_record_into(buf_client_);
+  }
   buf_server_.clear();
   buf_ske_.clear();
   buf_alert_.clear();
@@ -233,7 +239,11 @@ void PassiveMonitor::observe_span(
     WireCapture cap;
     cap.month = event.month;
     cap.day = event.day;
-    event.hello.serialize_record_into(cap.client);
+    if (!event.client_record.empty()) {
+      cap.client = event.client_record;  // pre-serialized by the GenCache
+    } else {
+      event.hello.serialize_record_into(cap.client);
+    }
     if (event.result.server_hello.has_value()) {
       const auto& sh = *event.result.server_hello;
       sh.serialize_record_into(cap.server);

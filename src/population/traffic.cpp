@@ -1,9 +1,10 @@
 #include "population/traffic.hpp"
 
 #include <algorithm>
+#include <array>
+#include <stdexcept>
 
 #include "wire/transcript.hpp"
-#include <stdexcept>
 
 namespace tls::population {
 
@@ -38,34 +39,65 @@ ConnectionFlights synthesize_flights(const ConnectionEvent& event) {
 TrafficGenerator::TrafficGenerator(
     const MarketModel& market, const tls::servers::ServerPopulation& servers,
     std::uint64_t seed)
-    : market_(market), servers_(servers), rng_(seed) {}
+    : market_(market), servers_(servers), rng_(seed) {
+  accept_unoffered_.reserve(market_.entries().size());
+  for (const auto& e : market_.entries()) {
+    accept_unoffered_.push_back(e.profile->name == "Interwise" ? 1 : 0);
+  }
+}
+
+void TrafficGenerator::ensure_template_table() {
+  if (!gen_cache_enabled_ || !template_sets_.empty()) return;
+  const auto entries = market_.entries();
+  template_sets_.reserve(entries.size());
+  for (const auto& e : entries) {
+    std::vector<const GenCache::TemplateSet*> row;
+    row.reserve(e.profile->versions.size());
+    for (const auto& cfg : e.profile->versions) {
+      row.push_back(&gen_cache_.templates(cfg));
+    }
+    template_sets_.push_back(std::move(row));
+  }
+}
 
 const ServerSegment& TrafficGenerator::route(const MarketEntry& entry,
-                                             Month m) {
+                                             const MonthCache& cache) {
   if (entry.destination.empty()) {
-    return servers_.sample_by_traffic(m, rng_);
+    // General web traffic: cached (segment, share-at-m) walk, arithmetic
+    // bit-identical to ServerPopulation::sample_by_traffic (total summed in
+    // segment order, same subtraction order, same last-segment fallback,
+    // and the same throw-before-draw on zero weight).
+    const MonthCache::DestTable& table = cache.general;
+    if (table.total <= 0) {
+      throw std::logic_error("no general-web traffic weight");
+    }
+    double x = rng_.uniform() * table.total;
+    const ServerSegment* last = nullptr;
+    for (const auto& [seg, share] : table.segments) {
+      last = seg;
+      x -= share;
+      if (x <= 0) return *seg;
+    }
+    return *last;
   }
   // Special destinations: sample among segments whose name starts with the
-  // destination key, weighted by their (relative) traffic shares.
-  double total = 0;
-  for (const auto& s : servers_.segments()) {
-    if (s.special_destination && s.name.starts_with(entry.destination)) {
-      total += s.traffic_share.at(m);
-    }
-  }
-  if (total <= 0) {
+  // destination key, weighted by their (relative) traffic shares. The
+  // matching segments and their shares were collected once per month (in
+  // segment order, total accumulated in that same order) so the pick walks
+  // only the handful of matches with arithmetic bit-identical to the old
+  // double full scan.
+  const auto it = cache.dest_tables.find(entry.destination);
+  if (it == cache.dest_tables.end() || it->second.total <= 0) {
     throw std::logic_error("no server segment for destination " +
                            entry.destination);
   }
-  double x = rng_.uniform() * total;
+  const MonthCache::DestTable& table = it->second;
+  double x = rng_.uniform() * table.total;
   const ServerSegment* last = nullptr;
-  for (const auto& s : servers_.segments()) {
-    if (!s.special_destination || !s.name.starts_with(entry.destination)) {
-      continue;
-    }
-    last = &s;
-    x -= s.traffic_share.at(m);
-    if (x <= 0) return s;
+  for (const auto& [seg, share] : table.segments) {
+    last = seg;
+    x -= share;
+    if (x <= 0) return *seg;
   }
   return *last;
 }
@@ -93,27 +125,135 @@ const TrafficGenerator::MonthCache& TrafficGenerator::cache_for(Month m) {
     }
     c.version_cum.push_back(std::move(vcum));
   }
+  if (!c.entry_cum.empty() && c.entry_cum.back() > 0) {
+    const double total = c.entry_cum.back();
+    c.inv_total = 1.0 / total;
+    c.entry_buckets.resize(MonthCache::kEntryBuckets + 1);
+    for (std::size_t k = 0; k <= MonthCache::kEntryBuckets; ++k) {
+      const double t =
+          total * (static_cast<double>(k) / MonthCache::kEntryBuckets);
+      c.entry_buckets[k] = static_cast<std::uint32_t>(
+          std::upper_bound(c.entry_cum.begin(), c.entry_cum.end(), t) -
+          c.entry_cum.begin());
+    }
+  }
+  for (const auto& e : entries) {
+    if (e.destination.empty() || c.dest_tables.contains(e.destination)) {
+      continue;
+    }
+    MonthCache::DestTable t;
+    for (const auto& s : servers_.segments()) {
+      if (s.special_destination && s.name.starts_with(e.destination)) {
+        const double w = s.traffic_share.at(m);
+        t.segments.emplace_back(&s, w);
+        t.total += w;
+      }
+    }
+    c.dest_tables.emplace(e.destination, std::move(t));
+  }
+  for (const auto& s : servers_.segments()) {
+    if (s.special_destination) continue;
+    const double w = s.traffic_share.at(m);
+    c.general.segments.emplace_back(&s, w);
+    c.general.total += w;
+  }
   return cache_.emplace(m.index(), std::move(c)).first->second;
 }
 
-bool TrafficGenerator::generate_into(Month m, ConnectionEvent& ev) {
-  const MonthCache& cache = cache_for(m);
+GenCache::TemplateSet GenCache::compile(const tls::clients::ClientConfig& cfg) {
+  TemplateSet t;
+  t.bypass = cfg.grease || cfg.randomizes_cipher_order;
+  if (t.bypass) return t;
+  // Any seed works: the RNG-filled fields are zeroed below. The SNI host
+  // must match the one generate_into passes to make_client_hello.
+  tls::core::Rng throwaway(0x7e3d);
+  t.base.hello = tls::clients::make_client_hello(cfg, throwaway, "host.test");
+  t.base.hello.random.fill(0);
+  std::fill(t.base.hello.session_id.begin(), t.base.hello.session_id.end(),
+            static_cast<std::uint8_t>(0));
+  t.base.has_session_id = !t.base.hello.session_id.empty();
+  t.base.hello.serialize_record_into(t.base.wire);
+  if (!t.base.has_session_id) {
+    // Empty-id configs may gain a 32-byte id on the resumption leg.
+    t.resume.hello = t.base.hello;
+    t.resume.hello.session_id.assign(32, 0);
+    t.resume.has_session_id = true;
+    t.resume.hello.serialize_record_into(t.resume.wire);
+    t.has_resume = true;
+  }
+  // Structural sanity for the fixed patch offsets: the session-id length
+  // byte sits right before kSessionIdOffset in the codec layout.
+  const auto check = [](const WireTemplate& w) {
+    if (w.wire.size() < kSessionIdOffset ||
+        w.wire[kSessionIdOffset - 1] !=
+            static_cast<std::uint8_t>(w.hello.session_id.size())) {
+      throw std::logic_error("gen-cache template layout mismatch");
+    }
+  };
+  check(t.base);
+  if (t.has_resume) check(t.resume);
+  return t;
+}
+
+const GenCache::TemplateSet& GenCache::templates(
+    const tls::clients::ClientConfig& cfg) {
+  const auto it = templates_.find(&cfg);
+  if (it != templates_.end()) return it->second;
+  ++stats.template_misses;
+  TemplateSet t = compile(cfg);
+  t.id = next_id_++;
+  stats.template_bytes += t.base.wire.size() + t.resume.wire.size();
+  return templates_.emplace(&cfg, std::move(t)).first->second;
+}
+
+const tls::handshake::NegotiationPlan& GenCache::plan(
+    std::uint64_t key, const tls::wire::ClientHello& hello,
+    const tls::servers::ServerConfig& server,
+    const tls::handshake::NegotiateOptions& opts) {
+  if (key >= plan_index_.size()) plan_index_.resize(key + 1, -1);
+  std::int32_t& slot = plan_index_[key];
+  if (slot >= 0) {
+    ++stats.plan_hits;
+    return *plan_store_[static_cast<std::size_t>(slot)];
+  }
+  ++stats.plan_misses;
+  plan_store_.push_back(std::make_unique<tls::handshake::NegotiationPlan>(
+      tls::handshake::plan_negotiation(hello, server, opts)));
+  slot = static_cast<std::int32_t>(plan_store_.size() - 1);
+  return *plan_store_.back();
+}
+
+bool TrafficGenerator::generate_into(Month m, const MonthCache& cache,
+                                     ConnectionEvent& ev) {
   MarketModel::Pick pick;
+  std::size_t ei = 0;
+  std::size_t vi = 0;
   if (!cache.entry_cum.empty() && cache.entry_cum.back() > 0) {
     const double x = rng_.uniform() * cache.entry_cum.back();
-    const auto eit =
-        std::upper_bound(cache.entry_cum.begin(), cache.entry_cum.end(), x);
-    const std::size_t ei = std::min(
-        static_cast<std::size_t>(eit - cache.entry_cum.begin()),
-        market_.entries().size() - 1);
+    // Bucket-windowed upper_bound: identical result to a full-range
+    // upper_bound (the window provably brackets the true position; see
+    // MonthCache::entry_buckets), ~half the cost at ~1.5k entries.
+    const std::size_t nb = MonthCache::kEntryBuckets;
+    const std::size_t k =
+        std::min(nb - 1, static_cast<std::size_t>(x * cache.inv_total *
+                                                  static_cast<double>(nb)));
+    const std::size_t lo = cache.entry_buckets[k > 0 ? k - 1 : 0];
+    const std::size_t hi = std::min(cache.entry_cum.size(),
+                                    static_cast<std::size_t>(
+                                        cache.entry_buckets[std::min(
+                                            nb, k + 2)]) +
+                                        1);
+    const auto eit = std::upper_bound(cache.entry_cum.begin() + lo,
+                                      cache.entry_cum.begin() + hi, x);
+    ei = std::min(static_cast<std::size_t>(eit - cache.entry_cum.begin()),
+                  market_.entries().size() - 1);
     pick.entry = &market_.entries()[ei];
     const auto& vcum = cache.version_cum[ei];
     if (!vcum.empty() && vcum.back() > 0) {
       const double vx = rng_.uniform() * vcum.back();
       const auto vit = std::upper_bound(vcum.begin(), vcum.end(), vx);
-      const std::size_t vi =
-          std::min(static_cast<std::size_t>(vit - vcum.begin()),
-                   vcum.size() - 1);
+      vi = std::min(static_cast<std::size_t>(vit - vcum.begin()),
+                    vcum.size() - 1);
       pick.config = &pick.entry->profile->versions[vi];
     }
   }
@@ -128,7 +268,7 @@ bool TrafficGenerator::generate_into(Month m, ConnectionEvent& ev) {
   ev.client = pick.entry->profile;
   ev.config = pick.config;
 
-  const ServerSegment& server = route(*pick.entry, m);
+  const ServerSegment& server = route(*pick.entry, cache);
   ev.server = &server;
 
   if (pick.entry->sslv2_fraction > 0 &&
@@ -138,10 +278,95 @@ bool TrafficGenerator::generate_into(Month m, ConnectionEvent& ev) {
     return true;
   }
 
+  tls::handshake::NegotiateOptions opts;
+  opts.accept_unoffered_suite = accept_unoffered_[ei] != 0;
+
+  const GenCache::TemplateSet* ts =
+      gen_cache_enabled_ && !template_sets_.empty()
+          ? template_sets_[ei][vi]
+          : (gen_cache_enabled_ ? &gen_cache_.templates(*pick.config)
+                                : nullptr);
+  if (ts != nullptr && !ts->bypass) {
+    // ---- template fast path: memcpy + patch, identical RNG stream ----
+    ++gen_cache_.stats.template_hits;
+    // The template working set (~1k scattered templates) misses cache on
+    // nearly every pick; start the loads now so they overlap the 32-96
+    // RNG draws below instead of stalling the copies.
+    __builtin_prefetch(ts->base.wire.data());
+    __builtin_prefetch(ts->base.hello.cipher_suites.data());
+    __builtin_prefetch(ts->base.hello.extensions.data());
+    if (ts->has_resume) __builtin_prefetch(ts->resume.wire.data());
+    std::array<std::uint8_t, 32> random;
+    for (auto& b : random) b = static_cast<std::uint8_t>(rng_.next());
+    const GenCache::WireTemplate* tm = &ts->base;
+    std::array<std::uint8_t, 32> sid;
+    bool have_sid = false;
+    if (ts->base.has_session_id) {
+      // The config emits its own id (TLS 1.3 compat), drawn right after
+      // the random inside make_client_hello; not a resumption attempt.
+      for (auto& b : sid) b = static_cast<std::uint8_t>(rng_.next());
+      have_sid = true;
+    } else if (rng_.chance(0.33)) {
+      // Roughly a third of revisits re-present a session id (clients that
+      // keep session caches; pre-1.3 only).
+      for (auto& b : sid) b = static_cast<std::uint8_t>(rng_.next());
+      tm = &ts->resume;
+      have_sid = true;
+      opts.attempt_resumption = true;
+    }
+    ev.hello = tm->hello;
+    ev.hello.random = random;
+    ev.client_record = tm->wire;
+    std::copy(random.begin(), random.end(),
+              ev.client_record.begin() + GenCache::kRandomOffset);
+    if (have_sid) {
+      ev.hello.session_id.assign(sid.begin(), sid.end());
+      std::copy(sid.begin(), sid.end(),
+                ev.client_record.begin() + GenCache::kSessionIdOffset);
+    }
+
+    const auto seg_index =
+        static_cast<std::uint64_t>(&server - servers_.segments().data());
+    // Dense memo key: (template, segment) pairs are contiguous so the plan
+    // cache can be a direct-indexed table. Low 4 bits = variant flags.
+    std::uint64_t key =
+        (static_cast<std::uint64_t>(ts->id) * servers_.segments().size() +
+         seg_index)
+        << 4;
+    if (tm == &ts->resume) key |= 1u;
+    if (opts.accept_unoffered_suite) key |= 2u;
+    {
+      const auto& plan = gen_cache_.plan(key, ev.hello, server.config, opts);
+      tls::handshake::complete_negotiation_into(plan, ev.hello, rng_,
+                                                ev.result);
+    }
+    if (!ev.result.success &&
+        ev.result.failure ==
+            tls::handshake::FailureReason::kNoCommonVersion &&
+        pick.config->version_fallback &&
+        server.config.max_version < ev.hello.legacy_version &&
+        server.config.max_version >= pick.config->min_version) {
+      ev.hello.legacy_version = server.config.max_version;
+      const bool scsv = m >= Month(2015, 4);  // RFC 7507 deployment
+      if (scsv) {
+        ev.hello.cipher_suites.push_back(tls::core::suites::TLS_FALLBACK_SCSV);
+      }
+      // The SCSV (and version patch) change the record bytes; the fallback
+      // leg is rare enough that a re-serialize beats splicing the buffer.
+      ev.hello.serialize_record_into(ev.client_record);
+      key |= 4u | (scsv ? 8u : 0u);
+      const auto& fplan = gen_cache_.plan(key, ev.hello, server.config, opts);
+      tls::handshake::complete_negotiation_into(fplan, ev.hello, rng_,
+                                                ev.result);
+      ev.used_fallback = true;
+    }
+    return true;
+  }
+  if (ts != nullptr) ++gen_cache_.stats.bypasses;
+
+  ev.client_record.clear();
   ev.hello = tls::clients::make_client_hello(*pick.config, rng_, "host.test");
 
-  tls::handshake::NegotiateOptions opts;
-  opts.accept_unoffered_suite = pick.entry->profile->name == "Interwise";
   // Roughly a third of revisits re-present a session id (clients that keep
   // session caches; pre-1.3 only — 1.3-capable stacks already send one).
   if (ev.hello.session_id.empty() && rng_.chance(0.33)) {
@@ -175,13 +400,19 @@ bool TrafficGenerator::generate_into(Month m, ConnectionEvent& ev) {
 }
 
 void TrafficGenerator::generate_one(Month m, const Sink& sink) {
+  ensure_template_table();
   ConnectionEvent ev;
-  if (generate_into(m, ev)) sink(ev);
+  if (generate_into(m, cache_for(m), ev)) sink(ev);
 }
 
 void TrafficGenerator::generate_month(Month m, std::size_t count,
                                       const Sink& sink) {
-  for (std::size_t i = 0; i < count; ++i) generate_one(m, sink);
+  ensure_template_table();
+  const MonthCache& cache = cache_for(m);
+  for (std::size_t i = 0; i < count; ++i) {
+    ConnectionEvent ev;
+    if (generate_into(m, cache, ev)) sink(ev);
+  }
 }
 
 void TrafficGenerator::generate_month_batched(Month m, std::size_t count,
@@ -189,11 +420,13 @@ void TrafficGenerator::generate_month_batched(Month m, std::size_t count,
                                               const SpanSink& sink) {
   if (batch_size == 0) batch_size = 1;
   if (batch_.size() < batch_size) batch_.resize(batch_size);
+  ensure_template_table();
+  const MonthCache& cache = cache_for(m);
   std::size_t filled = 0;
   for (std::size_t i = 0; i < count; ++i) {
     ConnectionEvent& ev = batch_[filled];
-    ev = ConnectionEvent{};  // reset the reused slot
-    if (generate_into(m, ev)) ++filled;
+    ev.reset();  // capacity-preserving: hello/result/record buffers amortize
+    if (generate_into(m, cache, ev)) ++filled;
     if (filled == batch_size) {
       sink(std::span<const ConnectionEvent>(batch_.data(), filled));
       filled = 0;

@@ -78,7 +78,8 @@ struct Metric {
   std::string name;    // base name (before any label set)
   std::string labels;  // Prometheus label body, e.g. kind="bit_flip"
   std::string help;
-  /// Wall-clock-derived: excluded from deterministic_digest().
+  /// Wall-clock- or schedule-derived (timings, cache-warmth counters):
+  /// excluded from deterministic_digest().
   bool timing = false;
 
   Counter counter;

@@ -16,6 +16,7 @@
 #include "fingerprint/md5.hpp"
 #include "fingerprint/md5_multilane.hpp"
 #include "notary/observe_cache.hpp"
+#include "population/traffic.hpp"
 #include "notary/snapshot.hpp"
 #include "tlscore/rng.hpp"
 #include "wire/alert.hpp"
@@ -623,6 +624,60 @@ TEST(Fuzz, Md5ForcedScalarDispatchStaysExercised) {
   std::vector<std::array<std::uint8_t, 16>> got(1);
   tls::fp::md5_batch(views, got);
   EXPECT_EQ(tls::fp::to_hex(got[0]), tls::fp::Md5::hex(msg));
+}
+
+TEST(Fuzz, GenCacheTemplatePatchMatchesFromScratchSerialization) {
+  // The GenCache fast path rests on one invariant: splicing the 32-byte
+  // random (and, when present, a 32-byte session id) into the compiled
+  // record bytes at the fixed offsets yields exactly serialize_record() of
+  // the identically patched hello. Fuzz it over every standard-catalog
+  // config × RNG states, base and resume variants.
+  using tls::population::GenCache;
+  const auto catalog = tls::clients::Catalog::standard();
+  tls::core::Rng rng(0x7e3a11);
+  std::size_t patched = 0, bypassed = 0;
+  for (const auto& profile : catalog.profiles()) {
+    for (const auto& cfg : profile.versions) {
+      const GenCache::TemplateSet ts = GenCache::compile(cfg);
+      if (ts.bypass) {
+        // Only connection-variant hellos may skip the template path.
+        EXPECT_TRUE(cfg.grease || cfg.randomizes_cipher_order) << profile.name;
+        ++bypassed;
+        continue;
+      }
+      ASSERT_EQ(ts.base.wire, ts.base.hello.serialize_record());
+      if (ts.base.has_session_id) {
+        // generate_into patches exactly 32 id bytes; any other emitted
+        // length would corrupt the record.
+        ASSERT_EQ(ts.base.hello.session_id.size(), 32u) << profile.name;
+      }
+      const auto patch_and_check = [&](const GenCache::WireTemplate& tm) {
+        auto hello = tm.hello;
+        auto wire = tm.wire;
+        ASSERT_LE(GenCache::kRandomOffset + 32, wire.size());
+        for (auto& b : hello.random) b = static_cast<std::uint8_t>(rng.next());
+        std::copy(hello.random.begin(), hello.random.end(),
+                  wire.begin() + GenCache::kRandomOffset);
+        if (tm.has_session_id) {
+          ASSERT_LE(GenCache::kSessionIdOffset + 32, wire.size());
+          hello.session_id.resize(32);
+          for (auto& b : hello.session_id) {
+            b = static_cast<std::uint8_t>(rng.next());
+          }
+          std::copy(hello.session_id.begin(), hello.session_id.end(),
+                    wire.begin() + GenCache::kSessionIdOffset);
+        }
+        ASSERT_EQ(wire, hello.serialize_record()) << profile.name;
+        ++patched;
+      };
+      for (int iter = 0; iter < 8; ++iter) {
+        patch_and_check(ts.base);
+        if (ts.has_resume) patch_and_check(ts.resume);
+      }
+    }
+  }
+  EXPECT_GT(patched, 1000u);
+  EXPECT_GT(bypassed, 0u);  // the standard catalog has GREASE configs
 }
 
 TEST(Fuzz, Fnv1a64BatchMatchesScalarChain) {

@@ -140,6 +140,66 @@ TEST(Traffic, FallbackScsvAppearsAfterRfc7507) {
   EXPECT_TRUE(late_scsv);
 }
 
+// The GenCache template fast path must emit events field-identical to the
+// legacy build-every-hello path, from the same seed, across the 2015-04
+// FALLBACK_SCSV boundary (the fallback leg's SCSV branch switches there).
+// The full catalog exercises the GREASE/shuffle bypass configs too.
+TEST(Traffic, GenCacheEventsMatchLegacyFieldByField) {
+  tls::clients::Catalog catalog = tls::clients::Catalog::standard();
+  tls::servers::ServerPopulation servers =
+      tls::servers::ServerPopulation::standard();
+  MarketModel market = MarketModel::standard(catalog);
+  for (const Month m :
+       {Month(2015, 2), Month(2015, 3), Month(2015, 4), Month(2015, 9)}) {
+    TrafficGenerator fast(market, servers, 77);
+    TrafficGenerator legacy(market, servers, 77);
+    fast.set_gen_cache(true);
+    legacy.set_gen_cache(false);
+    std::vector<ConnectionEvent> a;
+    std::vector<ConnectionEvent> b;
+    fast.generate_month(m, 1500,
+                        [&](const ConnectionEvent& ev) { a.push_back(ev); });
+    legacy.generate_month(m, 1500,
+                          [&](const ConnectionEvent& ev) { b.push_back(ev); });
+    ASSERT_EQ(a.size(), b.size());
+    bool saw_fast_record = false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      const ConnectionEvent& f = a[i];
+      const ConnectionEvent& l = b[i];
+      ASSERT_EQ(f.month.index(), l.month.index()) << i;
+      ASSERT_EQ(f.day.year(), l.day.year()) << i;
+      ASSERT_EQ(f.day.month(), l.day.month()) << i;
+      ASSERT_EQ(f.day.day(), l.day.day()) << i;
+      ASSERT_EQ(f.client, l.client) << i;
+      ASSERT_EQ(f.config, l.config) << i;
+      ASSERT_EQ(f.server, l.server) << i;
+      ASSERT_EQ(f.sslv2, l.sslv2) << i;
+      ASSERT_EQ(f.used_fallback, l.used_fallback) << i;
+      if (f.sslv2) continue;  // hello/result unspecified for SSLv2 events
+      ASSERT_TRUE(f.hello == l.hello) << i;
+      ASSERT_EQ(f.result.success, l.result.success) << i;
+      ASSERT_EQ(f.result.failure, l.result.failure) << i;
+      ASSERT_EQ(f.result.server_hello, l.result.server_hello) << i;
+      ASSERT_EQ(f.result.negotiated_version, l.result.negotiated_version)
+          << i;
+      ASSERT_EQ(f.result.negotiated_cipher, l.result.negotiated_cipher) << i;
+      ASSERT_EQ(f.result.negotiated_group, l.result.negotiated_group) << i;
+      ASSERT_EQ(f.result.spec_violation, l.result.spec_violation) << i;
+      ASSERT_EQ(f.result.heartbeat_negotiated, l.result.heartbeat_negotiated)
+          << i;
+      ASSERT_EQ(f.result.resumed, l.result.resumed) << i;
+      // Legacy path never pre-serializes; the fast path's bytes must match
+      // a from-scratch serialization of the (identical) hello.
+      ASSERT_TRUE(l.client_record.empty()) << i;
+      if (!f.client_record.empty()) {
+        saw_fast_record = true;
+        ASSERT_EQ(f.client_record, f.hello.serialize_record()) << i;
+      }
+    }
+    EXPECT_TRUE(saw_fast_record);
+  }
+}
+
 TEST(Traffic, EventDayWithinMonth) {
   Fixture f;
   TrafficGenerator gen(f.market, f.servers, 9);
