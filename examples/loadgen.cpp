@@ -1,0 +1,533 @@
+// loadgen — open-loop fault-mix load generator for notary_daemon.
+//
+//   loadgen --port N [--host ADDR] [--connections C] [--rate R]
+//           [--duration-s S] [--seed N] [--skew Z] [--fault-milli F]
+//           [--events-per-conn E] [--full-catalog] [--json FILE]
+//           [--p99-bound-us N] [--expect-closure] [--min-ingested N]
+//
+// OPEN loop: each connection schedules capture send times from an
+// exponential interarrival process at its share of the aggregate --rate
+// and fires on schedule regardless of completions — the generator never
+// slows down just because the daemon is busy, which is exactly how
+// closed-loop benches hide queueing. When the credit window is exhausted
+// at fire time the capture is dropped CLIENT-side and counted as a
+// backpressure drop (a well-behaved sensor would buffer; the point here
+// is to measure the daemon's shed behavior, not to emulate patience).
+//
+// --skew Zipf-weights the per-connection rates (weight 1/(i+1)^Z) so a
+// few heavy sensors dominate, exercising shard imbalance.
+//
+// --fault-milli F injects chaos at F permille of fire events, cycling
+// through: torn frame (half a frame, then reconnect), garbage bytes,
+// bit-flipped checksum, and a slow-loris half-frame stall. Faulted sends
+// are chaos, not load: counted separately, never against the daemon's
+// offered/ingested closure.
+//
+// Exit gates (for CI): --expect-closure asserts the daemon's
+// offered == ingested + shed + malformed ledger; --p99-bound-us bounds
+// the daemon-side admitted-capture ingest latency; --min-ingested
+// guards against a silently dead pipeline.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "clients/catalog.hpp"
+#include "core/study.hpp"
+#include "daemon/capture.hpp"
+#include "daemon/protocol.hpp"
+#include "population/market.hpp"
+#include "population/traffic.hpp"
+#include "servers/population.hpp"
+#include "tlscore/rng.hpp"
+
+namespace {
+
+using tls::daemon::CreditClient;
+using tls::daemon::Frame;
+using tls::daemon::FrameDecoder;
+using tls::daemon::FrameType;
+
+std::uint64_t now_us() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+struct Options {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  std::size_t connections = 8;
+  double rate = 2000.0;  // aggregate captures/s
+  double duration_s = 10.0;
+  std::uint64_t seed = 42;
+  double skew = 0.0;
+  std::uint64_t fault_milli = 0;
+  std::size_t events_per_conn = 512;
+  bool full_catalog = false;
+  std::string json_out;
+  std::uint64_t p99_bound_us = 0;
+  bool expect_closure = false;
+  std::uint64_t min_ingested = 0;
+};
+
+struct WorkerStats {
+  std::uint64_t scheduled = 0;
+  std::uint64_t sent = 0;
+  std::uint64_t backpressure_drops = 0;
+  std::uint64_t faulted = 0;
+  std::uint64_t reconnects = 0;
+};
+
+class Client {
+ public:
+  ~Client() { close(); }
+
+  bool connect(const std::string& host, std::uint16_t port) {
+    close();
+    fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd_ < 0) return false;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) return false;
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      close();
+      return false;
+    }
+    int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    decoder_ = FrameDecoder();
+    credits_ = CreditClient();
+    return true;
+  }
+
+  void close() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+  }
+
+  [[nodiscard]] bool connected() const { return fd_ >= 0; }
+  [[nodiscard]] CreditClient& credits() { return credits_; }
+
+  /// Blocking full send; false on a dead peer.
+  bool send_all(std::span<const std::uint8_t> bytes) {
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+      const auto n =
+          ::send(fd_, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      off += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  /// Non-blocking read of whatever is pending; applies credit grants,
+  /// returns any non-grant frames. False on a dead peer.
+  bool drain_input(std::vector<Frame>* out = nullptr) {
+    std::uint8_t buf[16384];
+    for (;;) {
+      const auto n = ::recv(fd_, buf, sizeof(buf), MSG_DONTWAIT);
+      if (n == 0) return false;
+      if (n < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+        if (errno == EINTR) continue;
+        return false;
+      }
+      auto frames = decoder_.feed({buf, static_cast<std::size_t>(n)});
+      for (auto& frame : frames) {
+        if (frame.type == FrameType::kCreditGrant) {
+          const auto grant = tls::daemon::decode_credit_grant(frame.payload);
+          if (grant) credits_.on_grant(*grant);
+        } else if (out != nullptr) {
+          out->push_back(std::move(frame));
+        }
+      }
+      if (decoder_.poisoned()) return false;
+    }
+  }
+
+  /// Waits up to timeout_ms for readable input.
+  bool wait_readable(int timeout_ms) {
+    pollfd pfd{fd_, POLLIN, 0};
+    return ::poll(&pfd, 1, timeout_ms) > 0 && (pfd.revents & POLLIN) != 0;
+  }
+
+ private:
+  int fd_ = -1;
+  FrameDecoder decoder_;
+  CreditClient credits_;
+};
+
+/// One worker: fires pre-encoded capture frames at `rate_per_s` on an
+/// exponential open-loop schedule until the deadline.
+void run_worker(const Options& opt, std::size_t index,
+                const std::vector<std::vector<std::uint8_t>>& frames,
+                double rate_per_s, std::uint64_t deadline_us,
+                WorkerStats& stats) {
+  tls::core::Rng rng(opt.seed * 0x9e3779b97f4a7c15ull + index);
+  Client client;
+  if (!client.connect(opt.host, opt.port)) return;
+  // Wait briefly for the initial credit grant so the first fires have a
+  // window to spend.
+  client.wait_readable(200);
+  if (!client.drain_input()) return;
+
+  std::size_t cursor = index;  // desynchronize the event cycles
+  double next_fire = static_cast<double>(now_us());
+  std::uint64_t fault_cycle = 0;
+  while (true) {
+    const std::uint64_t now = now_us();
+    if (now >= deadline_us) break;
+    if (static_cast<double>(now) < next_fire) {
+      const auto wait_us = static_cast<std::uint64_t>(
+          next_fire - static_cast<double>(now));
+      client.wait_readable(static_cast<int>(wait_us / 1000) + 1);
+      if (client.connected() && !client.drain_input()) {
+        client.close();
+      }
+      continue;
+    }
+    // Schedule the next arrival first — open loop: the schedule never
+    // waits for the outcome of this fire.
+    const double u = rng.uniform();
+    next_fire += -std::log(1.0 - u) / rate_per_s * 1e6;
+    ++stats.scheduled;
+
+    if (!client.connected()) {
+      if (!client.connect(opt.host, opt.port)) {
+        ++stats.backpressure_drops;  // daemon unreachable = dropped fire
+        continue;
+      }
+      ++stats.reconnects;
+      client.wait_readable(200);
+      client.drain_input();
+    }
+
+    const auto& frame = frames[cursor % frames.size()];
+    ++cursor;
+
+    const bool fault =
+        opt.fault_milli > 0 &&
+        rng.chance(static_cast<double>(opt.fault_milli) / 1000.0);
+    if (fault) {
+      ++stats.faulted;
+      switch (fault_cycle++ % 4) {
+        case 0: {  // torn frame: half the bytes, then a hard disconnect
+          const std::size_t half = frame.size() / 2;
+          client.send_all({frame.data(), half});
+          client.close();
+          break;
+        }
+        case 1: {  // garbage: random bytes that cannot be a frame header
+          std::uint8_t junk[32];
+          for (auto& b : junk)
+            b = static_cast<std::uint8_t>(rng.below(256));
+          junk[0] = 0xFF;  // guarantee a magic mismatch
+          if (!client.send_all(junk)) client.close();
+          break;
+        }
+        case 2: {  // bit-flipped checksum: daemon poisons + closes
+          auto corrupt = frame;
+          corrupt[corrupt.size() - 1] ^= 0x01;
+          if (!client.send_all(corrupt)) client.close();
+          break;
+        }
+        case 3: {  // slow-loris: half a frame, stall, never finish
+          const std::size_t half = frame.size() / 2;
+          client.send_all({frame.data(), half});
+          std::this_thread::sleep_for(std::chrono::milliseconds(20));
+          client.close();  // give up mid-frame — daemon sees a torn buffer
+          break;
+        }
+      }
+      continue;
+    }
+
+    client.drain_input();
+    if (!client.credits().try_send()) {
+      ++stats.backpressure_drops;
+      continue;
+    }
+    if (!client.send_all(frame)) {
+      client.close();
+      ++stats.backpressure_drops;
+      continue;
+    }
+    ++stats.sent;
+  }
+}
+
+/// Control-plane query: fresh connection, one request frame, first reply.
+bool query_daemon(const Options& opt, FrameType request, FrameType reply,
+                  std::string* body) {
+  Client client;
+  if (!client.connect(opt.host, opt.port)) return false;
+  const auto frame = tls::daemon::encode_frame(request, {});
+  if (!client.send_all(frame)) return false;
+  std::vector<Frame> frames;
+  const std::uint64_t deadline = now_us() + 5'000'000;
+  while (now_us() < deadline) {
+    client.wait_readable(200);
+    if (!client.drain_input(&frames)) return false;
+    for (auto& f : frames) {
+      if (f.type != reply) continue;
+      body->assign(f.payload.begin(), f.payload.end());
+      return true;
+    }
+  }
+  return false;
+}
+
+std::map<std::string, std::uint64_t> parse_stats(const std::string& text) {
+  std::map<std::string, std::uint64_t> stats;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) continue;
+    stats[line.substr(0, eq)] =
+        std::strtoull(line.c_str() + eq + 1, nullptr, 10);
+  }
+  return stats;
+}
+
+std::uint64_t parse_u64(const char* text, const char* flag) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0') {
+    std::cerr << "loadgen: bad value for " << flag << ": " << text << "\n";
+    std::exit(2);
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto need = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "loadgen: " << flag << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--port") {
+      opt.port = static_cast<std::uint16_t>(parse_u64(need("--port"), arg.c_str()));
+    } else if (arg == "--host") {
+      opt.host = need("--host");
+    } else if (arg == "--connections") {
+      opt.connections = parse_u64(need("--connections"), arg.c_str());
+    } else if (arg == "--rate") {
+      opt.rate = std::strtod(need("--rate"), nullptr);
+    } else if (arg == "--duration-s") {
+      opt.duration_s = std::strtod(need("--duration-s"), nullptr);
+    } else if (arg == "--seed") {
+      opt.seed = parse_u64(need("--seed"), arg.c_str());
+    } else if (arg == "--skew") {
+      opt.skew = std::strtod(need("--skew"), nullptr);
+    } else if (arg == "--fault-milli") {
+      opt.fault_milli = parse_u64(need("--fault-milli"), arg.c_str());
+    } else if (arg == "--events-per-conn") {
+      opt.events_per_conn = parse_u64(need("--events-per-conn"), arg.c_str());
+    } else if (arg == "--full-catalog") {
+      opt.full_catalog = true;
+    } else if (arg == "--json") {
+      opt.json_out = need("--json");
+    } else if (arg == "--p99-bound-us") {
+      opt.p99_bound_us = parse_u64(need("--p99-bound-us"), arg.c_str());
+    } else if (arg == "--expect-closure") {
+      opt.expect_closure = true;
+    } else if (arg == "--min-ingested") {
+      opt.min_ingested = parse_u64(need("--min-ingested"), arg.c_str());
+    } else {
+      std::cerr << "loadgen: unknown flag " << arg << "\n";
+      return 2;
+    }
+  }
+  if (opt.port == 0) {
+    std::cerr << "loadgen: --port is required\n";
+    return 2;
+  }
+  if (opt.connections == 0) opt.connections = 1;
+  if (opt.rate <= 0.0) opt.rate = 1.0;
+  if (opt.events_per_conn == 0) opt.events_per_conn = 1;
+
+  // Build the synthetic traffic plane once and pre-encode every worker's
+  // capture frames: the hot loop does no generation, only scheduling.
+  const auto catalog = opt.full_catalog ? tls::clients::Catalog::standard()
+                                        : tls::clients::Catalog::core_only();
+  const auto servers = tls::servers::ServerPopulation::standard();
+  const auto market = tls::population::MarketModel::standard(catalog);
+
+  std::vector<std::vector<std::vector<std::uint8_t>>> frames_per_conn(
+      opt.connections);
+  for (std::size_t i = 0; i < opt.connections; ++i) {
+    tls::population::TrafficGenerator gen(market, servers, opt.seed + i);
+    const tls::core::Month month(2015 + static_cast<int>(i / 12) % 3,
+                                 1 + static_cast<int>(i % 12));
+    auto& frames = frames_per_conn[i];
+    frames.reserve(opt.events_per_conn);
+    gen.generate_month(month, opt.events_per_conn,
+                       [&](const tls::population::ConnectionEvent& event) {
+                         const auto capture =
+                             tls::daemon::capture_from_event(event);
+                         const auto payload =
+                             tls::daemon::encode_capture(capture);
+                         frames.push_back(tls::daemon::encode_frame(
+                             FrameType::kCapture, payload));
+                       });
+  }
+
+  // Zipf-style per-connection rate split.
+  std::vector<double> weights(opt.connections);
+  double weight_sum = 0.0;
+  for (std::size_t i = 0; i < opt.connections; ++i) {
+    weights[i] = 1.0 / std::pow(static_cast<double>(i + 1), opt.skew);
+    weight_sum += weights[i];
+  }
+
+  const std::uint64_t start_us = now_us();
+  const auto deadline_us =
+      start_us + static_cast<std::uint64_t>(opt.duration_s * 1e6);
+  std::vector<WorkerStats> stats(opt.connections);
+  std::vector<std::thread> workers;
+  workers.reserve(opt.connections);
+  for (std::size_t i = 0; i < opt.connections; ++i) {
+    const double rate = opt.rate * weights[i] / weight_sum;
+    workers.emplace_back([&, i, rate] {
+      run_worker(opt, i, frames_per_conn[i], rate, deadline_us, stats[i]);
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  const double elapsed_s =
+      static_cast<double>(now_us() - start_us) / 1e6;
+
+  WorkerStats total;
+  for (const auto& s : stats) {
+    total.scheduled += s.scheduled;
+    total.sent += s.sent;
+    total.backpressure_drops += s.backpressure_drops;
+    total.faulted += s.faulted;
+    total.reconnects += s.reconnects;
+  }
+
+  // The ledger closes only once the shard queues quiesce: captures the
+  // daemon admitted in the final instants are offered but neither ingested
+  // nor shed until a worker drains them. Poll until the books balance (or
+  // a generous timeout — queues drain in well under a second once sends
+  // stop) so the closure gate measures accounting, not scheduling.
+  std::map<std::string, std::uint64_t> daemon_stats;
+  const std::uint64_t quiesce_deadline_us = now_us() + 15'000'000;
+  for (;;) {
+    std::string stats_body;
+    if (!query_daemon(opt, FrameType::kQueryStats, FrameType::kStats,
+                      &stats_body)) {
+      std::cerr << "loadgen: stats query failed\n";
+      return 1;
+    }
+    daemon_stats = parse_stats(stats_body);
+    const std::uint64_t offered = daemon_stats["offered"];
+    const std::uint64_t settled = daemon_stats["ingested"] +
+                                  daemon_stats["shed"] +
+                                  daemon_stats["malformed"];
+    if (settled >= offered || now_us() >= quiesce_deadline_us) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  const auto stat = [&](const char* key) -> std::uint64_t {
+    const auto it = daemon_stats.find(key);
+    return it == daemon_stats.end() ? 0 : it->second;
+  };
+
+  const double achieved = static_cast<double>(total.sent) / elapsed_s;
+  std::cout << "loadgen: scheduled=" << total.scheduled
+            << " sent=" << total.sent
+            << " backpressure_drops=" << total.backpressure_drops
+            << " faulted=" << total.faulted
+            << " reconnects=" << total.reconnects << "\n"
+            << "loadgen: achieved_rate=" << achieved << " captures/s over "
+            << elapsed_s << " s\n"
+            << "daemon:  offered=" << stat("offered")
+            << " ingested=" << stat("ingested") << " shed=" << stat("shed")
+            << " malformed=" << stat("malformed")
+            << " frame_errors=" << stat("frame_errors") << "\n"
+            << "daemon:  ingest_p50_us=" << stat("ingest_p50_us")
+            << " ingest_p99_us=" << stat("ingest_p99_us")
+            << " ingest_p999_us=" << stat("ingest_p999_us") << "\n";
+
+  if (!opt.json_out.empty()) {
+    std::ofstream json(opt.json_out);
+    json << "{\n"
+         << "  \"scheduled\": " << total.scheduled << ",\n"
+         << "  \"sent\": " << total.sent << ",\n"
+         << "  \"backpressure_drops\": " << total.backpressure_drops << ",\n"
+         << "  \"faulted\": " << total.faulted << ",\n"
+         << "  \"reconnects\": " << total.reconnects << ",\n"
+         << "  \"elapsed_s\": " << elapsed_s << ",\n"
+         << "  \"achieved_rate\": " << achieved << ",\n"
+         << "  \"daemon\": {\n";
+    bool first = true;
+    for (const auto& [key, value] : daemon_stats) {
+      if (!first) json << ",\n";
+      first = false;
+      json << "    \"" << key << "\": " << value;
+    }
+    json << "\n  }\n}\n";
+  }
+
+  // The fire ledger must close on the client side too.
+  if (total.scheduled !=
+      total.sent + total.backpressure_drops + total.faulted) {
+    std::cerr << "loadgen: client ledger violation: scheduled="
+              << total.scheduled << " != sent+drops+faulted\n";
+    return 1;
+  }
+  int rc = 0;
+  if (opt.expect_closure) {
+    const auto offered = stat("offered");
+    const auto closure =
+        stat("ingested") + stat("shed") + stat("malformed");
+    if (offered != closure) {
+      std::cerr << "loadgen: closure violation: offered=" << offered
+                << " ingested+shed+malformed=" << closure << "\n";
+      rc = 1;
+    }
+  }
+  if (opt.p99_bound_us > 0 && stat("ingested") > 0 &&
+      stat("ingest_p99_us") > opt.p99_bound_us) {
+    std::cerr << "loadgen: p99 ingest latency " << stat("ingest_p99_us")
+              << "us exceeds bound " << opt.p99_bound_us << "us\n";
+    rc = 1;
+  }
+  if (opt.min_ingested > 0 && stat("ingested") < opt.min_ingested) {
+    std::cerr << "loadgen: ingested " << stat("ingested") << " below floor "
+              << opt.min_ingested << "\n";
+    rc = 1;
+  }
+  return rc;
+}

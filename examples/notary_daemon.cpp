@@ -1,0 +1,156 @@
+// notary_daemon — the live-ingestion service CLI (DESIGN.md §16).
+//
+//   notary_daemon [--port N] [--bind ADDR] [--shards N]
+//                 [--queue-depth N] [--credit-window N]
+//                 [--max-frame-bytes N] [--idle-timeout-ms N]
+//                 [--observe-delay-us N] [--max-connections N]
+//                 [--checkpoint-dir DIR] [--resume] [--checkpoint-every N]
+//                 [--full-catalog] [--port-file FILE] [--metrics-out FILE]
+//
+// Runs until SIGINT/SIGTERM, then drains gracefully: admission stops, the
+// shard queues quiesce, the group-commit journal flushes, and a final
+// checksummed snapshot (SNAPSHOT.bin/SNAPSHOT.txt under --checkpoint-dir)
+// is written before exit 0. kill -9 at any point is recovered on the next
+// --resume start from the last durable journal group.
+//
+// Signal pattern: signals are blocked in main before any thread spawns,
+// then a dedicated watcher thread sigwait()s and calls request_stop() —
+// no async-signal-safety gymnastics in handlers.
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+
+#include "clients/catalog.hpp"
+#include "core/study.hpp"
+#include "daemon/daemon.hpp"
+#include "telemetry/export.hpp"
+
+namespace {
+
+std::uint64_t parse_u64(const char* text, const char* flag) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0') {
+    std::cerr << "notary_daemon: bad value for " << flag << ": " << text
+              << "\n";
+    std::exit(2);
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  tls::daemon::DaemonConfig config;
+  bool full_catalog = false;
+  std::string port_file;
+  std::string metrics_out;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto need = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "notary_daemon: " << flag << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--port") {
+      config.port = static_cast<std::uint16_t>(parse_u64(need("--port"), arg.c_str()));
+    } else if (arg == "--bind") {
+      config.bind_address = need("--bind");
+    } else if (arg == "--shards") {
+      config.shards = parse_u64(need("--shards"), arg.c_str());
+    } else if (arg == "--queue-depth") {
+      config.shard_queue_depth = parse_u64(need("--queue-depth"), arg.c_str());
+    } else if (arg == "--credit-window") {
+      config.credit_window =
+          static_cast<std::uint32_t>(parse_u64(need("--credit-window"), arg.c_str()));
+    } else if (arg == "--max-frame-bytes") {
+      config.max_frame_bytes =
+          static_cast<std::uint32_t>(parse_u64(need("--max-frame-bytes"), arg.c_str()));
+    } else if (arg == "--idle-timeout-ms") {
+      config.idle_timeout_ms = parse_u64(need("--idle-timeout-ms"), arg.c_str());
+    } else if (arg == "--observe-delay-us") {
+      config.observe_delay_us_for_test =
+          parse_u64(need("--observe-delay-us"), arg.c_str());
+    } else if (arg == "--max-connections") {
+      config.max_connections = parse_u64(need("--max-connections"), arg.c_str());
+    } else if (arg == "--checkpoint-dir") {
+      config.checkpoint_dir = need("--checkpoint-dir");
+    } else if (arg == "--resume") {
+      config.resume = true;
+    } else if (arg == "--checkpoint-every") {
+      config.checkpoint_every = parse_u64(need("--checkpoint-every"), arg.c_str());
+    } else if (arg == "--full-catalog") {
+      full_catalog = true;
+    } else if (arg == "--port-file") {
+      port_file = need("--port-file");
+    } else if (arg == "--metrics-out") {
+      metrics_out = need("--metrics-out");
+    } else {
+      std::cerr << "notary_daemon: unknown flag " << arg << "\n";
+      return 2;
+    }
+  }
+
+  // Block the termination signals BEFORE any thread exists so they are
+  // delivered to nobody but the sigwait watcher below.
+  sigset_t sigs;
+  sigemptyset(&sigs);
+  sigaddset(&sigs, SIGINT);
+  sigaddset(&sigs, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &sigs, nullptr);
+
+  const auto catalog = full_catalog ? tls::clients::Catalog::standard()
+                                    : tls::clients::Catalog::core_only();
+  const auto database =
+      tls::study::LongitudinalStudy::build_database(catalog);
+  config.database = &database;
+
+  tls::daemon::NotaryDaemon daemon(std::move(config));
+  if (!daemon.start()) {
+    std::cerr << "notary_daemon: " << daemon.last_error() << "\n";
+    return 1;
+  }
+  std::cout << "notary_daemon: listening on port " << daemon.port()
+            << " (resumed_epoch=" << daemon.resumed_epoch() << ")"
+            << std::endl;
+  if (!port_file.empty()) {
+    std::ofstream out(port_file);
+    out << daemon.port() << "\n";
+  }
+
+  std::thread watcher([&sigs, &daemon] {
+    int sig = 0;
+    sigwait(&sigs, &sig);
+    std::cout << "notary_daemon: received " << strsignal(sig)
+              << ", draining" << std::endl;
+    daemon.request_stop();
+  });
+
+  daemon.join();
+  // Unblock the watcher if the daemon stopped without a signal.
+  pthread_kill(watcher.native_handle(), SIGTERM);
+  watcher.join();
+
+  std::cout << daemon.stats_text();
+  if (!metrics_out.empty()) {
+    const auto registry = daemon.merged_metrics();
+    std::ofstream json(metrics_out);
+    json << tls::telemetry::to_metrics_json(registry);
+    std::string prom_path = metrics_out;
+    const auto dot = prom_path.rfind(".json");
+    if (dot != std::string::npos) prom_path.resize(dot);
+    prom_path += ".prom";
+    std::ofstream prom(prom_path);
+    prom << tls::telemetry::to_prometheus(registry);
+  }
+  return 0;
+}

@@ -32,14 +32,26 @@
 //
 // Environment: TLS_STUDY_CPM / TLS_STUDY_SEED / TLS_STUDY_CORE as in bench/;
 // TLS_STUDY_THREADS sets the worker pool; TLS_STUDY_KILL_AFTER (test/CI
-// seam) SIGKILLs the process after N durable journal appends.
+// seam) SIGKILLs the process after N durable journal appends;
+// TLS_STUDY_TERM_AFTER (test/CI seam) SIGTERMs it after N appends to
+// exercise the graceful-drain path below.
+//
+// Signals: during `export`, SIGINT/SIGTERM trigger a graceful drain — the
+// group-commit journal's linger buffer is flushed and fsynced before the
+// process exits 0, so a clean Ctrl-C never loses the in-flight group
+// (only SIGKILL can, and --resume recovers that). Implemented as a
+// sigwait watcher thread (signals blocked before any worker spawns), the
+// same pattern notary_daemon uses.
+#include <atomic>
 #include <climits>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <thread>
 
 #include "analysis/csv.hpp"
 #include "cli_parse.hpp"
@@ -70,8 +82,52 @@ tls::study::StudyOptions options_from_env() {
     opts.checkpoint_kill_after_frames =
         static_cast<std::size_t>(std::strtoull(kill, nullptr, 10));
   }
+  if (const char* term = std::getenv("TLS_STUDY_TERM_AFTER")) {
+    opts.checkpoint_term_after_frames =
+        static_cast<std::size_t>(std::strtoull(term, nullptr, 10));
+  }
   return opts;
 }
+
+/// Scoped sigwait watcher for the export path: blocks SIGINT/SIGTERM on
+/// construction (before the study spawns worker threads, so the mask is
+/// inherited process-wide) and drains the checkpoint journal + exits 0 if
+/// one arrives mid-export. A run that completes naturally unblocks the
+/// watcher on destruction and exits through main as usual.
+class SignalDrain {
+ public:
+  explicit SignalDrain(tls::study::LongitudinalStudy& study) {
+    sigemptyset(&sigs_);
+    sigaddset(&sigs_, SIGINT);
+    sigaddset(&sigs_, SIGTERM);
+    pthread_sigmask(SIG_BLOCK, &sigs_, nullptr);
+    watcher_ = std::thread([this, &study] {
+      int sig = 0;
+      sigwait(&sigs_, &sig);
+      if (done_.load()) return;  // natural completion woke us
+      std::fprintf(stderr,
+                   "study_cli: received %s, draining checkpoint journal\n",
+                   strsignal(sig));
+      study.drain_checkpoint();
+      std::fprintf(stderr, "study_cli: journal drained, exiting\n");
+      // _Exit: the main thread is still mid-export; everything appended
+      // before the signal is durable now, and --resume replays it.
+      std::_Exit(0);
+    });
+  }
+
+  ~SignalDrain() {
+    done_.store(true);
+    pthread_kill(watcher_.native_handle(), SIGTERM);
+    watcher_.join();
+    pthread_sigmask(SIG_UNBLOCK, &sigs_, nullptr);
+  }
+
+ private:
+  sigset_t sigs_{};
+  std::atomic<bool> done_{false};
+  std::thread watcher_;
+};
 
 using tls::cli::parse_long;
 
@@ -180,6 +236,8 @@ int cmd_export(const char* dir, const char* checkpoint_dir, bool resume,
   }
   opts.telemetry = metrics_out != nullptr || trace_out != nullptr;
   tls::study::LongitudinalStudy study(opts);
+  // Mask + watcher must exist before export spawns the worker pool.
+  SignalDrain drain(study);
   for (const auto& path : study.export_figures(dir)) {
     std::printf("wrote %s\n", path.c_str());
   }

@@ -29,10 +29,6 @@ namespace {
 
 constexpr std::uint32_t kFrameMagic = 0x544c534a;     // "TLSJ"
 constexpr std::uint32_t kManifestMagic = 0x544c534d;  // "TLSM"
-// One monitor snapshot for a tiny shard is a few KiB; a full-catalog shard
-// a few hundred KiB. Anything beyond this is a corrupt length field, not a
-// plausible payload — reject before allocating.
-constexpr std::uint32_t kMaxFramePayload = 64u * 1024u * 1024u;
 
 std::uint64_t fnv1a64(std::span<const std::uint8_t> bytes) {
   return tls::notary::ObserveCache::fnv1a64(bytes);
@@ -200,7 +196,8 @@ std::vector<std::uint8_t> encode_frame(std::uint64_t options_digest,
   return w.take();
 }
 
-DecodedFrame decode_frame(std::span<const std::uint8_t> bytes) {
+DecodedFrame decode_frame(std::span<const std::uint8_t> bytes,
+                          std::uint32_t max_payload) {
   if (bytes.size() < 8) {
     throw ParseError(ParseErrorCode::kTruncated, "frame too short");
   }
@@ -226,7 +223,10 @@ DecodedFrame decode_frame(std::span<const std::uint8_t> bytes) {
   frame.header.month_index = r.u32();
   frame.header.slot = r.u32();
   const std::uint32_t payload_len = r.u32();
-  if (payload_len > kMaxFramePayload) {
+  if (payload_len > max_payload) {
+    // Checked against the declared length BEFORE r.bytes() materializes a
+    // view and before the payload vector allocates: a hostile 4 GiB length
+    // field costs one comparison, not an allocation.
     throw ParseError(ParseErrorCode::kBadLength,
                      "frame payload length " + std::to_string(payload_len));
   }
@@ -412,7 +412,7 @@ void RunJournal::accept_frame(const std::string& name,
   }
   DecodedFrame frame;
   try {
-    frame = decode_frame(bytes);
+    frame = decode_frame(bytes, config_.max_frame_bytes);
   } catch (const ParseError&) {
     ++report_.frames_corrupt;
     reject("corrupt");
@@ -546,6 +546,7 @@ void RunJournal::append(FrameKind kind, std::uint32_t month_index,
       writer_->enqueue(name, std::vector<std::uint8_t>(bytes));
     }
     writer_->enqueue(name, std::move(bytes));
+    fire_term_seam();
     return;
   }
   write_frame_file(name, bytes);
@@ -558,6 +559,19 @@ void RunJournal::append(FrameKind kind, std::uint32_t month_index,
       appended_ >= config_.kill_after_frames) {
     // Crash-matrix seam: die exactly here, after N durable frames.
     std::raise(SIGKILL);
+  }
+  fire_term_seam();
+}
+
+void RunJournal::fire_term_seam() {
+  // Signal-drain seam: fires exactly once, right after the Nth append was
+  // handed to the journal (durable or still lingering in an uncommitted
+  // group). ::kill, not std::raise — the signal must be deliverable to the
+  // host's sigwait watcher thread, which raise() on a signal-blocked
+  // worker thread would bypass (thread-directed pending, never consumed).
+  if (config_.term_after_frames != 0 &&
+      appended_ == config_.term_after_frames) {
+    ::kill(::getpid(), SIGTERM);
   }
 }
 

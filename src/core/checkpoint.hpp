@@ -50,6 +50,14 @@ struct StudyOptions;
 /// value are quarantined (kUnsupported), never migrated in place.
 inline constexpr std::uint32_t kCheckpointFormatVersion = 1;
 
+/// Default ceiling on a frame's declared payload length. One monitor
+/// snapshot for a tiny shard is a few KiB; a full-catalog shard a few
+/// hundred KiB. Anything beyond this is a corrupt length field, not a
+/// plausible payload — decode_frame rejects it BEFORE allocating, so a
+/// hostile on-disk length can cost at most one bounds check, never an
+/// allocation-driven OOM.
+inline constexpr std::uint32_t kDefaultMaxFramePayload = 64u << 20;
+
 /// How completed frames reach durable storage (see file header).
 enum class JournalMode : std::uint8_t {
   kPerFrame = 0,  // one durable file per frame (legacy)
@@ -120,9 +128,12 @@ struct DecodedFrame {
 
 /// Verifies and unwraps one frame. Throws tls::wire::ParseError on bad
 /// magic/kind/checksum (kBadValue), foreign format version (kUnsupported),
-/// truncation (kTruncated) or trailing bytes (kTrailingBytes). Never reads
-/// out of bounds regardless of input.
-[[nodiscard]] DecodedFrame decode_frame(std::span<const std::uint8_t> bytes);
+/// truncation (kTruncated), trailing bytes (kTrailingBytes), or a declared
+/// payload length above `max_payload` (kBadLength, checked before any
+/// payload allocation). Never reads out of bounds regardless of input.
+[[nodiscard]] DecodedFrame decode_frame(
+    std::span<const std::uint8_t> bytes,
+    std::uint32_t max_payload = kDefaultMaxFramePayload);
 
 /// Scan-probe payload codec; doubles are bit-cast so replayed probes fold
 /// to bit-identical snapshots.
@@ -153,6 +164,18 @@ class RunJournal {
     /// Nth frame becomes durable). 0 disables. This is how the crash
     /// matrix murders the process at deterministic journal offsets.
     std::size_t kill_after_frames = 0;
+    /// Test seam: send the process SIGTERM (::kill, not raise — the
+    /// signal must route through whatever sigwait watcher the host
+    /// installed) right after the Nth append is handed to the journal
+    /// (1-based; 0 disables). Unlike kill_after_frames the frame need
+    /// not be durable yet: this is how the signal-drain lane proves a
+    /// graceful shutdown flushes the still-lingering group.
+    std::size_t term_after_frames = 0;
+    /// Ceiling on a replayed frame's declared payload length; frames
+    /// announcing more are booked corrupt and quarantined without ever
+    /// allocating the claimed size (defends replay against hostile or
+    /// bit-rotted length fields).
+    std::uint32_t max_frame_bytes = kDefaultMaxFramePayload;
     /// Durability mode. Defaults to the legacy per-frame store so direct
     /// constructions stay byte-compatible; studies opt into kGrouped via
     /// StudyOptions::journal_mode.
@@ -214,6 +237,9 @@ class RunJournal {
   using FrameKey = std::tuple<std::uint8_t, std::uint32_t, std::uint32_t>;
 
   void replay();
+  /// Fires the term_after_frames signal-drain seam (no-op when disabled).
+  /// Called with mutex_ held, right after appended_ is bumped.
+  void fire_term_seam();
   /// Replays one candidate frame (from a file or a scanned segment group)
   /// through the acceptance pipeline: decode, digest check, dedupe.
   /// `name` is the frame's legacy file name when it came from a file

@@ -55,10 +55,20 @@ void LongitudinalStudy::ensure_journal() {
   config.manifest = make_manifest(options_, servers_.segments().size());
   config.frame_faults = frame_injector_.get();
   config.kill_after_frames = options_.checkpoint_kill_after_frames;
+  config.term_after_frames = options_.checkpoint_term_after_frames;
+  config.max_frame_bytes = options_.checkpoint_max_frame_bytes;
   config.mode = options_.journal_mode;
   config.group_frames = options_.journal_group_frames;
   config.group_ms = options_.journal_group_ms;
   journal_ = std::make_unique<RunJournal>(std::move(config));
+}
+
+void LongitudinalStudy::drain_checkpoint() {
+  // The journal is created on the run() thread before any worker spawns;
+  // a signal watcher calling this mid-run therefore observes either a
+  // fully-constructed journal or none at all (in which case there is
+  // nothing to lose). flush() is thread-safe against concurrent append().
+  if (journal_ != nullptr) journal_->flush();
 }
 
 tls::analysis::RecoveryReport LongitudinalStudy::recovery() const {

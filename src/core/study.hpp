@@ -103,6 +103,18 @@ struct StudyOptions {
   /// Test seam: SIGKILL the process after this many durable frame appends
   /// (1-based; 0 disables). Drives the crash-matrix tests and CI job.
   std::size_t checkpoint_kill_after_frames = 0;
+  /// Test seam: SIGTERM the process (via ::kill, so a sigwait watcher
+  /// thread receives it) after this many frame appends — durable or still
+  /// lingering in an uncommitted group (1-based; 0 disables). Drives the
+  /// signal-drain lane: the watcher must drain_checkpoint() and exit 0
+  /// without losing the in-flight group.
+  std::size_t checkpoint_term_after_frames = 0;
+  /// Ceiling on a replayed frame's declared payload length. Frames
+  /// announcing more are quarantined as corrupt before any allocation
+  /// (hostile-length defense for the journal replay path). Replay-side
+  /// only — like every checkpoint knob it is excluded from
+  /// options_digest and never changes an exported byte.
+  std::uint32_t checkpoint_max_frame_bytes = kDefaultMaxFramePayload;
   /// How completed frames reach durable storage. kGrouped (default)
   /// batches frames through the group-commit segmented journal — one
   /// fsync per group instead of per frame; kPerFrame is the legacy
@@ -143,6 +155,14 @@ class LongitudinalStudy {
   /// Journal replay + watchdog accounting for the last run()/export. All
   /// zeros (resumed=false) when checkpointing is disabled.
   [[nodiscard]] tls::analysis::RecoveryReport recovery() const;
+
+  /// Blocks until every checkpoint frame appended so far is durable:
+  /// flushes the group-commit writer's linger buffer and fsyncs. No-op
+  /// when checkpointing is off. Safe to call from a signal-watcher thread
+  /// while run() is still appending on workers — this is the graceful
+  /// SIGINT/SIGTERM hook (a clean Ctrl-C must never lose the in-flight
+  /// group; only SIGKILL may).
+  void drain_checkpoint();
 
   // ---- telemetry artifacts (populated when options.telemetry is set) ----
   /// The merged metrics registry: per-shard registries folded in plan

@@ -1,0 +1,19 @@
+// Bridges the synthetic traffic plane to the daemon wire protocol:
+// serializes one generated ConnectionEvent into the CapturePayload a live
+// sensor would ship. The record bytes follow EXACTLY the recipe of
+// PassiveMonitor::observe's byte path (monitor.cpp) — client record from
+// the event (or re-serialized hello), ServerHello, the pre-1.3
+// ServerKeyExchange stub, and the failure alert — so a stream ingested
+// through the daemon is byte-for-byte the stream batch mode observes.
+// That equivalence is what the determinism acceptance test pins.
+#pragma once
+
+#include "daemon/protocol.hpp"
+#include "population/traffic.hpp"
+
+namespace tls::daemon {
+
+[[nodiscard]] CapturePayload capture_from_event(
+    const tls::population::ConnectionEvent& event);
+
+}  // namespace tls::daemon

@@ -1,0 +1,854 @@
+#include "daemon/daemon.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <sstream>
+
+#include "core/checkpoint.hpp"
+#include "core/journal.hpp"
+#include "notary/observe_cache.hpp"
+#include "notary/snapshot.hpp"
+#include "telemetry/export.hpp"
+
+namespace tls::daemon {
+namespace {
+
+std::uint64_t now_us() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::uint64_t now_ms() { return now_us() / 1000; }
+
+tls::core::Month month_from_index(std::uint32_t index) {
+  return tls::core::Month(static_cast<int>(index / 12),
+                          static_cast<int>(index % 12) + 1);
+}
+
+}  // namespace
+
+struct NotaryDaemon::AtomicCounters {
+  std::atomic<std::uint64_t> offered{0};
+  std::atomic<std::uint64_t> admitted{0};
+  std::atomic<std::uint64_t> ingested{0};
+  std::atomic<std::uint64_t> shed{0};
+  std::atomic<std::uint64_t> malformed{0};
+  std::atomic<std::uint64_t> credit_violations{0};
+  std::atomic<std::uint64_t> frame_errors{0};
+  std::atomic<std::uint64_t> idle_timeouts{0};
+  std::atomic<std::uint64_t> connections_accepted{0};
+  std::atomic<std::uint64_t> connections_closed{0};
+  std::atomic<std::uint64_t> sslv2{0};
+  std::atomic<std::uint64_t> checkpoint_epochs{0};
+};
+
+struct NotaryDaemon::Job {
+  CapturePayload capture;
+  std::uint64_t conn_id = 0;
+  std::uint64_t admit_us = 0;
+};
+
+struct NotaryDaemon::Shard {
+  // Admission plane: the bounded queue. Locked by the event thread (push)
+  // and this shard's worker (pop) only — observes never block admission.
+  std::mutex queue_mutex;
+  std::condition_variable cv;
+  std::deque<Job> queue;
+
+  // Observe plane: exclusive monitor access for the worker; checkpoint
+  // aggregation and query serving take it briefly.
+  std::mutex monitor_mutex;
+  std::unique_ptr<tls::notary::PassiveMonitor> monitor;
+
+  // Telemetry island, merged on demand.
+  std::mutex telemetry_mutex;
+  tls::telemetry::MetricsRegistry registry;
+  tls::telemetry::Histogram* latency = nullptr;
+};
+
+struct NotaryDaemon::Connection {
+  int fd = -1;
+  std::uint64_t id = 0;
+  FrameDecoder decoder;
+  CreditGate gate;
+  std::vector<std::uint8_t> outbound;
+  std::size_t out_off = 0;
+  std::uint64_t last_progress_ms = 0;
+  bool pending_close = false;
+  /// Month of the last well-formed capture — the best anchor we have for
+  /// quarantining this connection's later wire-level garbage.
+  tls::core::Month last_month{2012, 1};
+
+  Connection(int fd_, std::uint64_t id_, std::uint32_t max_frame,
+             std::uint32_t window, std::uint64_t now)
+      : fd(fd_), id(id_), decoder(max_frame), gate(window),
+        last_progress_ms(now) {}
+};
+
+struct NotaryDaemon::JournalPlane {
+  explicit JournalPlane(const std::string& dir) : backend(dir) {}
+  tls::study::PosixJournalBackend backend;
+  std::unique_ptr<tls::study::GroupCommitWriter> writer;
+};
+
+NotaryDaemon::NotaryDaemon(DaemonConfig config)
+    : config_(std::move(config)),
+      counters_(std::make_unique<AtomicCounters>()) {
+  if (config_.shards == 0) config_.shards = 1;
+  if (config_.shard_queue_depth == 0) config_.shard_queue_depth = 1;
+  if (config_.credit_window == 0) config_.credit_window = 1;
+}
+
+NotaryDaemon::~NotaryDaemon() {
+  request_stop();
+  join();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (wake_rx_ >= 0) ::close(wake_rx_);
+  if (wake_tx_ >= 0) ::close(wake_tx_);
+}
+
+bool NotaryDaemon::start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    last_error_ = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (::inet_pton(AF_INET, config_.bind_address.c_str(), &addr.sin_addr) != 1) {
+    last_error_ = "bad bind address: " + config_.bind_address;
+    return false;
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    last_error_ = std::string("bind: ") + std::strerror(errno);
+    return false;
+  }
+  if (::listen(listen_fd_, 128) != 0) {
+    last_error_ = std::string("listen: ") + std::strerror(errno);
+    return false;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+  port_ = ntohs(bound.sin_port);
+
+  int pipefd[2];
+  if (::pipe2(pipefd, O_NONBLOCK | O_CLOEXEC) != 0) {
+    last_error_ = std::string("pipe2: ") + std::strerror(errno);
+    return false;
+  }
+  wake_rx_ = pipefd[0];
+  wake_tx_ = pipefd[1];
+
+  if (!config_.checkpoint_dir.empty() && !open_journal()) return false;
+
+  for (std::size_t i = 0; i < config_.shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->monitor =
+        std::make_unique<tls::notary::PassiveMonitor>(config_.database);
+    shard->monitor->set_observe_cache_capacity(config_.observe_cache_entries);
+    shard->latency = &shard->registry.histogram(
+        "tls_repro_daemon_ingest_latency_us",
+        tls::telemetry::duration_buckets_us(), {},
+        "Admission-to-observe latency of ingested captures", true);
+    shards_.push_back(std::move(shard));
+  }
+  running_.store(true, std::memory_order_release);
+  for (std::size_t i = 0; i < config_.shards; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+  event_thread_ = std::thread([this] { event_loop(); });
+  return true;
+}
+
+bool NotaryDaemon::open_journal() {
+  journal_ = std::make_unique<JournalPlane>(config_.checkpoint_dir);
+  auto segments = journal_->backend.list_segments();
+  std::sort(segments.begin(), segments.end());
+  std::uint32_t next_segment = 1;
+  if (!segments.empty()) next_segment = segments.back() + 1;
+
+  if (config_.resume) {
+    // Scan-is-ground-truth replay: every checksummed group in every
+    // segment is a candidate; the newest valid epoch frame wins. Torn
+    // tails and foreign frames are simply skipped — worst case the daemon
+    // falls back one epoch and the sensors re-send.
+    std::vector<std::uint8_t> best_payload;
+    std::uint64_t best_slot = 0;
+    bool found = false;
+    for (auto id : segments) {
+      std::vector<std::uint8_t> bytes;
+      if (!journal_->backend.read_segment(id, bytes)) continue;
+      auto scan = tls::study::scan_segment(bytes);
+      for (const auto& frame_bytes : scan.frames) {
+        try {
+          auto frame = tls::study::decode_frame(frame_bytes);
+          if (frame.options_digest != kDaemonOptionsDigest) continue;
+          if (frame.header.kind != tls::study::FrameKind::kPassiveShard)
+            continue;
+          if (!found || frame.header.slot >= best_slot) {
+            best_slot = frame.header.slot;
+            best_payload = std::move(frame.payload);
+            found = true;
+          }
+        } catch (const tls::wire::ParseError&) {
+          // Corrupt frame inside a valid group: skip, older epochs remain.
+        }
+      }
+    }
+    if (found) {
+      try {
+        baseline_ = std::make_unique<tls::notary::PassiveMonitor>(
+            tls::notary::decode_monitor_state(best_payload, config_.database));
+        resumed_epoch_ = best_slot;
+        epoch_ = best_slot;
+      } catch (const tls::wire::ParseError&) {
+        baseline_.reset();
+      }
+    }
+  } else {
+    for (auto id : segments) journal_->backend.remove_segment(id);
+    journal_->backend.clear_index();
+    next_segment = 1;
+  }
+
+  tls::study::GroupCommitWriter::Config wcfg;
+  wcfg.group_frames = config_.journal_group_frames;
+  wcfg.group_ms = config_.journal_group_ms;
+  wcfg.options_digest = kDaemonOptionsDigest;
+  wcfg.first_segment_id = next_segment;
+  wcfg.fallback_dir = config_.checkpoint_dir + "/fallback";
+  journal_->writer = std::make_unique<tls::study::GroupCommitWriter>(
+      &journal_->backend, wcfg, nullptr);
+  return true;
+}
+
+void NotaryDaemon::request_stop() {
+  stop_requested_.store(true, std::memory_order_release);
+  wake();
+}
+
+void NotaryDaemon::wake() {
+  if (wake_tx_ < 0) return;
+  const std::uint8_t byte = 1;
+  // Best-effort: a full pipe already guarantees a pending wakeup.
+  [[maybe_unused]] auto n = ::write(wake_tx_, &byte, 1);
+}
+
+void NotaryDaemon::join() {
+  if (event_thread_.joinable()) event_thread_.join();
+}
+
+DaemonCounters NotaryDaemon::counters() const {
+  DaemonCounters c;
+  c.offered = counters_->offered.load(std::memory_order_relaxed);
+  c.admitted = counters_->admitted.load(std::memory_order_relaxed);
+  c.ingested = counters_->ingested.load(std::memory_order_relaxed);
+  c.shed = counters_->shed.load(std::memory_order_relaxed);
+  c.malformed = counters_->malformed.load(std::memory_order_relaxed);
+  c.credit_violations =
+      counters_->credit_violations.load(std::memory_order_relaxed);
+  c.frame_errors = counters_->frame_errors.load(std::memory_order_relaxed);
+  c.idle_timeouts = counters_->idle_timeouts.load(std::memory_order_relaxed);
+  c.connections_accepted =
+      counters_->connections_accepted.load(std::memory_order_relaxed);
+  c.connections_closed =
+      counters_->connections_closed.load(std::memory_order_relaxed);
+  c.sslv2 = counters_->sslv2.load(std::memory_order_relaxed);
+  c.checkpoint_epochs =
+      counters_->checkpoint_epochs.load(std::memory_order_relaxed);
+  return c;
+}
+
+namespace {
+
+/// Upper-bound quantile from histogram buckets: the smallest bucket bound
+/// covering fraction `q` of the samples (conservative — never understates).
+std::uint64_t bucket_quantile(const tls::telemetry::Histogram& h, double q) {
+  if (h.count == 0) return 0;
+  const auto target = static_cast<std::uint64_t>(
+      q * static_cast<double>(h.count) + 0.5);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < h.counts.size(); ++i) {
+    seen += h.counts[i];
+    if (seen >= target) {
+      return i < h.bounds.size() ? h.bounds[i] : h.max;
+    }
+  }
+  return h.max;
+}
+
+}  // namespace
+
+std::string NotaryDaemon::stats_text() {
+  const DaemonCounters c = counters();
+  std::uint64_t quarantined = 0;
+  {
+    std::lock_guard<std::mutex> lock(wire_mutex_);
+    quarantined = wire_quarantine_.total_pushed();
+  }
+  tls::telemetry::Histogram latency;
+  latency.bounds = tls::telemetry::duration_buckets_us();
+  latency.counts.assign(latency.bounds.size() + 1, 0);
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->telemetry_mutex);
+    latency.merge(*shard->latency);
+  }
+  std::ostringstream out;
+  out << "admitted=" << c.admitted << '\n'
+      << "checkpoint_epochs=" << c.checkpoint_epochs << '\n'
+      << "connections_accepted=" << c.connections_accepted << '\n'
+      << "connections_closed=" << c.connections_closed << '\n'
+      << "credit_violations=" << c.credit_violations << '\n'
+      << "frame_errors=" << c.frame_errors << '\n'
+      << "idle_timeouts=" << c.idle_timeouts << '\n'
+      << "ingest_p50_us=" << bucket_quantile(latency, 0.50) << '\n'
+      << "ingest_p99_us=" << bucket_quantile(latency, 0.99) << '\n'
+      << "ingest_p999_us=" << bucket_quantile(latency, 0.999) << '\n'
+      << "ingested=" << c.ingested << '\n'
+      << "malformed=" << c.malformed << '\n'
+      << "offered=" << c.offered << '\n'
+      << "resumed_epoch=" << resumed_epoch_ << '\n'
+      << "shed=" << c.shed << '\n'
+      << "sslv2=" << c.sslv2 << '\n'
+      << "wire_quarantined=" << quarantined << '\n';
+  return out.str();
+}
+
+tls::telemetry::MetricsRegistry NotaryDaemon::merged_metrics() {
+  tls::telemetry::MetricsRegistry reg;
+  const DaemonCounters c = counters();
+  const auto add = [&reg](const char* name, const char* help,
+                          std::uint64_t value) {
+    reg.counter(name, {}, help).add(value);
+  };
+  add("tls_repro_daemon_offered_total", "Captures offered by clients",
+      c.offered);
+  add("tls_repro_daemon_admitted_total", "Captures admitted to a shard queue",
+      c.admitted);
+  add("tls_repro_daemon_ingested_total", "Captures observed by a shard",
+      c.ingested);
+  add("tls_repro_daemon_shed_total",
+      "Captures refused admission (queue full or credit violation)", c.shed);
+  add("tls_repro_daemon_malformed_total",
+      "Checksum-valid frames whose capture payload failed to parse",
+      c.malformed);
+  add("tls_repro_daemon_credit_violations_total",
+      "Captures sent past the granted credit window", c.credit_violations);
+  add("tls_repro_daemon_frame_errors_total",
+      "Connections dropped for wire-framing violations", c.frame_errors);
+  add("tls_repro_daemon_idle_timeouts_total",
+      "Connections dropped mid-frame by the slow-loris guard",
+      c.idle_timeouts);
+  add("tls_repro_daemon_connections_total", "Connections accepted",
+      c.connections_accepted);
+  add("tls_repro_daemon_checkpoint_epochs_total",
+      "Aggregate checkpoint epochs committed to the journal",
+      c.checkpoint_epochs);
+  {
+    std::lock_guard<std::mutex> lock(wire_mutex_);
+    for (std::size_t s = 0; s < tls::notary::kIngestStageCount; ++s) {
+      for (std::size_t e = 0; e < tls::wire::kParseErrorCodeCount; ++e) {
+        const auto stage = static_cast<tls::notary::IngestStage>(s);
+        const auto code = static_cast<tls::wire::ParseErrorCode>(e);
+        const std::uint64_t n = wire_errors_.count(stage, code);
+        if (n == 0) continue;
+        std::string labels = "stage=\"";
+        labels += tls::notary::ingest_stage_name(stage);
+        labels += "\",code=\"";
+        labels += tls::wire::parse_error_code_name(code);
+        labels += "\"";
+        reg.counter("tls_repro_daemon_wire_errors_total", labels,
+                    "Wire-level decode failures by stage and code")
+            .add(n);
+      }
+    }
+    reg.gauge("tls_repro_daemon_quarantine_pushed", {},
+              "Total wire-level records quarantined")
+        .set(wire_quarantine_.total_pushed());
+  }
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    auto& shard = *shards_[i];
+    {
+      std::lock_guard<std::mutex> lock(shard.telemetry_mutex);
+      reg.merge(shard.registry);
+    }
+    std::size_t depth = 0;
+    {
+      std::lock_guard<std::mutex> lock(shard.queue_mutex);
+      depth = shard.queue.size();
+    }
+    reg.gauge("tls_repro_daemon_queue_depth",
+              "shard=\"" + std::to_string(i) + "\"",
+              "Shard ingest-queue occupancy at scrape time", true)
+        .set(depth);
+  }
+  return reg;
+}
+
+tls::notary::PassiveMonitor NotaryDaemon::aggregate_locked() {
+  tls::notary::PassiveMonitor aggregate(config_.database);
+  if (baseline_) aggregate.absorb(*baseline_);
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->monitor_mutex);
+    aggregate.absorb(*shard->monitor);
+  }
+  return aggregate;
+}
+
+tls::notary::PassiveMonitor NotaryDaemon::aggregate_monitor() {
+  return aggregate_locked();
+}
+
+void NotaryDaemon::checkpoint_epoch(bool final_epoch) {
+  if (!journal_ || !journal_->writer) return;
+  auto aggregate = aggregate_locked();
+  const auto state = tls::notary::encode_monitor_state(aggregate);
+  ++epoch_;
+  tls::study::FrameHeader header;
+  header.kind = tls::study::FrameKind::kPassiveShard;
+  header.month_index = 0;
+  header.slot = static_cast<std::uint32_t>(epoch_);
+  auto frame = tls::study::encode_frame(kDaemonOptionsDigest, header, state);
+  journal_->writer->enqueue("epoch_" + std::to_string(epoch_) + ".frame",
+                            std::move(frame));
+  journal_->writer->flush();
+  counters_->checkpoint_epochs.fetch_add(1, std::memory_order_relaxed);
+  last_checkpoint_ingested_ =
+      counters_->ingested.load(std::memory_order_relaxed);
+  if (final_epoch) journal_->writer->stop();
+}
+
+void NotaryDaemon::write_snapshot_files() {
+  if (config_.checkpoint_dir.empty()) return;
+  auto aggregate = aggregate_locked();
+  const auto state = tls::notary::encode_monitor_state(aggregate);
+  tls::study::FrameHeader header;
+  header.kind = tls::study::FrameKind::kPassiveShard;
+  header.month_index = 0;
+  header.slot = static_cast<std::uint32_t>(epoch_);
+  const auto frame =
+      tls::study::encode_frame(kDaemonOptionsDigest, header, state);
+  tls::study::write_file_durable(config_.checkpoint_dir + "/SNAPSHOT.bin",
+                                 frame);
+  std::string text = stats_text();
+  text += "clean_drain=1\n";
+  const std::span<const std::uint8_t> text_bytes(
+      reinterpret_cast<const std::uint8_t*>(text.data()), text.size());
+  tls::study::write_file_durable(config_.checkpoint_dir + "/SNAPSHOT.txt",
+                                 text_bytes);
+}
+
+// ---------------------------------------------------------------------------
+// Worker plane
+// ---------------------------------------------------------------------------
+
+void NotaryDaemon::worker_loop(std::size_t shard_index) {
+  auto& shard = *shards_[shard_index];
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(shard.queue_mutex);
+      shard.cv.wait(lock, [&] {
+        return workers_stop_.load(std::memory_order_acquire) ||
+               !shard.queue.empty();
+      });
+      if (shard.queue.empty()) {
+        if (workers_stop_.load(std::memory_order_acquire)) return;
+        continue;
+      }
+      job = std::move(shard.queue.front());
+      shard.queue.pop_front();
+    }
+    if (config_.observe_delay_us_for_test != 0) {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(config_.observe_delay_us_for_test));
+    }
+    const auto month = month_from_index(job.capture.month_index);
+    {
+      std::lock_guard<std::mutex> lock(shard.monitor_mutex);
+      if (job.capture.sslv2) {
+        shard.monitor->observe_sslv2(month);
+        counters_->sslv2.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        shard.monitor->observe_wire(month, job.capture.day,
+                                    job.capture.client, job.capture.server,
+                                    job.capture.ske, job.capture.success,
+                                    job.capture.used_fallback,
+                                    job.capture.alert,
+                                    /*cacheable=*/true);
+      }
+    }
+    const std::uint64_t latency = now_us() - job.admit_us;
+    {
+      std::lock_guard<std::mutex> lock(shard.telemetry_mutex);
+      shard.latency->record(latency);
+    }
+    counters_->ingested.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(completion_mutex_);
+      completions_.push_back(job.conn_id);
+    }
+    wake();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Event plane
+// ---------------------------------------------------------------------------
+
+void NotaryDaemon::queue_frame(Connection& conn, FrameType type,
+                               std::span<const std::uint8_t> payload) {
+  const auto bytes = encode_frame(type, payload);
+  conn.outbound.insert(conn.outbound.end(), bytes.begin(), bytes.end());
+}
+
+bool NotaryDaemon::flush_outbound(Connection& conn) {
+  while (conn.out_off < conn.outbound.size()) {
+    const auto n =
+        ::send(conn.fd, conn.outbound.data() + conn.out_off,
+               conn.outbound.size() - conn.out_off, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn.out_off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  if (conn.out_off == conn.outbound.size()) {
+    conn.outbound.clear();
+    conn.out_off = 0;
+  } else if (conn.out_off > 65536) {
+    conn.outbound.erase(conn.outbound.begin(),
+                        conn.outbound.begin() +
+                            static_cast<std::ptrdiff_t>(conn.out_off));
+    conn.out_off = 0;
+  }
+  return true;
+}
+
+void NotaryDaemon::close_connection(std::uint64_t id) {
+  auto it = conns_.find(id);
+  if (it == conns_.end()) return;
+  ::close(it->second->fd);
+  conns_.erase(it);
+  counters_->connections_closed.fetch_add(1, std::memory_order_relaxed);
+}
+
+void NotaryDaemon::accept_ready() {
+  for (;;) {
+    const int fd =
+        ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      return;
+    }
+    if (conns_.size() >= config_.max_connections) {
+      ::close(fd);
+      continue;
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    const std::uint64_t id = next_conn_id_++;
+    auto conn = std::make_unique<Connection>(
+        fd, id, config_.max_frame_bytes, config_.credit_window, now_ms());
+    counters_->connections_accepted.fetch_add(1, std::memory_order_relaxed);
+    // Open the credit window immediately: the client may not send a
+    // capture before it holds credit.
+    const auto grant = encode_credit_grant(config_.credit_window);
+    queue_frame(*conn, FrameType::kCreditGrant, grant);
+    auto* raw = conn.get();
+    conns_.emplace(id, std::move(conn));
+    if (!flush_outbound(*raw)) close_connection(id);
+  }
+}
+
+void NotaryDaemon::handle_capture(Connection& conn,
+                                  std::vector<std::uint8_t> payload) {
+  counters_->offered.fetch_add(1, std::memory_order_relaxed);
+  if (!conn.gate.consume()) {
+    // Protocol violation: the client overran its window. The capture is
+    // refused admission (a shed, honestly counted) and the connection
+    // goes away — a sensor that ignores backpressure cannot be reasoned
+    // about.
+    counters_->credit_violations.fetch_add(1, std::memory_order_relaxed);
+    counters_->shed.fetch_add(1, std::memory_order_relaxed);
+    close_connection(conn.id);  // erases conn — caller must not touch it
+    return;
+  }
+  CapturePayload capture;
+  try {
+    capture = decode_capture(payload);
+  } catch (const tls::wire::ParseError& err) {
+    counters_->malformed.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(wire_mutex_);
+      wire_errors_.record(tls::notary::IngestStage::kClientHello, err.code());
+      wire_quarantine_.push(tls::notary::IngestStage::kClientHello, err.code(),
+                            conn.last_month, payload);
+    }
+    conn.gate.complete();
+    return;
+  }
+  conn.last_month = month_from_index(capture.month_index);
+  const std::size_t shard_index =
+      capture.client.empty()
+          ? capture.month_index % shards_.size()
+          : tls::notary::ObserveCache::fnv1a64(capture.client) %
+                shards_.size();
+  auto& shard = *shards_[shard_index];
+  bool admitted = false;
+  {
+    std::lock_guard<std::mutex> lock(shard.queue_mutex);
+    if (shard.queue.size() < config_.shard_queue_depth) {
+      Job job;
+      job.capture = std::move(capture);
+      job.conn_id = conn.id;
+      job.admit_us = now_us();
+      shard.queue.push_back(std::move(job));
+      admitted = true;
+    }
+  }
+  if (admitted) {
+    counters_->admitted.fetch_add(1, std::memory_order_relaxed);
+    shard.cv.notify_one();
+  } else {
+    counters_->shed.fetch_add(1, std::memory_order_relaxed);
+    conn.gate.complete();
+  }
+}
+
+bool NotaryDaemon::process_frame(Connection& conn, Frame frame) {
+  if (!is_client_frame(frame.type)) {
+    counters_->frame_errors.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  switch (frame.type) {
+    case FrameType::kHello:
+      break;
+    case FrameType::kCapture: {
+      const std::uint64_t id = conn.id;
+      handle_capture(conn, std::move(frame.payload));
+      // handle_capture may have erased the connection (credit violation);
+      // `conn` is dangling in that case, so re-resolve by id.
+      return conns_.find(id) != conns_.end();
+    }
+    case FrameType::kQueryStats: {
+      const std::string text = stats_text();
+      queue_frame(conn, FrameType::kStats,
+                  {reinterpret_cast<const std::uint8_t*>(text.data()),
+                   text.size()});
+      break;
+    }
+    case FrameType::kQueryMetrics: {
+      const auto registry = merged_metrics();
+      const std::string text = tls::telemetry::to_prometheus(registry);
+      queue_frame(conn, FrameType::kMetrics,
+                  {reinterpret_cast<const std::uint8_t*>(text.data()),
+                   text.size()});
+      break;
+    }
+    case FrameType::kGoodbye:
+      conn.pending_close = true;
+      break;
+    default:
+      break;
+  }
+  return true;
+}
+
+bool NotaryDaemon::read_ready(Connection& conn) {
+  const std::uint64_t id = conn.id;
+  std::uint8_t buf[65536];
+  for (;;) {
+    const auto n = ::recv(conn.fd, buf, sizeof(buf), 0);
+    if (n == 0) return false;  // peer closed
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      return false;
+    }
+    auto frames = conn.decoder.feed({buf, static_cast<std::size_t>(n)});
+    for (auto& frame : frames) {
+      conn.last_progress_ms = now_ms();
+      if (!process_frame(conn, std::move(frame))) return false;
+      if (conns_.find(id) == conns_.end()) return true;  // closed inside
+    }
+    if (conn.decoder.poisoned()) {
+      counters_->frame_errors.fetch_add(1, std::memory_order_relaxed);
+      {
+        std::lock_guard<std::mutex> lock(wire_mutex_);
+        const auto code = parse_code_for(conn.decoder.error());
+        wire_errors_.record(tls::notary::IngestStage::kClientFlight, code);
+        wire_quarantine_.push(tls::notary::IngestStage::kClientFlight, code,
+                              conn.last_month, conn.decoder.poison_prefix());
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+void NotaryDaemon::drain_completions() {
+  std::vector<std::uint64_t> resolved;
+  {
+    std::lock_guard<std::mutex> lock(completion_mutex_);
+    resolved.swap(completions_);
+  }
+  for (const auto id : resolved) {
+    auto it = conns_.find(id);
+    if (it == conns_.end()) continue;  // connection already gone
+    it->second->gate.complete();
+  }
+  // Batch the resolved credits into one grant frame per connection.
+  std::vector<std::uint64_t> to_close;
+  for (auto& [id, conn] : conns_) {
+    const std::uint32_t grant = conn->gate.take_grant();
+    if (grant > 0) {
+      const auto payload = encode_credit_grant(grant);
+      queue_frame(*conn, FrameType::kCreditGrant, payload);
+    }
+    if (!conn->outbound.empty() && !flush_outbound(*conn)) {
+      to_close.push_back(id);
+      continue;
+    }
+    if (conn->pending_close && conn->outbound.empty() &&
+        conn->gate.outstanding() == 0) {
+      to_close.push_back(id);
+    }
+  }
+  for (const auto id : to_close) close_connection(id);
+}
+
+void NotaryDaemon::sweep_idle(std::uint64_t now) {
+  std::vector<std::uint64_t> to_close;
+  for (auto& [id, conn] : conns_) {
+    if (conn->decoder.buffered_bytes() == 0) continue;
+    if (now - conn->last_progress_ms > config_.idle_timeout_ms) {
+      counters_->idle_timeouts.fetch_add(1, std::memory_order_relaxed);
+      to_close.push_back(id);
+    }
+  }
+  for (const auto id : to_close) close_connection(id);
+}
+
+void NotaryDaemon::event_loop() {
+  bool draining = false;
+  std::vector<pollfd> pfds;
+  std::vector<std::uint64_t> pfd_conn;
+  for (;;) {
+    pfds.clear();
+    pfd_conn.clear();
+    pfds.push_back({wake_rx_, POLLIN, 0});
+    pfd_conn.push_back(0);
+    if (!draining && listen_fd_ >= 0) {
+      pfds.push_back({listen_fd_, POLLIN, 0});
+      pfd_conn.push_back(0);
+    }
+    if (!draining) {
+      for (auto& [id, conn] : conns_) {
+        short events = POLLIN;
+        if (!conn->outbound.empty()) events |= POLLOUT;
+        pfds.push_back({conn->fd, events, 0});
+        pfd_conn.push_back(id);
+      }
+    }
+    ::poll(pfds.data(), static_cast<nfds_t>(pfds.size()), 50);
+
+    if (pfds[0].revents & POLLIN) {
+      std::uint8_t scratch[256];
+      while (::read(wake_rx_, scratch, sizeof(scratch)) > 0) {
+      }
+    }
+    drain_completions();
+
+    std::size_t index = 1;
+    if (!draining && listen_fd_ >= 0) {
+      if (pfds[index].revents & POLLIN) accept_ready();
+      ++index;
+    }
+    if (!draining) {
+      for (; index < pfds.size(); ++index) {
+        const std::uint64_t id = pfd_conn[index];
+        auto it = conns_.find(id);
+        if (it == conns_.end()) continue;
+        auto& conn = *it->second;
+        const short re = pfds[index].revents;
+        if (re & (POLLERR | POLLHUP | POLLNVAL)) {
+          close_connection(id);
+          continue;
+        }
+        if ((re & POLLOUT) && !flush_outbound(conn)) {
+          close_connection(id);
+          continue;
+        }
+        if ((re & POLLIN) && !read_ready(conn)) {
+          close_connection(id);
+          continue;
+        }
+      }
+      drain_completions();
+      sweep_idle(now_ms());
+    }
+
+    if (config_.checkpoint_every > 0 && journal_) {
+      const auto ingested =
+          counters_->ingested.load(std::memory_order_relaxed);
+      if (ingested - last_checkpoint_ingested_ >= config_.checkpoint_every) {
+        checkpoint_epoch(false);
+      }
+    }
+
+    if (!draining && stop_requested_.load(std::memory_order_acquire)) {
+      draining = true;
+      if (listen_fd_ >= 0) {
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+      }
+      // Admission stops here; already-admitted work drains below. The
+      // sockets close now — sensors reconnect after the restart.
+      std::vector<std::uint64_t> ids;
+      ids.reserve(conns_.size());
+      for (auto& [id, conn] : conns_) ids.push_back(id);
+      for (const auto id : ids) close_connection(id);
+    }
+    if (draining) {
+      const auto admitted =
+          counters_->admitted.load(std::memory_order_relaxed);
+      const auto ingested =
+          counters_->ingested.load(std::memory_order_relaxed);
+      if (admitted == ingested) break;
+    }
+  }
+
+  workers_stop_.store(true, std::memory_order_release);
+  for (auto& shard : shards_) shard->cv.notify_all();
+  for (auto& worker : workers_) worker.join();
+  workers_.clear();
+
+  if (journal_) checkpoint_epoch(true);
+  write_snapshot_files();
+  running_.store(false, std::memory_order_release);
+}
+
+}  // namespace tls::daemon

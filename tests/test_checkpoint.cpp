@@ -16,12 +16,14 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <csignal>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/checkpoint.hpp"
@@ -127,6 +129,69 @@ int run_checkpoint_child(int argc, char** argv) {
   return 0;
 }
 
+/// `<exe> --signal-drain-child <ckpt> <term_after> <out>`: journals an
+/// export in grouped mode with UNREACHABLE group thresholds (the linger
+/// buffer can never commit organically), arranges a SIGTERM after
+/// <term_after> appends, and handles it exactly like study_cli does —
+/// sigwait watcher, drain_checkpoint(), _Exit(0). Exits 1 if the export
+/// completes without the signal ever firing, so the parent can tell a
+/// dead seam from a successful drain.
+int run_signal_drain_child(int argc, char** argv) {
+  if (argc != 5) return 2;
+  sigset_t sigs;
+  sigemptyset(&sigs);
+  sigaddset(&sigs, SIGINT);
+  sigaddset(&sigs, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &sigs, nullptr);
+
+  auto opts = matrix_options(0);
+  opts.checkpoint_dir = argv[2];
+  opts.resume = true;
+  opts.threads = 4;
+  opts.checkpoint_term_after_frames =
+      static_cast<std::size_t>(std::atol(argv[3]));
+  opts.journal_mode = JournalMode::kGrouped;
+  // Thresholds no export of this size can reach: only a drain (flush +
+  // fsync) can make the lingering frames durable, so every frame the
+  // parent later replays is proof the signal path flushed.
+  opts.journal_group_frames = 1u << 20;
+  opts.journal_group_ms = 600'000;
+
+  LongitudinalStudy study(opts);
+  std::atomic<bool> done{false};
+  std::thread watcher([&sigs, &study, &done] {
+    int sig = 0;
+    sigwait(&sigs, &sig);
+    if (done.load()) return;
+    study.drain_checkpoint();
+    std::_Exit(0);  // mid-export, like study_cli: drained, leave now
+  });
+  study.export_figures(argv[4]);
+  done.store(true);
+  pthread_kill(watcher.native_handle(), SIGTERM);
+  watcher.join();
+  return 1;  // the seam was supposed to interrupt the export
+}
+
+int spawn_drain_child(const std::string& ckpt, const std::string& out,
+                      std::size_t term_after) {
+  const pid_t pid = fork();
+  if (pid == 0) {
+    const std::string term_s = std::to_string(term_after);
+    const char* child_argv[] = {"tls_checkpoint_tests",
+                                "--signal-drain-child",
+                                ckpt.c_str(),
+                                term_s.c_str(),
+                                out.c_str(),
+                                nullptr};
+    execv("/proc/self/exe", const_cast<char* const*>(child_argv));
+    _exit(127);  // exec failed
+  }
+  int status = 0;
+  waitpid(pid, &status, 0);
+  return status;
+}
+
 /// Forks + re-execs this binary in child mode; returns the wait status.
 int spawn_child(const std::string& ckpt, const std::string& out,
                 unsigned threads, int fault_milli, std::size_t kill_after,
@@ -194,6 +259,36 @@ TEST(CheckpointCodec, FrameTamperingIsAlwaysDetected) {
   auto padded = bytes;
   padded.push_back(0);
   EXPECT_THROW((void)tls::study::decode_frame(padded), ParseError);
+}
+
+TEST(CheckpointCodec, OversizedDeclaredLengthRejectedBeforeAllocation) {
+  const std::vector<std::uint8_t> payload(2048, 0x5a);
+  const auto bytes = tls::study::encode_frame(
+      7, {FrameKind::kPassiveShard, 1, 2}, payload);
+  // At or above the declared size the frame decodes normally.
+  EXPECT_EQ(tls::study::decode_frame(bytes).payload.size(), payload.size());
+  EXPECT_EQ(tls::study::decode_frame(bytes, 2048).payload.size(), 2048u);
+  // One byte under it: rejected as kBadLength, not kTruncated/kBadValue —
+  // the length gate fires before the payload is ever materialized.
+  try {
+    (void)tls::study::decode_frame(bytes, 2047);
+    FAIL() << "oversized declared payload must throw";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.code(), tls::wire::ParseErrorCode::kBadLength);
+  }
+  // A forged astronomical length field (all 0xff — endian-proof) dies on
+  // the same pre-allocation guard under the default cap; without it the
+  // reader would chase a 4 GiB claim through a 2 KiB frame.
+  auto forged = bytes;
+  // payload_len is the u32 after magic(4) + version(4) + digest(8) +
+  // kind(1) + month(4) + slot(4) = offset 25.
+  for (std::size_t i = 25; i < 29; ++i) forged[i] = 0xff;
+  try {
+    (void)tls::study::decode_frame(forged);
+    FAIL() << "forged length must throw";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.code(), tls::wire::ParseErrorCode::kBadLength);
+  }
 }
 
 TEST(CheckpointCodec, ManifestRoundTripAndVersionGate) {
@@ -409,6 +504,32 @@ TEST(RunJournal, DamagedFramesAreQuarantinedNeverFatal) {
   EXPECT_EQ(resumed.replayed(FrameKind::kPassiveShard, 50, 1), nullptr);
   EXPECT_EQ(resumed.replayed(FrameKind::kPassiveShard, 50, 2), nullptr);
   EXPECT_NE(resumed.replayed(FrameKind::kPassiveShard, 50, 3), nullptr);
+  fs::remove_all(dir);
+}
+
+TEST(RunJournal, FramesAboveConfiguredMaxAreQuarantinedNotFatal) {
+  const auto dir = fresh_dir("journal_maxlen");
+  CheckpointManifest manifest;
+  manifest.options_digest = 5;
+  {
+    RunJournal journal({dir.string(), /*resume=*/false, manifest});
+    journal.append(FrameKind::kPassiveShard, 9, 0,
+                   std::vector<std::uint8_t>(4096, 1));
+    journal.append(FrameKind::kPassiveShard, 9, 1,
+                   std::vector<std::uint8_t>(16, 2));
+  }
+  // Replay under a 1 KiB cap: the 4 KiB frame is booked corrupt and
+  // quarantined (taxonomy, not abort); the small frame still replays.
+  RunJournal::Config strict{dir.string(), /*resume=*/true, manifest};
+  strict.max_frame_bytes = 1024;
+  RunJournal resumed(std::move(strict));
+  const auto report = resumed.snapshot_report();
+  EXPECT_TRUE(report.resumed);
+  EXPECT_EQ(report.frames_replayed, 1u);
+  EXPECT_EQ(report.frames_corrupt, 1u);
+  EXPECT_EQ(report.quarantined.size(), 1u);
+  EXPECT_EQ(resumed.replayed(FrameKind::kPassiveShard, 9, 0), nullptr);
+  EXPECT_NE(resumed.replayed(FrameKind::kPassiveShard, 9, 1), nullptr);
   fs::remove_all(dir);
 }
 
@@ -741,11 +862,69 @@ TEST(CheckpointCrashMatrix, KillResumeByteIdenticalAcrossThreadsAndFaults) {
   }
 }
 
+// ---- the signal-drain lane ----------------------------------------------
+
+TEST(CheckpointSignalDrain, SigtermFlushesLingeringGroupAndResumeCompletes) {
+  // Uninterrupted reference export.
+  const auto ref_dir = fresh_dir("drain_ref");
+  LongitudinalStudy reference(matrix_options(0));
+  const auto ref_files = reference.export_figures(ref_dir.string());
+  ASSERT_EQ(ref_files.size(), 11u);
+
+  const auto ckpt = fresh_dir("drain_ckpt");
+  const auto out = fresh_dir("drain_out");
+  constexpr std::size_t kTermAfter = 3;
+
+  // Phase 1: the child gets SIGTERM after 3 appends. Its group thresholds
+  // are unreachable, so nothing is durable at signal time — a graceful
+  // drain must exit 0 having flushed the lingering group; exit 1 means the
+  // seam never fired, a termsig means the drain path crashed.
+  const int status = spawn_drain_child(ckpt.string(), out.string(),
+                                       kTermAfter);
+  ASSERT_TRUE(WIFEXITED(status)) << "status " << status;
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+  // The watcher _Exit()s mid-run: no figure CSV may have been written.
+  EXPECT_TRUE(fs::is_empty(out));
+
+  // The drained frames are really on disk: a fresh replay over the same
+  // manifest sees at least kTermAfter verified frames, none of which
+  // could have committed organically.
+  {
+    const auto manifest = tls::study::make_manifest(
+        matrix_options(0),
+        tls::servers::ServerPopulation::standard().segments().size());
+    RunJournal probe({ckpt.string(), /*resume=*/true, manifest});
+    const auto report = probe.snapshot_report();
+    EXPECT_TRUE(report.resumed);
+    EXPECT_GE(report.frames_replayed, kTermAfter);
+    EXPECT_EQ(report.frames_torn, 0u);
+    EXPECT_EQ(report.frames_corrupt, 0u);
+  }
+
+  // Phase 2: resume to completion in a fresh process; bytes must match
+  // the uninterrupted reference exactly.
+  const int resumed = spawn_child(ckpt.string(), out.string(), /*threads=*/4,
+                                  /*fault_milli=*/0, /*kill_after=*/0,
+                                  /*group_frames=*/64);
+  ASSERT_TRUE(WIFEXITED(resumed) && WEXITSTATUS(resumed) == 0)
+      << "status " << resumed;
+  for (const auto& f : ref_files) {
+    const auto name = fs::path(f).filename();
+    EXPECT_EQ(slurp((out / name).string()), slurp(f)) << name;
+  }
+  fs::remove_all(ckpt);
+  fs::remove_all(out);
+  fs::remove_all(ref_dir);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc > 1 && std::string(argv[1]) == "--checkpoint-child") {
     return run_checkpoint_child(argc, argv);
+  }
+  if (argc > 1 && std::string(argv[1]) == "--signal-drain-child") {
+    return run_signal_drain_child(argc, argv);
   }
   ::testing::InitGoogleTest(&argc, argv);
   return RUN_ALL_TESTS();

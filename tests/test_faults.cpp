@@ -6,6 +6,8 @@
 
 #include "faults/injector.hpp"
 #include "faults/network.hpp"
+#include "scan/scanner.hpp"
+#include "servers/population.hpp"
 #include "wire/record.hpp"
 #include "wire/transcript.hpp"
 
@@ -290,6 +292,107 @@ TEST(Probe, BudgetAbandonsEarly) {
   EXPECT_FALSE(trace.reached);
   EXPECT_TRUE(trace.abandoned);
   EXPECT_LT(trace.attempts.size(), 10u);
+}
+
+TEST(Probe, ZeroAttemptTimeoutNeverTripsTheBudget) {
+  // attempt_timeout_ms == 0 is the degenerate "instant verdict" policy:
+  // timeouts cost no clock, so even a 1 ms budget cannot abandon the probe
+  // and every configured attempt runs. Guards against a divide/overflow or
+  // an accidental `elapsed >= budget` trip at elapsed == 0.
+  NetworkProfile p;
+  p.timeout = 1.0;  // every attempt times out...
+  RetryPolicy policy;
+  policy.attempt_timeout_ms = 0;  // ...but a zero timeout costs nothing
+  policy.base_backoff_ms = 0;     // and neither do the backoffs
+  policy.max_attempts = 8;
+  policy.total_budget_ms = 1;
+  tls::core::Rng rng(11);
+  const auto trace = run_probe(p, policy, rng);
+  EXPECT_FALSE(trace.reached);
+  EXPECT_FALSE(trace.abandoned);
+  EXPECT_EQ(trace.attempts.size(), 8u);
+  EXPECT_DOUBLE_EQ(trace.elapsed_ms, 0.0);
+  for (const auto a : trace.attempts) {
+    EXPECT_EQ(a, ProbeOutcome::kTimeout);
+  }
+}
+
+TEST(Probe, BackoffSaturationExhaustsBudgetAndAbandons) {
+  // The exponential backoff has no standalone cap — the total time budget
+  // IS the cap. Attempts are nearly free here; the geometric backoff alone
+  // must saturate the budget and flag abandonment with attempts left.
+  NetworkProfile p;
+  p.timeout = 1.0;
+  RetryPolicy policy;
+  policy.max_attempts = 64;
+  policy.attempt_timeout_ms = 1;
+  policy.base_backoff_ms = 1;
+  policy.backoff_factor = 8.0;
+  policy.jitter = 0;  // pure geometric series, exactly predictable
+  policy.total_budget_ms = 1000;
+  tls::core::Rng rng(12);
+  const auto trace = run_probe(p, policy, rng);
+  EXPECT_FALSE(trace.reached);
+  EXPECT_TRUE(trace.abandoned);
+  EXPECT_LT(trace.attempts.size(), policy.max_attempts);
+  EXPECT_GE(trace.elapsed_ms, policy.total_budget_ms);
+  double expected = policy.base_backoff_ms;
+  for (const auto b : trace.backoffs_ms) {
+    EXPECT_DOUBLE_EQ(b, expected);
+    expected *= policy.backoff_factor;
+  }
+}
+
+TEST(Probe, FullyFlakyHostsFailEveryAttemptButAreNotDead) {
+  // flaky_hosts = 1.0 makes every live host flaky; with the x10 penalty a
+  // 0.2 timeout rate saturates to certainty. The host is NOT unreachable —
+  // each attempt individually times out, which is a different books entry.
+  NetworkProfile p;
+  p.flaky_hosts = 1.0;
+  p.timeout = 0.2;
+  RetryPolicy policy;
+  policy.total_budget_ms = 0;
+  tls::core::Rng rng(13);
+  const auto trace = run_probe(p, policy, rng);
+  EXPECT_FALSE(trace.reached);
+  EXPECT_EQ(trace.attempts.size(), policy.max_attempts);
+  for (const auto a : trace.attempts) {
+    EXPECT_EQ(a, ProbeOutcome::kTimeout);
+  }
+}
+
+TEST(ScanClosure, FullyFlakyNetworkKeepsScannedPlusUnreachableExact) {
+  // Coverage accounting must close exactly even at total loss: every
+  // host's weight lands in either `scanned` or `unreachable`, and the
+  // support fractions (normalized over reached hosts) stay finite zeros
+  // rather than NaNs when nothing was reached.
+  const auto pop = tls::servers::ServerPopulation::standard();
+  tls::scan::ScanPolicy policy;
+  policy.network.flaky_hosts = 1.0;
+  policy.network.timeout = 0.1;  // x10 flaky penalty => certain timeout
+  const tls::scan::ActiveScanner scanner(pop, policy);
+  const auto s = scanner.scan(tls::core::Month(2016, 1));
+  EXPECT_NEAR(s.scanned + s.unreachable, 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(s.scanned, 0.0);
+  EXPECT_GT(s.probe_attempts, 0u);
+  EXPECT_GT(s.probe_retries, 0u);
+  for (const double f :
+       {s.ssl3_support, s.export_support, s.chooses_rc4, s.chooses_cbc,
+        s.chooses_aead, s.chooses_3des, s.rc4_support, s.rc4_only,
+        s.heartbeat_support, s.heartbleed_vulnerable, s.tls13_support}) {
+    EXPECT_DOUBLE_EQ(f, 0.0);
+  }
+
+  // A half-flaky sweep still closes, with both sides of the ledger live.
+  tls::scan::ScanPolicy mixed;
+  mixed.network.flaky_hosts = 0.5;
+  mixed.network.timeout = 0.1;
+  mixed.network.unreachable = 0.2;
+  const tls::scan::ActiveScanner mixed_scanner(pop, mixed);
+  const auto ms = mixed_scanner.scan(tls::core::Month(2016, 1));
+  EXPECT_NEAR(ms.scanned + ms.unreachable, 1.0, 1e-9);
+  EXPECT_GT(ms.scanned, 0.0);
+  EXPECT_GT(ms.unreachable, 0.0);
 }
 
 TEST(Probe, LossyProfileScalesWithLevel) {

@@ -12,6 +12,7 @@
 
 #include "clients/catalog.hpp"
 #include "core/checkpoint.hpp"
+#include "daemon/protocol.hpp"
 #include "faults/injector.hpp"
 #include "fingerprint/md5.hpp"
 #include "fingerprint/md5_multilane.hpp"
@@ -678,6 +679,232 @@ TEST(Fuzz, GenCacheTemplatePatchMatchesFromScratchSerialization) {
   }
   EXPECT_GT(patched, 1000u);
   EXPECT_GT(bypassed, 0u);  // the standard catalog has GREASE configs
+}
+
+// ---- daemon wire protocol (src/daemon/protocol.hpp) ---------------------
+// The FrameDecoder contract is NEVER-throwing: arbitrary bytes in arbitrary
+// chunkings must yield frames or a poisoned decoder, nothing else. These
+// lanes drive it the way a hostile/flaky network would.
+
+tls::daemon::CapturePayload sample_capture() {
+  tls::daemon::CapturePayload cap;
+  cap.month_index = tls::core::Month(2016, 3).index();
+  cap.day = tls::core::Date(2016, 3, 14);
+  cap.success = true;
+  cap.client = sample_client_hello_bytes();
+  cap.server = {0x16, 0x03, 0x03, 0x00, 0x02, 0x0e, 0x00};
+  return cap;
+}
+
+Bytes sample_daemon_stream() {
+  using tls::daemon::FrameType;
+  Bytes stream;
+  const auto append = [&stream](FrameType type, const Bytes& payload) {
+    const auto f = tls::daemon::encode_frame(type, payload);
+    stream.insert(stream.end(), f.begin(), f.end());
+  };
+  append(FrameType::kHello, {'f', 'u', 'z', 'z'});
+  append(FrameType::kCapture, tls::daemon::encode_capture(sample_capture()));
+  append(FrameType::kQueryStats, {});
+  append(FrameType::kCreditGrant, tls::daemon::encode_credit_grant(8));
+  append(FrameType::kGoodbye, {});
+  return stream;
+}
+
+TEST(Fuzz, DaemonDecoderEveryChunkingYieldsTheSameFrames) {
+  const auto stream = sample_daemon_stream();
+  // Reference: one whole-stream feed.
+  tls::daemon::FrameDecoder whole;
+  const auto expected = whole.feed(stream);
+  ASSERT_EQ(expected.size(), 5u);
+  EXPECT_FALSE(whole.poisoned());
+  EXPECT_EQ(whole.buffered_bytes(), 0u);
+
+  // Interleaved partial reads: every fixed chunk size, including the
+  // slow-loris one-byte-at-a-time case, reassembles identical frames.
+  for (std::size_t chunk = 1; chunk <= stream.size(); ++chunk) {
+    tls::daemon::FrameDecoder decoder;
+    std::vector<tls::daemon::Frame> got;
+    for (std::size_t off = 0; off < stream.size(); off += chunk) {
+      const auto n = std::min(chunk, stream.size() - off);
+      auto frames = decoder.feed({stream.data() + off, n});
+      for (auto& f : frames) got.push_back(std::move(f));
+    }
+    ASSERT_EQ(got.size(), expected.size()) << "chunk=" << chunk;
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].type, expected[i].type) << "chunk=" << chunk;
+      EXPECT_EQ(got[i].payload, expected[i].payload) << "chunk=" << chunk;
+    }
+    EXPECT_FALSE(decoder.poisoned());
+    EXPECT_EQ(decoder.buffered_bytes(), 0u);
+  }
+
+  // Every truncation of the stream: whole frames up to the cut decode,
+  // nothing throws, and the remainder stays buffered, never fabricated.
+  for (std::size_t cut = 0; cut < stream.size(); ++cut) {
+    tls::daemon::FrameDecoder decoder;
+    const auto frames = decoder.feed({stream.data(), cut});
+    EXPECT_LE(frames.size(), 5u);
+    EXPECT_FALSE(decoder.poisoned()) << "prefix " << cut;
+  }
+}
+
+TEST(Fuzz, DaemonDecoderMutationsNeverThrowAndPoisonIsPermanent) {
+  const auto stream = sample_daemon_stream();
+  const auto valid_tail = tls::daemon::encode_frame(
+      tls::daemon::FrameType::kQueryStats, {});
+  tls::core::Rng rng(0xdae);
+  for (int trial = 0; trial < 3000; ++trial) {
+    auto mutated = stream;
+    const int flips = 1 + static_cast<int>(rng.below(6));
+    for (int i = 0; i < flips; ++i) {
+      mutated[rng.below(mutated.size())] ^=
+          static_cast<std::uint8_t>(1u << rng.below(8));
+    }
+    tls::daemon::FrameDecoder decoder;
+    std::size_t frames_out = 0;
+    try {
+      // Random chunking while mutated — partial reads plus corruption.
+      std::size_t off = 0;
+      while (off < mutated.size()) {
+        const auto n =
+            std::min<std::size_t>(1 + rng.below(64), mutated.size() - off);
+        frames_out += decoder.feed({mutated.data() + off, n}).size();
+        off += n;
+      }
+      if (decoder.poisoned()) {
+        // Poison is permanent: a perfectly valid frame after the damage
+        // must be ignored, and the poison prefix is bounded for booking.
+        EXPECT_NE(decoder.error(), tls::daemon::DecodeError::kNone);
+        EXPECT_TRUE(decoder.feed(valid_tail).empty());
+        EXPECT_LE(decoder.poison_prefix().size(), 64u);
+        EXPECT_NE(std::string(
+                      tls::daemon::decode_error_name(decoder.error())),
+                  "?");
+      } else {
+        // Flips that keep all five checksums valid are astronomically
+        // unlikely; flips confined to payload bytes are caught by the
+        // checksum, so surviving frames must be checksum-clean decodes.
+        EXPECT_LE(frames_out, 5u);
+      }
+    } catch (const std::exception& e) {
+      FAIL() << "daemon decoder threw on mutated stream: " << e.what();
+    }
+  }
+}
+
+TEST(Fuzz, DaemonDecoderRandomGarbageIsBoundedAndSilent) {
+  tls::core::Rng rng(0xfeedd);
+  for (int trial = 0; trial < 3000; ++trial) {
+    Bytes garbage(rng.below(512));
+    for (auto& b : garbage) b = static_cast<std::uint8_t>(rng.next());
+    tls::daemon::FrameDecoder decoder(/*max_frame_bytes=*/4096);
+    try {
+      const auto frames = decoder.feed(garbage);
+      // Random bytes can't mint a checksummed frame.
+      EXPECT_TRUE(frames.empty());
+      // Bounded memory: whatever happened, the decoder holds no more than
+      // the bytes it was fed, and a poisoned one books a capped prefix.
+      EXPECT_LE(decoder.buffered_bytes(), garbage.size());
+      EXPECT_LE(decoder.poison_prefix().size(), 64u);
+    } catch (const std::exception& e) {
+      FAIL() << "daemon decoder threw on garbage: " << e.what();
+    }
+  }
+}
+
+TEST(Fuzz, DaemonCapturePayloadTruncationAndMutation) {
+  const auto payload = tls::daemon::encode_capture(sample_capture());
+  for (std::size_t cut = 0; cut < payload.size(); ++cut) {
+    expect_parse_or_parse_error(
+        Bytes(payload.begin(),
+              payload.begin() + static_cast<std::ptrdiff_t>(cut)),
+        [](const Bytes& b) { (void)tls::daemon::decode_capture(b); },
+        "truncated capture payload");
+  }
+  tls::core::Rng rng(0xcab);
+  for (int trial = 0; trial < 3000; ++trial) {
+    auto mutated = payload;
+    const int flips = 1 + static_cast<int>(rng.below(6));
+    for (int i = 0; i < flips; ++i) {
+      mutated[rng.below(mutated.size())] ^=
+          static_cast<std::uint8_t>(1u << rng.below(8));
+    }
+    expect_parse_or_parse_error(
+        mutated, [](const Bytes& b) { (void)tls::daemon::decode_capture(b); },
+        "mutated capture payload");
+  }
+}
+
+TEST(Fuzz, DaemonCreditMachinesHoldInvariantsUnderRandomOps) {
+  // Drive gate + client with a random op mix, including hostile grants the
+  // protocol forbids, and check the conservation invariants after every
+  // step: the gate never lets outstanding exceed its window, credits are
+  // neither minted nor destroyed (outstanding + returnable + granted ==
+  // consumed), and the client saturates instead of wrapping.
+  tls::core::Rng rng(0x9c4ed17);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto window = static_cast<std::uint32_t>(1 + rng.below(16));
+    tls::daemon::CreditGate gate(window);
+    tls::daemon::CreditClient client;
+    client.on_grant(window);  // accept-time grant, as the daemon sends
+    std::uint64_t consumed = 0, resolved = 0, granted_back = 0;
+    std::uint64_t violations = 0;
+    for (int op = 0; op < 400; ++op) {
+      switch (rng.below(5)) {
+        case 0:  // client tries to send; gate must agree with its mirror
+          if (client.try_send()) {
+            if (!gate.consume()) {
+              // Client had a credit the gate didn't — only possible after
+              // a hostile grant below inflated the client.
+              ++violations;
+            } else {
+              ++consumed;
+            }
+          }
+          break;
+        case 1:  // a capture resolves (ingest or shed)
+          if (gate.outstanding() > 0) {
+            gate.complete();
+            ++resolved;
+          }
+          break;
+        case 2: {  // daemon flushes a grant batch to the client
+          const auto grant = gate.take_grant();
+          granted_back += grant;
+          if (grant > 0) client.on_grant(grant);
+          break;
+        }
+        case 3:  // spurious complete (nothing outstanding): clamp, not wrap
+          if (gate.outstanding() == 0) gate.complete();
+          break;
+        case 4:  // hostile grant: client must saturate, never wrap to 0
+          if (rng.below(8) == 0) {
+            client.on_grant(0xffffffffu);
+            EXPECT_EQ(client.available(), 0xffffffffu);
+          }
+          break;
+      }
+      ASSERT_LE(gate.outstanding(), window);
+      ASSERT_LE(gate.returnable() + gate.outstanding(), window);
+      // Conservation: every consumed credit is outstanding, granted back,
+      // or awaiting a grant — never minted, never destroyed.
+      ASSERT_EQ(consumed,
+                gate.outstanding() + granted_back + gate.returnable());
+      ASSERT_EQ(resolved, granted_back + gate.returnable());
+      // take_grant drains fully.
+      if (gate.returnable() == 0) EXPECT_EQ(gate.take_grant(), 0u);
+    }
+    // Quiesce: resolve everything outstanding; all credits come home.
+    while (gate.outstanding() > 0) {
+      gate.complete();
+      ++resolved;
+    }
+    granted_back += gate.take_grant();
+    EXPECT_EQ(consumed, resolved);
+    EXPECT_EQ(granted_back, resolved);
+    EXPECT_EQ(gate.returnable(), 0u);
+  }
 }
 
 TEST(Fuzz, Fnv1a64BatchMatchesScalarChain) {
