@@ -1,0 +1,159 @@
+// flight_dump — decode and render a flight-recorder dump (DESIGN.md §17).
+//
+//   flight_dump FILE             render FLIGHT.bin from disk
+//   flight_dump --port N [--host ADDR] [--out FILE]
+//                                fetch the live rings via kQueryFlight
+//
+// Prints the human rendering to stdout. Exit codes: 0 decodable (even
+// with a checksum mismatch, which is reported in the rendering and via
+// exit 3), 1 undecodable or unreachable daemon, 2 usage error. --out
+// additionally saves the fetched binary image for later offline decoding.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "daemon/protocol.hpp"
+#include "telemetry/flight.hpp"
+
+namespace {
+
+using tls::daemon::FrameDecoder;
+using tls::daemon::FrameType;
+
+std::uint64_t now_us() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+bool fetch_flight(const std::string& host, std::uint16_t port,
+                  std::vector<std::uint8_t>* image) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return false;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return false;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  const auto request =
+      tls::daemon::encode_frame(FrameType::kQueryFlight, {});
+  std::size_t sent = 0;
+  while (sent < request.size()) {
+    const auto n =
+        ::send(fd, request.data() + sent, request.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      ::close(fd);
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  FrameDecoder decoder;
+  const std::uint64_t deadline = now_us() + 5'000'000;
+  bool got = false;
+  while (!got && now_us() < deadline) {
+    pollfd pfd{fd, POLLIN, 0};
+    if (::poll(&pfd, 1, 200) <= 0) continue;
+    std::uint8_t buf[16384];
+    const auto n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    const auto frames = decoder.feed({buf, static_cast<std::size_t>(n)});
+    for (const auto& f : frames) {
+      if (f.type != FrameType::kFlight) continue;
+      image->assign(f.payload.begin(), f.payload.end());
+      got = true;
+      break;
+    }
+    if (decoder.poisoned()) break;
+  }
+  ::close(fd);
+  return got;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  std::string host = "127.0.0.1";
+  std::string out;
+  std::uint16_t port = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto need = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "flight_dump: " << flag << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--port") {
+      port = static_cast<std::uint16_t>(
+          std::strtoull(need("--port"), nullptr, 10));
+    } else if (arg == "--host") {
+      host = need("--host");
+    } else if (arg == "--out") {
+      out = need("--out");
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "flight_dump: unknown flag " << arg << "\n";
+      return 2;
+    } else {
+      path = arg;
+    }
+  }
+  if (path.empty() == (port == 0)) {
+    std::cerr << "flight_dump: pass exactly one of FILE or --port N\n";
+    return 2;
+  }
+
+  std::vector<std::uint8_t> image;
+  if (port != 0) {
+    if (!fetch_flight(host, port, &image)) {
+      std::cerr << "flight_dump: daemon at " << host << ":" << port
+                << " did not answer kQueryFlight\n";
+      return 1;
+    }
+    if (image.empty()) {
+      std::cerr << "flight_dump: daemon is running with observability off\n";
+      return 1;
+    }
+    if (!out.empty()) {
+      std::ofstream file(out, std::ios::binary);
+      file.write(reinterpret_cast<const char*>(image.data()),
+                 static_cast<std::streamsize>(image.size()));
+    }
+  } else {
+    std::ifstream file(path, std::ios::binary);
+    if (!file) {
+      std::cerr << "flight_dump: cannot open " << path << "\n";
+      return 1;
+    }
+    image.assign(std::istreambuf_iterator<char>(file),
+                 std::istreambuf_iterator<char>());
+  }
+
+  const auto dump = tls::telemetry::decode_flight(
+      {image.data(), image.size()});
+  std::cout << tls::telemetry::render_flight({image.data(), image.size()});
+  if (!dump.ok) {
+    std::cerr << "flight_dump: image is not a decodable flight dump\n";
+    return 1;
+  }
+  return dump.checksum_ok ? 0 : 3;
+}

@@ -464,6 +464,19 @@ int main(int argc, char** argv) {
     return it == daemon_stats.end() ? 0 : it->second;
   };
 
+  // Pull the stage-latency waterfall while the daemon is still up: where
+  // each frame's time went (decode/enqueue/queue/observe/complete/grant),
+  // plus the slowest exemplars of the last windows.
+  std::string waterfall;
+  if (query_daemon(opt, FrameType::kQueryTrace, FrameType::kTrace,
+                   &waterfall)) {
+    std::istringstream lines(waterfall);
+    std::string line;
+    while (std::getline(lines, line)) {
+      std::cout << "waterfall: " << line << "\n";
+    }
+  }
+
   const double achieved = static_cast<double>(total.sent) / elapsed_s;
   std::cout << "loadgen: scheduled=" << total.scheduled
             << " sent=" << total.sent

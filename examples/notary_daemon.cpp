@@ -6,6 +6,17 @@
 //                 [--observe-delay-us N] [--max-connections N]
 //                 [--checkpoint-dir DIR] [--resume] [--checkpoint-every N]
 //                 [--full-catalog] [--port-file FILE] [--metrics-out FILE]
+//                 [--trace-out FILE] [--no-observability]
+//                 [--flight-events N] [--flight-autodump-ms N]
+//                 [--crash-handler]
+//
+// Observability (DESIGN.md §17): stage-latency attribution and the flight
+// recorder are ON by default; --no-observability turns both off (for the
+// overhead-control benchmark). --trace-out writes the slowest-exemplar
+// waterfall as Chrome trace_event JSON at drain. --flight-autodump-ms
+// keeps checkpoint-dir/FLIGHT.bin at most one interval stale so even
+// kill -9 leaves a post-mortem; --crash-handler additionally dumps the
+// rings from SIGSEGV/SIGABRT/SIGBUS.
 //
 // Runs until SIGINT/SIGTERM, then drains gracefully: admission stops, the
 // shard queues quiesce, the group-commit journal flushes, and a final
@@ -51,6 +62,7 @@ int main(int argc, char** argv) {
   bool full_catalog = false;
   std::string port_file;
   std::string metrics_out;
+  std::string trace_out;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -94,6 +106,17 @@ int main(int argc, char** argv) {
       port_file = need("--port-file");
     } else if (arg == "--metrics-out") {
       metrics_out = need("--metrics-out");
+    } else if (arg == "--trace-out") {
+      trace_out = need("--trace-out");
+    } else if (arg == "--no-observability") {
+      config.observability = false;
+    } else if (arg == "--flight-events") {
+      config.flight_events = parse_u64(need("--flight-events"), arg.c_str());
+    } else if (arg == "--flight-autodump-ms") {
+      config.flight_autodump_ms =
+          parse_u64(need("--flight-autodump-ms"), arg.c_str());
+    } else if (arg == "--crash-handler") {
+      config.crash_handler = true;
     } else {
       std::cerr << "notary_daemon: unknown flag " << arg << "\n";
       return 2;
@@ -141,6 +164,10 @@ int main(int argc, char** argv) {
   watcher.join();
 
   std::cout << daemon.stats_text();
+  if (!trace_out.empty()) {
+    std::ofstream trace(trace_out);
+    trace << daemon.trace_chrome();
+  }
   if (!metrics_out.empty()) {
     const auto registry = daemon.merged_metrics();
     std::ofstream json(metrics_out);

@@ -1,0 +1,260 @@
+// tlstop — a `top`-style live text dashboard for notary_daemon.
+//
+//   tlstop --port N [--host ADDR] [--interval-ms N] [--once]
+//
+// Polls the daemon's control-plane queries (kQueryStats, kQueryMetrics,
+// kQueryTrace) on an interval and renders a single refreshing screen:
+// the outcome ledger with ingest/shed rates derived between polls, the
+// per-shard queue-depth gauges from the metrics exposition, and the
+// stage-latency waterfall (percentile lines + slowest exemplars). --once
+// prints one snapshot without the ANSI screen clearing — the mode CI and
+// scripts use.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "daemon/protocol.hpp"
+
+namespace {
+
+using tls::daemon::Frame;
+using tls::daemon::FrameDecoder;
+using tls::daemon::FrameType;
+
+std::uint64_t now_us() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+struct Options {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  std::uint64_t interval_ms = 1000;
+  bool once = false;
+};
+
+/// Minimal blocking control-plane client: one connection reused across
+/// polls; reconnects transparently if the daemon restarts.
+class QueryClient {
+ public:
+  ~QueryClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  bool query(const Options& opt, FrameType request, FrameType reply,
+             std::string* body) {
+    if (fd_ < 0 && !connect(opt)) return false;
+    const auto frame = tls::daemon::encode_frame(request, {});
+    if (!send_all(frame)) {
+      disconnect();
+      if (!connect(opt) || !send_all(frame)) return false;
+    }
+    const std::uint64_t deadline = now_us() + 5'000'000;
+    while (now_us() < deadline) {
+      pollfd pfd{fd_, POLLIN, 0};
+      if (::poll(&pfd, 1, 200) <= 0) continue;
+      std::uint8_t buf[16384];
+      const auto n = ::recv(fd_, buf, sizeof(buf), 0);
+      if (n <= 0) {
+        disconnect();
+        return false;
+      }
+      const auto frames = decoder_.feed({buf, static_cast<std::size_t>(n)});
+      for (const auto& f : frames) {
+        if (f.type != reply) continue;
+        body->assign(f.payload.begin(), f.payload.end());
+        return true;
+      }
+      if (decoder_.poisoned()) {
+        disconnect();
+        return false;
+      }
+    }
+    return false;
+  }
+
+ private:
+  bool send_all(const std::vector<std::uint8_t>& bytes) {
+    std::size_t sent = 0;
+    while (sent < bytes.size()) {
+      const auto n =
+          ::send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+      if (n <= 0) return false;
+      sent += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  bool connect(const Options& opt) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd_ < 0) return false;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(opt.port);
+    if (::inet_pton(AF_INET, opt.host.c_str(), &addr.sin_addr) != 1 ||
+        ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+            0) {
+      disconnect();
+      return false;
+    }
+    int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    decoder_ = FrameDecoder();
+    return true;
+  }
+
+  void disconnect() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+  }
+
+  int fd_ = -1;
+  FrameDecoder decoder_;
+};
+
+std::map<std::string, std::uint64_t> parse_stats(const std::string& text) {
+  std::map<std::string, std::uint64_t> stats;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) continue;
+    stats[line.substr(0, eq)] =
+        std::strtoull(line.c_str() + eq + 1, nullptr, 10);
+  }
+  return stats;
+}
+
+/// Pulls `name{...}` gauge lines out of the Prometheus exposition.
+std::vector<std::string> metric_lines(const std::string& exposition,
+                                      const std::string& name) {
+  std::vector<std::string> out;
+  std::istringstream in(exposition);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind(name, 0) != 0) continue;
+    // Exact family only: "queue_depth" must not swallow "queue_depth_peak".
+    const char next = line.size() > name.size() ? line[name.size()] : ' ';
+    if (next == '{' || next == ' ') out.push_back(line);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto need = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "tlstop: " << flag << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--port") {
+      opt.port =
+          static_cast<std::uint16_t>(std::strtoull(need("--port"), nullptr, 10));
+    } else if (arg == "--host") {
+      opt.host = need("--host");
+    } else if (arg == "--interval-ms") {
+      opt.interval_ms = std::strtoull(need("--interval-ms"), nullptr, 10);
+    } else if (arg == "--once") {
+      opt.once = true;
+    } else {
+      std::cerr << "tlstop: unknown flag " << arg << "\n";
+      return 2;
+    }
+  }
+  if (opt.port == 0) {
+    std::cerr << "tlstop: --port is required\n";
+    return 2;
+  }
+  if (opt.interval_ms == 0) opt.interval_ms = 100;
+
+  QueryClient client;
+  std::map<std::string, std::uint64_t> prev;
+  std::uint64_t prev_us = 0;
+  for (;;) {
+    std::string stats_body, metrics_body, trace_body;
+    const bool ok =
+        client.query(opt, FrameType::kQueryStats, FrameType::kStats,
+                     &stats_body) &&
+        client.query(opt, FrameType::kQueryMetrics, FrameType::kMetrics,
+                     &metrics_body) &&
+        client.query(opt, FrameType::kQueryTrace, FrameType::kTrace,
+                     &trace_body);
+    if (!ok) {
+      std::cerr << "tlstop: daemon at " << opt.host << ":" << opt.port
+                << " not answering\n";
+      return opt.once ? 1 : 0;  // live mode: daemon drained, clean exit
+    }
+    const std::uint64_t sample_us = now_us();
+    const auto stats = parse_stats(stats_body);
+    const auto stat = [&](const char* key) -> std::uint64_t {
+      const auto it = stats.find(key);
+      return it == stats.end() ? 0 : it->second;
+    };
+    const auto rate = [&](const char* key) -> double {
+      if (prev_us == 0) return 0.0;
+      const auto it = prev.find(key);
+      if (it == prev.end()) return 0.0;
+      const double ds = static_cast<double>(sample_us - prev_us) / 1e6;
+      if (ds <= 0.0) return 0.0;
+      return static_cast<double>(stat(key) - it->second) / ds;
+    };
+
+    std::ostringstream screen;
+    screen << "tlstop " << opt.host << ":" << opt.port
+           << "  (interval " << opt.interval_ms << " ms)\n\n"
+           << "ledger   offered=" << stat("offered")
+           << " ingested=" << stat("ingested") << " shed=" << stat("shed")
+           << " malformed=" << stat("malformed")
+           << " frame_errors=" << stat("frame_errors") << "\n"
+           << "rates    ingest/s=" << static_cast<std::uint64_t>(
+                  rate("ingested"))
+           << " shed/s=" << static_cast<std::uint64_t>(rate("shed"))
+           << " offered/s=" << static_cast<std::uint64_t>(rate("offered"))
+           << "\n"
+           << "latency  p50_us=" << stat("ingest_p50_us")
+           << " p99_us=" << stat("ingest_p99_us")
+           << " p999_us=" << stat("ingest_p999_us") << "\n\n";
+    screen << "gauges\n";
+    for (const auto& name :
+         {"tls_repro_daemon_queue_depth", "tls_repro_daemon_queue_depth_peak",
+          "tls_repro_daemon_credits_outstanding",
+          "tls_repro_daemon_shed_rate_per_s"}) {
+      for (const auto& line : metric_lines(metrics_body, name)) {
+        screen << "  " << line << "\n";
+      }
+    }
+    screen << "\n" << trace_body;
+
+    if (opt.once) {
+      std::cout << screen.str();
+      return 0;
+    }
+    // ANSI home+clear keeps the screen stable without a curses dependency.
+    std::cout << "\x1b[H\x1b[2J" << screen.str() << std::flush;
+    prev = stats;
+    prev_us = sample_us;
+    std::this_thread::sleep_for(std::chrono::milliseconds(opt.interval_ms));
+  }
+}

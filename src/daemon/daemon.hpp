@@ -49,6 +49,11 @@ namespace tls::fp {
 class FingerprintDatabase;
 }
 
+namespace tls::telemetry {
+class FlightRecorder;
+enum class FlightEventKind : std::uint8_t;
+}
+
 namespace tls::daemon {
 
 struct DaemonConfig {
@@ -93,6 +98,27 @@ struct DaemonConfig {
   /// drain). Epochs are full aggregate snapshots — the newest valid one
   /// wins on resume, so torn tails just fall back one epoch.
   std::uint64_t checkpoint_every = 0;
+
+  // ---- observability (DESIGN.md §17) ----
+  /// Stage-latency attribution + flight recorder. On by default; turning
+  /// it off must leave monitor aggregates byte-identical (tested) — it
+  /// only removes the telemetry, never changes an outcome.
+  bool observability = true;
+  /// Flight-ring capacity per lane (lane 0 = event loop, one per shard).
+  std::size_t flight_events = 4096;
+  /// Periodic FLIGHT.bin autodump cadence (0 disables; needs
+  /// checkpoint_dir). This is what makes a kill -9 leave a post-mortem:
+  /// the file on disk is at most one interval stale.
+  std::uint64_t flight_autodump_ms = 0;
+  /// Install SIGSEGV/SIGABRT/SIGBUS handlers that dump the rings to
+  /// checkpoint_dir/FLIGHT.bin (async-signal-safe). Process-global state,
+  /// so off by default — embedding tests keep their signal dispositions.
+  bool crash_handler = false;
+  /// Exemplar reservoir: the K slowest frames kept per trace window.
+  std::size_t trace_exemplars = 8;
+  std::uint64_t trace_window_ms = 5000;
+  /// Queue-depth / outstanding-credit / shed-rate gauge sampling cadence.
+  std::uint64_t gauge_sample_ms = 200;
 };
 
 /// Monotonic outcome ledger. Invariant (after drain):
@@ -166,10 +192,25 @@ class NotaryDaemon {
   /// Epoch index restored from the journal (0 when starting fresh).
   [[nodiscard]] std::uint64_t resumed_epoch() const { return resumed_epoch_; }
 
+  /// The kTrace body: stage-percentile lines followed by the slowest-frame
+  /// exemplar waterfall (parseable text; `observability=off` when off).
+  [[nodiscard]] std::string trace_text();
+  /// Chrome trace_event JSON of the current exemplar set: one lane per
+  /// exemplar, one complete span per stage (loads in Perfetto directly).
+  [[nodiscard]] std::string trace_chrome();
+  /// Serialized FLIGHT.bin bytes (empty when observability is off).
+  [[nodiscard]] std::vector<std::uint8_t> flight_bytes() const;
+
  private:
   struct Connection;
   struct Shard;
   struct Job;
+  struct StageStamps;
+  struct Completion;
+  struct Exemplar;
+  struct TracePlane;
+  struct TickerPlane;
+  struct StatsSeqlock;
 
   void event_loop();
   void worker_loop(std::size_t shard_index);
@@ -184,6 +225,18 @@ class NotaryDaemon {
   void drain_completions();
   void sweep_idle(std::uint64_t now_ms);
   void wake();
+
+  // Observability plane (all no-ops when config_.observability is off).
+  void flight(std::size_t lane, tls::telemetry::FlightEventKind kind,
+              std::uint32_t a, std::uint64_t b);
+  void finalize_completion(const Completion& done, std::uint64_t complete_us,
+                           std::uint64_t grant_us);
+  void sample_gauges(std::uint64_t now_ms);
+  void write_flight_files();
+
+  // Consistent stats snapshot (event thread publishes; any thread reads).
+  void publish_stats_snapshot();
+  [[nodiscard]] DaemonCounters snapshot_counters() const;
 
   bool open_journal();
   void checkpoint_epoch(bool final_epoch);
@@ -208,9 +261,21 @@ class NotaryDaemon {
   std::uint64_t next_conn_id_ = 1;
   std::map<std::uint64_t, std::unique_ptr<Connection>> conns_;
 
-  // Worker -> event loop completion channel (resolved conn ids).
+  // Worker -> event loop completion channel (resolved captures with their
+  // stage timelines; credits resolve and stage attribution finalizes when
+  // the event loop drains these).
   std::mutex completion_mutex_;
-  std::vector<std::uint64_t> completions_;
+  std::vector<Completion> completions_;
+
+  // Observability plane.
+  std::unique_ptr<tls::telemetry::FlightRecorder> flight_;
+  std::unique_ptr<TracePlane> trace_;
+  std::unique_ptr<TickerPlane> ticker_;
+  std::unique_ptr<StatsSeqlock> stats_seq_;
+  std::uint64_t start_us_ = 0;
+  std::uint64_t last_flight_dump_ms_ = 0;
+  bool journal_degrade_booked_ = false;
+  bool crash_handler_installed_ = false;
 
   // Wire-level loss accounting (event thread writes; stats readers lock).
   std::mutex wire_mutex_;

@@ -32,11 +32,15 @@ bool is_client_frame(FrameType type) {
     case FrameType::kCapture:
     case FrameType::kQueryStats:
     case FrameType::kQueryMetrics:
+    case FrameType::kQueryTrace:
+    case FrameType::kQueryFlight:
     case FrameType::kGoodbye:
       return true;
     case FrameType::kCreditGrant:
     case FrameType::kStats:
     case FrameType::kMetrics:
+    case FrameType::kTrace:
+    case FrameType::kFlight:
       return false;
   }
   return false;
@@ -179,7 +183,7 @@ std::vector<Frame> FrameDecoder::feed(std::span<const std::uint8_t> bytes) {
     }
     const std::uint8_t type_byte = head[4];
     if (type_byte < static_cast<std::uint8_t>(FrameType::kHello) ||
-        type_byte > static_cast<std::uint8_t>(FrameType::kGoodbye)) {
+        type_byte > static_cast<std::uint8_t>(FrameType::kFlight)) {
       poison(DecodeError::kBadType, consumed_);
       return out;
     }

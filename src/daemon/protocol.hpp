@@ -63,6 +63,11 @@ enum class FrameType : std::uint8_t {
   kQueryMetrics = 6, // client -> daemon: request Prometheus exposition
   kMetrics = 7,      // daemon -> client: text/plain exposition body
   kGoodbye = 8,      // either direction: clean half-close announcement
+  kQueryTrace = 9,   // client -> daemon: request stage-latency waterfall
+  kTrace = 10,       // daemon -> client: text waterfall + exemplar lines
+  kQueryFlight = 11, // client -> daemon: request flight-recorder dump
+  kFlight = 12,      // daemon -> client: FLIGHT.bin bytes (may be empty
+                     //   when observability is disabled)
 };
 
 /// True for the types a client may legally send.

@@ -42,6 +42,22 @@ std::uint64_t metric_scalar(const Metric& m) {
   return m.kind == MetricKind::kCounter ? m.counter.value : m.gauge.value;
 }
 
+/// Unit inferred from the naming convention's trailing component (empty
+/// when the name carries no unit). Drives the OpenMetrics-compatible
+/// `# UNIT` metadata line; samples themselves stay exemplar-free plain
+/// integers, so Prometheus 0.0.4 scrapers are unaffected.
+std::string_view unit_suffix(std::string_view name) {
+  const auto ends_with = [&](std::string_view suffix) {
+    return name.size() >= suffix.size() &&
+           name.substr(name.size() - suffix.size()) == suffix;
+  };
+  if (ends_with("_us")) return "microseconds";
+  if (ends_with("_ms")) return "milliseconds";
+  if (ends_with("_seconds")) return "seconds";
+  if (ends_with("_bytes")) return "bytes";
+  return {};
+}
+
 }  // namespace
 
 std::string to_metrics_json(const MetricsRegistry& registry) {
@@ -99,6 +115,10 @@ std::string to_prometheus(const MetricsRegistry& registry) {
       open_family = m.name;
       if (!m.help.empty()) {
         out << "# HELP " << m.name << ' ' << m.help << '\n';
+      }
+      const auto unit = unit_suffix(m.name);
+      if (!unit.empty()) {
+        out << "# UNIT " << m.name << ' ' << unit << '\n';
       }
       out << "# TYPE " << m.name << ' ' << kind_name(m.kind) << '\n';
     }
@@ -289,8 +309,18 @@ std::vector<std::string> lint_prometheus(const std::string& text) {
         if (!valid_metric_name(name)) err("bad metric name in HELP: " + name);
         continue;
       }
+      if (keyword == "UNIT") {
+        // OpenMetrics-compatible unit metadata: `# UNIT <name> <unit>`,
+        // exactly one non-empty unit token.
+        if (!valid_metric_name(name)) err("bad metric name in UNIT: " + name);
+        std::string unit, extra;
+        ls >> unit >> extra;
+        if (unit.empty()) err("UNIT missing unit token for " + name);
+        if (!extra.empty()) err("UNIT takes a single unit token, got trailing: " + extra);
+        continue;
+      }
       if (keyword != "TYPE") {
-        err("unknown comment keyword (expected HELP or TYPE)");
+        err("unknown comment keyword (expected HELP, UNIT, or TYPE)");
         continue;
       }
       std::string type;

@@ -44,6 +44,28 @@ std::vector<std::uint64_t> duration_buckets_us() {
           100'000, 1'000'000, 10'000'000};
 }
 
+std::vector<std::uint64_t> log_linear_buckets(std::uint64_t lo,
+                                              std::uint64_t hi,
+                                              unsigned subdiv) {
+  if (lo == 0) lo = 1;
+  if (subdiv == 0) subdiv = 1;
+  std::vector<std::uint64_t> bounds;
+  for (std::uint64_t base = lo; base < hi && base != 0; base *= 2) {
+    const std::uint64_t step = std::max<std::uint64_t>(1, base / subdiv);
+    for (unsigned i = 1; i <= subdiv; ++i) {
+      const std::uint64_t bound = base + step * i;
+      if (bounds.empty() || bound > bounds.back()) bounds.push_back(bound);
+    }
+    // Overflow guard: a base in the top octave of u64 would wrap.
+    if (base > (UINT64_MAX / 2)) break;
+  }
+  return bounds;
+}
+
+std::vector<std::uint64_t> wide_latency_buckets_us() {
+  return log_linear_buckets(1, 64'000'000, 4);
+}
+
 std::string MetricsRegistry::key_of(std::string_view name,
                                     std::string_view labels) {
   std::string key(name);

@@ -10,9 +10,14 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdint>
+#include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "clients/catalog.hpp"
@@ -26,6 +31,7 @@
 #include "population/traffic.hpp"
 #include "servers/population.hpp"
 #include "telemetry/export.hpp"
+#include "telemetry/flight.hpp"
 
 namespace {
 
@@ -599,6 +605,257 @@ TEST(DaemonEndToEnd, CreditViolationShedsAndCloses) {
   const auto c = daemon.counters();
   EXPECT_GE(c.credit_violations, 1u);
   EXPECT_EQ(c.offered, c.ingested + c.shed + c.malformed);
+}
+
+// ---------------------------------------------------------------------------
+// Observability plane (DESIGN.md §17)
+// ---------------------------------------------------------------------------
+
+/// The core invariant of the observability plane: turning it off must not
+/// change a single byte of the scientific output. Same stream, two
+/// daemons, identical aggregate monitor state and identical ledgers.
+TEST(DaemonObservability, OnVersusOffMonitorStateIsByteIdentical) {
+  auto& fix = fixture();
+  const auto captures = fix.make_captures(300, 0x0B5E);
+
+  const auto run = [&](bool observability) {
+    DaemonConfig config;
+    config.shards = 1;
+    config.observe_cache_entries = 128;
+    config.observability = observability;
+    config.database = &fix.database;
+    NotaryDaemon daemon(config);
+    EXPECT_TRUE(daemon.start()) << daemon.last_error();
+    BlockingClient client;
+    EXPECT_TRUE(client.connect_to(daemon.port()));
+    for (const auto& capture : captures) {
+      EXPECT_TRUE(client.send_capture(capture));
+    }
+    for (int i = 0; i < 500; ++i) {
+      if (daemon.counters().ingested == captures.size()) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    EXPECT_EQ(daemon.counters().ingested, captures.size());
+    auto state = tls::notary::encode_monitor_state(daemon.aggregate_monitor());
+    daemon.request_stop();
+    daemon.join();
+    const auto c = daemon.counters();
+    EXPECT_EQ(c.offered, c.ingested + c.shed + c.malformed);
+    return state;
+  };
+
+  EXPECT_EQ(run(true), run(false));
+}
+
+/// Stats snapshots served under concurrent load must be monotonic between
+/// polls AND internally closure-consistent at every single poll — the
+/// seqlock must never publish a state where a capture is counted ingested
+/// but not yet offered, or admitted but missing from admission.
+TEST(DaemonObservability, StatsSnapshotsAreMonotonicAndClosureConsistent) {
+  auto& fix = fixture();
+  const auto captures = fix.make_captures(400, 0x5E9);
+
+  DaemonConfig config;
+  config.shards = 2;
+  config.observe_delay_us_for_test = 100;  // keep ingestion mid-flight
+  config.database = &fix.database;
+  NotaryDaemon daemon(config);
+  ASSERT_TRUE(daemon.start()) << daemon.last_error();
+
+  std::thread sender([&] {
+    BlockingClient client;
+    if (!client.connect_to(daemon.port())) return;
+    for (const auto& capture : captures) {
+      if (!client.send_capture(capture)) return;
+    }
+  });
+
+  const auto field = [](const std::string& body, const char* key) {
+    const auto pos = body.find(std::string(key) + "=");
+    EXPECT_NE(pos, std::string::npos) << key << " missing in:\n" << body;
+    return std::strtoull(body.c_str() + pos + std::strlen(key) + 1, nullptr,
+                         10);
+  };
+
+  BlockingClient poller;
+  ASSERT_TRUE(poller.connect_to(daemon.port()));
+  std::uint64_t prev_offered = 0, prev_ingested = 0, prev_shed = 0;
+  std::uint64_t prev_malformed = 0;
+  int polls = 0;
+  // Poll while the sender is racing; every snapshot must be consistent.
+  while (daemon.counters().ingested < captures.size() && polls < 2000) {
+    std::string body;
+    ASSERT_TRUE(poller.query(FrameType::kQueryStats, FrameType::kStats,
+                             &body));
+    ++polls;
+    const auto offered = field(body, "offered");
+    const auto admitted = field(body, "admitted");
+    const auto ingested = field(body, "ingested");
+    const auto shed = field(body, "shed");
+    const auto malformed = field(body, "malformed");
+    // Closure: nothing is ever counted resolved without being offered.
+    ASSERT_GE(offered, ingested + shed + malformed) << body;
+    ASSERT_GE(admitted, ingested) << body;
+    ASSERT_GE(offered, admitted + shed + malformed) << body;
+    // Monotonic between polls.
+    ASSERT_GE(offered, prev_offered);
+    ASSERT_GE(ingested, prev_ingested);
+    ASSERT_GE(shed, prev_shed);
+    ASSERT_GE(malformed, prev_malformed);
+    prev_offered = offered;
+    prev_ingested = ingested;
+    prev_shed = shed;
+    prev_malformed = malformed;
+  }
+  sender.join();
+  EXPECT_GT(polls, 0);
+  daemon.request_stop();
+  daemon.join();
+  const auto c = daemon.counters();
+  EXPECT_EQ(c.offered, c.ingested + c.shed + c.malformed);
+}
+
+/// kQueryTrace serves the stage-latency waterfall: per-stage percentile
+/// lines with real counts plus slowest-frame exemplars carrying per-stage
+/// attribution.
+TEST(DaemonObservability, QueryTraceServesStageWaterfall) {
+  auto& fix = fixture();
+  const auto captures = fix.make_captures(120, 0x7ACE);
+
+  DaemonConfig config;
+  config.shards = 1;
+  config.trace_window_ms = 3600 * 1000;  // keep this run in one window
+  config.trace_exemplars = 4;
+  config.database = &fix.database;
+  NotaryDaemon daemon(config);
+  ASSERT_TRUE(daemon.start()) << daemon.last_error();
+
+  BlockingClient client;
+  ASSERT_TRUE(client.connect_to(daemon.port()));
+  for (const auto& capture : captures) {
+    ASSERT_TRUE(client.send_capture(capture));
+  }
+  for (int i = 0; i < 500; ++i) {
+    if (daemon.counters().ingested == captures.size()) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_EQ(daemon.counters().ingested, captures.size());
+
+  std::string body;
+  ASSERT_TRUE(client.query(FrameType::kQueryTrace, FrameType::kTrace, &body));
+  for (const char* stage :
+       {"decode", "enqueue", "queue", "observe", "complete", "grant",
+        "total"}) {
+    EXPECT_NE(body.find(std::string("stage ") + stage), std::string::npos)
+        << "missing stage " << stage << " in:\n" << body;
+  }
+  // Every ingested frame was attributed.
+  const auto total_pos = body.find("stage total count=");
+  ASSERT_NE(total_pos, std::string::npos) << body;
+  EXPECT_EQ(std::strtoull(body.c_str() + total_pos +
+                              std::strlen("stage total count="),
+                          nullptr, 10),
+            captures.size());
+  EXPECT_NE(body.find("exemplar rank="), std::string::npos) << body;
+  EXPECT_NE(body.find("total_us="), std::string::npos) << body;
+
+  // The Chrome-trace export is valid JSON carrying the same exemplars.
+  const auto chrome = daemon.trace_chrome();
+  EXPECT_TRUE(tls::telemetry::json_syntax_valid(chrome)) << chrome;
+
+  daemon.request_stop();
+  daemon.join();
+
+  // With observability off the query still answers, but reports so.
+  DaemonConfig off;
+  off.shards = 1;
+  off.observability = false;
+  off.database = &fix.database;
+  NotaryDaemon dark(off);
+  ASSERT_TRUE(dark.start()) << dark.last_error();
+  BlockingClient dark_client;
+  ASSERT_TRUE(dark_client.connect_to(dark.port()));
+  std::string dark_body;
+  ASSERT_TRUE(dark_client.query(FrameType::kQueryTrace, FrameType::kTrace,
+                                &dark_body));
+  EXPECT_NE(dark_body.find("observability=off"), std::string::npos);
+  dark.request_stop();
+  dark.join();
+}
+
+/// kQueryFlight serves a live FLIGHT.bin image that decodes cleanly and
+/// contains the lifecycle events this very exchange produced.
+TEST(DaemonObservability, QueryFlightServesDecodableDump) {
+  auto& fix = fixture();
+  const auto captures = fix.make_captures(50, 0xF117);
+
+  DaemonConfig config;
+  config.shards = 2;
+  config.flight_events = 256;
+  config.database = &fix.database;
+  NotaryDaemon daemon(config);
+  ASSERT_TRUE(daemon.start()) << daemon.last_error();
+
+  BlockingClient client;
+  ASSERT_TRUE(client.connect_to(daemon.port()));
+  for (const auto& capture : captures) {
+    ASSERT_TRUE(client.send_capture(capture));
+  }
+  for (int i = 0; i < 500; ++i) {
+    if (daemon.counters().ingested == captures.size()) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+
+  std::string body;
+  ASSERT_TRUE(client.query(FrameType::kQueryFlight, FrameType::kFlight,
+                           &body));
+  ASSERT_FALSE(body.empty());
+  const auto dump = tls::telemetry::decode_flight(
+      {reinterpret_cast<const std::uint8_t*>(body.data()), body.size()});
+  ASSERT_TRUE(dump.ok);
+  EXPECT_TRUE(dump.checksum_ok);
+  EXPECT_EQ(dump.crash_signo, 0u);
+  ASSERT_EQ(dump.totals.size(), 1u + 2u);  // event loop + one lane per shard
+  EXPECT_EQ(dump.ring_capacity, 256u);
+
+  std::uint64_t accepts = 0, admits = 0, ingests = 0, dumps = 0;
+  for (const auto& e : dump.events) {
+    using tls::telemetry::FlightEventKind;
+    switch (static_cast<FlightEventKind>(e.kind)) {
+      case FlightEventKind::kConnAccept: ++accepts; break;
+      case FlightEventKind::kAdmit: ++admits; break;
+      case FlightEventKind::kIngest: ++ingests; break;
+      case FlightEventKind::kFlightDump: ++dumps; break;
+      default: break;
+    }
+  }
+  EXPECT_GE(accepts, 1u);
+  EXPECT_EQ(admits, captures.size());
+  EXPECT_EQ(ingests, captures.size());
+  EXPECT_GE(dumps, 1u);  // the query itself books a dump event
+
+  const auto text = tls::telemetry::render_flight(
+      {reinterpret_cast<const std::uint8_t*>(body.data()), body.size()});
+  EXPECT_NE(text.find("checksum=ok"), std::string::npos);
+
+  daemon.request_stop();
+  daemon.join();
+
+  // Observability off -> kFlight answers with an empty payload.
+  DaemonConfig off;
+  off.shards = 1;
+  off.observability = false;
+  off.database = &fix.database;
+  NotaryDaemon dark(off);
+  ASSERT_TRUE(dark.start()) << dark.last_error();
+  BlockingClient dark_client;
+  ASSERT_TRUE(dark_client.connect_to(dark.port()));
+  std::string dark_body = "sentinel";
+  ASSERT_TRUE(dark_client.query(FrameType::kQueryFlight, FrameType::kFlight,
+                                &dark_body));
+  EXPECT_TRUE(dark_body.empty());
+  dark.request_stop();
+  dark.join();
 }
 
 }  // namespace

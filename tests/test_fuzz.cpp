@@ -19,6 +19,7 @@
 #include "notary/observe_cache.hpp"
 #include "population/traffic.hpp"
 #include "notary/snapshot.hpp"
+#include "telemetry/flight.hpp"
 #include "tlscore/rng.hpp"
 #include "wire/alert.hpp"
 #include "wire/client_hello.hpp"
@@ -922,6 +923,56 @@ TEST(Fuzz, Fnv1a64BatchMatchesScalarChain) {
     for (std::size_t i = 0; i < views.size(); ++i) {
       ASSERT_EQ(got[i], tls::notary::ObserveCache::fnv1a64(views[i]))
           << "trial=" << trial << " lane=" << i;
+    }
+  }
+}
+
+// The flight-dump decoder and renderer are post-mortem tools: they must
+// survive arbitrary mutation or truncation of a FLIGHT.bin image (torn
+// crash dumps, half-written autodumps) without throwing — a best-effort
+// rendering of damaged evidence beats an exception in the debugger.
+TEST(Fuzz, FlightDecoderAndRendererNeverThrow) {
+  tls::telemetry::FlightRecorder recorder(3, 16);
+  tls::core::Rng seed_rng(1717);
+  for (int i = 0; i < 64; ++i) {
+    recorder.lane(seed_rng.below(3))
+        .record(static_cast<tls::telemetry::FlightEventKind>(
+                    1 + seed_rng.below(14)),
+                static_cast<std::uint32_t>(seed_rng.next()), seed_rng.next(),
+                i);
+  }
+  const auto image = recorder.serialize();
+
+  tls::core::Rng rng(9191);
+  for (int trial = 0; trial < 400; ++trial) {
+    auto mutated = image;
+    const int flips = 1 + static_cast<int>(rng.below(16));
+    for (int f = 0; f < flips; ++f) {
+      mutated[rng.below(mutated.size())] =
+          static_cast<std::uint8_t>(rng.next());
+    }
+    if (rng.below(4) == 0) mutated.resize(rng.below(mutated.size() + 1));
+    try {
+      const auto dump = tls::telemetry::decode_flight(
+          {mutated.data(), mutated.size()});
+      // Decoded events are bounded by the declared geometry.
+      EXPECT_LE(dump.events.size(),
+                dump.totals.size() * std::size_t{dump.ring_capacity});
+      (void)tls::telemetry::render_flight({mutated.data(), mutated.size()},
+                                          /*max_events=*/256);
+    } catch (...) {
+      FAIL() << "flight decode/render threw on trial " << trial;
+    }
+  }
+  // Pure random garbage, including sizes that mimic a plausible header.
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<std::uint8_t> garbage(rng.below(4096));
+    for (auto& b : garbage) b = static_cast<std::uint8_t>(rng.next());
+    try {
+      (void)tls::telemetry::decode_flight({garbage.data(), garbage.size()});
+      (void)tls::telemetry::render_flight({garbage.data(), garbage.size()});
+    } catch (...) {
+      FAIL() << "flight decode/render threw on garbage trial " << trial;
     }
   }
 }

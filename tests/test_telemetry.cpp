@@ -153,6 +153,7 @@ TEST(TelemetryExport, PrometheusGoldenFile) {
       "# TYPE tls_repro_demo_total counter\n"
       "tls_repro_demo_total 3\n"
       "# HELP tls_repro_demo_us A demo timer\n"
+      "# UNIT tls_repro_demo_us microseconds\n"
       "# TYPE tls_repro_demo_us histogram\n"
       "tls_repro_demo_us_bucket{le=\"10\"} 1\n"
       "tls_repro_demo_us_bucket{le=\"100\"} 2\n"
@@ -193,6 +194,71 @@ TEST(TelemetryExport, LintAcceptsOwnOutputAndRejectsMalformed) {
                                                "# TYPE b counter\nb 1\n"
                                                "# TYPE a counter\na 2\n")
                    .empty());
+}
+
+TEST(TelemetryExport, LintUnitMetadataMatrix) {
+  // Well-formed UNIT line between HELP and TYPE is accepted.
+  EXPECT_TRUE(tls::telemetry::lint_prometheus(
+                  "# HELP lat_us A timer\n"
+                  "# UNIT lat_us microseconds\n"
+                  "# TYPE lat_us gauge\n"
+                  "lat_us 5\n")
+                  .empty());
+  // UNIT alone (no HELP) is fine too.
+  EXPECT_TRUE(tls::telemetry::lint_prometheus("# UNIT x_ms milliseconds\n"
+                                              "# TYPE x_ms gauge\nx_ms 1\n")
+                  .empty());
+  // Bad metric name in UNIT.
+  EXPECT_FALSE(tls::telemetry::lint_prometheus("# UNIT 9bad seconds\n"
+                                               "# TYPE x counter\nx 1\n")
+                   .empty());
+  // Missing unit token.
+  EXPECT_FALSE(tls::telemetry::lint_prometheus("# UNIT lat_us\n"
+                                               "# TYPE lat_us gauge\n"
+                                               "lat_us 1\n")
+                   .empty());
+  // Trailing junk after the unit token.
+  EXPECT_FALSE(tls::telemetry::lint_prometheus(
+                   "# UNIT lat_us microseconds approximately\n"
+                   "# TYPE lat_us gauge\nlat_us 1\n")
+                   .empty());
+  // The exporter emits UNIT for suffixed names and its output self-lints.
+  MetricsRegistry r;
+  r.histogram("stage_us", {10, 100}).record(7);
+  r.counter("payload_bytes").add(42);
+  const auto own = tls::telemetry::to_prometheus(r);
+  EXPECT_NE(own.find("# UNIT stage_us microseconds"), std::string::npos)
+      << own;
+  EXPECT_NE(own.find("# UNIT payload_bytes bytes"), std::string::npos) << own;
+  EXPECT_TRUE(tls::telemetry::lint_prometheus(own).empty()) << own;
+}
+
+TEST(MetricsRegistry, LogLinearBucketProperties) {
+  const auto buckets = tls::telemetry::log_linear_buckets(1, 64'000'000, 4);
+  ASSERT_FALSE(buckets.empty());
+  // Strictly increasing with no duplicates.
+  for (std::size_t i = 1; i < buckets.size(); ++i) {
+    EXPECT_LT(buckets[i - 1], buckets[i]) << "at index " << i;
+  }
+  // Bounded relative error: consecutive bounds within one subdivision's
+  // ratio, so any recorded value lands in a bucket whose upper bound is
+  // at most ~25% above it (subdiv=4).
+  for (std::size_t i = 1; i < buckets.size(); ++i) {
+    EXPECT_LE(buckets[i], buckets[i - 1] * 2) << "at index " << i;
+  }
+  // Covers the full requested range: the first bound is within one octave
+  // of `lo` (bounds are exclusive lower / inclusive upper, so a value of
+  // exactly `lo` lands in the first bucket), the last reaches past `hi`.
+  EXPECT_LE(buckets.front(), 2u);
+  EXPECT_GE(buckets.back(), 64'000'000u);
+  // The daemon's wide-range flavor is exactly this shape.
+  EXPECT_EQ(tls::telemetry::wide_latency_buckets_us(), buckets);
+  // Degenerate requests still produce a usable ladder.
+  const auto tiny = tls::telemetry::log_linear_buckets(1, 2, 4);
+  EXPECT_FALSE(tiny.empty());
+  for (std::size_t i = 1; i < tiny.size(); ++i) {
+    EXPECT_LT(tiny[i - 1], tiny[i]);
+  }
 }
 
 TEST(TelemetryExport, MetricsJsonIsSyntacticallyValid) {
